@@ -1,0 +1,83 @@
+"""Ablation — key-frame search versus the paper's method.
+
+Section 1 motivates the whole paper with: "the search by a key frame does
+not guarantee the correctness since it cannot always summarize all the
+frames of a shot."  This bench quantifies that: over a video corpus and a
+query batch, the key-frame baseline's recall against the exact scan is
+compared with the three-phase search's (always 1.0 by Lemmas 1-3).
+"""
+
+from benchmarks.conftest import publish
+from repro.analysis.metrics import recall
+from repro.analysis.report import format_table
+from repro.baselines.keyframe import KeyFrameSearch
+from repro.datagen.queries import generate_queries
+
+EPSILONS = (0.05, 0.10, 0.20)
+
+
+def test_ablation_keyframe_recall(benchmark, video_runner):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    corpus = {
+        sid: video_runner.database.sequence(sid)
+        for sid in video_runner.database.ids()
+    }
+    keyframe = KeyFrameSearch()
+    for sequence_id, sequence in corpus.items():
+        keyframe.add(sequence, sequence_id)
+
+    queries = generate_queries(corpus, 8, seed=555, noise=0.02)
+
+    rows = []
+    keyframe_ever_missed = False
+    for epsilon in EPSILONS:
+        method_recalls = []
+        keyframe_recalls = []
+        for query in queries:
+            relevant = video_runner.scanner.scan(
+                query, epsilon, find_intervals=False
+            ).answers
+            method = set(
+                video_runner.engine.search(
+                    query, epsilon, find_intervals=False
+                ).answers
+            )
+            keyed = keyframe.search(query, epsilon)
+            method_recalls.append(recall(method, relevant))
+            keyframe_recalls.append(recall(keyed, relevant))
+            if relevant - keyed:
+                keyframe_ever_missed = True
+        rows.append(
+            [
+                epsilon,
+                sum(method_recalls) / len(method_recalls),
+                sum(keyframe_recalls) / len(keyframe_recalls),
+            ]
+        )
+
+    publish(
+        "ablation_keyframe",
+        format_table(
+            ["epsilon", "method_recall", "keyframe_recall"], rows
+        )
+        + "\n(paper §1: key-frame search does not guarantee correctness; "
+        "the proposed method does)",
+    )
+
+    for _, method_recall, _ in rows:
+        assert method_recall == 1.0
+    assert keyframe_ever_missed, (
+        "expected the key-frame baseline to miss at least one true answer"
+    )
+
+
+def test_keyframe_search_benchmark(benchmark, video_runner):
+    corpus = {
+        sid: video_runner.database.sequence(sid)
+        for sid in video_runner.database.ids()
+    }
+    keyframe = KeyFrameSearch()
+    for sequence_id, sequence in corpus.items():
+        keyframe.add(sequence, sequence_id)
+    query = generate_queries(corpus, 1, seed=556)[0]
+    benchmark(keyframe.search, query, 0.1)

@@ -1,0 +1,89 @@
+"""Ablation — which dimensionality reduction filters best? (§3.4.1)
+
+The paper names "DFT or Wavelets" for reducing high-dimensional features;
+PCA is the data-driven third option this repo adds.  All three are
+orthonormal-truncation reductions, so each *lower-bounds* the true distance
+— correctness is identical — and the only question is **tightness**: the
+closer the reduced distance sits to the true distance, the fewer false
+candidates survive the filter.
+
+Measured on colour-histogram features (24-d) of rendered raw frames, at
+several output dimensionalities: the mean ratio ``reduced / true`` over
+random vector pairs (1.0 = perfect).  PCA, fitted to the data, should be
+the tightest; the assertion requires it to beat the data-agnostic DFT at
+equal output dimension.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import publish
+from repro.analysis.report import format_table
+from repro.datagen.frames import generate_frame_clip
+from repro.features.extraction import color_histogram_sequence
+from repro.features.reduction import dft_reduce, fit_pca, haar_reduce
+
+OUTPUT_DIMS = (2, 4, 8)
+PAIRS = 400
+
+
+def _feature_corpus():
+    vectors = []
+    for i in range(12):
+        clip = generate_frame_clip(50, seed=600 + i)
+        vectors.append(color_histogram_sequence(clip, bins=8).points)
+    return np.vstack(vectors)
+
+
+def _tightness(reduced: np.ndarray, original: np.ndarray, rng) -> float:
+    lhs = rng.integers(0, original.shape[0], PAIRS)
+    rhs = rng.integers(0, original.shape[0], PAIRS)
+    keep = lhs != rhs
+    lhs, rhs = lhs[keep], rhs[keep]
+    true = np.linalg.norm(original[lhs] - original[rhs], axis=1)
+    approx = np.linalg.norm(reduced[lhs] - reduced[rhs], axis=1)
+    positive = true > 1e-12
+    return float(np.mean(approx[positive] / true[positive]))
+
+
+def test_ablation_reduction_tightness(benchmark):
+    features = benchmark.pedantic(_feature_corpus, rounds=1, iterations=1)
+    rng = np.random.default_rng(601)
+
+    rows = []
+    tightness = {}
+    for out_dim in OUTPUT_DIMS:
+        # DFT outputs 2 coefficients per complex value; use k = out_dim / 2
+        # so every method is compared at the same output dimensionality.
+        dft = dft_reduce(features, max(1, out_dim // 2))
+        haar = haar_reduce(features, out_dim)
+        pca_space = fit_pca(features, out_dim)
+        pca = pca_space.transform(features)
+        row = [out_dim]
+        for name, reduced in (("dft", dft), ("haar", haar), ("pca", pca)):
+            value = _tightness(reduced, features, rng)
+            tightness[(name, out_dim)] = value
+            row.append(value)
+        rows.append(row)
+
+    publish(
+        "ablation_reduction",
+        format_table(["out_dim", "dft", "haar", "pca"], rows)
+        + "\n(mean reduced/true distance ratio over random feature pairs; "
+        "1.0 = lossless.  All three lower-bound, so higher = tighter "
+        "filtering at equal correctness.  DFT/Haar score ~0 at low "
+        "dimensions because histograms have constant sums: the leading "
+        "DC-like coefficients are identical across all vectors and carry "
+        "no discrimination — the classic argument for data-driven "
+        "reductions on normalised features)",
+    )
+
+    for _, dft_value, haar_value, pca_value in rows:
+        for value in (dft_value, haar_value, pca_value):
+            assert 0.0 <= value <= 1.0 + 1e-9  # lower bound, always
+    # Data-driven PCA must beat the data-agnostic DFT at every dimension.
+    for out_dim in OUTPUT_DIMS:
+        assert tightness[("pca", out_dim)] >= tightness[("dft", out_dim)]
+    # More dimensions, tighter bound (monotone in k for each method).
+    for name in ("dft", "haar", "pca"):
+        values = [tightness[(name, d)] for d in OUTPUT_DIMS]
+        assert values == sorted(values)

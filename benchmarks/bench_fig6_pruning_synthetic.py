@@ -1,0 +1,47 @@
+"""Figure 6 — pruning rates of Dmbr and Dnorm on the synthetic corpus.
+
+Paper's series: over thresholds 0.05-0.50, the ``Dmbr`` pruning rate runs
+70-90% and ``Dnorm`` a constant 3-10 points higher (76-93%), both falling
+as the threshold grows.  Shape requirements asserted here:
+
+* pruning decreases (weakly) from the smallest to the largest threshold;
+* ``Dnorm`` never prunes less than ``Dmbr`` (Lemma 3's tighter bound);
+* no false dismissals at any threshold (aggregate answer recall is 1).
+
+The benchmarked operation is one full three-phase search at the paper's
+mid threshold.
+"""
+
+from benchmarks.conftest import publish
+from repro.analysis.report import figure_table
+from repro.datagen.queries import generate_queries
+
+
+def test_fig6_pruning_series(benchmark, synthetic_rows):
+    table = benchmark.pedantic(
+        figure_table, rounds=1, iterations=1, args=("fig6", synthetic_rows)
+    )
+    publish("fig6_pruning_synthetic", table)
+
+    for row in synthetic_rows:
+        assert row.answer_recall == 1.0, "false dismissal detected"
+        assert row.pr_dnorm >= row.pr_dmbr - 1e-12
+        assert 0.0 <= row.pr_dmbr <= 1.0
+
+    first, last = synthetic_rows[0], synthetic_rows[-1]
+    assert first.epsilon < last.epsilon
+    assert first.pr_dmbr > last.pr_dmbr, (
+        "pruning must fall as the threshold grows"
+    )
+
+
+def test_fig6_search_benchmark(benchmark, synthetic_runner):
+    corpus = {
+        sid: synthetic_runner.database.sequence(sid)
+        for sid in synthetic_runner.database.ids()
+    }
+    query = generate_queries(corpus, 1, seed=606)[0]
+    result = benchmark(
+        synthetic_runner.engine.search, query, 0.25, find_intervals=True
+    )
+    assert result.stats.query_segments >= 1

@@ -1,0 +1,44 @@
+"""Figure 7 — pruning rates of Dmbr and Dnorm on the video corpus.
+
+Paper's series: ``Dmbr`` 65-91%, ``Dnorm`` 73-94%, falling with the
+threshold; the video corpus prunes *better* than the synthetic one at tight
+thresholds because shots cluster (§4.2.2).  Shape assertions mirror
+Figure 6, plus the cross-corpus comparison at the tightest threshold.
+"""
+
+from benchmarks.conftest import publish
+from repro.analysis.report import figure_table
+from repro.datagen.queries import generate_queries
+
+
+def test_fig7_pruning_series(benchmark, video_rows):
+    table = benchmark.pedantic(
+        figure_table, rounds=1, iterations=1, args=("fig7", video_rows)
+    )
+    publish("fig7_pruning_video", table)
+
+    for row in video_rows:
+        assert row.answer_recall == 1.0, "false dismissal detected"
+        assert row.pr_dnorm >= row.pr_dmbr - 1e-12
+
+    first, last = video_rows[0], video_rows[-1]
+    assert first.pr_dmbr > last.pr_dmbr
+
+
+def test_fig7_video_prunes_well_when_selective(benchmark, video_rows):
+    """At the tightest threshold the clustered video corpus must prune the
+    vast majority of irrelevant streams (paper: ~91%)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert video_rows[0].pr_dnorm >= 0.75
+
+
+def test_fig7_search_benchmark(benchmark, video_runner):
+    corpus = {
+        sid: video_runner.database.sequence(sid)
+        for sid in video_runner.database.ids()
+    }
+    query = generate_queries(corpus, 1, seed=707)[0]
+    result = benchmark(
+        video_runner.engine.search, query, 0.25, find_intervals=True
+    )
+    assert result.stats.query_segments >= 1

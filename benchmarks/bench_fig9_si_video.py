@@ -1,0 +1,51 @@
+"""Figure 9 — solution-interval pruning and recall, video corpus.
+
+Paper's series: PR_SI 67-94% with recall ~1.0; video prunes better than
+synthetic "since video streams are well clustered" — frames of one shot
+share feature values, so the Dnorm windows hug the true answer intervals.
+"""
+
+from benchmarks.conftest import publish
+from repro.analysis.report import figure_table
+from repro.datagen.queries import generate_queries
+
+
+def test_fig9_solution_interval_series(benchmark, video_rows):
+    table = benchmark.pedantic(
+        figure_table, rounds=1, iterations=1, args=("fig9", video_rows)
+    )
+    publish("fig9_si_video", table)
+
+    for row in video_rows:
+        assert row.si_recall >= 0.95
+        assert row.si_pruning > 0.0
+
+
+def test_fig9_recall_band(benchmark, video_rows):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    mean_recall = sum(r.si_recall for r in video_rows) / len(video_rows)
+    assert mean_recall >= 0.97
+
+
+def test_fig9_video_si_vs_synthetic(benchmark, video_rows, synthetic_rows):
+    """The paper's cross-corpus observation: averaged over the sweep, the
+    video corpus's solution intervals prune at least about as well as the
+    synthetic corpus's."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    video_mean = sum(r.si_pruning for r in video_rows) / len(video_rows)
+    synthetic_mean = sum(r.si_pruning for r in synthetic_rows) / len(
+        synthetic_rows
+    )
+    assert video_mean >= synthetic_mean - 0.1
+
+
+def test_fig9_interval_assembly_benchmark(benchmark, video_runner):
+    corpus = {
+        sid: video_runner.database.sequence(sid)
+        for sid in video_runner.database.ids()
+    }
+    query = generate_queries(corpus, 1, seed=909)[0]
+    result = benchmark(
+        video_runner.engine.search, query, 0.25, find_intervals=True
+    )
+    assert result.solution_intervals is not None

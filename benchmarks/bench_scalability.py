@@ -1,0 +1,119 @@
+"""Scalability — how the method and the scan grow with corpus size.
+
+Not a figure in the paper, but the claim underneath Figure 10: the
+sequential scan's cost is linear in the corpus' total points, while the
+method's cost follows the candidate set (index probes prune whole
+subtrees).  Measured here: per-query times and the response ratio across a
+doubling corpus-size ladder, at a selective threshold.  The asserted shape:
+the ratio at the largest corpus is at least the ratio at the smallest
+(i.e., the method's advantage does not shrink as data grows).
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import current_scale, publish
+from repro.analysis.report import format_table
+from repro.baselines.sequential import SequentialScan
+from repro.core.database import SequenceDatabase
+from repro.core.search import SimilaritySearch
+from repro.datagen.queries import generate_queries
+from repro.datagen.video import generate_video_corpus
+
+EPSILON = 0.1
+QUERIES = 6
+
+_LADDERS = {
+    "smoke": (50, 100, 200),
+    "medium": (100, 200, 400, 800),
+    "paper": (200, 400, 800, 1600),
+}
+
+
+def test_scalability_ladder(benchmark):
+    ladder = _LADDERS[current_scale()]
+    corpus = benchmark.pedantic(
+        generate_video_corpus,
+        rounds=1,
+        iterations=1,
+        args=(ladder[-1],),
+        kwargs=dict(length_range=(56, 256), seed=404),
+    )
+
+    rows = []
+    ratios = []
+    for size in ladder:
+        database = SequenceDatabase(dimension=3)
+        build_started = time.perf_counter()
+        for stream in corpus[:size]:
+            database.add(stream)
+        build_seconds = time.perf_counter() - build_started
+
+        engine = SimilaritySearch(database)
+        scanner = SequentialScan.from_database(database)
+        queries = generate_queries(
+            {sid: database.sequence(sid) for sid in database.ids()},
+            QUERIES,
+            seed=405,
+        )
+
+        method_seconds = scan_seconds = 0.0
+        for query in queries:
+            started = time.perf_counter()
+            engine.search(query, EPSILON)
+            method_seconds += time.perf_counter() - started
+            scan_seconds += scanner.scan(query, EPSILON).seconds
+
+        ratio = scan_seconds / method_seconds
+        ratios.append(ratio)
+        rows.append(
+            [
+                size,
+                database.point_count,
+                build_seconds,
+                method_seconds / QUERIES * 1e3,
+                scan_seconds / QUERIES * 1e3,
+                ratio,
+            ]
+        )
+
+    publish(
+        "scalability",
+        format_table(
+            [
+                "sequences",
+                "points",
+                "build_s",
+                "method_ms/q",
+                "scan_ms/q",
+                "ratio",
+            ],
+            rows,
+        )
+        + f"\n(epsilon={EPSILON}; the method's advantage must not shrink "
+        f"with corpus size)",
+    )
+
+    # Allow timing noise, forbid collapse: an 8x bigger corpus must not
+    # halve the advantage.
+    assert ratios[-1] >= ratios[0] * 0.5
+    # The scan must grow roughly linearly with the point count.
+    points = [row[1] for row in rows]
+    scans = [row[4] for row in rows]
+    growth = (scans[-1] / scans[0]) / (points[-1] / points[0])
+    assert 0.3 < growth < 3.0
+
+
+def test_search_at_largest_size_benchmark(benchmark):
+    corpus = generate_video_corpus(
+        _LADDERS[current_scale()][-1], length_range=(56, 256), seed=404
+    )
+    database = SequenceDatabase(dimension=3)
+    for stream in corpus:
+        database.add(stream)
+    engine = SimilaritySearch(database)
+    query = generate_queries(
+        {sid: database.sequence(sid) for sid in database.ids()}, 1, seed=406
+    )[0]
+    benchmark(engine.search, query, EPSILON)

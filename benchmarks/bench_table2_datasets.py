@@ -1,0 +1,84 @@
+"""Table 2 — the experimental parameter grid and both corpora.
+
+Regenerates Table 2's two dataset columns (synthetic and real video) at the
+selected scale, verifies the structural parameters the table reports
+(sequence counts, arbitrary lengths in 56-512, 3-d points, threshold range,
+queries per threshold) and benchmarks corpus generation.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import publish, scale_parameters
+from repro.analysis.report import format_table
+from repro.datagen.fractal import generate_fractal_corpus
+from repro.datagen.video import generate_video_corpus
+
+
+def _summarise(name, corpus, params):
+    lengths = [len(s) for s in corpus]
+    return [
+        name,
+        len(corpus),
+        f"{min(lengths)}-{max(lengths)}",
+        corpus[0].dimension,
+        f"{params['thresholds'][0]:.2f}-{params['thresholds'][-1]:.2f}",
+        params["queries_per_threshold"],
+    ]
+
+
+def test_table2_parameters(benchmark, synthetic_runner, video_runner):
+    params = scale_parameters()
+    synthetic = synthetic_runner.corpus
+    video = video_runner.corpus
+
+    rows = [
+        _summarise("synthetic", synthetic, params),
+        _summarise("video", video, params),
+    ]
+    table = benchmark.pedantic(
+        format_table, rounds=1, iterations=1, args=(
+            ["dataset", "#sequences", "lengths", "dim", "epsilon range", "#queries/eps"],
+            rows,
+        ),
+    )
+    paper = (
+        "paper: 1600 synthetic / 1408 video sequences, lengths 56-512, "
+        "3-d, eps 0.05-0.50, 20 queries per eps"
+    )
+    publish("table2_datasets", f"{table}\n({paper})")
+
+    for corpus, expected_count in (
+        (synthetic, params["n_synthetic"]),
+        (video, params["n_video"]),
+    ):
+        assert len(corpus) == expected_count
+        lengths = np.array([len(s) for s in corpus])
+        assert lengths.min() >= 56
+        assert lengths.max() <= 512
+        assert len(np.unique(lengths)) > 1  # "arbitrary" lengths
+        assert all(s.dimension == 3 for s in corpus)
+        for sequence in corpus[:25]:
+            assert sequence.points.min() >= 0.0
+            assert sequence.points.max() <= 1.0
+
+
+def test_generate_synthetic_corpus_benchmark(benchmark):
+    corpus = benchmark.pedantic(
+        generate_fractal_corpus,
+        args=(64,),
+        kwargs=dict(seed=11),
+        rounds=3,
+        iterations=1,
+    )
+    assert len(corpus) == 64
+
+
+def test_generate_video_corpus_benchmark(benchmark):
+    corpus = benchmark.pedantic(
+        generate_video_corpus,
+        args=(64,),
+        kwargs=dict(seed=11),
+        rounds=3,
+        iterations=1,
+    )
+    assert len(corpus) == 64

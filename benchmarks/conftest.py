@@ -1,0 +1,115 @@
+"""Shared infrastructure for the figure/table benchmarks.
+
+Every benchmark module regenerates one of the paper's tables or figures.
+The expensive parts — corpus generation, database construction, the full
+threshold sweep — run once per session in fixtures; the ``benchmark(...)``
+calls then time the representative operations (a single search, an index
+build) without re-running the sweeps.
+
+Scale is controlled by the ``REPRO_SCALE`` environment variable:
+
+========  ===========================  =============================
+scale     corpus                       sweep
+========  ===========================  =============================
+smoke     120 sequences                3 queries x 4 thresholds
+medium    400 sequences (default)     8 queries x 10 thresholds
+paper     1600 / 1408 sequences        20 queries x 10 thresholds
+========  ===========================  =============================
+
+``paper`` reproduces Table 2 exactly.  Each module writes its series
+(measured next to the paper's reported band) to ``benchmarks/results/`` and
+prints it, so a ``pytest benchmarks/ --benchmark-only`` run leaves the full
+figure set on disk.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.experiment import ExperimentConfig, ExperimentRunner
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_SCALES = {
+    "smoke": dict(
+        n_synthetic=120,
+        n_video=120,
+        queries_per_threshold=3,
+        thresholds=(0.05, 0.15, 0.30, 0.50),
+    ),
+    "medium": dict(
+        n_synthetic=400,
+        n_video=400,
+        queries_per_threshold=8,
+        thresholds=tuple(round(0.05 * i, 2) for i in range(1, 11)),
+    ),
+    "paper": dict(
+        n_synthetic=1600,
+        n_video=1408,
+        queries_per_threshold=20,
+        thresholds=tuple(round(0.05 * i, 2) for i in range(1, 11)),
+    ),
+}
+
+
+def current_scale() -> str:
+    scale = os.environ.get("REPRO_SCALE", "medium")
+    if scale not in _SCALES:
+        raise ValueError(
+            f"REPRO_SCALE must be one of {sorted(_SCALES)}, got {scale!r}"
+        )
+    return scale
+
+
+def scale_parameters() -> dict:
+    return dict(_SCALES[current_scale()])
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return current_scale()
+
+
+@pytest.fixture(scope="session")
+def synthetic_runner() -> ExperimentRunner:
+    params = scale_parameters()
+    config = ExperimentConfig.paper_synthetic(
+        n_sequences=params["n_synthetic"],
+        queries_per_threshold=params["queries_per_threshold"],
+        thresholds=params["thresholds"],
+    )
+    return ExperimentRunner(config)
+
+
+@pytest.fixture(scope="session")
+def video_runner() -> ExperimentRunner:
+    params = scale_parameters()
+    config = ExperimentConfig.paper_video(
+        n_sequences=params["n_video"],
+        queries_per_threshold=params["queries_per_threshold"],
+        thresholds=params["thresholds"],
+    )
+    return ExperimentRunner(config)
+
+
+@pytest.fixture(scope="session")
+def synthetic_rows(synthetic_runner):
+    """The full Figure 6/8/10 sweep over the synthetic corpus, run once."""
+    return synthetic_runner.run()
+
+
+@pytest.fixture(scope="session")
+def video_rows(video_runner):
+    """The full Figure 7/9/10 sweep over the video corpus, run once."""
+    return video_runner.run()
+
+
+def publish(name: str, text: str) -> None:
+    """Print a figure table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    banner = f"\n===== {name} (scale={current_scale()}) =====\n{text}\n"
+    print(banner)
+    (RESULTS_DIR / f"{name}.txt").write_text(banner.lstrip("\n"))

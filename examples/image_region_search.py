@@ -1,0 +1,110 @@
+"""Image retrieval via region sequences on a Hilbert curve.
+
+The paper's second data-model example (§1): an image is segmented into
+regions, the regions are ordered along a space-filling curve, and the
+resulting sequence of region-feature vectors is searched like any other
+multidimensional sequence — "Find all images in a database that contain
+regions similar to regions of a given image."
+
+This example also shows the *filter-and-refine* pattern explicitly.  The
+three-phase search is a lower-bound filter: it guarantees no false
+dismissals but admits false hits, and smooth gradient images have large
+MBRs, so the filter is deliberately stressed here.  The exact sliding
+distance then refines the surviving candidates — far fewer exact
+computations than scanning the whole corpus.
+
+Run with::
+
+    python examples/image_region_search.py
+"""
+
+import numpy as np
+
+from repro import (
+    MultidimensionalSequence,
+    SequenceDatabase,
+    SimilaritySearch,
+    sequence_distance,
+)
+from repro.datagen import generate_image_corpus
+
+ORDER = 4  # 16x16 regions, 256-element sequences
+EPSILON = 0.05
+
+
+def main() -> None:
+    corpus = {
+        sequence.sequence_id: sequence
+        for sequence in generate_image_corpus(80, order=ORDER, seed=61)
+    }
+
+    # Plant near-duplicates of image-17: a noisy copy and a tinted copy.
+    rng = np.random.default_rng(62)
+    target = corpus["image-17"]
+    corpus["image-dup"] = MultidimensionalSequence(
+        np.clip(target.points + rng.normal(0, 0.01, target.points.shape), 0, 1),
+        sequence_id="image-dup",
+    )
+    corpus["image-tinted"] = MultidimensionalSequence(
+        np.clip(target.points * 0.96 + 0.02, 0, 1), sequence_id="image-tinted"
+    )
+
+    database = SequenceDatabase(dimension=3)
+    for image in corpus.values():
+        database.add(image)
+    engine = SimilaritySearch(database)
+
+    # ------------------------------------------------------------------
+    # Whole-image query, filter-and-refine.
+    # ------------------------------------------------------------------
+    result = engine.search(target, EPSILON, find_intervals=False)
+    verified = sorted(
+        sequence_id
+        for sequence_id in result.answers
+        if sequence_distance(target, corpus[sequence_id]) <= EPSILON
+    )
+    print(f"whole-image query (eps={EPSILON}):")
+    print(
+        f"  filter: {len(database)} images -> "
+        f"{len(result.candidates)} candidates (Dmbr) -> "
+        f"{len(result.answers)} (Dnorm)"
+    )
+    print(f"  refine: exact matches = {verified}\n")
+    assert set(verified) == {"image-17", "image-dup", "image-tinted"}
+
+    # ------------------------------------------------------------------
+    # Region-run query: a quarter of the target's Hilbert sequence.
+    # "Images that contain regions similar to these regions" — the
+    # solution intervals localise the matching region runs.
+    # ------------------------------------------------------------------
+    run = MultidimensionalSequence(
+        target.points[64:128], sequence_id="query-run"
+    )
+    region_result = engine.search(run, EPSILON)
+    refined = [
+        sequence_id
+        for sequence_id in region_result.answers
+        if sequence_distance(run, corpus[sequence_id]) <= EPSILON
+    ]
+    print(f"region-run query (64 regions, eps={EPSILON}):")
+    print(
+        f"  filter kept {len(region_result.answers)} images, "
+        f"refine kept {len(refined)}"
+    )
+    for sequence_id in sorted(refined, key=str):
+        interval = region_result.solution_intervals[sequence_id]
+        spans = ", ".join(f"{a}-{b}" for a, b in interval.intervals[:4])
+        print(f"  {sequence_id!r}: matching region runs {spans}")
+    assert "image-17" in refined
+    assert "image-dup" in refined
+
+    exact_scans_saved = len(database) - len(region_result.answers)
+    print(
+        f"\nthe filter spared {exact_scans_saved} exact sequence scans "
+        f"({exact_scans_saved / len(database):.0%} of the corpus) with "
+        f"zero false dismissals"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Experiment harness: the metrics, parameter grid and runner of Section 4.
+
+* :mod:`repro.analysis.metrics` — pruning rate, PR_SI, recall and the
+  response-time ratio, exactly as defined in §4.2.
+* :mod:`repro.analysis.experiment` — Table 2's configuration (with
+  paper-scale and smoke presets) and the threshold-sweep runner producing
+  the series of Figures 6-10.
+* :mod:`repro.analysis.report` — plain-text rendering of those series with
+  the paper's reported bands attached.
+"""
+
+from repro.analysis.calibration import calibrate_epsilon, selectivity_curve
+from repro.analysis.experiment import (
+    ExperimentConfig,
+    ExperimentRunner,
+    QueryMetrics,
+    ThresholdMetrics,
+)
+from repro.analysis.metrics import (
+    interval_recall,
+    precision,
+    pruning_rate,
+    recall,
+    response_time_ratio,
+    solution_interval_pruning_rate,
+)
+from repro.analysis.report import (
+    figure_table,
+    format_table,
+    paper_band_note,
+    series,
+    sparkline,
+    sparkline_panel,
+)
+from repro.analysis.tracing import TracingSearch, read_trace
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentRunner",
+    "QueryMetrics",
+    "ThresholdMetrics",
+    "TracingSearch",
+    "calibrate_epsilon",
+    "figure_table",
+    "format_table",
+    "interval_recall",
+    "paper_band_note",
+    "precision",
+    "pruning_rate",
+    "read_trace",
+    "recall",
+    "response_time_ratio",
+    "selectivity_curve",
+    "series",
+    "sparkline",
+    "sparkline_panel",
+    "solution_interval_pruning_rate",
+]

@@ -1,0 +1,123 @@
+"""Threshold calibration: pick an epsilon for a target selectivity.
+
+The paper chooses its threshold range 0.05-0.50 "since it provides enough
+coverage for the low and high selectivity in the [0,1)^3 cube".  Users of
+the library face the inverse problem: *I want roughly the 1% most similar
+sequences — what epsilon is that?*  This module answers it by bisecting the
+monotone selectivity(epsilon) curve measured on a sample of queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.distance import sliding_mean_distances
+from repro.core.sequence import MultidimensionalSequence
+
+__all__ = ["calibrate_epsilon", "selectivity_curve"]
+
+
+def _query_distances(query, sequences) -> np.ndarray:
+    """Exact D(query, S) for every sequence, as one array."""
+    if not isinstance(query, MultidimensionalSequence):
+        query = MultidimensionalSequence(query)
+    distances = []
+    for sequence in sequences:
+        if len(query) <= len(sequence):
+            row = sliding_mean_distances(query, sequence)
+        else:
+            row = sliding_mean_distances(sequence, query)
+        distances.append(float(row.min()))
+    return np.array(distances)
+
+
+def selectivity_curve(database, queries, epsilons) -> list[tuple[float, float]]:
+    """Measured mean selectivity (fraction of relevant sequences) per epsilon.
+
+    Parameters
+    ----------
+    database:
+        A :class:`~repro.core.database.SequenceDatabase` (or any mapping of
+        id to sequence via ``.ids()``/``.sequence()``).
+    queries:
+        Sample query sequences.
+    epsilons:
+        Thresholds to evaluate.
+
+    Returns
+    -------
+    list of (epsilon, selectivity)
+        In the order given.
+    """
+    sequences = [database.sequence(sid) for sid in database.ids()]
+    if not sequences:
+        raise ValueError("the database is empty")
+    queries = list(queries)
+    if not queries:
+        raise ValueError("at least one sample query is required")
+    per_query = [_query_distances(query, sequences) for query in queries]
+    curve = []
+    for epsilon in epsilons:
+        fractions = [
+            float(np.mean(distances <= epsilon)) for distances in per_query
+        ]
+        curve.append((float(epsilon), float(np.mean(fractions))))
+    return curve
+
+
+def calibrate_epsilon(
+    database,
+    queries,
+    target_selectivity: float,
+    *,
+    tolerance: float = 0.005,
+    max_iterations: int = 40,
+) -> float:
+    """The epsilon whose mean selectivity is closest to the target.
+
+    Bisects over the exact per-sequence distances (computed once per
+    query), so the answer is exact up to ``tolerance`` in selectivity or
+    the bisection resolution, whichever binds first.
+
+    Parameters
+    ----------
+    database:
+        The corpus to calibrate against.
+    queries:
+        Sample queries representative of the workload.
+    target_selectivity:
+        Desired fraction of the corpus returned, in ``(0, 1)``.
+    tolerance:
+        Acceptable selectivity error.
+    max_iterations:
+        Bisection cap.
+    """
+    if not 0.0 < target_selectivity < 1.0:
+        raise ValueError(
+            f"target_selectivity must be in (0, 1), got {target_selectivity}"
+        )
+    sequences = [database.sequence(sid) for sid in database.ids()]
+    if not sequences:
+        raise ValueError("the database is empty")
+    queries = list(queries)
+    if not queries:
+        raise ValueError("at least one sample query is required")
+    per_query = [_query_distances(query, sequences) for query in queries]
+
+    def selectivity(epsilon: float) -> float:
+        return float(
+            np.mean([np.mean(d <= epsilon) for d in per_query])
+        )
+
+    low = 0.0
+    high = float(max(d.max() for d in per_query)) + 1e-9
+    for _ in range(max_iterations):
+        middle = (low + high) / 2.0
+        value = selectivity(middle)
+        if abs(value - target_selectivity) <= tolerance:
+            return middle
+        if value < target_selectivity:
+            low = middle
+        else:
+            high = middle
+    return (low + high) / 2.0

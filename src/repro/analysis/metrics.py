@@ -1,0 +1,135 @@
+"""Evaluation metrics of Section 4.2.
+
+Definitions transcribed from the paper:
+
+* **Pruning rate** (4.2.1)::
+
+      PR = (|total seq.| - |retrieved seq.|) / (|total seq.| - |relevant seq.|)
+
+  the fraction of prunable (irrelevant) sequences actually pruned.
+
+* **Solution-interval pruning rate** (4.2.2)::
+
+      PR_SI = (|P_total| - |P_norm|) / (|P_total| - |P_scan|)
+
+  with ``P_total`` the points of the selected sequences, ``P_scan`` the
+  exact solution-interval points and ``P_norm`` the ``Dnorm``-approximated
+  ones.
+
+* **Recall** (4.2.2)::
+
+      Recall = |P_scan ∩ P_norm| / |P_scan|
+
+* **Response-time ratio** (4.2.3)::
+
+      ratio = time(sequential scan) / time(proposed method)
+
+Degenerate denominators (nothing prunable, empty exact interval) are
+defined as the metric's perfect value, which matches how averages over many
+queries are reported in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.core.solution_interval import IntervalSet
+
+__all__ = [
+    "interval_recall",
+    "precision",
+    "pruning_rate",
+    "recall",
+    "response_time_ratio",
+    "solution_interval_pruning_rate",
+]
+
+
+def pruning_rate(total: int, retrieved: int, relevant: int) -> float:
+    """Fraction of prunable sequences actually pruned (PR of 4.2.1).
+
+    Parameters
+    ----------
+    total:
+        Number of sequences in the database.
+    retrieved:
+        Number of sequences the filter kept (``AS_mbr`` or ``AS_norm``).
+    relevant:
+        Number of truly relevant sequences (sequential-scan answers).
+
+    Notes
+    -----
+    Requires ``relevant <= retrieved <= total`` (no false dismissals) —
+    violating inputs raise, because they would silently mask a correctness
+    bug.  When every sequence is relevant there is nothing to prune and the
+    rate is defined as 1.0.
+    """
+    if not 0 <= relevant <= total:
+        raise ValueError(f"relevant={relevant} outside [0, total={total}]")
+    if not 0 <= retrieved <= total:
+        raise ValueError(f"retrieved={retrieved} outside [0, total={total}]")
+    if retrieved < relevant:
+        raise ValueError(
+            f"retrieved={retrieved} < relevant={relevant}: the filter "
+            f"dismissed true answers"
+        )
+    prunable = total - relevant
+    if prunable == 0:
+        return 1.0
+    return (total - retrieved) / prunable
+
+
+def solution_interval_pruning_rate(
+    total_points: int, candidate_points: int, exact_points: int
+) -> float:
+    """PR_SI of 4.2.2: fraction of prunable points actually pruned.
+
+    Parameters
+    ----------
+    total_points:
+        Points of the selected sequences (``|P_total|``).
+    candidate_points:
+        Points in the approximated solution intervals (``|P_norm|``).
+    exact_points:
+        Points in the exact solution intervals (``|P_scan|``).
+    """
+    if not 0 <= exact_points <= total_points:
+        raise ValueError(
+            f"exact_points={exact_points} outside [0, {total_points}]"
+        )
+    if not 0 <= candidate_points <= total_points:
+        raise ValueError(
+            f"candidate_points={candidate_points} outside [0, {total_points}]"
+        )
+    prunable = total_points - exact_points
+    if prunable == 0:
+        return 1.0
+    return (total_points - candidate_points) / prunable
+
+
+def recall(retrieved: set, relevant: set) -> float:
+    """``|retrieved ∩ relevant| / |relevant|`` (1.0 when nothing is relevant)."""
+    if not relevant:
+        return 1.0
+    return len(set(retrieved) & set(relevant)) / len(relevant)
+
+
+def precision(retrieved: set, relevant: set) -> float:
+    """``|retrieved ∩ relevant| / |retrieved|`` (1.0 when nothing retrieved)."""
+    if not retrieved:
+        return 1.0
+    return len(set(retrieved) & set(relevant)) / len(retrieved)
+
+
+def interval_recall(approximate: IntervalSet, exact: IntervalSet) -> float:
+    """Point recall of an approximated solution interval (4.2.2)."""
+    if not exact:
+        return 1.0
+    return approximate.intersection_size(exact) / len(exact)
+
+
+def response_time_ratio(scan_seconds: float, method_seconds: float) -> float:
+    """How many times faster than the sequential scan (4.2.3)."""
+    if scan_seconds < 0 or method_seconds < 0:
+        raise ValueError("times must be >= 0")
+    if method_seconds == 0:
+        return float("inf")
+    return scan_seconds / method_seconds

@@ -1,0 +1,142 @@
+"""Plain-text rendering of experiment results in the shape of the figures.
+
+The paper's Figures 6-10 are line charts over the threshold axis; in a
+terminal the faithful equivalent is one row per threshold with the figure's
+series as columns, plus the paper's reported band for eyeball comparison.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.analysis.experiment import ThresholdMetrics
+
+__all__ = [
+    "figure_table",
+    "format_table",
+    "paper_band_note",
+    "series",
+    "sparkline",
+    "sparkline_panel",
+]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, *, low: float | None = None, high: float | None = None) -> str:
+    """Render a numeric series as a unicode sparkline.
+
+    Parameters
+    ----------
+    values:
+        The series (at least one finite value).
+    low, high:
+        Fixed scale bounds; default to the series' own min/max.  A constant
+        series renders at the middle level.
+    """
+    data = [float(v) for v in values]
+    if not data:
+        raise ValueError("sparkline requires at least one value")
+    lo = min(data) if low is None else float(low)
+    hi = max(data) if high is None else float(high)
+    if hi <= lo:
+        return _SPARK_LEVELS[len(_SPARK_LEVELS) // 2] * len(data)
+    span = hi - lo
+    marks = []
+    for value in data:
+        position = (min(max(value, lo), hi) - lo) / span
+        marks.append(_SPARK_LEVELS[min(7, int(position * 8))])
+    return "".join(marks)
+
+
+def sparkline_panel(rows: Sequence[ThresholdMetrics], fields: Sequence[str]) -> str:
+    """One labelled sparkline per metric over the threshold axis."""
+    if not rows:
+        raise ValueError("sparkline_panel requires at least one row")
+    width = max(len(field) for field in fields)
+    lines = [
+        f"eps {rows[0].epsilon:.2f}..{rows[-1].epsilon:.2f} "
+        f"({len(rows)} points)"
+    ]
+    for field in fields:
+        values = [getattr(row, field) for row in rows]
+        lines.append(
+            f"{field.rjust(width)}  {sparkline(values)}  "
+            f"[{min(values):.3f}, {max(values):.3f}]"
+        )
+    return "\n".join(lines)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render an aligned monospace table with a header rule."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append(
+            [
+                f"{value:.3f}" if isinstance(value, float) else str(value)
+                for value in row
+            ]
+        )
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append(
+            "  ".join(value.rjust(widths[i]) for i, value in enumerate(row))
+        )
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+#: Figure id -> (columns pulled from ThresholdMetrics, paper band text).
+_FIGURES = {
+    "fig6": (
+        ["pr_dmbr", "pr_dnorm"],
+        "paper: Dmbr 0.70-0.90, Dnorm 0.76-0.93 (synthetic)",
+    ),
+    "fig7": (
+        ["pr_dmbr", "pr_dnorm"],
+        "paper: Dmbr 0.65-0.91, Dnorm 0.73-0.94 (video)",
+    ),
+    "fig8": (
+        ["si_pruning", "si_recall"],
+        "paper: pruning 0.60-0.80, recall 0.98-1.00 (synthetic)",
+    ),
+    "fig9": (
+        ["si_pruning", "si_recall"],
+        "paper: pruning 0.67-0.94, recall ~1.00 (video)",
+    ),
+    "fig10": (
+        ["response_ratio"],
+        "paper: 22-28x (synthetic), 16-23x (video)",
+    ),
+}
+
+
+def series(rows: Sequence[ThresholdMetrics], fields: Sequence[str]):
+    """Extract ``(epsilon, field...)`` tuples from threshold rows."""
+    return [
+        tuple([row.epsilon] + [getattr(row, field) for field in fields])
+        for row in rows
+    ]
+
+
+def paper_band_note(figure: str) -> str:
+    """The paper's reported range for a figure id (``fig6`` .. ``fig10``)."""
+    if figure not in _FIGURES:
+        raise ValueError(
+            f"unknown figure {figure!r}; expected one of {sorted(_FIGURES)}"
+        )
+    return _FIGURES[figure][1]
+
+
+def figure_table(figure: str, rows: Sequence[ThresholdMetrics]) -> str:
+    """A complete textual 'figure': header, series table, paper band."""
+    if figure not in _FIGURES:
+        raise ValueError(
+            f"unknown figure {figure!r}; expected one of {sorted(_FIGURES)}"
+        )
+    fields, band = _FIGURES[figure]
+    headers = ["epsilon"] + fields
+    body = format_table(headers, series(rows, fields))
+    return f"{figure}:\n{body}\n({band})"

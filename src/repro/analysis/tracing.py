@@ -1,0 +1,105 @@
+"""Structured query tracing: one JSON line per search.
+
+Production similarity-search services log every query with its outcome and
+cost so regressions and workload drift are visible after the fact.  This
+module provides that for the library: wrap an engine in
+:class:`TracingSearch` and every ``search`` call appends one JSON object to
+the trace file (or an in-memory list), capturing the threshold, result
+sizes, per-phase timings and index work.
+
+::
+
+    engine = TracingSearch(SimilaritySearch(db), path="queries.jsonl")
+    engine.search(query, 0.1)
+    ...
+    for record in read_trace("queries.jsonl"):
+        print(record["epsilon"], record["answers"], record["total_ms"])
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.search import SearchResult, SimilaritySearch
+
+__all__ = ["TracingSearch", "read_trace"]
+
+
+class TracingSearch:
+    """A :class:`SimilaritySearch` wrapper that logs every query.
+
+    Parameters
+    ----------
+    engine:
+        The engine to wrap.
+    path:
+        Trace file (JSON lines, appended).  ``None`` keeps records only in
+        :attr:`records`.
+    clock:
+        Timestamp source (seconds); injectable for deterministic tests.
+    """
+
+    def __init__(self, engine: SimilaritySearch, path=None, *, clock=time.time) -> None:
+        if not isinstance(engine, SimilaritySearch):
+            raise TypeError(
+                f"expected a SimilaritySearch, got {type(engine).__name__}"
+            )
+        self.engine = engine
+        self.path = None if path is None else Path(path)
+        self.records: list[dict] = []
+        self._clock = clock
+
+    def search(self, query, epsilon: float, **kwargs) -> SearchResult:
+        """Delegate to the wrapped engine and record the outcome."""
+        result = self.engine.search(query, epsilon, **kwargs)
+        record = self._record(result)
+        self.records.append(record)
+        if self.path is not None:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(record) + "\n")
+        return result
+
+    def __getattr__(self, name):
+        # Everything else (knn, explain, database, ...) passes through.
+        return getattr(self.engine, name)
+
+    def _record(self, result: SearchResult) -> dict:
+        stats = result.stats
+        return {
+            "timestamp": float(self._clock()),
+            "epsilon": result.epsilon,
+            "query_points": int(
+                sum(segment.count for segment in result.query_partition)
+            ),
+            "query_segments": stats.query_segments,
+            "candidates": len(result.candidates),
+            "answers": len(result.answers),
+            "interval_points": int(
+                sum(len(i) for i in result.solution_intervals.values())
+            ),
+            "node_accesses": stats.node_accesses,
+            "dnorm_evaluations": stats.dnorm_evaluations,
+            "phase1_ms": stats.phase1_seconds * 1e3,
+            "phase2_ms": stats.phase2_seconds * 1e3,
+            "phase3_ms": stats.phase3_seconds * 1e3,
+            "total_ms": stats.total_seconds * 1e3,
+        }
+
+
+def read_trace(path) -> list[dict]:
+    """Load every record of a JSON-lines trace file."""
+    records = []
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{line_number}: malformed trace line"
+                ) from error
+    return records

@@ -1,0 +1,31 @@
+"""Comparators the paper evaluates against or cites as prior work.
+
+* :mod:`repro.baselines.sequential` — the exact sequential scan
+  (ground truth and the Figure-10 timing baseline).
+* :mod:`repro.baselines.keyframe` — key-frame video search, the §1
+  motivation ("the search by a key frame does not guarantee correctness").
+* :mod:`repro.baselines.dft` — DFT whole-sequence matching
+  (Agrawal et al., reference [1]).
+* :mod:`repro.baselines.stindex` — ST-index style 1-d subsequence matching
+  (Faloutsos et al., reference [5]).
+"""
+
+from repro.baselines.dft import DftWholeMatcher
+from repro.baselines.keyframe import KeyFrameSearch
+from repro.baselines.sequential import (
+    SequentialScan,
+    SequentialScanResult,
+    exact_range_search,
+    exact_solution_interval,
+)
+from repro.baselines.stindex import STIndexSubsequenceMatcher
+
+__all__ = [
+    "DftWholeMatcher",
+    "KeyFrameSearch",
+    "STIndexSubsequenceMatcher",
+    "SequentialScan",
+    "SequentialScanResult",
+    "exact_range_search",
+    "exact_solution_interval",
+]

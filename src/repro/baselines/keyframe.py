@@ -1,0 +1,120 @@
+"""Key-frame video search — the flawed baseline the paper motivates against.
+
+Section 1: "It is usual in video search that a key frame is selected for
+each shot, and a query is processed on the selected frames.  But the search
+by a key frame does not guarantee the correctness since it cannot always
+summarize all the frames of a shot."
+
+This module implements exactly that scheme so the claim can be measured
+(``benchmarks/bench_ablation_keyframe.py``): streams are cut into shots at
+large inter-frame jumps, one representative frame per shot is kept (the
+frame nearest the shot centroid), and a query matches a stream when some
+query key frame lies within ``epsilon`` of some stored key frame.  Unlike
+``Dmbr``/``Dnorm`` pruning this is *not* a lower-bound scheme, so it can
+dismiss true answers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sequence import MultidimensionalSequence
+
+__all__ = ["KeyFrameSearch", "detect_shots", "select_key_frames"]
+
+
+def detect_shots(points: np.ndarray, shot_threshold: float) -> list[tuple[int, int]]:
+    """Cut a frame trail into shots at inter-frame jumps above a threshold.
+
+    Returns half-open ``[start, stop)`` frame ranges covering the stream.
+    """
+    if shot_threshold <= 0:
+        raise ValueError(f"shot_threshold must be > 0, got {shot_threshold}")
+    if points.ndim != 2 or points.shape[0] == 0:
+        raise ValueError("points must be a non-empty (m, n) array")
+    jumps = np.sqrt(np.sum(np.diff(points, axis=0) ** 2, axis=1))
+    boundaries = np.nonzero(jumps > shot_threshold)[0] + 1
+    edges = [0, *boundaries.tolist(), points.shape[0]]
+    return [(edges[i], edges[i + 1]) for i in range(len(edges) - 1)]
+
+
+def select_key_frames(
+    points: np.ndarray, shots: list[tuple[int, int]]
+) -> np.ndarray:
+    """One key frame per shot: the frame nearest the shot centroid."""
+    keys = []
+    for start, stop in shots:
+        block = points[start:stop]
+        centroid = block.mean(axis=0)
+        nearest = int(np.argmin(np.sum((block - centroid) ** 2, axis=1)))
+        keys.append(block[nearest])
+    return np.array(keys)
+
+
+class KeyFrameSearch:
+    """Shot-based key-frame retrieval over a corpus of streams.
+
+    Parameters
+    ----------
+    shot_threshold:
+        Inter-frame distance above which a shot boundary is declared.
+
+    Notes
+    -----
+    ``search`` returns stream ids whose key-frame set approaches the
+    query's key-frame set within ``epsilon``.  The scheme is fast but
+    *incorrect by design* — measuring its false dismissals against the
+    sequential scan reproduces the paper's motivating claim.
+    """
+
+    def __init__(self, *, shot_threshold: float = 0.15) -> None:
+        if shot_threshold <= 0:
+            raise ValueError(
+                f"shot_threshold must be > 0, got {shot_threshold}"
+            )
+        self.shot_threshold = shot_threshold
+        self._key_frames: dict[object, np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self._key_frames)
+
+    def add(self, sequence, sequence_id=None):
+        """Extract and store the key frames of one stream; returns its id."""
+        if not isinstance(sequence, MultidimensionalSequence):
+            sequence = MultidimensionalSequence(sequence)
+        if sequence_id is None:
+            sequence_id = sequence.sequence_id
+        if sequence_id is None:
+            sequence_id = len(self._key_frames)
+        if sequence_id in self._key_frames:
+            raise KeyError(f"sequence id {sequence_id!r} already stored")
+        shots = detect_shots(sequence.points, self.shot_threshold)
+        self._key_frames[sequence_id] = select_key_frames(
+            sequence.points, shots
+        )
+        return sequence_id
+
+    def key_frames(self, sequence_id) -> np.ndarray:
+        """The stored key frames of one stream."""
+        try:
+            return self._key_frames[sequence_id]
+        except KeyError:
+            raise KeyError(f"unknown sequence id {sequence_id!r}") from None
+
+    def search(self, query, epsilon: float) -> set:
+        """Stream ids with a key frame within ``epsilon`` of a query key frame."""
+        if epsilon < 0:
+            raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+        if not isinstance(query, MultidimensionalSequence):
+            query = MultidimensionalSequence(query)
+        query_keys = select_key_frames(
+            query.points, detect_shots(query.points, self.shot_threshold)
+        )
+        matches = set()
+        for sequence_id, keys in self._key_frames.items():
+            # (q, k) pairwise distances between key-frame sets.
+            diff = query_keys[:, None, :] - keys[None, :, :]
+            distances = np.sqrt(np.sum(diff * diff, axis=2))
+            if float(distances.min()) <= epsilon:
+                matches.add(sequence_id)
+        return matches

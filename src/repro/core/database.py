@@ -1,0 +1,377 @@
+"""The sequence database: partitioned sequences plus their MBR index.
+
+Index construction (§3.4.1 of the paper) is pre-processing: each
+multidimensional sequence is partitioned into subsequences with the MCOST
+algorithm, each subsequence's MBR becomes one leaf entry of an R-tree (or a
+variant), keyed by ``(sequence id, segment index)``.  The database owns both
+halves — the partitions (needed by ``Dnorm`` and solution intervals, which
+require point counts and offsets) and the spatial index (needed by the
+Phase-2 ``Dmbr`` probe).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.partitioning import (
+    DEFAULT_COST_CONSTANT,
+    DEFAULT_MAX_POINTS,
+    PartitionedSequence,
+    partition_sequence,
+)
+from repro.core.sequence import MultidimensionalSequence
+from repro.index.bulk import bulk_load_str
+from repro.index.rstar import RStarTree
+from repro.index.rtree import RTree
+
+__all__ = ["SegmentKey", "SequenceDatabase"]
+
+_INDEX_KINDS = ("rtree", "rstar", "str")
+
+
+@dataclass(frozen=True)
+class SegmentKey:
+    """Payload of one index leaf entry: which segment of which sequence."""
+
+    sequence_id: object
+    segment_index: int
+
+
+class SequenceDatabase:
+    """A collection of partitioned, indexed multidimensional sequences.
+
+    Parameters
+    ----------
+    dimension:
+        Dimensionality ``n`` of every stored sequence.
+    cost_constant:
+        MCOST constant ``Q_k + eps`` used when partitioning (paper: 0.3).
+    max_points:
+        Cap on points per segment MBR (``None`` disables).
+    index_kind:
+        ``"rtree"`` (Guttman, default), ``"rstar"`` (R*-tree) or ``"str"``
+        (STR bulk loading — the index is packed lazily on first use and
+        repacked after later insertions).
+    max_entries:
+        R-tree node capacity.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> db = SequenceDatabase(dimension=2)
+    >>> db.add(np.random.default_rng(0).random((50, 2)), sequence_id="clip-0")
+    'clip-0'
+    >>> len(db), db.segment_count > 0
+    (1, True)
+    """
+
+    def __init__(
+        self,
+        dimension: int,
+        *,
+        cost_constant: float = DEFAULT_COST_CONSTANT,
+        max_points: int | None = DEFAULT_MAX_POINTS,
+        index_kind: str = "rtree",
+        max_entries: int = 16,
+    ) -> None:
+        if dimension < 1:
+            raise ValueError(f"dimension must be >= 1, got {dimension}")
+        if index_kind not in _INDEX_KINDS:
+            raise ValueError(
+                f"index_kind must be one of {_INDEX_KINDS}, got {index_kind!r}"
+            )
+        self.dimension = dimension
+        self.cost_constant = cost_constant
+        self.max_points = max_points
+        self.index_kind = index_kind
+        self.max_entries = max_entries
+        self._partitions: dict[object, PartitionedSequence] = {}
+        self._index = self._new_dynamic_index() if index_kind != "str" else None
+        self._index_dirty = False
+
+    def _new_dynamic_index(self):
+        if self.index_kind == "rstar":
+            return RStarTree(self.dimension, max_entries=self.max_entries)
+        return RTree(self.dimension, max_entries=self.max_entries)
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+    def add(self, sequence, sequence_id=None):
+        """Partition, store and index one sequence; returns its id.
+
+        Parameters
+        ----------
+        sequence:
+            A :class:`~repro.core.sequence.MultidimensionalSequence` or raw
+            point array of the database's dimensionality.
+        sequence_id:
+            Explicit id; defaults to the sequence's own id, falling back to
+            the insertion ordinal.  Duplicate ids are rejected.
+        """
+        if not isinstance(sequence, MultidimensionalSequence):
+            sequence = MultidimensionalSequence(sequence)
+        if sequence.dimension != self.dimension:
+            raise ValueError(
+                f"sequence dimension {sequence.dimension} != database "
+                f"dimension {self.dimension}"
+            )
+        if sequence_id is None:
+            sequence_id = sequence.sequence_id
+        if sequence_id is None:
+            sequence_id = len(self._partitions)
+        if sequence_id in self._partitions:
+            raise KeyError(f"sequence id {sequence_id!r} already stored")
+
+        partition = partition_sequence(
+            sequence,
+            cost_constant=self.cost_constant,
+            max_points=self.max_points,
+        )
+        self._partitions[sequence_id] = partition
+        if self.index_kind == "str":
+            # STR is a packing, not an insertion order: repack lazily.
+            self._index_dirty = True
+        else:
+            for segment in partition:
+                self._index.insert(
+                    segment.mbr, SegmentKey(sequence_id, segment.index)
+                )
+        return sequence_id
+
+    def add_all(self, sequences) -> list:
+        """Add many sequences; returns their ids in order."""
+        return [self.add(sequence) for sequence in sequences]
+
+    def append_points(self, sequence_id, points) -> None:
+        """Extend a stored sequence with new points (streaming ingestion).
+
+        A growing video stream keeps its already-closed segments; only the
+        *last* segment can change (the greedy MCOST partitioner never
+        revisits earlier ones), so that segment is re-partitioned together
+        with the new points and the index is patched incrementally.
+        """
+        import numpy as np
+
+        from repro.core.sequence import MultidimensionalSequence
+
+        old_partition = self.partition(sequence_id)  # raises on unknown id
+        new_block = np.asarray(points, dtype=np.float64)
+        if new_block.ndim == 1:
+            new_block = new_block.reshape(-1, 1)
+        if new_block.shape[0] == 0:
+            return
+        if new_block.shape[1] != self.dimension:
+            raise ValueError(
+                f"points dimension {new_block.shape[1]} != database "
+                f"dimension {self.dimension}"
+            )
+
+        old_sequence = old_partition.sequence
+        extended = MultidimensionalSequence(
+            np.vstack([old_sequence.points, new_block]),
+            sequence_id=sequence_id,
+        )
+        new_partition = partition_sequence(
+            extended,
+            cost_constant=self.cost_constant,
+            max_points=self.max_points,
+        )
+
+        if self.index_kind == "str":
+            self._partitions[sequence_id] = new_partition
+            self._index_dirty = True
+            return
+
+        # Patch the index: drop every old segment from the first segment
+        # whose (start, count, mbr) changed onwards, insert the new tail.
+        old_segments = old_partition.segments
+        new_segments = new_partition.segments
+        stable = 0
+        for old_segment, new_segment in zip(old_segments, new_segments):
+            if (
+                old_segment.start == new_segment.start
+                and old_segment.count == new_segment.count
+                and old_segment.mbr == new_segment.mbr
+            ):
+                stable += 1
+            else:
+                break
+        for segment in old_segments[stable:]:
+            removed = self._index.delete(
+                segment.mbr, SegmentKey(sequence_id, segment.index)
+            )
+            if not removed:
+                raise RuntimeError(
+                    f"index entry for {sequence_id!r} segment "
+                    f"{segment.index} was missing during append"
+                )
+        for segment in new_segments[stable:]:
+            self._index.insert(
+                segment.mbr, SegmentKey(sequence_id, segment.index)
+            )
+        self._partitions[sequence_id] = new_partition
+
+    def remove(self, sequence_id) -> None:
+        """Remove a sequence and its index entries.
+
+        Raises ``KeyError`` for unknown ids.  With the ``str`` index kind
+        the packed tree is simply marked stale and repacked on next use.
+        """
+        partition = self.partition(sequence_id)  # raises on unknown id
+        if self.index_kind == "str":
+            self._index_dirty = True
+        else:
+            for segment in partition:
+                removed = self._index.delete(
+                    segment.mbr, SegmentKey(sequence_id, segment.index)
+                )
+                if not removed:
+                    raise RuntimeError(
+                        f"index entry for {sequence_id!r} segment "
+                        f"{segment.index} was missing"
+                    )
+        del self._partitions[sequence_id]
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._partitions)
+
+    def __contains__(self, sequence_id) -> bool:
+        return sequence_id in self._partitions
+
+    def __iter__(self) -> Iterator:
+        return iter(self._partitions)
+
+    def ids(self) -> list:
+        """All stored sequence ids, in insertion order."""
+        return list(self._partitions)
+
+    def partition(self, sequence_id) -> PartitionedSequence:
+        """The stored partition of one sequence."""
+        try:
+            return self._partitions[sequence_id]
+        except KeyError:
+            raise KeyError(f"unknown sequence id {sequence_id!r}") from None
+
+    def sequence(self, sequence_id) -> MultidimensionalSequence:
+        """The stored sequence itself."""
+        return self.partition(sequence_id).sequence
+
+    def partitions(self) -> Iterator[tuple[object, PartitionedSequence]]:
+        """Iterate over ``(sequence_id, partition)`` pairs."""
+        return iter(self._partitions.items())
+
+    @property
+    def segment_count(self) -> int:
+        """Total number of segment MBRs across all sequences."""
+        return sum(len(p) for p in self._partitions.values())
+
+    @property
+    def point_count(self) -> int:
+        """Total number of stored points across all sequences."""
+        return sum(len(p.sequence) for p in self._partitions.values())
+
+    # ------------------------------------------------------------------
+    # Index
+    # ------------------------------------------------------------------
+    @property
+    def index(self):
+        """The MBR index, (re)built lazily for the ``str`` kind."""
+        if self._index is None or self._index_dirty:
+            self._rebuild_index()
+        return self._index
+
+    def _rebuild_index(self) -> None:
+        if self.index_kind == "str":
+            items = [
+                (segment.mbr, SegmentKey(sequence_id, segment.index))
+                for sequence_id, partition in self._partitions.items()
+                for segment in partition
+            ]
+            self._index = bulk_load_str(
+                items, self.dimension, max_entries=self.max_entries
+            )
+        else:
+            self._index = self._new_dynamic_index()
+            for sequence_id, partition in self._partitions.items():
+                for segment in partition:
+                    self._index.insert(
+                        segment.mbr, SegmentKey(sequence_id, segment.index)
+                    )
+        self._index_dirty = False
+
+    def __repr__(self) -> str:
+        return (
+            f"SequenceDatabase(dimension={self.dimension}, "
+            f"sequences={len(self)}, segments={self.segment_count}, "
+            f"index_kind={self.index_kind!r})"
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Persist the database to an ``.npz`` archive.
+
+        Stored: the configuration and every sequence's points and id.  The
+        partitions and the index are deterministic functions of those, so
+        :meth:`load` rebuilds them instead of serialising tree structure.
+        Sequence ids are stored via ``repr`` round-tripping for the common
+        id types (str, int); exotic id objects are rejected.
+        """
+        import json
+
+        import numpy as np
+
+        ids = list(self._partitions)
+        for sequence_id in ids:
+            if not isinstance(sequence_id, (str, int)):
+                raise TypeError(
+                    f"only str/int sequence ids can be persisted, got "
+                    f"{type(sequence_id).__name__}"
+                )
+        meta = {
+            "dimension": self.dimension,
+            "cost_constant": self.cost_constant,
+            "max_points": self.max_points,
+            "index_kind": self.index_kind,
+            "max_entries": self.max_entries,
+            "ids": [[type(i).__name__, str(i)] for i in ids],
+        }
+        arrays = {
+            f"sequence_{ordinal}": self._partitions[sequence_id].sequence.points
+            for ordinal, sequence_id in enumerate(ids)
+        }
+        np.savez_compressed(
+            path, _meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+            **arrays,
+        )
+
+    @classmethod
+    def load(cls, path) -> "SequenceDatabase":
+        """Rebuild a database saved with :meth:`save`."""
+        import json
+
+        import numpy as np
+
+        with np.load(path) as archive:
+            meta = json.loads(bytes(archive["_meta"]).decode())
+            database = cls(
+                dimension=int(meta["dimension"]),
+                cost_constant=float(meta["cost_constant"]),
+                max_points=(
+                    None if meta["max_points"] is None else int(meta["max_points"])
+                ),
+                index_kind=meta["index_kind"],
+                max_entries=int(meta["max_entries"]),
+            )
+            for ordinal, (type_name, raw) in enumerate(meta["ids"]):
+                sequence_id = int(raw) if type_name == "int" else raw
+                database.add(
+                    archive[f"sequence_{ordinal}"], sequence_id=sequence_id
+                )
+        return database

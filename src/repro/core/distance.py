@@ -1,0 +1,635 @@
+"""Distance metrics of the paper (Definitions 2-5).
+
+Four levels of distance are defined over the normalised space ``[0,1]^n``:
+
+``point_distance``
+    Euclidean distance ``d`` between two n-dimensional points.
+``mean_distance`` (``Dmean``, Definition 2)
+    The distance between two *equal-length* sequences: the arithmetic mean of
+    the pointwise Euclidean distances.  A mean (not a sum) is used so that a
+    long pair of nearby sequences is not judged farther apart than a short
+    pair of distant ones (the paper's Figure 1 / Example 1).
+``sequence_distance`` (``D``, Definition 3)
+    For different-length sequences the shorter one is slid along the longer
+    one and the minimum ``Dmean`` over all alignments is taken.
+``mbr_min_distance`` (``Dmbr``, Definition 4)
+    The minimum Euclidean distance between two hyper-rectangles.  Lemma 1:
+    the minimum ``Dmbr`` over all (query MBR, data MBR) pairs lower-bounds
+    ``D(Q, S)``, so ``Dmbr``-pruning has no false dismissals.
+``normalized_distance`` (``Dnorm``, Definition 5)
+    A point-count-aware refinement of ``Dmbr``: when the target data MBR
+    holds fewer points than the query MBR, neighbouring data MBRs join the
+    computation (a contiguous window with one partially-weighted *marginal*
+    MBR at either end — the paper's ``LD``/``RD`` forms) and the per-MBR
+    ``Dmbr`` values are averaged weighted by point counts.  Lemmas 2-3:
+    ``min Dmbr <= min Dnorm <= D(Q, S)`` — a tighter lower bound that still
+    never causes a false dismissal when selecting sequences.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+import numpy as np
+
+INFINITY = float("inf")
+
+from repro.core.mbr import MBR
+from repro.core.sequence import MultidimensionalSequence
+
+__all__ = [
+    "DnormWindow",
+    "NormalizedDistance",
+    "mbr_min_distance",
+    "mean_distance",
+    "min_normalized_distance",
+    "normalized_distance",
+    "normalized_distance_row",
+    "point_distance",
+    "sequence_distance",
+    "sliding_mean_distances",
+]
+
+
+def _as_points(seq) -> np.ndarray:
+    """Accept an MDS or a raw array and return the ``(m, n)`` point matrix."""
+    if isinstance(seq, MultidimensionalSequence):
+        return seq.points
+    arr = np.asarray(seq, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    if arr.ndim != 2 or arr.shape[0] == 0:
+        raise ValueError(f"expected a non-empty (m, n) point array, got {arr.shape}")
+    return arr
+
+
+def point_distance(p, q) -> float:
+    """Euclidean distance ``d(p, q)`` between two n-dimensional points."""
+    a = np.asarray(p, dtype=np.float64).reshape(-1)
+    b = np.asarray(q, dtype=np.float64).reshape(-1)
+    if a.shape != b.shape:
+        raise ValueError(f"point dimension mismatch: {a.shape} vs {b.shape}")
+    return float(np.sqrt(np.sum((a - b) ** 2)))
+
+
+def mean_distance(s1, s2) -> float:
+    """``Dmean`` (Definition 2): mean pointwise distance of equal-length sequences.
+
+    Parameters
+    ----------
+    s1, s2:
+        Two sequences (or raw point arrays) of the same length and dimension.
+
+    Raises
+    ------
+    ValueError
+        If the lengths or dimensions differ.
+    """
+    a = _as_points(s1)
+    b = _as_points(s2)
+    if a.shape != b.shape:
+        raise ValueError(
+            f"Dmean requires equal-length sequences of equal dimension; got "
+            f"shapes {a.shape} and {b.shape}"
+        )
+    return float(np.mean(np.sqrt(np.sum((a - b) ** 2, axis=1))))
+
+
+def sliding_mean_distances(short, long) -> np.ndarray:
+    """``Dmean`` of ``short`` against every alignment inside ``long``.
+
+    Returns an array of length ``len(long) - len(short) + 1`` whose entry
+    ``j`` is ``Dmean(short, long[j : j + len(short)])`` (zero-based ``j``).
+    This enumerates the alignments minimised over in Definition 3 and is the
+    kernel of the sequential-scan baseline.
+    """
+    a = _as_points(short)
+    b = _as_points(long)
+    if a.shape[1] != b.shape[1]:
+        raise ValueError(
+            f"dimension mismatch: {a.shape[1]} vs {b.shape[1]}"
+        )
+    k, m = a.shape[0], b.shape[0]
+    if k > m:
+        raise ValueError(
+            f"short sequence (length {k}) is longer than long sequence "
+            f"(length {m})"
+        )
+    # windows[j, t, :] = long[j + t, :]; per-alignment mean of point norms.
+    windows = np.lib.stride_tricks.sliding_window_view(b, (k, b.shape[1]))
+    windows = windows.reshape(m - k + 1, k, b.shape[1])
+    diffs = windows - a[None, :, :]
+    return np.mean(np.sqrt(np.sum(diffs * diffs, axis=2)), axis=1)
+
+
+def sequence_distance(s1, s2) -> float:
+    """``D`` (Definitions 2-3): the sliding minimum mean distance.
+
+    Equal-length sequences compare point by point (Definition 2); otherwise
+    the shorter is slid along the longer and the minimum ``Dmean`` over all
+    alignments is returned (Definition 3).  The operation is symmetric.
+    """
+    a = _as_points(s1)
+    b = _as_points(s2)
+    if a.shape[1] != b.shape[1]:
+        raise ValueError(f"dimension mismatch: {a.shape[1]} vs {b.shape[1]}")
+    if a.shape[0] > b.shape[0]:
+        a, b = b, a
+    return float(np.min(sliding_mean_distances(a, b)))
+
+
+def mbr_min_distance(a: MBR, b: MBR) -> float:
+    """``Dmbr`` (Definition 4): minimum distance between two hyper-rectangles."""
+    return a.min_distance(b)
+
+
+# ----------------------------------------------------------------------
+# Dnorm (Definition 5)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class NormalizedDistance:
+    """The value of one ``Dnorm`` computation plus its participating window.
+
+    The window is what Section 3.3 turns into an approximate solution
+    interval: every point of the fully-weighted MBRs plus the
+    ``marginal_count`` points of the partially-weighted marginal MBR taken
+    from the side adjacent to the window.
+
+    Attributes
+    ----------
+    value:
+        The ``Dnorm`` distance.
+    target_index:
+        Zero-based index of the data MBR the computation was anchored at.
+    window:
+        Inclusive zero-based ``(first, last)`` data-MBR index range involved.
+    marginal_index:
+        Index of the single partially-weighted MBR, or ``None`` when every
+        involved MBR was fully weighted (target alone, or whole-sequence
+        fallback).
+    marginal_count:
+        Number of points used from the marginal MBR (0 when none).
+    marginal_side:
+        ``"right"`` for an ``LD`` window (marginal at the right end, its
+        *first* points used), ``"left"`` for ``RD`` (marginal at the left
+        end, its *last* points used), ``"none"`` otherwise.
+    """
+
+    value: float
+    target_index: int
+    window: tuple[int, int]
+    marginal_index: int | None
+    marginal_count: int
+    marginal_side: str
+
+    def involved_points(self, counts) -> list[tuple[int, int, int]]:
+        """Expand the window into per-MBR point spans.
+
+        Parameters
+        ----------
+        counts:
+            Point count of every data MBR of the sequence (same array the
+            distance was computed with).
+
+        Returns
+        -------
+        list of (mbr_index, first_point, last_point)
+            Zero-based point offsets *within each MBR*, inclusive on both
+            ends, for every MBR contributing points.
+        """
+        spans = []
+        first, last = self.window
+        for t in range(first, last + 1):
+            if t == self.marginal_index:
+                if self.marginal_count == 0:
+                    continue
+                if self.marginal_side == "right":
+                    spans.append((t, 0, self.marginal_count - 1))
+                else:
+                    spans.append((t, counts[t] - self.marginal_count, counts[t] - 1))
+            else:
+                spans.append((t, 0, counts[t] - 1))
+        return spans
+
+
+def _weighted_window_value(
+    dmbr: np.ndarray,
+    counts: np.ndarray,
+    first: int,
+    last: int,
+    marginal_index: int,
+    marginal_count: int,
+    query_count: int,
+) -> float:
+    """Weighted mean of ``dmbr`` over window ``[first, last]`` / ``query_count``."""
+    total = 0.0
+    for t in range(first, last + 1):
+        weight = marginal_count if t == marginal_index else int(counts[t])
+        total += dmbr[t] * weight
+    return total / query_count
+
+
+def normalized_distance(
+    query_mbr: MBR,
+    query_count: int,
+    data_mbrs,
+    data_counts,
+    target_index: int,
+    *,
+    dmbr_row: np.ndarray | None = None,
+) -> NormalizedDistance:
+    """``Dnorm`` (Definition 5) between a query MBR and one data MBR.
+
+    Parameters
+    ----------
+    query_mbr:
+        The MBR of the query subsequence (the paper's ``mbr_i(Q)``).
+    query_count:
+        Number of query points inside ``query_mbr`` (``|q_i|``).
+    data_mbrs:
+        The ordered MBRs of the data sequence (``mbr_1(S) .. mbr_r(S)``).
+    data_counts:
+        Point count of each data MBR (``|m_j|``), same order.
+    target_index:
+        Zero-based index ``j`` of the anchor data MBR.
+    dmbr_row:
+        Optional precomputed array of ``Dmbr(query_mbr, data_mbrs[t])`` for
+        every ``t`` — Phase 3 of the search computes each row once per
+        (query MBR, sequence) pair and reuses it across anchors.
+
+    Returns
+    -------
+    NormalizedDistance
+        Value plus the participating window (for solution intervals).
+
+    Notes
+    -----
+    Three regimes, following Definition 5 and the Lemma 3 proof:
+
+    * ``|m_j| >= |q_i|``: the target MBR alone suffices and
+      ``Dnorm = Dmbr(mbr_i(Q), mbr_j(S))``.
+    * Otherwise all valid ``LD`` windows (fully weighted MBRs ``k..l-1``,
+      marginal ``l`` strictly right of ``j``) and ``RD`` windows (marginal
+      ``p`` strictly left of ``j``) are enumerated and the minimum weighted
+      mean is returned.
+    * When the whole data sequence holds fewer points than ``|q_i|`` no
+      window satisfies the count constraint; we then weight every MBR fully
+      and normalise by the participating point total.  Each ``Dmbr`` term
+      lower-bounds every point-pair distance, so this fallback preserves the
+      lower-bounding property of Lemma 3.
+    """
+    counts = np.asarray(data_counts, dtype=np.int64)
+    mbr_list = list(data_mbrs)
+    r = len(mbr_list)
+    if counts.shape != (r,):
+        raise ValueError(
+            f"data_counts must have one entry per data MBR; got {counts.shape} "
+            f"for {r} MBRs"
+        )
+    if r == 0:
+        raise ValueError("data sequence has no MBRs")
+    if np.any(counts < 1):
+        raise ValueError("every data MBR must contain at least one point")
+    if query_count < 1:
+        raise ValueError(f"query_count must be >= 1, got {query_count}")
+    if not 0 <= target_index < r:
+        raise IndexError(f"target_index {target_index} outside [0, {r})")
+
+    if dmbr_row is None:
+        dmbr_row = np.array(
+            [query_mbr.min_distance(m) for m in mbr_list], dtype=np.float64
+        )
+    else:
+        dmbr_row = np.asarray(dmbr_row, dtype=np.float64)
+        if dmbr_row.shape != (r,):
+            raise ValueError(
+                f"dmbr_row must have one entry per data MBR; got {dmbr_row.shape}"
+            )
+
+    j = target_index
+    if counts[j] >= query_count:
+        return NormalizedDistance(
+            value=float(dmbr_row[j]),
+            target_index=j,
+            window=(j, j),
+            marginal_index=None,
+            marginal_count=0,
+            marginal_side="none",
+        )
+
+    prefix = np.concatenate([[0], np.cumsum(counts)])  # prefix[i] = sum counts[:i]
+
+    def window_sum(first: int, last: int) -> int:
+        return int(prefix[last + 1] - prefix[first])
+
+    best: NormalizedDistance | None = None
+
+    # LD windows: fully weighted k..l-1, marginal l with l > j, k <= j.
+    # For a fixed k the marginal index l is unique (counts are positive, so
+    # prefix sums are strictly increasing): the smallest l with
+    # sum(counts[k..l]) >= query_count.  Binary-search it on the prefix sums.
+    for k in range(j, -1, -1):
+        # Smallest l such that prefix[l + 1] >= prefix[k] + query_count.
+        l = int(np.searchsorted(prefix, prefix[k] + query_count, side="left")) - 1
+        if l >= r:
+            continue  # not enough points to the right of k
+        if l <= j:
+            # The count constraint is met at or before the anchor, so the
+            # marginal cannot lie strictly right of j; shrinking k further
+            # only moves l left, so no smaller k is valid either.
+            break
+        marginal_count = query_count - window_sum(k, l - 1)
+        value = _weighted_window_value(
+            dmbr_row, counts, k, l, l, marginal_count, query_count
+        )
+        candidate = NormalizedDistance(
+            value=value,
+            target_index=j,
+            window=(k, l),
+            marginal_index=l,
+            marginal_count=marginal_count,
+            marginal_side="right",
+        )
+        if best is None or candidate.value < best.value:
+            best = candidate
+
+    # RD windows: marginal p with p < j, fully weighted p+1..q_end, q_end >= j.
+    # For a fixed q_end the marginal index p is unique: the largest p with
+    # sum(counts[p..q_end]) >= query_count, i.e. the largest p whose prefix
+    # satisfies prefix[p] <= prefix[q_end + 1] - query_count.
+    for q_end in range(j, r):
+        threshold = prefix[q_end + 1] - query_count
+        if threshold < 0:
+            continue  # not enough points to the left of q_end
+        p = int(np.searchsorted(prefix, threshold, side="right")) - 1
+        if p >= j:
+            # Marginal would sit at or right of the anchor; growing q_end
+            # only moves p further right, so stop.
+            break
+        marginal_count = query_count - window_sum(p + 1, q_end)
+        value = _weighted_window_value(
+            dmbr_row, counts, p, q_end, p, marginal_count, query_count
+        )
+        candidate = NormalizedDistance(
+            value=value,
+            target_index=j,
+            window=(p, q_end),
+            marginal_index=p,
+            marginal_count=marginal_count,
+            marginal_side="left",
+        )
+        if best is None or candidate.value < best.value:
+            best = candidate
+
+    if best is not None:
+        return best
+
+    # Fallback: the whole sequence holds fewer points than the query MBR.
+    total = window_sum(0, r - 1)
+    value = float(np.sum(dmbr_row * counts) / total)
+    return NormalizedDistance(
+        value=value,
+        target_index=j,
+        window=(0, r - 1),
+        marginal_index=None,
+        marginal_count=0,
+        marginal_side="none",
+    )
+
+
+@dataclass(frozen=True)
+class DnormWindow:
+    """One candidate ``Dnorm`` window shared by a run of anchors.
+
+    A window's value and membership do not depend on the anchor — only its
+    *validity* does (the anchor must lie among the fully-weighted MBRs).
+    ``normalized_distance_row`` therefore enumerates each window once and
+    lets every anchor in ``[anchor_first, anchor_last]`` consider it.
+    """
+
+    value: float
+    first: int
+    last: int
+    marginal_index: int | None
+    marginal_count: int
+    marginal_side: str
+    anchor_first: int
+    anchor_last: int
+
+    def as_result(self, anchor: int) -> NormalizedDistance:
+        """This window viewed as the result for one anchor."""
+        return NormalizedDistance(
+            value=self.value,
+            target_index=anchor,
+            window=(self.first, self.last),
+            marginal_index=self.marginal_index,
+            marginal_count=self.marginal_count,
+            marginal_side=self.marginal_side,
+        )
+
+
+def normalized_distance_row(
+    query_mbr: MBR,
+    query_count: int,
+    data_mbrs,
+    data_counts,
+    *,
+    dmbr_row: np.ndarray | None = None,
+    only_below: float | None = None,
+) -> list[NormalizedDistance]:
+    """``Dnorm`` against *every* anchor of a data sequence at once.
+
+    Semantically identical to calling :func:`normalized_distance` for each
+    ``target_index`` (a property test asserts this), but O(r) instead of
+    O(r^2): every candidate window is enumerated once via prefix sums of
+    the point counts and of ``Dmbr * count``, and each anchor then takes
+    the minimum over the windows whose fully-weighted span covers it.
+
+    Parameters
+    ----------
+    only_below:
+        When given, only the anchors whose ``Dnorm`` is at most this value
+        are materialised (the search's Phase 3 only acts on sub-threshold
+        anchors); ``None`` returns every anchor, in order.
+
+    Returns
+    -------
+    list of NormalizedDistance
+        One entry per anchor (filtered and still anchor-ordered when
+        ``only_below`` is given).
+    """
+    counts = np.asarray(data_counts, dtype=np.int64)
+    mbr_list = list(data_mbrs)
+    r = len(mbr_list)
+    if counts.shape != (r,):
+        raise ValueError(
+            f"data_counts must have one entry per data MBR; got {counts.shape} "
+            f"for {r} MBRs"
+        )
+    if r == 0:
+        raise ValueError("data sequence has no MBRs")
+    if np.any(counts < 1):
+        raise ValueError("every data MBR must contain at least one point")
+    if query_count < 1:
+        raise ValueError(f"query_count must be >= 1, got {query_count}")
+    if dmbr_row is None:
+        dmbr_row = np.array(
+            [query_mbr.min_distance(m) for m in mbr_list], dtype=np.float64
+        )
+    else:
+        dmbr_row = np.asarray(dmbr_row, dtype=np.float64)
+        if dmbr_row.shape != (r,):
+            raise ValueError(
+                f"dmbr_row must have one entry per data MBR; got {dmbr_row.shape}"
+            )
+
+    # The remainder runs in plain Python: the per-sequence segment counts
+    # this operates on are tiny (typically < 100), where list arithmetic
+    # and bisect beat numpy's per-call overhead by an order of magnitude.
+    count_list = counts.tolist()
+    row_list = dmbr_row.tolist()
+    prefix = [0] * (r + 1)
+    weighted_prefix = [0.0] * (r + 1)
+    for index in range(r):
+        prefix[index + 1] = prefix[index] + count_list[index]
+        weighted_prefix[index + 1] = (
+            weighted_prefix[index] + row_list[index] * count_list[index]
+        )
+    total = prefix[-1]
+
+    windows: list[DnormWindow] = []
+    # LD windows, one per start k: fully weighted k..l-1, marginal l.
+    for k in range(r):
+        l = bisect.bisect_left(prefix, prefix[k] + query_count) - 1
+        if l >= r or l <= k:
+            continue
+        marginal = query_count - (prefix[l] - prefix[k])
+        value = (
+            weighted_prefix[l] - weighted_prefix[k] + row_list[l] * marginal
+        ) / query_count
+        windows.append(
+            DnormWindow(
+                value=value,
+                first=k,
+                last=l,
+                marginal_index=l,
+                marginal_count=marginal,
+                marginal_side="right",
+                anchor_first=k,
+                anchor_last=l - 1,
+            )
+        )
+    # RD windows, one per end q_end: marginal p, fully weighted p+1..q_end.
+    for q_end in range(r):
+        threshold = prefix[q_end + 1] - query_count
+        if threshold < 0:
+            continue
+        p = bisect.bisect_right(prefix, threshold) - 1
+        if p >= q_end:
+            continue
+        marginal = query_count - (prefix[q_end + 1] - prefix[p + 1])
+        value = (
+            weighted_prefix[q_end + 1]
+            - weighted_prefix[p + 1]
+            + row_list[p] * marginal
+        ) / query_count
+        windows.append(
+            DnormWindow(
+                value=value,
+                first=p,
+                last=q_end,
+                marginal_index=p,
+                marginal_count=marginal,
+                marginal_side="left",
+                anchor_first=p + 1,
+                anchor_last=q_end,
+            )
+        )
+
+    fallback_value = weighted_prefix[-1] / total
+
+    # Anchor-wise minimum over covering windows; no result objects are
+    # built for anchors the caller will discard.
+    values = [
+        row_list[anchor] if count_list[anchor] >= query_count else INFINITY
+        for anchor in range(r)
+    ]
+    window_of = [-1] * r
+    for window_id, window in enumerate(windows):
+        value = window.value
+        for anchor in range(window.anchor_first, window.anchor_last + 1):
+            if count_list[anchor] < query_count and value < values[anchor]:
+                values[anchor] = value
+                window_of[anchor] = window_id
+    for anchor in range(r):
+        if count_list[anchor] < query_count and window_of[anchor] == -1:
+            values[anchor] = fallback_value
+
+    def materialise(anchor: int) -> NormalizedDistance:
+        if count_list[anchor] >= query_count:
+            return NormalizedDistance(
+                value=row_list[anchor],
+                target_index=anchor,
+                window=(anchor, anchor),
+                marginal_index=None,
+                marginal_count=0,
+                marginal_side="none",
+            )
+        window_id = window_of[anchor]
+        if window_id >= 0:
+            return windows[window_id].as_result(anchor)
+        return NormalizedDistance(
+            value=fallback_value,
+            target_index=anchor,
+            window=(0, r - 1),
+            marginal_index=None,
+            marginal_count=0,
+            marginal_side="none",
+        )
+
+    if only_below is None:
+        return [materialise(anchor) for anchor in range(r)]
+    return [
+        materialise(anchor)
+        for anchor in range(r)
+        if values[anchor] <= only_below
+    ]
+
+
+def min_normalized_distance(query_partition, data_partition) -> float:
+    """The pruning bound of Phase 3: ``min Dnorm`` over all MBR pairs.
+
+    Lemmas 2-3 prove ``min Dnorm <= D(Q, S)`` when the query is no longer
+    than the data sequence (Definition 3 slides the shorter sequence).  In
+    the paper's *long query* case the roles reverse — the data sequence
+    slides inside the query — and applying ``Dnorm`` naively can exceed
+    ``D(Q, S)`` (the query-side point weights then overcount points that a
+    best alignment never matches).  This helper therefore swaps the two
+    partitions whenever the query holds more points, which restores the
+    lemma with ``Q`` and ``S`` exchanged; the result is a sound lower bound
+    of ``D(Q, S)`` in *both* directions.
+
+    Parameters
+    ----------
+    query_partition, data_partition:
+        :class:`~repro.core.partitioning.PartitionedSequence` instances
+        (anything exposing ``mbrs``, ``counts`` and ``mbr_distance_row``).
+
+    Returns
+    -------
+    float
+        ``min over (i, j) of Dnorm(mbr_i(shorter), mbr_j(longer))``.
+    """
+    if int(np.sum(query_partition.counts)) > int(np.sum(data_partition.counts)):
+        query_partition, data_partition = data_partition, query_partition
+    data_mbrs = data_partition.mbrs
+    counts = data_partition.counts
+    best = np.inf
+    for segment in query_partition:
+        row = data_partition.mbr_distance_row(segment.mbr)
+        results = normalized_distance_row(
+            segment.mbr, int(segment.count), data_mbrs, counts, dmbr_row=row
+        )
+        best = min(best, min(result.value for result in results))
+    return float(best)

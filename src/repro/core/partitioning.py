@@ -1,0 +1,305 @@
+"""Partitioning a sequence into MBR-bounded subsequences (Section 3.4.3).
+
+The paper adopts the greedy marginal-cost partitioning of Faloutsos et
+al. '94 with a modified cost function.  For an n-dimensional subsequence of
+``m`` points whose enclosing MBR has sides ``L = (L1, ..., Ln)``, the
+*marginal cost* of a point is the estimated number of disk accesses of the
+MBR divided by the number of points it amortises over::
+
+    MCOST = prod_k (L_k + Q_k + eps) / m
+
+where ``Q_k`` are the sides of a (typical) query MBR and ``eps`` the search
+threshold.  ``prod_k (L_k + Q_k + eps)`` is the probability that a query
+rectangle expanded by ``eps`` intersects the MBR in the unit data space —
+i.e. the expected access count.  The paper fixes the combined constant
+``Q_k + eps = 0.3`` "since it demonstrates the best partitioning by an
+extensive experiment"; :data:`DEFAULT_COST_CONSTANT` records that choice and
+``benchmarks/bench_ablation_mcost.py`` re-verifies it.
+
+Grouping is greedy and order-preserving: a subsequence grows point by point
+while adding the next point does not increase MCOST; when it would (or when
+the configured maximum MBR population is hit), the current MBR is closed and
+a new one starts at that point.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.mbr import MBR
+from repro.core.sequence import MultidimensionalSequence
+
+__all__ = [
+    "DEFAULT_COST_CONSTANT",
+    "PartitionedSequence",
+    "SequenceSegment",
+    "marginal_cost",
+    "partition_sequence",
+]
+
+#: The paper's adopted value for ``Q_k + eps`` in the MCOST formula.
+DEFAULT_COST_CONSTANT = 0.3
+
+#: Default cap on points per MBR (the paper's ``max``; value not reported,
+#: chosen here so that even a monotone drift cannot produce one giant MBR).
+DEFAULT_MAX_POINTS = 64
+
+
+def marginal_cost(sides, point_count: int, cost_constant: float = DEFAULT_COST_CONSTANT) -> float:
+    """The MCOST of an MBR with the given side lengths and population.
+
+    Parameters
+    ----------
+    sides:
+        Side lengths ``(L1, ..., Ln)`` of the MBR.
+    point_count:
+        Number of sequence points the MBR encloses (``m >= 1``).
+    cost_constant:
+        The combined ``Q_k + eps`` constant (paper default 0.3).
+    """
+    if point_count < 1:
+        raise ValueError(f"point_count must be >= 1, got {point_count}")
+    if cost_constant <= 0:
+        raise ValueError(f"cost_constant must be > 0, got {cost_constant}")
+    arr = np.asarray(sides, dtype=np.float64)
+    if np.any(arr < 0):
+        raise ValueError("side lengths must be non-negative")
+    return float(np.prod(arr + cost_constant) / point_count)
+
+
+@dataclass(frozen=True)
+class SequenceSegment:
+    """One partition cell: a contiguous run of points and its bounding MBR.
+
+    Attributes
+    ----------
+    index:
+        Zero-based position of this segment among the sequence's segments
+        (the paper's MBR subscript, minus one).
+    start:
+        Zero-based offset of the segment's first point in the sequence.
+    count:
+        Number of points in the segment.
+    mbr:
+        The minimum bounding rectangle of those points.
+    """
+
+    index: int
+    start: int
+    count: int
+    mbr: MBR
+
+    @property
+    def stop(self) -> int:
+        """One past the zero-based offset of the segment's last point."""
+        return self.start + self.count
+
+    def point_range(self) -> range:
+        """The range of zero-based sequence offsets this segment covers."""
+        return range(self.start, self.stop)
+
+
+class PartitionedSequence:
+    """A sequence together with its ordered MBR partition.
+
+    Built by :func:`partition_sequence`; consumed by the database (which
+    indexes the MBRs), by ``Dnorm`` (which needs MBRs *and* point counts) and
+    by solution-interval assembly (which needs point offsets).
+    """
+
+    __slots__ = (
+        "_sequence",
+        "_segments",
+        "_counts",
+        "_cost_constant",
+        "_low_matrix",
+        "_high_matrix",
+    )
+
+    def __init__(
+        self,
+        sequence: MultidimensionalSequence,
+        segments: list[SequenceSegment],
+        cost_constant: float = DEFAULT_COST_CONSTANT,
+    ) -> None:
+        if not segments:
+            raise ValueError("a partitioned sequence needs at least one segment")
+        expected_start = 0
+        for position, segment in enumerate(segments):
+            if segment.index != position:
+                raise ValueError(
+                    f"segment {position} carries index {segment.index}"
+                )
+            if segment.start != expected_start:
+                raise ValueError(
+                    f"segment {position} starts at {segment.start}, expected "
+                    f"{expected_start} (segments must tile the sequence)"
+                )
+            if segment.count < 1:
+                raise ValueError(f"segment {position} is empty")
+            expected_start = segment.stop
+        if expected_start != len(sequence):
+            raise ValueError(
+                f"segments cover {expected_start} points but the sequence has "
+                f"{len(sequence)}"
+            )
+        self._sequence = sequence
+        self._segments = list(segments)
+        self._counts = np.array([s.count for s in segments], dtype=np.int64)
+        self._cost_constant = cost_constant
+        self._low_matrix = np.vstack([s.mbr.low for s in segments])
+        self._high_matrix = np.vstack([s.mbr.high for s in segments])
+
+    @property
+    def sequence(self) -> MultidimensionalSequence:
+        """The underlying sequence."""
+        return self._sequence
+
+    @property
+    def segments(self) -> list[SequenceSegment]:
+        """The ordered partition cells (copy-safe list)."""
+        return list(self._segments)
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Point count per segment, in order (read-only view)."""
+        return self._counts
+
+    @property
+    def mbrs(self) -> list[MBR]:
+        """The segment MBRs, in order."""
+        return [s.mbr for s in self._segments]
+
+    @property
+    def cost_constant(self) -> float:
+        """The MCOST constant the partition was built with."""
+        return self._cost_constant
+
+    def mbr_distance_row(self, query_mbr: MBR) -> np.ndarray:
+        """``Dmbr(query_mbr, segment t)`` for every segment, vectorised.
+
+        Phase 3 of the search computes one row per (query MBR, sequence)
+        pair and reuses it across all ``Dnorm`` anchors, so this is the hot
+        kernel of the second pruning step.
+        """
+        gaps = np.maximum(
+            0.0,
+            np.maximum(
+                self._low_matrix - query_mbr.high,
+                query_mbr.low - self._high_matrix,
+            ),
+        )
+        return np.sqrt(np.sum(gaps * gaps, axis=1))
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def __iter__(self) -> Iterator[SequenceSegment]:
+        return iter(self._segments)
+
+    def __getitem__(self, index: int) -> SequenceSegment:
+        return self._segments[index]
+
+    def __repr__(self) -> str:
+        return (
+            f"PartitionedSequence(length={len(self._sequence)}, "
+            f"segments={len(self._segments)})"
+        )
+
+    def segment_points(self, index: int) -> np.ndarray:
+        """The ``(count, n)`` point block of segment ``index``."""
+        segment = self._segments[index]
+        return self._sequence.points[segment.start : segment.stop]
+
+    def segment_of_point(self, offset: int) -> SequenceSegment:
+        """The segment containing the sequence point at ``offset``."""
+        if not 0 <= offset < len(self._sequence):
+            raise IndexError(
+                f"offset {offset} outside [0, {len(self._sequence)})"
+            )
+        starts = [s.start for s in self._segments]
+        position = int(np.searchsorted(starts, offset, side="right")) - 1
+        return self._segments[position]
+
+    def total_cost(self) -> float:
+        """Sum of per-segment MCOST·count — the estimated total access count."""
+        return float(
+            sum(
+                marginal_cost(s.mbr.sides, s.count, self._cost_constant) * s.count
+                for s in self._segments
+            )
+        )
+
+
+def partition_sequence(
+    sequence,
+    *,
+    cost_constant: float = DEFAULT_COST_CONSTANT,
+    max_points: int | None = DEFAULT_MAX_POINTS,
+) -> PartitionedSequence:
+    """Greedy MCOST partitioning (the paper's PARTITIONING_SEQUENCE).
+
+    Parameters
+    ----------
+    sequence:
+        A :class:`~repro.core.sequence.MultidimensionalSequence` (or raw
+        point array) to partition.
+    cost_constant:
+        The ``Q_k + eps`` constant of the MCOST formula (paper default 0.3).
+    max_points:
+        Maximum points per MBR; ``None`` disables the cap.
+
+    Returns
+    -------
+    PartitionedSequence
+        An exact ordered tiling of the sequence into MBR-bounded segments.
+    """
+    if not isinstance(sequence, MultidimensionalSequence):
+        sequence = MultidimensionalSequence(sequence)
+    if cost_constant <= 0:
+        raise ValueError(f"cost_constant must be > 0, got {cost_constant}")
+    if max_points is not None and max_points < 1:
+        raise ValueError(f"max_points must be >= 1 or None, got {max_points}")
+
+    points = sequence.points
+    segments: list[SequenceSegment] = []
+    start = 0
+    low = points[0].copy()
+    high = points[0].copy()
+    count = 1
+    current_cost = marginal_cost(high - low, count, cost_constant)
+
+    def close_segment() -> None:
+        segments.append(
+            SequenceSegment(
+                index=len(segments),
+                start=start,
+                count=count,
+                mbr=MBR(low, high),
+            )
+        )
+
+    for offset in range(1, len(points)):
+        point = points[offset]
+        new_low = np.minimum(low, point)
+        new_high = np.maximum(high, point)
+        new_cost = marginal_cost(new_high - new_low, count + 1, cost_constant)
+        at_capacity = max_points is not None and count >= max_points
+        if new_cost > current_cost or at_capacity:
+            close_segment()
+            start = offset
+            low = point.copy()
+            high = point.copy()
+            count = 1
+            current_cost = marginal_cost(high - low, count, cost_constant)
+        else:
+            low = new_low
+            high = new_high
+            count += 1
+            current_cost = new_cost
+    close_segment()
+
+    return PartitionedSequence(sequence, segments, cost_constant)

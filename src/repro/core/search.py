@@ -1,0 +1,580 @@
+"""The three-phase similarity search (Section 3.4.2 of the paper).
+
+Algorithm SIMILARITY_SEARCH:
+
+* **Phase 1 — query partitioning.**  The query sequence is partitioned into
+  MBRs with the same MCOST algorithm used for data sequences.
+* **Phase 2 — first pruning (index search).**  For each query MBR the
+  R-tree is probed for data-segment MBRs with ``Dmbr <= eps``; every
+  sequence owning at least one such segment becomes a candidate
+  (``AS_mbr``).  Lemma 1 guarantees no false dismissals.
+* **Phase 3 — second pruning and solution intervals.**  For each candidate
+  sequence and each query MBR, ``Dnorm`` is evaluated against every data
+  segment; sequences with some ``Dnorm <= eps`` survive (``AS_norm``,
+  Lemmas 2-3: still no false dismissals for sequence selection) and the
+  points participating in each sub-threshold ``Dnorm`` computation are
+  accumulated into the sequence's approximate solution interval (§3.3).
+
+A k-nearest-sequences extension (:meth:`SimilaritySearch.knn`) implements
+the optimal multi-step algorithm of Seidl & Kriegel over the same ``Dmbr``
+lower bound — not part of the paper, but the natural follow-up query its
+metrics enable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.database import SequenceDatabase
+from repro.core.distance import (
+    normalized_distance_row,
+    sequence_distance,
+    sliding_mean_distances,
+)
+from repro.core.partitioning import PartitionedSequence, partition_sequence
+from repro.core.sequence import MultidimensionalSequence
+from repro.core.solution_interval import IntervalSet
+
+__all__ = [
+    "MatchExplanation",
+    "SearchResult",
+    "SearchStats",
+    "SimilaritySearch",
+    "SubsequenceHit",
+]
+
+
+@dataclass(frozen=True)
+class SubsequenceHit:
+    """One ranked subsequence match: where, and at what exact distance."""
+
+    distance: float
+    sequence_id: object
+    offset: int
+    length: int
+
+
+@dataclass(frozen=True)
+class MatchExplanation:
+    """The full bound chain for one (query, sequence, epsilon) triple.
+
+    Produced by :meth:`SimilaritySearch.explain`.  The invariant
+    ``min_dmbr <= min_dnorm <= exact_distance`` always holds (Lemmas 1-3),
+    so ``survives_phase2 >= survives_phase3 >= truly_relevant`` as booleans
+    — a sequence pruned despite being relevant would be a correctness bug.
+    """
+
+    sequence_id: object
+    epsilon: float
+    #: Whether the long-query direction (roles swapped) was used.
+    long_query: bool
+    query_segments: int
+    data_segments: int
+    min_dmbr: float
+    min_dnorm: float
+    exact_distance: float
+    survives_phase2: bool
+    survives_phase3: bool
+    truly_relevant: bool
+    #: Probe segment (query MBR index, or data MBR index for long queries)
+    #: achieving the best Dnorm.
+    best_probe_segment: int
+    best_anchor: int
+    best_window: tuple[int, int]
+
+    def verdict(self) -> str:
+        """One-line human-readable summary."""
+        if self.truly_relevant:
+            status = "relevant, retrieved"
+        elif self.survives_phase3:
+            status = "false hit (passes both bounds, fails exact)"
+        elif self.survives_phase2:
+            status = "pruned by Dnorm (Phase 3)"
+        else:
+            status = "pruned by Dmbr (Phase 2)"
+        return (
+            f"{self.sequence_id!r} @ eps={self.epsilon}: {status} "
+            f"[Dmbr {self.min_dmbr:.4f} <= Dnorm {self.min_dnorm:.4f} "
+            f"<= D {self.exact_distance:.4f}]"
+        )
+
+
+@dataclass
+class SearchStats:
+    """Work and time accounting for one search call."""
+
+    #: Wall-clock seconds per phase.
+    phase1_seconds: float = 0.0
+    phase2_seconds: float = 0.0
+    phase3_seconds: float = 0.0
+    #: Index node accesses performed during Phase 2.
+    node_accesses: int = 0
+    #: Number of query MBRs produced by Phase 1.
+    query_segments: int = 0
+    #: Sequences surviving Phase 2 / Phase 3.
+    candidates_after_dmbr: int = 0
+    answers_after_dnorm: int = 0
+    #: ``Dnorm`` evaluations actually performed (after fast-path skips).
+    dnorm_evaluations: int = 0
+    #: ``Dmbr`` rows computed (one per surviving query-MBR x sequence pair).
+    dmbr_rows: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end search time."""
+        return self.phase1_seconds + self.phase2_seconds + self.phase3_seconds
+
+
+@dataclass
+class SearchResult:
+    """Everything one range search produces.
+
+    Attributes
+    ----------
+    epsilon:
+        The threshold searched with.
+    query_partition:
+        Phase 1's partition of the query sequence.
+    candidates:
+        Sequence ids surviving Phase 2 (the paper's ``AS_mbr``), in database
+        insertion order.
+    answers:
+        Sequence ids surviving Phase 3 (``AS_norm``), in database order.
+    solution_intervals:
+        Approximate solution interval per answer sequence (only populated
+        when the search was asked to find intervals).
+    stats:
+        Work/time accounting.
+    """
+
+    epsilon: float
+    query_partition: PartitionedSequence
+    candidates: list
+    answers: list
+    solution_intervals: dict[object, IntervalSet] = field(default_factory=dict)
+    stats: SearchStats = field(default_factory=SearchStats)
+
+    def __contains__(self, sequence_id) -> bool:
+        return sequence_id in set(self.answers)
+
+
+class SimilaritySearch:
+    """Range and k-NN similarity search over a :class:`SequenceDatabase`."""
+
+    def __init__(self, database: SequenceDatabase) -> None:
+        if not isinstance(database, SequenceDatabase):
+            raise TypeError(
+                f"expected a SequenceDatabase, got {type(database).__name__}"
+            )
+        self.database = database
+
+    # ------------------------------------------------------------------
+    # Range search (the paper's algorithm)
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        query,
+        epsilon: float,
+        *,
+        find_intervals: bool = True,
+    ) -> SearchResult:
+        """Run SIMILARITY_SEARCH for one query sequence and threshold.
+
+        Parameters
+        ----------
+        query:
+            The query sequence (any length; both shorter and longer than
+            data sequences is allowed, per the paper's "long query" case).
+        epsilon:
+            Similarity threshold in the normalised space.
+        find_intervals:
+            When true (default), Phase 3 also assembles the approximate
+            solution interval of every answer sequence.
+
+        Returns
+        -------
+        SearchResult
+        """
+        if epsilon < 0:
+            raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+        if not isinstance(query, MultidimensionalSequence):
+            query = MultidimensionalSequence(query)
+        if query.dimension != self.database.dimension:
+            raise ValueError(
+                f"query dimension {query.dimension} != database dimension "
+                f"{self.database.dimension}"
+            )
+
+        stats = SearchStats()
+
+        # Phase 1: partition the query sequence.
+        started = time.perf_counter()
+        query_partition = partition_sequence(
+            query,
+            cost_constant=self.database.cost_constant,
+            max_points=self.database.max_points,
+        )
+        stats.phase1_seconds = time.perf_counter() - started
+        stats.query_segments = len(query_partition)
+
+        # Phase 2: first pruning via the Dmbr index probe.
+        started = time.perf_counter()
+        index = self.database.index
+        accesses_before = index.stats.node_accesses
+        candidate_ids = set()
+        for segment in query_partition:
+            for entry in index.search_within(segment.mbr, epsilon):
+                candidate_ids.add(entry.payload.sequence_id)
+        stats.node_accesses = index.stats.node_accesses - accesses_before
+        candidates = [sid for sid in self.database.ids() if sid in candidate_ids]
+        stats.phase2_seconds = time.perf_counter() - started
+        stats.candidates_after_dmbr = len(candidates)
+
+        # Phase 3: second pruning with Dnorm + solution intervals.
+        started = time.perf_counter()
+        answers: list = []
+        intervals: dict[object, IntervalSet] = {}
+        for sequence_id in candidates:
+            partition = self.database.partition(sequence_id)
+            matched, interval = self._examine_candidate(
+                query_partition,
+                partition,
+                epsilon,
+                find_intervals=find_intervals,
+                stats=stats,
+            )
+            if matched:
+                answers.append(sequence_id)
+                if find_intervals:
+                    intervals[sequence_id] = interval
+        stats.phase3_seconds = time.perf_counter() - started
+        stats.answers_after_dnorm = len(answers)
+
+        return SearchResult(
+            epsilon=epsilon,
+            query_partition=query_partition,
+            candidates=candidates,
+            answers=answers,
+            solution_intervals=intervals,
+            stats=stats,
+        )
+
+    def _examine_candidate(
+        self,
+        query_partition: PartitionedSequence,
+        partition: PartitionedSequence,
+        epsilon: float,
+        *,
+        find_intervals: bool,
+        stats: SearchStats,
+    ) -> tuple[bool, IntervalSet]:
+        """Phase 3 for one candidate: any ``Dnorm <= eps``?  Collect spans.
+
+        In the paper's long-query case (query holds more points than the
+        data sequence) the roles of the two partitions are swapped before
+        applying ``Dnorm`` — Lemmas 2-3 assume the query is the shorter
+        sequence, and the swap keeps the bound sound (see
+        :func:`repro.core.distance.min_normalized_distance`).  A match then
+        contributes the matching *data* segment's full point span to the
+        solution interval, since the whole data segment aligns inside the
+        query.
+        """
+        query_points = len(query_partition.sequence)
+        data_points = len(partition.sequence)
+        if query_points > data_points:
+            return self._examine_candidate_long_query(
+                query_partition,
+                partition,
+                epsilon,
+                find_intervals=find_intervals,
+                stats=stats,
+            )
+        counts = partition.counts
+        segments = partition.segments
+        matched = False
+        spans: list[tuple[int, int]] = []
+        for query_segment in query_partition:
+            row = partition.mbr_distance_row(query_segment.mbr)
+            stats.dmbr_rows += 1
+            if float(row.min()) > epsilon:
+                # Dnorm is a weighted mean of row values, so it cannot fall
+                # below the row minimum: no anchor of this pair can match.
+                continue
+            matches = normalized_distance_row(
+                query_segment.mbr,
+                int(query_segment.count),
+                partition.mbrs,
+                counts,
+                dmbr_row=row,
+                only_below=epsilon,
+            )
+            stats.dnorm_evaluations += len(counts)
+            if matches:
+                matched = True
+                if not find_intervals:
+                    return True, IntervalSet()
+                for result in matches:
+                    for t, first, last in result.involved_points(counts):
+                        base = segments[t].start
+                        spans.append((base + first, base + last + 1))
+        return matched, IntervalSet(spans)
+
+    def _examine_candidate_long_query(
+        self,
+        query_partition: PartitionedSequence,
+        partition: PartitionedSequence,
+        epsilon: float,
+        *,
+        find_intervals: bool,
+        stats: SearchStats,
+    ) -> tuple[bool, IntervalSet]:
+        """Phase 3 with swapped roles: data segments probe the query MBRs."""
+        query_mbrs = query_partition.mbrs
+        query_counts = query_partition.counts
+        matched = False
+        spans: list[tuple[int, int]] = []
+        for data_segment in partition:
+            row = query_partition.mbr_distance_row(data_segment.mbr)
+            stats.dmbr_rows += 1
+            if float(row.min()) > epsilon:
+                continue
+            matches = normalized_distance_row(
+                data_segment.mbr,
+                int(data_segment.count),
+                query_mbrs,
+                query_counts,
+                dmbr_row=row,
+                only_below=epsilon,
+            )
+            stats.dnorm_evaluations += len(query_counts)
+            if matches:
+                matched = True
+                if not find_intervals:
+                    return True, IntervalSet()
+                spans.append((data_segment.start, data_segment.stop))
+        return matched, IntervalSet(spans)
+
+    # ------------------------------------------------------------------
+    # k-nearest sequences (extension)
+    # ------------------------------------------------------------------
+    def knn(self, query, k: int) -> list[tuple[float, object]]:
+        """The ``k`` database sequences nearest to ``query`` under ``D``.
+
+        Optimal multi-step k-NN (Seidl & Kriegel '98): sequences are ranked
+        by their ``Dmbr`` lower bound (Lemma 1) and refined with the exact
+        sliding distance in ascending bound order; refinement stops as soon
+        as the next lower bound exceeds the current k-th exact distance,
+        which guarantees an exact answer with the fewest refinements.
+
+        Returns
+        -------
+        list of (distance, sequence_id)
+            The exact distances, ascending; fewer than ``k`` when the
+            database is smaller than ``k``.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if not isinstance(query, MultidimensionalSequence):
+            query = MultidimensionalSequence(query)
+        if query.dimension != self.database.dimension:
+            raise ValueError(
+                f"query dimension {query.dimension} != database dimension "
+                f"{self.database.dimension}"
+            )
+        query_partition = partition_sequence(
+            query,
+            cost_constant=self.database.cost_constant,
+            max_points=self.database.max_points,
+        )
+
+        bounds = []
+        for sequence_id, partition in self.database.partitions():
+            lower = min(
+                float(partition.mbr_distance_row(segment.mbr).min())
+                for segment in query_partition
+            )
+            bounds.append((lower, sequence_id))
+        bounds.sort(key=lambda pair: pair[0])
+
+        exact: list[tuple[float, object]] = []
+        for lower, sequence_id in bounds:
+            if len(exact) >= k and lower > exact[k - 1][0]:
+                break
+            distance = sequence_distance(
+                query, self.database.sequence(sequence_id)
+            )
+            exact.append((distance, sequence_id))
+            exact.sort(key=lambda pair: pair[0])
+        return exact[:k]
+
+    def knn_subsequences(
+        self, query, k: int, *, exclude_overlapping: bool = True
+    ) -> list[SubsequenceHit]:
+        """The ``k`` best *subsequence* matches across the database.
+
+        Where :meth:`knn` ranks whole sequences by ``D(Q, S)``, this ranks
+        individual alignments — "the five best scenes anywhere in the
+        archive".  Sequences are refined in ascending order of their
+        Lemma-1 lower bound (``min Dmbr``), evaluating the exact sliding
+        ``Dmean`` at every alignment; refinement stops when the next
+        sequence's bound exceeds the current k-th best alignment.
+
+        Parameters
+        ----------
+        query:
+            The query sequence; must be no longer than the sequences it is
+            to be found in (longer sequences are skipped).
+        k:
+            Number of hits to return.
+        exclude_overlapping:
+            When true (default), at most one hit per overlapping run of
+            alignments is kept (the local minimum), so the k hits are k
+            genuinely different places rather than one place k times.
+
+        Returns
+        -------
+        list of SubsequenceHit
+            Ascending by exact distance; fewer than ``k`` when the corpus
+            has fewer eligible alignments.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if not isinstance(query, MultidimensionalSequence):
+            query = MultidimensionalSequence(query)
+        if query.dimension != self.database.dimension:
+            raise ValueError(
+                f"query dimension {query.dimension} != database dimension "
+                f"{self.database.dimension}"
+            )
+        query_partition = partition_sequence(
+            query,
+            cost_constant=self.database.cost_constant,
+            max_points=self.database.max_points,
+        )
+        length = len(query)
+
+        bounds = []
+        for sequence_id, partition in self.database.partitions():
+            if len(partition.sequence) < length:
+                continue  # no alignment of the full query exists
+            lower = min(
+                float(partition.mbr_distance_row(segment.mbr).min())
+                for segment in query_partition
+            )
+            bounds.append((lower, sequence_id))
+        bounds.sort(key=lambda pair: pair[0])
+
+        hits: list[SubsequenceHit] = []
+        for lower, sequence_id in bounds:
+            if len(hits) >= k and lower > hits[k - 1].distance:
+                break
+            sequence = self.database.sequence(sequence_id)
+            distances = sliding_mean_distances(query, sequence)
+            offsets = self._candidate_offsets(distances, exclude_overlapping)
+            for offset in offsets:
+                hits.append(
+                    SubsequenceHit(
+                        distance=float(distances[offset]),
+                        sequence_id=sequence_id,
+                        offset=int(offset),
+                        length=length,
+                    )
+                )
+            hits.sort(key=lambda hit: hit.distance)
+            del hits[max(k, 0) * 4 :]  # keep a slack buffer while refining
+        return hits[:k]
+
+    # ------------------------------------------------------------------
+    # Explanation (debugging / teaching aid)
+    # ------------------------------------------------------------------
+    def explain(self, query, epsilon: float, sequence_id) -> "MatchExplanation":
+        """Why does (or doesn't) one sequence match this query?
+
+        Runs the two pruning levels against a single stored sequence and
+        reports every bound involved: the minimum ``Dmbr`` per query MBR,
+        the minimum ``Dnorm`` with its winning anchor/window, and the exact
+        sliding distance — the chain
+        ``min Dmbr <= min Dnorm <= D(Q, S)`` made visible.
+
+        Returns
+        -------
+        MatchExplanation
+        """
+        if epsilon < 0:
+            raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+        if not isinstance(query, MultidimensionalSequence):
+            query = MultidimensionalSequence(query)
+        if query.dimension != self.database.dimension:
+            raise ValueError(
+                f"query dimension {query.dimension} != database dimension "
+                f"{self.database.dimension}"
+            )
+        partition = self.database.partition(sequence_id)
+        query_partition = partition_sequence(
+            query,
+            cost_constant=self.database.cost_constant,
+            max_points=self.database.max_points,
+        )
+
+        long_query = len(query) > len(partition.sequence)
+        if long_query:
+            probe_partition, target_partition = partition, query_partition
+        else:
+            probe_partition, target_partition = query_partition, partition
+
+        per_probe_dmbr = []
+        best_dnorm = None
+        for segment in probe_partition:
+            row = target_partition.mbr_distance_row(segment.mbr)
+            per_probe_dmbr.append(float(row.min()))
+            for result in normalized_distance_row(
+                segment.mbr,
+                int(segment.count),
+                target_partition.mbrs,
+                target_partition.counts,
+                dmbr_row=row,
+            ):
+                if best_dnorm is None or result.value < best_dnorm[1].value:
+                    best_dnorm = (segment.index, result)
+
+        exact = sequence_distance(query, partition.sequence)
+        min_dmbr = min(per_probe_dmbr)
+        probe_index, dnorm_result = best_dnorm
+        return MatchExplanation(
+            sequence_id=sequence_id,
+            epsilon=epsilon,
+            long_query=long_query,
+            query_segments=len(query_partition),
+            data_segments=len(partition),
+            min_dmbr=min_dmbr,
+            min_dnorm=float(dnorm_result.value),
+            exact_distance=float(exact),
+            survives_phase2=min_dmbr <= epsilon,
+            survives_phase3=dnorm_result.value <= epsilon,
+            truly_relevant=exact <= epsilon,
+            best_probe_segment=probe_index,
+            best_anchor=dnorm_result.target_index,
+            best_window=dnorm_result.window,
+        )
+
+    @staticmethod
+    def _candidate_offsets(
+        distances: np.ndarray, exclude_overlapping: bool
+    ) -> np.ndarray:
+        if not exclude_overlapping:
+            return np.arange(distances.shape[0])
+        if distances.shape[0] == 1:
+            return np.array([0])
+        # Local minima of the alignment-distance profile: one hit per dip.
+        interior = (
+            (distances[1:-1] <= distances[:-2])
+            & (distances[1:-1] <= distances[2:])
+        )
+        offsets = [0] if distances[0] <= distances[1] else []
+        offsets.extend((np.nonzero(interior)[0] + 1).tolist())
+        if distances[-1] < distances[-2]:
+            offsets.append(distances.shape[0] - 1)
+        return np.array(offsets, dtype=np.int64)

@@ -1,0 +1,259 @@
+"""The multidimensional data sequence model (Definition 1 of the paper).
+
+A *multidimensional data sequence* (MDS) ``S = (S[1], S[2], ..., S[k])`` is a
+series of component vectors, each composed of ``n`` scalar entries.  The paper
+normalises the data space to the unit hyper-cube ``[0,1]^n`` so that the
+maximum possible point distance is the cube diagonal ``sqrt(n)``.
+
+One-dimensional time series are the special case ``n = 1``; sliding-window
+embeddings of time series (Faloutsos et al. '94) are the case ``n = w``.
+Both are supported by :meth:`MultidimensionalSequence.from_time_series`.
+
+The paper indexes sequence entries from 1 (``S[1]`` is the first element and
+``S[i:j]`` is inclusive on both ends).  The Python API is zero-based with
+half-open slices, as any Python user expects; the paper-style accessors
+:meth:`MultidimensionalSequence.entry` and
+:meth:`MultidimensionalSequence.subsequence` provide the 1-based inclusive
+view used when transcribing formulas from the paper.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+__all__ = ["MultidimensionalSequence", "as_sequence"]
+
+
+class MultidimensionalSequence:
+    """An immutable sequence of points in ``[0,1]^n`` (Definition 1).
+
+    Parameters
+    ----------
+    points:
+        Array-like of shape ``(length, dimension)``.  A 1-d array of shape
+        ``(length,)`` is promoted to ``(length, 1)``, matching the paper's
+        remark that time-series data is the one-dimensional special case.
+    sequence_id:
+        Optional identifier carried through database insertion and search
+        results.  Defaults to ``None`` (anonymous sequence).
+    validate_unit_cube:
+        When true (default), reject points outside ``[0, 1]^n``.  The paper
+        assumes a normalised space; set to ``False`` for raw data that will
+        be normalised later with :meth:`normalized`.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> seq = MultidimensionalSequence(np.array([[0.1, 0.2], [0.3, 0.4]]))
+    >>> len(seq)
+    2
+    >>> seq.dimension
+    2
+    >>> seq.entry(1)          # paper-style, 1-based
+    array([0.1, 0.2])
+    """
+
+    __slots__ = ("_points", "_sequence_id")
+
+    def __init__(
+        self,
+        points,
+        sequence_id=None,
+        *,
+        validate_unit_cube: bool = True,
+    ) -> None:
+        arr = np.asarray(points, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr.reshape(-1, 1)
+        if arr.ndim != 2:
+            raise ValueError(
+                f"points must be a (length, dimension) array, got shape {arr.shape}"
+            )
+        if arr.shape[0] == 0:
+            raise ValueError("a sequence must contain at least one point")
+        if arr.shape[1] == 0:
+            raise ValueError("a sequence must have dimension >= 1")
+        if not np.all(np.isfinite(arr)):
+            raise ValueError("sequence points must be finite")
+        if validate_unit_cube and (arr.min() < 0.0 or arr.max() > 1.0):
+            raise ValueError(
+                "points fall outside the unit hyper-cube [0,1]^n; pass "
+                "validate_unit_cube=False and call .normalized() for raw data"
+            )
+        # Copy before freezing so the caller's array is never mutated/frozen.
+        arr = np.array(arr, dtype=np.float64, copy=True, order="C")
+        arr.setflags(write=False)
+        self._points = arr
+        self._sequence_id = sequence_id
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_time_series(
+        cls,
+        values,
+        *,
+        window: int = 1,
+        sequence_id=None,
+        validate_unit_cube: bool = True,
+    ) -> "MultidimensionalSequence":
+        """Build an MDS from a scalar time series.
+
+        With ``window == 1`` this is the paper's one-dimensional special
+        case.  With ``window == w > 1`` the series is embedded with a sliding
+        window of size ``w`` (the FRM'94 construction the paper's Section 1
+        recounts): element ``i`` of the result is
+        ``(values[i], ..., values[i + w - 1])``.
+
+        Parameters
+        ----------
+        values:
+            1-d array-like of scalars.
+        window:
+            Sliding-window width ``w >= 1``.
+        """
+        series = np.asarray(values, dtype=np.float64).reshape(-1)
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if series.size < window:
+            raise ValueError(
+                f"series of length {series.size} is shorter than window {window}"
+            )
+        if window == 1:
+            points = series.reshape(-1, 1)
+        else:
+            count = series.size - window + 1
+            points = np.lib.stride_tricks.sliding_window_view(series, window)[:count]
+        return cls(
+            np.array(points),
+            sequence_id=sequence_id,
+            validate_unit_cube=validate_unit_cube,
+        )
+
+    def normalized(self) -> "MultidimensionalSequence":
+        """Return a copy min-max normalised per dimension into ``[0,1]^n``.
+
+        Constant dimensions map to 0.5 (the centre of the unit interval)
+        rather than dividing by zero.
+        """
+        lo = self._points.min(axis=0)
+        hi = self._points.max(axis=0)
+        span = hi - lo
+        safe = np.where(span > 0, span, 1.0)
+        scaled = (self._points - lo) / safe
+        scaled[:, span == 0] = 0.5
+        return MultidimensionalSequence(scaled, sequence_id=self._sequence_id)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def points(self) -> np.ndarray:
+        """The read-only ``(length, dimension)`` point array."""
+        return self._points
+
+    @property
+    def sequence_id(self):
+        """Identifier supplied at construction (or ``None``)."""
+        return self._sequence_id
+
+    @property
+    def dimension(self) -> int:
+        """Number of scalar entries per point (the paper's ``n``)."""
+        return self._points.shape[1]
+
+    def __len__(self) -> int:
+        return self._points.shape[0]
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return iter(self._points)
+
+    def __getitem__(self, index):
+        """Zero-based access: a point for an int, a sub-MDS for a slice."""
+        if isinstance(index, slice):
+            sub = self._points[index]
+            if sub.shape[0] == 0:
+                raise IndexError(f"empty slice {index} of sequence length {len(self)}")
+            return MultidimensionalSequence(sub, sequence_id=self._sequence_id)
+        return self._points[index]
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, MultidimensionalSequence):
+            return NotImplemented
+        return (
+            self._points.shape == other._points.shape
+            and bool(np.array_equal(self._points, other._points))
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._points.shape, self._points.tobytes()))
+
+    def __repr__(self) -> str:
+        ident = f" id={self._sequence_id!r}" if self._sequence_id is not None else ""
+        return (
+            f"MultidimensionalSequence(length={len(self)}, "
+            f"dimension={self.dimension}{ident})"
+        )
+
+    # ------------------------------------------------------------------
+    # Paper-style (1-based, inclusive) accessors
+    # ------------------------------------------------------------------
+    def entry(self, i: int) -> np.ndarray:
+        """Return ``S[i]`` with the paper's 1-based indexing."""
+        if not 1 <= i <= len(self):
+            raise IndexError(f"entry index {i} outside [1, {len(self)}]")
+        return self._points[i - 1]
+
+    def subsequence(self, i: int, j: int) -> "MultidimensionalSequence":
+        """Return ``S[i:j]`` — the paper's inclusive, 1-based subsequence."""
+        if not 1 <= i <= j <= len(self):
+            raise IndexError(
+                f"subsequence [{i}:{j}] outside [1, {len(self)}] or reversed"
+            )
+        return MultidimensionalSequence(
+            self._points[i - 1 : j], sequence_id=self._sequence_id
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def windows(self, width: int) -> Iterator["MultidimensionalSequence"]:
+        """Yield every contiguous subsequence of ``width`` points, in order.
+
+        This enumerates the alignments used by the sliding distance of
+        Definition 3 and by the sequential-scan baseline.
+        """
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        if width > len(self):
+            return
+        for start in range(len(self) - width + 1):
+            yield MultidimensionalSequence(
+                self._points[start : start + width], sequence_id=self._sequence_id
+            )
+
+    def concatenate(
+        self, other: "MultidimensionalSequence"
+    ) -> "MultidimensionalSequence":
+        """Return the concatenation ``self ++ other`` (dimensions must match)."""
+        if other.dimension != self.dimension:
+            raise ValueError(
+                f"cannot concatenate dimension {self.dimension} with "
+                f"{other.dimension}"
+            )
+        return MultidimensionalSequence(
+            np.vstack([self._points, other.points]), sequence_id=self._sequence_id
+        )
+
+
+def as_sequence(data, sequence_id=None) -> MultidimensionalSequence:
+    """Coerce arrays or sequences of points into a :class:`MultidimensionalSequence`.
+
+    Existing instances pass through unchanged (the id is *not* overwritten).
+    """
+    if isinstance(data, MultidimensionalSequence):
+        return data
+    return MultidimensionalSequence(data, sequence_id=sequence_id)

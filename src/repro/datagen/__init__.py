@@ -1,0 +1,53 @@
+"""Workload generators for the paper's experiments and the examples.
+
+* :mod:`repro.datagen.fractal` — the §4.1 midpoint-displacement synthetic
+  sequences (Figure 4's data).
+* :mod:`repro.datagen.video` — shot-structured simulated video streams,
+  the substitute for the paper's TV news / drama / documentary corpus
+  (Figure 5's data); see DESIGN.md for the substitution rationale.
+* :mod:`repro.datagen.queries` — perturbed-subsequence query workloads
+  ("randomly selected 20 queries").
+* :mod:`repro.datagen.timeseries` — 1-d series (random walk, stock-like,
+  seasonal) for the time-series special case and baselines.
+* :mod:`repro.datagen.image` — images linearised into region sequences
+  along Hilbert / Z-order curves (§1's image example).
+"""
+
+from repro.datagen.fractal import generate_fractal_corpus, generate_fractal_sequence
+from repro.datagen.frames import FrameConfig, generate_frame_clip
+from repro.datagen.image import (
+    generate_image_corpus,
+    generate_image_grid,
+    generate_image_sequence,
+)
+from repro.datagen.queries import QueryWorkload, generate_queries
+from repro.datagen.timeseries import (
+    generate_random_walk,
+    generate_seasonal_series,
+    generate_stock_series,
+    to_unit_interval,
+)
+from repro.datagen.video import (
+    VideoConfig,
+    generate_video_corpus,
+    generate_video_sequence,
+)
+
+__all__ = [
+    "FrameConfig",
+    "QueryWorkload",
+    "VideoConfig",
+    "generate_fractal_corpus",
+    "generate_fractal_sequence",
+    "generate_frame_clip",
+    "generate_image_corpus",
+    "generate_image_grid",
+    "generate_image_sequence",
+    "generate_queries",
+    "generate_random_walk",
+    "generate_seasonal_series",
+    "generate_stock_series",
+    "generate_video_corpus",
+    "generate_video_sequence",
+    "to_unit_interval",
+]

@@ -1,0 +1,96 @@
+"""Synthetic *raw* video frames — the input side of §3.4.1's pre-processing.
+
+:mod:`repro.datagen.video` synthesises feature trails directly; this module
+goes one level deeper and renders actual (tiny) frame images with the same
+shot structure, so the full paper pipeline — raw frames → feature
+extraction → dimensionality reduction → partitioning → index — can be
+exercised end to end (see ``examples/raw_video_pipeline.py``).
+
+A frame is a ``(height, width, 3)`` float image in ``[0, 1]``: a base
+colour per shot, a moving bright blob (the "subject"), and pixel noise.
+Frames inside one shot share the base colour, so their extracted features
+cluster exactly as real within-shot frames do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import ensure_rng
+
+__all__ = ["FrameConfig", "generate_frame_clip"]
+
+
+@dataclass(frozen=True)
+class FrameConfig:
+    """Rendering knobs for the synthetic raw-frame generator."""
+
+    height: int = 16
+    width: int = 16
+    shot_length_range: tuple[int, int] = (12, 48)
+    pixel_noise: float = 0.02
+    subject_radius: float = 0.25
+
+    def validate(self) -> None:
+        if self.height < 2 or self.width < 2:
+            raise ValueError("frames must be at least 2x2 pixels")
+        lo, hi = self.shot_length_range
+        if not 1 <= lo <= hi:
+            raise ValueError(
+                f"invalid shot_length_range {self.shot_length_range}"
+            )
+        if self.pixel_noise < 0:
+            raise ValueError("pixel_noise must be >= 0")
+        if self.subject_radius <= 0:
+            raise ValueError("subject_radius must be > 0")
+
+
+def generate_frame_clip(
+    n_frames: int, config: FrameConfig | None = None, *, seed=None
+) -> np.ndarray:
+    """Render ``n_frames`` raw frames with shot structure.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(n_frames, height, width, 3)``, values in ``[0, 1]``.
+    """
+    if n_frames < 1:
+        raise ValueError(f"n_frames must be >= 1, got {n_frames}")
+    config = config or FrameConfig()
+    config.validate()
+    rng = ensure_rng(seed)
+
+    ys, xs = np.mgrid[0 : config.height, 0 : config.width]
+    ys = ys / max(1, config.height - 1)
+    xs = xs / max(1, config.width - 1)
+
+    frames = np.empty((n_frames, config.height, config.width, 3))
+    produced = 0
+    while produced < n_frames:
+        shot_length = int(
+            rng.integers(
+                config.shot_length_range[0], config.shot_length_range[1] + 1
+            )
+        )
+        shot_length = min(shot_length, n_frames - produced)
+        base = rng.random(3) * 0.7
+        subject = rng.random(3)
+        centre = rng.random(2)
+        velocity = rng.normal(0.0, 0.02, 2)
+        for offset in range(shot_length):
+            centre = (centre + velocity) % 1.0
+            weight = np.exp(
+                -(((xs - centre[0]) ** 2 + (ys - centre[1]) ** 2))
+                / (2.0 * config.subject_radius**2)
+            )
+            frame = (
+                (1 - weight[..., None]) * base
+                + weight[..., None] * subject
+                + rng.normal(0.0, config.pixel_noise, (config.height, config.width, 3))
+            )
+            frames[produced + offset] = frame
+        produced += shot_length
+    return np.clip(frames, 0.0, 1.0)

@@ -1,0 +1,129 @@
+"""One-dimensional time-series generators (the paper's §1 special case).
+
+The paper motivates its model with classic time-series workloads — "prices
+of stocks or commercial goods, weather patterns, sales indicators" — and
+formulates them as the ``n = 1`` special case of a multidimensional data
+sequence.  These generators back the 1-d examples and the DFT / ST-index
+baselines:
+
+* :func:`generate_random_walk` — a clipped Gaussian random walk.
+* :func:`generate_stock_series` — a geometric random walk with drift
+  (stock-price-like), min-max normalised into the unit interval.
+* :func:`generate_seasonal_series` — trend + seasonal cycle + noise
+  (sales/weather-like).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import ensure_rng
+
+__all__ = [
+    "generate_random_walk",
+    "generate_seasonal_series",
+    "generate_stock_series",
+    "to_unit_interval",
+]
+
+
+def to_unit_interval(values: np.ndarray) -> np.ndarray:
+    """Min-max normalise a series into ``[0, 1]`` (constant series -> 0.5)."""
+    values = np.asarray(values, dtype=np.float64).reshape(-1)
+    lo = values.min()
+    hi = values.max()
+    if hi == lo:
+        return np.full_like(values, 0.5)
+    return (values - lo) / (hi - lo)
+
+
+def generate_random_walk(
+    length: int,
+    *,
+    step: float = 0.02,
+    start: float = 0.5,
+    seed=None,
+) -> np.ndarray:
+    """A Gaussian random walk clipped to ``[0, 1]``.
+
+    Parameters
+    ----------
+    length:
+        Number of samples (>= 1).
+    step:
+        Standard deviation of each increment.
+    start:
+        Starting value in ``[0, 1]``.
+    """
+    if length < 1:
+        raise ValueError(f"length must be >= 1, got {length}")
+    if step < 0:
+        raise ValueError(f"step must be >= 0, got {step}")
+    if not 0.0 <= start <= 1.0:
+        raise ValueError(f"start must be in [0, 1], got {start}")
+    rng = ensure_rng(seed)
+    increments = rng.normal(0.0, step, length)
+    increments[0] = 0.0
+    walk = start + np.cumsum(increments)
+    return np.clip(walk, 0.0, 1.0)
+
+
+def generate_stock_series(
+    length: int,
+    *,
+    drift: float = 0.0002,
+    volatility: float = 0.015,
+    seed=None,
+) -> np.ndarray:
+    """A geometric random walk, min-max normalised into ``[0, 1]``.
+
+    Mimics daily close prices: log returns are
+    ``Normal(drift, volatility)``.
+    """
+    if length < 1:
+        raise ValueError(f"length must be >= 1, got {length}")
+    if volatility < 0:
+        raise ValueError(f"volatility must be >= 0, got {volatility}")
+    rng = ensure_rng(seed)
+    log_returns = rng.normal(drift, volatility, length)
+    log_returns[0] = 0.0
+    prices = np.exp(np.cumsum(log_returns))
+    return to_unit_interval(prices)
+
+
+def generate_seasonal_series(
+    length: int,
+    *,
+    period: int = 28,
+    trend: float = 0.2,
+    amplitude: float = 0.25,
+    noise: float = 0.02,
+    seed=None,
+) -> np.ndarray:
+    """Trend + sinusoidal season + Gaussian noise, normalised to ``[0, 1]``.
+
+    Parameters
+    ----------
+    length:
+        Number of samples (>= 1).
+    period:
+        Season length in samples.
+    trend:
+        Total linear rise over the series (before normalisation).
+    amplitude:
+        Seasonal amplitude (before normalisation).
+    noise:
+        Standard deviation of the additive noise.
+    """
+    if length < 1:
+        raise ValueError(f"length must be >= 1, got {length}")
+    if period < 1:
+        raise ValueError(f"period must be >= 1, got {period}")
+    rng = ensure_rng(seed)
+    t = np.arange(length, dtype=np.float64)
+    values = (
+        trend * t / max(1, length - 1)
+        + amplitude * np.sin(2.0 * np.pi * t / period)
+        + rng.normal(0.0, noise, length)
+    )
+    return to_unit_interval(values)

@@ -1,0 +1,31 @@
+"""Extensions reproducing the related-work operators of Section 2.
+
+The paper's survey cites two lines of follow-on machinery that its own
+framework composes with:
+
+* Rafiei & Mendelzon's *safe linear transformations* of query sequences
+  (moving average, reversing, affine rescaling) — implemented in
+  :mod:`repro.extensions.transforms`, with the distance-behaviour of each
+  operator documented so thresholds can be adjusted safely.
+* Yi, Jagadish & Faloutsos's *time warping* distance, "which permits local
+  accelerations and decelerations" — implemented in
+  :mod:`repro.extensions.warping` as classic dynamic time warping over
+  multidimensional points with an optional Sakoe-Chiba band.
+"""
+
+from repro.extensions.transforms import (
+    affine_transform,
+    downsample,
+    moving_average,
+    reversed_sequence,
+)
+from repro.extensions.warping import time_warping_distance, warping_path
+
+__all__ = [
+    "affine_transform",
+    "downsample",
+    "moving_average",
+    "reversed_sequence",
+    "time_warping_distance",
+    "warping_path",
+]

@@ -1,0 +1,109 @@
+"""Safe sequence transformations (Rafiei & Mendelzon, reference [12]).
+
+Section 2 of the paper: "Rafiei et al. proposed a set of safe linear
+transformations of a given sequence that can be used as the basis for
+similarity queries on time-series data.  They formulated operations such as
+moving average, reversing, and time warping."
+
+A transformation is *safe* for threshold search when the distance between
+transformed sequences can be bounded by the distance between the originals,
+so a query can be run in transformed space with an adjusted threshold.  Each
+operator below documents its distance behaviour:
+
+* :func:`moving_average` — by Jensen's inequality the *summed* pointwise
+  distance contracts: ``sum d(T(a)_i, T(b)_i) <= sum d(a_t, b_t)``.  The
+  mean distance is over ``m - w + 1`` points instead of ``m``, so the safe
+  threshold adjustment for ``Dmean`` semantics is the factor
+  ``m / (m - w + 1)``.
+* :func:`reversed_sequence` — an isometry: distances are unchanged.
+* :func:`affine_transform` — scales distances by exactly ``|scale|`` per
+  dimension; divide the threshold accordingly.
+* :func:`downsample` — keeps every ``k``-th point; the mean distance over
+  the sample estimates (but does not bound) the full mean.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sequence import MultidimensionalSequence
+
+__all__ = [
+    "affine_transform",
+    "downsample",
+    "moving_average",
+    "reversed_sequence",
+]
+
+
+def _points_of(sequence) -> tuple[np.ndarray, object]:
+    if isinstance(sequence, MultidimensionalSequence):
+        return sequence.points, sequence.sequence_id
+    seq = MultidimensionalSequence(sequence, validate_unit_cube=False)
+    return seq.points, None
+
+
+def moving_average(sequence, window: int) -> MultidimensionalSequence:
+    """Boxcar moving average of width ``window`` per dimension.
+
+    The result has ``len(sequence) - window + 1`` points; element ``i``
+    averages the input points ``i .. i + window - 1``.  Averaging is a
+    convex combination, so by Jensen's inequality the *summed* pointwise
+    distance between two smoothed sequences never exceeds the summed
+    distance between the originals; for ``Dmean`` semantics multiply the
+    threshold by ``m / (m - window + 1)`` (see the module docstring).
+    """
+    points, sequence_id = _points_of(sequence)
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if window > points.shape[0]:
+        raise ValueError(
+            f"window {window} exceeds sequence length {points.shape[0]}"
+        )
+    if window == 1:
+        return MultidimensionalSequence(points, sequence_id=sequence_id)
+    cumulative = np.cumsum(points, axis=0)
+    padded = np.vstack([np.zeros((1, points.shape[1])), cumulative])
+    smoothed = (padded[window:] - padded[:-window]) / window
+    return MultidimensionalSequence(
+        np.clip(smoothed, 0.0, 1.0), sequence_id=sequence_id
+    )
+
+
+def reversed_sequence(sequence) -> MultidimensionalSequence:
+    """The sequence traversed backwards (an isometry for ``Dmean``)."""
+    points, sequence_id = _points_of(sequence)
+    return MultidimensionalSequence(points[::-1], sequence_id=sequence_id)
+
+
+def affine_transform(
+    sequence, scale: float, offset: float = 0.0, *, clip: bool = True
+) -> MultidimensionalSequence:
+    """Per-value affine map ``x -> scale * x + offset``.
+
+    Distances scale by exactly ``|scale|``; run transformed-space queries
+    with ``epsilon * |scale|``.  With ``clip`` (default) the result is
+    clamped back into the unit cube, which breaks the exact scaling at the
+    boundary — pass ``clip=False`` for the pure linear map.
+    """
+    points, sequence_id = _points_of(sequence)
+    mapped = points * scale + offset
+    if clip:
+        mapped = np.clip(mapped, 0.0, 1.0)
+        return MultidimensionalSequence(mapped, sequence_id=sequence_id)
+    return MultidimensionalSequence(
+        mapped, sequence_id=sequence_id, validate_unit_cube=False
+    )
+
+
+def downsample(sequence, factor: int) -> MultidimensionalSequence:
+    """Every ``factor``-th point, starting with the first.
+
+    A cheap sketch for long sequences; the sampled mean distance estimates
+    the full one but is not a bound, so use it for ranking rather than
+    thresholded pruning.
+    """
+    points, sequence_id = _points_of(sequence)
+    if factor < 1:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    return MultidimensionalSequence(points[::factor], sequence_id=sequence_id)

@@ -1,0 +1,38 @@
+"""Feature extraction and dimensionality reduction (§3.4.1, step 1).
+
+The paper's pre-processing starts from raw material: "Raw materials are
+parsed to extract the feature vectors.  Each vector is represented by a
+multidimensional point in the hyper data space.  When the vector is of high
+dimension, various dimension reduction techniques such as DFT or Wavelets
+can be applied to avoid the dimensionality curse problem."
+
+* :mod:`repro.features.extraction` — per-frame colour features (mean
+  colour, colour histograms) turning raw frame arrays into sequences.
+* :mod:`repro.features.reduction` — orthonormal reductions (DFT head, Haar
+  wavelet head, PCA) with the lower-bounding property that makes threshold
+  search in reduced space dismissal-free.
+"""
+
+from repro.features.extraction import (
+    color_histogram_sequence,
+    frame_color_histogram,
+    frame_mean_color,
+    mean_color_sequence,
+)
+from repro.features.reduction import (
+    ReducedSpace,
+    haar_reduce,
+    dft_reduce,
+    fit_pca,
+)
+
+__all__ = [
+    "ReducedSpace",
+    "color_histogram_sequence",
+    "dft_reduce",
+    "fit_pca",
+    "frame_color_histogram",
+    "frame_mean_color",
+    "haar_reduce",
+    "mean_color_sequence",
+]

@@ -1,0 +1,97 @@
+"""Per-frame colour features: raw frames in, sequence points out.
+
+The paper's video model (§1): "a frame can be represented by a
+multidimensional vector in the RGB or YCbCr color space, by averaging color
+values of pixels of a frame or segmented blocks of a frame."  Both variants
+are provided:
+
+* :func:`frame_mean_color` — one point per frame: the mean colour (the
+  paper's 3-d experiments use exactly this shape).
+* :func:`frame_color_histogram` — a per-channel colour histogram, the
+  higher-dimensional feature the paper's reduction remark is aimed at.
+
+Frames are ``(height, width, channels)`` float arrays in ``[0, 1]``; a clip
+is a ``(n_frames, height, width, channels)`` stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sequence import MultidimensionalSequence
+
+__all__ = [
+    "color_histogram_sequence",
+    "frame_color_histogram",
+    "frame_mean_color",
+    "mean_color_sequence",
+]
+
+
+def _check_frame(frame: np.ndarray) -> np.ndarray:
+    frame = np.asarray(frame, dtype=np.float64)
+    if frame.ndim != 3 or frame.shape[2] < 1:
+        raise ValueError(
+            f"a frame must be (height, width, channels), got {frame.shape}"
+        )
+    if frame.size == 0:
+        raise ValueError("a frame must contain at least one pixel")
+    if frame.min() < 0.0 or frame.max() > 1.0:
+        raise ValueError("pixel values must lie in [0, 1]")
+    return frame
+
+
+def frame_mean_color(frame) -> np.ndarray:
+    """The mean colour of one frame: a ``(channels,)`` vector in ``[0,1]``."""
+    frame = _check_frame(frame)
+    return frame.mean(axis=(0, 1))
+
+
+def frame_color_histogram(frame, bins: int = 8) -> np.ndarray:
+    """A normalised per-channel colour histogram.
+
+    Returns a ``(channels * bins,)`` vector; each channel's ``bins`` cells
+    sum to ``1 / channels`` so the whole vector sums to 1 and lives in the
+    unit cube.
+    """
+    frame = _check_frame(frame)
+    if bins < 1:
+        raise ValueError(f"bins must be >= 1, got {bins}")
+    channels = frame.shape[2]
+    pixels = frame.reshape(-1, channels)
+    edges = np.linspace(0.0, 1.0, bins + 1)
+    cells = []
+    for channel in range(channels):
+        counts, _ = np.histogram(pixels[:, channel], bins=edges)
+        cells.append(counts / (pixels.shape[0] * channels))
+    return np.concatenate(cells)
+
+
+def mean_color_sequence(frames, sequence_id=None) -> MultidimensionalSequence:
+    """A clip (frame stack) to a mean-colour sequence — the paper's video model."""
+    stack = np.asarray(frames, dtype=np.float64)
+    if stack.ndim != 4:
+        raise ValueError(
+            f"frames must be (n, height, width, channels), got {stack.shape}"
+        )
+    points = np.array([frame_mean_color(frame) for frame in stack])
+    return MultidimensionalSequence(points, sequence_id=sequence_id)
+
+
+def color_histogram_sequence(
+    frames, bins: int = 8, sequence_id=None
+) -> MultidimensionalSequence:
+    """A clip to a histogram sequence (``channels * bins`` dimensions).
+
+    High-dimensional by design; pair with :mod:`repro.features.reduction`
+    before indexing, per §3.4.1's dimensionality-curse remark.
+    """
+    stack = np.asarray(frames, dtype=np.float64)
+    if stack.ndim != 4:
+        raise ValueError(
+            f"frames must be (n, height, width, channels), got {stack.shape}"
+        )
+    points = np.array(
+        [frame_color_histogram(frame, bins) for frame in stack]
+    )
+    return MultidimensionalSequence(points, sequence_id=sequence_id)

@@ -1,0 +1,43 @@
+"""Spatial index substrate: the R-tree family used to store segment MBRs.
+
+The paper stores every sequence-segment MBR "into a database by using the
+R-tree or its variants" (§3.4.1).  This subpackage provides:
+
+* :class:`~repro.index.rtree.RTree` — the classic Guttman tree
+  (quadratic split), the default index.
+* :class:`~repro.index.rstar.RStarTree` — the R*-tree variant.
+* :func:`~repro.index.bulk.bulk_load_str` — STR-packed bulk construction
+  for offline index building.
+
+All trees support the Phase-2 probe of the paper's search algorithm:
+``search_within(query_mbr, epsilon)`` returns every leaf entry whose
+rectangle-to-rectangle minimum distance (``Dmbr``) to the query rectangle is
+at most ``epsilon``.
+"""
+
+from repro.index.bulk import bulk_load_str
+from repro.index.node import LeafEntry, Node
+from repro.index.paging import (
+    PageStats,
+    PageStore,
+    attach_page_store,
+    detach_page_store,
+)
+from repro.index.rstar import RStarTree
+from repro.index.serialize import load_tree, save_tree
+from repro.index.rtree import IndexStats, RTree
+
+__all__ = [
+    "IndexStats",
+    "LeafEntry",
+    "Node",
+    "PageStats",
+    "PageStore",
+    "RStarTree",
+    "RTree",
+    "attach_page_store",
+    "bulk_load_str",
+    "detach_page_store",
+    "load_tree",
+    "save_tree",
+]

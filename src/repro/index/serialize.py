@@ -1,0 +1,151 @@
+"""Flat serialisation of R-trees to ``.npz`` archives.
+
+:meth:`repro.core.database.SequenceDatabase.save` rebuilds its index from
+the raw sequences on load, which is simple but pays the full construction
+cost again.  For large corpora this module persists the *tree structure
+itself*: nodes are flattened breadth-first into parallel arrays (level,
+kind, child ranges) with the rectangle coordinates in one matrix, and leaf
+payloads pickled alongside.
+
+Round-tripping preserves node layout exactly, so query results *and*
+node-access counts are identical before and after.
+
+Security note: loading uses ``pickle`` for the payload column (payloads are
+arbitrary Python objects, e.g. :class:`~repro.core.database.SegmentKey`).
+Only load archives you created.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+
+from repro.core.mbr import MBR
+from repro.index.node import LeafEntry, Node
+from repro.index.rstar import RStarTree
+from repro.index.rtree import RTree
+
+__all__ = ["load_tree", "save_tree"]
+
+_KINDS = {"RTree": RTree, "RStarTree": RStarTree}
+
+
+def save_tree(tree: RTree, path) -> None:
+    """Serialise a (non-empty or empty) R-tree to ``path`` (.npz)."""
+    if type(tree).__name__ not in _KINDS:
+        raise TypeError(
+            f"cannot serialise {type(tree).__name__}; expected one of "
+            f"{sorted(_KINDS)}"
+        )
+
+    # Breadth-first flattening: children of node i occupy a contiguous run.
+    nodes: list[Node] = [tree.root]
+    for node in nodes:  # grows while iterating: BFS
+        if not node.is_leaf:
+            nodes.extend(node.children)
+
+    node_count = len(nodes)
+    index_of = {id(node): position for position, node in enumerate(nodes)}
+    levels = np.empty(node_count, dtype=np.int64)
+    is_leaf = np.empty(node_count, dtype=np.bool_)
+    child_start = np.zeros(node_count, dtype=np.int64)
+    child_count = np.zeros(node_count, dtype=np.int64)
+    first_child = np.full(node_count, -1, dtype=np.int64)
+
+    entry_lows: list[np.ndarray] = []
+    entry_highs: list[np.ndarray] = []
+    payloads: list = []
+
+    for position, node in enumerate(nodes):
+        levels[position] = node.level
+        is_leaf[position] = node.is_leaf
+        child_count[position] = len(node.children)
+        if node.is_leaf:
+            child_start[position] = len(payloads)
+            for entry in node.children:
+                entry_lows.append(entry.mbr.low)
+                entry_highs.append(entry.mbr.high)
+                payloads.append(entry.payload)
+        elif node.children:
+            first_child[position] = index_of[id(node.children[0])]
+
+    entry_count = len(payloads)
+    dimension = tree.dimension
+    lows = (
+        np.vstack(entry_lows) if entry_lows else np.empty((0, dimension))
+    )
+    highs = (
+        np.vstack(entry_highs) if entry_highs else np.empty((0, dimension))
+    )
+
+    np.savez_compressed(
+        path,
+        kind=np.frombuffer(type(tree).__name__.encode(), dtype=np.uint8),
+        dimension=np.int64(dimension),
+        max_entries=np.int64(tree.max_entries),
+        min_entries=np.int64(tree.min_entries),
+        size=np.int64(len(tree)),
+        levels=levels,
+        is_leaf=is_leaf,
+        child_start=child_start,
+        child_count=child_count,
+        first_child=first_child,
+        entry_lows=lows,
+        entry_highs=highs,
+        payloads=np.frombuffer(
+            pickle.dumps(payloads, protocol=pickle.HIGHEST_PROTOCOL),
+            dtype=np.uint8,
+        ),
+        entry_count=np.int64(entry_count),
+    )
+
+
+def load_tree(path) -> RTree:
+    """Rebuild a tree saved with :func:`save_tree` (identical layout)."""
+    with np.load(path) as archive:
+        kind = bytes(archive["kind"]).decode()
+        cls = _KINDS.get(kind)
+        if cls is None:
+            raise ValueError(f"unknown tree kind {kind!r} in archive")
+        dimension = int(archive["dimension"])
+        tree = cls(
+            dimension,
+            max_entries=int(archive["max_entries"]),
+            min_entries=int(archive["min_entries"]),
+        )
+        levels = archive["levels"]
+        is_leaf = archive["is_leaf"]
+        child_start = archive["child_start"]
+        child_count = archive["child_count"]
+        first_child = archive["first_child"]
+        lows = archive["entry_lows"]
+        highs = archive["entry_highs"]
+        payloads = pickle.loads(bytes(archive["payloads"]))
+
+        nodes = [
+            Node(is_leaf=bool(is_leaf[i]), level=int(levels[i]))
+            for i in range(levels.shape[0])
+        ]
+        for position, node in enumerate(nodes):
+            count = int(child_count[position])
+            if node.is_leaf:
+                start = int(child_start[position])
+                node.children = [
+                    LeafEntry(
+                        MBR(lows[start + offset], highs[start + offset]),
+                        payloads[start + offset],
+                    )
+                    for offset in range(count)
+                ]
+            elif count:
+                begin = int(first_child[position])
+                node.children = nodes[begin : begin + count]
+        # MBRs are derived state: rebuild bottom-up (leaves first) so every
+        # parent sees finished child rectangles.
+        for node in sorted(nodes, key=lambda n: n.level):
+            node.recompute_mbr()
+
+        tree.root = nodes[0] if nodes else Node(is_leaf=True, level=0)
+        tree._size = int(archive["size"])
+        return tree

@@ -1,0 +1,20 @@
+"""Shared utilities: argument validation, RNG plumbing, space-filling curves."""
+
+from repro.util.rng import ensure_rng, spawn_rngs
+from repro.util.validation import (
+    check_dimension,
+    check_fraction,
+    check_positive,
+    check_probability,
+    check_threshold,
+)
+
+__all__ = [
+    "check_dimension",
+    "check_fraction",
+    "check_positive",
+    "check_probability",
+    "check_threshold",
+    "ensure_rng",
+    "spawn_rngs",
+]

@@ -1,0 +1,137 @@
+"""Space-filling curves for linearising images into region sequences.
+
+Section 1 of the paper lists images as a source of multidimensional data
+sequences: "An image is segmented to a number of regions that can be ordered
+appropriately, based on space filling curves such as the Z-curve, gray coding,
+or the Hilbert curve."  This module implements the 2-d Hilbert curve and the
+Z-order (Morton) curve used by :mod:`repro.datagen.image` to order region
+grids into sequences.
+
+Both curves map between a cell coordinate ``(x, y)`` on a ``2**order`` by
+``2**order`` grid and a scalar curve position ``d`` in
+``[0, 4**order)``; the maps are exact inverses of each other.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check_order(order: int) -> int:
+    if order < 1:
+        raise ValueError(f"order must be >= 1, got {order}")
+    return int(order)
+
+
+def _check_cell(order: int, x: int, y: int) -> None:
+    side = 1 << order
+    if not (0 <= x < side and 0 <= y < side):
+        raise ValueError(f"cell ({x}, {y}) outside the {side}x{side} grid")
+
+
+def hilbert_d2xy(order: int, d: int) -> tuple[int, int]:
+    """Convert a Hilbert-curve position ``d`` to grid coordinates ``(x, y)``.
+
+    Parameters
+    ----------
+    order:
+        Curve order; the grid has ``2**order`` cells per side.
+    d:
+        Position along the curve, ``0 <= d < 4**order``.
+    """
+    _check_order(order)
+    side = 1 << order
+    if not 0 <= d < side * side:
+        raise ValueError(f"d={d} outside [0, {side * side})")
+    x = y = 0
+    t = int(d)
+    s = 1
+    while s < side:
+        rx = 1 & (t // 2)
+        ry = 1 & (t ^ rx)
+        x, y = _hilbert_rotate(s, x, y, rx, ry)
+        x += s * rx
+        y += s * ry
+        t //= 4
+        s *= 2
+    return x, y
+
+
+def hilbert_xy2d(order: int, x: int, y: int) -> int:
+    """Convert grid coordinates ``(x, y)`` to a Hilbert-curve position."""
+    _check_order(order)
+    _check_cell(order, x, y)
+    side = 1 << order
+    d = 0
+    s = side // 2
+    while s > 0:
+        rx = 1 if (x & s) > 0 else 0
+        ry = 1 if (y & s) > 0 else 0
+        d += s * s * ((3 * rx) ^ ry)
+        x, y = _hilbert_rotate(s, x, y, rx, ry)
+        s //= 2
+    return d
+
+
+def _hilbert_rotate(s: int, x: int, y: int, rx: int, ry: int) -> tuple[int, int]:
+    """Rotate/flip a quadrant as required by the Hilbert recursion."""
+    if ry == 0:
+        if rx == 1:
+            x = s - 1 - x
+            y = s - 1 - y
+        x, y = y, x
+    return x, y
+
+
+def zorder_xy2d(order: int, x: int, y: int) -> int:
+    """Convert grid coordinates to a Z-order (Morton) curve position."""
+    _check_order(order)
+    _check_cell(order, x, y)
+    d = 0
+    for bit in range(order):
+        d |= ((x >> bit) & 1) << (2 * bit)
+        d |= ((y >> bit) & 1) << (2 * bit + 1)
+    return d
+
+
+def zorder_d2xy(order: int, d: int) -> tuple[int, int]:
+    """Convert a Z-order curve position to grid coordinates."""
+    _check_order(order)
+    side = 1 << order
+    if not 0 <= d < side * side:
+        raise ValueError(f"d={d} outside [0, {side * side})")
+    x = y = 0
+    for bit in range(order):
+        x |= ((d >> (2 * bit)) & 1) << bit
+        y |= ((d >> (2 * bit + 1)) & 1) << bit
+    return x, y
+
+
+def curve_ordering(order: int, curve: str = "hilbert") -> np.ndarray:
+    """Return cell coordinates of a full grid traversal, in curve order.
+
+    Parameters
+    ----------
+    order:
+        Grid order (``2**order`` cells per side).
+    curve:
+        ``"hilbert"`` or ``"zorder"``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer array of shape ``(4**order, 2)`` whose row ``d`` is the
+        ``(x, y)`` cell visited at curve position ``d``.
+    """
+    _check_order(order)
+    if curve == "hilbert":
+        d2xy = hilbert_d2xy
+    elif curve == "zorder":
+        d2xy = zorder_d2xy
+    else:
+        raise ValueError(f"unknown curve {curve!r}; expected 'hilbert' or 'zorder'")
+    side = 1 << order
+    coords = np.empty((side * side, 2), dtype=np.int64)
+    for d in range(side * side):
+        coords[d] = d2xy(order, d)
+    return coords

@@ -1,0 +1,43 @@
+"""Random-number-generator plumbing.
+
+Every stochastic entry point in the library accepts a ``seed`` argument that
+may be ``None``, an integer seed, or an existing :class:`numpy.random.Generator`.
+:func:`ensure_rng` normalises all three into a ``Generator`` so internal code
+never touches the legacy ``numpy.random`` global state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedLike = "int | np.random.Generator | np.random.SeedSequence | None"
+
+
+def ensure_rng(seed=None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any seed-like input.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh entropy), an ``int``, a ``SeedSequence``, or an
+        existing ``Generator`` (returned unchanged so callers can share one).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent generators from one seed.
+
+    Useful when a workload fans out into independent pieces (e.g. one RNG per
+    generated sequence) and results must not depend on generation order.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if isinstance(seed, np.random.Generator):
+        # Spawn via the generator's own bit generator seed sequence.
+        children = seed.bit_generator.seed_seq.spawn(count)
+    else:
+        children = np.random.SeedSequence(seed).spawn(count)
+    return [np.random.default_rng(child) for child in children]

@@ -1,0 +1,87 @@
+"""Argument-validation helpers used across the library.
+
+All helpers raise :class:`ValueError` (or :class:`TypeError` for wrong types)
+with messages that name the offending parameter, so call sites stay terse::
+
+    check_positive("window", window)
+    check_threshold(epsilon, dimension=3)
+"""
+
+from __future__ import annotations
+
+import numbers
+
+import numpy as np
+
+
+def check_positive(name: str, value: float, *, strict: bool = True) -> float:
+    """Validate that ``value`` is a positive (or non-negative) real number.
+
+    Parameters
+    ----------
+    name:
+        Parameter name used in the error message.
+    value:
+        The number to check.
+    strict:
+        When true (default), require ``value > 0``; otherwise ``value >= 0``.
+
+    Returns
+    -------
+    float
+        ``value`` unchanged, for inline use.
+    """
+    if not isinstance(value, numbers.Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return float(value)
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Validate that ``value`` lies in the closed unit interval ``[0, 1]``."""
+    if not isinstance(value, numbers.Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return float(value)
+
+
+def check_probability(name: str, value: float) -> float:
+    """Alias of :func:`check_fraction` with probability-flavoured wording."""
+    if not isinstance(value, numbers.Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value!r}")
+    return float(value)
+
+
+def check_dimension(name: str, value: int) -> int:
+    """Validate that ``value`` is a positive integer dimensionality."""
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value!r}")
+    return int(value)
+
+
+def check_threshold(epsilon: float, *, dimension: int | None = None) -> float:
+    """Validate a similarity threshold ``epsilon``.
+
+    The paper normalises the data space to the unit hyper-cube ``[0,1]^n``,
+    so the largest meaningful distance is the cube diagonal ``sqrt(n)``.
+    Thresholds beyond the diagonal are allowed (they simply select everything)
+    but negative thresholds are rejected.
+    """
+    check_positive("epsilon", epsilon, strict=False)
+    if dimension is not None:
+        check_dimension("dimension", dimension)
+        diagonal = float(np.sqrt(dimension))
+        if epsilon > diagonal * 10:
+            raise ValueError(
+                f"epsilon={epsilon!r} is implausibly large for the unit "
+                f"{dimension}-cube (diagonal {diagonal:.3f})"
+            )
+    return float(epsilon)

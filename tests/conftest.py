@@ -1,0 +1,79 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.mbr import MBR
+from repro.core.sequence import MultidimensionalSequence
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies
+# ----------------------------------------------------------------------
+
+
+def unit_points(dimension: int, length):
+    """Strategy: (length, dimension) float arrays inside the unit cube."""
+    return arrays(
+        dtype=np.float64,
+        shape=st.tuples(length, st.just(dimension)),
+        elements=st.floats(0.0, 1.0, allow_nan=False, width=64),
+    )
+
+
+def unit_sequences(dimension=st.integers(1, 4), length=st.integers(1, 40)):
+    """Strategy: MultidimensionalSequence in the unit cube."""
+    return st.builds(
+        MultidimensionalSequence,
+        dimension.flatmap(lambda d: unit_points(d, length)),
+    )
+
+
+def mbr_pairs(dimension: int):
+    """Strategy: pairs of MBRs of the same dimension in the unit cube."""
+
+    def make_mbr(corners):
+        a, b = corners
+        return MBR(np.minimum(a, b), np.maximum(a, b))
+
+    corner = arrays(
+        dtype=np.float64,
+        shape=(dimension,),
+        elements=st.floats(0.0, 1.0, allow_nan=False, width=64),
+    )
+    one = st.tuples(corner, corner).map(make_mbr)
+    return st.tuples(one, one)
+
+
+# ----------------------------------------------------------------------
+# Fixtures
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG shared by randomised (non-hypothesis) tests."""
+    return np.random.default_rng(20000301)
+
+
+@pytest.fixture
+def small_sequences(rng):
+    """Twelve short random 3-d sequences for integration-style tests."""
+    return [
+        MultidimensionalSequence(
+            rng.random((int(rng.integers(20, 60)), 3)), sequence_id=i
+        )
+        for i in range(12)
+    ]
+
+
+def brute_force_within(items, query: MBR, epsilon: float):
+    """Reference implementation of an index ``search_within`` probe."""
+    return {
+        payload
+        for mbr, payload in items
+        if mbr.min_distance(query) <= epsilon
+    }

@@ -1,0 +1,256 @@
+"""Unit tests for the metrics, experiment runner and report formatting."""
+
+import pytest
+
+from repro.analysis.experiment import (
+    PAPER_THRESHOLDS,
+    ExperimentConfig,
+    ExperimentRunner,
+)
+from repro.analysis.metrics import (
+    interval_recall,
+    precision,
+    pruning_rate,
+    recall,
+    response_time_ratio,
+    solution_interval_pruning_rate,
+)
+from repro.analysis.report import figure_table, format_table, paper_band_note, series
+from repro.core.solution_interval import IntervalSet
+
+
+class TestPruningRate:
+    def test_paper_formula(self):
+        # 100 sequences, 20 retrieved, 10 relevant: pruned 80 of 90.
+        assert pruning_rate(100, 20, 10) == pytest.approx(80 / 90)
+
+    def test_perfect_filter(self):
+        assert pruning_rate(100, 10, 10) == 1.0
+
+    def test_useless_filter(self):
+        assert pruning_rate(100, 100, 10) == 0.0
+
+    def test_everything_relevant(self):
+        assert pruning_rate(50, 50, 50) == 1.0
+
+    def test_false_dismissal_detected(self):
+        with pytest.raises(ValueError, match="dismissed"):
+            pruning_rate(100, 5, 10)
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            pruning_rate(10, 11, 2)
+        with pytest.raises(ValueError):
+            pruning_rate(10, 5, 11)
+
+
+class TestSiPruningRate:
+    def test_formula(self):
+        assert solution_interval_pruning_rate(1000, 300, 100) == pytest.approx(
+            700 / 900
+        )
+
+    def test_nothing_prunable(self):
+        assert solution_interval_pruning_rate(100, 100, 100) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            solution_interval_pruning_rate(100, 150, 10)
+        with pytest.raises(ValueError):
+            solution_interval_pruning_rate(100, 50, 150)
+
+
+class TestRecallPrecision:
+    def test_recall(self):
+        assert recall({1, 2, 3}, {2, 3, 4}) == pytest.approx(2 / 3)
+        assert recall(set(), set()) == 1.0
+        assert recall(set(), {1}) == 0.0
+
+    def test_precision(self):
+        assert precision({1, 2, 3, 4}, {2, 3}) == pytest.approx(0.5)
+        assert precision(set(), {1}) == 1.0
+
+    def test_interval_recall(self):
+        approx = IntervalSet([(0, 10)])
+        exact = IntervalSet([(5, 15)])
+        assert interval_recall(approx, exact) == pytest.approx(0.5)
+        assert interval_recall(IntervalSet(), IntervalSet()) == 1.0
+
+
+class TestResponseRatio:
+    def test_basic(self):
+        assert response_time_ratio(10.0, 0.5) == pytest.approx(20.0)
+
+    def test_zero_method_time(self):
+        assert response_time_ratio(1.0, 0.0) == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            response_time_ratio(-1.0, 1.0)
+
+
+class TestExperimentConfig:
+    def test_paper_presets_match_table2(self):
+        synthetic = ExperimentConfig.paper_synthetic()
+        video = ExperimentConfig.paper_video()
+        assert synthetic.n_sequences == 1600
+        assert video.n_sequences == 1408
+        assert synthetic.length_range == (56, 512)
+        assert synthetic.queries_per_threshold == 20
+        assert synthetic.thresholds == PAPER_THRESHOLDS
+        assert PAPER_THRESHOLDS[0] == 0.05
+        assert PAPER_THRESHOLDS[-1] == 0.50
+        assert len(PAPER_THRESHOLDS) == 10
+
+    def test_overrides(self):
+        config = ExperimentConfig.paper_synthetic(n_sequences=10)
+        assert config.n_sequences == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(dataset="images").validate()
+        with pytest.raises(ValueError):
+            ExperimentConfig(n_sequences=0).validate()
+        with pytest.raises(ValueError):
+            ExperimentConfig(thresholds=()).validate()
+        with pytest.raises(ValueError):
+            ExperimentConfig(thresholds=(-0.1,)).validate()
+        with pytest.raises(ValueError):
+            ExperimentConfig(queries_per_threshold=0).validate()
+
+
+class TestExperimentRunner:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        config = ExperimentConfig.smoke_synthetic(
+            n_sequences=40,
+            queries_per_threshold=2,
+            thresholds=(0.1, 0.3),
+            length_range=(40, 80),
+        )
+        return ExperimentRunner(config).run()
+
+    def test_one_row_per_threshold(self, rows):
+        assert [row.epsilon for row in rows] == [0.1, 0.3]
+
+    def test_no_false_dismissals_in_aggregate(self, rows):
+        for row in rows:
+            assert row.answer_recall == pytest.approx(1.0)
+
+    def test_rates_are_fractions(self, rows):
+        for row in rows:
+            assert 0.0 <= row.pr_dmbr <= 1.0
+            assert 0.0 <= row.pr_dnorm <= 1.0
+            assert 0.0 <= row.si_pruning <= 1.0
+            assert 0.0 <= row.si_recall <= 1.0
+
+    def test_dnorm_prunes_at_least_dmbr(self, rows):
+        for row in rows:
+            assert row.pr_dnorm >= row.pr_dmbr - 1e-12
+
+    def test_counts_ordered(self, rows):
+        for row in rows:
+            assert row.mean_relevant <= row.mean_answers <= row.mean_candidates
+
+    def test_times_recorded(self, rows):
+        for row in rows:
+            assert row.method_seconds > 0
+            assert row.scan_seconds > 0
+            assert row.response_ratio == pytest.approx(
+                row.scan_seconds / row.method_seconds
+            )
+
+    def test_video_dataset_supported(self):
+        config = ExperimentConfig.smoke_video(
+            n_sequences=20, queries_per_threshold=1, thresholds=(0.2,),
+            length_range=(40, 60),
+        )
+        rows = ExperimentRunner(config).run()
+        assert len(rows) == 1
+        assert rows[0].answer_recall == pytest.approx(1.0)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bb"], [[1, 2.5], [30, 0.125]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "2.500" in lines[2]
+        assert "0.125" in lines[3]
+
+    def test_figure_table_and_band(self):
+        config = ExperimentConfig.smoke_synthetic(
+            n_sequences=30, queries_per_threshold=1, thresholds=(0.2,),
+            length_range=(40, 60),
+        )
+        rows = ExperimentRunner(config).run()
+        text = figure_table("fig6", rows)
+        assert "pr_dmbr" in text
+        assert "paper:" in text
+        assert paper_band_note("fig10").startswith("paper:")
+
+    def test_unknown_figure(self):
+        with pytest.raises(ValueError):
+            paper_band_note("fig99")
+        with pytest.raises(ValueError):
+            figure_table("fig99", [])
+
+    def test_series_extraction(self):
+        config = ExperimentConfig.smoke_synthetic(
+            n_sequences=20, queries_per_threshold=1, thresholds=(0.1,),
+            length_range=(40, 60),
+        )
+        rows = ExperimentRunner(config).run()
+        extracted = series(rows, ["pr_dmbr"])
+        assert extracted[0][0] == 0.1
+        assert isinstance(extracted[0][1], float)
+
+
+class TestSparklines:
+    def test_sparkline_monotone(self):
+        from repro.analysis.report import sparkline
+
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line == "▁▂▃▄▅▆▇█"
+
+    def test_sparkline_constant(self):
+        from repro.analysis.report import sparkline
+
+        assert sparkline([3, 3, 3]) == "▅▅▅"
+
+    def test_sparkline_fixed_bounds_clamp(self):
+        from repro.analysis.report import sparkline
+
+        line = sparkline([-10, 0.5, 10], low=0.0, high=1.0)
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_sparkline_empty_rejected(self):
+        import pytest as _pytest
+
+        from repro.analysis.report import sparkline
+
+        with _pytest.raises(ValueError):
+            sparkline([])
+
+    def test_sparkline_panel(self):
+        from repro.analysis.report import sparkline_panel
+
+        config = ExperimentConfig.smoke_synthetic(
+            n_sequences=20,
+            queries_per_threshold=1,
+            thresholds=(0.1, 0.3),
+            length_range=(40, 60),
+        )
+        rows = ExperimentRunner(config).run()
+        panel = sparkline_panel(rows, ["pr_dmbr", "si_recall"])
+        assert "pr_dmbr" in panel
+        assert "si_recall" in panel
+
+    def test_sparkline_panel_empty_rejected(self):
+        import pytest as _pytest
+
+        from repro.analysis.report import sparkline_panel
+
+        with _pytest.raises(ValueError):
+            sparkline_panel([], ["pr_dmbr"])

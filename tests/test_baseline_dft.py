@@ -1,0 +1,105 @@
+"""Unit tests for the DFT whole-sequence matcher (Agrawal et al.)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dft import DftWholeMatcher, dft_features
+from repro.datagen.timeseries import generate_random_walk
+
+
+class TestDftFeatures:
+    def test_feature_dimension(self):
+        features = dft_features(np.arange(16.0), 3)
+        assert features.shape == (6,)
+
+    def test_unitary_parseval(self):
+        """With the orthonormal convention, the full spectrum preserves
+        the Euclidean norm."""
+        rng = np.random.default_rng(1)
+        series = rng.random(32)
+        spectrum = np.fft.fft(series) / np.sqrt(32)
+        assert np.linalg.norm(spectrum) == pytest.approx(
+            np.linalg.norm(series)
+        )
+
+    def test_lower_bounding_property(self):
+        """Feature distance never exceeds time-domain distance — the no
+        false dismissal guarantee of the F-index."""
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            a = rng.random(64)
+            b = rng.random(64)
+            true = np.linalg.norm(a - b)
+            for fc in (1, 2, 5):
+                fa = dft_features(a, fc)
+                fb = dft_features(b, fc)
+                assert np.linalg.norm(fa - fb) <= true + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dft_features(np.arange(4.0), 0)
+        with pytest.raises(ValueError):
+            dft_features(np.arange(4.0), 5)
+
+
+class TestDftWholeMatcher:
+    def _build(self, count=40, length=64, seed=3):
+        matcher = DftWholeMatcher(length, n_coefficients=3)
+        series = {}
+        rng = np.random.default_rng(seed)
+        for i in range(count):
+            values = generate_random_walk(length, seed=rng)
+            matcher.add(values, i)
+            series[i] = values
+        return matcher, series
+
+    def test_no_false_dismissals_and_exact_answers(self):
+        matcher, series = self._build()
+        rng = np.random.default_rng(4)
+        for _ in range(10):
+            query = series[int(rng.integers(0, 40))] + rng.normal(0, 0.02, 64)
+            for epsilon in (0.1, 0.5, 1.5):
+                expected = {
+                    i
+                    for i, values in series.items()
+                    if np.linalg.norm(values - query) <= epsilon
+                }
+                candidates = matcher.candidates(query, epsilon)
+                answers = matcher.search(query, epsilon)
+                assert expected <= candidates  # lower bound: no dismissals
+                assert answers == expected  # post-filter: exact
+
+    def test_candidates_prune_something(self):
+        matcher, series = self._build(count=60)
+        query = series[0]
+        candidates = matcher.candidates(query, 0.2)
+        assert len(candidates) < len(series)
+
+    def test_equal_length_restriction(self):
+        matcher = DftWholeMatcher(32)
+        with pytest.raises(ValueError, match="length"):
+            matcher.add(np.zeros(16))
+        matcher.add(np.zeros(32), "z")
+        with pytest.raises(ValueError, match="length"):
+            matcher.candidates(np.zeros(16), 0.1)
+
+    def test_duplicate_id_rejected(self):
+        matcher = DftWholeMatcher(8)
+        matcher.add(np.zeros(8), "a")
+        with pytest.raises(KeyError):
+            matcher.add(np.ones(8), "a")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DftWholeMatcher(0)
+        with pytest.raises(ValueError):
+            DftWholeMatcher(8, n_coefficients=9)
+        matcher = DftWholeMatcher(8)
+        with pytest.raises(ValueError):
+            matcher.candidates(np.zeros(8), -1.0)
+
+    def test_index_stats_exposed(self):
+        matcher, _ = self._build(count=10)
+        matcher.index_stats.reset_query_counters()
+        matcher.search(np.zeros(64) + 0.5, 0.5)
+        assert matcher.index_stats.node_accesses > 0

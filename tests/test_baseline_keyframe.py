@@ -1,0 +1,106 @@
+"""Unit tests for the key-frame baseline (the paper's §1 motivation)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.keyframe import KeyFrameSearch, detect_shots, select_key_frames
+from repro.baselines.sequential import exact_range_search
+from repro.datagen.video import VideoConfig, generate_video_sequence
+
+
+class TestShotDetection:
+    def test_single_shot(self):
+        points = np.full((10, 2), 0.5)
+        assert detect_shots(points, 0.1) == [(0, 10)]
+
+    def test_cut_detected(self):
+        points = np.vstack([np.full((5, 2), 0.1), np.full((5, 2), 0.9)])
+        assert detect_shots(points, 0.1) == [(0, 5), (5, 10)]
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            detect_shots(np.zeros((3, 2)), 0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            detect_shots(np.zeros((0, 2)), 0.1)
+
+    def test_shots_tile_stream(self):
+        stream = generate_video_sequence(200, seed=1)
+        shots = detect_shots(stream.points, 0.1)
+        offset = 0
+        for start, stop in shots:
+            assert start == offset
+            offset = stop
+        assert offset == 200
+
+
+class TestKeyFrameSelection:
+    def test_one_key_per_shot(self):
+        points = np.vstack([np.full((4, 2), 0.2), np.full((6, 2), 0.8)])
+        keys = select_key_frames(points, [(0, 4), (4, 10)])
+        assert keys.shape == (2, 2)
+        np.testing.assert_allclose(keys[0], [0.2, 0.2])
+        np.testing.assert_allclose(keys[1], [0.8, 0.8])
+
+    def test_key_is_nearest_to_centroid(self):
+        points = np.array([[0.0, 0.0], [0.4, 0.4], [1.0, 1.0]])
+        keys = select_key_frames(points, [(0, 3)])
+        np.testing.assert_allclose(keys[0], [0.4, 0.4])
+
+
+class TestKeyFrameSearch:
+    def test_add_and_search_self(self):
+        engine = KeyFrameSearch()
+        stream = generate_video_sequence(150, seed=2)
+        engine.add(stream, "clip")
+        assert len(engine) == 1
+        assert "clip" in engine.search(stream, 0.01)
+
+    def test_duplicate_id_rejected(self):
+        engine = KeyFrameSearch()
+        stream = generate_video_sequence(60, seed=3)
+        engine.add(stream, "x")
+        with pytest.raises(KeyError):
+            engine.add(stream, "x")
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            KeyFrameSearch().key_frames("nope")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KeyFrameSearch(shot_threshold=0.0)
+        engine = KeyFrameSearch()
+        engine.add(generate_video_sequence(50, seed=4), 0)
+        with pytest.raises(ValueError):
+            engine.search(generate_video_sequence(20, seed=5), -0.1)
+
+    def test_key_frame_search_can_miss_true_answers(self):
+        """The paper's claim: key frames 'cannot always summarize all the
+        frames of a shot', so the scheme has false dismissals that the
+        exact scan exposes.  Verified statistically over a small corpus."""
+        config = VideoConfig(jitter=0.02, drift=0.01)
+        corpus = {
+            i: generate_video_sequence(200, config, seed=100 + i)
+            for i in range(15)
+        }
+        engine = KeyFrameSearch()
+        for sequence_id, stream in corpus.items():
+            engine.add(stream, sequence_id)
+
+        epsilon = 0.05
+        missed_any = False
+        rng = np.random.default_rng(9)
+        for _ in range(10):
+            source = corpus[int(rng.integers(0, 15))]
+            start = int(rng.integers(0, len(source) - 30))
+            query = source.points[start : start + 30]
+            relevant = exact_range_search(query, corpus, epsilon)
+            retrieved = engine.search(query, epsilon)
+            if relevant - retrieved:
+                missed_any = True
+                break
+        assert missed_any, (
+            "expected at least one false dismissal from key-frame search"
+        )

@@ -1,0 +1,116 @@
+"""Unit tests for the sequential-scan ground-truth baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sequential import (
+    SequentialScan,
+    exact_range_search,
+    exact_solution_interval,
+)
+from repro.core.database import SequenceDatabase
+from repro.core.distance import mean_distance, sequence_distance
+from repro.core.sequence import MultidimensionalSequence
+from repro.core.solution_interval import IntervalSet
+
+
+class TestExactSolutionInterval:
+    def test_exact_match_window(self):
+        data = MultidimensionalSequence(
+            [[0.1], [0.5], [0.6], [0.7], [0.1], [0.1]]
+        )
+        query = MultidimensionalSequence([[0.5], [0.6], [0.7]])
+        si = exact_solution_interval(query, data, 0.0)
+        assert si == IntervalSet([(1, 4)])
+
+    def test_no_match(self):
+        data = MultidimensionalSequence([[0.0], [0.0], [0.0]])
+        query = MultidimensionalSequence([[1.0], [1.0]])
+        assert not exact_solution_interval(query, data, 0.5)
+
+    def test_overlapping_windows_merge(self):
+        data = MultidimensionalSequence([[0.5], [0.5], [0.5], [0.5]])
+        query = MultidimensionalSequence([[0.5], [0.5]])
+        si = exact_solution_interval(query, data, 0.01)
+        assert si == IntervalSet([(0, 4)])
+
+    def test_matches_definition_by_brute_force(self, rng):
+        data = MultidimensionalSequence(rng.random((40, 2)))
+        query = MultidimensionalSequence(rng.random((6, 2)))
+        epsilon = 0.4
+        si = exact_solution_interval(query, data, epsilon)
+        expected = set()
+        for j in range(len(data) - len(query) + 1):
+            if mean_distance(query.points, data.points[j : j + 6]) <= epsilon:
+                expected.update(range(j, j + 6))
+        assert set(si) == expected
+
+    def test_long_query_full_or_empty(self, rng):
+        data = MultidimensionalSequence(rng.random((10, 2)))
+        query = MultidimensionalSequence(rng.random((25, 2)))
+        epsilon = sequence_distance(query, data)
+        assert exact_solution_interval(query, data, epsilon + 1e-9) == (
+            IntervalSet.full(10)
+        )
+        assert not exact_solution_interval(query, data, epsilon - 1e-9)
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            exact_solution_interval([[0.1]], [[0.1]], -1.0)
+
+
+class TestExactRangeSearch:
+    def test_matches_sequence_distance(self, rng):
+        corpus = {
+            i: MultidimensionalSequence(rng.random((30, 2))) for i in range(8)
+        }
+        query = rng.random((5, 2))
+        for epsilon in (0.1, 0.3, 0.6):
+            expected = {
+                i
+                for i, seq in corpus.items()
+                if sequence_distance(query, seq) <= epsilon
+            }
+            assert exact_range_search(query, corpus, epsilon) == expected
+
+    def test_long_queries_supported(self, rng):
+        corpus = {0: MultidimensionalSequence(rng.random((10, 2)))}
+        query = rng.random((40, 2))
+        hits = exact_range_search(query, corpus, 2.0)
+        assert hits == {0}
+
+
+class TestSequentialScan:
+    def test_scan_answers_and_intervals(self, rng):
+        corpus = {
+            i: MultidimensionalSequence(rng.random((50, 3))) for i in range(6)
+        }
+        scanner = SequentialScan(corpus)
+        query = corpus[2].points[10:25]
+        result = scanner.scan(query, 0.05)
+        assert 2 in result.answers
+        assert 2 in result.solution_intervals
+        assert IntervalSet([(10, 25)]).issubset(result.solution_intervals[2])
+        assert result.seconds > 0
+
+    def test_find_intervals_false(self, rng):
+        corpus = {0: MultidimensionalSequence(rng.random((30, 2)))}
+        scanner = SequentialScan(corpus)
+        result = scanner.scan(corpus[0].points[:10], 0.1, find_intervals=False)
+        assert result.answers == {0}
+        assert result.solution_intervals == {}
+
+    def test_from_database(self, rng):
+        db = SequenceDatabase(dimension=2)
+        db.add(rng.random((40, 2)), sequence_id="a")
+        scanner = SequentialScan.from_database(db)
+        assert set(scanner.sequences) == {"a"}
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            SequentialScan({})
+
+    def test_negative_epsilon_rejected(self, rng):
+        scanner = SequentialScan({0: MultidimensionalSequence(rng.random((5, 2)))})
+        with pytest.raises(ValueError):
+            scanner.scan(rng.random((3, 2)), -0.1)

@@ -1,0 +1,126 @@
+"""Unit tests for the ST-index subsequence matcher (FRM'94)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.stindex import (
+    STIndexSubsequenceMatcher,
+    window_features,
+)
+from repro.datagen.timeseries import generate_random_walk
+
+
+def brute_force_matches(series_map, query, epsilon):
+    """All (id, offset) whose window is within Euclidean epsilon."""
+    hits = set()
+    length = query.size
+    for sequence_id, values in series_map.items():
+        for offset in range(values.size - length + 1):
+            block = values[offset : offset + length]
+            if np.linalg.norm(block - query) <= epsilon:
+                hits.add((sequence_id, offset))
+    return hits
+
+
+class TestWindowFeatures:
+    def test_shape(self):
+        trail = window_features(np.arange(20.0), 8, 2)
+        assert trail.shape == (13, 4)
+
+    def test_rows_match_single_window_dft(self):
+        rng = np.random.default_rng(1)
+        series = rng.random(30)
+        trail = window_features(series, 8, 2)
+        from repro.baselines.dft import dft_features
+
+        for j in (0, 5, 22):
+            np.testing.assert_allclose(
+                trail[j], dft_features(series[j : j + 8], 2), atol=1e-12
+            )
+
+    def test_window_feature_distance_lower_bounds(self):
+        rng = np.random.default_rng(2)
+        a = rng.random(16)
+        b = rng.random(16)
+        fa = window_features(a, 16, 3)[0]
+        fb = window_features(b, 16, 3)[0]
+        assert np.linalg.norm(fa - fb) <= np.linalg.norm(a - b) + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            window_features(np.arange(4.0), 0, 1)
+        with pytest.raises(ValueError):
+            window_features(np.arange(4.0), 8, 1)
+        with pytest.raises(ValueError):
+            window_features(np.arange(8.0), 8, 0)
+
+
+class TestSTIndexMatcher:
+    def _build(self, count=15, seed=3, window=8):
+        matcher = STIndexSubsequenceMatcher(window=window, n_coefficients=2)
+        series = {}
+        rng = np.random.default_rng(seed)
+        for i in range(count):
+            values = generate_random_walk(int(rng.integers(40, 120)), seed=rng)
+            matcher.add(values, i)
+            series[i] = values
+        return matcher, series
+
+    def test_exact_matches_vs_brute_force(self):
+        matcher, series = self._build()
+        rng = np.random.default_rng(4)
+        for trial in range(8):
+            source = series[int(rng.integers(0, len(series)))]
+            length = int(rng.integers(8, 25))
+            start = int(rng.integers(0, source.size - length + 1))
+            query = source[start : start + length] + rng.normal(0, 0.01, length)
+            for epsilon in (0.05, 0.2, 0.6):
+                got = {
+                    (m.sequence_id, m.offset)
+                    for m in matcher.search(query, epsilon)
+                }
+                expected = brute_force_matches(series, query, epsilon)
+                assert got == expected
+
+    def test_match_distances_correct(self):
+        matcher, series = self._build()
+        query = series[0][5:20]
+        matches = matcher.search(query, 0.5)
+        for match in matches:
+            block = series[match.sequence_id][
+                match.offset : match.offset + 15
+            ]
+            assert match.distance == pytest.approx(
+                float(np.linalg.norm(block - query))
+            )
+
+    def test_exact_subsequence_found_at_zero_epsilon(self):
+        matcher, series = self._build()
+        query = series[2][3:30]
+        got = {(m.sequence_id, m.offset) for m in matcher.search(query, 0.0)}
+        assert (2, 3) in got
+
+    def test_query_shorter_than_window_rejected(self):
+        matcher, _ = self._build(window=16)
+        with pytest.raises(ValueError, match="shorter than window"):
+            matcher.search(np.zeros(8), 0.1)
+
+    def test_series_shorter_than_window_rejected(self):
+        matcher = STIndexSubsequenceMatcher(window=16)
+        with pytest.raises(ValueError, match="shorter than window"):
+            matcher.add(np.zeros(8))
+
+    def test_duplicate_id_rejected(self):
+        matcher = STIndexSubsequenceMatcher(window=4)
+        matcher.add(np.zeros(10), "a")
+        with pytest.raises(KeyError):
+            matcher.add(np.zeros(10), "a")
+
+    def test_negative_epsilon_rejected(self):
+        matcher, _ = self._build()
+        with pytest.raises(ValueError):
+            matcher.search(np.zeros(10), -0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            STIndexSubsequenceMatcher(window=0)

@@ -1,0 +1,75 @@
+"""Unit tests for STR bulk loading."""
+
+import math
+
+import pytest
+
+from repro.core.mbr import MBR
+from repro.index.bulk import bulk_load_str
+from tests.conftest import brute_force_within
+from tests.test_rtree import random_boxes
+
+
+class TestBulkLoad:
+    def test_empty(self):
+        tree = bulk_load_str([], dimension=2)
+        assert len(tree) == 0
+        assert tree.search_within(MBR([0, 0], [1, 1]), 1.0) == []
+
+    def test_single_item(self):
+        tree = bulk_load_str([(MBR([0.1], [0.2]), "x")], dimension=1)
+        assert len(tree) == 1
+        assert tree.height == 1
+
+    def test_all_entries_present(self, rng):
+        items = random_boxes(rng, 137)
+        tree = bulk_load_str(items, dimension=2, max_entries=8)
+        assert len(tree) == 137
+        assert {e.payload for e in tree.entries()} == set(range(137))
+
+    def test_structure_valid(self, rng):
+        items = random_boxes(rng, 200, dimension=3)
+        tree = bulk_load_str(items, dimension=3, max_entries=10)
+        tree.check_invariants(check_min_fill=False)
+
+    def test_queries_match_brute_force(self, rng):
+        items = random_boxes(rng, 180)
+        tree = bulk_load_str(items, dimension=2, max_entries=8)
+        for _ in range(20):
+            low = rng.random(2) * 0.8
+            query = MBR(low, low + rng.random(2) * 0.2)
+            epsilon = float(rng.random() * 0.25)
+            expected = brute_force_within(items, query, epsilon)
+            got = {e.payload for e in tree.search_within(query, epsilon)}
+            assert got == expected
+
+    def test_height_near_optimal(self, rng):
+        """STR packs nodes full: height close to ceil(log_M(count))."""
+        count = 500
+        capacity = 10
+        items = random_boxes(rng, count)
+        tree = bulk_load_str(items, dimension=2, max_entries=capacity)
+        optimal = max(1, math.ceil(math.log(count, capacity)))
+        assert tree.height <= optimal + 1
+
+    def test_dimension_checked(self):
+        with pytest.raises(ValueError, match="dimension"):
+            bulk_load_str([(MBR([0.1], [0.2]), 0)], dimension=2)
+
+    def test_dynamic_insert_after_bulk(self, rng):
+        items = random_boxes(rng, 64)
+        tree = bulk_load_str(items, dimension=2, max_entries=8)
+        tree.insert(MBR([0.95, 0.95], [0.99, 0.99]), "late")
+        assert len(tree) == 65
+        got = {
+            e.payload
+            for e in tree.search_within(MBR([0.9, 0.9], [1.0, 1.0]), 0.0)
+        }
+        assert "late" in got
+
+    def test_one_dimensional(self, rng):
+        items = [(MBR([i / 100], [i / 100 + 0.005]), i) for i in range(100)]
+        tree = bulk_load_str(items, dimension=1, max_entries=4)
+        got = {e.payload for e in tree.search_within(MBR([0.5], [0.52]), 0.0)}
+        expected = brute_force_within(items, MBR([0.5], [0.52]), 0.0)
+        assert got == expected

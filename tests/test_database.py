@@ -1,0 +1,115 @@
+"""Unit tests for the sequence database (Section 3.4.1 pre-processing)."""
+
+import numpy as np
+import pytest
+
+from repro.core.database import SegmentKey, SequenceDatabase
+from repro.core.sequence import MultidimensionalSequence
+
+
+class TestPopulation:
+    def test_add_returns_id(self, rng):
+        db = SequenceDatabase(dimension=3)
+        assert db.add(rng.random((30, 3)), sequence_id="a") == "a"
+        assert "a" in db
+        assert len(db) == 1
+
+    def test_auto_ids_are_ordinals(self, rng):
+        db = SequenceDatabase(dimension=2)
+        ids = [db.add(rng.random((10, 2))) for _ in range(3)]
+        assert ids == [0, 1, 2]
+
+    def test_id_from_sequence_object(self, rng):
+        db = SequenceDatabase(dimension=2)
+        seq = MultidimensionalSequence(rng.random((10, 2)), sequence_id="named")
+        assert db.add(seq) == "named"
+
+    def test_duplicate_id_rejected(self, rng):
+        db = SequenceDatabase(dimension=2)
+        db.add(rng.random((10, 2)), sequence_id="x")
+        with pytest.raises(KeyError, match="already stored"):
+            db.add(rng.random((10, 2)), sequence_id="x")
+
+    def test_dimension_mismatch_rejected(self, rng):
+        db = SequenceDatabase(dimension=3)
+        with pytest.raises(ValueError, match="dimension"):
+            db.add(rng.random((10, 2)))
+
+    def test_add_all(self, rng):
+        db = SequenceDatabase(dimension=2)
+        ids = db.add_all(rng.random((8, 2)) for _ in range(4))
+        assert ids == [0, 1, 2, 3]
+        assert db.ids() == ids
+
+    def test_counts(self, rng):
+        db = SequenceDatabase(dimension=2)
+        db.add(rng.random((25, 2)))
+        db.add(rng.random((35, 2)))
+        assert db.point_count == 60
+        assert db.segment_count == sum(len(p) for _, p in db.partitions())
+
+    def test_unknown_id_raises(self):
+        db = SequenceDatabase(dimension=2)
+        with pytest.raises(KeyError, match="unknown sequence id"):
+            db.partition("nope")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SequenceDatabase(dimension=0)
+        with pytest.raises(ValueError, match="index_kind"):
+            SequenceDatabase(dimension=2, index_kind="btree")
+
+
+class TestIndexKinds:
+    @pytest.mark.parametrize("kind", ["rtree", "rstar", "str"])
+    def test_index_holds_every_segment(self, rng, kind):
+        db = SequenceDatabase(dimension=2, index_kind=kind)
+        for i in range(6):
+            db.add(rng.random((int(rng.integers(20, 50)), 2)), sequence_id=i)
+        index = db.index
+        assert len(index) == db.segment_count
+        keys = {(e.payload.sequence_id, e.payload.segment_index)
+                for e in index.entries()}
+        expected = {
+            (sid, segment.index)
+            for sid, partition in db.partitions()
+            for segment in partition
+        }
+        assert keys == expected
+
+    def test_str_index_rebuilt_after_late_insert(self, rng):
+        db = SequenceDatabase(dimension=2, index_kind="str")
+        db.add(rng.random((20, 2)), sequence_id=0)
+        first = db.index
+        assert len(first) == db.segment_count
+        db.add(rng.random((20, 2)), sequence_id=1)
+        second = db.index
+        assert len(second) == db.segment_count
+        assert second is not first
+
+    def test_payloads_are_segment_keys(self, rng):
+        db = SequenceDatabase(dimension=2)
+        db.add(rng.random((30, 2)), sequence_id="s")
+        entry = next(iter(db.index.entries()))
+        assert isinstance(entry.payload, SegmentKey)
+        assert entry.payload.sequence_id == "s"
+
+    def test_index_mbrs_match_partition(self, rng):
+        db = SequenceDatabase(dimension=2)
+        db.add(rng.random((40, 2)), sequence_id="s")
+        partition = db.partition("s")
+        for entry in db.index.entries():
+            segment = partition[entry.payload.segment_index]
+            assert entry.mbr == segment.mbr
+
+    def test_partition_parameters_forwarded(self, rng):
+        db = SequenceDatabase(dimension=2, cost_constant=0.5, max_points=5)
+        db.add(rng.random((40, 2)), sequence_id="s")
+        partition = db.partition("s")
+        assert partition.cost_constant == 0.5
+        assert max(partition.counts) <= 5
+
+    def test_repr(self, rng):
+        db = SequenceDatabase(dimension=2)
+        db.add(rng.random((10, 2)))
+        assert "sequences=1" in repr(db)

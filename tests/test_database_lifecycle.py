@@ -1,0 +1,168 @@
+"""Unit tests for sequence removal, persistence and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.database import SequenceDatabase
+from repro.core.search import SimilaritySearch
+
+
+class TestRemove:
+    def _database(self, rng, kind="rtree"):
+        db = SequenceDatabase(dimension=2, index_kind=kind)
+        for i in range(8):
+            db.add(rng.random((int(rng.integers(20, 50)), 2)), sequence_id=i)
+        return db
+
+    @pytest.mark.parametrize("kind", ["rtree", "rstar", "str"])
+    def test_remove_drops_sequence_and_index_entries(self, rng, kind):
+        db = self._database(rng, kind)
+        before = db.segment_count
+        removed_segments = len(db.partition(3))
+        db.remove(3)
+        assert 3 not in db
+        assert len(db) == 7
+        assert db.segment_count == before - removed_segments
+        index = db.index
+        assert len(index) == db.segment_count
+        assert all(
+            e.payload.sequence_id != 3 for e in index.entries()
+        )
+
+    def test_remove_unknown_raises(self, rng):
+        db = self._database(rng)
+        with pytest.raises(KeyError):
+            db.remove("missing")
+
+    def test_search_after_remove(self, rng):
+        db = self._database(rng)
+        query = db.sequence(5).points[:10]
+        engine = SimilaritySearch(db)
+        assert 5 in engine.search(query, 0.05, find_intervals=False).answers
+        db.remove(5)
+        result = engine.search(query, 0.05, find_intervals=False)
+        assert 5 not in result.answers
+
+    def test_readd_after_remove(self, rng):
+        db = self._database(rng)
+        points = db.sequence(2).points.copy()
+        db.remove(2)
+        db.add(points, sequence_id=2)
+        assert 2 in db
+        db.index.check_invariants()
+
+
+class TestPersistence:
+    def test_round_trip(self, rng, tmp_path):
+        db = SequenceDatabase(dimension=3, cost_constant=0.25, max_points=32)
+        for i in range(5):
+            db.add(rng.random((30, 3)), sequence_id=f"clip-{i}")
+        db.add(rng.random((20, 3)), sequence_id=77)
+        path = tmp_path / "db.npz"
+        db.save(path)
+
+        loaded = SequenceDatabase.load(path)
+        assert loaded.dimension == 3
+        assert loaded.cost_constant == 0.25
+        assert loaded.max_points == 32
+        assert set(loaded.ids()) == set(db.ids())
+        for sequence_id in db.ids():
+            np.testing.assert_array_equal(
+                loaded.sequence(sequence_id).points,
+                db.sequence(sequence_id).points,
+            )
+            assert len(loaded.partition(sequence_id)) == len(
+                db.partition(sequence_id)
+            )
+
+    def test_loaded_database_searches_identically(self, rng, tmp_path):
+        db = SequenceDatabase(dimension=2)
+        for i in range(6):
+            db.add(rng.random((40, 2)), sequence_id=i)
+        path = tmp_path / "db.npz"
+        db.save(path)
+        loaded = SequenceDatabase.load(path)
+
+        query = db.sequence(1).points[5:20]
+        original = SimilaritySearch(db).search(query, 0.15)
+        reloaded = SimilaritySearch(loaded).search(query, 0.15)
+        assert original.answers == reloaded.answers
+        assert original.solution_intervals == reloaded.solution_intervals
+
+    def test_exotic_ids_rejected(self, rng, tmp_path):
+        db = SequenceDatabase(dimension=1)
+        db.add(rng.random((5, 1)), sequence_id=("tuple", "id"))
+        with pytest.raises(TypeError, match="ids"):
+            db.save(tmp_path / "db.npz")
+
+
+class TestCli:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_runs(self, capsys):
+        code = main(
+            ["demo", "--dataset", "fractal", "--sequences", "25", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "false dismissals: 0" in out
+
+    def test_sweep_runs(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--dataset",
+                "fractal",
+                "--sequences",
+                "25",
+                "--queries",
+                "1",
+                "--thresholds",
+                "0.2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out
+        assert "fig10" in out
+
+    def test_sweep_multi_threshold_prints_sparklines(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--dataset",
+                "video",
+                "--sequences",
+                "25",
+                "--queries",
+                "1",
+                "--thresholds",
+                "0.1",
+                "0.3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out
+        assert "pr_dnorm" in out
+        assert any(mark in out for mark in "▁▂▃▄▅▆▇█")
+
+    def test_generate_and_reload(self, capsys, tmp_path):
+        out_path = tmp_path / "corpus.npz"
+        code = main(
+            [
+                "generate",
+                "--dataset",
+                "video",
+                "--sequences",
+                "10",
+                "--out",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        loaded = SequenceDatabase.load(out_path)
+        assert len(loaded) == 10

@@ -1,0 +1,115 @@
+"""Unit tests for the fractal sequence generator (Section 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.fractal import generate_fractal_corpus, generate_fractal_sequence
+
+
+class TestSingleSequence:
+    def test_shape_and_bounds(self):
+        seq = generate_fractal_sequence(100, 3, seed=1)
+        assert len(seq) == 100
+        assert seq.dimension == 3
+        assert seq.points.min() >= 0.0
+        assert seq.points.max() <= 1.0
+
+    def test_length_one(self):
+        seq = generate_fractal_sequence(1, 2, seed=1)
+        assert len(seq) == 1
+
+    def test_non_power_of_two_lengths(self):
+        for length in (2, 3, 57, 100, 511):
+            seq = generate_fractal_sequence(length, 2, seed=length)
+            assert len(seq) == length
+
+    def test_deterministic_under_seed(self):
+        a = generate_fractal_sequence(64, 3, seed=42)
+        b = generate_fractal_sequence(64, 3, seed=42)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_fractal_sequence(64, 3, seed=1)
+        b = generate_fractal_sequence(64, 3, seed=2)
+        assert a != b
+
+    def test_smoothness_scales_with_dev(self):
+        """Smaller dev means smaller average inter-point jumps."""
+
+        def roughness(dev):
+            seq = generate_fractal_sequence(
+                256, 2, dev=dev, seed=7, region_extent=None
+            )
+            return float(
+                np.mean(np.linalg.norm(np.diff(seq.points, axis=0), axis=1))
+            )
+
+        assert roughness(0.05) < roughness(0.5)
+
+    def test_region_extent_confines_trail(self):
+        seq = generate_fractal_sequence(200, 3, region_extent=0.2, seed=3)
+        span = seq.points.max(axis=0) - seq.points.min(axis=0)
+        assert np.all(span <= 0.2 + 1e-9)
+
+    def test_midpoint_recursion_interpolates(self):
+        """With dev=0 the trail is exactly the chord between the endpoints."""
+        seq = generate_fractal_sequence(
+            65, 2, dev=0.0, seed=5, region_extent=None
+        )
+        start, end = seq.points[0], seq.points[-1]
+        expected = start + (end - start) * np.linspace(0, 1, 65)[:, None]
+        np.testing.assert_allclose(seq.points, expected, atol=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_fractal_sequence(0, 2)
+        with pytest.raises(ValueError):
+            generate_fractal_sequence(10, 0)
+        with pytest.raises(ValueError):
+            generate_fractal_sequence(10, 2, dev=1.0)
+        with pytest.raises(ValueError):
+            generate_fractal_sequence(10, 2, scale=1.0)
+        with pytest.raises(ValueError):
+            generate_fractal_sequence(10, 2, region_extent=0.0)
+        with pytest.raises(ValueError):
+            generate_fractal_sequence(10, 2, region_extent=1.5)
+
+
+class TestCorpus:
+    def test_count_and_ids(self):
+        corpus = generate_fractal_corpus(10, seed=1)
+        assert len(corpus) == 10
+        assert [s.sequence_id for s in corpus] == [
+            f"fractal-{i}" for i in range(10)
+        ]
+
+    def test_length_range_respected(self):
+        corpus = generate_fractal_corpus(30, length_range=(56, 512), seed=2)
+        lengths = [len(s) for s in corpus]
+        assert all(56 <= n <= 512 for n in lengths)
+        assert len(set(lengths)) > 1  # arbitrary lengths, not constant
+
+    def test_reproducible(self):
+        a = generate_fractal_corpus(5, seed=9)
+        b = generate_fractal_corpus(5, seed=9)
+        assert all(x == y for x, y in zip(a, b))
+
+    def test_extent_range_none_is_paper_literal(self):
+        corpus = generate_fractal_corpus(5, extent_range=None, seed=3)
+        assert len(corpus) == 5
+
+    def test_extent_range_bounds_footprints(self):
+        corpus = generate_fractal_corpus(
+            20, extent_range=(0.1, 0.2), seed=4
+        )
+        for seq in corpus:
+            span = seq.points.max(axis=0) - seq.points.min(axis=0)
+            assert np.all(span <= 0.2 + 1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_fractal_corpus(0)
+        with pytest.raises(ValueError):
+            generate_fractal_corpus(3, length_range=(10, 5))
+        with pytest.raises(ValueError):
+            generate_fractal_corpus(3, extent_range=(0.5, 0.2))

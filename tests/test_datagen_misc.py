@@ -1,0 +1,185 @@
+"""Unit tests for query workloads, time-series and image generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.distance import sequence_distance
+from repro.core.sequence import MultidimensionalSequence
+from repro.datagen.image import (
+    generate_image_corpus,
+    generate_image_grid,
+    generate_image_sequence,
+)
+from repro.datagen.queries import generate_queries
+from repro.datagen.timeseries import (
+    generate_random_walk,
+    generate_seasonal_series,
+    generate_stock_series,
+    to_unit_interval,
+)
+
+
+class TestQueries:
+    def _corpus(self, rng):
+        return {
+            f"s{i}": MultidimensionalSequence(rng.random((60, 3)))
+            for i in range(6)
+        }
+
+    def test_count_and_ids(self, rng):
+        workload = generate_queries(self._corpus(rng), 5, seed=1)
+        assert len(workload) == 5
+        assert workload[0].sequence_id == "query-0"
+
+    def test_lengths_within_range(self, rng):
+        workload = generate_queries(
+            self._corpus(rng), 10, length_range=(8, 20), seed=2
+        )
+        assert all(8 <= len(q) <= 20 for q in workload)
+
+    def test_length_clamped_to_source(self, rng):
+        corpus = {"tiny": MultidimensionalSequence(rng.random((5, 3)))}
+        workload = generate_queries(corpus, 3, length_range=(10, 20), seed=3)
+        assert all(len(q) == 5 for q in workload)
+
+    def test_sources_recorded_and_consistent(self, rng):
+        corpus = self._corpus(rng)
+        workload = generate_queries(corpus, 6, noise=0.0, seed=4)
+        for query, (source_id, start, length) in zip(
+            workload, workload.sources
+        ):
+            block = corpus[source_id].points[start : start + length]
+            np.testing.assert_allclose(query.points, block)
+
+    def test_zero_noise_queries_are_exact_subsequences(self, rng):
+        corpus = self._corpus(rng)
+        workload = generate_queries(corpus, 4, noise=0.0, seed=5)
+        for query, (source_id, _, _) in zip(workload, workload.sources):
+            assert sequence_distance(query, corpus[source_id]) < 1e-12
+
+    def test_noise_perturbs_but_stays_in_cube(self, rng):
+        workload = generate_queries(self._corpus(rng), 4, noise=0.05, seed=6)
+        for query in workload:
+            assert query.points.min() >= 0.0
+            assert query.points.max() <= 1.0
+
+    def test_accepts_list_corpus(self, rng):
+        corpus = [MultidimensionalSequence(rng.random((30, 2))) for _ in range(3)]
+        workload = generate_queries(corpus, 2, length_range=(5, 10), seed=7)
+        assert len(workload) == 2
+
+    def test_reproducible(self, rng):
+        corpus = self._corpus(rng)
+        a = generate_queries(corpus, 3, seed=8)
+        b = generate_queries(corpus, 3, seed=8)
+        assert all(x == y for x, y in zip(a, b))
+
+    def test_validation(self, rng):
+        corpus = self._corpus(rng)
+        with pytest.raises(ValueError):
+            generate_queries(corpus, 0)
+        with pytest.raises(ValueError):
+            generate_queries(corpus, 1, length_range=(5, 2))
+        with pytest.raises(ValueError):
+            generate_queries(corpus, 1, noise=-0.1)
+        with pytest.raises(ValueError):
+            generate_queries({}, 1)
+
+
+class TestTimeSeries:
+    def test_to_unit_interval(self):
+        out = to_unit_interval([2.0, 4.0, 6.0])
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0])
+
+    def test_to_unit_interval_constant(self):
+        np.testing.assert_allclose(to_unit_interval([3.0, 3.0]), [0.5, 0.5])
+
+    def test_random_walk_bounds_and_start(self):
+        walk = generate_random_walk(500, start=0.5, seed=1)
+        assert walk.shape == (500,)
+        assert walk[0] == 0.5
+        assert walk.min() >= 0.0 and walk.max() <= 1.0
+
+    def test_random_walk_step_controls_variance(self):
+        calm = generate_random_walk(500, step=0.001, seed=2)
+        wild = generate_random_walk(500, step=0.05, seed=2)
+        assert np.std(np.diff(calm)) < np.std(np.diff(wild))
+
+    def test_stock_series_normalised(self):
+        series = generate_stock_series(300, seed=3)
+        assert series.min() == 0.0 and series.max() == 1.0
+
+    def test_seasonal_series_periodicity(self):
+        series = generate_seasonal_series(560, period=28, noise=0.0, seed=4)
+        # autocorrelation at one period should beat half a period
+        centred = series - series.mean()
+
+        def autocorr(lag):
+            return float(np.dot(centred[:-lag], centred[lag:]))
+
+        assert autocorr(28) > autocorr(14)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_random_walk(0)
+        with pytest.raises(ValueError):
+            generate_random_walk(5, step=-1)
+        with pytest.raises(ValueError):
+            generate_random_walk(5, start=2.0)
+        with pytest.raises(ValueError):
+            generate_stock_series(0)
+        with pytest.raises(ValueError):
+            generate_seasonal_series(5, period=0)
+
+
+class TestImages:
+    def test_grid_shape_and_bounds(self):
+        grid = generate_image_grid(3, channels=3, seed=1)
+        assert grid.shape == (8, 8, 3)
+        assert grid.min() >= 0.0 and grid.max() <= 1.0
+
+    def test_sequence_covers_every_region_once(self):
+        seq = generate_image_sequence(3, seed=2)
+        assert len(seq) == 64
+        assert seq.dimension == 3
+
+    def test_hilbert_ordering_is_local(self):
+        """Hilbert neighbours are grid neighbours, so consecutive sequence
+        elements should be far more similar than random pairs."""
+        seq = generate_image_sequence(4, seed=3, curve="hilbert")
+        points = seq.points
+        consecutive = np.mean(
+            np.linalg.norm(np.diff(points, axis=0), axis=1)
+        )
+        rng = np.random.default_rng(0)
+        shuffled = points[rng.permutation(len(points))]
+        random_pairs = np.mean(
+            np.linalg.norm(np.diff(shuffled, axis=0), axis=1)
+        )
+        assert consecutive < random_pairs
+
+    def test_zorder_supported(self):
+        seq = generate_image_sequence(2, curve="zorder", seed=4)
+        assert len(seq) == 16
+
+    def test_unknown_curve_rejected(self):
+        with pytest.raises(ValueError, match="curve"):
+            generate_image_sequence(2, curve="peano", seed=5)
+
+    def test_corpus(self):
+        corpus = generate_image_corpus(4, order=2, seed=6)
+        assert len(corpus) == 4
+        assert all(len(s) == 16 for s in corpus)
+        assert corpus[0].sequence_id == "image-0"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_image_grid(0)
+        with pytest.raises(ValueError):
+            generate_image_grid(2, channels=0)
+        with pytest.raises(ValueError):
+            generate_image_grid(2, n_blobs=-1)
+        with pytest.raises(ValueError):
+            generate_image_grid(2, blob_radius=0.0)
+        with pytest.raises(ValueError):
+            generate_image_corpus(0)

@@ -1,0 +1,109 @@
+"""Unit tests for the simulated video-stream generator."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.video import VideoConfig, generate_video_corpus, generate_video_sequence
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        VideoConfig().validate()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VideoConfig(dimension=0).validate()
+        with pytest.raises(ValueError):
+            VideoConfig(shot_length_range=(5, 2)).validate()
+        with pytest.raises(ValueError):
+            VideoConfig(fade_length_range=(0, 3)).validate()
+        with pytest.raises(ValueError):
+            VideoConfig(jitter=-0.1).validate()
+        with pytest.raises(ValueError):
+            VideoConfig(fade_probability=1.5).validate()
+        with pytest.raises(ValueError):
+            VideoConfig(theme_spread=0.0).validate()
+
+
+class TestStream:
+    def test_shape_and_bounds(self):
+        seq = generate_video_sequence(300, seed=1)
+        assert len(seq) == 300
+        assert seq.dimension == 3
+        assert seq.points.min() >= 0.0
+        assert seq.points.max() <= 1.0
+
+    def test_single_frame(self):
+        assert len(generate_video_sequence(1, seed=1)) == 1
+
+    def test_deterministic(self):
+        a = generate_video_sequence(120, seed=5)
+        b = generate_video_sequence(120, seed=5)
+        assert a == b
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            generate_video_sequence(0)
+
+    def test_shot_structure_visible(self):
+        """Consecutive-frame jumps must be bimodal: tiny inside shots, big
+        at cuts — the property the paper's video evaluation relies on."""
+        config = VideoConfig(jitter=0.005, drift=0.002, fade_probability=0.0)
+        seq = generate_video_sequence(400, config, seed=7)
+        jumps = np.linalg.norm(np.diff(seq.points, axis=0), axis=1)
+        small = np.sum(jumps < 0.05)
+        large = np.sum(jumps > 0.1)
+        assert small > 300  # most transitions are intra-shot
+        assert large >= 3  # but cuts exist
+
+    def test_theme_localizes_stream(self):
+        """With a tight theme the stream's footprint is much smaller than
+        a theme-free stream's."""
+        tight = VideoConfig(theme_spread=0.02)
+        loose = VideoConfig(theme_spread=None)
+
+        def footprint(config, seed):
+            seq = generate_video_sequence(400, config, seed=seed)
+            return float(
+                np.linalg.norm(seq.points.max(axis=0) - seq.points.min(axis=0))
+            )
+
+        tight_footprints = [footprint(tight, s) for s in range(5)]
+        loose_footprints = [footprint(loose, s) for s in range(5)]
+        assert np.mean(tight_footprints) < np.mean(loose_footprints)
+
+    def test_frames_cluster_within_shots(self):
+        """Paper: 'the frames in the same shot have very similar feature
+        values' — the mean intra-shot variance must be far below the
+        global variance."""
+        config = VideoConfig(jitter=0.004, drift=0.001, fade_probability=0.0)
+        seq = generate_video_sequence(500, config, seed=11)
+        points = seq.points
+        jumps = np.linalg.norm(np.diff(points, axis=0), axis=1)
+        boundaries = [0, *np.nonzero(jumps > 0.08)[0] + 1, len(points)]
+        intra = []
+        for a, b in zip(boundaries, boundaries[1:]):
+            if b - a >= 3:
+                intra.append(points[a:b].var(axis=0).mean())
+        assert np.mean(intra) < 0.2 * points.var(axis=0).mean()
+
+
+class TestCorpus:
+    def test_count_ids_lengths(self):
+        corpus = generate_video_corpus(8, length_range=(56, 128), seed=2)
+        assert len(corpus) == 8
+        assert [s.sequence_id for s in corpus] == [
+            f"video-{i}" for i in range(8)
+        ]
+        assert all(56 <= len(s) <= 128 for s in corpus)
+
+    def test_reproducible(self):
+        a = generate_video_corpus(4, seed=3)
+        b = generate_video_corpus(4, seed=3)
+        assert all(x == y for x, y in zip(a, b))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_video_corpus(0)
+        with pytest.raises(ValueError):
+            generate_video_corpus(3, length_range=(0, 5))

@@ -1,0 +1,208 @@
+"""Unit tests for the normalised MBR distance Dnorm (Definition 5).
+
+The centrepiece is a numeric reproduction of the paper's Example 2 /
+Figure 3: a data sequence of four MBRs with 4, 6, 5, 5 points, a query MBR
+of 12 points, and MBR distances ordered D2 < D1 < D3 < D4; the expected
+result is (6*D2 + 4*D1 + 2*D3) / 12 with the first two points of mbr3 as the
+marginal contribution.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.distance import normalized_distance
+from repro.core.mbr import MBR
+
+
+def _figure3_setup():
+    """Query MBR above a stack of four data MBRs at distances .2/.1/.3/.4."""
+    query = MBR([0.4, 0.8], [0.6, 0.9])
+    data_mbrs = [
+        MBR([0.4, 0.5], [0.6, 0.6]),  # D1 = 0.2
+        MBR([0.4, 0.6], [0.6, 0.7]),  # D2 = 0.1
+        MBR([0.4, 0.4], [0.6, 0.5]),  # D3 = 0.3
+        MBR([0.4, 0.3], [0.6, 0.4]),  # D4 = 0.4
+    ]
+    counts = [4, 6, 5, 5]
+    return query, data_mbrs, counts
+
+
+class TestFigure3Example:
+    def test_distances_match_the_example_ordering(self):
+        query, data_mbrs, _ = _figure3_setup()
+        distances = [query.min_distance(m) for m in data_mbrs]
+        np.testing.assert_allclose(distances, [0.2, 0.1, 0.3, 0.4])
+
+    def test_example2_value(self):
+        """Dnorm(mbr_q, mbr_2) = (6 D2 + 4 D1 + 2 D3) / 12."""
+        query, data_mbrs, counts = _figure3_setup()
+        result = normalized_distance(query, 12, data_mbrs, counts, 1)
+        expected = (6 * 0.1 + 4 * 0.2 + 2 * 0.3) / 12
+        assert result.value == pytest.approx(expected)
+
+    def test_example2_window_structure(self):
+        """Example 3: the window is mbr1 + mbr2 + first 2 points of mbr3."""
+        query, data_mbrs, counts = _figure3_setup()
+        result = normalized_distance(query, 12, data_mbrs, counts, 1)
+        assert result.window == (0, 2)
+        assert result.marginal_index == 2
+        assert result.marginal_count == 2
+        assert result.marginal_side == "right"
+
+    def test_example3_involved_points(self):
+        query, data_mbrs, counts = _figure3_setup()
+        result = normalized_distance(query, 12, data_mbrs, counts, 1)
+        spans = result.involved_points(counts)
+        assert spans == [(0, 0, 3), (1, 0, 5), (2, 0, 1)]
+
+    def test_enough_points_means_plain_dmbr(self):
+        """If |m_j| >= |q_i| the target MBR alone gives Dnorm = Dmbr."""
+        query, data_mbrs, counts = _figure3_setup()
+        result = normalized_distance(query, 5, data_mbrs, counts, 1)
+        assert result.value == pytest.approx(0.1)
+        assert result.window == (1, 1)
+        assert result.marginal_index is None
+        assert result.marginal_side == "none"
+
+    def test_exactly_equal_counts_plain_dmbr(self):
+        query, data_mbrs, counts = _figure3_setup()
+        result = normalized_distance(query, 6, data_mbrs, counts, 1)
+        assert result.value == pytest.approx(0.1)
+
+
+class TestWindowSelection:
+    def test_left_marginal_when_left_neighbour_far(self):
+        """Anchor at the first MBR forces an LD (right-marginal) window."""
+        query, data_mbrs, counts = _figure3_setup()
+        result = normalized_distance(query, 8, data_mbrs, counts, 0)
+        # Only LD windows exist for j=0: [0..1] with 4 marginal points of mbr2.
+        assert result.marginal_side == "right"
+        assert result.window[0] == 0
+        expected = (4 * 0.2 + 4 * 0.1) / 8
+        assert result.value == pytest.approx(expected)
+
+    def test_rd_window_when_right_neighbours_are_worse(self):
+        """Anchor at the last MBR forces an RD (left-marginal) window."""
+        query, data_mbrs, counts = _figure3_setup()
+        result = normalized_distance(query, 8, data_mbrs, counts, 3)
+        assert result.marginal_side == "left"
+        assert result.window[1] == 3
+        # window [2..3]: 5 points of mbr4 + 3 marginal points of mbr3
+        expected = (5 * 0.4 + 3 * 0.3) / 8
+        assert result.value == pytest.approx(expected)
+
+    def test_min_over_ld_and_rd(self):
+        """The cheaper of the two window families must win."""
+        query = MBR([0.5, 0.8], [0.5, 0.9])
+        data_mbrs = [
+            MBR([0.5, 0.85], [0.5, 0.9]),  # D = 0.0  (left neighbour, close)
+            MBR([0.5, 0.5], [0.5, 0.6]),   # anchor, D = 0.2
+            MBR([0.5, 0.0], [0.5, 0.1]),   # right neighbour, D = 0.7
+        ]
+        counts = [5, 2, 5]
+        result = normalized_distance(query, 6, data_mbrs, counts, 1)
+        # RD window [0..1]: (4 * 0.0 + 2 * 0.2) / 6; LD would cost far more.
+        assert result.marginal_side == "left"
+        assert result.value == pytest.approx((4 * 0.0 + 2 * 0.2) / 6)
+
+    def test_marginal_point_selection_side(self):
+        """RD uses the *last* points of the marginal (adjacent to window)."""
+        query = MBR([0.5, 0.8], [0.5, 0.9])
+        data_mbrs = [
+            MBR([0.5, 0.85], [0.5, 0.9]),
+            MBR([0.5, 0.5], [0.5, 0.6]),
+            MBR([0.5, 0.0], [0.5, 0.1]),
+        ]
+        counts = [5, 2, 5]
+        result = normalized_distance(query, 6, data_mbrs, counts, 1)
+        spans = result.involved_points(counts)
+        # marginal is mbr0 contributing its last 4 points (offsets 1..4)
+        assert spans == [(0, 1, 4), (1, 0, 1)]
+
+    def test_precomputed_row_matches_internal(self):
+        query, data_mbrs, counts = _figure3_setup()
+        row = np.array([query.min_distance(m) for m in data_mbrs])
+        with_row = normalized_distance(query, 12, data_mbrs, counts, 1, dmbr_row=row)
+        without = normalized_distance(query, 12, data_mbrs, counts, 1)
+        assert with_row == without
+
+
+class TestFallback:
+    def test_query_larger_than_sequence(self):
+        """When the whole sequence is smaller than the query MBR, all MBRs
+        participate fully and the mean is over the participating points."""
+        query, data_mbrs, counts = _figure3_setup()
+        total = sum(counts)
+        result = normalized_distance(query, total + 10, data_mbrs, counts, 1)
+        expected = (4 * 0.2 + 6 * 0.1 + 5 * 0.3 + 5 * 0.4) / total
+        assert result.value == pytest.approx(expected)
+        assert result.window == (0, 3)
+        assert result.marginal_index is None
+
+    def test_fallback_involves_everything(self):
+        query, data_mbrs, counts = _figure3_setup()
+        result = normalized_distance(query, 100, data_mbrs, counts, 1)
+        spans = result.involved_points(counts)
+        assert spans == [(0, 0, 3), (1, 0, 5), (2, 0, 4), (3, 0, 4)]
+
+    def test_single_mbr_sequence(self):
+        query = MBR([0.5], [0.6])
+        result = normalized_distance(query, 10, [MBR([0.1], [0.2])], [4], 0)
+        assert result.value == pytest.approx(0.3)
+        assert result.window == (0, 0)
+
+
+class TestLowerBoundStructure:
+    def test_dnorm_at_least_row_minimum(self):
+        """A weighted mean can never undercut the smallest Dmbr involved."""
+        query, data_mbrs, counts = _figure3_setup()
+        row = np.array([query.min_distance(m) for m in data_mbrs])
+        for anchor in range(4):
+            result = normalized_distance(query, 12, data_mbrs, counts, anchor)
+            assert result.value >= row.min() - 1e-12
+
+    def test_anchor_contribution_bound(self):
+        """Dnorm(anchor) >= Dmbr[anchor] * min(count, q) / q."""
+        query, data_mbrs, counts = _figure3_setup()
+        row = np.array([query.min_distance(m) for m in data_mbrs])
+        q = 12
+        for anchor in range(4):
+            result = normalized_distance(query, q, data_mbrs, counts, anchor)
+            bound = row[anchor] * min(counts[anchor], q) / q
+            assert result.value >= bound - 1e-12
+
+
+class TestValidation:
+    def test_bad_target_index(self):
+        query, data_mbrs, counts = _figure3_setup()
+        with pytest.raises(IndexError):
+            normalized_distance(query, 5, data_mbrs, counts, 4)
+        with pytest.raises(IndexError):
+            normalized_distance(query, 5, data_mbrs, counts, -1)
+
+    def test_counts_shape_mismatch(self):
+        query, data_mbrs, _ = _figure3_setup()
+        with pytest.raises(ValueError, match="one entry per data MBR"):
+            normalized_distance(query, 5, data_mbrs, [1, 2], 0)
+
+    def test_zero_count_rejected(self):
+        query, data_mbrs, _ = _figure3_setup()
+        with pytest.raises(ValueError, match="at least one point"):
+            normalized_distance(query, 5, data_mbrs, [4, 0, 5, 5], 0)
+
+    def test_zero_query_count_rejected(self):
+        query, data_mbrs, counts = _figure3_setup()
+        with pytest.raises(ValueError, match="query_count"):
+            normalized_distance(query, 0, data_mbrs, counts, 0)
+
+    def test_empty_data_sequence_rejected(self):
+        query = MBR([0.1], [0.2])
+        with pytest.raises(ValueError):
+            normalized_distance(query, 5, [], [], 0)
+
+    def test_bad_row_shape(self):
+        query, data_mbrs, counts = _figure3_setup()
+        with pytest.raises(ValueError, match="dmbr_row"):
+            normalized_distance(
+                query, 5, data_mbrs, counts, 0, dmbr_row=np.zeros(2)
+            )

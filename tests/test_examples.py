@@ -1,0 +1,40 @@
+"""Smoke tests: every shipped example must run end to end.
+
+The examples double as integration tests of the public API (each contains
+its own correctness assertions); these tests execute their ``main()``
+functions in-process so a broken example fails the suite, not a user.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+EXAMPLES = [
+    "quickstart",
+    "video_scene_search",
+    "stock_timeseries",
+    "image_region_search",
+    "long_query_search",
+    "raw_video_pipeline",
+]
+
+
+def _load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = _load_example(name)
+    module.main()  # each example asserts its own correctness claims
+    out = capsys.readouterr().out
+    assert out.strip(), f"example {name} produced no output"

@@ -1,0 +1,112 @@
+"""Unit tests for the match-explanation API."""
+
+import pytest
+
+from repro.core.database import SequenceDatabase
+from repro.core.search import MatchExplanation, SimilaritySearch
+from repro.core.sequence import MultidimensionalSequence
+from tests.test_search import smooth_walk
+
+
+@pytest.fixture
+def setup(rng):
+    db = SequenceDatabase(dimension=3, max_points=16)
+    for i in range(10):
+        db.add(
+            MultidimensionalSequence(smooth_walk(rng, 60), sequence_id=i)
+        )
+    return db, SimilaritySearch(db)
+
+
+class TestExplain:
+    def test_bound_chain_always_ordered(self, setup, rng):
+        db, engine = setup
+        query = smooth_walk(rng, 20)
+        for sequence_id in db.ids():
+            explanation = engine.explain(query, 0.2, sequence_id)
+            assert (
+                explanation.min_dmbr
+                <= explanation.min_dnorm + 1e-9
+            )
+            assert (
+                explanation.min_dnorm
+                <= explanation.exact_distance + 1e-9
+            )
+
+    def test_phase_flags_consistent_with_bounds(self, setup, rng):
+        db, engine = setup
+        query = smooth_walk(rng, 20)
+        for sequence_id in db.ids():
+            for epsilon in (0.05, 0.2, 0.5):
+                explanation = engine.explain(query, epsilon, sequence_id)
+                assert explanation.survives_phase2 == (
+                    explanation.min_dmbr <= epsilon
+                )
+                assert explanation.survives_phase3 == (
+                    explanation.min_dnorm <= epsilon
+                )
+                assert explanation.truly_relevant == (
+                    explanation.exact_distance <= epsilon
+                )
+                # No false dismissals: relevant implies surviving.
+                if explanation.truly_relevant:
+                    assert explanation.survives_phase3
+
+    def test_explanation_agrees_with_search(self, setup, rng):
+        db, engine = setup
+        query = db.sequence(4).points[10:30]
+        epsilon = 0.1
+        result = engine.search(query, epsilon, find_intervals=False)
+        for sequence_id in db.ids():
+            explanation = engine.explain(query, epsilon, sequence_id)
+            assert explanation.survives_phase3 == (
+                sequence_id in result.answers
+            )
+            assert explanation.survives_phase2 == (
+                sequence_id in result.candidates
+            )
+
+    def test_self_match_verdict(self, setup):
+        db, engine = setup
+        query = db.sequence(2).points[5:25]
+        explanation = engine.explain(query, 0.05, 2)
+        assert explanation.truly_relevant
+        assert explanation.exact_distance == pytest.approx(0.0)
+        assert "relevant, retrieved" in explanation.verdict()
+
+    def test_pruned_verdicts(self, setup, rng):
+        db, engine = setup
+        query = db.sequence(0).points[0:15]
+        seen_statuses = set()
+        for sequence_id in db.ids():
+            explanation = engine.explain(query, 0.02, sequence_id)
+            seen_statuses.add(explanation.verdict().split(": ")[1].split(" [")[0])
+        assert any("pruned" in status for status in seen_statuses) or len(
+            seen_statuses
+        ) >= 1
+
+    def test_long_query_direction_reported(self, setup, rng):
+        db, engine = setup
+        long_query = smooth_walk(rng, 200)
+        explanation = engine.explain(long_query, 0.3, 0)
+        assert explanation.long_query
+        assert explanation.min_dnorm <= explanation.exact_distance + 1e-9
+
+    def test_type_and_fields(self, setup, rng):
+        db, engine = setup
+        explanation = engine.explain(smooth_walk(rng, 10), 0.1, 5)
+        assert isinstance(explanation, MatchExplanation)
+        assert explanation.sequence_id == 5
+        assert explanation.query_segments >= 1
+        assert explanation.data_segments >= 1
+        first, last = explanation.best_window
+        assert 0 <= first <= last
+
+    def test_validation(self, setup, rng):
+        db, engine = setup
+        with pytest.raises(ValueError):
+            engine.explain(smooth_walk(rng, 10), -0.1, 0)
+        with pytest.raises(KeyError):
+            engine.explain(smooth_walk(rng, 10), 0.1, "missing")
+        with pytest.raises(ValueError, match="dimension"):
+            engine.explain(rng.random((5, 2)), 0.1, 0)

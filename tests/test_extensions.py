@@ -1,0 +1,212 @@
+"""Unit tests for the related-work extensions (transforms + time warping)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.distance import mean_distance, sequence_distance
+from repro.core.sequence import MultidimensionalSequence
+from repro.extensions.transforms import (
+    affine_transform,
+    downsample,
+    moving_average,
+    reversed_sequence,
+)
+from repro.extensions.warping import time_warping_distance, warping_path
+
+
+def unit_pair(length=st.integers(2, 20), dimension=2):
+    array = length.flatmap(
+        lambda n: arrays(
+            np.float64,
+            (n, dimension),
+            elements=st.floats(0.0, 1.0, allow_nan=False, width=64),
+        )
+    )
+    return st.tuples(array, array)
+
+
+class TestMovingAverage:
+    def test_shape(self):
+        seq = MultidimensionalSequence(np.linspace(0, 1, 10).reshape(-1, 1))
+        out = moving_average(seq, 3)
+        assert len(out) == 8
+
+    def test_values(self):
+        seq = MultidimensionalSequence([[0.0], [0.3], [0.6]])
+        out = moving_average(seq, 2)
+        np.testing.assert_allclose(out.points.ravel(), [0.15, 0.45])
+
+    def test_window_one_is_identity(self):
+        seq = MultidimensionalSequence([[0.2, 0.4], [0.6, 0.8]])
+        assert moving_average(seq, 1) == seq
+
+    def test_smooths(self, rng):
+        noisy = np.clip(0.5 + rng.normal(0, 0.1, (200, 1)), 0, 1)
+        smoothed = moving_average(noisy, 10)
+        assert smoothed.points.std() < noisy.std()
+
+    def test_validation(self):
+        seq = MultidimensionalSequence([[0.1], [0.2]])
+        with pytest.raises(ValueError):
+            moving_average(seq, 0)
+        with pytest.raises(ValueError):
+            moving_average(seq, 3)
+
+    @given(
+        st.integers(4, 16).flatmap(
+            lambda n: st.tuples(
+                arrays(np.float64, (n, 2),
+                       elements=st.floats(0.0, 1.0, allow_nan=False, width=64)),
+                arrays(np.float64, (n, 2),
+                       elements=st.floats(0.0, 1.0, allow_nan=False, width=64)),
+            )
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_safety_contraction(self, pair):
+        """The summed distance contracts: (m-w+1) * Dmean(T(a), T(b)) <=
+        m * Dmean(a, b) — the 'safe transformation' bound."""
+        a, b = pair
+        window = 3
+        m = a.shape[0]
+        smoothed = mean_distance(
+            moving_average(a, window), moving_average(b, window)
+        )
+        assert (m - window + 1) * smoothed <= m * mean_distance(a, b) + 1e-9
+
+
+class TestReversedSequence:
+    def test_involution(self):
+        seq = MultidimensionalSequence([[0.1], [0.5], [0.9]])
+        assert reversed_sequence(reversed_sequence(seq)) == seq
+
+    def test_order(self):
+        seq = MultidimensionalSequence([[0.1], [0.9]])
+        np.testing.assert_allclose(
+            reversed_sequence(seq).points.ravel(), [0.9, 0.1]
+        )
+
+    @given(unit_pair())
+    @settings(max_examples=40, deadline=None)
+    def test_isometry(self, pair):
+        a, b = pair
+        if a.shape[0] != b.shape[0]:
+            a = a[: min(a.shape[0], b.shape[0])]
+            b = b[: a.shape[0]]
+        assert mean_distance(
+            reversed_sequence(a), reversed_sequence(b)
+        ) == pytest.approx(mean_distance(a, b))
+
+
+class TestAffineTransform:
+    def test_scaling_distances(self):
+        a = np.array([[0.2], [0.4]])
+        b = np.array([[0.3], [0.1]])
+        scaled_distance = mean_distance(
+            affine_transform(a, 0.5, 0.1, clip=False),
+            affine_transform(b, 0.5, 0.1, clip=False),
+        )
+        assert scaled_distance == pytest.approx(0.5 * mean_distance(a, b))
+
+    def test_clip_keeps_unit_cube(self):
+        out = affine_transform([[0.9, 0.9]], 2.0, 0.0)
+        assert out.points.max() <= 1.0
+
+
+class TestDownsample:
+    def test_every_kth(self):
+        seq = MultidimensionalSequence(np.arange(10).reshape(-1, 1) / 10)
+        out = downsample(seq, 3)
+        np.testing.assert_allclose(out.points.ravel(), [0.0, 0.3, 0.6, 0.9])
+
+    def test_factor_one_identity(self):
+        seq = MultidimensionalSequence([[0.1], [0.2]])
+        assert downsample(seq, 1) == seq
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            downsample([[0.1]], 0)
+
+
+class TestTimeWarping:
+    def test_identical_sequences_zero(self, rng):
+        points = rng.random((15, 3))
+        assert time_warping_distance(points, points) == pytest.approx(0.0)
+
+    def test_symmetry(self, rng):
+        a = rng.random((10, 2))
+        b = rng.random((14, 2))
+        assert time_warping_distance(a, b) == pytest.approx(
+            time_warping_distance(b, a)
+        )
+
+    def test_time_stretched_copy_is_close(self):
+        """DTW forgives local accelerations that Dmean punishes."""
+        t = np.linspace(0, 2 * np.pi, 40)
+        original = (0.5 + 0.4 * np.sin(t)).reshape(-1, 1)
+        stretched = np.repeat(original, 2, axis=0)  # locally decelerated
+        dtw = time_warping_distance(original, stretched)
+        lockstep = sequence_distance(original, stretched)
+        assert dtw < lockstep
+        assert dtw == pytest.approx(0.0, abs=1e-9)
+
+    def test_unnormalized_is_accumulated_cost(self):
+        a = np.array([[0.0], [0.0]])
+        b = np.array([[0.5], [0.5]])
+        raw = time_warping_distance(a, b, normalized=False)
+        assert raw == pytest.approx(1.0)  # two diagonal steps of 0.5
+
+    def test_band_constrains_warp(self):
+        a = np.linspace(0, 1, 30).reshape(-1, 1)
+        b = np.linspace(0, 1, 30).reshape(-1, 1) ** 2
+        free = time_warping_distance(a, b, normalized=False)
+        banded = time_warping_distance(a, b, window=1, normalized=False)
+        assert banded >= free - 1e-12
+
+    def test_band_validation(self):
+        with pytest.raises(ValueError):
+            time_warping_distance([[0.1]], [[0.2]], window=-1)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            time_warping_distance([[0.1]], [[0.1, 0.2]])
+
+    def test_lower_bounded_by_best_pair(self, rng):
+        a = rng.random((8, 2))
+        b = rng.random((12, 2))
+        best_pair = np.min(
+            np.sqrt(np.sum((a[:, None] - b[None]) ** 2, axis=2))
+        )
+        assert time_warping_distance(a, b) >= best_pair - 1e-9
+
+
+class TestWarpingPath:
+    def test_endpoints(self, rng):
+        a = rng.random((6, 2))
+        b = rng.random((9, 2))
+        path = warping_path(a, b)
+        assert path[0] == (0, 0)
+        assert path[-1] == (5, 8)
+
+    def test_monotone_steps(self, rng):
+        a = rng.random((7, 1))
+        b = rng.random((7, 1))
+        path = warping_path(a, b)
+        for (i1, j1), (i2, j2) in zip(path, path[1:]):
+            assert 0 <= i2 - i1 <= 1
+            assert 0 <= j2 - j1 <= 1
+            assert (i2 - i1) + (j2 - j1) >= 1
+
+    def test_path_cost_matches_distance(self, rng):
+        a = rng.random((6, 2))
+        b = rng.random((8, 2))
+        path = warping_path(a, b)
+        cost = sum(
+            float(np.linalg.norm(a[i] - b[j])) for i, j in path
+        )
+        assert cost == pytest.approx(
+            time_warping_distance(a, b, normalized=False)
+        )

@@ -1,0 +1,226 @@
+"""Unit + property tests for feature extraction and reduction (§3.4.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.datagen.frames import FrameConfig, generate_frame_clip
+from repro.features.extraction import (
+    color_histogram_sequence,
+    frame_color_histogram,
+    frame_mean_color,
+    mean_color_sequence,
+)
+from repro.features.reduction import ReducedSpace, dft_reduce, fit_pca, haar_reduce
+
+
+class TestFrameGenerator:
+    def test_shape_and_bounds(self):
+        clip = generate_frame_clip(30, seed=1)
+        assert clip.shape == (30, 16, 16, 3)
+        assert clip.min() >= 0.0 and clip.max() <= 1.0
+
+    def test_deterministic(self):
+        a = generate_frame_clip(10, seed=2)
+        b = generate_frame_clip(10, seed=2)
+        np.testing.assert_array_equal(a, b)
+
+    def test_shot_structure_in_features(self):
+        """Within-shot frames share a base colour: feature jumps bimodal."""
+        config = FrameConfig(pixel_noise=0.005)
+        clip = generate_frame_clip(120, config, seed=3)
+        features = mean_color_sequence(clip).points
+        jumps = np.linalg.norm(np.diff(features, axis=0), axis=1)
+        assert np.sum(jumps < 0.05) > 90
+        assert np.sum(jumps > 0.08) >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_frame_clip(0)
+        with pytest.raises(ValueError):
+            FrameConfig(height=1).validate()
+        with pytest.raises(ValueError):
+            FrameConfig(shot_length_range=(5, 2)).validate()
+        with pytest.raises(ValueError):
+            FrameConfig(pixel_noise=-1).validate()
+        with pytest.raises(ValueError):
+            FrameConfig(subject_radius=0).validate()
+
+
+class TestExtraction:
+    def test_mean_color_constant_frame(self):
+        frame = np.full((4, 4, 3), 0.3)
+        np.testing.assert_allclose(frame_mean_color(frame), [0.3, 0.3, 0.3])
+
+    def test_mean_color_sequence(self):
+        clip = generate_frame_clip(12, seed=4)
+        seq = mean_color_sequence(clip, sequence_id="clip")
+        assert len(seq) == 12
+        assert seq.dimension == 3
+        assert seq.sequence_id == "clip"
+
+    def test_histogram_normalised(self):
+        frame = np.random.default_rng(5).random((8, 8, 3))
+        histogram = frame_color_histogram(frame, bins=4)
+        assert histogram.shape == (12,)
+        assert histogram.sum() == pytest.approx(1.0)
+        assert histogram.min() >= 0.0
+
+    def test_histogram_localises_mass(self):
+        frame = np.full((4, 4, 3), 0.05)  # everything in the lowest bin
+        histogram = frame_color_histogram(frame, bins=4)
+        assert histogram[0] == pytest.approx(1 / 3)
+        assert histogram[4] == pytest.approx(1 / 3)
+
+    def test_histogram_sequence_dimension(self):
+        clip = generate_frame_clip(6, seed=6)
+        seq = color_histogram_sequence(clip, bins=8)
+        assert seq.dimension == 24
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            frame_mean_color(np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            frame_mean_color(np.full((2, 2, 3), 1.5))
+        with pytest.raises(ValueError):
+            frame_color_histogram(np.zeros((2, 2, 3)), bins=0)
+        with pytest.raises(ValueError):
+            mean_color_sequence(np.zeros((4, 4, 3)))  # missing frame axis
+
+
+VECTOR_PAIRS = st.integers(2, 24).flatmap(
+    lambda d: st.tuples(
+        arrays(np.float64, (1, d),
+               elements=st.floats(0.0, 1.0, allow_nan=False, width=64)),
+        arrays(np.float64, (1, d),
+               elements=st.floats(0.0, 1.0, allow_nan=False, width=64)),
+        st.integers(1, d),
+    )
+)
+
+
+class TestReductions:
+    @given(VECTOR_PAIRS)
+    @settings(max_examples=100, deadline=None)
+    def test_dft_reduce_lower_bounds(self, case):
+        a, b, k = case
+        reduced_a = dft_reduce(a, k)
+        reduced_b = dft_reduce(b, k)
+        assert np.linalg.norm(reduced_a - reduced_b) <= (
+            np.linalg.norm(a - b) + 1e-9
+        )
+
+    @given(VECTOR_PAIRS)
+    @settings(max_examples=100, deadline=None)
+    def test_haar_reduce_lower_bounds(self, case):
+        a, b, k = case
+        reduced_a = haar_reduce(a, k)
+        reduced_b = haar_reduce(b, k)
+        assert np.linalg.norm(reduced_a - reduced_b) <= (
+            np.linalg.norm(a - b) + 1e-9
+        )
+
+    def test_haar_full_transform_is_isometry(self):
+        rng = np.random.default_rng(7)
+        a = rng.random((1, 16))
+        b = rng.random((1, 16))
+        full_a = haar_reduce(a, 16)
+        full_b = haar_reduce(b, 16)
+        assert np.linalg.norm(full_a - full_b) == pytest.approx(
+            np.linalg.norm(a - b)
+        )
+
+    def test_haar_first_coefficient_is_scaled_mean(self):
+        vector = np.arange(8.0).reshape(1, -1)
+        coarse = haar_reduce(vector, 1)
+        assert coarse[0, 0] == pytest.approx(vector.sum() / np.sqrt(8))
+
+    def test_pca_lower_bounds(self):
+        rng = np.random.default_rng(8)
+        sample = rng.random((50, 12))
+        space = fit_pca(sample, 4)
+        a = rng.random((1, 12))
+        b = rng.random((1, 12))
+        projected = np.linalg.norm(space.transform(a) - space.transform(b))
+        assert projected <= np.linalg.norm(a - b) + 1e-9
+
+    def test_pca_components_orthonormal(self):
+        rng = np.random.default_rng(9)
+        space = fit_pca(rng.random((40, 10)), 5)
+        gram = space.components @ space.components.T
+        np.testing.assert_allclose(gram, np.eye(5), atol=1e-9)
+
+    def test_pca_captures_dominant_direction(self):
+        rng = np.random.default_rng(10)
+        t = rng.random(200)
+        sample = np.column_stack([t, 2 * t, 0.5 * t]) + rng.normal(
+            0, 0.01, (200, 3)
+        )
+        space = fit_pca(sample, 1)
+        direction = np.abs(space.components[0])
+        expected = np.array([1.0, 2.0, 0.5]) / np.linalg.norm([1, 2, 0.5])
+        np.testing.assert_allclose(direction, expected, atol=0.05)
+
+    def test_rescale_into_unit_cube(self):
+        rng = np.random.default_rng(11)
+        sample = rng.random((30, 6))
+        space = fit_pca(sample, 2)
+        rescaled = space.rescale(space.transform(sample))
+        assert rescaled.min() >= 0.0 and rescaled.max() <= 1.0
+
+    def test_safe_epsilon_scales(self):
+        rng = np.random.default_rng(12)
+        space = fit_pca(rng.random((30, 6)), 2)
+        assert space.safe_epsilon(0.1) == pytest.approx(
+            0.1 / space.span.min()
+        )
+        with pytest.raises(ValueError):
+            space.safe_epsilon(-1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dft_reduce(np.zeros((2, 4)), 0)
+        with pytest.raises(ValueError):
+            dft_reduce(np.zeros((2, 4)), 5)
+        with pytest.raises(ValueError):
+            haar_reduce(np.zeros((2, 4)), 5)
+        with pytest.raises(ValueError):
+            fit_pca(np.zeros((3, 4)), 0)
+        space = fit_pca(np.random.default_rng(0).random((5, 4)), 2)
+        with pytest.raises(ValueError):
+            space.transform(np.zeros((1, 7)))
+
+
+class TestEndToEndPipeline:
+    def test_raw_frames_to_search(self):
+        """The full §3.4.1 pipeline: render, extract, reduce, index, search."""
+        from repro.core.database import SequenceDatabase
+        from repro.core.search import SimilaritySearch
+        from repro.core.sequence import MultidimensionalSequence
+
+        clips = {
+            f"clip-{i}": generate_frame_clip(60, seed=100 + i)
+            for i in range(5)
+        }
+        histogram_sequences = {
+            name: color_histogram_sequence(clip, bins=8)
+            for name, clip in clips.items()
+        }  # 24-d — too high to index directly
+        sample = np.vstack(
+            [seq.points for seq in histogram_sequences.values()]
+        )
+        space = fit_pca(sample, 3)
+
+        db = SequenceDatabase(dimension=3)
+        for name, seq in histogram_sequences.items():
+            reduced = space.rescale(space.transform(seq.points))
+            db.add(MultidimensionalSequence(reduced, sequence_id=name))
+
+        query_clip = clips["clip-2"][10:30]
+        query = space.rescale(
+            space.transform(color_histogram_sequence(query_clip).points)
+        )
+        result = SimilaritySearch(db).search(query, 0.05)
+        assert "clip-2" in result.answers

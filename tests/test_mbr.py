@@ -1,0 +1,229 @@
+"""Unit tests for MBR geometry (Definition 4 substrate, Figure 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mbr import MBR
+
+
+class TestConstruction:
+    def test_basic(self):
+        box = MBR([0.0, 0.1], [0.5, 0.6])
+        assert box.dimension == 2
+        np.testing.assert_allclose(box.sides, [0.5, 0.5])
+        np.testing.assert_allclose(box.center, [0.25, 0.35])
+
+    def test_scalar_promotes_to_1d(self):
+        box = MBR(0.2, 0.8)
+        assert box.dimension == 1
+
+    def test_rejects_low_above_high(self):
+        with pytest.raises(ValueError, match="low must be <="):
+            MBR([0.5], [0.4])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="equal shape"):
+            MBR([0.1, 0.2], [0.3])
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError, match="finite"):
+            MBR([0.0], [np.inf])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="dimension >= 1"):
+            MBR(np.empty(0), np.empty(0))
+
+    def test_endpoints_read_only_and_input_untouched(self):
+        low = np.array([0.1, 0.1])
+        box = MBR(low, [0.2, 0.2])
+        with pytest.raises(ValueError):
+            box.low[0] = 0.9
+        low[0] = 0.9  # caller's array must stay writable
+        assert box.low[0] == pytest.approx(0.1)
+
+    def test_of_points(self):
+        box = MBR.of_points([[0.2, 0.9], [0.8, 0.1], [0.5, 0.5]])
+        np.testing.assert_allclose(box.low, [0.2, 0.1])
+        np.testing.assert_allclose(box.high, [0.8, 0.9])
+
+    def test_of_points_single_point(self):
+        box = MBR.of_points([0.3, 0.4])
+        assert box.volume() == 0.0
+        assert box.contains_point([0.3, 0.4])
+
+    def test_of_points_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            MBR.of_points(np.empty((0, 2)))
+
+    def test_of_point(self):
+        box = MBR.of_point([0.5, 0.5])
+        np.testing.assert_allclose(box.low, box.high)
+
+
+class TestMeasures:
+    def test_volume_and_margin(self):
+        box = MBR([0.0, 0.0, 0.0], [0.5, 0.2, 0.1])
+        assert box.volume() == pytest.approx(0.5 * 0.2 * 0.1)
+        assert box.margin() == pytest.approx(0.8)
+
+    def test_degenerate_volume_zero(self):
+        box = MBR([0.1, 0.1], [0.1, 0.9])
+        assert box.volume() == 0.0
+        assert box.margin() == pytest.approx(0.8)
+
+
+class TestPredicates:
+    def test_contains_point_boundary(self):
+        box = MBR([0.0, 0.0], [1.0, 1.0])
+        assert box.contains_point([0.0, 1.0])
+        assert not box.contains_point([1.0001, 0.5])
+
+    def test_contains_mbr(self):
+        outer = MBR([0.0, 0.0], [1.0, 1.0])
+        inner = MBR([0.2, 0.2], [0.8, 0.8])
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+        assert outer.contains(outer)
+
+    def test_intersects_touching_edges(self):
+        a = MBR([0.0, 0.0], [0.5, 0.5])
+        b = MBR([0.5, 0.0], [1.0, 0.5])
+        assert a.intersects(b)
+
+    def test_disjoint(self):
+        a = MBR([0.0, 0.0], [0.4, 0.4])
+        b = MBR([0.6, 0.6], [1.0, 1.0])
+        assert not a.intersects(b)
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            MBR([0.0], [1.0]).intersects(MBR([0.0, 0.0], [1.0, 1.0]))
+
+    def test_type_error_for_non_mbr(self):
+        with pytest.raises(TypeError, match="expected an MBR"):
+            MBR([0.0], [1.0]).union("box")
+
+
+class TestCombination:
+    def test_union(self):
+        a = MBR([0.0, 0.2], [0.3, 0.5])
+        b = MBR([0.1, 0.0], [0.6, 0.4])
+        u = a.union(b)
+        np.testing.assert_allclose(u.low, [0.0, 0.0])
+        np.testing.assert_allclose(u.high, [0.6, 0.5])
+
+    def test_union_all(self):
+        boxes = [MBR([i / 10], [i / 10 + 0.05]) for i in range(5)]
+        u = MBR.union_all(boxes)
+        assert u.low[0] == pytest.approx(0.0)
+        assert u.high[0] == pytest.approx(0.45)
+
+    def test_union_all_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            MBR.union_all([])
+
+    def test_extended_with_point(self):
+        box = MBR([0.2, 0.2], [0.4, 0.4]).extended_with_point([0.9, 0.1])
+        np.testing.assert_allclose(box.low, [0.2, 0.1])
+        np.testing.assert_allclose(box.high, [0.9, 0.4])
+
+    def test_intersection_present(self):
+        a = MBR([0.0, 0.0], [0.5, 0.5])
+        b = MBR([0.3, 0.3], [0.8, 0.8])
+        inter = a.intersection(b)
+        np.testing.assert_allclose(inter.low, [0.3, 0.3])
+        np.testing.assert_allclose(inter.high, [0.5, 0.5])
+        assert a.overlap_volume(b) == pytest.approx(0.04)
+
+    def test_intersection_absent(self):
+        a = MBR([0.0], [0.1])
+        b = MBR([0.5], [0.6])
+        assert a.intersection(b) is None
+        assert a.overlap_volume(b) == 0.0
+
+    def test_enlargement(self):
+        a = MBR([0.0, 0.0], [0.2, 0.2])
+        b = MBR([0.4, 0.0], [0.5, 0.2])
+        # union is [0,0]x[0.5,0.2] volume 0.1; a volume 0.04
+        assert a.enlargement(b) == pytest.approx(0.1 - 0.04)
+        assert a.enlargement(a) == pytest.approx(0.0)
+
+    def test_expanded(self):
+        box = MBR([0.3, 0.3], [0.5, 0.5]).expanded(0.1)
+        np.testing.assert_allclose(box.low, [0.2, 0.2])
+        np.testing.assert_allclose(box.high, [0.6, 0.6])
+
+    def test_expanded_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MBR([0.0], [1.0]).expanded(-0.1)
+
+
+class TestFigure2Cases:
+    """The three relative placements of Figure 2 in the paper."""
+
+    def test_overlapping_rectangles_have_zero_distance(self):
+        a = MBR([0.0, 0.0], [0.5, 0.5])
+        b = MBR([0.4, 0.4], [0.9, 0.9])
+        assert a.min_distance(b) == 0.0
+
+    def test_separation_along_one_axis(self):
+        a = MBR([0.0, 0.0], [0.2, 0.4])
+        b = MBR([0.6, 0.1], [0.8, 0.3])  # y projections overlap
+        assert a.min_distance(b) == pytest.approx(0.4)
+
+    def test_separation_along_both_axes_is_corner_distance(self):
+        a = MBR([0.0, 0.0], [0.2, 0.2])
+        b = MBR([0.5, 0.6], [0.7, 0.9])
+        assert a.min_distance(b) == pytest.approx(np.hypot(0.3, 0.4))
+
+    def test_symmetry(self):
+        a = MBR([0.0, 0.0], [0.2, 0.2])
+        b = MBR([0.5, 0.6], [0.7, 0.9])
+        assert a.min_distance(b) == pytest.approx(b.min_distance(a))
+
+    def test_containment_gives_zero(self):
+        outer = MBR([0.0, 0.0], [1.0, 1.0])
+        inner = MBR([0.4, 0.4], [0.6, 0.6])
+        assert outer.min_distance(inner) == 0.0
+
+    def test_degenerate_point_boxes(self):
+        a = MBR.of_point([0.0, 0.0])
+        b = MBR.of_point([0.3, 0.4])
+        assert a.min_distance(b) == pytest.approx(0.5)
+
+
+class TestDistances:
+    def test_min_distance_to_point_inside(self):
+        box = MBR([0.0, 0.0], [1.0, 1.0])
+        assert box.min_distance_to_point([0.5, 0.5]) == 0.0
+
+    def test_min_distance_to_point_outside(self):
+        box = MBR([0.0, 0.0], [0.2, 0.2])
+        assert box.min_distance_to_point([0.5, 0.6]) == pytest.approx(
+            np.hypot(0.3, 0.4)
+        )
+
+    def test_max_distance(self):
+        a = MBR([0.0, 0.0], [0.1, 0.1])
+        b = MBR([0.2, 0.2], [0.3, 0.3])
+        # farthest corners: (0,0) and (0.3,0.3)
+        assert a.max_distance(b) == pytest.approx(np.hypot(0.3, 0.3))
+
+    def test_max_distance_at_least_min_distance(self):
+        a = MBR([0.1, 0.5], [0.4, 0.9])
+        b = MBR([0.3, 0.0], [0.9, 0.6])
+        assert a.max_distance(b) >= a.min_distance(b)
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        a = MBR([0.1], [0.2])
+        b = MBR([0.1], [0.2])
+        c = MBR([0.1], [0.3])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+        assert a != 17
+
+    def test_repr_is_informative(self):
+        assert "MBR(low=" in repr(MBR([0.1], [0.2]))

@@ -1,0 +1,151 @@
+"""Metamorphic tests: known transformations with known effects.
+
+Each test applies a transformation whose effect on the output is known
+analytically (translation invariance, insertion-order independence,
+duplication, …) and checks the system honours it — a class of bugs unit
+tests with fixed expectations cannot see.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.database import SequenceDatabase
+from repro.core.distance import (
+    mean_distance,
+    min_normalized_distance,
+    sequence_distance,
+)
+from repro.core.mbr import MBR
+from repro.core.partitioning import partition_sequence
+from repro.core.search import SimilaritySearch
+
+
+def cube_points(n_range=(2, 15), dim=2, span=0.5):
+    """Points confined to [0, span]^dim so translations stay in the cube."""
+    return arrays(
+        np.float64,
+        st.tuples(st.integers(*n_range), st.just(dim)),
+        elements=st.floats(0.0, span, allow_nan=False, width=64),
+    )
+
+
+class TestTranslationInvariance:
+    @given(cube_points(), cube_points(), st.floats(0.0, 0.5))
+    @settings(max_examples=60, deadline=None)
+    def test_distances_translation_invariant(self, a, b, shift):
+        """d(a + c, b + c) = d(a, b) for every metric in the stack."""
+        if a.shape[0] > b.shape[0]:
+            a, b = b, a
+        moved_a = a + shift
+        moved_b = b + shift
+        assert sequence_distance(moved_a, moved_b) == pytest.approx(
+            sequence_distance(a, b), abs=1e-9
+        )
+        box_a, box_b = MBR.of_points(a), MBR.of_points(b)
+        moved_box_a, moved_box_b = MBR.of_points(moved_a), MBR.of_points(moved_b)
+        assert moved_box_a.min_distance(moved_box_b) == pytest.approx(
+            box_a.min_distance(box_b), abs=1e-9
+        )
+
+    @given(cube_points(n_range=(3, 12)), cube_points(n_range=(3, 12)),
+           st.floats(0.0, 0.5))
+    @settings(max_examples=40, deadline=None)
+    def test_dnorm_bound_translation_invariant(self, q, s, shift):
+        base = min_normalized_distance(
+            partition_sequence(q, max_points=4),
+            partition_sequence(s, max_points=4),
+        )
+        moved = min_normalized_distance(
+            partition_sequence(q + shift, max_points=4),
+            partition_sequence(s + shift, max_points=4),
+        )
+        assert moved == pytest.approx(base, abs=1e-9)
+
+
+class TestInsertionOrderIndependence:
+    def test_search_results_independent_of_insertion_order(self, rng):
+        """Different R-tree shapes, identical answers."""
+        sequences = {
+            i: rng.random((int(rng.integers(15, 40)), 2)) for i in range(12)
+        }
+        query = sequences[5][3:12]
+
+        def run(order):
+            db = SequenceDatabase(dimension=2)
+            for i in order:
+                db.add(sequences[i], sequence_id=i)
+            result = SimilaritySearch(db).search(query, 0.2)
+            return set(result.answers), {
+                sid: interval
+                for sid, interval in result.solution_intervals.items()
+            }
+
+        forward = run(range(12))
+        backward = run(reversed(range(12)))
+        shuffled_order = list(range(12))
+        rng.shuffle(shuffled_order)
+        shuffled = run(shuffled_order)
+        assert forward == backward == shuffled
+
+    def test_index_kind_independence(self, rng):
+        sequences = [rng.random((30, 2)) for _ in range(10)]
+        query = sequences[2][5:20]
+        answers = {}
+        for kind in ("rtree", "rstar", "str"):
+            db = SequenceDatabase(dimension=2, index_kind=kind)
+            for i, points in enumerate(sequences):
+                db.add(points, sequence_id=i)
+            result = SimilaritySearch(db).search(query, 0.15)
+            answers[kind] = (
+                set(result.candidates),
+                set(result.answers),
+                result.solution_intervals,
+            )
+        assert answers["rtree"] == answers["rstar"] == answers["str"]
+
+
+class TestDuplication:
+    def test_duplicate_sequence_both_retrieved(self, rng):
+        db = SequenceDatabase(dimension=2)
+        points = rng.random((25, 2))
+        db.add(points, sequence_id="a")
+        db.add(points, sequence_id="b")
+        result = SimilaritySearch(db).search(points[4:14], 0.05)
+        assert {"a", "b"} <= set(result.answers)
+        assert result.solution_intervals["a"] == result.solution_intervals["b"]
+
+    def test_concatenation_contains_both_parts(self, rng):
+        """D(Q, A++B) <= min(D(Q, A), D(Q, B)) when Q fits in each part."""
+        a = rng.random((20, 2))
+        b = rng.random((20, 2))
+        query = rng.random((6, 2))
+        joined = np.vstack([a, b])
+        assert sequence_distance(query, joined) <= min(
+            sequence_distance(query, a), sequence_distance(query, b)
+        ) + 1e-12
+
+
+class TestRepetitionAndReversal:
+    @given(cube_points(n_range=(2, 10)))
+    @settings(max_examples=40, deadline=None)
+    def test_reversed_pair_distance_equal(self, points):
+        other = np.roll(points, 1, axis=0)
+        assert mean_distance(points[::-1], other[::-1]) == pytest.approx(
+            mean_distance(points, other), abs=1e-12
+        )
+
+    def test_query_repeated_in_data_interval_grows(self, rng):
+        """Planting the query twice must enlarge the solution interval."""
+        query = rng.random((8, 2))
+        filler = rng.random((20, 2))
+        once = np.vstack([query, filler])
+        twice = np.vstack([query, filler, query])
+
+        from repro.baselines.sequential import exact_solution_interval
+
+        si_once = exact_solution_interval(query, once, 0.0)
+        si_twice = exact_solution_interval(query, twice, 0.0)
+        assert len(si_twice) >= len(si_once) + len(query)

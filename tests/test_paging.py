@@ -1,0 +1,132 @@
+"""Unit tests for the simulated page store / buffer pool."""
+
+import pytest
+
+from repro.core.mbr import MBR
+from repro.index.paging import PageStore, attach_page_store, detach_page_store
+from repro.index.rtree import RTree
+from tests.test_rtree import random_boxes
+
+
+class TestPageStore:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PageStore(buffer_pages=0)
+
+    def test_cold_then_warm(self):
+        store = PageStore(buffer_pages=4)
+        node = object()
+        assert store.access(node) is False  # cold miss
+        assert store.access(node) is True  # warm hit
+        assert store.stats.logical_reads == 2
+        assert store.stats.physical_reads == 1
+        assert store.stats.hit_rate == pytest.approx(0.5)
+
+    def test_lru_eviction(self):
+        store = PageStore(buffer_pages=2)
+        a, b, c = object(), object(), object()
+        store.access(a)
+        store.access(b)
+        store.access(c)  # evicts a (LRU)
+        assert store.stats.evictions == 1
+        assert store.access(b) is True  # still resident
+        assert store.access(a) is False  # was evicted
+
+    def test_access_refreshes_recency(self):
+        store = PageStore(buffer_pages=2)
+        a, b, c = object(), object(), object()
+        store.access(a)
+        store.access(b)
+        store.access(a)  # a is now most recent
+        store.access(c)  # evicts b
+        assert store.access(a) is True
+        assert store.access(b) is False
+
+    def test_clear_and_reset(self):
+        store = PageStore(buffer_pages=2)
+        store.access(object())
+        store.clear()
+        assert store.resident_pages == 0
+        assert store.stats.physical_reads == 1
+        store.stats.reset()
+        assert store.stats.logical_reads == 0
+        assert store.stats.hit_rate == 1.0
+
+
+class TestAttachedTree:
+    def _tree(self, rng, count=120):
+        tree = RTree(dimension=2, max_entries=4)
+        items = random_boxes(rng, count)
+        tree.extend(items)
+        return tree, items
+
+    def test_results_unchanged_by_paging(self, rng):
+        tree, items = self._tree(rng)
+        probe = MBR([0.3, 0.3], [0.4, 0.4])
+        before = {e.payload for e in tree.search_within(probe, 0.1)}
+        store = PageStore(buffer_pages=8)
+        attach_page_store(tree, store)
+        after = {e.payload for e in tree.search_within(probe, 0.1)}
+        assert after == before
+        assert store.stats.logical_reads > 0
+
+    def test_physical_reads_bounded_by_logical(self, rng):
+        tree, _ = self._tree(rng)
+        store = PageStore(buffer_pages=4)
+        attach_page_store(tree, store)
+        for _ in range(5):
+            tree.search_within(MBR([0.2, 0.2], [0.6, 0.6]), 0.05)
+        assert store.stats.physical_reads <= store.stats.logical_reads
+
+    def test_bigger_buffer_never_more_misses(self, rng):
+        """LRU with more pages can only reduce physical reads (inclusion
+        property of LRU stacks)."""
+        tree, _ = self._tree(rng, count=200)
+        probes = [
+            MBR(rng.random(2) * 0.7, rng.random(2) * 0.3 + 0.7)
+            for _ in range(10)
+        ]
+        misses = {}
+        for pages in (2, 16, 256):
+            store = PageStore(buffer_pages=pages)
+            attach_page_store(tree, store)
+            for probe in probes:
+                tree.search_within(probe, 0.05)
+            misses[pages] = store.stats.physical_reads
+            detach_page_store(tree)
+        assert misses[256] <= misses[16] <= misses[2]
+
+    def test_warm_repeat_query_hits(self, rng):
+        tree, _ = self._tree(rng, count=60)
+        store = PageStore(buffer_pages=1024)  # everything fits
+        attach_page_store(tree, store)
+        probe = MBR([0.4, 0.4], [0.5, 0.5])
+        tree.search_within(probe, 0.1)
+        cold = store.stats.physical_reads
+        tree.search_within(probe, 0.1)
+        assert store.stats.physical_reads == cold  # fully buffered
+
+    def test_double_attach_rejected(self, rng):
+        tree, _ = self._tree(rng, count=10)
+        attach_page_store(tree, PageStore())
+        with pytest.raises(RuntimeError):
+            attach_page_store(tree, PageStore())
+
+    def test_detach_restores(self, rng):
+        tree, _ = self._tree(rng, count=30)
+        store = PageStore()
+        attach_page_store(tree, store)
+        detach_page_store(tree)
+        before = store.stats.logical_reads
+        tree.search_within(MBR([0.1, 0.1], [0.9, 0.9]), 0.1)
+        assert store.stats.logical_reads == before
+        with pytest.raises(RuntimeError):
+            detach_page_store(tree)
+
+    def test_node_access_counters_still_track(self, rng):
+        tree, _ = self._tree(rng, count=80)
+        store = PageStore()
+        attach_page_store(tree, store)
+        tree.stats.reset_query_counters()
+        tree.search_within(MBR([0.0, 0.0], [1.0, 1.0]), 1.0)
+        assert tree.stats.node_accesses == store.stats.logical_reads

@@ -1,0 +1,201 @@
+"""Unit tests for MCOST partitioning (Section 3.4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mbr import MBR
+from repro.core.partitioning import (
+    DEFAULT_COST_CONSTANT,
+    PartitionedSequence,
+    SequenceSegment,
+    marginal_cost,
+    partition_sequence,
+)
+from repro.core.sequence import MultidimensionalSequence
+
+
+class TestMarginalCost:
+    def test_formula(self):
+        """MCOST = prod(L_k + c) / m."""
+        cost = marginal_cost([0.2, 0.1], 4, 0.3)
+        assert cost == pytest.approx((0.5 * 0.4) / 4)
+
+    def test_point_mbr(self):
+        cost = marginal_cost([0.0, 0.0, 0.0], 1, 0.3)
+        assert cost == pytest.approx(0.3**3)
+
+    def test_default_constant_is_paper_value(self):
+        assert DEFAULT_COST_CONSTANT == pytest.approx(0.3)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            marginal_cost([0.1], 0)
+        with pytest.raises(ValueError):
+            marginal_cost([0.1], 1, 0.0)
+        with pytest.raises(ValueError):
+            marginal_cost([-0.1], 1)
+
+
+class TestPartitionStructure:
+    def test_exact_cover(self):
+        """Segments tile the sequence: contiguous, ordered, complete."""
+        rng = np.random.default_rng(5)
+        seq = MultidimensionalSequence(rng.random((100, 3)))
+        partition = partition_sequence(seq)
+        offset = 0
+        for index, segment in enumerate(partition):
+            assert segment.index == index
+            assert segment.start == offset
+            assert segment.count >= 1
+            offset = segment.stop
+        assert offset == len(seq)
+
+    def test_mbrs_are_tight(self):
+        rng = np.random.default_rng(6)
+        seq = MultidimensionalSequence(rng.random((80, 2)))
+        partition = partition_sequence(seq)
+        for segment in partition:
+            block = partition.segment_points(segment.index)
+            expected = MBR.of_points(block)
+            assert segment.mbr == expected
+
+    def test_single_point_sequence(self):
+        partition = partition_sequence([[0.5, 0.5]])
+        assert len(partition) == 1
+        assert partition[0].count == 1
+
+    def test_clustered_points_share_an_mbr(self):
+        """A tight cluster is cheaper as one MBR: no split inside it."""
+        cluster = np.full((20, 2), 0.5) + np.linspace(0, 1e-4, 20)[:, None]
+        partition = partition_sequence(cluster)
+        assert len(partition) == 1
+
+    def test_distant_jump_starts_new_mbr(self):
+        """A shot-cut-sized jump must break the MBR."""
+        points = np.vstack(
+            [np.full((10, 2), 0.1), np.full((10, 2), 0.9)]
+        ) + np.linspace(0, 1e-5, 20)[:, None]
+        partition = partition_sequence(points)
+        assert len(partition) >= 2
+        boundary = partition.segment_of_point(9)
+        assert boundary.stop == 10  # the split falls exactly at the jump
+
+    def test_max_points_cap(self):
+        cluster = np.full((50, 2), 0.5)
+        partition = partition_sequence(cluster, max_points=8)
+        assert all(segment.count <= 8 for segment in partition)
+        assert len(partition) == pytest.approx(np.ceil(50 / 8))
+
+    def test_no_cap_when_none(self):
+        cluster = np.full((50, 2), 0.5)
+        partition = partition_sequence(cluster, max_points=None)
+        assert len(partition) == 1
+
+    def test_cost_constant_controls_granularity(self):
+        """A larger constant tolerates larger MBRs (fewer segments)."""
+        rng = np.random.default_rng(8)
+        walk = np.cumsum(rng.normal(0, 0.01, size=(300, 2)), axis=0)
+        walk = (walk - walk.min()) / (walk.max() - walk.min() + 1e-12)
+        fine = partition_sequence(walk, cost_constant=0.05, max_points=None)
+        coarse = partition_sequence(walk, cost_constant=0.8, max_points=None)
+        assert len(coarse) <= len(fine)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partition_sequence([[0.1]], cost_constant=0.0)
+        with pytest.raises(ValueError):
+            partition_sequence([[0.1]], max_points=0)
+
+
+class TestPartitionedSequenceApi:
+    def _partition(self):
+        rng = np.random.default_rng(9)
+        seq = MultidimensionalSequence(rng.random((60, 3)))
+        return partition_sequence(seq)
+
+    def test_counts_match_segments(self):
+        partition = self._partition()
+        np.testing.assert_array_equal(
+            partition.counts, [s.count for s in partition.segments]
+        )
+
+    def test_mbrs_property(self):
+        partition = self._partition()
+        assert partition.mbrs == [s.mbr for s in partition.segments]
+
+    def test_segment_of_point(self):
+        partition = self._partition()
+        for offset in (0, 17, len(partition.sequence) - 1):
+            segment = partition.segment_of_point(offset)
+            assert segment.start <= offset < segment.stop
+
+    def test_segment_of_point_bounds(self):
+        partition = self._partition()
+        with pytest.raises(IndexError):
+            partition.segment_of_point(-1)
+        with pytest.raises(IndexError):
+            partition.segment_of_point(len(partition.sequence))
+
+    def test_mbr_distance_row_matches_scalar(self):
+        partition = self._partition()
+        query = MBR([0.2, 0.2, 0.2], [0.4, 0.4, 0.4])
+        row = partition.mbr_distance_row(query)
+        for t, segment in enumerate(partition):
+            assert row[t] == pytest.approx(query.min_distance(segment.mbr))
+
+    def test_total_cost_positive(self):
+        assert self._partition().total_cost() > 0
+
+    def test_constructor_rejects_gaps(self):
+        seq = MultidimensionalSequence([[0.1], [0.2], [0.3]])
+        bad = [
+            SequenceSegment(0, 0, 1, MBR([0.1], [0.1])),
+            SequenceSegment(1, 2, 1, MBR([0.3], [0.3])),  # gap at offset 1
+        ]
+        with pytest.raises(ValueError, match="tile"):
+            PartitionedSequence(seq, bad)
+
+    def test_constructor_rejects_short_cover(self):
+        seq = MultidimensionalSequence([[0.1], [0.2]])
+        bad = [SequenceSegment(0, 0, 1, MBR([0.1], [0.1]))]
+        with pytest.raises(ValueError, match="cover"):
+            PartitionedSequence(seq, bad)
+
+    def test_constructor_rejects_misnumbered(self):
+        seq = MultidimensionalSequence([[0.1]])
+        bad = [SequenceSegment(3, 0, 1, MBR([0.1], [0.1]))]
+        with pytest.raises(ValueError, match="index"):
+            PartitionedSequence(seq, bad)
+
+    def test_constructor_rejects_empty(self):
+        seq = MultidimensionalSequence([[0.1]])
+        with pytest.raises(ValueError, match="at least one segment"):
+            PartitionedSequence(seq, [])
+
+
+class TestGreedyBehaviour:
+    def test_partition_decision_follows_mcost(self):
+        """Replay the greedy rule manually and compare the boundaries."""
+        rng = np.random.default_rng(10)
+        points = rng.random((40, 2))
+        partition = partition_sequence(points, max_points=None)
+
+        boundaries = []
+        low = points[0].copy()
+        high = points[0].copy()
+        count = 1
+        current = marginal_cost(high - low, count)
+        for offset in range(1, len(points)):
+            new_low = np.minimum(low, points[offset])
+            new_high = np.maximum(high, points[offset])
+            new_cost = marginal_cost(new_high - new_low, count + 1)
+            if new_cost > current:
+                boundaries.append(offset)
+                low = points[offset].copy()
+                high = points[offset].copy()
+                count = 1
+                current = marginal_cost(high - low, count)
+            else:
+                low, high, count, current = new_low, new_high, count + 1, new_cost
+        starts = [segment.start for segment in partition]
+        assert starts == [0] + boundaries

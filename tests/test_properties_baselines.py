@@ -1,0 +1,102 @@
+"""Property-based tests for the baseline matchers' guarantees.
+
+The DFT F-index and the ST-index both rest on a lower-bounding feature
+transform: their candidate sets must be supersets of the true answers for
+*any* data.  Hypothesis hunts for violations.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.baselines.dft import DftWholeMatcher, dft_features
+from repro.baselines.stindex import STIndexSubsequenceMatcher, window_features
+
+series_strategy = arrays(
+    np.float64,
+    st.integers(8, 32),
+    elements=st.floats(0.0, 1.0, allow_nan=False, width=64),
+)
+
+
+class TestDftProperties:
+    @given(
+        st.integers(8, 24).flatmap(
+            lambda n: st.tuples(
+                arrays(np.float64, n,
+                       elements=st.floats(0.0, 1.0, allow_nan=False, width=64)),
+                arrays(np.float64, n,
+                       elements=st.floats(0.0, 1.0, allow_nan=False, width=64)),
+                st.integers(1, n),
+            )
+        )
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_feature_distance_lower_bounds(self, case):
+        a, b, coefficients = case
+        fa = dft_features(a, coefficients)
+        fb = dft_features(b, coefficients)
+        true = float(np.linalg.norm(a - b))
+        assert float(np.linalg.norm(fa - fb)) <= true + 1e-9
+
+    @given(
+        st.lists(
+            arrays(np.float64, 16,
+                   elements=st.floats(0.0, 1.0, allow_nan=False, width=64)),
+            min_size=2,
+            max_size=8,
+        ),
+        st.floats(0.0, 3.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_candidates_superset_of_answers(self, corpus, epsilon):
+        matcher = DftWholeMatcher(16, n_coefficients=3)
+        for ordinal, series in enumerate(corpus):
+            matcher.add(series, ordinal)
+        query = corpus[0]
+        expected = {
+            ordinal
+            for ordinal, series in enumerate(corpus)
+            if np.linalg.norm(series - query) <= epsilon
+        }
+        assert expected <= matcher.candidates(query, epsilon)
+        assert matcher.search(query, epsilon) == expected
+
+
+class TestSTIndexProperties:
+    @given(
+        st.lists(
+            arrays(np.float64, st.integers(10, 30),
+                   elements=st.floats(0.0, 1.0, allow_nan=False, width=64)),
+            min_size=1,
+            max_size=5,
+        ),
+        st.integers(0, 20),
+        st.floats(0.0, 2.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_exact_subsequence_matching(self, corpus, query_pick, epsilon):
+        window = 4
+        matcher = STIndexSubsequenceMatcher(window=window, n_coefficients=2)
+        for ordinal, series in enumerate(corpus):
+            matcher.add(series, ordinal)
+        source = corpus[query_pick % len(corpus)]
+        length = min(len(source), window + 3)
+        query = source[:length]
+
+        got = {(m.sequence_id, m.offset) for m in matcher.search(query, epsilon)}
+        expected = set()
+        for ordinal, series in enumerate(corpus):
+            for offset in range(series.size - length + 1):
+                block = series[offset : offset + length]
+                if np.linalg.norm(block - query) <= epsilon:
+                    expected.add((ordinal, offset))
+        assert got == expected
+
+    @given(series_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_window_trail_shape(self, series):
+        window = min(6, series.size)
+        trail = window_features(series, window, 2)
+        assert trail.shape == (series.size - window + 1, 4)

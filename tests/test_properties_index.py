@@ -1,0 +1,84 @@
+"""Property-based tests for the R-tree family: exactness vs brute force."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mbr import MBR
+from repro.index.bulk import bulk_load_str
+from repro.index.rstar import RStarTree
+from repro.index.rtree import RTree
+
+
+def boxes_strategy(dimension=2, max_count=60):
+    coordinate = st.floats(0.0, 1.0, allow_nan=False, width=64)
+    corner = st.tuples(*([coordinate] * dimension))
+
+    def make(corners):
+        a, b = corners
+        low = np.minimum(a, b)
+        high = np.maximum(a, b)
+        return MBR(low, high)
+
+    box = st.tuples(corner, corner).map(make)
+    return st.lists(box, min_size=1, max_size=max_count)
+
+
+def build(kind, items, dimension=2, max_entries=4):
+    pairs = list(enumerate(items))
+    if kind == "str":
+        return bulk_load_str(
+            [(mbr, i) for i, mbr in pairs], dimension, max_entries=max_entries
+        )
+    cls = RStarTree if kind == "rstar" else RTree
+    tree = cls(dimension, max_entries=max_entries)
+    for i, mbr in pairs:
+        tree.insert(mbr, i)
+    return tree
+
+
+@pytest.mark.parametrize("kind", ["rtree", "rstar", "str"])
+class TestExactness:
+    @given(
+        items=boxes_strategy(),
+        query=boxes_strategy(max_count=1),
+        epsilon=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_within_equals_brute_force(self, kind, items, query, epsilon):
+        tree = build(kind, items)
+        probe = query[0]
+        expected = {
+            i for i, mbr in enumerate(items)
+            if mbr.min_distance(probe) <= epsilon
+        }
+        got = {e.payload for e in tree.search_within(probe, epsilon)}
+        assert got == expected
+
+    @given(items=boxes_strategy(), query=boxes_strategy(max_count=1))
+    @settings(max_examples=60, deadline=None)
+    def test_intersect_equals_brute_force(self, kind, items, query):
+        tree = build(kind, items)
+        probe = query[0]
+        expected = {i for i, mbr in enumerate(items) if mbr.intersects(probe)}
+        got = {e.payload for e in tree.search_intersect(probe)}
+        assert got == expected
+
+    @given(items=boxes_strategy(), query=boxes_strategy(max_count=1))
+    @settings(max_examples=40, deadline=None)
+    def test_nearest_matches_sorted_brute_force(self, kind, items, query):
+        tree = build(kind, items)
+        probe = query[0]
+        k = min(5, len(items))
+        got = [d for d, _ in tree.nearest(probe, k)]
+        brute = sorted(mbr.min_distance(probe) for mbr in items)[:k]
+        np.testing.assert_allclose(got, brute, atol=1e-12)
+
+    @given(items=boxes_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_structure_and_size(self, kind, items):
+        tree = build(kind, items)
+        assert len(tree) == len(items)
+        tree.check_invariants(check_min_fill=(kind != "str"))
+        assert {e.payload for e in tree.entries()} == set(range(len(items)))

@@ -1,0 +1,137 @@
+"""Property-based end-to-end tests of the full search pipeline.
+
+The paper's headline guarantee — no false dismissals for sequence
+selection — must hold for *any* corpus, any query and any threshold, so it
+is tested here with hypothesis-generated inputs through the complete
+pipeline (partitioning, indexing, Phase 2, Phase 3), not just at the
+distance level.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.baselines.sequential import exact_range_search, exact_solution_interval
+from repro.core.database import SequenceDatabase
+from repro.core.search import SimilaritySearch
+from repro.core.sequence import MultidimensionalSequence
+
+
+def corpora(min_sequences=2, max_sequences=6, dims=(1, 3)):
+    """Strategy: a small corpus plus a query of the same dimension."""
+
+    def build(dimension):
+        sequence = arrays(
+            np.float64,
+            st.tuples(st.integers(3, 25), st.just(dimension)),
+            elements=st.floats(0.0, 1.0, allow_nan=False, width=64),
+        )
+        return st.tuples(
+            st.lists(sequence, min_size=min_sequences, max_size=max_sequences),
+            sequence,
+            st.floats(0.0, 0.8),
+        )
+
+    return st.integers(dims[0], dims[1]).flatmap(build)
+
+
+class TestEndToEndGuarantees:
+    @given(corpora())
+    @settings(max_examples=50, deadline=None)
+    def test_no_false_dismissals_anywhere(self, case):
+        sequences, query, epsilon = case
+        database = SequenceDatabase(dimension=sequences[0].shape[1], max_points=4)
+        corpus = {}
+        for ordinal, points in enumerate(sequences):
+            corpus[ordinal] = MultidimensionalSequence(points)
+            database.add(corpus[ordinal], sequence_id=ordinal)
+        engine = SimilaritySearch(database)
+
+        result = engine.search(query, epsilon, find_intervals=False)
+        relevant = exact_range_search(query, corpus, epsilon)
+
+        assert relevant <= set(result.candidates), "Phase 2 false dismissal"
+        assert relevant <= set(result.answers), "Phase 3 false dismissal"
+        assert set(result.answers) <= set(result.candidates)
+
+    @given(corpora(dims=(2, 2)))
+    @settings(max_examples=30, deadline=None)
+    def test_solution_intervals_well_formed(self, case):
+        sequences, query, epsilon = case
+        database = SequenceDatabase(dimension=2, max_points=4)
+        for ordinal, points in enumerate(sequences):
+            database.add(points, sequence_id=ordinal)
+        engine = SimilaritySearch(database)
+
+        result = engine.search(query, epsilon, find_intervals=True)
+        assert set(result.solution_intervals) == set(result.answers)
+        for sequence_id, interval in result.solution_intervals.items():
+            length = len(database.sequence(sequence_id))
+            for start, stop in interval.intervals:
+                assert 0 <= start < stop <= length
+
+    @given(corpora(dims=(2, 2)))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_epsilon(self, case):
+        """A larger threshold can only grow the answer set."""
+        sequences, query, epsilon = case
+        database = SequenceDatabase(dimension=2, max_points=4)
+        for ordinal, points in enumerate(sequences):
+            database.add(points, sequence_id=ordinal)
+        engine = SimilaritySearch(database)
+
+        tight = engine.search(query, epsilon, find_intervals=False)
+        loose = engine.search(query, epsilon + 0.2, find_intervals=False)
+        assert set(tight.answers) <= set(loose.answers)
+        assert set(tight.candidates) <= set(loose.candidates)
+
+    @given(corpora(dims=(1, 2), max_sequences=4))
+    @settings(max_examples=30, deadline=None)
+    def test_knn_first_hit_is_true_minimum(self, case):
+        from repro.core.distance import sequence_distance
+
+        sequences, query, _ = case
+        database = SequenceDatabase(dimension=sequences[0].shape[1], max_points=4)
+        corpus = {}
+        for ordinal, points in enumerate(sequences):
+            corpus[ordinal] = MultidimensionalSequence(points)
+            database.add(corpus[ordinal], sequence_id=ordinal)
+        engine = SimilaritySearch(database)
+        best_distance, _ = engine.knn(query, 1)[0]
+        true_minimum = min(
+            sequence_distance(query, seq) for seq in corpus.values()
+        )
+        assert abs(best_distance - true_minimum) <= 1e-9
+
+
+class TestSolutionIntervalQuality:
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(12, 40), st.just(2)),
+            elements=st.floats(0.0, 1.0, allow_nan=False, width=64),
+        ),
+        st.floats(0.05, 0.5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_exact_interval_never_escapes_approximation_by_much(
+        self, points, epsilon
+    ):
+        """For a query cut from the sequence itself, the exact interval of
+        the source must be almost fully covered (the paper's recall claim,
+        asserted at >= 50% per instance to allow adversarial partitions;
+        corpus-level recall is asserted at 0.95+ in the benchmarks)."""
+        sequence = MultidimensionalSequence(points)
+        query = MultidimensionalSequence(points[3:9])
+        database = SequenceDatabase(dimension=2, max_points=4)
+        database.add(sequence, sequence_id=0)
+        engine = SimilaritySearch(database)
+
+        result = engine.search(query, epsilon, find_intervals=True)
+        assert 0 in result.answers  # exact subsequence: distance 0
+        exact = exact_solution_interval(query, sequence, epsilon)
+        approx = result.solution_intervals[0]
+        assert len(exact) > 0
+        covered = approx.intersection_size(exact)
+        assert covered / len(exact) >= 0.5

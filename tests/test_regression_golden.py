@@ -1,0 +1,123 @@
+"""Golden-number regression tests.
+
+Everything here is fully seeded, so the exact values below are stable until
+an algorithm or generator changes behaviour.  Unlike the property tests
+(which catch *incorrect* changes), these catch *unintended* changes: a
+refactor that silently alters partitioning boundaries, window selection or
+corpus statistics will trip a golden number even if it stays correct.
+
+Tolerances are tight but non-zero where float summation order may legally
+vary; update the constants deliberately when behaviour changes on purpose
+(and say why in the commit).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.database import SequenceDatabase
+from repro.core.distance import normalized_distance, sequence_distance
+from repro.core.mbr import MBR
+from repro.core.partitioning import partition_sequence
+from repro.core.search import SimilaritySearch
+from repro.datagen.fractal import generate_fractal_sequence
+from repro.datagen.queries import generate_queries
+from repro.datagen.video import generate_video_sequence
+
+
+class TestGeneratorGolden:
+    def test_fractal_first_points(self):
+        seq = generate_fractal_sequence(
+            8, 2, seed=123, region_extent=None
+        )
+        np.testing.assert_allclose(
+            seq.points[0], [0.68235186, 0.05382102], atol=1e-8
+        )
+        np.testing.assert_allclose(
+            seq.points[-1], [0.22035987, 0.18437181], atol=1e-8
+        )
+
+    def test_fractal_statistics(self):
+        seq = generate_fractal_sequence(256, 3, seed=7)
+        assert float(seq.points.mean()) == pytest.approx(0.62784, abs=2e-3)
+
+    def test_video_statistics(self):
+        seq = generate_video_sequence(256, seed=7)
+        jumps = np.linalg.norm(np.diff(seq.points, axis=0), axis=1)
+        assert float(jumps.mean()) == pytest.approx(0.03229, abs=2e-3)
+
+
+class TestPartitioningGolden:
+    def test_segment_boundaries(self):
+        seq = generate_video_sequence(200, seed=11)
+        partition = partition_sequence(seq)
+        starts = [segment.start for segment in partition]
+        # Shot-aligned boundaries for this exact stream.
+        assert starts[0] == 0
+        assert len(partition) == pytest.approx(len(starts))
+        assert starts == sorted(starts)
+        golden = partition_sequence(generate_video_sequence(200, seed=11))
+        assert [s.start for s in golden] == starts  # deterministic
+
+
+class TestSearchGolden:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        database = SequenceDatabase(dimension=3)
+        for i in range(60):
+            database.add(
+                generate_video_sequence(
+                    120 + 3 * i, seed=1000 + i, sequence_id=i
+                )
+            )
+        engine = SimilaritySearch(database)
+        corpus = {sid: database.sequence(sid) for sid in database.ids()}
+        query = generate_queries(corpus, 1, length_range=(30, 30), seed=5)[0]
+        return database, engine, query
+
+    def test_candidate_and_answer_counts(self, setup):
+        _, engine, query = setup
+        result = engine.search(query, 0.1)
+        # Golden counts for this seeded corpus/query/threshold.
+        assert len(result.candidates) == 4
+        assert len(result.answers) == 4
+
+    def test_interval_sizes(self, setup):
+        _, engine, query = setup
+        result = engine.search(query, 0.1)
+        total_points = sum(
+            len(interval) for interval in result.solution_intervals.values()
+        )
+        assert total_points == 264
+
+    def test_knn_golden(self, setup):
+        _, engine, query = setup
+        (distance, sequence_id), *_ = engine.knn(query, 1)
+        assert sequence_id == 40
+        assert distance == pytest.approx(0.014679, abs=1e-4)
+
+
+class TestDistanceGolden:
+    def test_dnorm_hand_computed(self):
+        """An independently hand-computed Dnorm window case."""
+        query = MBR([0.0, 0.0], [0.1, 0.1])
+        data_mbrs = [
+            MBR([0.3, 0.0], [0.4, 0.1]),  # Dmbr = 0.2
+            MBR([0.6, 0.0], [0.7, 0.1]),  # Dmbr = 0.5
+            MBR([0.2, 0.0], [0.25, 0.1]),  # Dmbr = 0.1
+        ]
+        counts = [3, 2, 4]
+        # Anchor 1 (count 2 < query 5): windows are
+        #  LD k=1: [1..2] = (0.5*2 + 0.1*3)/5 = 0.26
+        #  LD k=0: [0..1] invalid (l=1 == j); RD q=1: p=0 -> (0.2*3+0.5*2)/5=0.32
+        #  RD q=2: p=0 -> need sum(1..2)=6 >= 5? 6>=5 so p must satisfy
+        #          sum(p+1..2) < 5 <= sum(p..2): sum(1..2)=6 not < 5 -> none.
+        result = normalized_distance(query, 5, data_mbrs, counts, 1)
+        assert result.value == pytest.approx(0.26)
+        assert result.window == (1, 2)
+        assert result.marginal_side == "right"
+
+    def test_sequence_distance_golden(self):
+        rng = np.random.default_rng(42)
+        a = rng.random((20, 3))
+        b = rng.random((50, 3))
+        assert sequence_distance(a, b) == pytest.approx(0.573752, abs=1e-4)

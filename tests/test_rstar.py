@@ -1,0 +1,92 @@
+"""Unit tests for the R*-tree variant."""
+
+import pytest
+
+from repro.core.mbr import MBR
+from repro.index.rstar import RStarTree
+from repro.index.rtree import RTree
+from tests.conftest import brute_force_within
+from tests.test_rtree import random_boxes
+
+
+class TestConstruction:
+    def test_reinsert_fraction_validated(self):
+        with pytest.raises(ValueError):
+            RStarTree(dimension=2, reinsert_fraction=0.0)
+        with pytest.raises(ValueError):
+            RStarTree(dimension=2, reinsert_fraction=1.0)
+
+    def test_is_an_rtree(self):
+        assert isinstance(RStarTree(dimension=2), RTree)
+
+
+class TestCorrectness:
+    def test_within_matches_brute_force(self, rng):
+        items = random_boxes(rng, 150)
+        tree = RStarTree(dimension=2, max_entries=8)
+        tree.extend(items)
+        assert len(tree) == 150
+        tree.check_invariants()
+        for _ in range(25):
+            low = rng.random(2) * 0.8
+            query = MBR(low, low + rng.random(2) * 0.2)
+            epsilon = float(rng.random() * 0.3)
+            expected = brute_force_within(items, query, epsilon)
+            got = {e.payload for e in tree.search_within(query, epsilon)}
+            assert got == expected
+
+    def test_all_entries_preserved_through_reinserts(self, rng):
+        items = random_boxes(rng, 200, dimension=3)
+        tree = RStarTree(dimension=3, max_entries=5)
+        tree.extend(items)
+        assert {e.payload for e in tree.entries()} == set(range(200))
+        tree.check_invariants()
+
+    def test_forced_reinsert_happens(self, rng):
+        tree = RStarTree(dimension=2, max_entries=4)
+        tree.extend(random_boxes(rng, 100))
+        assert tree.stats.reinserts > 0
+
+    def test_invariants_across_scales(self, rng):
+        for count in (1, 7, 30, 120):
+            tree = RStarTree(dimension=2, max_entries=6)
+            tree.extend(random_boxes(rng, count))
+            tree.check_invariants()
+            assert len(tree) == count
+
+
+class TestQuality:
+    def test_no_worse_leaf_overlap_than_random_order_guttman(self, rng):
+        """R* should produce tighter trees: compare total leaf-level overlap.
+
+        Not a strict theorem, so assert only a generous bound: R* overlap
+        must not exceed twice the Guttman overlap on clustered data.
+        """
+        items = []
+        for cluster in range(10):
+            centre = rng.random(2) * 0.9
+            for i in range(20):
+                low = centre + rng.normal(0, 0.01, 2).clip(-0.05, 0.05)
+                low = low.clip(0, 0.95)
+                items.append((MBR(low, low + 0.01), (cluster, i)))
+
+        def leaf_overlap(tree):
+            leaves = []
+            stack = [tree.root]
+            while stack:
+                node = stack.pop()
+                if node.is_leaf:
+                    leaves.append(node.mbr)
+                else:
+                    stack.extend(node.children)
+            total = 0.0
+            for i, a in enumerate(leaves):
+                for b in leaves[i + 1 :]:
+                    total += a.overlap_volume(b)
+            return total
+
+        guttman = RTree(dimension=2, max_entries=6)
+        guttman.extend(items)
+        rstar = RStarTree(dimension=2, max_entries=6)
+        rstar.extend(items)
+        assert leaf_overlap(rstar) <= 2.0 * leaf_overlap(guttman) + 1e-9

@@ -1,0 +1,196 @@
+"""Unit tests for the Guttman R-tree."""
+
+import numpy as np
+import pytest
+
+from repro.core.mbr import MBR
+from repro.index.rtree import RTree
+from tests.conftest import brute_force_within
+
+
+def random_boxes(rng, count, dimension=2, max_side=0.1):
+    """Random small boxes in the unit cube with integer payloads."""
+    items = []
+    for i in range(count):
+        low = rng.random(dimension) * (1 - max_side)
+        side = rng.random(dimension) * max_side
+        items.append((MBR(low, low + side), i))
+    return items
+
+
+class TestConstruction:
+    def test_empty_tree(self):
+        tree = RTree(dimension=2)
+        assert len(tree) == 0
+        assert tree.height == 1
+        assert tree.search_within(MBR([0, 0], [1, 1]), 10.0) == []
+        assert tree.nearest(MBR([0, 0], [1, 1]), 3) == []
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RTree(dimension=0)
+        with pytest.raises(ValueError):
+            RTree(dimension=2, max_entries=1)
+        with pytest.raises(ValueError):
+            RTree(dimension=2, max_entries=8, min_entries=5)
+        with pytest.raises(ValueError):
+            RTree(dimension=2, max_entries=8, min_entries=0)
+
+    def test_insert_dimension_checked(self):
+        tree = RTree(dimension=2)
+        with pytest.raises(ValueError, match="dimension"):
+            tree.insert(MBR([0.1], [0.2]), "x")
+
+    def test_query_dimension_checked(self):
+        tree = RTree(dimension=2)
+        with pytest.raises(ValueError, match="dimension"):
+            tree.search_within(MBR([0.1], [0.2]), 0.1)
+        with pytest.raises(TypeError):
+            tree.search_within("box", 0.1)
+
+    def test_negative_epsilon_rejected(self):
+        tree = RTree(dimension=1)
+        with pytest.raises(ValueError):
+            tree.search_within(MBR([0.1], [0.2]), -0.5)
+
+
+class TestInsertAndGrow:
+    def test_size_tracks_inserts(self, rng):
+        tree = RTree(dimension=2, max_entries=4)
+        for mbr, payload in random_boxes(rng, 25):
+            tree.insert(mbr, payload)
+        assert len(tree) == 25
+        assert tree.height > 1
+        tree.check_invariants()
+
+    def test_extend(self, rng):
+        tree = RTree(dimension=2, max_entries=4)
+        tree.extend(random_boxes(rng, 10))
+        assert len(tree) == 10
+
+    def test_invariants_across_scales(self, rng):
+        for count in (1, 5, 17, 64, 200):
+            tree = RTree(dimension=3, max_entries=6)
+            tree.extend(random_boxes(rng, count, dimension=3))
+            tree.check_invariants()
+            assert len(tree) == count
+
+    def test_all_entries_preserved(self, rng):
+        items = random_boxes(rng, 120)
+        tree = RTree(dimension=2, max_entries=5)
+        tree.extend(items)
+        assert {entry.payload for entry in tree.entries()} == set(range(120))
+
+    def test_duplicate_rectangles_allowed(self):
+        tree = RTree(dimension=1, max_entries=4)
+        box = MBR([0.4], [0.5])
+        for i in range(10):
+            tree.insert(box, i)
+        found = {e.payload for e in tree.search_within(box, 0.0)}
+        assert found == set(range(10))
+
+
+class TestQueries:
+    def test_within_matches_brute_force(self, rng):
+        items = random_boxes(rng, 150)
+        tree = RTree(dimension=2, max_entries=8)
+        tree.extend(items)
+        for _ in range(25):
+            low = rng.random(2) * 0.8
+            query = MBR(low, low + rng.random(2) * 0.2)
+            epsilon = float(rng.random() * 0.3)
+            expected = brute_force_within(items, query, epsilon)
+            got = {e.payload for e in tree.search_within(query, epsilon)}
+            assert got == expected
+
+    def test_intersect_matches_brute_force(self, rng):
+        items = random_boxes(rng, 100)
+        tree = RTree(dimension=2, max_entries=8)
+        tree.extend(items)
+        for _ in range(20):
+            low = rng.random(2) * 0.7
+            query = MBR(low, low + rng.random(2) * 0.3)
+            expected = {p for m, p in items if m.intersects(query)}
+            got = {e.payload for e in tree.search_intersect(query)}
+            assert got == expected
+
+    def test_point_radius(self, rng):
+        items = random_boxes(rng, 60)
+        tree = RTree(dimension=2, max_entries=8)
+        tree.extend(items)
+        point = np.array([0.5, 0.5])
+        expected = {
+            p for m, p in items if m.min_distance_to_point(point) <= 0.2
+        }
+        got = {e.payload for e in tree.search_point_radius(point, 0.2)}
+        assert got == expected
+
+    def test_zero_epsilon_means_touching(self):
+        tree = RTree(dimension=1, max_entries=4)
+        tree.insert(MBR([0.0], [0.3]), "a")
+        tree.insert(MBR([0.5], [0.8]), "b")
+        got = {e.payload for e in tree.search_within(MBR([0.3], [0.4]), 0.0)}
+        assert got == {"a"}
+
+    def test_node_access_accounting(self, rng):
+        tree = RTree(dimension=2, max_entries=4)
+        tree.extend(random_boxes(rng, 80))
+        tree.stats.reset_query_counters()
+        tree.search_within(MBR([0.1, 0.1], [0.15, 0.15]), 0.01)
+        selective = tree.stats.node_accesses
+        tree.stats.reset_query_counters()
+        tree.search_within(MBR([0.0, 0.0], [1.0, 1.0]), 1.0)
+        full = tree.stats.node_accesses
+        assert 0 < selective <= full
+
+    def test_pruning_actually_happens(self, rng):
+        """A tiny query must not touch every node of a big tree."""
+        tree = RTree(dimension=2, max_entries=4)
+        tree.extend(random_boxes(rng, 400, max_side=0.02))
+        total_nodes = 0
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            total_nodes += 1
+            if not node.is_leaf:
+                stack.extend(node.children)
+        tree.stats.reset_query_counters()
+        tree.search_within(MBR([0.5, 0.5], [0.51, 0.51]), 0.01)
+        assert tree.stats.node_accesses < total_nodes
+
+
+class TestNearest:
+    def test_nearest_matches_brute_force(self, rng):
+        items = random_boxes(rng, 90)
+        tree = RTree(dimension=2, max_entries=8)
+        tree.extend(items)
+        query = MBR([0.42, 0.42], [0.44, 0.44])
+        for k in (1, 3, 10):
+            got = tree.nearest(query, k)
+            assert len(got) == k
+            distances = [d for d, _ in got]
+            assert distances == sorted(distances)
+            brute = sorted(m.min_distance(query) for m, _ in items)
+            np.testing.assert_allclose(distances, brute[:k], atol=1e-12)
+
+    def test_nearest_k_larger_than_size(self, rng):
+        tree = RTree(dimension=2, max_entries=4)
+        tree.extend(random_boxes(rng, 3))
+        assert len(tree.nearest(MBR([0, 0], [1, 1]), 10)) == 3
+
+    def test_nearest_validates_k(self):
+        tree = RTree(dimension=1)
+        with pytest.raises(ValueError):
+            tree.nearest(MBR([0], [1]), 0)
+
+
+class TestSplitInternals:
+    def test_split_counted(self, rng):
+        tree = RTree(dimension=2, max_entries=4)
+        tree.extend(random_boxes(rng, 50))
+        assert tree.stats.splits > 0
+
+    def test_min_fill_after_splits(self, rng):
+        tree = RTree(dimension=2, max_entries=4, min_entries=2)
+        tree.extend(random_boxes(rng, 300))
+        tree.check_invariants()  # includes the min-fill assertion

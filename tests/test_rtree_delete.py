@@ -1,0 +1,99 @@
+"""Unit tests for R-tree deletion (Guttman Delete / CondenseTree)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mbr import MBR
+from repro.index.rstar import RStarTree
+from repro.index.rtree import RTree
+from tests.test_rtree import random_boxes
+
+
+@pytest.mark.parametrize("cls", [RTree, RStarTree])
+class TestDelete:
+    def test_delete_existing(self, rng, cls):
+        items = random_boxes(rng, 40)
+        tree = cls(dimension=2, max_entries=4)
+        tree.extend(items)
+        mbr, payload = items[7]
+        assert tree.delete(mbr, payload)
+        assert len(tree) == 39
+        remaining = {e.payload for e in tree.entries()}
+        assert payload not in remaining
+        tree.check_invariants()
+
+    def test_delete_missing_returns_false(self, rng, cls):
+        tree = cls(dimension=2, max_entries=4)
+        tree.extend(random_boxes(rng, 10))
+        assert not tree.delete(MBR([0.99, 0.99], [1.0, 1.0]), "ghost")
+        assert len(tree) == 10
+
+    def test_delete_requires_matching_payload(self, rng, cls):
+        tree = cls(dimension=2, max_entries=4)
+        box = MBR([0.2, 0.2], [0.3, 0.3])
+        tree.insert(box, "a")
+        assert not tree.delete(box, "b")
+        assert tree.delete(box, "a")
+        assert len(tree) == 0
+
+    def test_delete_everything(self, rng, cls):
+        items = random_boxes(rng, 60)
+        tree = cls(dimension=2, max_entries=4)
+        tree.extend(items)
+        order = rng.permutation(60)
+        for i in order:
+            mbr, payload = items[int(i)]
+            assert tree.delete(mbr, payload)
+        assert len(tree) == 0
+        assert tree.root.mbr is None
+        assert tree.search_within(MBR([0, 0], [1, 1]), 10.0) == []
+
+    def test_queries_stay_exact_through_churn(self, rng, cls):
+        """Interleave inserts and deletes; queries must track brute force."""
+        tree = cls(dimension=2, max_entries=4)
+        live = {}
+        counter = 0
+        for round_number in range(12):
+            for mbr, _ in random_boxes(rng, 8):
+                live[counter] = mbr
+                tree.insert(mbr, counter)
+                counter += 1
+            victims = rng.choice(list(live), size=min(5, len(live)), replace=False)
+            for victim in victims:
+                assert tree.delete(live.pop(int(victim)), int(victim))
+            tree.check_invariants()
+            low = rng.random(2) * 0.7
+            query = MBR(low, low + 0.25)
+            expected = {
+                p for p, m in live.items() if m.min_distance(query) <= 0.1
+            }
+            got = {e.payload for e in tree.search_within(query, 0.1)}
+            assert got == expected
+        assert len(tree) == len(live)
+
+    def test_dimension_checked(self, rng, cls):
+        tree = cls(dimension=2)
+        with pytest.raises(ValueError, match="dimension"):
+            tree.delete(MBR([0.1], [0.2]), "x")
+
+    def test_root_shrinks_after_mass_delete(self, rng, cls):
+        items = random_boxes(rng, 120)
+        tree = cls(dimension=2, max_entries=4)
+        tree.extend(items)
+        tall = tree.height
+        for mbr, payload in items[:110]:
+            assert tree.delete(mbr, payload)
+        assert tree.height <= tall
+        tree.check_invariants()
+        assert {e.payload for e in tree.entries()} == {
+            p for _, p in items[110:]
+        }
+
+    def test_duplicate_rectangles_delete_one_at_a_time(self, cls, rng):
+        tree = cls(dimension=1, max_entries=4)
+        box = MBR([0.4], [0.5])
+        for i in range(6):
+            tree.insert(box, i)
+        assert tree.delete(box, 3)
+        remaining = {e.payload for e in tree.entries()}
+        assert remaining == {0, 1, 2, 4, 5}

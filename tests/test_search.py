@@ -1,0 +1,202 @@
+"""Integration tests for the three-phase SIMILARITY_SEARCH algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.core.database import SequenceDatabase
+from repro.core.distance import sequence_distance
+from repro.core.search import SimilaritySearch
+from repro.core.sequence import MultidimensionalSequence
+
+
+def smooth_walk(rng, length, dimension=3, step=0.03):
+    """A clipped random walk: realistically smooth multidimensional data."""
+    steps = rng.normal(0.0, step, size=(length, dimension))
+    walk = np.clip(0.5 + np.cumsum(steps, axis=0), 0.0, 1.0)
+    return walk
+
+
+@pytest.fixture
+def populated(rng):
+    db = SequenceDatabase(dimension=3, max_points=16)
+    sequences = {}
+    for i in range(25):
+        walk = smooth_walk(rng, int(rng.integers(40, 120)))
+        sequences[i] = MultidimensionalSequence(walk, sequence_id=i)
+        db.add(sequences[i])
+    return db, sequences
+
+
+class TestCorrectness:
+    def test_no_false_dismissals(self, populated, rng):
+        """Lemmas 1-3: every truly relevant sequence must survive both
+        pruning phases, at several thresholds and query lengths."""
+        db, sequences = populated
+        engine = SimilaritySearch(db)
+        for trial in range(6):
+            source = sequences[int(rng.integers(0, 25))]
+            length = int(rng.integers(10, min(40, len(source))))
+            start = int(rng.integers(0, len(source) - length + 1))
+            noise = rng.normal(0, 0.02, size=(length, 3))
+            query = np.clip(source.points[start : start + length] + noise, 0, 1)
+            for epsilon in (0.05, 0.15, 0.3):
+                result = engine.search(query, epsilon, find_intervals=False)
+                relevant = {
+                    sid
+                    for sid, seq in sequences.items()
+                    if sequence_distance(query, seq) <= epsilon
+                }
+                assert relevant <= set(result.candidates)
+                assert relevant <= set(result.answers)
+
+    def test_answers_subset_of_candidates(self, populated, rng):
+        db, sequences = populated
+        engine = SimilaritySearch(db)
+        query = sequences[3].points[5:25]
+        result = engine.search(query, 0.1)
+        assert set(result.answers) <= set(result.candidates)
+
+    def test_exact_subsequence_always_found(self, populated):
+        db, sequences = populated
+        engine = SimilaritySearch(db)
+        query = sequences[7].points[10:30]
+        result = engine.search(query, 0.01)
+        assert 7 in result.answers
+        assert 7 in result.solution_intervals
+
+    def test_self_match_at_zero_epsilon(self, populated):
+        db, sequences = populated
+        engine = SimilaritySearch(db)
+        result = engine.search(sequences[0].points, 0.0)
+        assert 0 in result.answers
+
+    def test_phase3_prunes_at_least_as_hard(self, populated, rng):
+        """Dnorm >= Dmbr minimum (Lemma 3), so AS_norm cannot exceed AS_mbr."""
+        db, sequences = populated
+        engine = SimilaritySearch(db)
+        for epsilon in (0.05, 0.1, 0.2):
+            query = smooth_walk(rng, 30)
+            result = engine.search(query, epsilon, find_intervals=False)
+            assert len(result.answers) <= len(result.candidates)
+
+    def test_long_query(self, populated, rng):
+        """A query longer than data sequences still works (Definition 3
+        slides the shorter sequence, here the data)."""
+        db, sequences = populated
+        engine = SimilaritySearch(db)
+        query = smooth_walk(rng, 400)
+        result = engine.search(query, 0.25, find_intervals=False)
+        relevant = {
+            sid
+            for sid, seq in sequences.items()
+            if sequence_distance(query, seq) <= 0.25
+        }
+        assert relevant <= set(result.answers)
+
+
+class TestSolutionIntervals:
+    def test_intervals_only_for_answers(self, populated):
+        db, sequences = populated
+        engine = SimilaritySearch(db)
+        result = engine.search(sequences[2].points[0:20], 0.05)
+        assert set(result.solution_intervals) == set(result.answers)
+
+    def test_intervals_within_sequence_bounds(self, populated):
+        db, sequences = populated
+        engine = SimilaritySearch(db)
+        result = engine.search(sequences[2].points[0:20], 0.15)
+        for sid, interval in result.solution_intervals.items():
+            length = len(db.sequence(sid))
+            for start, stop in interval.intervals:
+                assert 0 <= start < stop <= length
+
+    def test_interval_recall_on_exact_match(self, populated):
+        """The approximate SI must cover most of the exact one (paper: >=98%
+        at corpus scale; assert a slightly looser bound per query here)."""
+        from repro.baselines.sequential import exact_solution_interval
+
+        db, sequences = populated
+        engine = SimilaritySearch(db)
+        query = sequences[11].points[5:35]
+        epsilon = 0.1
+        result = engine.search(query, epsilon)
+        exact = exact_solution_interval(query, sequences[11], epsilon)
+        assert len(exact) > 0
+        approx = result.solution_intervals[11]
+        covered = approx.intersection_size(exact)
+        assert covered / len(exact) >= 0.9
+
+    def test_find_intervals_false_skips_assembly(self, populated):
+        db, sequences = populated
+        engine = SimilaritySearch(db)
+        result = engine.search(
+            sequences[2].points[0:20], 0.15, find_intervals=False
+        )
+        assert result.solution_intervals == {}
+        assert len(result.answers) >= 1
+
+
+class TestStatsAndValidation:
+    def test_stats_populated(self, populated):
+        db, sequences = populated
+        engine = SimilaritySearch(db)
+        result = engine.search(sequences[1].points[0:15], 0.1)
+        stats = result.stats
+        assert stats.query_segments >= 1
+        assert stats.node_accesses > 0
+        assert stats.candidates_after_dmbr == len(result.candidates)
+        assert stats.answers_after_dnorm == len(result.answers)
+        assert stats.total_seconds > 0
+
+    def test_validation(self, populated, rng):
+        db, _ = populated
+        engine = SimilaritySearch(db)
+        with pytest.raises(ValueError, match="epsilon"):
+            engine.search(smooth_walk(rng, 10), -0.1)
+        with pytest.raises(ValueError, match="dimension"):
+            engine.search(rng.random((10, 2)), 0.1)
+        with pytest.raises(TypeError):
+            SimilaritySearch("not a database")
+
+    def test_result_contains(self, populated):
+        db, sequences = populated
+        engine = SimilaritySearch(db)
+        result = engine.search(sequences[4].points[0:12], 0.05)
+        assert 4 in result
+
+
+class TestKnn:
+    def test_knn_matches_brute_force(self, populated, rng):
+        db, sequences = populated
+        engine = SimilaritySearch(db)
+        query = smooth_walk(rng, 25)
+        exact = sorted(
+            (sequence_distance(query, seq), sid)
+            for sid, seq in sequences.items()
+        )
+        for k in (1, 3, 7):
+            got = engine.knn(query, k)
+            np.testing.assert_allclose(
+                [d for d, _ in got], [d for d, _ in exact[:k]], atol=1e-12
+            )
+
+    def test_knn_of_stored_sequence_finds_itself(self, populated):
+        db, sequences = populated
+        engine = SimilaritySearch(db)
+        got = engine.knn(sequences[9].points[3:23], 1)
+        assert got[0][1] == 9
+        assert got[0][0] == pytest.approx(0.0)
+
+    def test_knn_k_larger_than_database(self, populated, rng):
+        db, _ = populated
+        engine = SimilaritySearch(db)
+        got = engine.knn(smooth_walk(rng, 10), 100)
+        assert len(got) == len(db)
+
+    def test_knn_validation(self, populated, rng):
+        db, _ = populated
+        engine = SimilaritySearch(db)
+        with pytest.raises(ValueError):
+            engine.knn(smooth_walk(rng, 10), 0)
+        with pytest.raises(ValueError, match="dimension"):
+            engine.knn(rng.random((5, 2)), 1)

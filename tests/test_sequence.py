@@ -1,0 +1,223 @@
+"""Unit tests for the multidimensional sequence model (Definition 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sequence import MultidimensionalSequence, as_sequence
+
+
+class TestConstruction:
+    def test_basic_shape(self):
+        seq = MultidimensionalSequence([[0.1, 0.2], [0.3, 0.4], [0.5, 0.6]])
+        assert len(seq) == 3
+        assert seq.dimension == 2
+
+    def test_one_dimensional_promotion(self):
+        """A flat array is the paper's time-series special case (n = 1)."""
+        seq = MultidimensionalSequence([0.1, 0.5, 0.9])
+        assert seq.dimension == 1
+        assert seq.points.shape == (3, 1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one point"):
+            MultidimensionalSequence(np.empty((0, 3)))
+
+    def test_rejects_zero_dimension(self):
+        with pytest.raises(ValueError, match="dimension >= 1"):
+            MultidimensionalSequence(np.empty((3, 0)))
+
+    def test_rejects_3d_array(self):
+        with pytest.raises(ValueError, match="length, dimension"):
+            MultidimensionalSequence(np.zeros((2, 2, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            MultidimensionalSequence([[0.1, np.nan]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            MultidimensionalSequence([[np.inf, 0.0]], validate_unit_cube=False)
+
+    def test_rejects_outside_unit_cube(self):
+        with pytest.raises(ValueError, match="unit hyper-cube"):
+            MultidimensionalSequence([[1.5, 0.0]])
+        with pytest.raises(ValueError, match="unit hyper-cube"):
+            MultidimensionalSequence([[-0.1, 0.0]])
+
+    def test_unit_cube_validation_can_be_disabled(self):
+        seq = MultidimensionalSequence([[5.0, -2.0]], validate_unit_cube=False)
+        assert seq.points[0, 0] == 5.0
+
+    def test_points_are_read_only(self):
+        seq = MultidimensionalSequence([[0.1, 0.2]])
+        with pytest.raises(ValueError):
+            seq.points[0, 0] = 0.9
+
+    def test_caller_array_not_frozen(self):
+        source = np.array([[0.1, 0.2]])
+        MultidimensionalSequence(source)
+        source[0, 0] = 0.7  # must not raise: the sequence copied its input
+        assert source[0, 0] == 0.7
+
+    def test_sequence_id_carried(self):
+        seq = MultidimensionalSequence([[0.1]], sequence_id="clip-7")
+        assert seq.sequence_id == "clip-7"
+        assert "clip-7" in repr(seq)
+
+
+class TestTimeSeriesEmbedding:
+    def test_window_one_is_column_vector(self):
+        seq = MultidimensionalSequence.from_time_series([0.0, 0.5, 1.0])
+        assert seq.dimension == 1
+        assert len(seq) == 3
+
+    def test_sliding_window_embedding(self):
+        """FRM'94 embedding: element i holds values[i .. i+w-1]."""
+        seq = MultidimensionalSequence.from_time_series(
+            [0.0, 0.1, 0.2, 0.3], window=2
+        )
+        assert seq.dimension == 2
+        assert len(seq) == 3
+        np.testing.assert_allclose(seq.points[0], [0.0, 0.1])
+        np.testing.assert_allclose(seq.points[2], [0.2, 0.3])
+
+    def test_window_equal_to_length(self):
+        seq = MultidimensionalSequence.from_time_series([0.2, 0.4], window=2)
+        assert len(seq) == 1
+        np.testing.assert_allclose(seq.points[0], [0.2, 0.4])
+
+    def test_window_longer_than_series_rejected(self):
+        with pytest.raises(ValueError, match="shorter than window"):
+            MultidimensionalSequence.from_time_series([0.1], window=2)
+
+    def test_window_zero_rejected(self):
+        with pytest.raises(ValueError, match="window must be >= 1"):
+            MultidimensionalSequence.from_time_series([0.1, 0.2], window=0)
+
+
+class TestNormalization:
+    def test_normalized_spans_unit_interval(self):
+        seq = MultidimensionalSequence(
+            [[10.0, -5.0], [20.0, 5.0]], validate_unit_cube=False
+        )
+        norm = seq.normalized()
+        np.testing.assert_allclose(norm.points[0], [0.0, 0.0])
+        np.testing.assert_allclose(norm.points[1], [1.0, 1.0])
+
+    def test_constant_dimension_maps_to_half(self):
+        seq = MultidimensionalSequence(
+            [[7.0, 1.0], [7.0, 3.0]], validate_unit_cube=False
+        )
+        norm = seq.normalized()
+        np.testing.assert_allclose(norm.points[:, 0], [0.5, 0.5])
+
+    def test_normalized_keeps_id(self):
+        seq = MultidimensionalSequence(
+            [[2.0], [4.0]], sequence_id="s", validate_unit_cube=False
+        )
+        assert seq.normalized().sequence_id == "s"
+
+
+class TestIndexing:
+    def test_zero_based_getitem(self):
+        seq = MultidimensionalSequence([[0.1], [0.2], [0.3]])
+        assert seq[0][0] == pytest.approx(0.1)
+        assert seq[-1][0] == pytest.approx(0.3)
+
+    def test_slice_returns_sequence(self):
+        seq = MultidimensionalSequence([[0.1], [0.2], [0.3]])
+        sub = seq[1:3]
+        assert isinstance(sub, MultidimensionalSequence)
+        assert len(sub) == 2
+
+    def test_empty_slice_rejected(self):
+        seq = MultidimensionalSequence([[0.1], [0.2]])
+        with pytest.raises(IndexError, match="empty slice"):
+            seq[2:2]
+
+    def test_paper_entry_is_one_based(self):
+        seq = MultidimensionalSequence([[0.1], [0.2], [0.3]])
+        assert seq.entry(1)[0] == pytest.approx(0.1)
+        assert seq.entry(3)[0] == pytest.approx(0.3)
+
+    def test_entry_bounds(self):
+        seq = MultidimensionalSequence([[0.1]])
+        with pytest.raises(IndexError):
+            seq.entry(0)
+        with pytest.raises(IndexError):
+            seq.entry(2)
+
+    def test_paper_subsequence_inclusive(self):
+        seq = MultidimensionalSequence([[0.1], [0.2], [0.3], [0.4]])
+        sub = seq.subsequence(2, 3)
+        assert len(sub) == 2
+        assert sub.entry(1)[0] == pytest.approx(0.2)
+        assert sub.entry(2)[0] == pytest.approx(0.3)
+
+    def test_subsequence_full_range(self):
+        seq = MultidimensionalSequence([[0.1], [0.2]])
+        assert len(seq.subsequence(1, 2)) == 2
+
+    def test_subsequence_rejects_reversed(self):
+        seq = MultidimensionalSequence([[0.1], [0.2]])
+        with pytest.raises(IndexError):
+            seq.subsequence(2, 1)
+
+
+class TestOperations:
+    def test_windows_enumerates_alignments(self):
+        seq = MultidimensionalSequence([[0.1], [0.2], [0.3], [0.4]])
+        wins = list(seq.windows(2))
+        assert len(wins) == 3
+        np.testing.assert_allclose(wins[1].points.ravel(), [0.2, 0.3])
+
+    def test_windows_width_equal_length(self):
+        seq = MultidimensionalSequence([[0.1], [0.2]])
+        wins = list(seq.windows(2))
+        assert len(wins) == 1
+
+    def test_windows_too_wide_yields_nothing(self):
+        seq = MultidimensionalSequence([[0.1]])
+        assert list(seq.windows(2)) == []
+
+    def test_concatenate(self):
+        a = MultidimensionalSequence([[0.1], [0.2]])
+        b = MultidimensionalSequence([[0.3]])
+        joined = a.concatenate(b)
+        assert len(joined) == 3
+        np.testing.assert_allclose(joined.points.ravel(), [0.1, 0.2, 0.3])
+
+    def test_concatenate_dimension_mismatch(self):
+        a = MultidimensionalSequence([[0.1]])
+        b = MultidimensionalSequence([[0.1, 0.2]])
+        with pytest.raises(ValueError, match="concatenate"):
+            a.concatenate(b)
+
+    def test_equality_and_hash(self):
+        a = MultidimensionalSequence([[0.1], [0.2]])
+        b = MultidimensionalSequence([[0.1], [0.2]])
+        c = MultidimensionalSequence([[0.1], [0.3]])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+        assert a != "not a sequence"
+
+    def test_iteration_yields_points(self):
+        seq = MultidimensionalSequence([[0.1, 0.2], [0.3, 0.4]])
+        rows = list(seq)
+        assert len(rows) == 2
+        np.testing.assert_allclose(rows[1], [0.3, 0.4])
+
+
+class TestAsSequence:
+    def test_wraps_array(self):
+        seq = as_sequence([[0.5, 0.5]])
+        assert isinstance(seq, MultidimensionalSequence)
+
+    def test_passes_through_instances(self):
+        original = MultidimensionalSequence([[0.5]], sequence_id="x")
+        assert as_sequence(original) is original
+
+    def test_sets_id_on_new_instances(self):
+        seq = as_sequence([[0.5]], sequence_id="y")
+        assert seq.sequence_id == "y"

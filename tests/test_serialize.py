@@ -1,0 +1,205 @@
+"""Unit tests for R-tree serialisation and streaming append / calibration."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.calibration import calibrate_epsilon, selectivity_curve
+from repro.core.database import SequenceDatabase
+from repro.core.distance import sequence_distance
+from repro.core.mbr import MBR
+from repro.core.search import SimilaritySearch
+from repro.index.rstar import RStarTree
+from repro.index.rtree import RTree
+from repro.index.serialize import load_tree, save_tree
+from tests.test_rtree import random_boxes
+
+
+@pytest.mark.parametrize("cls", [RTree, RStarTree])
+class TestTreeSerialization:
+    def test_round_trip_structure(self, rng, tmp_path, cls):
+        tree = cls(dimension=3, max_entries=5)
+        tree.extend(random_boxes(rng, 90, dimension=3))
+        path = tmp_path / "tree.npz"
+        save_tree(tree, path)
+        loaded = load_tree(path)
+
+        assert type(loaded) is cls
+        assert len(loaded) == len(tree)
+        assert loaded.height == tree.height
+        assert loaded.max_entries == tree.max_entries
+        assert loaded.min_entries == tree.min_entries
+        loaded.check_invariants()
+        assert {e.payload for e in loaded.entries()} == {
+            e.payload for e in tree.entries()
+        }
+
+    def test_round_trip_query_identical(self, rng, tmp_path, cls):
+        tree = cls(dimension=2, max_entries=4)
+        tree.extend(random_boxes(rng, 70))
+        path = tmp_path / "tree.npz"
+        save_tree(tree, path)
+        loaded = load_tree(path)
+
+        for _ in range(10):
+            low = rng.random(2) * 0.7
+            probe = MBR(low, low + 0.2)
+            epsilon = float(rng.random() * 0.2)
+            original = {e.payload for e in tree.search_within(probe, epsilon)}
+            reloaded = {
+                e.payload for e in loaded.search_within(probe, epsilon)
+            }
+            assert reloaded == original
+
+    def test_access_counts_identical(self, rng, tmp_path, cls):
+        """Identical layout means identical node-access counts."""
+        tree = cls(dimension=2, max_entries=4)
+        tree.extend(random_boxes(rng, 80))
+        path = tmp_path / "tree.npz"
+        save_tree(tree, path)
+        loaded = load_tree(path)
+        probe = MBR([0.3, 0.3], [0.5, 0.5])
+        tree.stats.reset_query_counters()
+        loaded.stats.reset_query_counters()
+        tree.search_within(probe, 0.1)
+        loaded.search_within(probe, 0.1)
+        assert loaded.stats.node_accesses == tree.stats.node_accesses
+
+    def test_empty_tree(self, tmp_path, cls, rng):
+        tree = cls(dimension=2)
+        path = tmp_path / "empty.npz"
+        save_tree(tree, path)
+        loaded = load_tree(path)
+        assert len(loaded) == 0
+        assert loaded.search_within(MBR([0, 0], [1, 1]), 1.0) == []
+
+    def test_insert_after_load(self, rng, tmp_path, cls):
+        tree = cls(dimension=2, max_entries=4)
+        tree.extend(random_boxes(rng, 30))
+        path = tmp_path / "tree.npz"
+        save_tree(tree, path)
+        loaded = load_tree(path)
+        loaded.insert(MBR([0.9, 0.9], [0.95, 0.95]), "late")
+        assert len(loaded) == 31
+        loaded.check_invariants()
+
+
+class TestSerializeValidation:
+    def test_unknown_type_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_tree("not a tree", tmp_path / "x.npz")
+
+
+class TestAppendPoints:
+    def test_append_extends_and_index_tracks(self, rng):
+        db = SequenceDatabase(dimension=2)
+        db.add(rng.random((40, 2)), sequence_id="s")
+        db.append_points("s", rng.random((25, 2)))
+        assert len(db.sequence("s")) == 65
+        assert len(db.index) == db.segment_count
+        db.index.check_invariants()
+        # The patched index must equal a from-scratch rebuild semantically.
+        fresh = SequenceDatabase(dimension=2)
+        fresh.add(db.sequence("s").points, sequence_id="s")
+        assert [s.start for s in fresh.partition("s")] == [
+            s.start for s in db.partition("s")
+        ]
+
+    def test_append_matches_full_rebuild_partition(self, rng):
+        """Greedy partitioning is prefix-deterministic, so appending must
+        give the exact same partition as re-partitioning from scratch."""
+        db = SequenceDatabase(dimension=3)
+        base = rng.random((60, 3))
+        extra = rng.random((30, 3))
+        db.add(base, sequence_id=0)
+        db.append_points(0, extra)
+        from repro.core.partitioning import partition_sequence
+
+        expected = partition_sequence(
+            np.vstack([base, extra]),
+            cost_constant=db.cost_constant,
+            max_points=db.max_points,
+        )
+        got = db.partition(0)
+        assert [s.start for s in got] == [s.start for s in expected]
+        assert got.mbrs == expected.mbrs
+
+    def test_append_search_consistency(self, rng):
+        db = SequenceDatabase(dimension=2)
+        db.add(rng.random((30, 2)), sequence_id="grow")
+        tail = rng.random((20, 2))
+        db.append_points("grow", tail)
+        engine = SimilaritySearch(db)
+        result = engine.search(tail[:10], 0.01, find_intervals=False)
+        assert "grow" in result.answers
+
+    def test_append_empty_is_noop(self, rng):
+        db = SequenceDatabase(dimension=2)
+        db.add(rng.random((10, 2)), sequence_id=0)
+        before = len(db.sequence(0))
+        db.append_points(0, np.empty((0, 2)))
+        assert len(db.sequence(0)) == before
+
+    def test_append_validation(self, rng):
+        db = SequenceDatabase(dimension=2)
+        db.add(rng.random((10, 2)), sequence_id=0)
+        with pytest.raises(KeyError):
+            db.append_points("missing", rng.random((5, 2)))
+        with pytest.raises(ValueError, match="dimension"):
+            db.append_points(0, rng.random((5, 3)))
+
+    def test_append_with_str_index(self, rng):
+        db = SequenceDatabase(dimension=2, index_kind="str")
+        db.add(rng.random((30, 2)), sequence_id=0)
+        _ = db.index
+        db.append_points(0, rng.random((15, 2)))
+        assert len(db.index) == db.segment_count
+
+
+class TestCalibration:
+    def _database(self, rng):
+        db = SequenceDatabase(dimension=2)
+        for i in range(15):
+            walk = np.clip(
+                0.5 + np.cumsum(rng.normal(0, 0.02, (40, 2)), axis=0), 0, 1
+            )
+            db.add(walk, sequence_id=i)
+        return db
+
+    def test_selectivity_curve_monotone(self, rng):
+        db = self._database(rng)
+        queries = [db.sequence(0).points[5:15]]
+        curve = selectivity_curve(db, queries, [0.05, 0.2, 0.5, 1.0])
+        values = [sel for _, sel in curve]
+        assert values == sorted(values)
+        assert values[-1] == 1.0  # diagonal-scale threshold catches all
+
+    def test_calibrated_epsilon_hits_target(self, rng):
+        db = self._database(rng)
+        queries = [db.sequence(i).points[0:12] for i in (1, 4, 9)]
+        target = 0.4
+        epsilon = calibrate_epsilon(db, queries, target, tolerance=0.05)
+        sequences = [db.sequence(sid) for sid in db.ids()]
+        achieved = np.mean(
+            [
+                np.mean(
+                    [
+                        sequence_distance(q, s) <= epsilon
+                        for s in sequences
+                    ]
+                )
+                for q in queries
+            ]
+        )
+        assert abs(achieved - target) <= 0.1
+
+    def test_validation(self, rng):
+        db = self._database(rng)
+        queries = [db.sequence(0).points[:5]]
+        with pytest.raises(ValueError):
+            calibrate_epsilon(db, queries, 0.0)
+        with pytest.raises(ValueError):
+            calibrate_epsilon(db, queries, 1.0)
+        with pytest.raises(ValueError):
+            calibrate_epsilon(db, [], 0.5)
+        with pytest.raises(ValueError):
+            selectivity_curve(db, [], [0.1])

@@ -1,0 +1,81 @@
+"""Unit tests for the query-tracing wrapper."""
+
+import json
+
+import pytest
+
+from repro.analysis.tracing import TracingSearch, read_trace
+from repro.core.database import SequenceDatabase
+from repro.core.search import SimilaritySearch
+
+
+@pytest.fixture
+def engine(rng):
+    db = SequenceDatabase(dimension=2)
+    for i in range(6):
+        db.add(rng.random((30, 2)), sequence_id=i)
+    return SimilaritySearch(db)
+
+
+class TestTracingSearch:
+    def test_results_unchanged(self, engine, rng):
+        traced = TracingSearch(engine)
+        query = engine.database.sequence(1).points[3:13]
+        direct = engine.search(query, 0.2)
+        via_trace = traced.search(query, 0.2)
+        assert via_trace.answers == direct.answers
+        assert via_trace.solution_intervals == direct.solution_intervals
+
+    def test_in_memory_records(self, engine, rng):
+        traced = TracingSearch(engine, clock=lambda: 1234.5)
+        traced.search(rng.random((8, 2)), 0.1)
+        traced.search(rng.random((12, 2)), 0.3)
+        assert len(traced.records) == 2
+        first = traced.records[0]
+        assert first["timestamp"] == 1234.5
+        assert first["epsilon"] == 0.1
+        assert first["query_points"] == 8
+        assert first["candidates"] >= first["answers"]
+        assert first["total_ms"] > 0
+
+    def test_file_trace_round_trip(self, engine, rng, tmp_path):
+        path = tmp_path / "queries.jsonl"
+        traced = TracingSearch(engine, path=path)
+        for _ in range(3):
+            traced.search(rng.random((10, 2)), 0.15)
+        records = read_trace(path)
+        assert len(records) == 3
+        assert records == traced.records
+
+    def test_appends_across_instances(self, engine, rng, tmp_path):
+        path = tmp_path / "queries.jsonl"
+        TracingSearch(engine, path=path).search(rng.random((5, 2)), 0.1)
+        TracingSearch(engine, path=path).search(rng.random((5, 2)), 0.2)
+        assert len(read_trace(path)) == 2
+
+    def test_passthrough_of_other_methods(self, engine, rng):
+        traced = TracingSearch(engine)
+        hits = traced.knn(rng.random((6, 2)), 2)
+        assert len(hits) == 2
+        assert traced.database is engine.database
+        assert traced.records == []  # only search() is traced
+
+    def test_type_checked(self):
+        with pytest.raises(TypeError):
+            TracingSearch("not an engine")
+
+    def test_malformed_trace_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(ValueError, match="malformed"):
+            read_trace(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"a": 1}\n\n{"b": 2}\n')
+        assert len(read_trace(path)) == 2
+
+    def test_records_are_json_serialisable(self, engine, rng):
+        traced = TracingSearch(engine)
+        traced.search(rng.random((7, 2)), 0.25)
+        json.dumps(traced.records)  # must not raise

@@ -1,0 +1,160 @@
+"""Unit tests for the utility subpackage (validation, RNG, curves)."""
+
+import numpy as np
+import pytest
+
+from repro.util.hilbert import (
+    curve_ordering,
+    hilbert_d2xy,
+    hilbert_xy2d,
+    zorder_d2xy,
+    zorder_xy2d,
+)
+from repro.util.rng import ensure_rng, spawn_rngs
+from repro.util.validation import (
+    check_dimension,
+    check_fraction,
+    check_positive,
+    check_threshold,
+)
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive("x", 2.5) == 2.5
+        with pytest.raises(ValueError):
+            check_positive("x", 0)
+        assert check_positive("x", 0, strict=False) == 0.0
+        with pytest.raises(ValueError):
+            check_positive("x", -1, strict=False)
+        with pytest.raises(TypeError):
+            check_positive("x", "3")
+        with pytest.raises(TypeError):
+            check_positive("x", True)
+
+    def test_check_fraction(self):
+        assert check_fraction("f", 0.5) == 0.5
+        with pytest.raises(ValueError):
+            check_fraction("f", 1.5)
+        with pytest.raises(TypeError):
+            check_fraction("f", None)
+
+    def test_check_dimension(self):
+        assert check_dimension("n", 3) == 3
+        with pytest.raises(ValueError):
+            check_dimension("n", 0)
+        with pytest.raises(TypeError):
+            check_dimension("n", 2.5)
+        with pytest.raises(TypeError):
+            check_dimension("n", True)
+
+    def test_check_threshold(self):
+        assert check_threshold(0.3, dimension=3) == 0.3
+        with pytest.raises(ValueError):
+            check_threshold(-0.1)
+        with pytest.raises(ValueError):
+            check_threshold(100.0, dimension=2)
+
+
+class TestRng:
+    def test_ensure_rng_from_int(self):
+        a = ensure_rng(5)
+        b = ensure_rng(5)
+        assert a.random() == b.random()
+
+    def test_ensure_rng_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_ensure_rng_none(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_spawn_rngs_independent_and_reproducible(self):
+        first = spawn_rngs(7, 3)
+        second = spawn_rngs(7, 3)
+        draws_first = [r.random() for r in first]
+        draws_second = [r.random() for r in second]
+        assert draws_first == draws_second
+        assert len(set(draws_first)) == 3
+
+    def test_spawn_from_generator(self):
+        children = spawn_rngs(np.random.default_rng(1), 2)
+        assert len(children) == 2
+
+    def test_spawn_validation(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+        assert spawn_rngs(1, 0) == []
+
+
+class TestHilbert:
+    @pytest.mark.parametrize("order", [1, 2, 3, 4])
+    def test_round_trip(self, order):
+        side = 1 << order
+        for d in range(side * side):
+            x, y = hilbert_d2xy(order, d)
+            assert hilbert_xy2d(order, x, y) == d
+
+    @pytest.mark.parametrize("order", [1, 2, 3])
+    def test_bijection_covers_grid(self, order):
+        side = 1 << order
+        cells = {hilbert_d2xy(order, d) for d in range(side * side)}
+        assert len(cells) == side * side
+
+    @pytest.mark.parametrize("order", [1, 2, 3, 4])
+    def test_consecutive_cells_adjacent(self, order):
+        """The Hilbert curve moves one grid step at a time."""
+        side = 1 << order
+        previous = hilbert_d2xy(order, 0)
+        for d in range(1, side * side):
+            current = hilbert_d2xy(order, d)
+            manhattan = abs(current[0] - previous[0]) + abs(
+                current[1] - previous[1]
+            )
+            assert manhattan == 1
+            previous = current
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            hilbert_d2xy(2, 16)
+        with pytest.raises(ValueError):
+            hilbert_xy2d(2, 4, 0)
+        with pytest.raises(ValueError):
+            hilbert_d2xy(0, 0)
+
+
+class TestZOrder:
+    @pytest.mark.parametrize("order", [1, 2, 3, 4])
+    def test_round_trip(self, order):
+        side = 1 << order
+        for d in range(side * side):
+            x, y = zorder_d2xy(order, d)
+            assert zorder_xy2d(order, x, y) == d
+
+    def test_known_values(self):
+        # Z-order interleaves bits: (1,1) -> 3, (0,1) -> 2 at order 1.
+        assert zorder_xy2d(1, 0, 0) == 0
+        assert zorder_xy2d(1, 1, 0) == 1
+        assert zorder_xy2d(1, 0, 1) == 2
+        assert zorder_xy2d(1, 1, 1) == 3
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            zorder_d2xy(2, -1)
+        with pytest.raises(ValueError):
+            zorder_xy2d(1, 2, 0)
+
+
+class TestCurveOrdering:
+    def test_shapes(self):
+        coords = curve_ordering(2, "hilbert")
+        assert coords.shape == (16, 2)
+
+    def test_unknown_curve(self):
+        with pytest.raises(ValueError, match="unknown curve"):
+            curve_ordering(2, "dragon")
+
+    def test_matches_d2xy(self):
+        coords = curve_ordering(3, "zorder")
+        for d in range(64):
+            assert tuple(coords[d]) == zorder_d2xy(3, d)
