@@ -33,6 +33,28 @@ from repro.analysis.experiment import ExperimentConfig, ExperimentRunner
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+
+def pytest_collect_file(
+    file_path: Path, parent: pytest.Collector
+) -> "pytest.Module | None":
+    """Collect ``bench_*.py`` modules when benchmarks/ is targeted.
+
+    The repository-wide ``python_files`` pattern deliberately excludes
+    ``bench_*.py`` so tier-1 ``pytest`` runs never import the benchmark
+    modules; this hook restores collection for explicit
+    ``pytest benchmarks/`` invocations.
+    """
+    if file_path.name.startswith("bench_") and file_path.suffix == ".py":
+        return pytest.Module.from_parent(parent, path=file_path)
+    return None
+
+
+def pytest_collection_modifyitems(items: "list[pytest.Item]") -> None:
+    """Tag every benchmark test with the ``bench`` marker."""
+    for item in items:
+        if Path(str(item.fspath)).name.startswith("bench_"):
+            item.add_marker(pytest.mark.bench)
+
 _SCALES = {
     "smoke": dict(
         n_synthetic=120,

@@ -9,15 +9,27 @@ monotone selectivity(epsilon) curve measured on a sample of queries.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.core.distance import sliding_mean_distances
 from repro.core.sequence import MultidimensionalSequence
+from repro.util.validation import check_threshold
+
+if TYPE_CHECKING:
+    import numpy.typing as npt
+
+    from repro.core.database import SequenceDatabase
 
 __all__ = ["calibrate_epsilon", "selectivity_curve"]
 
 
-def _query_distances(query, sequences) -> np.ndarray:
+def _query_distances(
+    query: MultidimensionalSequence | npt.ArrayLike,
+    sequences: Iterable[MultidimensionalSequence],
+) -> np.ndarray:
     """Exact D(query, S) for every sequence, as one array."""
     if not isinstance(query, MultidimensionalSequence):
         query = MultidimensionalSequence(query)
@@ -31,7 +43,11 @@ def _query_distances(query, sequences) -> np.ndarray:
     return np.array(distances)
 
 
-def selectivity_curve(database, queries, epsilons) -> list[tuple[float, float]]:
+def selectivity_curve(
+    database: SequenceDatabase,
+    queries: Iterable[MultidimensionalSequence | npt.ArrayLike],
+    epsilons: Iterable[float],
+) -> list[tuple[float, float]]:
     """Measured mean selectivity (fraction of relevant sequences) per epsilon.
 
     Parameters
@@ -58,6 +74,7 @@ def selectivity_curve(database, queries, epsilons) -> list[tuple[float, float]]:
     per_query = [_query_distances(query, sequences) for query in queries]
     curve = []
     for epsilon in epsilons:
+        epsilon = check_threshold(epsilon)
         fractions = [
             float(np.mean(distances <= epsilon)) for distances in per_query
         ]
@@ -66,8 +83,8 @@ def selectivity_curve(database, queries, epsilons) -> list[tuple[float, float]]:
 
 
 def calibrate_epsilon(
-    database,
-    queries,
+    database: SequenceDatabase,
+    queries: Iterable[MultidimensionalSequence | npt.ArrayLike],
     target_selectivity: float,
     *,
     tolerance: float = 0.005,
@@ -104,7 +121,7 @@ def calibrate_epsilon(
         raise ValueError("at least one sample query is required")
     per_query = [_query_distances(query, sequences) for query in queries]
 
-    def selectivity(epsilon: float) -> float:
+    def _selectivity(epsilon: float) -> float:
         return float(
             np.mean([np.mean(d <= epsilon) for d in per_query])
         )
@@ -113,7 +130,7 @@ def calibrate_epsilon(
     high = float(max(d.max() for d in per_query)) + 1e-9
     for _ in range(max_iterations):
         middle = (low + high) / 2.0
-        value = selectivity(middle)
+        value = _selectivity(middle)
         if abs(value - target_selectivity) <= tolerance:
             return middle
         if value < target_selectivity:

@@ -29,11 +29,13 @@ from repro.analysis.metrics import (
 from repro.baselines.sequential import SequentialScan
 from repro.core.database import SequenceDatabase
 from repro.core.search import SimilaritySearch
+from repro.core.sequence import MultidimensionalSequence
 from repro.core.solution_interval import IntervalSet
 from repro.datagen.fractal import generate_fractal_corpus
 from repro.datagen.queries import generate_queries
 from repro.datagen.video import generate_video_corpus
 from repro.util.rng import ensure_rng
+from repro.util.validation import check_threshold
 
 __all__ = ["ExperimentConfig", "ExperimentRunner", "QueryMetrics", "ThresholdMetrics"]
 
@@ -62,19 +64,19 @@ class ExperimentConfig:
     # Presets
     # ------------------------------------------------------------------
     @classmethod
-    def paper_synthetic(cls, **overrides) -> "ExperimentConfig":
+    def paper_synthetic(cls, **overrides: object) -> "ExperimentConfig":
         """Table 2's synthetic column: 1600 fractal sequences."""
         return replace(cls(dataset="fractal", n_sequences=1600), **overrides)
 
     @classmethod
-    def paper_video(cls, **overrides) -> "ExperimentConfig":
+    def paper_video(cls, **overrides: object) -> "ExperimentConfig":
         """Table 2's video column: 1408 streams."""
         return replace(
             cls(dataset="video", n_sequences=1408, seed=2001), **overrides
         )
 
     @classmethod
-    def smoke_synthetic(cls, **overrides) -> "ExperimentConfig":
+    def smoke_synthetic(cls, **overrides: object) -> "ExperimentConfig":
         """A fast, shape-preserving scale-down for CI-sized runs."""
         return replace(
             cls(
@@ -87,7 +89,7 @@ class ExperimentConfig:
         )
 
     @classmethod
-    def smoke_video(cls, **overrides) -> "ExperimentConfig":
+    def smoke_video(cls, **overrides: object) -> "ExperimentConfig":
         """The video counterpart of :meth:`smoke_synthetic`."""
         return replace(
             cls(
@@ -171,7 +173,11 @@ class ExperimentRunner:
     True
     """
 
-    def __init__(self, config: ExperimentConfig, corpus=None) -> None:
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        corpus: list[MultidimensionalSequence] | None = None,
+    ) -> None:
         config.validate()
         self.config = config
         self.corpus = corpus if corpus is not None else self._build_corpus()
@@ -186,7 +192,7 @@ class ExperimentRunner:
         self.engine = SimilaritySearch(self.database)
         self.scanner = SequentialScan.from_database(self.database)
 
-    def _build_corpus(self):
+    def _build_corpus(self) -> list[MultidimensionalSequence]:
         config = self.config
         if config.dataset == "video":
             return generate_video_corpus(
@@ -222,6 +228,7 @@ class ExperimentRunner:
         self, epsilon: float, *, query_seed_offset: int = 0
     ) -> ThresholdMetrics:
         """Run the paper's 20-query average at one threshold."""
+        epsilon = check_threshold(epsilon)
         config = self.config
         workload = generate_queries(
             {sid: self.database.sequence(sid) for sid in self.database.ids()},
@@ -233,8 +240,11 @@ class ExperimentRunner:
         per_query = [self.measure_query(query, epsilon) for query in workload]
         return self._aggregate(epsilon, per_query)
 
-    def measure_query(self, query, epsilon: float) -> QueryMetrics:
+    def measure_query(
+        self, query: MultidimensionalSequence, epsilon: float
+    ) -> QueryMetrics:
         """All Figure 6-10 raw numbers for one (query, threshold) pair."""
+        epsilon = check_threshold(epsilon)
         started = time.perf_counter()
         result = self.engine.search(query, epsilon, find_intervals=True)
         method_seconds = time.perf_counter() - started

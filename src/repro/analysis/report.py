@@ -7,7 +7,7 @@ series as columns, plus the paper's reported band for eyeball comparison.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.analysis.experiment import ThresholdMetrics
 
@@ -23,7 +23,12 @@ __all__ = [
 _SPARK_LEVELS = "▁▂▃▄▅▆▇█"
 
 
-def sparkline(values, *, low: float | None = None, high: float | None = None) -> str:
+def sparkline(
+    values: Iterable[float],
+    *,
+    low: float | None = None,
+    high: float | None = None,
+) -> str:
     """Render a numeric series as a unicode sparkline.
 
     Parameters
@@ -113,7 +118,9 @@ _FIGURES = {
 }
 
 
-def series(rows: Sequence[ThresholdMetrics], fields: Sequence[str]):
+def series(
+    rows: Sequence[ThresholdMetrics], fields: Sequence[str]
+) -> list[tuple[float, ...]]:
     """Extract ``(epsilon, field...)`` tuples from threshold rows."""
     return [
         tuple([row.epsilon] + [getattr(row, field) for field in fields])

@@ -21,8 +21,13 @@ from __future__ import annotations
 import json
 import time
 from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.core.search import SearchResult, SimilaritySearch
+from repro.util.validation import check_threshold
+
+if TYPE_CHECKING:
+    from repro.core.sequence import MultidimensionalSequence
 
 __all__ = ["TracingSearch", "read_trace"]
 
@@ -41,7 +46,13 @@ class TracingSearch:
         Timestamp source (seconds); injectable for deterministic tests.
     """
 
-    def __init__(self, engine: SimilaritySearch, path=None, *, clock=time.time) -> None:
+    def __init__(
+        self,
+        engine: SimilaritySearch,
+        path: str | Path | None = None,
+        *,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
         if not isinstance(engine, SimilaritySearch):
             raise TypeError(
                 f"expected a SimilaritySearch, got {type(engine).__name__}"
@@ -51,8 +62,14 @@ class TracingSearch:
         self.records: list[dict] = []
         self._clock = clock
 
-    def search(self, query, epsilon: float, **kwargs) -> SearchResult:
+    def search(
+        self,
+        query: MultidimensionalSequence,
+        epsilon: float,
+        **kwargs: Any,
+    ) -> SearchResult:
         """Delegate to the wrapped engine and record the outcome."""
+        epsilon = check_threshold(epsilon)
         result = self.engine.search(query, epsilon, **kwargs)
         record = self._record(result)
         self.records.append(record)
@@ -61,7 +78,7 @@ class TracingSearch:
                 handle.write(json.dumps(record) + "\n")
         return result
 
-    def __getattr__(self, name):
+    def __getattr__(self, name: str) -> Any:
         # Everything else (knn, explain, database, ...) passes through.
         return getattr(self.engine, name)
 
@@ -88,7 +105,7 @@ class TracingSearch:
         }
 
 
-def read_trace(path) -> list[dict]:
+def read_trace(path: str | Path) -> list[dict]:
     """Load every record of a JSON-lines trace file."""
     records = []
     with open(path, encoding="utf-8") as handle:

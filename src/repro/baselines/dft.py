@@ -16,10 +16,18 @@ post-filtered exactly.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.core.mbr import MBR
 from repro.index.rstar import RStarTree
+from repro.util.validation import check_threshold
+
+if TYPE_CHECKING:
+    import numpy.typing as npt
+
+    from repro.index.rtree import IndexStats
 
 __all__ = ["DftWholeMatcher", "dft_features"]
 
@@ -87,7 +95,9 @@ class DftWholeMatcher:
     def __len__(self) -> int:
         return len(self._series)
 
-    def add(self, series, sequence_id=None):
+    def add(
+        self, series: npt.ArrayLike, sequence_id: object = None
+    ) -> object:
         """Index one series of the configured length; returns its id."""
         values = np.asarray(series, dtype=np.float64).reshape(-1)
         if values.size != self.length:
@@ -104,14 +114,13 @@ class DftWholeMatcher:
         self._index.insert(MBR.of_point(features), sequence_id)
         return sequence_id
 
-    def candidates(self, query, epsilon: float) -> set:
+    def candidates(self, query: npt.ArrayLike, epsilon: float) -> set:
         """The index pre-filter: ids within ``epsilon`` in feature space.
 
         Guaranteed to be a superset of the true answers (lower-bounding
         feature distance), so the only errors are false positives.
         """
-        if epsilon < 0:
-            raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+        epsilon = check_threshold(epsilon)
         values = np.asarray(query, dtype=np.float64).reshape(-1)
         if values.size != self.length:
             raise ValueError(
@@ -122,8 +131,9 @@ class DftWholeMatcher:
         hits = self._index.search_within(MBR.of_point(features), epsilon)
         return {entry.payload for entry in hits}
 
-    def search(self, query, epsilon: float) -> set:
+    def search(self, query: npt.ArrayLike, epsilon: float) -> set:
         """Exact whole-matching: candidates post-filtered in the time domain."""
+        epsilon = check_threshold(epsilon)
         values = np.asarray(query, dtype=np.float64).reshape(-1)
         answers = set()
         for sequence_id in self.candidates(values, epsilon):
@@ -133,6 +143,6 @@ class DftWholeMatcher:
         return answers
 
     @property
-    def index_stats(self):
+    def index_stats(self) -> IndexStats:
         """Access counters of the underlying R*-tree."""
         return self._index.stats

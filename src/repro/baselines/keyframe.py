@@ -16,9 +16,15 @@ dismiss true answers.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.core.sequence import MultidimensionalSequence
+from repro.util.validation import check_threshold
+
+if TYPE_CHECKING:
+    import numpy.typing as npt
 
 __all__ = ["KeyFrameSearch", "detect_shots", "select_key_frames"]
 
@@ -78,7 +84,11 @@ class KeyFrameSearch:
     def __len__(self) -> int:
         return len(self._key_frames)
 
-    def add(self, sequence, sequence_id=None):
+    def add(
+        self,
+        sequence: MultidimensionalSequence | npt.ArrayLike,
+        sequence_id: object = None,
+    ) -> object:
         """Extract and store the key frames of one stream; returns its id."""
         if not isinstance(sequence, MultidimensionalSequence):
             sequence = MultidimensionalSequence(sequence)
@@ -94,17 +104,18 @@ class KeyFrameSearch:
         )
         return sequence_id
 
-    def key_frames(self, sequence_id) -> np.ndarray:
+    def key_frames(self, sequence_id: object) -> np.ndarray:
         """The stored key frames of one stream."""
         try:
             return self._key_frames[sequence_id]
         except KeyError:
             raise KeyError(f"unknown sequence id {sequence_id!r}") from None
 
-    def search(self, query, epsilon: float) -> set:
+    def search(
+        self, query: MultidimensionalSequence | npt.ArrayLike, epsilon: float
+    ) -> set:
         """Stream ids with a key frame within ``epsilon`` of a query key frame."""
-        if epsilon < 0:
-            raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+        epsilon = check_threshold(epsilon)
         if not isinstance(query, MultidimensionalSequence):
             query = MultidimensionalSequence(query)
         query_keys = select_key_frames(

@@ -14,6 +14,7 @@ semantics; :class:`SequentialScan` wraps them with the same result shape as
 from __future__ import annotations
 
 import time
+from typing import TYPE_CHECKING
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -21,6 +22,19 @@ import numpy as np
 from repro.core.distance import sliding_mean_distances
 from repro.core.sequence import MultidimensionalSequence
 from repro.core.solution_interval import IntervalSet
+from repro.util.validation import check_threshold
+
+if TYPE_CHECKING:
+    from collections.abc import Iterable, Mapping
+
+    import numpy.typing as npt
+
+    from repro.core.database import SequenceDatabase
+
+    SequenceLike = MultidimensionalSequence | npt.ArrayLike
+    SequencesLike = (
+        Mapping[object, SequenceLike] | Iterable[tuple[object, SequenceLike]]
+    )
 
 __all__ = [
     "SequentialScan",
@@ -30,13 +44,15 @@ __all__ = [
 ]
 
 
-def _as_mds(sequence) -> MultidimensionalSequence:
+def _as_mds(sequence: SequenceLike) -> MultidimensionalSequence:
     if isinstance(sequence, MultidimensionalSequence):
         return sequence
     return MultidimensionalSequence(sequence)
 
 
-def exact_solution_interval(query, sequence, epsilon: float) -> IntervalSet:
+def exact_solution_interval(
+    query: SequenceLike, sequence: SequenceLike, epsilon: float
+) -> IntervalSet:
     """The exact solution interval of Definition 6.
 
     Every point contained in some window ``S[j : j + k]`` (``k`` the query
@@ -56,8 +72,7 @@ def exact_solution_interval(query, sequence, epsilon: float) -> IntervalSet:
     IntervalSet
         Point offsets of ``sequence`` inside matching windows.
     """
-    if epsilon < 0:
-        raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+    epsilon = check_threshold(epsilon)
     query = _as_mds(query)
     sequence = _as_mds(sequence)
     k = len(query)
@@ -76,7 +91,9 @@ def exact_solution_interval(query, sequence, epsilon: float) -> IntervalSet:
     return IntervalSet(spans)
 
 
-def exact_range_search(query, sequences, epsilon: float) -> set:
+def exact_range_search(
+    query: SequenceLike, sequences: SequencesLike, epsilon: float
+) -> set:
     """Ids of sequences with ``D(query, S) <= epsilon`` (Definitions 2-3).
 
     Parameters
@@ -88,8 +105,7 @@ def exact_range_search(query, sequences, epsilon: float) -> set:
     epsilon:
         The threshold.
     """
-    if epsilon < 0:
-        raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+    epsilon = check_threshold(epsilon)
     query = _as_mds(query)
     items = sequences.items() if hasattr(sequences, "items") else sequences
     relevant = set()
@@ -131,7 +147,7 @@ class SequentialScan:
     alignments.
     """
 
-    def __init__(self, sequences) -> None:
+    def __init__(self, sequences: SequencesLike) -> None:
         items = sequences.items() if hasattr(sequences, "items") else sequences
         self.sequences: dict[object, MultidimensionalSequence] = {
             sequence_id: _as_mds(sequence) for sequence_id, sequence in items
@@ -140,18 +156,21 @@ class SequentialScan:
             raise ValueError("the corpus must contain at least one sequence")
 
     @classmethod
-    def from_database(cls, database) -> "SequentialScan":
+    def from_database(cls, database: SequenceDatabase) -> "SequentialScan":
         """Build a scan baseline over the sequences of a SequenceDatabase."""
         return cls(
             {sid: database.sequence(sid) for sid in database.ids()}
         )
 
     def scan(
-        self, query, epsilon: float, *, find_intervals: bool = True
+        self,
+        query: SequenceLike,
+        epsilon: float,
+        *,
+        find_intervals: bool = True,
     ) -> SequentialScanResult:
         """Run the exact range search; optionally assemble exact intervals."""
-        if epsilon < 0:
-            raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+        epsilon = check_threshold(epsilon)
         query = _as_mds(query)
         started = time.perf_counter()
         answers = set()

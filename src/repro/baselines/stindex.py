@@ -21,6 +21,7 @@ pipeline:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -28,6 +29,12 @@ from repro.core.mbr import MBR
 from repro.core.partitioning import partition_sequence
 from repro.core.sequence import MultidimensionalSequence
 from repro.index.rtree import RTree
+from repro.util.validation import check_threshold
+
+if TYPE_CHECKING:
+    import numpy.typing as npt
+
+    from repro.index.rtree import IndexStats
 
 __all__ = ["STIndexSubsequenceMatcher", "SubsequenceMatch", "window_features"]
 
@@ -115,7 +122,9 @@ class STIndexSubsequenceMatcher:
     # ------------------------------------------------------------------
     # Population
     # ------------------------------------------------------------------
-    def add(self, series, sequence_id=None):
+    def add(
+        self, series: npt.ArrayLike, sequence_id: object = None
+    ) -> object:
         """Index one data series; returns its id."""
         values = np.asarray(series, dtype=np.float64).reshape(-1)
         if values.size < self.window:
@@ -146,15 +155,16 @@ class STIndexSubsequenceMatcher:
     # ------------------------------------------------------------------
     # Search
     # ------------------------------------------------------------------
-    def search(self, query, epsilon: float) -> list[SubsequenceMatch]:
+    def search(
+        self, query: npt.ArrayLike, epsilon: float
+    ) -> list[SubsequenceMatch]:
         """All exact subsequence matches within Euclidean ``epsilon``.
 
         Returns one :class:`SubsequenceMatch` per (sequence, offset) whose
         window ``series[offset : offset + len(query)]`` is within
         ``epsilon`` of the query.
         """
-        if epsilon < 0:
-            raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+        epsilon = check_threshold(epsilon)
         values = np.asarray(query, dtype=np.float64).reshape(-1)
         if values.size < self.window:
             raise ValueError(
@@ -205,6 +215,6 @@ class STIndexSubsequenceMatcher:
         return candidates
 
     @property
-    def index_stats(self):
+    def index_stats(self) -> IndexStats:
         """Access counters of the underlying R-tree."""
         return self._index.stats

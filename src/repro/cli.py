@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from collections.abc import Sequence
 
 from repro.analysis.experiment import ExperimentConfig, ExperimentRunner
 from repro.analysis.report import figure_table, sparkline_panel
@@ -69,7 +70,11 @@ def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=2000)
 
 
-def _make_runner(args, thresholds=None, queries=5) -> ExperimentRunner:
+def _make_runner(
+    args: argparse.Namespace,
+    thresholds: Sequence[float] | None = None,
+    queries: int = 5,
+) -> ExperimentRunner:
     config = ExperimentConfig(
         dataset=args.dataset,
         n_sequences=args.count or args.sequences,
@@ -82,7 +87,7 @@ def _make_runner(args, thresholds=None, queries=5) -> ExperimentRunner:
     return ExperimentRunner(config)
 
 
-def _command_sweep(args) -> int:
+def _command_sweep(args: argparse.Namespace) -> int:
     runner = _make_runner(args, thresholds=args.thresholds, queries=args.queries)
     print(
         f"sweeping {len(runner.database)} {args.dataset} sequences "
@@ -109,7 +114,7 @@ def _command_sweep(args) -> int:
     return 0
 
 
-def _command_demo(args) -> int:
+def _command_demo(args: argparse.Namespace) -> int:
     from repro.datagen.queries import generate_queries
 
     runner = _make_runner(args, thresholds=(args.epsilon,), queries=1)
@@ -143,7 +148,7 @@ def _command_demo(args) -> int:
     return 0
 
 
-def _command_generate(args) -> int:
+def _command_generate(args: argparse.Namespace) -> int:
     runner = _make_runner(args)
     runner.database.save(args.out)
     print(
@@ -160,7 +165,7 @@ _COMMANDS = {
 }
 
 
-def main(argv=None) -> int:
+def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     return _COMMANDS[args.command](args)
 

@@ -1,0 +1,207 @@
+"""Index-backend registry: dependency inversion between ``core`` and ``index``.
+
+The layered architecture (enforced by ``tools/repro_lint`` rule REP105)
+forbids ``core`` from importing ``repro.index`` — the spatial index is a
+*plugin* of the data model, not a dependency.  This module is the seam:
+``core.database`` asks the registry for an index by name, and
+``repro.index`` registers its implementations when it is imported.
+
+For plain library use nothing changes: the registry lazily imports
+``repro.index`` (by module *name*, the one sanctioned direction-free
+mechanism) the first time an unknown backend is requested, so
+``SequenceDatabase(dimension=3)`` keeps working without any explicit
+registration.  Third-party backends can register their own factories::
+
+    from repro.core.backends import register_index_backend
+
+    register_index_backend(
+        "mytree",
+        factory=lambda dimension, max_entries: MyTree(dimension),
+    )
+"""
+
+from __future__ import annotations
+
+import importlib
+import threading
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Protocol
+
+if TYPE_CHECKING:
+    from repro.core.mbr import MBR
+
+__all__ = [
+    "IndexBackend",
+    "IndexBackendSpec",
+    "IndexEntry",
+    "available_backends",
+    "bulk_build_index",
+    "create_index",
+    "get_backend",
+    "register_index_backend",
+]
+
+#: Module imported (lazily, by name) to register the default backends.
+_DEFAULT_PROVIDER_MODULE = "repro.index"
+
+
+class IndexEntry(Protocol):
+    """One leaf entry returned by an index probe."""
+
+    @property
+    def mbr(self) -> MBR: ...
+
+    @property
+    def payload(self) -> object: ...
+
+
+class IndexBackend(Protocol):
+    """The structural interface ``core`` requires of a spatial index.
+
+    Any object with these methods can serve as a ``SequenceDatabase``
+    index; the R-tree family in :mod:`repro.index` provides the defaults.
+    """
+
+    def insert(self, mbr: MBR, payload: object) -> None: ...
+
+    def delete(self, mbr: MBR, payload: object) -> bool: ...
+
+    def search_within(
+        self, query_mbr: MBR, epsilon: float
+    ) -> Iterator[IndexEntry]: ...
+
+
+#: ``factory(dimension, max_entries) -> IndexBackend``
+Factory = Callable[[int, int], IndexBackend]
+#: ``bulk_factory(items, dimension, max_entries) -> IndexBackend``
+BulkFactory = Callable[
+    [Sequence[tuple["MBR", object]], int, int], IndexBackend
+]
+
+
+@dataclass(frozen=True)
+class IndexBackendSpec:
+    """How to build one kind of index.
+
+    Attributes
+    ----------
+    name:
+        Registry key (the database's ``index_kind``).
+    factory:
+        Builds an empty, incrementally-updatable index; ``None`` for
+        bulk-only backends.
+    bulk_factory:
+        Builds a packed index from all items at once; ``None`` falls back
+        to ``factory`` plus an insert loop.
+    incremental:
+        Whether the backend supports in-place insert/delete.  Bulk-only
+        backends (STR packing) are rebuilt lazily by the database instead.
+    """
+
+    name: str
+    factory: Factory | None
+    bulk_factory: BulkFactory | None = None
+    incremental: bool = True
+
+    def __post_init__(self) -> None:
+        if self.factory is None and self.bulk_factory is None:
+            raise ValueError(
+                f"backend {self.name!r} needs a factory or a bulk_factory"
+            )
+        if self.incremental and self.factory is None:
+            raise ValueError(
+                f"incremental backend {self.name!r} needs a factory"
+            )
+
+
+_REGISTRY: dict[str, IndexBackendSpec] = {}
+_REGISTRY_LOCK = threading.Lock()
+_DEFAULTS_LOADED = False
+
+
+def register_index_backend(
+    name: str,
+    factory: Factory | None = None,
+    *,
+    bulk_factory: BulkFactory | None = None,
+    incremental: bool = True,
+) -> IndexBackendSpec:
+    """Register (or replace) an index backend under ``name``."""
+    if not name or not isinstance(name, str):
+        raise ValueError(f"backend name must be a non-empty string, got {name!r}")
+    spec = IndexBackendSpec(
+        name=name,
+        factory=factory,
+        bulk_factory=bulk_factory,
+        incremental=incremental,
+    )
+    with _REGISTRY_LOCK:
+        _REGISTRY[name] = spec
+    return spec
+
+
+def _ensure_default_backends() -> None:
+    """Import the default provider module once so it can self-register."""
+    global _DEFAULTS_LOADED
+    if _DEFAULTS_LOADED:
+        return
+    with _REGISTRY_LOCK:
+        if _DEFAULTS_LOADED:
+            return
+        _DEFAULTS_LOADED = True
+    importlib.import_module(_DEFAULT_PROVIDER_MODULE)
+
+
+def available_backends() -> tuple[str, ...]:
+    """The registered backend names, sorted."""
+    _ensure_default_backends()
+    with _REGISTRY_LOCK:
+        return tuple(sorted(_REGISTRY))
+
+
+def get_backend(name: str) -> IndexBackendSpec:
+    """The spec registered under ``name``; raises ``ValueError`` if absent."""
+    _ensure_default_backends()
+    with _REGISTRY_LOCK:
+        spec = _REGISTRY.get(name)
+    if spec is None:
+        raise ValueError(
+            f"index_kind must be one of {available_backends()}, got {name!r}"
+        )
+    return spec
+
+
+def create_index(
+    name: str, dimension: int, *, max_entries: int
+) -> IndexBackend:
+    """Build an empty incremental index of the given kind."""
+    spec = get_backend(name)
+    if spec.factory is None:
+        raise ValueError(
+            f"backend {name!r} is bulk-only and cannot build an empty "
+            f"incremental index"
+        )
+    return spec.factory(dimension, max_entries)
+
+
+def bulk_build_index(
+    name: str,
+    items: Iterable[tuple[MBR, object]],
+    dimension: int,
+    *,
+    max_entries: int,
+) -> IndexBackend:
+    """Build an index of the given kind holding ``items``.
+
+    Uses the backend's bulk loader when it has one; otherwise creates an
+    empty index and inserts item by item.
+    """
+    spec = get_backend(name)
+    materialised = list(items)
+    if spec.bulk_factory is not None:
+        return spec.bulk_factory(materialised, dimension, max_entries)
+    index = create_index(name, dimension, max_entries=max_entries)
+    for mbr, payload in materialised:
+        index.insert(mbr, payload)
+    return index

@@ -1,0 +1,132 @@
+"""Opt-in runtime verification of the paper's lower-bound contracts.
+
+The correctness of the whole search rests on the inequality chain of
+Lemmas 1-3::
+
+    min Dmbr  <=  min Dnorm  <=  D(Q, S)
+
+If any rewrite of the distance kernels breaks one of these bounds, pruning
+silently starts to *dismiss relevant sequences* — the worst failure mode a
+similarity-search system has, and one no unit test of the rewritten code
+alone will catch.  This module provides the machinery to verify the bounds
+*at call time* against independently recomputed values:
+
+* :func:`lower_bounds` — a decorator factory attaching a validator to a
+  function.  The validator only runs when contract checking is enabled;
+  when disabled (the default) the overhead is one dict lookup per call.
+* :func:`checking_contracts` — a context manager enabling checking for a
+  scope (used by the contract test suite and the analysis audit helpers).
+* ``REPRO_CHECK_CONTRACTS=1`` — an environment variable enabling checking
+  process-wide (CI runs the tier-1 suite under it).
+
+Violations raise :class:`ContractViolation` (a ``RuntimeError``: the library
+itself is in an inconsistent state, not the caller's arguments).
+
+The decorators are applied in :mod:`repro.core.distance`,
+:mod:`repro.core.search` and :mod:`repro.core.solution_interval`; the public
+analysis-facing surface (including audit helpers) is
+:mod:`repro.analysis.contracts`.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import functools
+import os
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from typing import Any, TypeVar
+
+__all__ = [
+    "BOUND_TOLERANCE",
+    "CONTRACTS_ENV_VAR",
+    "ContractViolation",
+    "checking_contracts",
+    "contracts_enabled",
+    "lower_bounds",
+]
+
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+#: Environment variable that enables contract checking process-wide.
+CONTRACTS_ENV_VAR = "REPRO_CHECK_CONTRACTS"
+
+#: Absolute slack allowed when comparing two independently computed floats.
+#: The bounds are exact in real arithmetic; the tolerance only absorbs
+#: round-off between different summation orders.
+BOUND_TOLERANCE = 1e-9
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+_scope_depth: contextvars.ContextVar[int] = contextvars.ContextVar(
+    "repro_contract_scope_depth", default=0
+)
+
+
+class ContractViolation(RuntimeError):
+    """A verified lower-bound (or structural) contract does not hold.
+
+    Raised only while contract checking is enabled; signals a bug in the
+    library's pruning/distance layer, never bad caller input.
+    """
+
+
+def contracts_enabled() -> bool:
+    """Whether contract validators run for the current context."""
+    if _scope_depth.get() > 0:
+        return True
+    return os.environ.get(CONTRACTS_ENV_VAR, "").strip().lower() in _TRUTHY
+
+
+@contextmanager
+def checking_contracts() -> Iterator[None]:
+    """Enable contract checking for the duration of the ``with`` block.
+
+    Nested uses are allowed; checking stays on until the outermost block
+    exits.  The toggle is a :mod:`contextvars` variable, so concurrent
+    tasks/threads with separate contexts do not observe each other's scope.
+    """
+    token = _scope_depth.set(_scope_depth.get() + 1)
+    try:
+        yield
+    finally:
+        _scope_depth.reset(token)
+
+
+def lower_bounds(
+    validator: Callable[..., None], *, label: str | None = None
+) -> Callable[[_F], _F]:
+    """Attach a call-time validator to a function.
+
+    Parameters
+    ----------
+    validator:
+        Called as ``validator(result, *args, **kwargs)`` after every
+        invocation of the wrapped function while checking is enabled; must
+        raise :class:`ContractViolation` on a broken bound.
+    label:
+        Optional human-readable contract name (defaults to the validator's
+        ``__name__``), exposed as ``__contract_label__`` on the wrapper.
+
+    Notes
+    -----
+    The wrapped function's behaviour is unchanged: the validator sees the
+    result but cannot alter it, and when checking is disabled the only
+    cost is one environment lookup.
+    """
+
+    def decorate(func: _F) -> _F:
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            result = func(*args, **kwargs)
+            if contracts_enabled():
+                validator(result, *args, **kwargs)
+            return result
+
+        wrapper.__contract_validator__ = validator  # type: ignore[attr-defined]
+        wrapper.__contract_label__ = (  # type: ignore[attr-defined]
+            label if label is not None else validator.__name__
+        )
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

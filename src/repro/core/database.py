@@ -11,9 +11,16 @@ Phase-2 ``Dmbr`` probe).
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
-from typing import Iterator
+from typing import TYPE_CHECKING
 
+from repro.core.backends import (
+    IndexBackend,
+    bulk_build_index,
+    create_index,
+    get_backend,
+)
 from repro.core.partitioning import (
     DEFAULT_COST_CONSTANT,
     DEFAULT_MAX_POINTS,
@@ -21,13 +28,16 @@ from repro.core.partitioning import (
     partition_sequence,
 )
 from repro.core.sequence import MultidimensionalSequence
-from repro.index.bulk import bulk_load_str
-from repro.index.rstar import RStarTree
-from repro.index.rtree import RTree
+
+if TYPE_CHECKING:
+    import os
+
+    import numpy.typing as npt
+
+    SequenceLike = MultidimensionalSequence | npt.ArrayLike
+    PathLike = "str | os.PathLike[str]"
 
 __all__ = ["SegmentKey", "SequenceDatabase"]
-
-_INDEX_KINDS = ("rtree", "rstar", "str")
 
 
 @dataclass(frozen=True)
@@ -77,28 +87,30 @@ class SequenceDatabase:
     ) -> None:
         if dimension < 1:
             raise ValueError(f"dimension must be >= 1, got {dimension}")
-        if index_kind not in _INDEX_KINDS:
-            raise ValueError(
-                f"index_kind must be one of {_INDEX_KINDS}, got {index_kind!r}"
-            )
+        backend = get_backend(index_kind)  # raises ValueError for unknown kinds
         self.dimension = dimension
         self.cost_constant = cost_constant
         self.max_points = max_points
         self.index_kind = index_kind
         self.max_entries = max_entries
+        self._incremental = backend.incremental
         self._partitions: dict[object, PartitionedSequence] = {}
-        self._index = self._new_dynamic_index() if index_kind != "str" else None
+        self._index: IndexBackend | None = (
+            self._new_dynamic_index() if backend.incremental else None
+        )
         self._index_dirty = False
 
-    def _new_dynamic_index(self):
-        if self.index_kind == "rstar":
-            return RStarTree(self.dimension, max_entries=self.max_entries)
-        return RTree(self.dimension, max_entries=self.max_entries)
+    def _new_dynamic_index(self) -> IndexBackend:
+        return create_index(
+            self.index_kind, self.dimension, max_entries=self.max_entries
+        )
 
     # ------------------------------------------------------------------
     # Population
     # ------------------------------------------------------------------
-    def add(self, sequence, sequence_id=None):
+    def add(
+        self, sequence: SequenceLike, sequence_id: object = None
+    ) -> object:
         """Partition, store and index one sequence; returns its id.
 
         Parameters
@@ -130,21 +142,24 @@ class SequenceDatabase:
             max_points=self.max_points,
         )
         self._partitions[sequence_id] = partition
-        if self.index_kind == "str":
-            # STR is a packing, not an insertion order: repack lazily.
+        if not self._incremental:
+            # Packed backends (STR) have no insertion order: repack lazily.
             self._index_dirty = True
         else:
+            index = self._live_index()
             for segment in partition:
-                self._index.insert(
+                index.insert(
                     segment.mbr, SegmentKey(sequence_id, segment.index)
                 )
         return sequence_id
 
-    def add_all(self, sequences) -> list:
+    def add_all(self, sequences: Iterable[SequenceLike]) -> list[object]:
         """Add many sequences; returns their ids in order."""
         return [self.add(sequence) for sequence in sequences]
 
-    def append_points(self, sequence_id, points) -> None:
+    def append_points(
+        self, sequence_id: object, points: npt.ArrayLike
+    ) -> None:
         """Extend a stored sequence with new points (streaming ingestion).
 
         A growing video stream keeps its already-closed segments; only the
@@ -153,8 +168,6 @@ class SequenceDatabase:
         with the new points and the index is patched incrementally.
         """
         import numpy as np
-
-        from repro.core.sequence import MultidimensionalSequence
 
         old_partition = self.partition(sequence_id)  # raises on unknown id
         new_block = np.asarray(points, dtype=np.float64)
@@ -179,13 +192,14 @@ class SequenceDatabase:
             max_points=self.max_points,
         )
 
-        if self.index_kind == "str":
+        if not self._incremental:
             self._partitions[sequence_id] = new_partition
             self._index_dirty = True
             return
 
         # Patch the index: drop every old segment from the first segment
         # whose (start, count, mbr) changed onwards, insert the new tail.
+        index = self._live_index()
         old_segments = old_partition.segments
         new_segments = new_partition.segments
         stable = 0
@@ -199,7 +213,7 @@ class SequenceDatabase:
             else:
                 break
         for segment in old_segments[stable:]:
-            removed = self._index.delete(
+            removed = index.delete(
                 segment.mbr, SegmentKey(sequence_id, segment.index)
             )
             if not removed:
@@ -208,23 +222,24 @@ class SequenceDatabase:
                     f"{segment.index} was missing during append"
                 )
         for segment in new_segments[stable:]:
-            self._index.insert(
+            index.insert(
                 segment.mbr, SegmentKey(sequence_id, segment.index)
             )
         self._partitions[sequence_id] = new_partition
 
-    def remove(self, sequence_id) -> None:
+    def remove(self, sequence_id: object) -> None:
         """Remove a sequence and its index entries.
 
-        Raises ``KeyError`` for unknown ids.  With the ``str`` index kind
-        the packed tree is simply marked stale and repacked on next use.
+        Raises ``KeyError`` for unknown ids.  Packed (non-incremental)
+        backends simply mark the tree stale and repack it on next use.
         """
         partition = self.partition(sequence_id)  # raises on unknown id
-        if self.index_kind == "str":
+        if not self._incremental:
             self._index_dirty = True
         else:
+            index = self._live_index()
             for segment in partition:
-                removed = self._index.delete(
+                removed = index.delete(
                     segment.mbr, SegmentKey(sequence_id, segment.index)
                 )
                 if not removed:
@@ -240,24 +255,24 @@ class SequenceDatabase:
     def __len__(self) -> int:
         return len(self._partitions)
 
-    def __contains__(self, sequence_id) -> bool:
+    def __contains__(self, sequence_id: object) -> bool:
         return sequence_id in self._partitions
 
-    def __iter__(self) -> Iterator:
+    def __iter__(self) -> Iterator[object]:
         return iter(self._partitions)
 
-    def ids(self) -> list:
+    def ids(self) -> list[object]:
         """All stored sequence ids, in insertion order."""
         return list(self._partitions)
 
-    def partition(self, sequence_id) -> PartitionedSequence:
+    def partition(self, sequence_id: object) -> PartitionedSequence:
         """The stored partition of one sequence."""
         try:
             return self._partitions[sequence_id]
         except KeyError:
             raise KeyError(f"unknown sequence id {sequence_id!r}") from None
 
-    def sequence(self, sequence_id) -> MultidimensionalSequence:
+    def sequence(self, sequence_id: object) -> MultidimensionalSequence:
         """The stored sequence itself."""
         return self.partition(sequence_id).sequence
 
@@ -279,29 +294,27 @@ class SequenceDatabase:
     # Index
     # ------------------------------------------------------------------
     @property
-    def index(self):
-        """The MBR index, (re)built lazily for the ``str`` kind."""
+    def index(self) -> IndexBackend:
+        """The MBR index, (re)built lazily for packed backends."""
+        return self._live_index()
+
+    def _live_index(self) -> IndexBackend:
         if self._index is None or self._index_dirty:
             self._rebuild_index()
-        return self._index
+        index = self._index
+        if index is None:
+            raise RuntimeError("index rebuild produced no index")
+        return index
 
     def _rebuild_index(self) -> None:
-        if self.index_kind == "str":
-            items = [
-                (segment.mbr, SegmentKey(sequence_id, segment.index))
-                for sequence_id, partition in self._partitions.items()
-                for segment in partition
-            ]
-            self._index = bulk_load_str(
-                items, self.dimension, max_entries=self.max_entries
-            )
-        else:
-            self._index = self._new_dynamic_index()
-            for sequence_id, partition in self._partitions.items():
-                for segment in partition:
-                    self._index.insert(
-                        segment.mbr, SegmentKey(sequence_id, segment.index)
-                    )
+        items = [
+            (segment.mbr, SegmentKey(sequence_id, segment.index))
+            for sequence_id, partition in self._partitions.items()
+            for segment in partition
+        ]
+        self._index = bulk_build_index(
+            self.index_kind, items, self.dimension, max_entries=self.max_entries
+        )
         self._index_dirty = False
 
     def __repr__(self) -> str:
@@ -314,7 +327,7 @@ class SequenceDatabase:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, path) -> None:
+    def save(self, path: PathLike) -> None:
         """Persist the database to an ``.npz`` archive.
 
         Stored: the configuration and every sequence's points and id.  The
@@ -352,7 +365,7 @@ class SequenceDatabase:
         )
 
     @classmethod
-    def load(cls, path) -> "SequenceDatabase":
+    def load(cls, path: PathLike) -> "SequenceDatabase":
         """Rebuild a database saved with :meth:`save`."""
         import json
 

@@ -29,17 +29,30 @@ Four levels of distance are defined over the normalised space ``[0,1]^n``:
 from __future__ import annotations
 
 import bisect
+from collections.abc import Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-INFINITY = float("inf")
-
+from repro.core.contracts import BOUND_TOLERANCE, ContractViolation, lower_bounds
 from repro.core.mbr import MBR
 from repro.core.sequence import MultidimensionalSequence
 
+if TYPE_CHECKING:
+    import numpy.typing as npt
+
+    from repro.core.partitioning import PartitionedSequence
+
+    SequenceLike = MultidimensionalSequence | npt.ArrayLike
+    MbrsLike = Sequence[MBR]
+    CountsLike = "Sequence[int] | npt.NDArray[np.int64]"
+
+INFINITY = float("inf")
+
 __all__ = [
     "DnormWindow",
+    "INFINITY",
     "NormalizedDistance",
     "mbr_min_distance",
     "mean_distance",
@@ -52,7 +65,7 @@ __all__ = [
 ]
 
 
-def _as_points(seq) -> np.ndarray:
+def _as_points(seq: SequenceLike) -> np.ndarray:
     """Accept an MDS or a raw array and return the ``(m, n)`` point matrix."""
     if isinstance(seq, MultidimensionalSequence):
         return seq.points
@@ -64,7 +77,7 @@ def _as_points(seq) -> np.ndarray:
     return arr
 
 
-def point_distance(p, q) -> float:
+def point_distance(p: npt.ArrayLike, q: npt.ArrayLike) -> float:
     """Euclidean distance ``d(p, q)`` between two n-dimensional points."""
     a = np.asarray(p, dtype=np.float64).reshape(-1)
     b = np.asarray(q, dtype=np.float64).reshape(-1)
@@ -73,7 +86,7 @@ def point_distance(p, q) -> float:
     return float(np.sqrt(np.sum((a - b) ** 2)))
 
 
-def mean_distance(s1, s2) -> float:
+def mean_distance(s1: SequenceLike, s2: SequenceLike) -> float:
     """``Dmean`` (Definition 2): mean pointwise distance of equal-length sequences.
 
     Parameters
@@ -96,7 +109,7 @@ def mean_distance(s1, s2) -> float:
     return float(np.mean(np.sqrt(np.sum((a - b) ** 2, axis=1))))
 
 
-def sliding_mean_distances(short, long) -> np.ndarray:
+def sliding_mean_distances(short: SequenceLike, long: SequenceLike) -> np.ndarray:
     """``Dmean`` of ``short`` against every alignment inside ``long``.
 
     Returns an array of length ``len(long) - len(short) + 1`` whose entry
@@ -123,7 +136,7 @@ def sliding_mean_distances(short, long) -> np.ndarray:
     return np.mean(np.sqrt(np.sum(diffs * diffs, axis=2)), axis=1)
 
 
-def sequence_distance(s1, s2) -> float:
+def sequence_distance(s1: SequenceLike, s2: SequenceLike) -> float:
     """``D`` (Definitions 2-3): the sliding minimum mean distance.
 
     Equal-length sequences compare point by point (Definition 2); otherwise
@@ -183,7 +196,7 @@ class NormalizedDistance:
     marginal_count: int
     marginal_side: str
 
-    def involved_points(self, counts) -> list[tuple[int, int, int]]:
+    def involved_points(self, counts: CountsLike) -> list[tuple[int, int, int]]:
         """Expand the window into per-MBR point spans.
 
         Parameters
@@ -230,11 +243,94 @@ def _weighted_window_value(
     return total / query_count
 
 
+def _window_min_dmbr(
+    query_mbr: MBR, data_mbrs: Sequence[MBR], window: tuple[int, int]
+) -> float:
+    """``min Dmbr`` over a window, recomputed from the MBRs themselves.
+
+    Contract validators deliberately ignore any caller-supplied
+    ``dmbr_row`` so that a corrupted precomputed row is caught too.
+    """
+    first, last = window
+    return min(
+        query_mbr.min_distance(data_mbrs[t]) for t in range(first, last + 1)
+    )
+
+
+def _check_dnorm_result(
+    result: NormalizedDistance, query_mbr: MBR, data_mbrs: Sequence[MBR]
+) -> None:
+    """Lemma 2 at one anchor: ``Dnorm`` is a convex combination of the
+    window's ``Dmbr`` values, so it can never fall below their minimum."""
+    bound = _window_min_dmbr(query_mbr, data_mbrs, result.window)
+    if result.value < bound - BOUND_TOLERANCE:
+        raise ContractViolation(
+            f"Dnorm contract violated: value {result.value!r} falls below "
+            f"the window's minimum Dmbr {bound!r} (anchor "
+            f"{result.target_index}, window {result.window}) — Lemma 2 no "
+            f"longer holds"
+        )
+
+
+def _validate_normalized_distance(
+    result: NormalizedDistance,
+    query_mbr: MBR,
+    query_count: int,
+    data_mbrs: MbrsLike,
+    data_counts: CountsLike,
+    target_index: int,
+    *,
+    dmbr_row: np.ndarray | None = None,
+) -> None:
+    _check_dnorm_result(result, query_mbr, list(data_mbrs))
+
+
+def _validate_normalized_distance_row(
+    result: list[NormalizedDistance],
+    query_mbr: MBR,
+    query_count: int,
+    data_mbrs: MbrsLike,
+    data_counts: CountsLike,
+    *,
+    dmbr_row: np.ndarray | None = None,
+    only_below: float | None = None,
+) -> None:
+    mbr_list = list(data_mbrs)
+    for entry in result:
+        _check_dnorm_result(entry, query_mbr, mbr_list)
+
+
+def _validate_min_normalized_distance(
+    result: float,
+    query_partition: PartitionedSequence,
+    data_partition: PartitionedSequence,
+) -> None:
+    """The full Lemma 2-3 chain: ``min Dmbr <= min Dnorm <= D(Q, S)``."""
+    min_dmbr = min(
+        float(data_partition.mbr_distance_row(segment.mbr).min())
+        for segment in query_partition
+    )
+    if result < min_dmbr - BOUND_TOLERANCE:
+        raise ContractViolation(
+            f"min Dnorm {result!r} falls below min Dmbr {min_dmbr!r} — "
+            f"Lemma 2 violated"
+        )
+    exact = sequence_distance(
+        query_partition.sequence, data_partition.sequence
+    )
+    if result > exact + BOUND_TOLERANCE:
+        raise ContractViolation(
+            f"min Dnorm {result!r} exceeds the exact distance {exact!r} — "
+            f"Lemma 3 violated (false dismissals possible)"
+        )
+
+
+@lower_bounds(_validate_normalized_distance, label="Dnorm >= window min Dmbr")
 def normalized_distance(
     query_mbr: MBR,
     query_count: int,
-    data_mbrs,
-    data_counts,
+    data_mbrs: MbrsLike,
+    data_counts: CountsLike,
     target_index: int,
     *,
     dmbr_row: np.ndarray | None = None,
@@ -429,11 +525,14 @@ class DnormWindow:
         )
 
 
+@lower_bounds(
+    _validate_normalized_distance_row, label="Dnorm row >= window min Dmbr"
+)
 def normalized_distance_row(
     query_mbr: MBR,
     query_count: int,
-    data_mbrs,
-    data_counts,
+    data_mbrs: MbrsLike,
+    data_counts: CountsLike,
     *,
     dmbr_row: np.ndarray | None = None,
     only_below: float | None = None,
@@ -597,7 +696,12 @@ def normalized_distance_row(
     ]
 
 
-def min_normalized_distance(query_partition, data_partition) -> float:
+@lower_bounds(
+    _validate_min_normalized_distance, label="min Dmbr <= min Dnorm <= D(Q,S)"
+)
+def min_normalized_distance(
+    query_partition: PartitionedSequence, data_partition: PartitionedSequence
+) -> float:
     """The pruning bound of Phase 3: ``min Dnorm`` over all MBR pairs.
 
     Lemmas 2-3 prove ``min Dnorm <= D(Q, S)`` when the query is no longer

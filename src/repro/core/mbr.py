@@ -19,8 +19,16 @@ R-tree substrate (volume, margin, enlargement, overlap) and by partitioning.
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+from repro.util.validation import check_threshold
+
+if TYPE_CHECKING:
+    from collections.abc import Iterable
+
+    import numpy.typing as npt
 
 __all__ = ["MBR"]
 
@@ -46,7 +54,7 @@ class MBR:
 
     __slots__ = ("_low", "_high", "_low_tuple", "_high_tuple")
 
-    def __init__(self, low, high) -> None:
+    def __init__(self, low: npt.ArrayLike, high: npt.ArrayLike) -> None:
         lo = np.atleast_1d(np.array(low, dtype=np.float64))
         hi = np.atleast_1d(np.array(high, dtype=np.float64))
         if lo.ndim != 1 or hi.ndim != 1 or lo.shape != hi.shape:
@@ -74,7 +82,7 @@ class MBR:
     # Construction helpers
     # ------------------------------------------------------------------
     @classmethod
-    def of_points(cls, points) -> "MBR":
+    def of_points(cls, points: npt.ArrayLike) -> "MBR":
         """The tightest MBR enclosing a non-empty ``(m, n)`` point array."""
         arr = np.asarray(points, dtype=np.float64)
         if arr.ndim == 1:
@@ -86,7 +94,7 @@ class MBR:
         return cls(arr.min(axis=0), arr.max(axis=0))
 
     @classmethod
-    def of_point(cls, point) -> "MBR":
+    def of_point(cls, point: npt.ArrayLike) -> "MBR":
         """The degenerate MBR of a single point (``L == H``)."""
         arr = np.atleast_1d(np.asarray(point, dtype=np.float64))
         return cls(arr, arr.copy())
@@ -130,7 +138,7 @@ class MBR:
     # ------------------------------------------------------------------
     # Predicates
     # ------------------------------------------------------------------
-    def contains_point(self, point) -> bool:
+    def contains_point(self, point: npt.ArrayLike) -> bool:
         """Whether ``point`` lies inside (or on the boundary of) this MBR."""
         p = np.asarray(point, dtype=np.float64)
         self._check_compatible_shape(p)
@@ -164,7 +172,7 @@ class MBR:
         )
 
     @staticmethod
-    def union_all(mbrs) -> "MBR":
+    def union_all(mbrs: Iterable["MBR"]) -> "MBR":
         """The smallest MBR covering every rectangle in a non-empty iterable."""
         items = list(mbrs)
         if not items:
@@ -173,7 +181,7 @@ class MBR:
         high = np.max([m.high for m in items], axis=0)
         return MBR(low, high)
 
-    def extended_with_point(self, point) -> "MBR":
+    def extended_with_point(self, point: npt.ArrayLike) -> "MBR":
         """The smallest MBR covering this rectangle plus one extra point."""
         p = np.asarray(point, dtype=np.float64)
         self._check_compatible_shape(p)
@@ -205,8 +213,7 @@ class MBR:
         L-infinity sense; for Euclidean ``Dmbr`` filtering the expansion is a
         superset filter that is then refined with :meth:`min_distance`.
         """
-        if epsilon < 0:
-            raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+        epsilon = check_threshold(epsilon)
         return MBR(self._low - epsilon, self._high + epsilon)
 
     # ------------------------------------------------------------------
@@ -239,7 +246,7 @@ class MBR:
             total += gap * gap
         return math.sqrt(total)
 
-    def min_distance_to_point(self, point) -> float:
+    def min_distance_to_point(self, point: npt.ArrayLike) -> float:
         """Minimum Euclidean distance from ``point`` to this rectangle."""
         p = np.asarray(point, dtype=np.float64)
         self._check_compatible_shape(p)
@@ -261,7 +268,7 @@ class MBR:
     # ------------------------------------------------------------------
     # Dunder plumbing
     # ------------------------------------------------------------------
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if not isinstance(other, MBR):
             return NotImplemented
         return bool(

@@ -26,11 +26,15 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.mbr import MBR
 from repro.core.sequence import MultidimensionalSequence
+
+if TYPE_CHECKING:
+    import numpy.typing as npt
 
 __all__ = [
     "DEFAULT_COST_CONSTANT",
@@ -48,7 +52,11 @@ DEFAULT_COST_CONSTANT = 0.3
 DEFAULT_MAX_POINTS = 64
 
 
-def marginal_cost(sides, point_count: int, cost_constant: float = DEFAULT_COST_CONSTANT) -> float:
+def marginal_cost(
+    sides: npt.ArrayLike,
+    point_count: int,
+    cost_constant: float = DEFAULT_COST_CONSTANT,
+) -> float:
     """The MCOST of an MBR with the given side lengths and population.
 
     Parameters
@@ -235,7 +243,7 @@ class PartitionedSequence:
 
 
 def partition_sequence(
-    sequence,
+    sequence: MultidimensionalSequence | npt.ArrayLike,
     *,
     cost_constant: float = DEFAULT_COST_CONSTANT,
     max_points: int | None = DEFAULT_MAX_POINTS,

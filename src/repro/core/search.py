@@ -25,11 +25,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.core.contracts import BOUND_TOLERANCE, ContractViolation, lower_bounds
 from repro.core.database import SequenceDatabase
 from repro.core.distance import (
+    NormalizedDistance,
     normalized_distance_row,
     sequence_distance,
     sliding_mean_distances,
@@ -37,6 +40,12 @@ from repro.core.distance import (
 from repro.core.partitioning import PartitionedSequence, partition_sequence
 from repro.core.sequence import MultidimensionalSequence
 from repro.core.solution_interval import IntervalSet
+from repro.util.validation import check_threshold
+
+if TYPE_CHECKING:
+    import numpy.typing as npt
+
+    SequenceLike = MultidimensionalSequence | npt.ArrayLike
 
 __all__ = [
     "MatchExplanation",
@@ -152,13 +161,70 @@ class SearchResult:
 
     epsilon: float
     query_partition: PartitionedSequence
-    candidates: list
-    answers: list
+    candidates: list[object]
+    answers: list[object]
     solution_intervals: dict[object, IntervalSet] = field(default_factory=dict)
     stats: SearchStats = field(default_factory=SearchStats)
 
-    def __contains__(self, sequence_id) -> bool:
+    def __contains__(self, sequence_id: object) -> bool:
         return sequence_id in set(self.answers)
+
+
+def _validate_search_no_false_dismissals(
+    result: SearchResult,
+    engine: "SimilaritySearch",
+    query: SequenceLike,
+    epsilon: float,
+    *,
+    find_intervals: bool = True,
+) -> None:
+    """Lemmas 1-3 end to end: no stored sequence with ``D(Q, S)`` inside
+    the threshold may be missing from the answer set.
+
+    This recomputes the exact sliding distance against *every* stored
+    sequence, so it is a full sequential scan per search — the price of
+    certainty, paid only while contract checking is enabled.
+    """
+    query_sequence = result.query_partition.sequence
+    answers = set(result.answers)
+    candidates = set(result.candidates)
+    for sequence_id, partition in engine.database.partitions():
+        exact = sequence_distance(query_sequence, partition.sequence)
+        if exact >= epsilon - BOUND_TOLERANCE:
+            continue
+        if sequence_id not in candidates:
+            raise ContractViolation(
+                f"false dismissal in Phase 2: sequence {sequence_id!r} has "
+                f"exact distance {exact!r} <= epsilon {epsilon!r} but was "
+                f"pruned by the Dmbr index probe — Lemma 1 violated"
+            )
+        if sequence_id not in answers:
+            raise ContractViolation(
+                f"false dismissal in Phase 3: sequence {sequence_id!r} has "
+                f"exact distance {exact!r} <= epsilon {epsilon!r} but was "
+                f"pruned by Dnorm — Lemmas 2-3 violated"
+            )
+
+
+def _validate_explanation(
+    result: "MatchExplanation",
+    engine: "SimilaritySearch",
+    query: SequenceLike,
+    epsilon: float,
+    sequence_id: object,
+) -> None:
+    """The reported bound chain must be ordered: Dmbr <= Dnorm <= D."""
+    if result.min_dmbr > result.min_dnorm + BOUND_TOLERANCE:
+        raise ContractViolation(
+            f"explain({sequence_id!r}): min Dmbr {result.min_dmbr!r} exceeds "
+            f"min Dnorm {result.min_dnorm!r} — Lemma 2 violated"
+        )
+    if result.min_dnorm > result.exact_distance + BOUND_TOLERANCE:
+        raise ContractViolation(
+            f"explain({sequence_id!r}): min Dnorm {result.min_dnorm!r} "
+            f"exceeds the exact distance {result.exact_distance!r} — "
+            f"Lemma 3 violated"
+        )
 
 
 class SimilaritySearch:
@@ -174,9 +240,12 @@ class SimilaritySearch:
     # ------------------------------------------------------------------
     # Range search (the paper's algorithm)
     # ------------------------------------------------------------------
+    @lower_bounds(
+        _validate_search_no_false_dismissals, label="no false dismissals"
+    )
     def search(
         self,
-        query,
+        query: SequenceLike,
         epsilon: float,
         *,
         find_intervals: bool = True,
@@ -198,8 +267,7 @@ class SimilaritySearch:
         -------
         SearchResult
         """
-        if epsilon < 0:
-            raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+        epsilon = check_threshold(epsilon)
         if not isinstance(query, MultidimensionalSequence):
             query = MultidimensionalSequence(query)
         if query.dimension != self.database.dimension:
@@ -224,7 +292,7 @@ class SimilaritySearch:
         started = time.perf_counter()
         index = self.database.index
         accesses_before = index.stats.node_accesses
-        candidate_ids = set()
+        candidate_ids: set[object] = set()
         for segment in query_partition:
             for entry in index.search_within(segment.mbr, epsilon):
                 candidate_ids.add(entry.payload.sequence_id)
@@ -235,7 +303,7 @@ class SimilaritySearch:
 
         # Phase 3: second pruning with Dnorm + solution intervals.
         started = time.perf_counter()
-        answers: list = []
+        answers: list[object] = []
         intervals: dict[object, IntervalSet] = {}
         for sequence_id in candidates:
             partition = self.database.partition(sequence_id)
@@ -360,7 +428,7 @@ class SimilaritySearch:
     # ------------------------------------------------------------------
     # k-nearest sequences (extension)
     # ------------------------------------------------------------------
-    def knn(self, query, k: int) -> list[tuple[float, object]]:
+    def knn(self, query: SequenceLike, k: int) -> list[tuple[float, object]]:
         """The ``k`` database sequences nearest to ``query`` under ``D``.
 
         Optimal multi-step k-NN (Seidl & Kriegel '98): sequences are ranked
@@ -390,7 +458,7 @@ class SimilaritySearch:
             max_points=self.database.max_points,
         )
 
-        bounds = []
+        bounds: list[tuple[float, object]] = []
         for sequence_id, partition in self.database.partitions():
             lower = min(
                 float(partition.mbr_distance_row(segment.mbr).min())
@@ -411,7 +479,7 @@ class SimilaritySearch:
         return exact[:k]
 
     def knn_subsequences(
-        self, query, k: int, *, exclude_overlapping: bool = True
+        self, query: SequenceLike, k: int, *, exclude_overlapping: bool = True
     ) -> list[SubsequenceHit]:
         """The ``k`` best *subsequence* matches across the database.
 
@@ -456,7 +524,7 @@ class SimilaritySearch:
         )
         length = len(query)
 
-        bounds = []
+        bounds: list[tuple[float, object]] = []
         for sequence_id, partition in self.database.partitions():
             if len(partition.sequence) < length:
                 continue  # no alignment of the full query exists
@@ -490,7 +558,10 @@ class SimilaritySearch:
     # ------------------------------------------------------------------
     # Explanation (debugging / teaching aid)
     # ------------------------------------------------------------------
-    def explain(self, query, epsilon: float, sequence_id) -> "MatchExplanation":
+    @lower_bounds(_validate_explanation, label="Dmbr <= Dnorm <= D chain")
+    def explain(
+        self, query: SequenceLike, epsilon: float, sequence_id: object
+    ) -> MatchExplanation:
         """Why does (or doesn't) one sequence match this query?
 
         Runs the two pruning levels against a single stored sequence and
@@ -503,8 +574,7 @@ class SimilaritySearch:
         -------
         MatchExplanation
         """
-        if epsilon < 0:
-            raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+        epsilon = check_threshold(epsilon)
         if not isinstance(query, MultidimensionalSequence):
             query = MultidimensionalSequence(query)
         if query.dimension != self.database.dimension:
@@ -525,8 +595,8 @@ class SimilaritySearch:
         else:
             probe_partition, target_partition = query_partition, partition
 
-        per_probe_dmbr = []
-        best_dnorm = None
+        per_probe_dmbr: list[float] = []
+        best_dnorm: tuple[int, NormalizedDistance] | None = None
         for segment in probe_partition:
             row = target_partition.mbr_distance_row(segment.mbr)
             per_probe_dmbr.append(float(row.min()))
@@ -542,6 +612,10 @@ class SimilaritySearch:
 
         exact = sequence_distance(query, partition.sequence)
         min_dmbr = min(per_probe_dmbr)
+        if best_dnorm is None:
+            raise RuntimeError(
+                "explain() found no Dnorm result — empty partition"
+            )
         probe_index, dnorm_result = best_dnorm
         return MatchExplanation(
             sequence_id=sequence_id,

@@ -20,8 +20,12 @@ view used when transcribing formulas from the paper.
 from __future__ import annotations
 
 from collections.abc import Iterator
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:
+    import numpy.typing as npt
 
 __all__ = ["MultidimensionalSequence", "as_sequence"]
 
@@ -59,8 +63,8 @@ class MultidimensionalSequence:
 
     def __init__(
         self,
-        points,
-        sequence_id=None,
+        points: npt.ArrayLike,
+        sequence_id: object = None,
         *,
         validate_unit_cube: bool = True,
     ) -> None:
@@ -94,10 +98,10 @@ class MultidimensionalSequence:
     @classmethod
     def from_time_series(
         cls,
-        values,
+        values: npt.ArrayLike,
         *,
         window: int = 1,
-        sequence_id=None,
+        sequence_id: object = None,
         validate_unit_cube: bool = True,
     ) -> "MultidimensionalSequence":
         """Build an MDS from a scalar time series.
@@ -156,7 +160,7 @@ class MultidimensionalSequence:
         return self._points
 
     @property
-    def sequence_id(self):
+    def sequence_id(self) -> object:
         """Identifier supplied at construction (or ``None``)."""
         return self._sequence_id
 
@@ -171,7 +175,9 @@ class MultidimensionalSequence:
     def __iter__(self) -> Iterator[np.ndarray]:
         return iter(self._points)
 
-    def __getitem__(self, index):
+    def __getitem__(
+        self, index: "int | slice"
+    ) -> "np.ndarray | MultidimensionalSequence":
         """Zero-based access: a point for an int, a sub-MDS for a slice."""
         if isinstance(index, slice):
             sub = self._points[index]
@@ -180,7 +186,7 @@ class MultidimensionalSequence:
             return MultidimensionalSequence(sub, sequence_id=self._sequence_id)
         return self._points[index]
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if not isinstance(other, MultidimensionalSequence):
             return NotImplemented
         return (
@@ -249,7 +255,10 @@ class MultidimensionalSequence:
         )
 
 
-def as_sequence(data, sequence_id=None) -> MultidimensionalSequence:
+def as_sequence(
+    data: "MultidimensionalSequence | npt.ArrayLike",
+    sequence_id: object = None,
+) -> MultidimensionalSequence:
     """Coerce arrays or sequences of points into a :class:`MultidimensionalSequence`.
 
     Existing instances pass through unchanged (the id is *not* overwritten).

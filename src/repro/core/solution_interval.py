@@ -18,7 +18,87 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
 
+from repro.core.contracts import ContractViolation, lower_bounds
+
 __all__ = ["IntervalSet"]
+
+_Spans = list[tuple[int, int]]
+
+
+def _check_canonical(label: str, intervals: _Spans) -> None:
+    """Canonical form: sorted, non-empty, disjoint and non-adjacent."""
+    previous_stop: int | None = None
+    for start, stop in intervals:
+        if stop <= start:
+            raise ContractViolation(
+                f"{label}: empty interval [{start}, {stop}) in canonical form"
+            )
+        if previous_stop is not None and start <= previous_stop:
+            raise ContractViolation(
+                f"{label}: interval [{start}, {stop}) overlaps or touches "
+                f"its predecessor (stop {previous_stop}) — canonical form "
+                f"broken"
+            )
+        previous_stop = stop
+
+
+def _covered_by(start: int, stop: int, intervals: _Spans) -> bool:
+    """Whether ``[start, stop)`` lies inside one interval of the list."""
+    return any(a <= start and stop <= b for a, b in intervals)
+
+
+def _disjoint_from(start: int, stop: int, intervals: _Spans) -> bool:
+    return all(stop <= a or b <= start for a, b in intervals)
+
+
+def _validate_union(
+    result: "IntervalSet", left: "IntervalSet", right: "IntervalSet"
+) -> None:
+    _check_canonical("union", result._intervals)
+    for start, stop in left._intervals + right._intervals:
+        if not _covered_by(start, stop, result._intervals):
+            raise ContractViolation(
+                f"union lost the input interval [{start}, {stop})"
+            )
+    if len(result) > len(left) + len(right):
+        raise ContractViolation(
+            f"union size {len(result)} exceeds |A| + |B| = "
+            f"{len(left) + len(right)}"
+        )
+
+
+def _validate_intersection(
+    result: "IntervalSet", left: "IntervalSet", right: "IntervalSet"
+) -> None:
+    _check_canonical("intersection", result._intervals)
+    for start, stop in result._intervals:
+        if not _covered_by(start, stop, left._intervals) or not _covered_by(
+            start, stop, right._intervals
+        ):
+            raise ContractViolation(
+                f"intersection produced [{start}, {stop}) outside an input"
+            )
+    if len(result) > min(len(left), len(right)):
+        raise ContractViolation(
+            f"intersection size {len(result)} exceeds min(|A|, |B|) = "
+            f"{min(len(left), len(right))}"
+        )
+
+
+def _validate_difference(
+    result: "IntervalSet", left: "IntervalSet", right: "IntervalSet"
+) -> None:
+    _check_canonical("difference", result._intervals)
+    for start, stop in result._intervals:
+        if not _covered_by(start, stop, left._intervals):
+            raise ContractViolation(
+                f"difference produced [{start}, {stop}) outside the left set"
+            )
+        if not _disjoint_from(start, stop, right._intervals):
+            raise ContractViolation(
+                f"difference kept [{start}, {stop}) overlapping the "
+                f"subtracted set"
+            )
 
 
 class IntervalSet:
@@ -100,7 +180,7 @@ class IntervalSet:
         for start, stop in self._intervals:
             yield from range(start, stop)
 
-    def __contains__(self, point) -> bool:
+    def __contains__(self, point: int) -> bool:
         point = int(point)
         for start, stop in self._intervals:
             if start <= point < stop:
@@ -109,7 +189,7 @@ class IntervalSet:
                 return False
         return False
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if not isinstance(other, IntervalSet):
             return NotImplemented
         return self._intervals == other._intervals
@@ -124,6 +204,7 @@ class IntervalSet:
     # ------------------------------------------------------------------
     # Set algebra
     # ------------------------------------------------------------------
+    @lower_bounds(_validate_union, label="interval union invariants")
     def union(self, other: "IntervalSet") -> "IntervalSet":
         """The union of the two point sets."""
         return IntervalSet(self._intervals + other._intervals)
@@ -134,6 +215,9 @@ class IntervalSet:
         """This set plus one extra ``[start, stop)`` interval."""
         return IntervalSet(self._intervals + [(int(start), int(stop))])
 
+    @lower_bounds(
+        _validate_intersection, label="interval intersection invariants"
+    )
     def intersection(self, other: "IntervalSet") -> "IntervalSet":
         """The intersection of the two point sets (two-pointer sweep)."""
         result = []
@@ -157,6 +241,7 @@ class IntervalSet:
         """``len(self & other)`` without materialising the intervals twice."""
         return len(self.intersection(other))
 
+    @lower_bounds(_validate_difference, label="interval difference invariants")
     def difference(self, other: "IntervalSet") -> "IntervalSet":
         """Points of this set not in ``other``."""
         result = []

@@ -21,7 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.sequence import MultidimensionalSequence
-from repro.util.rng import ensure_rng, spawn_rngs
+from repro.util.rng import SeedLike, ensure_rng, spawn_rngs
 
 __all__ = ["generate_fractal_corpus", "generate_fractal_sequence"]
 
@@ -33,8 +33,8 @@ def generate_fractal_sequence(
     dev: float = 0.25,
     scale: float = 0.5,
     region_extent: float | None = None,
-    seed=None,
-    sequence_id=None,
+    seed: SeedLike = None,
+    sequence_id: object = None,
 ) -> MultidimensionalSequence:
     """One fractal sequence of exactly ``length`` points in ``[0,1]^n``.
 
@@ -119,7 +119,7 @@ def generate_fractal_corpus(
     dev: float = 0.25,
     scale: float = 0.5,
     extent_range: tuple[float, float] | None = (0.1, 0.35),
-    seed=None,
+    seed: SeedLike = None,
     id_prefix: str = "fractal",
 ) -> list[MultidimensionalSequence]:
     """A corpus of fractal sequences with the paper's arbitrary lengths.

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.util.rng import ensure_rng
+from repro.util.rng import SeedLike, ensure_rng
 
 __all__ = ["FrameConfig", "generate_frame_clip"]
 
@@ -48,7 +48,7 @@ class FrameConfig:
 
 
 def generate_frame_clip(
-    n_frames: int, config: FrameConfig | None = None, *, seed=None
+    n_frames: int, config: FrameConfig | None = None, *, seed: SeedLike = None
 ) -> np.ndarray:
     """Render ``n_frames`` raw frames with shot structure.
 

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.core.sequence import MultidimensionalSequence
 from repro.util.hilbert import curve_ordering
-from repro.util.rng import ensure_rng, spawn_rngs
+from repro.util.rng import SeedLike, ensure_rng, spawn_rngs
 
 __all__ = ["generate_image_grid", "generate_image_sequence", "generate_image_corpus"]
 
@@ -36,7 +36,7 @@ def generate_image_grid(
     channels: int = 3,
     n_blobs: int = 4,
     blob_radius: float = 0.2,
-    seed=None,
+    seed: SeedLike = None,
 ) -> np.ndarray:
     """A synthetic region-feature grid of shape ``(side, side, channels)``.
 
@@ -85,8 +85,8 @@ def generate_image_sequence(
     channels: int = 3,
     n_blobs: int = 4,
     curve: str = "hilbert",
-    seed=None,
-    sequence_id=None,
+    seed: SeedLike = None,
+    sequence_id: object = None,
 ) -> MultidimensionalSequence:
     """A synthetic image linearised into a region sequence.
 
@@ -112,7 +112,7 @@ def generate_image_corpus(
     channels: int = 3,
     n_blobs: int = 4,
     curve: str = "hilbert",
-    seed=None,
+    seed: SeedLike = None,
     id_prefix: str = "image",
 ) -> list[MultidimensionalSequence]:
     """A corpus of image-region sequences (each ``4**order`` regions long)."""

@@ -17,12 +17,13 @@ optionally perturb them; this module implements it reproducibly:
 
 from __future__ import annotations
 
+from collections.abc import Iterator, Mapping, Sequence
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.sequence import MultidimensionalSequence
-from repro.util.rng import ensure_rng
+from repro.util.rng import SeedLike, ensure_rng
 
 __all__ = ["QueryWorkload", "generate_queries"]
 
@@ -48,7 +49,7 @@ class QueryWorkload:
     def __len__(self) -> int:
         return len(self.queries)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[MultidimensionalSequence]:
         return iter(self.queries)
 
     def __getitem__(self, index: int) -> MultidimensionalSequence:
@@ -56,12 +57,12 @@ class QueryWorkload:
 
 
 def generate_queries(
-    corpus,
+    corpus: "Mapping[object, MultidimensionalSequence] | Sequence[MultidimensionalSequence]",
     count: int,
     *,
     length_range: tuple[int, int] = (32, 128),
     noise: float = 0.01,
-    seed=None,
+    seed: SeedLike = None,
 ) -> QueryWorkload:
     """Cut ``count`` perturbed subsequence queries out of a corpus.
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.util.rng import ensure_rng
+from repro.util.rng import SeedLike, ensure_rng
 
 __all__ = [
     "generate_random_walk",
@@ -42,7 +42,7 @@ def generate_random_walk(
     *,
     step: float = 0.02,
     start: float = 0.5,
-    seed=None,
+    seed: SeedLike = None,
 ) -> np.ndarray:
     """A Gaussian random walk clipped to ``[0, 1]``.
 
@@ -73,7 +73,7 @@ def generate_stock_series(
     *,
     drift: float = 0.0002,
     volatility: float = 0.015,
-    seed=None,
+    seed: SeedLike = None,
 ) -> np.ndarray:
     """A geometric random walk, min-max normalised into ``[0, 1]``.
 
@@ -98,7 +98,7 @@ def generate_seasonal_series(
     trend: float = 0.2,
     amplitude: float = 0.25,
     noise: float = 0.02,
-    seed=None,
+    seed: SeedLike = None,
 ) -> np.ndarray:
     """Trend + sinusoidal season + Gaussian noise, normalised to ``[0, 1]``.
 

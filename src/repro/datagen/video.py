@@ -28,7 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.sequence import MultidimensionalSequence
-from repro.util.rng import ensure_rng, spawn_rngs
+from repro.util.rng import SeedLike, ensure_rng, spawn_rngs
 
 __all__ = ["VideoConfig", "generate_video_corpus", "generate_video_sequence"]
 
@@ -101,8 +101,8 @@ def generate_video_sequence(
     n_frames: int,
     config: VideoConfig | None = None,
     *,
-    seed=None,
-    sequence_id=None,
+    seed: SeedLike = None,
+    sequence_id: object = None,
 ) -> MultidimensionalSequence:
     """One simulated stream of exactly ``n_frames`` frames.
 
@@ -174,7 +174,7 @@ def generate_video_corpus(
     config: VideoConfig | None = None,
     *,
     length_range: tuple[int, int] = (56, 512),
-    seed=None,
+    seed: SeedLike = None,
     id_prefix: str = "video",
 ) -> list[MultidimensionalSequence]:
     """A corpus of simulated streams (Table 2: 1408 streams, 56-512 frames).

@@ -24,9 +24,16 @@ operator below documents its distance behaviour:
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.core.sequence import MultidimensionalSequence
+
+if TYPE_CHECKING:
+    import numpy.typing as npt
+
+    SequenceLike = MultidimensionalSequence | npt.ArrayLike
 
 __all__ = [
     "affine_transform",
@@ -36,14 +43,16 @@ __all__ = [
 ]
 
 
-def _points_of(sequence) -> tuple[np.ndarray, object]:
+def _points_of(sequence: SequenceLike) -> tuple[np.ndarray, object]:
     if isinstance(sequence, MultidimensionalSequence):
         return sequence.points, sequence.sequence_id
     seq = MultidimensionalSequence(sequence, validate_unit_cube=False)
     return seq.points, None
 
 
-def moving_average(sequence, window: int) -> MultidimensionalSequence:
+def moving_average(
+    sequence: SequenceLike, window: int
+) -> MultidimensionalSequence:
     """Boxcar moving average of width ``window`` per dimension.
 
     The result has ``len(sequence) - window + 1`` points; element ``i``
@@ -70,14 +79,18 @@ def moving_average(sequence, window: int) -> MultidimensionalSequence:
     )
 
 
-def reversed_sequence(sequence) -> MultidimensionalSequence:
+def reversed_sequence(sequence: SequenceLike) -> MultidimensionalSequence:
     """The sequence traversed backwards (an isometry for ``Dmean``)."""
     points, sequence_id = _points_of(sequence)
     return MultidimensionalSequence(points[::-1], sequence_id=sequence_id)
 
 
 def affine_transform(
-    sequence, scale: float, offset: float = 0.0, *, clip: bool = True
+    sequence: SequenceLike,
+    scale: float,
+    offset: float = 0.0,
+    *,
+    clip: bool = True,
 ) -> MultidimensionalSequence:
     """Per-value affine map ``x -> scale * x + offset``.
 
@@ -96,7 +109,9 @@ def affine_transform(
     )
 
 
-def downsample(sequence, factor: int) -> MultidimensionalSequence:
+def downsample(
+    sequence: SequenceLike, factor: int
+) -> MultidimensionalSequence:
     """Every ``factor``-th point, starting with the first.
 
     A cheap sketch for long sequences; the sampled mean distance estimates

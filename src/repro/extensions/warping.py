@@ -13,14 +13,21 @@ and a path-normalised variant comparable in scale to ``Dmean``.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.core.sequence import MultidimensionalSequence
 
+if TYPE_CHECKING:
+    import numpy.typing as npt
+
+    SequenceLike = MultidimensionalSequence | npt.ArrayLike
+
 __all__ = ["time_warping_distance", "warping_path"]
 
 
-def _as_points(sequence) -> np.ndarray:
+def _as_points(sequence: SequenceLike) -> np.ndarray:
     if isinstance(sequence, MultidimensionalSequence):
         return sequence.points
     arr = np.asarray(sequence, dtype=np.float64)
@@ -60,8 +67,8 @@ def _cost_matrix(a: np.ndarray, b: np.ndarray, window: int | None) -> np.ndarray
 
 
 def time_warping_distance(
-    s1,
-    s2,
+    s1: SequenceLike,
+    s2: SequenceLike,
     *,
     window: int | None = None,
     normalized: bool = True,
@@ -98,7 +105,9 @@ def time_warping_distance(
     return total / len(warping_path(s1, s2, window=window))
 
 
-def warping_path(s1, s2, *, window: int | None = None) -> list[tuple[int, int]]:
+def warping_path(
+    s1: SequenceLike, s2: SequenceLike, *, window: int | None = None
+) -> list[tuple[int, int]]:
     """The optimal warping path as zero-based ``(i, j)`` index pairs.
 
     Backtracks the dynamic program from the final cell, preferring the

@@ -16,9 +16,14 @@ is a ``(n_frames, height, width, channels)`` stack.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.core.sequence import MultidimensionalSequence
+
+if TYPE_CHECKING:
+    import numpy.typing as npt
 
 __all__ = [
     "color_histogram_sequence",
@@ -41,13 +46,13 @@ def _check_frame(frame: np.ndarray) -> np.ndarray:
     return frame
 
 
-def frame_mean_color(frame) -> np.ndarray:
+def frame_mean_color(frame: npt.ArrayLike) -> np.ndarray:
     """The mean colour of one frame: a ``(channels,)`` vector in ``[0,1]``."""
     frame = _check_frame(frame)
     return frame.mean(axis=(0, 1))
 
 
-def frame_color_histogram(frame, bins: int = 8) -> np.ndarray:
+def frame_color_histogram(frame: npt.ArrayLike, bins: int = 8) -> np.ndarray:
     """A normalised per-channel colour histogram.
 
     Returns a ``(channels * bins,)`` vector; each channel's ``bins`` cells
@@ -67,7 +72,9 @@ def frame_color_histogram(frame, bins: int = 8) -> np.ndarray:
     return np.concatenate(cells)
 
 
-def mean_color_sequence(frames, sequence_id=None) -> MultidimensionalSequence:
+def mean_color_sequence(
+    frames: npt.ArrayLike, sequence_id: object = None
+) -> MultidimensionalSequence:
     """A clip (frame stack) to a mean-colour sequence — the paper's video model."""
     stack = np.asarray(frames, dtype=np.float64)
     if stack.ndim != 4:
@@ -79,7 +86,7 @@ def mean_color_sequence(frames, sequence_id=None) -> MultidimensionalSequence:
 
 
 def color_histogram_sequence(
-    frames, bins: int = 8, sequence_id=None
+    frames: npt.ArrayLike, bins: int = 8, sequence_id: object = None
 ) -> MultidimensionalSequence:
     """A clip to a histogram sequence (``channels * bins`` dimensions).
 

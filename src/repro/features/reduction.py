@@ -24,14 +24,21 @@ tracked — see the docstrings.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.util.validation import check_threshold
+
+if TYPE_CHECKING:
+    import numpy.typing as npt
+
 __all__ = ["ReducedSpace", "dft_reduce", "haar_reduce", "fit_pca"]
 
 
-def _check_matrix(vectors) -> np.ndarray:
+def _check_matrix(vectors: npt.ArrayLike) -> np.ndarray:
     arr = np.asarray(vectors, dtype=np.float64)
     if arr.ndim == 1:
         arr = arr.reshape(1, -1)
@@ -42,7 +49,7 @@ def _check_matrix(vectors) -> np.ndarray:
     return arr
 
 
-def dft_reduce(vectors, k: int) -> np.ndarray:
+def dft_reduce(vectors: npt.ArrayLike, k: int) -> np.ndarray:
     """First ``k`` unitary-DFT coefficient pairs of each row.
 
     Output dimension is ``2 * k`` (real/imaginary interleaved).  Row-wise
@@ -71,7 +78,7 @@ def _haar_matrix(dimension: int) -> np.ndarray:
     return matrix / np.sqrt(2.0)
 
 
-def haar_reduce(vectors, k: int) -> np.ndarray:
+def haar_reduce(vectors: npt.ArrayLike, k: int) -> np.ndarray:
     """Coarsest ``k`` orthonormal Haar coefficients of each row.
 
     Rows are zero-padded to the next power of two (padding preserves
@@ -126,7 +133,7 @@ class ReducedSpace:
     def output_dimension(self) -> int:
         return self.components.shape[0]
 
-    def transform(self, vectors) -> np.ndarray:
+    def transform(self, vectors: npt.ArrayLike) -> np.ndarray:
         """Project rows onto the fitted components (distance lower bound)."""
         arr = _check_matrix(vectors)
         if arr.shape[1] != self.components.shape[1]:
@@ -136,7 +143,7 @@ class ReducedSpace:
             )
         return (arr - self.mean) @ self.components.T
 
-    def rescale(self, projected) -> np.ndarray:
+    def rescale(self, projected: npt.ArrayLike) -> np.ndarray:
         """Map projected vectors into (approximately) the unit cube.
 
         Values outside the fitted sample's range are clipped.
@@ -147,12 +154,11 @@ class ReducedSpace:
 
     def safe_epsilon(self, epsilon: float) -> float:
         """The rescaled-space threshold preserving no-false-dismissal."""
-        if epsilon < 0:
-            raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+        epsilon = check_threshold(epsilon)
         return epsilon / float(self.span.min())
 
 
-def fit_pca(sample, k: int) -> ReducedSpace:
+def fit_pca(sample: npt.ArrayLike, k: int) -> ReducedSpace:
     """Fit a ``k``-component PCA to a sample of feature vectors.
 
     Parameters

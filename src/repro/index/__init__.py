@@ -15,6 +15,7 @@ rectangle-to-rectangle minimum distance (``Dmbr``) to the query rectangle is
 at most ``epsilon``.
 """
 
+from repro.core.backends import register_index_backend
 from repro.index.bulk import bulk_load_str
 from repro.index.node import LeafEntry, Node
 from repro.index.paging import (
@@ -26,6 +27,28 @@ from repro.index.paging import (
 from repro.index.rstar import RStarTree
 from repro.index.serialize import load_tree, save_tree
 from repro.index.rtree import IndexStats, RTree
+
+# Self-register the default backends with the core registry (the lazy
+# provider seam of repro.core.backends imports this module by name).
+register_index_backend(
+    "rtree",
+    factory=lambda dimension, max_entries: RTree(
+        dimension, max_entries=max_entries
+    ),
+)
+register_index_backend(
+    "rstar",
+    factory=lambda dimension, max_entries: RStarTree(
+        dimension, max_entries=max_entries
+    ),
+)
+register_index_backend(
+    "str",
+    bulk_factory=lambda items, dimension, max_entries: bulk_load_str(
+        items, dimension, max_entries=max_entries
+    ),
+    incremental=False,
+)
 
 __all__ = [
     "IndexStats",

@@ -56,7 +56,7 @@ class Node:
         child = self.children[index]
         return child.mbr
 
-    def add(self, child) -> None:
+    def add(self, child: "LeafEntry | Node") -> None:
         """Append a child (entry or node) and grow the cached MBR."""
         self.children.append(child)
         if self.mbr is None:

@@ -22,9 +22,15 @@ least-recently-used page when full.
 from __future__ import annotations
 
 from collections import OrderedDict
+from collections.abc import Callable, Iterator
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.index.rtree import RTree
+
+if TYPE_CHECKING:
+    from repro.core.mbr import MBR
+    from repro.index.node import LeafEntry, Node
 
 __all__ = ["PageStats", "PageStore", "attach_page_store", "detach_page_store"]
 
@@ -66,7 +72,7 @@ class PageStore:
         self.stats = PageStats()
         self._pool: OrderedDict[int, None] = OrderedDict()
 
-    def access(self, node) -> bool:
+    def access(self, node: "Node") -> bool:
         """Record one access to ``node``'s page; returns ``True`` on a hit."""
         page_id = id(node)
         self.stats.logical_reads += 1
@@ -101,10 +107,12 @@ def attach_page_store(tree: RTree, store: PageStore) -> None:
     tree._page_store = store
     original_traverse = tree._traverse
 
-    def traversing(admits):
+    def traversing(
+        admits: "Callable[[MBR], bool]",
+    ) -> "Iterator[LeafEntry]":
         # Re-yield while notifying the store of each node touched.  The
         # base traversal counts accesses in tree.stats; pages mirror it.
-        def wrapped():
+        def wrapped() -> "Iterator[LeafEntry]":
             if tree.root.mbr is None:
                 return
             stack = [tree.root]

@@ -20,7 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.mbr import MBR
-from repro.index.node import Node
+from repro.index.node import LeafEntry, Node
 from repro.index.rtree import RTree
 
 __all__ = ["RStarTree"]
@@ -60,14 +60,16 @@ class RStarTree(RTree):
     # ------------------------------------------------------------------
     # Insertion driver with deferred reinsertion
     # ------------------------------------------------------------------
-    def _insert_entry(self, item, target_level: int) -> None:
+    def _insert_entry(
+        self, item: LeafEntry | Node, target_level: int
+    ) -> None:
         self._levels_reinserted = set()
         self._pending = [(item, target_level)]
         while self._pending:
             pending_item, level = self._pending.pop(0)
             super()._insert_entry(pending_item, level)
 
-    def _handle_overflow(self, node: Node):
+    def _handle_overflow(self, node: Node) -> Node | None:
         if node is not self.root and node.level not in self._levels_reinserted:
             self._levels_reinserted.add(node.level)
             removed = self._shed_for_reinsert(node)
@@ -147,13 +149,17 @@ class RStarTree(RTree):
         sibling.recompute_mbr()
         return sibling
 
-    def _distributions(self, children_sorted):
+    def _distributions(
+        self, children_sorted: list[LeafEntry] | list[Node]
+    ) -> "Iterator[tuple[list, list]]":
         """Yield every legal (group_a, group_b) prefix/suffix distribution."""
         total = len(children_sorted)
         for split_at in range(self.min_entries, total - self.min_entries + 1):
             yield children_sorted[:split_at], children_sorted[split_at:]
 
-    def _choose_split_axis(self, children) -> int:
+    def _choose_split_axis(
+        self, children: list[LeafEntry] | list[Node]
+    ) -> int:
         """The axis whose distributions have the least total margin."""
         best_axis = 0
         best_margin = float("inf")
@@ -176,7 +182,9 @@ class RStarTree(RTree):
                 best_axis = axis
         return best_axis
 
-    def _choose_split_distribution(self, children, axis: int):
+    def _choose_split_distribution(
+        self, children: list[LeafEntry] | list[Node], axis: int
+    ) -> "tuple[list, list]":
         """Least-overlap (ties: least volume) distribution on the split axis."""
         best = None
         best_key = None

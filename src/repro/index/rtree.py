@@ -22,11 +22,15 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Iterator
 
 from repro.core.mbr import MBR
 from repro.index.node import LeafEntry, Node
+from repro.util.validation import check_threshold
+
+if TYPE_CHECKING:
+    import numpy.typing as npt
 
 __all__ = ["IndexStats", "RTree"]
 
@@ -121,12 +125,14 @@ class RTree:
         self._insert_entry(LeafEntry(mbr, payload), target_level=0)
         self._size += 1
 
-    def extend(self, items) -> None:
+    def extend(self, items: Iterable[tuple[MBR, Any]]) -> None:
         """Insert ``(mbr, payload)`` pairs from an iterable."""
         for mbr, payload in items:
             self.insert(mbr, payload)
 
-    def _insert_entry(self, item, target_level: int) -> None:
+    def _insert_entry(
+        self, item: LeafEntry | Node, target_level: int
+    ) -> None:
         """Insert an entry (level 0) or an orphaned subtree at its level."""
         split = self._insert_recursive(self.root, item, target_level)
         if split is not None:
@@ -135,7 +141,9 @@ class RTree:
             new_root.add(split)
             self.root = new_root
 
-    def _insert_recursive(self, node: Node, item, target_level: int):
+    def _insert_recursive(
+        self, node: Node, item: LeafEntry | Node, target_level: int
+    ) -> Node | None:
         """Descend to ``target_level``, insert, split upwards as needed.
 
         Returns the sibling created by a split of ``node``, or ``None``.
@@ -152,7 +160,7 @@ class RTree:
             return self._handle_overflow(node)
         return None
 
-    def _handle_overflow(self, node: Node):
+    def _handle_overflow(self, node: Node) -> Node | None:
         """Resolve an overfull node; the base tree always splits.
 
         Subclasses may instead shed entries for reinsertion (R*-tree) and
@@ -191,7 +199,9 @@ class RTree:
         self.root.recompute_mbr()
         return True
 
-    def _find_leaf_path(self, node: Node, mbr: MBR, payload) -> list[Node] | None:
+    def _find_leaf_path(
+        self, node: Node, mbr: MBR, payload: Any
+    ) -> list[Node] | None:
         """Root-to-leaf path of the node holding the entry, or ``None``."""
         if node.mbr is None or not node.mbr.contains(mbr):
             return None
@@ -208,7 +218,7 @@ class RTree:
 
     def _condense_tree(self, path: list[Node]) -> None:
         """Dissolve underfull nodes bottom-up and reinsert their contents."""
-        orphans: list[tuple[object, int]] = []
+        orphans: list[tuple[LeafEntry | Node, int]] = []
         for depth in range(len(path) - 1, 0, -1):
             node = path[depth]
             parent = path[depth - 1]
@@ -231,7 +241,7 @@ class RTree:
                 self._insert_entry(item, target_level=level)
 
     @staticmethod
-    def _collect_entries(item) -> list[LeafEntry]:
+    def _collect_entries(item: LeafEntry | Node) -> list[LeafEntry]:
         if isinstance(item, LeafEntry):
             return [item]
         entries: list[LeafEntry] = []
@@ -304,7 +314,7 @@ class RTree:
         return sibling
 
     @staticmethod
-    def _pick_seeds(children) -> tuple[int, int]:
+    def _pick_seeds(children: list[LeafEntry] | list[Node]) -> tuple[int, int]:
         """The pair wasting the most volume if grouped together."""
         best_pair = (0, 1)
         best_waste = float("-inf")
@@ -317,7 +327,12 @@ class RTree:
                 best_pair = (i, j)
         return best_pair
 
-    def _pick_next(self, remaining, mbr_a: MBR, mbr_b: MBR) -> tuple[int, bool]:
+    def _pick_next(
+        self,
+        remaining: list[LeafEntry] | list[Node],
+        mbr_a: MBR,
+        mbr_b: MBR,
+    ) -> tuple[int, bool]:
         """The child with the strongest group preference, and that group."""
         best_index = 0
         best_diff = -1.0
@@ -355,14 +370,16 @@ class RTree:
         rectangle-to-rectangle minimum distance at most the threshold.
         """
         self._check_query(query)
-        if epsilon < 0:
-            raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+        epsilon = check_threshold(epsilon)
         return list(
             self._traverse(lambda mbr: mbr.min_distance(query) <= epsilon)
         )
 
-    def search_point_radius(self, point, epsilon: float) -> list[LeafEntry]:
+    def search_point_radius(
+        self, point: "npt.ArrayLike", epsilon: float
+    ) -> list[LeafEntry]:
         """All leaf entries within Euclidean distance ``epsilon`` of a point."""
+        epsilon = check_threshold(epsilon)
         query = MBR.of_point(point)
         return self.search_within(query, epsilon)
 
@@ -433,7 +450,7 @@ class RTree:
                 stack.extend(node.children)
 
     def check_invariants(self, *, check_min_fill: bool = True) -> None:
-        """Assert structural invariants; raises ``AssertionError`` on damage.
+        """Verify structural invariants; raises ``RuntimeError`` on damage.
 
         Checked: cached MBRs match contents, every child MBR is contained in
         its parent, all leaves sit at level 0, node occupancy respects
@@ -441,31 +458,50 @@ class RTree:
         non-roots — bulk-loaded trees may underfill their last page), and
         the leaf count matches ``len(self)``.
         """
+
+        def broken(detail: str) -> RuntimeError:
+            return RuntimeError(f"R-tree invariant broken: {detail}")
+
         count = 0
-        stack = [(self.root, None)]
+        stack: list[tuple[Node, MBR | None]] = [(self.root, None)]
         while stack:
             node, parent_mbr = stack.pop()
             if node.children:
                 recomputed = MBR.union_all(c.mbr for c in node.children)
-                assert node.mbr == recomputed, "stale cached MBR"
-            else:
-                assert node is self.root, "empty non-root node"
+                if node.mbr != recomputed:
+                    raise broken(
+                        f"stale cached MBR {node.mbr} != {recomputed}"
+                    )
+            elif node is not self.root:
+                raise broken("empty non-root node")
             if parent_mbr is not None:
-                assert parent_mbr.contains(node.mbr), "child escapes parent MBR"
+                if node.mbr is not None and not parent_mbr.contains(node.mbr):
+                    raise broken("child escapes parent MBR")
                 lower = self.min_entries if check_min_fill else 1
-                assert (
-                    lower <= len(node.children) <= self.max_entries
-                ), f"occupancy {len(node.children)} out of bounds"
-            else:
-                assert len(node.children) <= self.max_entries
+                if not lower <= len(node.children) <= self.max_entries:
+                    raise broken(
+                        f"occupancy {len(node.children)} outside "
+                        f"[{lower}, {self.max_entries}]"
+                    )
+            elif len(node.children) > self.max_entries:
+                raise broken(
+                    f"root occupancy {len(node.children)} exceeds "
+                    f"{self.max_entries}"
+                )
             if node.is_leaf:
-                assert node.level == 0, "leaf not at level 0"
+                if node.level != 0:
+                    raise broken(f"leaf at level {node.level}, expected 0")
                 count += len(node.children)
             else:
                 for child in node.children:
-                    assert child.level == node.level - 1, "level mismatch"
+                    if child.level != node.level - 1:
+                        raise broken(
+                            f"child level {child.level} under level "
+                            f"{node.level}"
+                        )
                     stack.append((child, node.mbr))
-        assert count == self._size, f"size {self._size} != leaf count {count}"
+        if count != self._size:
+            raise broken(f"size {self._size} != leaf count {count}")
 
     def _check_query(self, query: MBR) -> None:
         if not isinstance(query, MBR):

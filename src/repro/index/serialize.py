@@ -18,6 +18,7 @@ Only load archives you created.
 from __future__ import annotations
 
 import pickle
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -26,12 +27,15 @@ from repro.index.node import LeafEntry, Node
 from repro.index.rstar import RStarTree
 from repro.index.rtree import RTree
 
+if TYPE_CHECKING:
+    import os
+
 __all__ = ["load_tree", "save_tree"]
 
 _KINDS = {"RTree": RTree, "RStarTree": RStarTree}
 
 
-def save_tree(tree: RTree, path) -> None:
+def save_tree(tree: RTree, path: "str | os.PathLike[str]") -> None:
     """Serialise a (non-empty or empty) R-tree to ``path`` (.npz)."""
     if type(tree).__name__ not in _KINDS:
         raise TypeError(
@@ -101,7 +105,7 @@ def save_tree(tree: RTree, path) -> None:
     )
 
 
-def load_tree(path) -> RTree:
+def load_tree(path: "str | os.PathLike[str]") -> RTree:
     """Rebuild a tree saved with :func:`save_tree` (identical layout)."""
     with np.load(path) as archive:
         kind = bytes(archive["kind"]).decode()

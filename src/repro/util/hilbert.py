@@ -16,6 +16,14 @@ from __future__ import annotations
 
 import numpy as np
 
+__all__ = [
+    "curve_ordering",
+    "hilbert_d2xy",
+    "hilbert_xy2d",
+    "zorder_d2xy",
+    "zorder_xy2d",
+]
+
 
 def _check_order(order: int) -> int:
     if order < 1:

@@ -10,10 +10,12 @@ from __future__ import annotations
 
 import numpy as np
 
+__all__ = ["SeedLike", "ensure_rng", "spawn_rngs"]
+
 SeedLike = "int | np.random.Generator | np.random.SeedSequence | None"
 
 
-def ensure_rng(seed=None) -> np.random.Generator:
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for any seed-like input.
 
     Parameters
@@ -27,7 +29,7 @@ def ensure_rng(seed=None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def spawn_rngs(seed, count: int) -> list[np.random.Generator]:
+def spawn_rngs(seed: SeedLike, count: int) -> list[np.random.Generator]:
     """Derive ``count`` statistically independent generators from one seed.
 
     Useful when a workload fans out into independent pieces (e.g. one RNG per

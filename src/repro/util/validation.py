@@ -13,6 +13,14 @@ import numbers
 
 import numpy as np
 
+__all__ = [
+    "check_dimension",
+    "check_fraction",
+    "check_positive",
+    "check_probability",
+    "check_threshold",
+]
+
 
 def check_positive(name: str, value: float, *, strict: bool = True) -> float:
     """Validate that ``value`` is a positive (or non-negative) real number.

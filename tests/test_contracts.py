@@ -1,0 +1,316 @@
+"""The lower-bound contract checker.
+
+Two kinds of coverage:
+
+* the toggle machinery (off by default, env var, ``checking_contracts``
+  scoping, the ``lower_bounds`` decorator); and
+* *mutation tests*: deliberately break the ``Dnorm`` computation and the
+  Phase-3 refinement and assert the contract net catches each — the whole
+  point of the subsystem is that a bug violating Lemmas 2-3 cannot pass
+  silently while checking is on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.analysis.contracts as analysis_contracts
+import repro.core.distance as distance_module
+import repro.core.search as search_module
+from repro.analysis.contracts import (
+    BoundChain,
+    audit_search,
+    lower_bound_chain,
+)
+from repro.core.contracts import (
+    CONTRACTS_ENV_VAR,
+    ContractViolation,
+    checking_contracts,
+    contracts_enabled,
+    lower_bounds,
+)
+from repro.core.database import SequenceDatabase
+from repro.core.distance import normalized_distance
+from repro.core.mbr import MBR
+from repro.core.partitioning import partition_sequence
+from repro.core.search import SimilaritySearch
+from repro.core.sequence import MultidimensionalSequence
+from repro.core.solution_interval import (
+    IntervalSet,
+    _validate_difference,
+    _validate_intersection,
+    _validate_union,
+)
+
+
+# ----------------------------------------------------------------------
+# Toggle machinery
+# ----------------------------------------------------------------------
+def test_contracts_disabled_by_default(monkeypatch):
+    monkeypatch.delenv(CONTRACTS_ENV_VAR, raising=False)
+    assert not contracts_enabled()
+
+
+@pytest.mark.parametrize("value", ["1", "true", "YES", " on "])
+def test_env_var_enables_contracts(monkeypatch, value):
+    monkeypatch.setenv(CONTRACTS_ENV_VAR, value)
+    assert contracts_enabled()
+
+
+@pytest.mark.parametrize("value", ["", "0", "false", "off"])
+def test_falsy_env_values_keep_contracts_off(monkeypatch, value):
+    monkeypatch.setenv(CONTRACTS_ENV_VAR, value)
+    assert not contracts_enabled()
+
+
+def test_checking_contracts_scopes_and_nests(monkeypatch):
+    monkeypatch.delenv(CONTRACTS_ENV_VAR, raising=False)
+    assert not contracts_enabled()
+    with checking_contracts():
+        assert contracts_enabled()
+        with checking_contracts():
+            assert contracts_enabled()
+        # still on: the outermost scope has not exited yet
+        assert contracts_enabled()
+    assert not contracts_enabled()
+
+
+def test_checking_contracts_restores_on_exception(monkeypatch):
+    monkeypatch.delenv(CONTRACTS_ENV_VAR, raising=False)
+    with pytest.raises(RuntimeError, match="boom"):
+        with checking_contracts():
+            raise RuntimeError("boom")
+    assert not contracts_enabled()
+
+
+def test_contract_violation_is_a_runtime_error():
+    assert issubclass(ContractViolation, RuntimeError)
+
+
+# ----------------------------------------------------------------------
+# The lower_bounds decorator
+# ----------------------------------------------------------------------
+def test_lower_bounds_validator_runs_only_when_enabled(monkeypatch):
+    monkeypatch.delenv(CONTRACTS_ENV_VAR, raising=False)
+    calls = []
+
+    def validator(result, x):
+        calls.append((result, x))
+
+    @lower_bounds(validator, label="doubling stays even")
+    def double(x: int) -> int:
+        return 2 * x
+
+    assert double(3) == 6
+    assert calls == []  # disabled: zero validator overhead
+
+    with checking_contracts():
+        assert double(4) == 8
+    assert calls == [(8, 4)]  # validator sees (result, *args)
+
+    assert double.__name__ == "double"  # functools.wraps preserved
+    assert double.__contract_label__ == "doubling stays even"
+    assert double.__contract_validator__ is validator
+
+
+def test_lower_bounds_label_defaults_to_validator_name():
+    def my_validator(result):
+        return None
+
+    @lower_bounds(my_validator)
+    def unit() -> None:
+        return None
+
+    assert unit.__contract_label__ == "my_validator"
+
+
+def test_lower_bounds_propagates_validator_failure(monkeypatch):
+    monkeypatch.delenv(CONTRACTS_ENV_VAR, raising=False)
+
+    @lower_bounds(lambda result: (_ for _ in ()).throw(ContractViolation("bad")))
+    def broken() -> int:
+        return 1
+
+    assert broken() == 1  # fine while checking is off
+    with checking_contracts():
+        with pytest.raises(ContractViolation, match="bad"):
+            broken()
+
+
+# ----------------------------------------------------------------------
+# Mutation test A: a broken Dnorm kernel is caught (Lemma 2)
+# ----------------------------------------------------------------------
+def _dnorm_fixture():
+    query_mbr = MBR.of_points([[0.0, 0.0], [0.1, 0.1]])
+    data_mbrs = [MBR.of_point([0.8 + 0.01 * i, 0.8]) for i in range(5)]
+    return query_mbr, data_mbrs
+
+
+def test_normalized_distance_passes_contract_unmutated():
+    query_mbr, data_mbrs = _dnorm_fixture()
+    with checking_contracts():
+        result = normalized_distance(query_mbr, 3, data_mbrs, [1] * 5, 2)
+    assert result.value > 0.0
+
+
+def test_broken_dnorm_kernel_is_caught(monkeypatch):
+    monkeypatch.delenv(CONTRACTS_ENV_VAR, raising=False)
+    query_mbr, data_mbrs = _dnorm_fixture()
+    original = distance_module._weighted_window_value
+
+    def undershooting(*args):
+        return original(*args) * 0.5  # Dnorm now falls below min window Dmbr
+
+    monkeypatch.setattr(distance_module, "_weighted_window_value", undershooting)
+
+    # Without checking the bug passes silently ...
+    normalized_distance(query_mbr, 3, data_mbrs, [1] * 5, 2)
+
+    # ... with checking it cannot.
+    with checking_contracts():
+        with pytest.raises(ContractViolation, match="Dnorm contract violated"):
+            normalized_distance(query_mbr, 3, data_mbrs, [1] * 5, 2)
+
+
+# ----------------------------------------------------------------------
+# Mutation test B: a false dismissal in the search is caught (Lemma 3)
+# ----------------------------------------------------------------------
+def _loop_corpus():
+    t = np.linspace(0.0, 1.0, 60)
+    base = np.stack(
+        [0.5 + 0.4 * np.sin(2 * np.pi * t), 0.5 + 0.4 * np.cos(2 * np.pi * t)],
+        axis=1,
+    )
+    return base
+
+
+def _search_fixture():
+    base = _loop_corpus()
+    database = SequenceDatabase(dimension=2, max_points=8)
+    database.add(MultidimensionalSequence(base, "target"))
+    database.add(
+        MultidimensionalSequence(np.full((30, 2), 0.05), "far-corner")
+    )
+    engine = SimilaritySearch(database)
+    query = MultidimensionalSequence(base[10:40])  # exact subsequence: D = 0
+    return engine, query
+
+
+def test_search_passes_contract_unmutated():
+    engine, query = _search_fixture()
+    with checking_contracts():
+        result = engine.search(query, 0.05)
+    assert "target" in result.answers
+
+
+def test_false_dismissal_is_caught(monkeypatch):
+    monkeypatch.delenv(CONTRACTS_ENV_VAR, raising=False)
+    engine, query = _search_fixture()
+    monkeypatch.setattr(
+        search_module, "normalized_distance_row", lambda *args, **kwargs: []
+    )
+
+    # Silent wrong answer while checking is off: the true match vanishes.
+    assert "target" not in engine.search(query, 0.05).answers
+
+    with checking_contracts():
+        with pytest.raises(ContractViolation, match="false dismissal"):
+            engine.search(query, 0.05)
+
+
+# ----------------------------------------------------------------------
+# Analysis-level helpers
+# ----------------------------------------------------------------------
+def test_lower_bound_chain_orders_the_hierarchy():
+    base = _loop_corpus()
+    query_partition = partition_sequence(base[5:25], max_points=8)
+    data_partition = partition_sequence(base, max_points=8)
+    chain = lower_bound_chain(query_partition, data_partition)
+    assert chain.min_dmbr <= chain.min_dnorm + 1e-9
+    assert chain.min_dnorm <= chain.exact_distance + 1e-9
+    assert chain.exact_distance == pytest.approx(0.0, abs=1e-9)
+    assert chain.holds()
+
+
+def test_lower_bound_chain_raises_on_broken_chain(monkeypatch):
+    base = _loop_corpus()
+    query_partition = partition_sequence(base[5:25], max_points=8)
+    data_partition = partition_sequence(base, max_points=8)
+    monkeypatch.setattr(
+        analysis_contracts,
+        "min_normalized_distance",
+        lambda *args, **kwargs: -1.0,
+    )
+    with pytest.raises(ContractViolation, match="out of order"):
+        lower_bound_chain(query_partition, data_partition)
+    # verify=False returns the (broken) chain for inspection instead.
+    chain = lower_bound_chain(query_partition, data_partition, verify=False)
+    assert not chain.holds()
+
+
+def test_bound_chain_holds_tolerance():
+    assert BoundChain(1.0, 1.0, 1.0).holds()
+    assert BoundChain(1.0, 0.5, 2.0).holds() is False
+    assert BoundChain(0.5, 2.0, 1.0).holds() is False
+    # within the round-off tolerance the chain still counts as ordered
+    assert BoundChain(1.0 + 1e-12, 1.0, 1.0).holds()
+
+
+def test_audit_search_counts_and_validates(monkeypatch):
+    engine, query = _search_fixture()
+    queries = [query, MultidimensionalSequence(_loop_corpus()[0:12])]
+    assert audit_search(engine, queries, 0.05) == 2
+
+    # audit_search enables checking itself, so a broken kernel surfaces
+    # without any explicit checking_contracts() at the call site.
+    monkeypatch.setattr(
+        search_module, "normalized_distance_row", lambda *args, **kwargs: []
+    )
+    with pytest.raises(ContractViolation, match="false dismissal"):
+        audit_search(engine, queries, 0.05)
+
+
+# ----------------------------------------------------------------------
+# Interval-algebra validators
+# ----------------------------------------------------------------------
+def test_interval_algebra_validated_clean_under_checking():
+    left = IntervalSet([(0, 5), (10, 15)])
+    right = IntervalSet([(3, 12)])
+    with checking_contracts():
+        assert left.union(right) == IntervalSet([(0, 15)])
+        assert left.intersection(right) == IntervalSet([(3, 5), (10, 12)])
+        assert left.difference(right) == IntervalSet([(0, 3), (12, 15)])
+
+
+def test_union_validator_rejects_lost_input():
+    left = IntervalSet([(0, 5)])
+    right = IntervalSet([(10, 12)])
+    wrong = IntervalSet([(0, 5)])  # lost the right operand entirely
+    with pytest.raises(ContractViolation, match="union lost"):
+        _validate_union(wrong, left, right)
+
+
+def test_union_validator_rejects_non_canonical_result():
+    left = IntervalSet([(0, 5)])
+    right = IntervalSet([(4, 8)])
+    corrupt = IntervalSet([(0, 8)])
+    corrupt._intervals = [(0, 5), (4, 8)]  # overlapping: canonical form broken
+    with pytest.raises(ContractViolation, match="canonical form broken"):
+        _validate_union(corrupt, left, right)
+
+
+def test_intersection_validator_rejects_escaping_result():
+    left = IntervalSet([(0, 5)])
+    right = IntervalSet([(3, 8)])
+    wrong = IntervalSet([(0, 20)])  # not contained in either input
+    with pytest.raises(ContractViolation, match="outside an input"):
+        _validate_intersection(wrong, left, right)
+
+
+def test_difference_validator_rejects_kept_overlap():
+    left = IntervalSet([(0, 10)])
+    right = IntervalSet([(4, 6)])
+    wrong = IntervalSet([(0, 10)])  # failed to subtract anything
+    with pytest.raises(ContractViolation, match="overlapping the subtracted"):
+        _validate_difference(wrong, left, right)

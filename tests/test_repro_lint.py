@@ -1,0 +1,485 @@
+"""The repository linter: one positive and one negative case per rule.
+
+Fixture modules are written under a temporary ``src/repro/<layer>/`` tree so
+the engine classifies them as library code; non-library fixtures go under a
+``tests/`` directory of the same temporary root.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from tools.repro_lint.engine import lint_file, lint_paths, main
+from tools.repro_lint.rules import (
+    ALL_RULES,
+    LAYER_ALLOWED_IMPORTS,
+    VALIDATION_HELPERS,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def write_module(root: Path, relpath: str, source: str) -> Path:
+    path = root / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+def codes_in(path: Path) -> set:
+    return {violation.rule for violation in lint_file(path)}
+
+
+# ----------------------------------------------------------------------
+# REP100 — syntax errors
+# ----------------------------------------------------------------------
+def test_rep100_syntax_error(tmp_path):
+    path = write_module(tmp_path, "src/repro/core/broken.py", "def f(:\n")
+    violations = lint_file(path)
+    assert [v.rule for v in violations] == ["REP100"]
+    assert "syntax error" in violations[0].message
+
+
+# ----------------------------------------------------------------------
+# REP101 — bare assert in library code
+# ----------------------------------------------------------------------
+def test_rep101_flags_bare_assert_in_library(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/core/asserts.py",
+        '''
+        """Doc."""
+        __all__ = []
+
+
+        def f(x: int) -> int:
+            assert x > 0
+            return x
+        ''',
+    )
+    assert "REP101" in codes_in(path)
+
+
+def test_rep101_ignores_test_code_and_raises(tmp_path):
+    test_path = write_module(
+        tmp_path,
+        "tests/test_something.py",
+        "def test_x():\n    assert 1 + 1 == 2\n",
+    )
+    assert "REP101" not in codes_in(test_path)
+
+    raising = write_module(
+        tmp_path,
+        "src/repro/core/raises.py",
+        '''
+        """Doc."""
+        __all__ = []
+
+
+        def f(x: int) -> int:
+            if x <= 0:
+                raise ValueError("x must be positive")
+            return x
+        ''',
+    )
+    assert "REP101" not in codes_in(raising)
+
+
+# ----------------------------------------------------------------------
+# REP102 — mutable default arguments
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("default", ["[]", "{}", "set()", "dict()", "[x for x in ()]"])
+def test_rep102_flags_mutable_defaults(tmp_path, default):
+    path = write_module(
+        tmp_path,
+        "src/repro/core/defaults.py",
+        f'''
+        """Doc."""
+        __all__ = []
+
+
+        def f(items: object = {default}) -> object:
+            return items
+        ''',
+    )
+    assert "REP102" in codes_in(path)
+
+
+def test_rep102_applies_outside_library_and_accepts_none(tmp_path):
+    # The rule is not library-only: helper code in tests is covered too.
+    in_tests = write_module(
+        tmp_path,
+        "tests/helper.py",
+        "def make(acc=[]):\n    return acc\n",
+    )
+    assert "REP102" in codes_in(in_tests)
+
+    clean = write_module(
+        tmp_path,
+        "src/repro/core/none_default.py",
+        '''
+        """Doc."""
+        __all__ = []
+
+
+        def f(items: "list | None" = None, *, tag: str = "x") -> list:
+            return [] if items is None else items
+        ''',
+    )
+    assert "REP102" not in codes_in(clean)
+
+
+# ----------------------------------------------------------------------
+# REP103 — __all__ required in library modules
+# ----------------------------------------------------------------------
+def test_rep103_requires_module_all(tmp_path):
+    missing = write_module(
+        tmp_path,
+        "src/repro/util/surface.py",
+        '"""Doc."""\n\nVALUE = 1\n',
+    )
+    assert "REP103" in codes_in(missing)
+
+    declared = write_module(
+        tmp_path,
+        "src/repro/util/surface_ok.py",
+        '"""Doc."""\n\n__all__ = ["VALUE"]\n\nVALUE = 1\n',
+    )
+    assert "REP103" not in codes_in(declared)
+
+    non_library = write_module(tmp_path, "tests/no_all.py", "VALUE = 1\n")
+    assert "REP103" not in codes_in(non_library)
+
+
+# ----------------------------------------------------------------------
+# REP104 — float equality on distance-like values
+# ----------------------------------------------------------------------
+def test_rep104_flags_distance_equality(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/core/eq.py",
+        '''
+        """Doc."""
+        __all__ = []
+
+
+        def f(dist: float, dnorm_value: float) -> bool:
+            return dist == 0.25 or dnorm_value != 0.5
+        ''',
+    )
+    assert "REP104" in codes_in(path)
+
+
+def test_rep104_allows_ordering_and_non_distance_ints(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/core/ordering.py",
+        '''
+        """Doc."""
+        __all__ = []
+
+
+        def f(dist: float, epsilon: float, count: int) -> bool:
+            return dist <= epsilon and count == 3
+        ''',
+    )
+    assert "REP104" not in codes_in(path)
+
+
+# ----------------------------------------------------------------------
+# REP105 — layered architecture
+# ----------------------------------------------------------------------
+def test_rep105_core_must_not_import_index(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/core/uses_index.py",
+        '''
+        """Doc."""
+        from repro.index.rtree import RTree
+
+        __all__ = []
+        ''',
+    )
+    violations = [v for v in lint_file(path) if v.rule == "REP105"]
+    assert len(violations) == 1
+    assert "'core' may not import" in violations[0].message
+
+
+def test_rep105_util_must_not_import_core(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/util/uses_core.py",
+        '''
+        """Doc."""
+        import repro.core.mbr
+
+        __all__ = []
+        ''',
+    )
+    assert "REP105" in codes_in(path)
+
+
+def test_rep105_relative_imports_resolve_to_layers(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/util/relative.py",
+        '''
+        """Doc."""
+        from ..core import mbr
+
+        __all__ = []
+        ''',
+    )
+    assert "REP105" in codes_in(path)
+
+
+def test_rep105_layer_may_not_import_composition_root(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/core/uses_top.py",
+        '''
+        """Doc."""
+        from repro import cli
+
+        __all__ = []
+        ''',
+    )
+    violations = [v for v in lint_file(path) if v.rule == "REP105"]
+    assert violations and "top-level" in violations[0].message
+
+
+def test_rep105_allowed_imports_stay_clean(tmp_path):
+    analysis = write_module(
+        tmp_path,
+        "src/repro/analysis/ok.py",
+        '''
+        """Doc."""
+        from repro.baselines.sequential import SequentialScan
+        from repro.core.mbr import MBR
+        from repro.util.rng import ensure_rng
+
+        __all__ = []
+        ''',
+    )
+    assert "REP105" not in codes_in(analysis)
+
+    top = write_module(
+        tmp_path,
+        "src/repro/cli.py",
+        '''
+        """Doc."""
+        from repro.analysis.experiment import ExperimentRunner
+        from repro.index.rtree import RTree
+
+        __all__ = []
+        ''',
+    )
+    assert "REP105" not in codes_in(top)
+
+
+def test_rep105_layer_map_matches_architecture():
+    # Every layer may import itself and util; the map is acyclic.
+    for layer, allowed in LAYER_ALLOWED_IMPORTS.items():
+        assert layer in allowed
+        assert "util" in allowed
+    assert "index" not in LAYER_ALLOWED_IMPORTS["core"]
+
+
+# ----------------------------------------------------------------------
+# REP106 — epsilon parameters must be validated
+# ----------------------------------------------------------------------
+def test_rep106_flags_unvalidated_epsilon(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/core/eps.py",
+        '''
+        """Doc."""
+        __all__ = []
+
+
+        def search(query: object, epsilon: float) -> float:
+            return epsilon * 2.0
+        ''',
+    )
+    violations = [v for v in lint_file(path) if v.rule == "REP106"]
+    assert violations and "search()" in violations[0].message
+
+
+def test_rep106_accepts_validation_helpers(tmp_path):
+    assert "check_threshold" in VALIDATION_HELPERS
+    path = write_module(
+        tmp_path,
+        "src/repro/core/eps_ok.py",
+        '''
+        """Doc."""
+        from repro.util.validation import check_threshold
+
+        __all__ = []
+
+
+        def search(query: object, epsilon: float) -> float:
+            epsilon = check_threshold(epsilon)
+            return epsilon * 2.0
+        ''',
+    )
+    assert "REP106" not in codes_in(path)
+
+
+def test_rep106_exempts_private_functions_and_stubs(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/core/eps_exempt.py",
+        '''
+        """Doc."""
+        from typing import Protocol
+
+        __all__ = []
+
+
+        def _inner(epsilon: float) -> float:
+            return epsilon
+
+
+        class Searcher(Protocol):
+            def search_within(self, query: object, epsilon: float) -> set:
+                """Interface only."""
+                ...
+        ''',
+    )
+    assert "REP106" not in codes_in(path)
+
+
+# ----------------------------------------------------------------------
+# REP107 — full annotations in library code
+# ----------------------------------------------------------------------
+def test_rep107_flags_missing_annotations(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/core/anno.py",
+        '''
+        """Doc."""
+        __all__ = []
+
+
+        def f(x, y: int):
+            return x + y
+        ''',
+    )
+    messages = [v.message for v in lint_file(path) if v.rule == "REP107"]
+    assert any("unannotated parameter(s): x" in m for m in messages)
+    assert any("no return annotation" in m for m in messages)
+
+
+def test_rep107_self_and_cls_are_exempt(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/core/anno_ok.py",
+        '''
+        """Doc."""
+        __all__ = []
+
+
+        class Box:
+            def __init__(self, value: int) -> None:
+                self.value = value
+
+            @classmethod
+            def empty(cls) -> "Box":
+                return cls(0)
+        ''',
+    )
+    assert "REP107" not in codes_in(path)
+
+
+# ----------------------------------------------------------------------
+# Suppression comments
+# ----------------------------------------------------------------------
+def test_disable_comment_suppresses_one_rule_on_one_line(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/core/suppressed.py",
+        '''
+        """Doc."""
+        __all__ = []
+
+
+        def f(x: int) -> int:
+            assert x > 0  # repro-lint: disable=REP101
+            assert x < 10
+            return x
+        ''',
+    )
+    violations = [v for v in lint_file(path) if v.rule == "REP101"]
+    assert len(violations) == 1  # only the un-suppressed assert remains
+
+
+def test_disable_comment_accepts_multiple_codes(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/core/multi_suppress.py",
+        '''
+        """Doc."""
+        __all__ = []
+
+
+        def f(acc: list = []) -> list:  # repro-lint: disable=REP102, REP107
+            return acc
+        ''',
+    )
+    assert codes_in(path) == set()
+
+
+# ----------------------------------------------------------------------
+# Engine and CLI
+# ----------------------------------------------------------------------
+def test_lint_paths_sorts_and_recurses(tmp_path):
+    write_module(tmp_path, "src/repro/core/zz.py", "assert True\n")
+    write_module(tmp_path, "src/repro/core/aa.py", "assert True\n")
+    violations = lint_paths([tmp_path / "src"])
+    files = [v.path.name for v in violations if v.rule == "REP101"]
+    assert files == sorted(files)
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    clean = write_module(
+        tmp_path, "src/repro/core/ok.py", '"""Doc."""\n\n__all__ = []\n'
+    )
+    dirty = write_module(tmp_path, "src/repro/core/bad.py", "assert True\n")
+
+    assert main([str(clean)]) == 0
+    assert main([str(dirty)]) == 1
+    out = capsys.readouterr().out
+    assert "REP101" in out and "bad.py" in out
+
+    # --select runs only the chosen rules; unknown codes are a usage error.
+    assert main(["--select", "REP103", str(dirty)]) == 1
+    assert main(["--select", "REP101", str(clean)]) == 0
+    assert main(["--select", "REP999", str(clean)]) == 2
+
+    # a missing path is a usage error, not a clean run
+    assert main([str(tmp_path / "no_such_dir")]) == 2
+
+
+def test_main_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ALL_RULES:
+        assert rule.code in out
+
+
+def test_violation_render_is_location_prefixed(tmp_path):
+    path = write_module(tmp_path, "src/repro/core/loc.py", "assert True\n")
+    rendered = lint_file(path)[0].render()
+    assert rendered.startswith(f"{path}:1:")
+    assert "REP101" in rendered
+
+
+# ----------------------------------------------------------------------
+# The repository itself passes its own gate
+# ----------------------------------------------------------------------
+def test_repository_is_lint_clean():
+    violations = lint_paths([REPO_ROOT / "src", REPO_ROOT / "tests"])
+    assert violations == [], "\n".join(v.render() for v in violations)

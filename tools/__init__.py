@@ -1,0 +1,1 @@
+"""Developer tooling for the repro repository (not shipped with the package)."""

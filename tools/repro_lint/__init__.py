@@ -1,0 +1,45 @@
+"""repro_lint — repository-specific static analysis for the repro library.
+
+The generic tools (ruff, mypy) carry the generic rules; this package carries
+the rules only this codebase can express:
+
+=========  ==============================================================
+Code       Rule
+=========  ==============================================================
+REP101     no bare ``assert`` in ``src/`` library code (stripped by -O)
+REP102     no mutable default arguments
+REP103     every library module defines ``__all__``
+REP104     no float equality comparisons on distance-like values
+REP105     no forbidden cross-layer imports (e.g. ``core`` -> ``index``)
+REP106     public functions taking ``epsilon`` must call a
+           ``util.validation`` checker
+REP107     every ``def`` in ``src/`` is fully annotated (params + return)
+=========  ==============================================================
+
+Run the gate::
+
+    python -m tools.repro_lint src tests
+
+A violation on a given line can be suppressed with a trailing comment::
+
+    x == 0.0  # repro-lint: disable=REP104
+"""
+
+from tools.repro_lint.engine import (
+    ModuleContext,
+    Violation,
+    lint_file,
+    lint_paths,
+    main,
+)
+from tools.repro_lint.rules import ALL_RULES, Rule
+
+__all__ = [
+    "ALL_RULES",
+    "ModuleContext",
+    "Rule",
+    "Violation",
+    "lint_file",
+    "lint_paths",
+    "main",
+]

@@ -1,0 +1,8 @@
+"""``python -m tools.repro_lint`` — run the repository lint gate."""
+
+import sys
+
+from tools.repro_lint.engine import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,140 @@
+"""File discovery, module classification, and violation reporting."""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from collections.abc import Iterable, Iterator, Sequence
+from pathlib import Path
+
+from tools.repro_lint.model import ModuleContext, Violation
+from tools.repro_lint.rules import ALL_RULES, Rule
+
+__all__ = [
+    "ModuleContext",
+    "Violation",
+    "lint_file",
+    "lint_paths",
+    "main",
+]
+
+
+def _resolve_module_name(path: Path) -> tuple[str | None, bool]:
+    """Map a file path to its dotted module name and library-ness.
+
+    A file is *library* code when it lives under a ``src`` directory; its
+    module name is derived from the path relative to that directory.
+    """
+    parts = path.parts
+    if "src" in parts:
+        index = parts.index("src")
+        relative = parts[index + 1 :]
+        if relative:
+            pieces = list(relative[:-1]) + [Path(relative[-1]).stem]
+            return ".".join(pieces), True
+        return None, True
+    return None, False
+
+
+def _iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_file(path: Path, rules: Iterable[Rule] = ALL_RULES) -> list[Violation]:
+    """Lint one file; returns violations (empty on success)."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        line = error.lineno or 1
+        col = (error.offset or 1) - 1
+        return [
+            Violation(
+                rule="REP100",
+                message=f"syntax error: {error.msg}",
+                path=path,
+                line=line,
+                col=max(col, 0),
+            )
+        ]
+    module_name, is_library = _resolve_module_name(path)
+    context = ModuleContext(
+        path=path,
+        tree=tree,
+        source_lines=tuple(source.splitlines()),
+        module_name=module_name,
+        is_library=is_library,
+    )
+    violations = []
+    for rule in rules:
+        for violation in rule.check(context):
+            if violation.rule in context.disabled_rules(violation.line):
+                continue
+            violations.append(violation)
+    return violations
+
+
+def lint_paths(
+    paths: Sequence[Path], rules: Iterable[Rule] = ALL_RULES
+) -> list[Violation]:
+    """Lint every ``.py`` file under the given paths, sorted by location."""
+    rules = tuple(rules)
+    violations: list[Violation] = []
+    for path in _iter_python_files(paths):
+        violations.extend(lint_file(path, rules))
+    violations.sort(key=lambda v: (str(v.path), v.line, v.col, v.rule))
+    return violations
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.repro_lint",
+        description="repository-specific lint rules for the repro library",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "tests"], help="files or directories"
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code}  {rule.summary}")
+        return 0
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(
+            f"no such file or directory: {', '.join(missing)}", file=sys.stderr
+        )
+        return 2
+    rules: tuple[Rule, ...] = ALL_RULES
+    if args.select:
+        wanted = {code.strip().upper() for code in args.select.split(",")}
+        unknown = wanted - {rule.code for rule in ALL_RULES}
+        if unknown:
+            print(f"unknown rule codes: {', '.join(sorted(unknown))}", file=sys.stderr)
+            return 2
+        rules = tuple(rule for rule in ALL_RULES if rule.code in wanted)
+    violations = lint_paths([Path(p) for p in args.paths], rules)
+    for violation in violations:
+        print(violation.render())
+    if violations:
+        print(f"{len(violations)} violation(s) found", file=sys.stderr)
+        return 1
+    return 0

@@ -1,0 +1,66 @@
+"""Shared data model for the linter: violations and module context."""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["ModuleContext", "Violation"]
+
+_DISABLE_PATTERN = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9,\s]+)")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at a source location."""
+
+    rule: str
+    message: str
+    path: Path
+    line: int
+    col: int
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class ModuleContext:
+    """Everything a rule needs to know about one parsed module."""
+
+    path: Path
+    tree: ast.Module
+    source_lines: tuple[str, ...]
+    module_name: str | None  # dotted name when resolvable (e.g. repro.core.mbr)
+    is_library: bool  # lives under a src/ tree (shipped library code)
+
+    @property
+    def layer(self) -> str | None:
+        """The architectural layer of a ``repro`` module, if any.
+
+        ``repro.core.mbr`` -> ``core``; top-level modules such as
+        ``repro.cli`` or ``repro.__init__`` map to ``top``.
+        """
+        if self.module_name is None:
+            return None
+        parts = self.module_name.split(".")
+        if parts[0] != "repro":
+            return None
+        if len(parts) <= 2:
+            return "top"
+        return parts[1]
+
+    def disabled_rules(self, line: int) -> frozenset[str]:
+        """Rule codes suppressed by a ``repro-lint: disable=`` comment."""
+        if not 1 <= line <= len(self.source_lines):
+            return frozenset()
+        match = _DISABLE_PATTERN.search(self.source_lines[line - 1])
+        if match is None:
+            return frozenset()
+        return frozenset(
+            token.strip().upper()
+            for token in match.group(1).split(",")
+            if token.strip()
+        )

@@ -1,0 +1,390 @@
+"""The rule implementations.
+
+Each rule is a small object with a ``code``, a one-line ``summary``, and a
+``check(context)`` generator yielding :class:`~tools.repro_lint.model.Violation`
+instances.  Rules marked *library-only* are applied only to modules under a
+``src/`` tree; test code is exempt (tests legitimately use ``assert``, may
+reach across layers, and so on).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass
+from pathlib import Path
+
+from tools.repro_lint.model import ModuleContext, Violation
+
+__all__ = [
+    "ALL_RULES",
+    "DISTANCE_LEXICON",
+    "LAYER_ALLOWED_IMPORTS",
+    "Rule",
+    "VALIDATION_HELPERS",
+]
+
+# Architectural layer map: each repro.<layer> module may import only from the
+# layers listed here.  ``top`` (repro/__init__.py, repro.cli, repro.__main__)
+# is the composition root and may import anything.
+LAYER_ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
+    "util": frozenset({"util"}),
+    "core": frozenset({"core", "util"}),
+    "index": frozenset({"index", "core", "util"}),
+    "datagen": frozenset({"datagen", "core", "util"}),
+    "features": frozenset({"features", "core", "util"}),
+    "extensions": frozenset({"extensions", "core", "util"}),
+    "baselines": frozenset({"baselines", "index", "core", "util"}),
+    "analysis": frozenset(
+        {"analysis", "baselines", "datagen", "index", "core", "util"}
+    ),
+}
+
+# Identifier tokens that mark a value as a distance in the paper's hierarchy.
+DISTANCE_LEXICON: frozenset[str] = frozenset(
+    {"dist", "distance", "distances", "dmbr", "dnorm", "dmean", "epsilon"}
+)
+
+# The util.validation helpers REP106 accepts as argument validation.
+VALIDATION_HELPERS: frozenset[str] = frozenset(
+    {
+        "check_dimension",
+        "check_fraction",
+        "check_positive",
+        "check_probability",
+        "check_threshold",
+    }
+)
+
+_MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set", "bytearray"})
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: a code, a summary, and a checker."""
+
+    code: str
+    summary: str
+    checker: Callable[["Rule", ModuleContext], Iterator[Violation]]
+
+    def check(self, context: ModuleContext) -> Iterator[Violation]:
+        return self.checker(self, context)
+
+    def violation(
+        self, context: ModuleContext, node: ast.AST, message: str
+    ) -> Violation:
+        return Violation(
+            rule=self.code,
+            message=message,
+            path=context.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+        )
+
+
+def _iter_function_defs(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef, bool]]:
+    """Yield ``(def, is_method)`` for every function definition in a module."""
+    class_bodies: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            for child in node.body:
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    class_bodies.add(id(child))
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, id(node) in class_bodies
+
+
+def _all_args(node: ast.FunctionDef | ast.AsyncFunctionDef) -> list[ast.arg]:
+    args = node.args
+    collected = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    if args.vararg is not None:
+        collected.append(args.vararg)
+    if args.kwarg is not None:
+        collected.append(args.kwarg)
+    return collected
+
+
+def _check_bare_assert(rule: Rule, context: ModuleContext) -> Iterator[Violation]:
+    """REP101: ``assert`` disappears under ``python -O``; raise instead."""
+    if not context.is_library:
+        return
+    for node in ast.walk(context.tree):
+        if isinstance(node, ast.Assert):
+            yield rule.violation(
+                context,
+                node,
+                "bare assert in library code (stripped under python -O); "
+                "raise ValueError/RuntimeError instead",
+            )
+
+
+def _check_mutable_defaults(
+    rule: Rule, context: ModuleContext
+) -> Iterator[Violation]:
+    """REP102: mutable default arguments are shared across calls."""
+    for node, _ in _iter_function_defs(context.tree):
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            mutable = isinstance(
+                default,
+                (
+                    ast.List,
+                    ast.Dict,
+                    ast.Set,
+                    ast.ListComp,
+                    ast.DictComp,
+                    ast.SetComp,
+                ),
+            ) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_CONSTRUCTORS
+            )
+            if mutable:
+                yield rule.violation(
+                    context,
+                    default,
+                    f"mutable default argument in {node.name}(); "
+                    "use None and create inside the function",
+                )
+
+
+def _check_module_all(rule: Rule, context: ModuleContext) -> Iterator[Violation]:
+    """REP103: every library module declares its public surface."""
+    if not context.is_library:
+        return
+    for node in context.tree.body:
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        elif isinstance(node, ast.AugAssign):
+            targets = [node.target]
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                return
+    yield rule.violation(
+        context, context.tree, "module does not define __all__"
+    )
+
+
+def _identifier_of(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_distance_like(node: ast.expr) -> bool:
+    identifier = _identifier_of(node)
+    if identifier is None:
+        return False
+    tokens = identifier.lower().split("_")
+    return any(token in DISTANCE_LEXICON for token in tokens)
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    # -1.5 parses as UnaryOp(USub, Constant(1.5))
+    return (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.operand, ast.Constant)
+        and isinstance(node.operand.value, float)
+    )
+
+
+def _check_float_equality(
+    rule: Rule, context: ModuleContext
+) -> Iterator[Violation]:
+    """REP104: ``==`` on floating-point distances is numerically fragile."""
+    if not context.is_library:
+        return
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left] + list(node.comparators)
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            pair = (left, right)
+            if any(_is_float_literal(item) for item in pair) or any(
+                _is_distance_like(item) for item in pair
+            ):
+                yield rule.violation(
+                    context,
+                    node,
+                    "float equality comparison on a distance-like value; "
+                    "compare with a tolerance (math.isclose) or restructure",
+                )
+                break
+
+
+def _imported_repro_modules(context: ModuleContext) -> Iterator[tuple[ast.stmt, str]]:
+    """Absolute ``repro...`` module names imported by the module."""
+    package_parts = (
+        context.module_name.split(".")[:-1] if context.module_name else []
+    )
+    for node in ast.walk(context.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro" or alias.name.startswith("repro."):
+                    yield node, alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base = package_parts[: len(package_parts) - node.level + 1]
+                name = ".".join(base + ([node.module] if node.module else []))
+            else:
+                name = node.module or ""
+            if name == "repro" or name.startswith("repro."):
+                yield node, name
+
+
+def _layer_of_module(name: str) -> str:
+    parts = name.split(".")
+    if len(parts) <= 2 and not (len(parts) == 2 and parts[1] in LAYER_ALLOWED_IMPORTS):
+        return "top"
+    return parts[1]
+
+
+def _check_layer_imports(
+    rule: Rule, context: ModuleContext
+) -> Iterator[Violation]:
+    """REP105: enforce the layered architecture (no core -> index, etc.)."""
+    layer = context.layer
+    if layer is None or layer == "top" or layer not in LAYER_ALLOWED_IMPORTS:
+        return
+    allowed = LAYER_ALLOWED_IMPORTS[layer]
+    for node, name in _imported_repro_modules(context):
+        imported_layer = _layer_of_module(name)
+        if imported_layer == "top":
+            yield rule.violation(
+                context,
+                node,
+                f"layer '{layer}' must not import the top-level package "
+                f"'{name}' (dependency cycle)",
+            )
+        elif imported_layer not in allowed:
+            yield rule.violation(
+                context,
+                node,
+                f"forbidden cross-layer import: '{layer}' may not import "
+                f"from '{imported_layer}' ({name}); allowed layers: "
+                f"{', '.join(sorted(allowed))}",
+            )
+
+
+def _is_stub_body(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """Whether the body is only a docstring / ``...`` / ``pass`` / ``raise``.
+
+    Protocol methods, overloads and abstract methods declare an interface,
+    not behaviour, so behavioural rules skip them.
+    """
+    for statement in node.body:
+        if isinstance(statement, ast.Pass):
+            continue
+        if isinstance(statement, ast.Raise):
+            continue
+        if isinstance(statement, ast.Expr) and isinstance(
+            statement.value, ast.Constant
+        ):
+            continue  # docstring or Ellipsis
+        return False
+    return True
+
+
+def _calls_validation_helper(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            identifier = _identifier_of(child.func)
+            if identifier in VALIDATION_HELPERS:
+                return True
+    return False
+
+
+def _check_epsilon_validated(
+    rule: Rule, context: ModuleContext
+) -> Iterator[Violation]:
+    """REP106: public entry points taking ``epsilon`` must validate it."""
+    if not context.is_library:
+        return
+    for node, _ in _iter_function_defs(context.tree):
+        if node.name.startswith("_"):
+            continue
+        names = {arg.arg for arg in _all_args(node)}
+        if "epsilon" not in names:
+            continue
+        if _is_stub_body(node):
+            continue
+        if not _calls_validation_helper(node):
+            yield rule.violation(
+                context,
+                node,
+                f"public function {node.name}() takes 'epsilon' but never "
+                "calls a util.validation helper (check_threshold et al.)",
+            )
+
+
+def _check_annotations(rule: Rule, context: ModuleContext) -> Iterator[Violation]:
+    """REP107: library defs must be fully annotated (mypy strict, locally)."""
+    if not context.is_library:
+        return
+    for node, is_method in _iter_function_defs(context.tree):
+        missing: list[str] = []
+        for index, arg in enumerate(_all_args(node)):
+            if index == 0 and is_method and arg.arg in {"self", "cls"}:
+                continue
+            if arg.annotation is None:
+                missing.append(arg.arg)
+        if missing:
+            yield rule.violation(
+                context,
+                node,
+                f"{node.name}() has unannotated parameter(s): "
+                f"{', '.join(missing)}",
+            )
+        if node.returns is None:
+            yield rule.violation(
+                context,
+                node,
+                f"{node.name}() has no return annotation",
+            )
+
+
+ALL_RULES: tuple[Rule, ...] = (
+    Rule(
+        "REP101",
+        "no bare assert in src/ library code (use raise)",
+        _check_bare_assert,
+    ),
+    Rule("REP102", "no mutable default arguments", _check_mutable_defaults),
+    Rule("REP103", "every library module defines __all__", _check_module_all),
+    Rule(
+        "REP104",
+        "no float equality comparisons on distance-like values",
+        _check_float_equality,
+    ),
+    Rule(
+        "REP105",
+        "no forbidden cross-layer imports (layered architecture)",
+        _check_layer_imports,
+    ),
+    Rule(
+        "REP106",
+        "public functions taking epsilon must call util.validation",
+        _check_epsilon_validated,
+    ),
+    Rule(
+        "REP107",
+        "library defs are fully annotated (params and return)",
+        _check_annotations,
+    ),
+)
