@@ -1,0 +1,93 @@
+"""Serving throughput — what the repro.service layer buys (and costs).
+
+Not a figure in the paper: the serving subsystem is infrastructure on top
+of it.  Measured here, against one corpus and one query workload:
+
+* single-threaded ``SimilaritySearch`` latency (the baseline everything
+  else wraps);
+* ``QueryEngine`` throughput with the ε-aware cache off — the worker-pool
+  and snapshot plumbing overhead;
+* ``QueryEngine`` throughput with the cache on, over a workload with
+  repeated and tightened queries — where hits answer from memory and
+  refines skip Phases 1-2.
+
+Asserted shape: every engine configuration returns exactly the baseline's
+answer sets (the serving layer may never change results), and the cached
+engine does no worse than half the uncached engine's throughput on the
+repeat-heavy workload (in practice it is far faster).
+"""
+
+import time
+
+from benchmarks.conftest import publish, scale_parameters
+from repro.core.database import SequenceDatabase
+from repro.core.search import SimilaritySearch
+from repro.datagen.queries import generate_queries
+from repro.datagen.video import generate_video_corpus
+from repro.service.engine import QueryEngine
+
+# Repeat-and-tighten workload per query: the second 0.15 is an exact
+# cache hit, the tighter thresholds exercise the refine path.
+EPSILONS = (0.15, 0.15, 0.10, 0.05)
+
+
+def _workload(database: SequenceDatabase, queries: int):
+    workload = generate_queries(
+        {sid: database.sequence(sid) for sid in database.ids()},
+        queries,
+        length_range=(40, 80),
+        seed=902,
+    )
+    return [(query, epsilon) for query in workload for epsilon in EPSILONS]
+
+
+def test_service_throughput(benchmark):
+    params = scale_parameters()
+    corpus = generate_video_corpus(
+        params["n_video"], length_range=(56, 256), seed=901
+    )
+    database = SequenceDatabase(dimension=3)
+    for stream in corpus:
+        database.add(stream)
+    requests = _workload(database, max(2, params["queries_per_threshold"]))
+
+    baseline = SimilaritySearch(database.clone())
+    started = time.perf_counter()
+    expected = [
+        baseline.search(query, epsilon, find_intervals=False).answers
+        for query, epsilon in requests
+    ]
+    baseline_seconds = time.perf_counter() - started
+
+    def run_engine(cache_size: int) -> tuple[float, list]:
+        with QueryEngine(
+            database.clone(), workers=4, cache_size=cache_size
+        ) as engine:
+            t0 = time.perf_counter()
+            answers = [
+                engine.search(query, epsilon, find_intervals=False).answers
+                for query, epsilon in requests
+            ]
+            return time.perf_counter() - t0, answers
+
+    uncached_seconds, uncached_answers = run_engine(0)
+    cached_seconds, cached_answers = benchmark.pedantic(
+        run_engine, rounds=1, iterations=1, args=(256,)
+    )
+
+    assert uncached_answers == expected, "uncached engine changed results"
+    assert cached_answers == expected, "cached engine changed results"
+    assert cached_seconds <= 2.0 * uncached_seconds, (
+        f"cache made the repeat-heavy workload pathologically slower: "
+        f"{cached_seconds:.3f}s vs {uncached_seconds:.3f}s"
+    )
+
+    n = len(requests)
+    lines = [
+        f"{n} requests ({len(requests) // len(EPSILONS)} queries x "
+        f"thresholds {EPSILONS})",
+        f"baseline SimilaritySearch : {n / baseline_seconds:8.1f} req/s",
+        f"QueryEngine, cache off    : {n / uncached_seconds:8.1f} req/s",
+        f"QueryEngine, cache on     : {n / cached_seconds:8.1f} req/s",
+    ]
+    publish("service_throughput", "\n".join(lines))

@@ -36,6 +36,10 @@ Subpackages
 ``repro.analysis``
     Experiment harness: pruning-rate/recall/response-ratio metrics, the
     paper's parameter grid, and table formatting for Figures 6-10.
+``repro.service``
+    Concurrent query serving: the snapshot-isolated :class:`QueryEngine`
+    with an ε-aware result cache, plus the ``python -m repro serve`` HTTP
+    endpoint and its client.
 """
 
 from repro.core import (
@@ -63,6 +67,7 @@ from repro.core import (
     sliding_mean_distances,
 )
 from repro.index import RStarTree, RTree, bulk_load_str
+from repro.service import QueryEngine, ServiceClient
 
 __version__ = "1.0.0"
 
@@ -73,6 +78,7 @@ __all__ = [
     "MultidimensionalSequence",
     "NormalizedDistance",
     "PartitionedSequence",
+    "QueryEngine",
     "RStarTree",
     "RTree",
     "SearchResult",
@@ -80,6 +86,7 @@ __all__ = [
     "SegmentKey",
     "SequenceDatabase",
     "SequenceSegment",
+    "ServiceClient",
     "SimilaritySearch",
     "SubsequenceHit",
     "__version__",

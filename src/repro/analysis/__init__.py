@@ -32,7 +32,7 @@ from repro.analysis.report import (
     sparkline,
     sparkline_panel,
 )
-from repro.analysis.tracing import TracingSearch, read_trace
+from repro.analysis.tracing import TracingSearch, read_trace, search_record
 
 __all__ = [
     "ExperimentConfig",
@@ -50,6 +50,7 @@ __all__ = [
     "read_trace",
     "recall",
     "response_time_ratio",
+    "search_record",
     "selectivity_curve",
     "series",
     "sparkline",

@@ -29,7 +29,37 @@ from repro.util.validation import check_threshold
 if TYPE_CHECKING:
     from repro.core.sequence import MultidimensionalSequence
 
-__all__ = ["TracingSearch", "read_trace"]
+__all__ = ["TracingSearch", "read_trace", "search_record"]
+
+
+def search_record(result: SearchResult, *, timestamp: float) -> dict:
+    """One trace record (JSON-serialisable) for a finished search.
+
+    The schema shared by :class:`TracingSearch` and the serving layer
+    (:mod:`repro.service`), so traces from library calls and from the
+    query engine can be analysed with the same tooling
+    (:func:`read_trace`).
+    """
+    stats = result.stats
+    return {
+        "timestamp": float(timestamp),
+        "epsilon": result.epsilon,
+        "query_points": int(
+            sum(segment.count for segment in result.query_partition)
+        ),
+        "query_segments": stats.query_segments,
+        "candidates": len(result.candidates),
+        "answers": len(result.answers),
+        "interval_points": int(
+            sum(len(i) for i in result.solution_intervals.values())
+        ),
+        "node_accesses": stats.node_accesses,
+        "dnorm_evaluations": stats.dnorm_evaluations,
+        "phase1_ms": stats.phase1_seconds * 1e3,
+        "phase2_ms": stats.phase2_seconds * 1e3,
+        "phase3_ms": stats.phase3_seconds * 1e3,
+        "total_ms": stats.total_seconds * 1e3,
+    }
 
 
 class TracingSearch:
@@ -83,26 +113,7 @@ class TracingSearch:
         return getattr(self.engine, name)
 
     def _record(self, result: SearchResult) -> dict:
-        stats = result.stats
-        return {
-            "timestamp": float(self._clock()),
-            "epsilon": result.epsilon,
-            "query_points": int(
-                sum(segment.count for segment in result.query_partition)
-            ),
-            "query_segments": stats.query_segments,
-            "candidates": len(result.candidates),
-            "answers": len(result.answers),
-            "interval_points": int(
-                sum(len(i) for i in result.solution_intervals.values())
-            ),
-            "node_accesses": stats.node_accesses,
-            "dnorm_evaluations": stats.dnorm_evaluations,
-            "phase1_ms": stats.phase1_seconds * 1e3,
-            "phase2_ms": stats.phase2_seconds * 1e3,
-            "phase3_ms": stats.phase3_seconds * 1e3,
-            "total_ms": stats.total_seconds * 1e3,
-        }
+        return search_record(result, timestamp=self._clock())
 
 
 def read_trace(path: str | Path) -> list[dict]:

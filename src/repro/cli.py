@@ -5,16 +5,20 @@ Usage::
     python -m repro sweep --dataset video --sequences 200 --queries 5
     python -m repro demo --dataset fractal
     python -m repro generate --dataset video --count 100 --out corpus.npz
+    python -m repro serve --corpus corpus.npz --workers 8
 
 ``sweep`` runs the Figure 6-10 threshold sweep and prints every series with
 the paper's bands; ``demo`` runs one annotated search; ``generate`` writes a
-corpus as a reloadable :class:`~repro.core.database.SequenceDatabase`.
+corpus as a reloadable :class:`~repro.core.database.SequenceDatabase`;
+``serve`` exposes a saved corpus through the concurrent
+:mod:`repro.service` HTTP endpoint.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import threading
 from collections.abc import Sequence
 
 from repro.analysis.experiment import ExperimentConfig, ExperimentRunner
@@ -57,6 +61,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_dataset_arguments(generate)
     generate.add_argument("--out", required=True, help="output .npz path")
+
+    serve = commands.add_parser(
+        "serve", help="serve a saved corpus over HTTP (repro.service)"
+    )
+    serve.add_argument(
+        "--corpus", required=True, help=".npz corpus written by generate/save"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8765, help="0 picks a free port"
+    )
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument(
+        "--queue-cap",
+        type=int,
+        default=64,
+        help="requests allowed to queue beyond the running ones",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=128,
+        help="epsilon-aware result cache entries (0 disables)",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="default per-request deadline in seconds",
+    )
+    serve.add_argument(
+        "--trace", default=None, help="JSON-lines trace file for searches"
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log each HTTP request"
+    )
 
     return parser
 
@@ -158,10 +198,63 @@ def _command_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.core.database import SequenceDatabase
+    from repro.service import QueryEngine
+    from repro.service.http import serve as bind_server
+
+    database = SequenceDatabase.load(args.corpus)
+    engine = QueryEngine(
+        database,
+        workers=args.workers,
+        queue_cap=args.queue_cap,
+        cache_size=args.cache_size,
+        default_timeout=args.timeout,
+        trace_path=args.trace,
+    )
+    server = bind_server(
+        engine, host=args.host, port=args.port, verbose=args.verbose
+    )
+    host, port = server.server_address[:2]
+    print(
+        f"repro serve: {len(engine)} sequences "
+        f"({engine.stats()['segments']} MBRs) on http://{host}:{port} "
+        f"with {args.workers} workers",
+        flush=True,
+    )
+
+    # serve_forever() and shutdown() must run on different threads, so the
+    # accept loop gets a worker thread and the main thread waits for a
+    # signal (SIGINT/SIGTERM) to trigger the orderly teardown.
+    stop = threading.Event()
+
+    def _request_stop(signum: int, frame: object) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGINT, _request_stop)
+    signal.signal(signal.SIGTERM, _request_stop)
+    accept_loop = threading.Thread(
+        target=server.serve_forever, name="repro-serve-accept", daemon=True
+    )
+    accept_loop.start()
+    try:
+        stop.wait()
+    finally:
+        server.shutdown()
+        server.server_close()
+        accept_loop.join(timeout=5.0)
+        engine.close()
+        print("repro serve: shut down cleanly", flush=True)
+    return 0
+
+
 _COMMANDS = {
     "sweep": _command_sweep,
     "demo": _command_demo,
     "generate": _command_generate,
+    "serve": _command_serve,
 }
 
 

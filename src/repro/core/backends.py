@@ -38,8 +38,10 @@ __all__ = [
     "available_backends",
     "bulk_build_index",
     "create_index",
+    "deserialize_index",
     "get_backend",
     "register_index_backend",
+    "serialize_index",
 ]
 
 #: Module imported (lazily, by name) to register the default backends.
@@ -71,6 +73,8 @@ class IndexBackend(Protocol):
         self, query_mbr: MBR, epsilon: float
     ) -> Iterator[IndexEntry]: ...
 
+    def __len__(self) -> int: ...
+
 
 #: ``factory(dimension, max_entries) -> IndexBackend``
 Factory = Callable[[int, int], IndexBackend]
@@ -78,6 +82,10 @@ Factory = Callable[[int, int], IndexBackend]
 BulkFactory = Callable[
     [Sequence[tuple["MBR", object]], int, int], IndexBackend
 ]
+#: ``dumps(index) -> bytes`` — flat persistence of a built index.
+Dumps = Callable[[IndexBackend], bytes]
+#: ``loads(data) -> IndexBackend`` — inverse of ``Dumps``.
+Loads = Callable[[bytes], IndexBackend]
 
 
 @dataclass(frozen=True)
@@ -97,12 +105,20 @@ class IndexBackendSpec:
     incremental:
         Whether the backend supports in-place insert/delete.  Bulk-only
         backends (STR packing) are rebuilt lazily by the database instead.
+    dumps / loads:
+        Optional flat-serialisation pair: ``dumps`` turns a built index
+        into bytes and ``loads`` restores it with identical layout.  When
+        present, :meth:`~repro.core.database.SequenceDatabase.save` embeds
+        the serialised tree so :meth:`~SequenceDatabase.load` can skip
+        index construction entirely (the startup path of ``repro serve``).
     """
 
     name: str
     factory: Factory | None
     bulk_factory: BulkFactory | None = None
     incremental: bool = True
+    dumps: Dumps | None = None
+    loads: Loads | None = None
 
     def __post_init__(self) -> None:
         if self.factory is None and self.bulk_factory is None:
@@ -112,6 +128,11 @@ class IndexBackendSpec:
         if self.incremental and self.factory is None:
             raise ValueError(
                 f"incremental backend {self.name!r} needs a factory"
+            )
+        if (self.dumps is None) != (self.loads is None):
+            raise ValueError(
+                f"backend {self.name!r} must provide dumps and loads "
+                f"together (or neither)"
             )
 
 
@@ -126,6 +147,8 @@ def register_index_backend(
     *,
     bulk_factory: BulkFactory | None = None,
     incremental: bool = True,
+    dumps: Dumps | None = None,
+    loads: Loads | None = None,
 ) -> IndexBackendSpec:
     """Register (or replace) an index backend under ``name``."""
     if not name or not isinstance(name, str):
@@ -135,6 +158,8 @@ def register_index_backend(
         factory=factory,
         bulk_factory=bulk_factory,
         incremental=incremental,
+        dumps=dumps,
+        loads=loads,
     )
     with _REGISTRY_LOCK:
         _REGISTRY[name] = spec
@@ -205,3 +230,25 @@ def bulk_build_index(
     for mbr, payload in materialised:
         index.insert(mbr, payload)
     return index
+
+
+def serialize_index(name: str, index: IndexBackend) -> bytes | None:
+    """Flat-serialise a built index, or ``None`` if the backend can't.
+
+    The bytes round-trip through :func:`deserialize_index` with identical
+    node layout, so query results and node-access counts are preserved.
+    """
+    spec = get_backend(name)
+    if spec.dumps is None:
+        return None
+    return spec.dumps(index)
+
+
+def deserialize_index(name: str, data: bytes) -> IndexBackend:
+    """Restore an index serialised by :func:`serialize_index`."""
+    spec = get_backend(name)
+    if spec.loads is None:
+        raise ValueError(
+            f"backend {name!r} does not support flat deserialisation"
+        )
+    return spec.loads(data)

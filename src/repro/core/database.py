@@ -19,7 +19,9 @@ from repro.core.backends import (
     IndexBackend,
     bulk_build_index,
     create_index,
+    deserialize_index,
     get_backend,
+    serialize_index,
 )
 from repro.core.partitioning import (
     DEFAULT_COST_CONSTANT,
@@ -227,6 +229,34 @@ class SequenceDatabase:
             )
         self._partitions[sequence_id] = new_partition
 
+    def clone(self) -> "SequenceDatabase":
+        """A copy-on-write snapshot copy: mutations never cross over.
+
+        The partition objects (immutable) are shared between the original
+        and the copy; the index is structurally cloned when the backend
+        supports it (the R-tree family does, via ``clone()``), otherwise
+        the copy rebuilds its index lazily on first use.  This is the
+        primitive :class:`repro.service.engine.QueryEngine` uses to give
+        writers a private tree while in-flight readers finish on the old
+        snapshot.
+        """
+        twin = SequenceDatabase(
+            dimension=self.dimension,
+            cost_constant=self.cost_constant,
+            max_points=self.max_points,
+            index_kind=self.index_kind,
+            max_entries=self.max_entries,
+        )
+        twin._partitions = dict(self._partitions)
+        if self._index is not None and not self._index_dirty:
+            cloner = getattr(self._index, "clone", None)
+            if callable(cloner):
+                twin._index = cloner()
+                twin._index_dirty = False
+                return twin
+        twin._index_dirty = len(twin._partitions) > 0
+        return twin
+
     def remove(self, sequence_id: object) -> None:
         """Remove a sequence and its index entries.
 
@@ -327,14 +357,19 @@ class SequenceDatabase:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, path: PathLike) -> None:
+    def save(self, path: PathLike, *, include_index: bool = True) -> None:
         """Persist the database to an ``.npz`` archive.
 
-        Stored: the configuration and every sequence's points and id.  The
-        partitions and the index are deterministic functions of those, so
-        :meth:`load` rebuilds them instead of serialising tree structure.
-        Sequence ids are stored via ``repr`` round-tripping for the common
-        id types (str, int); exotic id objects are rejected.
+        Stored: the configuration and every sequence's points and id, and —
+        when the backend supports flat serialisation and ``include_index``
+        is true — the index tree itself (via the
+        :func:`repro.core.backends.serialize_index` seam).  :meth:`load`
+        then restores the tree instead of re-running index construction,
+        which is the startup-latency path ``repro serve`` depends on.
+        Archives without the embedded tree remain loadable (the index is
+        rebuilt from the sequences).  Sequence ids are stored via ``repr``
+        round-tripping for the common id types (str, int); exotic id
+        objects are rejected.
         """
         import json
 
@@ -359,6 +394,10 @@ class SequenceDatabase:
             f"sequence_{ordinal}": self._partitions[sequence_id].sequence.points
             for ordinal, sequence_id in enumerate(ids)
         }
+        if include_index:
+            blob = serialize_index(self.index_kind, self._live_index())
+            if blob is not None:
+                arrays["_index"] = np.frombuffer(blob, dtype=np.uint8)
         np.savez_compressed(
             path, _meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
             **arrays,
@@ -366,7 +405,14 @@ class SequenceDatabase:
 
     @classmethod
     def load(cls, path: PathLike) -> "SequenceDatabase":
-        """Rebuild a database saved with :meth:`save`."""
+        """Rebuild a database saved with :meth:`save`.
+
+        When the archive embeds the flat index tree, the tree is restored
+        directly (identical node layout, hence identical query results and
+        node-access counts) and only the partitions — which ``Dnorm`` and
+        solution intervals need — are recomputed.  Older archives without
+        the tree fall back to full reconstruction.
+        """
         import json
 
         import numpy as np
@@ -382,9 +428,35 @@ class SequenceDatabase:
                 index_kind=meta["index_kind"],
                 max_entries=int(meta["max_entries"]),
             )
+            index_blob = (
+                archive["_index"].tobytes()
+                if "_index" in archive.files
+                else None
+            )
+            if index_blob is None:
+                for ordinal, (type_name, raw) in enumerate(meta["ids"]):
+                    sequence_id = int(raw) if type_name == "int" else raw
+                    database.add(
+                        archive[f"sequence_{ordinal}"], sequence_id=sequence_id
+                    )
+                return database
             for ordinal, (type_name, raw) in enumerate(meta["ids"]):
                 sequence_id = int(raw) if type_name == "int" else raw
-                database.add(
+                sequence = MultidimensionalSequence(
                     archive[f"sequence_{ordinal}"], sequence_id=sequence_id
                 )
+                database._partitions[sequence_id] = partition_sequence(
+                    sequence,
+                    cost_constant=database.cost_constant,
+                    max_points=database.max_points,
+                )
+            index = deserialize_index(database.index_kind, index_blob)
+            if len(index) != database.segment_count:
+                raise ValueError(
+                    f"corrupt archive: embedded index holds {len(index)} "
+                    f"entries but the partitions produce "
+                    f"{database.segment_count} segments"
+                )
+            database._index = index
+            database._index_dirty = False
         return database

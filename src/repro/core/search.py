@@ -330,6 +330,75 @@ class SimilaritySearch:
             stats=stats,
         )
 
+    # ------------------------------------------------------------------
+    # Single-candidate building blocks (reused by the serving cache)
+    # ------------------------------------------------------------------
+    def candidate_lower_bound(
+        self, query_partition: PartitionedSequence, sequence_id: object
+    ) -> float:
+        """The Phase-2 bound ``min Dmbr`` for one stored sequence.
+
+        The minimum over all (query segment, data segment) MBR pairs —
+        exactly the quantity the index probe thresholds, so a sequence is
+        a Phase-2 candidate at ``eps`` iff this value is ``<= eps``.
+        ``Dmbr`` is symmetric in its two rectangles, so the result is
+        independent of the long-query role swap.
+        """
+        partition = self.database.partition(sequence_id)
+        return min(
+            float(partition.mbr_distance_row(segment.mbr).min())
+            for segment in query_partition
+        )
+
+    def candidate_within(
+        self,
+        query_partition: PartitionedSequence,
+        sequence_id: object,
+        epsilon: float,
+    ) -> bool:
+        """Whether one stored sequence is a Phase-2 candidate at ``epsilon``.
+
+        Equivalent to ``candidate_lower_bound(...) <= epsilon`` but stops
+        at the first query segment whose ``Dmbr`` row already reaches the
+        threshold — membership needs an existence witness, not the exact
+        minimum.  The ε-aware result cache uses this to re-derive the
+        Phase-2 verdict for cached candidates without an index probe.
+        """
+        epsilon = check_threshold(epsilon)
+        partition = self.database.partition(sequence_id)
+        return any(
+            float(partition.mbr_distance_row(segment.mbr).min()) <= epsilon
+            for segment in query_partition
+        )
+
+    def match_candidate(
+        self,
+        query_partition: PartitionedSequence,
+        sequence_id: object,
+        epsilon: float,
+        *,
+        find_intervals: bool = True,
+    ) -> tuple[bool, IntervalSet]:
+        """Run Phase 3 for a single stored sequence.
+
+        Evaluates ``Dnorm`` between the pre-partitioned query and the
+        stored sequence exactly as :meth:`search` does for each Phase-2
+        survivor, returning whether the sequence matches at ``epsilon``
+        and (when requested) its approximate solution interval.  The
+        ε-aware result cache of :mod:`repro.service` uses this to refine a
+        cached wider-threshold result down to a tighter one — sound by
+        the monotonicity of Lemmas 2-3 — without re-running Phases 1-2.
+        """
+        epsilon = check_threshold(epsilon)
+        partition = self.database.partition(sequence_id)
+        return self._examine_candidate(
+            query_partition,
+            partition,
+            epsilon,
+            find_intervals=find_intervals,
+            stats=SearchStats(),
+        )
+
     def _examine_candidate(
         self,
         query_partition: PartitionedSequence,

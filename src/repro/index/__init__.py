@@ -25,22 +25,38 @@ from repro.index.paging import (
     detach_page_store,
 )
 from repro.index.rstar import RStarTree
-from repro.index.serialize import load_tree, save_tree
+from repro.index.serialize import dumps_tree, load_tree, loads_tree, save_tree
 from repro.index.rtree import IndexStats, RTree
+
+def _dumps_backend(index: object) -> bytes:
+    """Registry ``dumps`` hook: flat-serialise any tree of this family."""
+    if not isinstance(index, RTree):
+        raise TypeError(
+            f"cannot flat-serialise {type(index).__name__}; expected an "
+            f"RTree-family index"
+        )
+    return dumps_tree(index)
+
 
 # Self-register the default backends with the core registry (the lazy
 # provider seam of repro.core.backends imports this module by name).
+# All three kinds build RTree-family trees, so they share the flat
+# dumps/loads pair of repro.index.serialize.
 register_index_backend(
     "rtree",
     factory=lambda dimension, max_entries: RTree(
         dimension, max_entries=max_entries
     ),
+    dumps=_dumps_backend,
+    loads=loads_tree,
 )
 register_index_backend(
     "rstar",
     factory=lambda dimension, max_entries: RStarTree(
         dimension, max_entries=max_entries
     ),
+    dumps=_dumps_backend,
+    loads=loads_tree,
 )
 register_index_backend(
     "str",
@@ -48,6 +64,8 @@ register_index_backend(
         items, dimension, max_entries=max_entries
     ),
     incremental=False,
+    dumps=_dumps_backend,
+    loads=loads_tree,
 )
 
 __all__ = [
@@ -61,6 +79,8 @@ __all__ = [
     "attach_page_store",
     "bulk_load_str",
     "detach_page_store",
+    "dumps_tree",
     "load_tree",
+    "loads_tree",
     "save_tree",
 ]

@@ -10,13 +10,21 @@ payloads pickled alongside.
 Round-tripping preserves node layout exactly, so query results *and*
 node-access counts are identical before and after.
 
-Security note: loading uses ``pickle`` for the payload column (payloads are
-arbitrary Python objects, e.g. :class:`~repro.core.database.SegmentKey`).
-Only load archives you created.
+Security note: the payload column is pickled (payloads are Python objects,
+e.g. :class:`~repro.core.database.SegmentKey`), and ``pickle.loads`` on
+untrusted bytes is arbitrary code execution.  Loading therefore goes
+through a restricted :class:`pickle.Unpickler` whose ``find_class`` admits
+only :class:`~repro.core.database.SegmentKey` plus stdlib/numpy primitive
+constructors (:data:`SAFE_PICKLE_GLOBALS`); any other global — including
+``os.system``, ``subprocess`` helpers or ``__reduce__`` gadgets — raises
+``pickle.UnpicklingError`` before it is resolved.  Archives holding exotic
+payload types are *not* loadable by design; extend
+:data:`SAFE_PICKLE_GLOBALS` deliberately if you add one.
 """
 
 from __future__ import annotations
 
+import io
 import pickle
 from typing import TYPE_CHECKING
 
@@ -29,13 +37,72 @@ from repro.index.rtree import RTree
 
 if TYPE_CHECKING:
     import os
+    from typing import IO
 
-__all__ = ["load_tree", "save_tree"]
+    TreeSink = "str | os.PathLike[str] | IO[bytes]"
+
+__all__ = [
+    "SAFE_PICKLE_GLOBALS",
+    "dumps_tree",
+    "load_tree",
+    "loads_tree",
+    "save_tree",
+]
 
 _KINDS = {"RTree": RTree, "RStarTree": RStarTree}
 
+#: ``(module, qualname)`` pairs the payload unpickler may resolve.  The
+#: leaf payloads the library itself writes are ``SegmentKey`` instances
+#: whose fields are ``str``/``int``, so this list is deliberately tiny;
+#: the numpy entries cover payloads that captured numpy scalars.
+SAFE_PICKLE_GLOBALS: frozenset[tuple[str, str]] = frozenset(
+    {
+        ("repro.core.database", "SegmentKey"),
+        ("builtins", "bool"),
+        ("builtins", "bytes"),
+        ("builtins", "complex"),
+        ("builtins", "dict"),
+        ("builtins", "float"),
+        ("builtins", "frozenset"),
+        ("builtins", "int"),
+        ("builtins", "list"),
+        ("builtins", "set"),
+        ("builtins", "str"),
+        ("builtins", "tuple"),
+        ("numpy", "dtype"),
+        ("numpy", "ndarray"),
+        ("numpy.core.multiarray", "_reconstruct"),
+        ("numpy.core.multiarray", "scalar"),
+        ("numpy._core.multiarray", "_reconstruct"),
+        ("numpy._core.multiarray", "scalar"),
+    }
+)
 
-def save_tree(tree: RTree, path: "str | os.PathLike[str]") -> None:
+
+class _RestrictedUnpickler(pickle.Unpickler):
+    """An unpickler that only resolves :data:`SAFE_PICKLE_GLOBALS`."""
+
+    def find_class(self, module: str, name: str) -> object:
+        if (module, name) in SAFE_PICKLE_GLOBALS:
+            return super().find_class(module, name)
+        raise pickle.UnpicklingError(
+            f"payload pickle references forbidden global {module}.{name}; "
+            f"only SegmentKey and stdlib/numpy primitives are loadable"
+        )
+
+
+def _restricted_loads(data: bytes) -> list:
+    """Unpickle the payload column through the restricted unpickler."""
+    payloads = _RestrictedUnpickler(io.BytesIO(data)).load()
+    if not isinstance(payloads, list):
+        raise pickle.UnpicklingError(
+            f"payload column must unpickle to a list, got "
+            f"{type(payloads).__name__}"
+        )
+    return payloads
+
+
+def save_tree(tree: RTree, path: TreeSink) -> None:
     """Serialise a (non-empty or empty) R-tree to ``path`` (.npz)."""
     if type(tree).__name__ not in _KINDS:
         raise TypeError(
@@ -105,7 +172,7 @@ def save_tree(tree: RTree, path: "str | os.PathLike[str]") -> None:
     )
 
 
-def load_tree(path: "str | os.PathLike[str]") -> RTree:
+def load_tree(path: TreeSink) -> RTree:
     """Rebuild a tree saved with :func:`save_tree` (identical layout)."""
     with np.load(path) as archive:
         kind = bytes(archive["kind"]).decode()
@@ -125,7 +192,7 @@ def load_tree(path: "str | os.PathLike[str]") -> RTree:
         first_child = archive["first_child"]
         lows = archive["entry_lows"]
         highs = archive["entry_highs"]
-        payloads = pickle.loads(bytes(archive["payloads"]))
+        payloads = _restricted_loads(bytes(archive["payloads"]))
 
         nodes = [
             Node(is_leaf=bool(is_leaf[i]), level=int(levels[i]))
@@ -153,3 +220,15 @@ def load_tree(path: "str | os.PathLike[str]") -> RTree:
         tree.root = nodes[0] if nodes else Node(is_leaf=True, level=0)
         tree._size = int(archive["size"])
         return tree
+
+
+def dumps_tree(tree: RTree) -> bytes:
+    """:func:`save_tree` into bytes (for embedding in other archives)."""
+    buffer = io.BytesIO()
+    save_tree(tree, buffer)
+    return buffer.getvalue()
+
+
+def loads_tree(data: bytes) -> RTree:
+    """Inverse of :func:`dumps_tree`."""
+    return load_tree(io.BytesIO(data))

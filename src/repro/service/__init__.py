@@ -1,0 +1,60 @@
+"""Concurrent query serving over the paper's three-phase search.
+
+The :mod:`repro.core` layer answers one query at a time against a mutable
+database; this package turns it into a long-lived, thread-safe serving
+subsystem:
+
+* :mod:`repro.service.engine` — the :class:`QueryEngine`: copy-on-write
+  snapshot isolation (lock-free readers, serialised writers), a bounded
+  worker pool with admission control and per-request deadlines.
+* :mod:`repro.service.cache` — the ε-aware LRU result cache: a result
+  computed at ε' exactly answers any request at ε <= ε' by re-running only
+  Phase 3 over the cached candidates (lower-bound monotonicity,
+  Lemmas 1-3); writes patch affected sequence ids instead of flushing.
+* :mod:`repro.service.stats` — per-engine request counts, p50/p95/p99
+  latency, cache hit ratio, queue depth, rejections.
+* :mod:`repro.service.http` / :mod:`repro.service.client` — a stdlib-only
+  HTTP JSON endpoint (``python -m repro serve``) and its client.
+* :mod:`repro.service.errors` — typed serving failures (:class:`Overloaded`,
+  :class:`DeadlineExceeded`, :class:`EngineClosed`).
+
+Embedded use::
+
+    from repro.service import QueryEngine
+
+    with QueryEngine(db, workers=4) as engine:
+        result = engine.search(query_points, epsilon=0.5)
+
+Served use::
+
+    $ python -m repro serve --corpus corpus.npz --workers 8
+"""
+
+from repro.service.cache import CacheEntry, EpsilonCache, query_fingerprint
+from repro.service.client import ServiceClient
+from repro.service.engine import QueryEngine, ServiceResponse
+from repro.service.errors import (
+    DeadlineExceeded,
+    EngineClosed,
+    Overloaded,
+    ServiceError,
+)
+from repro.service.http import ServiceServer, serve
+from repro.service.stats import LatencyWindow, ServiceStats
+
+__all__ = [
+    "CacheEntry",
+    "DeadlineExceeded",
+    "EngineClosed",
+    "EpsilonCache",
+    "LatencyWindow",
+    "Overloaded",
+    "QueryEngine",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceResponse",
+    "ServiceServer",
+    "ServiceStats",
+    "query_fingerprint",
+    "serve",
+]

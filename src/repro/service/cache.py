@@ -1,0 +1,220 @@
+"""The ε-aware LRU result cache of the query engine.
+
+Correctness rests on the monotonicity the contract layer already enforces
+(Lemmas 1-3 of the paper): the Phase-2 candidate set and the Phase-3
+answer set both *shrink* as ε shrinks.  A cached result computed at
+threshold ε' therefore bounds every request at ε <= ε' from above:
+
+* the exact candidate set at ε is ``{s in candidates(ε') : min Dmbr <= ε}``
+  — no index probe needed, because any sequence outside ``candidates(ε')``
+  has ``min Dmbr > ε' >= ε``;
+* the exact answer set at ε is obtained by re-running Phase 3
+  (:meth:`~repro.core.search.SimilaritySearch.match_candidate`) over that
+  candidate set only — Phases 1 and 2, the index-bound part of the search,
+  are skipped entirely.
+
+Entries are keyed by a fingerprint of the query points and pinned to the
+engine's snapshot version: a write publishes a new snapshot and, for the
+affected sequence id only, publishes a *patched copy* of each entry
+(remove the id, then re-examine it against the entry's stored query
+partition at the entry's ε') stamped with the new version — so a lookup
+matches only entries coherent with the snapshot the request runs on,
+readers still holding the pre-write entry keep a state exact for their
+snapshot, and no write ever flushes the whole cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.search import SimilaritySearch
+from repro.core.solution_interval import IntervalSet
+from repro.util.validation import check_threshold
+
+if TYPE_CHECKING:
+    from repro.core.partitioning import PartitionedSequence
+
+__all__ = ["CacheEntry", "EpsilonCache", "query_fingerprint"]
+
+
+def query_fingerprint(points: np.ndarray) -> str:
+    """A stable content hash of a query's point array (shape included)."""
+    digest = hashlib.sha256()
+    digest.update(str(points.shape).encode())
+    digest.update(np.ascontiguousarray(points, dtype=np.float64).tobytes())
+    return digest.hexdigest()
+
+
+@dataclass
+class CacheEntry:
+    """One cached search: the query's partition plus exact result sets.
+
+    ``candidates``/``answers``/``intervals`` are exact for the snapshot
+    identified by ``version`` at threshold ``epsilon`` — the patching in
+    :meth:`EpsilonCache.apply_write` maintains that invariant across
+    snapshot swaps.
+    """
+
+    query_partition: PartitionedSequence
+    epsilon: float
+    find_intervals: bool
+    candidates: set = field(default_factory=set)
+    answers: set = field(default_factory=set)
+    intervals: dict[object, IntervalSet] = field(default_factory=dict)
+    version: int = 0
+    dimension: int = 0
+
+
+class EpsilonCache:
+    """A bounded LRU of :class:`CacheEntry` keyed by query fingerprint.
+
+    Thread-safety: every public method takes the internal lock; the engine
+    additionally serialises :meth:`apply_write` behind its writer lock so
+    patching and version bumps are atomic with the snapshot swap.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+    def lookup(
+        self, key: str, epsilon: float, version: int
+    ) -> CacheEntry | None:
+        """The entry usable for ``(key, epsilon)`` on snapshot ``version``.
+
+        Usable means: same query fingerprint, computed at a threshold
+        ``epsilon' >= epsilon`` (ε-monotonic reuse), and coherent with the
+        requested snapshot version.  A usable entry is promoted to
+        most-recently-used.
+        """
+        epsilon = check_threshold(epsilon)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            if entry.version != version or entry.epsilon < epsilon:
+                return None
+            self._entries.move_to_end(key)
+            return entry
+
+    def store(self, key: str, entry: CacheEntry, version: int) -> bool:
+        """Insert ``entry`` unless it is already stale.
+
+        Returns whether the entry was stored; an entry computed against an
+        older snapshot than ``version`` (a writer won the race while the
+        search ran) is dropped rather than poisoning the cache.  An
+        existing entry for the same query is replaced only by a same-or-
+        wider threshold, so a tight search never evicts the wide result
+        that can serve it.
+        """
+        with self._lock:
+            if entry.version != version:
+                return False
+            current = self._entries.get(key)
+            if (
+                current is not None
+                and current.version == version
+                and current.epsilon > entry.epsilon
+            ):
+                self._entries.move_to_end(key)
+                return False
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+            return True
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        with self._lock:
+            self._entries.clear()
+
+    # ------------------------------------------------------------------
+    # Write-through patching
+    # ------------------------------------------------------------------
+    def apply_write(
+        self,
+        sequence_id: object,
+        search: SimilaritySearch,
+        new_version: int,
+    ) -> int:
+        """Re-reconcile every entry with a written sequence id.
+
+        Called by the engine (under its writer lock) after building the
+        new snapshot but before publishing it.  For each entry: drop the
+        id from all result sets, then — if the id still exists in the new
+        snapshot — re-run the two pruning levels for that single sequence
+        at the entry's threshold and re-admit it where it qualifies, and
+        publish the patch as a *new* :class:`CacheEntry` stamped with
+        ``new_version``.
+
+        Only entries coherent with the pre-write snapshot
+        (``version == new_version - 1``) are patched: a single-id patch
+        is exact only on top of an exact base.  Any other entry is
+        evicted — it lost a race with this writer (a search that ran on
+        an older snapshot stored its result between this writer's cache
+        patch and its snapshot publish) and silently stamping it would
+        hide every write it never saw.
+
+        The old entry object is never mutated: a reader that looked it up
+        against the previous snapshot may still be materialising a result
+        from its sets, and that result must stay exact for *that*
+        snapshot.  Entry replacement mirrors the engine's own
+        copy-on-write snapshot swap (and keeps each key's LRU position).
+        Returns the number of entries re-examined.
+        """
+        patched = 0
+        with self._lock:
+            for key, entry in list(self._entries.items()):
+                if entry.version != new_version - 1:
+                    del self._entries[key]
+                    continue
+                candidates = set(entry.candidates)
+                answers = set(entry.answers)
+                intervals = dict(entry.intervals)
+                candidates.discard(sequence_id)
+                answers.discard(sequence_id)
+                intervals.pop(sequence_id, None)
+                if sequence_id in search.database:
+                    if search.candidate_within(
+                        entry.query_partition, sequence_id, entry.epsilon
+                    ):
+                        candidates.add(sequence_id)
+                        matched, interval = search.match_candidate(
+                            entry.query_partition,
+                            sequence_id,
+                            entry.epsilon,
+                            find_intervals=entry.find_intervals,
+                        )
+                        if matched:
+                            answers.add(sequence_id)
+                            if entry.find_intervals:
+                                intervals[sequence_id] = interval
+                    patched += 1
+                self._entries[key] = CacheEntry(
+                    query_partition=entry.query_partition,
+                    epsilon=entry.epsilon,
+                    find_intervals=entry.find_intervals,
+                    candidates=candidates,
+                    answers=answers,
+                    intervals=intervals,
+                    version=new_version,
+                    dimension=entry.dimension,
+                )
+        return patched

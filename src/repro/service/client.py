@@ -1,0 +1,162 @@
+"""A minimal urllib client for the ``repro serve`` HTTP endpoint.
+
+Mirrors the :class:`~repro.service.engine.QueryEngine` surface over JSON
+and rebuilds the typed serving errors from the server's error payloads,
+so ``except Overloaded`` works the same whether the engine is embedded or
+behind HTTP.  stdlib-only, like the server.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.service.errors import (
+    DeadlineExceeded,
+    EngineClosed,
+    Overloaded,
+    ServiceError,
+)
+from repro.util.validation import check_threshold
+
+if TYPE_CHECKING:
+    import numpy.typing as npt
+
+__all__ = ["ServiceClient"]
+
+
+def _raise_typed(status: int, detail: dict) -> None:
+    """Rebuild the server-side exception from an error payload."""
+    message = str(detail.get("message", f"HTTP {status}"))
+    if status == 429:
+        raise Overloaded(
+            message,
+            queue_depth=int(detail.get("queue_depth", 0)),
+            capacity=int(detail.get("capacity", 0)),
+        )
+    if status == 408:
+        raise DeadlineExceeded(message, timeout=float(detail.get("timeout", 0.0)))
+    if status == 503:
+        raise EngineClosed(message)
+    if status == 400:
+        raise ValueError(message)
+    if status in (404, 409):
+        raise KeyError(message)
+    raise ServiceError(f"HTTP {status}: {message}")
+
+
+class ServiceClient:
+    """Talks JSON to a running ``repro serve`` endpoint.
+
+    Parameters
+    ----------
+    base_url:
+        e.g. ``"http://127.0.0.1:8765"`` (trailing slash optional).
+    timeout:
+        Socket-level timeout (seconds) for each HTTP call — distinct from
+        the per-request serving deadline, which travels in the body.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        """Liveness probe: status, sequence count, snapshot version."""
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        """The engine's full metrics block."""
+        return self._request("GET", "/stats")
+
+    def search(
+        self,
+        points: npt.ArrayLike,
+        epsilon: float,
+        *,
+        find_intervals: bool = True,
+        timeout: float | None = None,
+    ) -> dict:
+        """Range search; returns the JSON payload (answers, candidates,
+        cache outcome, per-id intervals keyed by ``str(sequence_id)``)."""
+        epsilon = check_threshold(epsilon)
+        body: dict[str, Any] = {
+            "points": self._point_list(points),
+            "epsilon": epsilon,
+            "find_intervals": find_intervals,
+        }
+        if timeout is not None:
+            body["timeout"] = timeout
+        return self._request("POST", "/search", body)
+
+    def knn(
+        self,
+        points: npt.ArrayLike,
+        k: int,
+        *,
+        timeout: float | None = None,
+    ) -> list[tuple[float, object]]:
+        """The ``k`` nearest sequences as ``(distance, sequence_id)``."""
+        body: dict[str, Any] = {"points": self._point_list(points), "k": k}
+        if timeout is not None:
+            body["timeout"] = timeout
+        payload = self._request("POST", "/knn", body)
+        return [
+            (float(entry["distance"]), entry["sequence_id"])
+            for entry in payload["neighbors"]
+        ]
+
+    def insert(
+        self, points: npt.ArrayLike, sequence_id: object = None
+    ) -> object:
+        """Insert a sequence; returns its id as assigned by the server."""
+        body: dict[str, Any] = {"points": self._point_list(points)}
+        if sequence_id is not None:
+            body["sequence_id"] = sequence_id
+        return self._request("POST", "/insert", body)["sequence_id"]
+
+    def remove(self, sequence_id: object) -> dict:
+        """Remove a sequence from subsequent snapshots."""
+        return self._request("POST", "/remove", {"sequence_id": sequence_id})
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _point_list(points: npt.ArrayLike) -> list:
+        array = np.asarray(points, dtype=np.float64)
+        listed = array.tolist()
+        if not isinstance(listed, list):
+            raise ValueError("points must be a 1-D or 2-D array")
+        return listed
+
+    def _request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> Any:
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+                return json.loads(reply.read())
+        except urllib.error.HTTPError as error:
+            payload = error.read()
+            try:
+                detail = json.loads(payload).get("error", {})
+            except (json.JSONDecodeError, AttributeError):
+                detail = {"message": payload.decode("utf-8", "replace")}
+            _raise_typed(error.code, detail)
+            raise  # unreachable: _raise_typed always raises

@@ -1,0 +1,651 @@
+"""The concurrent query engine: snapshots, worker pool, ε-aware cache.
+
+This is the long-lived serving harness around the paper's three-phase
+search.  Three mechanisms make it safe and fast under concurrent traffic:
+
+**Snapshot isolation.**  The engine never mutates a published
+:class:`~repro.core.database.SequenceDatabase`.  A write (insert / append /
+remove) takes the single writer lock, clones the current database
+copy-on-write (:meth:`SequenceDatabase.clone` — partitions shared, index
+structurally copied), applies the mutation to the private clone,
+materialises its index, and atomically swaps the engine's snapshot
+reference.  Readers grab the snapshot reference once per request and run
+entirely against it: no reader locks on the hot path, and an in-flight
+search finishes on the snapshot it started with (readers-never-block-
+writers, writers-never-tear-readers).
+
+**Admission control and deadlines.**  Requests execute on a bounded worker
+pool.  At most ``workers + queue_cap`` requests may be admitted at once;
+beyond that the engine fast-fails with :class:`~repro.service.errors.
+Overloaded` instead of building an unbounded backlog.  Each request may
+carry a deadline; one that expires while queued is never executed, and one
+that expires mid-execution returns :class:`~repro.service.errors.
+DeadlineExceeded` to the caller (the worker finishes and its result is
+discarded — cooperative cancellation, the admission slot is held until
+then).
+
+**ε-aware caching.**  Completed range searches populate an LRU keyed by
+query fingerprint (:mod:`repro.service.cache`).  A request at threshold ε
+served by an entry computed at ε' >= ε skips Phases 1-2 entirely and
+re-runs only Phase 3 over the cached candidate set — exact by the
+lower-bound monotonicity of Lemmas 1-3.  Writes patch affected sequence
+ids in place rather than flushing the cache.
+
+The only intentional cross-thread mutation on the read path is the index's
+access-counter block (``index.stats``), whose increments may race benignly
+under concurrent readers; treat per-engine node-access counts as
+approximate.  Use :func:`repro.core.contracts.checking_contracts` via the
+``REPRO_CHECK_CONTRACTS`` environment variable to have every served
+result — cached or not — re-validated against the no-false-dismissal
+contract.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, TypeVar
+
+from repro.analysis.tracing import search_record
+from repro.core.contracts import contracts_enabled
+from repro.core.database import SequenceDatabase
+from repro.core.search import SearchResult, SearchStats, SimilaritySearch
+from repro.core.sequence import MultidimensionalSequence
+from repro.core.solution_interval import IntervalSet
+from repro.service.cache import CacheEntry, EpsilonCache, query_fingerprint
+from repro.service.errors import DeadlineExceeded, EngineClosed, Overloaded
+from repro.service.stats import ServiceStats
+from repro.util.validation import check_threshold
+
+if TYPE_CHECKING:
+    import numpy.typing as npt
+
+    SequenceLike = MultidimensionalSequence | npt.ArrayLike
+
+__all__ = ["QueryEngine", "ServiceResponse"]
+
+_T = TypeVar("_T")
+
+#: Two thresholds closer than this are served as an exact cache hit.
+_EPSILON_MATCH_TOLERANCE = 1e-12
+
+
+@dataclass(frozen=True)
+class _Snapshot:
+    """One immutable published state: a database, its engine, a version."""
+
+    database: SequenceDatabase
+    search: SimilaritySearch
+    version: int
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """A search result plus its serving metadata."""
+
+    result: SearchResult
+    #: Cache outcome: ``"hit"``, ``"refine"``, ``"miss"`` or ``"off"``.
+    cache: str
+    #: The snapshot version the request executed against.
+    snapshot_version: int
+
+
+class QueryEngine:
+    """A thread-safe serving engine over a :class:`SequenceDatabase`.
+
+    The engine takes ownership of the database: do not mutate it directly
+    after construction — go through :meth:`insert` / :meth:`append` /
+    :meth:`remove`, which publish copy-on-write snapshots.
+
+    Parameters
+    ----------
+    database:
+        The corpus to serve.  Its index is materialised eagerly so the
+        first request never pays construction cost.
+    workers:
+        Worker-thread count executing requests.
+    queue_cap:
+        Requests allowed to wait beyond the running ones; an arrival that
+        finds ``workers + queue_cap`` requests admitted is rejected with
+        :class:`Overloaded`.
+    cache_size:
+        ε-aware result-cache capacity (entries); ``0`` disables caching.
+    default_timeout:
+        Deadline (seconds) applied to requests that do not carry their
+        own; ``None`` means no deadline.
+    trace_path:
+        Optional JSON-lines trace file; every completed range search
+        appends one record in the :func:`repro.analysis.tracing.
+        search_record` schema plus ``op``/``cache``/``snapshot_version``
+        fields, readable with :func:`repro.analysis.tracing.read_trace`.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core.database import SequenceDatabase
+    >>> db = SequenceDatabase(dimension=2)
+    >>> _ = db.add(np.random.default_rng(0).random((30, 2)), sequence_id="a")
+    >>> with QueryEngine(db, workers=2) as engine:
+    ...     result = engine.search(np.random.default_rng(1).random((8, 2)), 0.5)
+    ...     isinstance(result.answers, list)
+    True
+    """
+
+    def __init__(
+        self,
+        database: SequenceDatabase,
+        *,
+        workers: int = 4,
+        queue_cap: int = 64,
+        cache_size: int = 128,
+        default_timeout: float | None = None,
+        trace_path: str | Path | None = None,
+    ) -> None:
+        if not isinstance(database, SequenceDatabase):
+            raise TypeError(
+                f"expected a SequenceDatabase, got {type(database).__name__}"
+            )
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if queue_cap < 0:
+            raise ValueError(f"queue_cap must be >= 0, got {queue_cap}")
+        if cache_size < 0:
+            raise ValueError(f"cache_size must be >= 0, got {cache_size}")
+        if default_timeout is not None and default_timeout <= 0:
+            raise ValueError(
+                f"default_timeout must be positive, got {default_timeout}"
+            )
+        self._materialise(database)
+        self.workers = workers
+        self.queue_cap = queue_cap
+        self.default_timeout = default_timeout
+        self._snapshot = _Snapshot(database, SimilaritySearch(database), 0)
+        self._write_lock = threading.Lock()
+        self._capacity = workers + queue_cap
+        self._admission = threading.Semaphore(self._capacity)
+        self._pending = 0
+        self._pending_lock = threading.Lock()
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve"
+        )
+        self._cache = EpsilonCache(cache_size) if cache_size else None
+        self._stats = ServiceStats()
+        self._trace_path = None if trace_path is None else Path(trace_path)
+        self._trace_lock = threading.Lock()
+        self._closed = False
+        self._started_at = time.time()
+
+    @staticmethod
+    def _materialise(database: SequenceDatabase) -> None:
+        """Force the index build so readers never trigger (racy) rebuilds."""
+        if len(database.index) != database.segment_count:
+            raise RuntimeError(
+                f"index holds {len(database.index)} entries for "
+                f"{database.segment_count} segments — inconsistent database"
+            )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self, *, wait: bool = True) -> None:
+        """Stop accepting requests and shut the worker pool down."""
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    @property
+    def dimension(self) -> int:
+        """Dimensionality of the served corpus."""
+        return self._snapshot.database.dimension
+
+    @property
+    def snapshot_version(self) -> int:
+        """Version counter of the currently published snapshot."""
+        return self._snapshot.version
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently admitted (queued plus running)."""
+        with self._pending_lock:
+            return self._pending
+
+    def sequence_ids(self) -> list[object]:
+        """Sequence ids of the current snapshot, in insertion order."""
+        return self._snapshot.database.ids()
+
+    def __len__(self) -> int:
+        return len(self._snapshot.database)
+
+    # ------------------------------------------------------------------
+    # Queries (executed on the worker pool)
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        query: SequenceLike,
+        epsilon: float,
+        *,
+        find_intervals: bool = True,
+        timeout: float | None = None,
+    ) -> SearchResult:
+        """Range search (the paper's SIMILARITY_SEARCH) through the pool."""
+        epsilon = check_threshold(epsilon)
+        return self.search_detailed(
+            query, epsilon, find_intervals=find_intervals, timeout=timeout
+        ).result
+
+    def search_detailed(
+        self,
+        query: SequenceLike,
+        epsilon: float,
+        *,
+        find_intervals: bool = True,
+        timeout: float | None = None,
+    ) -> ServiceResponse:
+        """Range search returning serving metadata alongside the result."""
+        epsilon = check_threshold(epsilon)
+        return self._execute(
+            "search",
+            lambda: self._do_search(query, epsilon, find_intervals),
+            timeout,
+        )
+
+    def range_query(
+        self,
+        query: SequenceLike,
+        epsilon: float,
+        *,
+        timeout: float | None = None,
+    ) -> list[object]:
+        """The matching sequence ids only (no solution intervals)."""
+        epsilon = check_threshold(epsilon)
+        response = self._execute(
+            "range",
+            lambda: self._do_search(query, epsilon, False),
+            timeout,
+        )
+        return list(response.result.answers)
+
+    def knn(
+        self,
+        query: SequenceLike,
+        k: int,
+        *,
+        timeout: float | None = None,
+    ) -> list[tuple[float, object]]:
+        """The ``k`` nearest stored sequences (exact; Seidl-Kriegel)."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        return self._execute("knn", lambda: self._do_knn(query, k), timeout)
+
+    # ------------------------------------------------------------------
+    # Writes (serialised; publish a new snapshot)
+    # ------------------------------------------------------------------
+    def insert(
+        self, points: SequenceLike, sequence_id: object = None
+    ) -> object:
+        """Add a sequence; readers in flight keep their old snapshot."""
+        return self._write(
+            "insert", lambda db: db.add(points, sequence_id=sequence_id)
+        )
+
+    def append(self, sequence_id: object, points: npt.ArrayLike) -> object:
+        """Extend a stored sequence with new points (streaming ingestion)."""
+
+        def mutate(db: SequenceDatabase) -> object:
+            db.append_points(sequence_id, points)
+            return sequence_id
+
+        return self._write("append", mutate)
+
+    def remove(self, sequence_id: object) -> object:
+        """Remove a sequence from subsequent snapshots."""
+
+        def mutate(db: SequenceDatabase) -> object:
+            db.remove(sequence_id)
+            return sequence_id
+
+        return self._write("remove", mutate)
+
+    def _write(
+        self, op: str, mutate: Callable[[SequenceDatabase], object]
+    ) -> object:
+        if self._closed:
+            raise EngineClosed("engine is closed")
+        self._stats.record_request(op)
+        started = time.monotonic()
+        with self._write_lock:
+            snapshot = self._snapshot
+            clone = snapshot.database.clone()
+            try:
+                written_id = mutate(clone)
+            except Exception:
+                self._stats.record_failure(op)
+                raise
+            self._materialise(clone)
+            new_version = snapshot.version + 1
+            new_search = SimilaritySearch(clone)
+            if self._cache is not None:
+                patched = self._cache.apply_write(
+                    written_id, new_search, new_version
+                )
+                self._stats.record_cache_patches(patched)
+            self._snapshot = _Snapshot(clone, new_search, new_version)
+            self._stats.record_snapshot_published()
+        self._stats.record_completed(op, time.monotonic() - started)
+        return written_id
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """The :class:`ServiceStats` block plus live engine gauges."""
+        snapshot = self._snapshot
+        block = self._stats.snapshot()
+        block.update(
+            {
+                "queue_depth": self.queue_depth,
+                "workers": self.workers,
+                "queue_cap": self.queue_cap,
+                "snapshot_version": snapshot.version,
+                "sequences": len(snapshot.database),
+                "segments": snapshot.database.segment_count,
+                "cache_entries": 0 if self._cache is None else len(self._cache),
+                "cache_capacity": 0 if self._cache is None else self._cache.capacity,
+                "uptime_s": time.time() - self._started_at,
+            }
+        )
+        return block
+
+    # ------------------------------------------------------------------
+    # Execution plumbing
+    # ------------------------------------------------------------------
+    def _execute(
+        self, op: str, fn: Callable[[], _T], timeout: float | None
+    ) -> _T:
+        if self._closed:
+            raise EngineClosed("engine is closed")
+        if timeout is None:
+            timeout = self.default_timeout
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        deadline = None if timeout is None else time.monotonic() + timeout
+        if not self._admission.acquire(blocking=False):
+            self._stats.record_overloaded()
+            raise Overloaded(
+                f"{op} rejected: {self._capacity} requests already admitted "
+                f"({self.workers} workers + {self.queue_cap} queue slots)",
+                queue_depth=self._capacity,
+                capacity=self._capacity,
+            )
+        with self._pending_lock:
+            self._pending += 1
+        self._stats.record_request(op)
+        try:
+            future = self._pool.submit(self._run, op, fn, deadline, timeout)
+        except RuntimeError as error:  # pool already shut down
+            self._release_slot()
+            raise EngineClosed("engine is closed") from error
+        future.add_done_callback(lambda _: self._release_slot())
+        try:
+            remaining = (
+                None
+                if deadline is None
+                else max(0.0, deadline - time.monotonic())
+            )
+            return future.result(timeout=remaining)
+        except FutureTimeoutError:
+            future.cancel()
+            self._stats.record_deadline_exceeded()
+            raise DeadlineExceeded(
+                f"{op} did not finish within its {timeout}s deadline",
+                timeout=float(timeout if timeout is not None else 0.0),
+            ) from None
+        except DeadlineExceeded:
+            self._stats.record_deadline_exceeded()
+            raise
+
+    def _release_slot(self) -> None:
+        with self._pending_lock:
+            self._pending -= 1
+        self._admission.release()
+
+    def _run(
+        self,
+        op: str,
+        fn: Callable[[], _T],
+        deadline: float | None,
+        timeout: float | None,
+    ) -> _T:
+        if deadline is not None and time.monotonic() >= deadline:
+            # Expired while queued: never start the work.
+            raise DeadlineExceeded(
+                f"{op} spent its whole {timeout}s deadline queued",
+                timeout=float(timeout if timeout is not None else 0.0),
+            )
+        started = time.monotonic()
+        try:
+            result = fn()
+        except DeadlineExceeded:
+            raise
+        except Exception:
+            self._stats.record_failure(op)
+            raise
+        self._stats.record_completed(op, time.monotonic() - started)
+        return result
+
+    # ------------------------------------------------------------------
+    # Request bodies (run on worker threads, against one snapshot)
+    # ------------------------------------------------------------------
+    def _coerce(
+        self, query: SequenceLike, snapshot: _Snapshot
+    ) -> MultidimensionalSequence:
+        if not isinstance(query, MultidimensionalSequence):
+            query = MultidimensionalSequence(query)
+        if query.dimension != snapshot.database.dimension:
+            raise ValueError(
+                f"query dimension {query.dimension} != database dimension "
+                f"{snapshot.database.dimension}"
+            )
+        return query
+
+    def _do_knn(self, query: SequenceLike, k: int) -> list[tuple[float, object]]:
+        snapshot = self._snapshot
+        return snapshot.search.knn(self._coerce(query, snapshot), k)
+
+    def _do_search(
+        self, query: SequenceLike, epsilon: float, find_intervals: bool
+    ) -> ServiceResponse:
+        snapshot = self._snapshot
+        sequence = self._coerce(query, snapshot)
+        if self._cache is None:
+            result = snapshot.search.search(
+                sequence, epsilon, find_intervals=find_intervals
+            )
+            outcome = "off"
+        else:
+            result, outcome = self._search_cached(
+                snapshot, sequence, epsilon, find_intervals
+            )
+        self._stats.record_cache(outcome)
+        self._trace(result, outcome, snapshot.version)
+        return ServiceResponse(
+            result=result, cache=outcome, snapshot_version=snapshot.version
+        )
+
+    def _search_cached(
+        self,
+        snapshot: _Snapshot,
+        sequence: MultidimensionalSequence,
+        epsilon: float,
+        find_intervals: bool,
+    ) -> tuple[SearchResult, str]:
+        if self._cache is None:
+            raise RuntimeError("_search_cached called with caching disabled")
+        key = query_fingerprint(sequence.points)
+        entry = self._cache.lookup(key, epsilon, snapshot.version)
+        if entry is not None:
+            exact_epsilon = (
+                abs(entry.epsilon - epsilon) <= _EPSILON_MATCH_TOLERANCE
+            )
+            if exact_epsilon and (entry.find_intervals or not find_intervals):
+                result = self._result_from_entry(
+                    entry, snapshot, epsilon, find_intervals
+                )
+                self._check_served(snapshot, result, sequence, epsilon)
+                return result, "hit"
+            result = self._refine_entry(
+                entry, snapshot, epsilon, find_intervals
+            )
+            self._check_served(snapshot, result, sequence, epsilon)
+            return result, "refine"
+        result = snapshot.search.search(
+            sequence, epsilon, find_intervals=find_intervals
+        )
+        self._cache.store(
+            key,
+            CacheEntry(
+                query_partition=result.query_partition,
+                epsilon=epsilon,
+                find_intervals=find_intervals,
+                candidates=set(result.candidates),
+                answers=set(result.answers),
+                intervals=dict(result.solution_intervals),
+                version=snapshot.version,
+                dimension=sequence.dimension,
+            ),
+            self._snapshot.version,
+        )
+        return result, "miss"
+
+    @staticmethod
+    def _result_from_entry(
+        entry: CacheEntry,
+        snapshot: _Snapshot,
+        epsilon: float,
+        find_intervals: bool,
+    ) -> SearchResult:
+        """Materialise a cached entry as a fresh, caller-owned result."""
+        candidates = [
+            sid for sid in snapshot.database.ids() if sid in entry.candidates
+        ]
+        answers = [sid for sid in candidates if sid in entry.answers]
+        intervals: dict[object, IntervalSet] = {}
+        if find_intervals:
+            intervals = {sid: entry.intervals[sid] for sid in answers}
+        return SearchResult(
+            epsilon=epsilon,
+            query_partition=entry.query_partition,
+            candidates=candidates,
+            answers=answers,
+            solution_intervals=intervals,
+            stats=SearchStats(query_segments=len(entry.query_partition)),
+        )
+
+    @staticmethod
+    def _refine_entry(
+        entry: CacheEntry,
+        snapshot: _Snapshot,
+        epsilon: float,
+        find_intervals: bool,
+    ) -> SearchResult:
+        """Phase 3 at a tighter ε over the cached candidate set.
+
+        Exact by monotonicity: every Phase-2 candidate at ε is one at
+        ε' >= ε, so filtering the cached candidates by their ``min Dmbr``
+        reproduces the index probe — without touching the index or
+        Phase 1.  ``Dnorm`` (Phase 3) is re-run only for cached *answers*:
+        the answer set also shrinks with ε, so a sequence that failed
+        Phase 3 at ε' can never pass it at ε <= ε' and keeps its cached
+        verdict for free.
+        """
+        search = snapshot.search
+        stats = SearchStats(query_segments=len(entry.query_partition))
+        candidates: list[object] = []
+        answers: list[object] = []
+        intervals: dict[object, IntervalSet] = {}
+        for sid in snapshot.database.ids():
+            if sid not in entry.candidates:
+                continue
+            if not search.candidate_within(
+                entry.query_partition, sid, epsilon
+            ):
+                continue
+            candidates.append(sid)
+            if sid not in entry.answers:
+                continue
+            matched, interval = search.match_candidate(
+                entry.query_partition,
+                sid,
+                epsilon,
+                find_intervals=find_intervals,
+            )
+            stats.dnorm_evaluations += len(
+                snapshot.database.partition(sid).counts
+            )
+            if matched:
+                answers.append(sid)
+                if find_intervals:
+                    intervals[sid] = interval
+        stats.candidates_after_dmbr = len(candidates)
+        stats.answers_after_dnorm = len(answers)
+        return SearchResult(
+            epsilon=epsilon,
+            query_partition=entry.query_partition,
+            candidates=candidates,
+            answers=answers,
+            solution_intervals=intervals,
+            stats=stats,
+        )
+
+    @staticmethod
+    def _check_served(
+        snapshot: _Snapshot,
+        result: SearchResult,
+        sequence: MultidimensionalSequence,
+        epsilon: float,
+    ) -> None:
+        """Run the search contract validator on a cache-served result.
+
+        Results produced by ``SimilaritySearch.search`` are validated by
+        its own ``lower_bounds`` decorator; results assembled from the
+        cache re-use the same validator here, so ``REPRO_CHECK_CONTRACTS``
+        covers every serving path.
+        """
+        if not contracts_enabled():
+            return
+        validator: Any = getattr(
+            SimilaritySearch.search, "__contract_validator__", None
+        )
+        if validator is not None:
+            validator(result, snapshot.search, sequence, epsilon)
+
+    def _trace(
+        self, result: SearchResult, outcome: str, version: int
+    ) -> None:
+        if self._trace_path is None:
+            return
+        record = search_record(result, timestamp=time.time())
+        record.update(
+            {"op": "search", "cache": outcome, "snapshot_version": version}
+        )
+        line = json.dumps(record) + "\n"
+        with self._trace_lock:
+            with open(self._trace_path, "a", encoding="utf-8") as handle:
+                handle.write(line)

@@ -1,0 +1,51 @@
+"""Typed errors of the query-serving subsystem.
+
+Admission control and deadlines need errors a caller (or the HTTP layer)
+can dispatch on without string matching: an overloaded engine fast-fails
+with :class:`Overloaded` (HTTP 429), an expired request raises
+:class:`DeadlineExceeded` (HTTP 408), and operations against a closed
+engine raise :class:`EngineClosed` (HTTP 503).  All inherit
+:class:`ServiceError`, so ``except ServiceError`` catches exactly the
+serving-layer failure modes and nothing from the search itself.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "DeadlineExceeded",
+    "EngineClosed",
+    "Overloaded",
+    "ServiceError",
+]
+
+
+class ServiceError(RuntimeError):
+    """Base class of all serving-layer failures."""
+
+
+class Overloaded(ServiceError):
+    """The request was rejected by admission control (queue at capacity).
+
+    Raised *before* any work is queued, so the caller can retry with
+    backoff knowing the request consumed (almost) no server resources.
+    """
+
+    def __init__(self, message: str, *, queue_depth: int, capacity: int) -> None:
+        super().__init__(message)
+        #: Requests queued or running when the rejection happened.
+        self.queue_depth = queue_depth
+        #: The admission limit (workers + queue slots).
+        self.capacity = capacity
+
+
+class DeadlineExceeded(ServiceError):
+    """The request's deadline expired while queued or executing."""
+
+    def __init__(self, message: str, *, timeout: float) -> None:
+        super().__init__(message)
+        #: The deadline the request carried, in seconds.
+        self.timeout = timeout
+
+
+class EngineClosed(ServiceError):
+    """The engine has been shut down; no further requests are accepted."""

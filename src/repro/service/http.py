@@ -1,0 +1,288 @@
+"""A stdlib-only HTTP/JSON front end for :class:`QueryEngine`.
+
+One small :class:`~http.server.ThreadingHTTPServer` exposing the engine's
+operations as JSON endpoints — no web framework, no third-party
+dependency, suitable for experiments and smoke tests rather than the open
+internet:
+
+==========  ======  ====================================================
+route       method  body / response
+==========  ======  ====================================================
+/healthz    GET     liveness: ``{"status": "ok", ...}``
+/stats      GET     the engine's :meth:`QueryEngine.stats` block
+/search     POST    ``{"points", "epsilon", "find_intervals"?, "timeout"?}``
+/knn        POST    ``{"points", "k", "timeout"?}``
+/insert     POST    ``{"points", "sequence_id"?}``
+/remove     POST    ``{"sequence_id"}``
+==========  ======  ====================================================
+
+Typed serving errors map onto status codes — :class:`Overloaded` → 429,
+:class:`DeadlineExceeded` → 408, :class:`EngineClosed` → 503, bad input →
+400, duplicate insert id → 409, unknown id → 404 — and every error body
+is ``{"error": {"type", "message", ...}}`` so clients can rebuild the
+typed exception (:mod:`repro.service.client` does exactly that).
+
+Sequence ids survive the JSON round trip when they are strings, numbers,
+booleans or null; solution-interval maps are keyed by ``str(sequence_id)``
+because JSON object keys must be strings.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, cast
+
+import numpy as np
+
+from repro.service.engine import QueryEngine
+from repro.service.errors import (
+    DeadlineExceeded,
+    EngineClosed,
+    Overloaded,
+    ServiceError,
+)
+from repro.util.validation import check_threshold
+
+__all__ = ["ServiceHandler", "ServiceServer", "serve"]
+
+
+def _error_payload(error: Exception) -> dict:
+    """The JSON body describing a failed request."""
+    detail: dict[str, Any] = {
+        "type": type(error).__name__,
+        "message": str(error.args[0]) if error.args else str(error),
+    }
+    if isinstance(error, Overloaded):
+        detail["queue_depth"] = error.queue_depth
+        detail["capacity"] = error.capacity
+    if isinstance(error, DeadlineExceeded):
+        detail["timeout"] = error.timeout
+    return {"error": detail}
+
+
+def _error_status(error: Exception, op: str) -> int:
+    """Map an exception to its HTTP status code."""
+    if isinstance(error, Overloaded):
+        return 429
+    if isinstance(error, DeadlineExceeded):
+        return 408
+    if isinstance(error, EngineClosed):
+        return 503
+    if isinstance(error, ServiceError):
+        return 500
+    if isinstance(error, KeyError):
+        # add() rejects duplicates with KeyError; lookups raise it for
+        # unknown ids — conflict on insert, not-found everywhere else.
+        return 409 if op == "insert" else 404
+    if isinstance(error, (TypeError, ValueError)):
+        return 400
+    return 500
+
+
+def _field(body: dict, name: str) -> Any:
+    """A required JSON field; missing fields are a 400, not a 404/409."""
+    if name not in body:
+        raise ValueError(f"missing required field {name!r}")
+    return body[name]
+
+
+def _points(body: dict) -> np.ndarray:
+    """The request's point array as float64."""
+    return np.asarray(_field(body, "points"), dtype=np.float64)
+
+
+def _intervals_payload(result_intervals: dict) -> dict[str, list]:
+    """Solution intervals as a JSON object keyed by ``str(sequence_id)``."""
+    return {
+        str(sid): [[start, stop] for start, stop in interval.intervals]
+        for sid, interval in result_intervals.items()
+    }
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Dispatches the route table above against ``self.server.engine``."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def engine(self) -> QueryEngine:
+        """The engine owned by the enclosing :class:`ServiceServer`."""
+        return cast("ServiceServer", self.server).engine
+
+    # ------------------------------------------------------------------
+    # HTTP verbs
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming convention)
+        if self.path == "/healthz":
+            self._handle("healthz", self._healthz)
+        elif self.path == "/stats":
+            self._handle("stats", self._stats)
+        else:
+            self._send_json(404, {"error": {"type": "NotFound", "message": f"no such route: GET {self.path}"}})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server naming convention)
+        routes = {
+            "/search": self._search,
+            "/knn": self._knn,
+            "/insert": self._insert,
+            "/remove": self._remove,
+        }
+        handler = routes.get(self.path)
+        if handler is None:
+            self._send_json(404, {"error": {"type": "NotFound", "message": f"no such route: POST {self.path}"}})
+            return
+        self._handle(self.path.lstrip("/"), handler)
+
+    # ------------------------------------------------------------------
+    # Route bodies
+    # ------------------------------------------------------------------
+    def _healthz(self, body: dict) -> dict:
+        engine = self.engine
+        return {
+            "status": "closed" if engine.closed else "ok",
+            "sequences": len(engine),
+            "dimension": engine.dimension,
+            "snapshot_version": engine.snapshot_version,
+        }
+
+    def _stats(self, body: dict) -> dict:
+        return self.engine.stats()
+
+    def _search(self, body: dict) -> dict:
+        epsilon = check_threshold(float(_field(body, "epsilon")))
+        find_intervals = bool(body.get("find_intervals", True))
+        timeout = body.get("timeout")
+        response = self.engine.search_detailed(
+            _points(body),
+            epsilon,
+            find_intervals=find_intervals,
+            timeout=None if timeout is None else float(timeout),
+        )
+        result = response.result
+        payload = {
+            "answers": list(result.answers),
+            "candidates": list(result.candidates),
+            "cache": response.cache,
+            "snapshot_version": response.snapshot_version,
+            "stats": {
+                "query_segments": result.stats.query_segments,
+                "node_accesses": result.stats.node_accesses,
+                "dnorm_evaluations": result.stats.dnorm_evaluations,
+            },
+        }
+        if find_intervals:
+            payload["intervals"] = _intervals_payload(result.solution_intervals)
+        return payload
+
+    def _knn(self, body: dict) -> dict:
+        timeout = body.get("timeout")
+        neighbors = self.engine.knn(
+            _points(body),
+            int(_field(body, "k")),
+            timeout=None if timeout is None else float(timeout),
+        )
+        return {
+            "neighbors": [
+                {"distance": distance, "sequence_id": sid}
+                for distance, sid in neighbors
+            ]
+        }
+
+    def _insert(self, body: dict) -> dict:
+        sequence_id = self.engine.insert(
+            _points(body), sequence_id=body.get("sequence_id")
+        )
+        return {
+            "sequence_id": sequence_id,
+            "sequences": len(self.engine),
+            "snapshot_version": self.engine.snapshot_version,
+        }
+
+    def _remove(self, body: dict) -> dict:
+        sequence_id = _field(body, "sequence_id")
+        self.engine.remove(sequence_id)
+        return {
+            "sequence_id": sequence_id,
+            "sequences": len(self.engine),
+            "snapshot_version": self.engine.snapshot_version,
+        }
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length", "0") or "0")
+        if length == 0:
+            return {}
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"request body is not valid JSON: {error}") from error
+        if not isinstance(body, dict):
+            raise ValueError("request body must be a JSON object")
+        return body
+
+    def _handle(self, op: str, route: Any) -> None:
+        try:
+            body = self._read_body()
+            payload = route(body)
+        except Exception as error:  # noqa: BLE001 — boundary: map to status
+            self._send_json(_error_status(error, op), _error_payload(error))
+            return
+        self._send_json(200, payload)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        data = json.dumps(payload, default=str).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Suppress per-request stderr noise unless the server is verbose."""
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`QueryEngine`.
+
+    The server does *not* own the engine's lifecycle: closing the server
+    stops accepting connections, but the caller decides when to
+    ``engine.close()`` (the CLI does both, in that order, on shutdown).
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        engine: QueryEngine,
+        *,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, ServiceHandler)
+        self.engine = engine
+        self.verbose = verbose
+
+
+def serve(
+    engine: QueryEngine,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> ServiceServer:
+    """Bind a :class:`ServiceServer` (``port=0`` picks a free port).
+
+    Returns the bound server without starting its accept loop; call
+    ``serve_forever()`` (typically on a thread) and ``shutdown()`` /
+    ``server_close()`` yourself, or use the ``repro serve`` CLI which
+    wires signal handling around exactly this function.
+    """
+    return ServiceServer((host, port), engine, verbose=verbose)

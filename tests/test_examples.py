@@ -20,6 +20,7 @@ EXAMPLES = [
     "image_region_search",
     "long_query_search",
     "raw_video_pipeline",
+    "serve_and_query",
 ]
 
 

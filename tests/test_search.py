@@ -164,6 +164,21 @@ class TestStatsAndValidation:
         result = engine.search(sequences[4].points[0:12], 0.05)
         assert 4 in result
 
+    def test_candidate_within_matches_lower_bound(self, populated, rng):
+        """The early-exit membership test agrees with the exact bound at
+        every threshold, including exactly at the bound value."""
+        db, _ = populated
+        engine = SimilaritySearch(db)
+        partition = engine.search(smooth_walk(rng, 30), 0.2).query_partition
+        for sid in list(db.ids())[:8]:
+            bound = engine.candidate_lower_bound(partition, sid)
+            for epsilon in (bound / 2, bound, bound * 2, 0.0, 0.5):
+                assert engine.candidate_within(partition, sid, epsilon) == (
+                    bound <= epsilon
+                )
+        with pytest.raises(ValueError, match="epsilon"):
+            engine.candidate_within(partition, 0, -0.5)
+
 
 class TestKnn:
     def test_knn_matches_brute_force(self, populated, rng):

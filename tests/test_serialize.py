@@ -1,5 +1,7 @@
 """Unit tests for R-tree serialisation and streaming append / calibration."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -203,3 +205,185 @@ class TestCalibration:
             calibrate_epsilon(db, [], 0.5)
         with pytest.raises(ValueError):
             selectivity_curve(db, [], [0.1])
+
+
+class TestRestrictedUnpickling:
+    """The payload pickle is resolved through an allowlist-only unpickler:
+    archives naming any global outside SAFE_PICKLE_GLOBALS must fail
+    before the reference is resolved, never execute it."""
+
+    def _tampered_archive(self, rng, tmp_path, payload_bytes):
+        import io
+
+        tree = RTree(dimension=2, max_entries=4)
+        tree.extend(random_boxes(rng, 20))
+        buffer = io.BytesIO()
+        save_tree(tree, buffer)
+        buffer.seek(0)
+        with np.load(buffer, allow_pickle=False) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        arrays["payloads"] = np.frombuffer(payload_bytes, dtype=np.uint8)
+        out = tmp_path / "tampered.npz"
+        np.savez(out, **arrays)
+        return out
+
+    def test_forbidden_global_rejected(self, rng, tmp_path):
+        import pickle
+
+        evil = pickle.dumps([os.system for _ in range(1)])
+        path = self._tampered_archive(rng, tmp_path, evil)
+        with pytest.raises(pickle.UnpicklingError, match="forbidden global"):
+            load_tree(path)
+
+    def test_reduce_based_payload_rejected(self, rng, tmp_path):
+        import pickle
+
+        class Exploit:
+            def __reduce__(self):
+                return (os.system, ("true",))
+
+        evil = pickle.dumps([Exploit()])
+        path = self._tampered_archive(rng, tmp_path, evil)
+        with pytest.raises(pickle.UnpicklingError, match="forbidden global"):
+            load_tree(path)
+
+    def test_non_list_payload_rejected(self, rng, tmp_path):
+        import pickle
+
+        path = self._tampered_archive(rng, tmp_path, pickle.dumps({"a": 1}))
+        with pytest.raises(pickle.UnpicklingError, match="must unpickle to a list"):
+            load_tree(path)
+
+    def test_allowlist_names_segment_key_and_primitives(self):
+        from repro.index.serialize import SAFE_PICKLE_GLOBALS
+
+        assert ("repro.core.database", "SegmentKey") in SAFE_PICKLE_GLOBALS
+        assert ("builtins", "tuple") in SAFE_PICKLE_GLOBALS
+        assert not any(module == "os" for module, _ in SAFE_PICKLE_GLOBALS)
+        assert not any(module == "posix" for module, _ in SAFE_PICKLE_GLOBALS)
+
+    def test_legitimate_payloads_still_load(self, rng, tmp_path):
+        from repro.core.database import SegmentKey
+
+        tree = RTree(dimension=2, max_entries=4)
+        for ordinal, (mbr, _) in enumerate(random_boxes(rng, 25)):
+            tree.insert(mbr, SegmentKey(f"s{ordinal}", ordinal))
+        path = tmp_path / "legit.npz"
+        save_tree(tree, path)
+        loaded = load_tree(path)
+        payloads = {entry.payload for entry in loaded.entries()}
+        assert payloads == {entry.payload for entry in tree.entries()}
+        assert all(isinstance(p, SegmentKey) for p in payloads)
+
+
+class TestBytesRoundTrip:
+    def test_dumps_loads_tree(self, rng):
+        from repro.index.serialize import dumps_tree, loads_tree
+
+        tree = RStarTree(dimension=3, max_entries=5)
+        tree.extend(random_boxes(rng, 60, dimension=3))
+        blob = dumps_tree(tree)
+        assert isinstance(blob, bytes) and blob
+        loaded = loads_tree(blob)
+        assert type(loaded) is RStarTree
+        assert len(loaded) == len(tree)
+        assert loaded.height == tree.height
+        loaded.check_invariants()
+
+    def test_backend_registry_serialization(self, rng):
+        from repro.core.backends import (
+            create_index,
+            deserialize_index,
+            get_backend,
+            serialize_index,
+        )
+
+        for kind in ("rtree", "rstar"):
+            spec = get_backend(kind)
+            assert spec.dumps is not None and spec.loads is not None
+            index = create_index(kind, 2, max_entries=8)
+            for ordinal, (mbr, payload) in enumerate(random_boxes(rng, 15)):
+                index.insert(mbr, payload)
+            blob = serialize_index(kind, index)
+            assert blob is not None
+            restored = deserialize_index(kind, blob)
+            assert len(restored) == 15
+
+
+class TestDatabaseIndexEmbedding:
+    """save() embeds the flat index tree; load() restores it directly
+    instead of re-inserting every segment."""
+
+    def _database(self, rng, count=8, **kwargs):
+        db = SequenceDatabase(dimension=2, **kwargs)
+        for ordinal in range(count):
+            db.add(rng.random((22, 2)), sequence_id=f"s{ordinal}")
+        return db
+
+    def test_archive_contains_index_blob(self, rng, tmp_path):
+        db = self._database(rng)
+        path = tmp_path / "db.npz"
+        db.save(path)
+        with np.load(path) as archive:
+            assert "_index" in archive.files
+
+    def test_include_index_false_falls_back(self, rng, tmp_path):
+        db = self._database(rng)
+        path = tmp_path / "db.npz"
+        db.save(path, include_index=False)
+        with np.load(path) as archive:
+            assert "_index" not in archive.files
+        loaded = SequenceDatabase.load(path)
+        query = rng.random((9, 2))
+        assert (
+            SimilaritySearch(loaded).search(query, 0.3).answers
+            == SimilaritySearch(db).search(query, 0.3).answers
+        )
+
+    def test_loaded_index_layout_identical(self, rng, tmp_path):
+        """The restored tree has the same node layout: identical answers
+        AND identical node-access counts."""
+        db = self._database(rng)
+        path = tmp_path / "db.npz"
+        db.save(path)
+        loaded = SequenceDatabase.load(path)
+        assert len(loaded.index) == db.index.__len__() == db.segment_count
+
+        query = rng.random((9, 2))
+        db.index.stats.reset_query_counters()
+        loaded.index.stats.reset_query_counters()
+        original = SimilaritySearch(db).search(query, 0.25)
+        restored = SimilaritySearch(loaded).search(query, 0.25)
+        assert restored.answers == original.answers
+        assert restored.candidates == original.candidates
+        assert restored.solution_intervals == original.solution_intervals
+        assert restored.stats.node_accesses == original.stats.node_accesses
+
+    def test_str_backend_roundtrip_with_index(self, rng, tmp_path):
+        db = self._database(rng, index_kind="str")
+        path = tmp_path / "db_str.npz"
+        db.save(path)
+        with np.load(path) as archive:
+            assert "_index" in archive.files
+        loaded = SequenceDatabase.load(path)
+        query = rng.random((9, 2))
+        assert (
+            SimilaritySearch(loaded).search(query, 0.3).answers
+            == SimilaritySearch(db).search(query, 0.3).answers
+        )
+
+    def test_mismatched_index_rejected(self, rng, tmp_path):
+        small = self._database(rng, count=3)
+        big = self._database(rng, count=6)
+        small_path = tmp_path / "small.npz"
+        big_path = tmp_path / "big.npz"
+        small.save(small_path)
+        big.save(big_path)
+        with np.load(small_path) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        with np.load(big_path) as archive:
+            arrays["_index"] = archive["_index"]
+        spliced = tmp_path / "spliced.npz"
+        np.savez(spliced, **arrays)
+        with pytest.raises(ValueError, match="corrupt archive"):
+            SequenceDatabase.load(spliced)

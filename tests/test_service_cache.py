@@ -1,0 +1,217 @@
+"""Unit and property tests for the ε-aware result cache.
+
+The load-bearing claim: serving from the cache — whether an exact-ε hit
+or a tighter-ε refine — NEVER changes a result set relative to an
+uncached engine.  The hypothesis test at the bottom drives that claim
+with the same corpus generator as the end-to-end search property tests.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+
+from repro.core.database import SequenceDatabase
+from repro.core.search import SimilaritySearch
+from repro.service import QueryEngine
+from repro.service.cache import CacheEntry, EpsilonCache, query_fingerprint
+from tests.test_properties_search import corpora
+
+
+def make_database(rng, count=6):
+    database = SequenceDatabase(dimension=2)
+    for ordinal in range(count):
+        database.add(rng.random((24, 2)), sequence_id=f"s{ordinal}")
+    return database
+
+
+def entry_from_search(search, query, epsilon, version=0):
+    result = search.search(query, epsilon)
+    return result, CacheEntry(
+        query_partition=result.query_partition,
+        epsilon=epsilon,
+        find_intervals=True,
+        candidates=set(result.candidates),
+        answers=set(result.answers),
+        intervals=dict(result.solution_intervals),
+        version=version,
+        dimension=2,
+    )
+
+
+class TestFingerprint:
+    def test_same_content_same_fingerprint(self, rng):
+        points = rng.random((12, 3))
+        assert query_fingerprint(points) == query_fingerprint(points.copy())
+
+    def test_dtype_is_canonicalised(self, rng):
+        points = rng.random((8, 2))
+        assert query_fingerprint(points) == query_fingerprint(
+            points.astype(np.float64)
+        )
+
+    def test_different_shape_or_content_differ(self, rng):
+        points = rng.random((12, 2))
+        assert query_fingerprint(points) != query_fingerprint(points[:6])
+        assert query_fingerprint(points) != query_fingerprint(
+            points.reshape(2, 12)
+        )
+        nudged = points.copy()
+        nudged[0, 0] += 1e-9
+        assert query_fingerprint(points) != query_fingerprint(nudged)
+
+
+class TestLookupStore:
+    def test_epsilon_monotonic_lookup(self, rng):
+        search = SimilaritySearch(make_database(rng))
+        query = rng.random((10, 2))
+        _, entry = entry_from_search(search, query, 0.5)
+        cache = EpsilonCache(capacity=4)
+        assert cache.store("q", entry, version=0)
+        assert cache.lookup("q", 0.5, version=0) is entry
+        assert cache.lookup("q", 0.2, version=0) is entry  # tighter: usable
+        assert cache.lookup("q", 0.7, version=0) is None  # wider: not usable
+        assert cache.lookup("q", 0.5, version=1) is None  # other snapshot
+        assert cache.lookup("other", 0.5, version=0) is None
+
+    def test_store_drops_stale_entry(self, rng):
+        search = SimilaritySearch(make_database(rng))
+        _, entry = entry_from_search(search, rng.random((10, 2)), 0.5, version=0)
+        cache = EpsilonCache(capacity=4)
+        assert not cache.store("q", entry, version=3)  # writer won the race
+        assert len(cache) == 0
+
+    def test_narrower_entry_never_evicts_wider(self, rng):
+        search = SimilaritySearch(make_database(rng))
+        query = rng.random((10, 2))
+        _, wide = entry_from_search(search, query, 0.6)
+        _, tight = entry_from_search(search, query, 0.2)
+        cache = EpsilonCache(capacity=4)
+        assert cache.store("q", wide, version=0)
+        assert not cache.store("q", tight, version=0)
+        assert cache.lookup("q", 0.6, version=0) is wide
+
+    def test_lru_eviction(self, rng):
+        search = SimilaritySearch(make_database(rng))
+        cache = EpsilonCache(capacity=2)
+        entries = {}
+        for name in ("a", "b", "c"):
+            _, entries[name] = entry_from_search(search, rng.random((8, 2)), 0.4)
+            cache.store(name, entries[name], version=0)
+        assert cache.lookup("a", 0.4, version=0) is None  # oldest evicted
+        assert cache.lookup("b", 0.4, version=0) is entries["b"]
+        # "b" is now most recent; inserting "d" evicts "c"
+        _, entries["d"] = entry_from_search(search, rng.random((8, 2)), 0.4)
+        cache.store("d", entries["d"], version=0)
+        assert cache.lookup("c", 0.4, version=0) is None
+        assert cache.lookup("b", 0.4, version=0) is entries["b"]
+
+    def test_clear_and_capacity_validation(self):
+        with pytest.raises(ValueError):
+            EpsilonCache(capacity=0)
+        cache = EpsilonCache(capacity=2)
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestApplyWrite:
+    def test_insert_patch_equals_fresh_search(self, rng):
+        database = make_database(rng)
+        query = rng.random((10, 2))
+        search = SimilaritySearch(database)
+        _, entry = entry_from_search(search, query, 0.5)
+        cache = EpsilonCache(capacity=4)
+        cache.store("q", entry, version=0)
+
+        grown = database.clone()
+        grown.add(rng.random((24, 2)), sequence_id="newcomer")
+        patched = cache.apply_write("newcomer", SimilaritySearch(grown), 1)
+        assert patched == 1
+
+        fresh = SimilaritySearch(grown).search(query, 0.5)
+        patched_entry = cache.lookup("q", 0.5, version=1)
+        assert patched_entry is not None
+        assert patched_entry.version == 1
+        assert patched_entry.candidates == set(fresh.candidates)
+        assert patched_entry.answers == set(fresh.answers)
+        assert patched_entry.intervals == fresh.solution_intervals
+        assert cache.lookup("q", 0.5, version=0) is None
+        # The original entry is untouched: a reader still holding it sees
+        # the state that was exact for snapshot 0.
+        assert patched_entry is not entry
+        assert entry.version == 0
+        assert "newcomer" not in entry.candidates
+
+    def test_remove_patch_drops_sequence(self, rng):
+        database = make_database(rng)
+        query = rng.random((10, 2))
+        search = SimilaritySearch(database)
+        result, entry = entry_from_search(search, query, 0.8)
+        assume_target = result.answers[0] if result.answers else "s0"
+        cache = EpsilonCache(capacity=4)
+        cache.store("q", entry, version=0)
+
+        shrunk = database.clone()
+        shrunk.remove(assume_target)
+        cache.apply_write(assume_target, SimilaritySearch(shrunk), 1)
+
+        fresh = SimilaritySearch(shrunk).search(query, 0.8)
+        patched_entry = cache.lookup("q", 0.8, version=1)
+        assert patched_entry is not None
+        assert assume_target not in patched_entry.candidates
+        assert patched_entry.candidates == set(fresh.candidates)
+        assert patched_entry.answers == set(fresh.answers)
+        assert patched_entry.intervals == fresh.solution_intervals
+        # Copy-on-write patching: the pre-write entry still holds the
+        # removed id, exact for snapshot 0.
+        assert assume_target in entry.candidates or not result.answers
+
+    def test_incoherent_entry_is_evicted_not_stamped(self, rng):
+        """An entry that missed a write's patch must not be version-
+        stamped by the next write — a single-id patch is only exact on an
+        exact base.  This is the stale-store race: a search on snapshot
+        v0 stores its result between writer v1's cache patch and its
+        snapshot publish, so the entry never saw v1's sequence."""
+        database = make_database(rng)
+        query = rng.random((10, 2))
+        _, entry = entry_from_search(SimilaritySearch(database), query, 0.5)
+        cache = EpsilonCache(capacity=4)
+        cache.store("q", entry, version=0)  # raced store: missed v1's patch
+
+        grown = database.clone()
+        grown.add(rng.random((24, 2)), sequence_id="v1-missed")
+        grown.add(rng.random((24, 2)), sequence_id="v2-seen")
+        # Writer v2 patches for its own id only; the entry still claims
+        # version 0, not 1, so it cannot be patched up to 2.
+        cache.apply_write("v2-seen", SimilaritySearch(grown), 2)
+        assert cache.lookup("q", 0.5, version=2) is None
+        assert len(cache) == 0
+
+
+class TestEpsilonMonotonicProperty:
+    @given(corpora(dims=(1, 2)))
+    @settings(max_examples=25, deadline=None)
+    def test_cached_engine_never_changes_results(self, case):
+        """miss, hit and refine all match the uncached engine exactly —
+        answers, candidates and solution intervals."""
+        sequences, query, epsilon = case
+        assume(epsilon > 1e-6)
+        database = SequenceDatabase(
+            dimension=sequences[0].shape[1], max_points=4
+        )
+        for ordinal, points in enumerate(sequences):
+            database.add(points, sequence_id=ordinal)
+        reference = SimilaritySearch(database.clone())
+
+        tighter = epsilon * 0.5
+        plan = [(epsilon, "miss"), (epsilon, "hit"), (tighter, "refine")]
+        with QueryEngine(database, workers=2, cache_size=8) as engine:
+            for threshold, outcome in plan:
+                detailed = engine.search_detailed(query, threshold)
+                expected = reference.search(query, threshold)
+                assert detailed.cache == outcome
+                assert detailed.result.answers == expected.answers
+                assert detailed.result.candidates == expected.candidates
+                assert (
+                    detailed.result.solution_intervals
+                    == expected.solution_intervals
+                )

@@ -1,0 +1,386 @@
+"""Unit and concurrency tests for :class:`repro.service.QueryEngine`.
+
+The serving layer's core promise: for any fixed corpus state it returns
+exactly what a single-threaded :class:`SimilaritySearch` returns — any
+worker count, cache on or off — and under concurrent writes every reader
+observes some *published* snapshot, never a torn intermediate state.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.analysis.tracing import read_trace
+from repro.core.database import SequenceDatabase
+from repro.core.search import SimilaritySearch
+from repro.service import (
+    DeadlineExceeded,
+    EngineClosed,
+    Overloaded,
+    QueryEngine,
+)
+
+EPSILONS = (0.6, 0.3, 0.45)
+
+
+def build_database(rng, count=10, dimension=2):
+    database = SequenceDatabase(dimension=dimension)
+    for ordinal in range(count):
+        length = int(rng.integers(20, 60))
+        database.add(rng.random((length, dimension)), sequence_id=f"s{ordinal}")
+    return database
+
+
+class TestParity:
+    @pytest.mark.parametrize("cache_size", [0, 16])
+    def test_matches_single_threaded_search(self, rng, cache_size):
+        """4-worker engine results are identical to SimilaritySearch."""
+        database = build_database(rng)
+        reference = SimilaritySearch(database.clone())
+        queries = [rng.random((12, 2)) for _ in range(3)]
+        with QueryEngine(
+            database, workers=4, cache_size=cache_size
+        ) as engine:
+            for query in queries:
+                # repeats and tightened thresholds exercise hit/refine
+                for epsilon in (0.6, 0.6, 0.3, 0.45, 0.3):
+                    expected = reference.search(query, epsilon)
+                    got = engine.search(query, epsilon)
+                    assert got.answers == expected.answers
+                    assert got.candidates == expected.candidates
+                    assert got.solution_intervals == expected.solution_intervals
+
+    def test_cache_outcomes(self, rng):
+        database = build_database(rng)
+        query = rng.random((10, 2))
+        with QueryEngine(database, workers=2, cache_size=8) as engine:
+            assert engine.search_detailed(query, 0.5).cache == "miss"
+            assert engine.search_detailed(query, 0.5).cache == "hit"
+            assert engine.search_detailed(query, 0.2).cache == "refine"
+            assert engine.search_detailed(rng.random((10, 2)), 0.5).cache == "miss"
+
+    def test_cache_off_outcome(self, rng):
+        database = build_database(rng, count=4)
+        query = rng.random((10, 2))
+        with QueryEngine(database, workers=2, cache_size=0) as engine:
+            assert engine.search_detailed(query, 0.5).cache == "off"
+            assert engine.search_detailed(query, 0.5).cache == "off"
+
+    def test_knn_parity(self, rng):
+        database = build_database(rng)
+        reference = SimilaritySearch(database.clone())
+        query = rng.random((9, 2))
+        with QueryEngine(database, workers=3) as engine:
+            assert engine.knn(query, 4) == reference.knn(query, 4)
+
+    def test_range_query_returns_answer_ids(self, rng):
+        database = build_database(rng)
+        reference = SimilaritySearch(database.clone())
+        query = rng.random((9, 2))
+        with QueryEngine(database, workers=2) as engine:
+            assert engine.range_query(query, 0.4) == reference.search(
+                query, 0.4, find_intervals=False
+            ).answers
+
+
+class TestSnapshotIsolation:
+    def test_concurrent_readers_never_see_torn_state(self, rng):
+        """Every (version, answers) observation matches that exact
+        published snapshot — a torn read would match none of them."""
+        database = build_database(rng, count=8)
+        query = rng.random((10, 2))
+        inserts = [rng.random((30, 2)) for _ in range(5)]
+
+        # Reference answer set per published version 0..5.
+        expected = {}
+        shadow = database.clone()
+        expected[0] = tuple(
+            SimilaritySearch(shadow).search(query, 0.5, find_intervals=False).answers
+        )
+        for version, points in enumerate(inserts, start=1):
+            shadow.add(points, sequence_id=f"x{version}")
+            expected[version] = tuple(
+                SimilaritySearch(shadow)
+                .search(query, 0.5, find_intervals=False)
+                .answers
+            )
+
+        engine = QueryEngine(database, workers=4, cache_size=8)
+        observed = []
+        lock = threading.Lock()
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                detailed = engine.search_detailed(
+                    query, 0.5, find_intervals=False
+                )
+                with lock:
+                    observed.append(
+                        (detailed.snapshot_version, tuple(detailed.result.answers))
+                    )
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in readers:
+            thread.start()
+        try:
+            for version, points in enumerate(inserts, start=1):
+                engine.insert(points, sequence_id=f"x{version}")
+                time.sleep(0.01)
+        finally:
+            stop.set()
+            for thread in readers:
+                thread.join()
+            engine.close()
+
+        assert observed, "readers made no observations"
+        for version, answers in observed:
+            assert answers == expected[version], (
+                f"snapshot v{version} served {answers}, expected "
+                f"{expected[version]} — torn read"
+            )
+        assert engine.snapshot_version == len(inserts)
+
+    def test_write_ops_match_fresh_reference(self, rng):
+        database = build_database(rng, count=6)
+        query = rng.random((11, 2))
+        extra = rng.random((28, 2))
+        tail = rng.random((9, 2))
+        with QueryEngine(database.clone(), workers=2, cache_size=4) as engine:
+            engine.search(query, 0.5)  # warm the cache so writes must patch
+            engine.insert(extra, sequence_id="fresh")
+            engine.append("fresh", tail)
+            engine.remove("s1")
+
+            shadow = database.clone()
+            shadow.add(extra, sequence_id="fresh")
+            shadow.append_points("fresh", tail)
+            shadow.remove("s1")
+            reference = SimilaritySearch(shadow)
+
+            for epsilon in EPSILONS:
+                expected = reference.search(query, epsilon)
+                got = engine.search(query, epsilon)
+                assert got.answers == expected.answers
+                assert got.candidates == expected.candidates
+                assert got.solution_intervals == expected.solution_intervals
+
+    def test_insert_duplicate_and_remove_unknown(self, rng):
+        with QueryEngine(build_database(rng, count=3), workers=1) as engine:
+            with pytest.raises(KeyError):
+                engine.insert(
+                    engine._snapshot.database.sequence("s0").points,
+                    sequence_id="s0",
+                )
+            with pytest.raises(KeyError):
+                engine.remove("nope")
+            # failed writes publish no snapshot
+            assert engine.snapshot_version == 0
+
+
+class TestAdmissionAndDeadlines:
+    def test_overloaded_fast_fail(self, rng):
+        engine = QueryEngine(
+            build_database(rng, count=3), workers=1, queue_cap=0
+        )
+        gate = threading.Event()
+        inner = engine._do_search
+        engine._do_search = lambda *args: (gate.wait(5), inner(*args))[1]
+        query = rng.random((8, 2))
+        blocked = threading.Thread(target=lambda: engine.search(query, 0.5))
+        blocked.start()
+        try:
+            deadline = time.monotonic() + 5
+            while engine.queue_depth == 0 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            with pytest.raises(Overloaded) as caught:
+                engine.search(query, 0.5)
+            assert caught.value.capacity == 1
+            assert caught.value.queue_depth == 1
+        finally:
+            gate.set()
+            blocked.join()
+            engine.close()
+        assert engine.stats()["rejected_overload"] == 1
+
+    def test_deadline_exceeded_mid_execution(self, rng):
+        engine = QueryEngine(build_database(rng, count=3), workers=1)
+        inner = engine._do_search
+        engine._do_search = lambda *args: (time.sleep(0.4), inner(*args))[1]
+        try:
+            with pytest.raises(DeadlineExceeded) as caught:
+                engine.search(rng.random((8, 2)), 0.5, timeout=0.05)
+            assert caught.value.timeout == pytest.approx(0.05)
+        finally:
+            engine.close()
+        assert engine.stats()["deadline_exceeded"] == 1
+
+    def test_deadline_expired_while_queued(self, rng):
+        engine = QueryEngine(
+            build_database(rng, count=3), workers=1, queue_cap=4
+        )
+        gate = threading.Event()
+        inner = engine._do_search
+        engine._do_search = lambda *args: (gate.wait(5), inner(*args))[1]
+        query = rng.random((8, 2))
+        blocked = threading.Thread(target=lambda: engine.search(query, 0.5))
+        blocked.start()
+        try:
+            time.sleep(0.05)
+            with pytest.raises(DeadlineExceeded):
+                engine.search(query, 0.5, timeout=0.05)
+        finally:
+            gate.set()
+            blocked.join()
+            engine.close()
+
+    def test_default_timeout_applies(self, rng):
+        engine = QueryEngine(
+            build_database(rng, count=3), workers=1, default_timeout=0.05
+        )
+        inner = engine._do_search
+        engine._do_search = lambda *args: (time.sleep(0.4), inner(*args))[1]
+        try:
+            with pytest.raises(DeadlineExceeded):
+                engine.search(rng.random((8, 2)), 0.5)
+        finally:
+            engine.close()
+
+    def test_slots_are_released_after_rejections(self, rng):
+        engine = QueryEngine(build_database(rng, count=3), workers=2)
+        query = rng.random((8, 2))
+        try:
+            with pytest.raises(DeadlineExceeded):
+                inner = engine._do_search
+                engine._do_search = lambda *args: (
+                    time.sleep(0.3),
+                    inner(*args),
+                )[1]
+                engine.search(query, 0.5, timeout=0.05)
+            time.sleep(0.5)  # let the abandoned worker drain
+            assert engine.queue_depth == 0
+            engine._do_search = inner
+            assert engine.search(query, 0.5) is not None
+        finally:
+            engine.close()
+
+
+class TestContractsUnderConcurrency:
+    def test_concurrent_insert_and_search_with_contracts(self, rng, monkeypatch):
+        """Sustained mixed read/write traffic under REPRO_CHECK_CONTRACTS=1
+        finishes without deadlock and without contract violations on any
+        serving path (miss, hit and refine all re-validate)."""
+        monkeypatch.setenv("REPRO_CHECK_CONTRACTS", "1")
+        database = build_database(rng, count=5)
+        queries = [rng.random((9, 2)) for _ in range(2)]
+        inserts = [rng.random((24, 2)) for _ in range(4)]
+        failures = []
+
+        with QueryEngine(database, workers=4, cache_size=8) as engine:
+            def reader(query):
+                try:
+                    for epsilon in EPSILONS * 3:
+                        result = engine.search(query, epsilon)
+                        assert set(result.answers) <= set(result.candidates)
+                except Exception as error:  # noqa: BLE001 — collected below
+                    failures.append(error)
+
+            threads = [
+                threading.Thread(target=reader, args=(query,))
+                for query in queries
+                for _ in range(2)
+            ]
+            for thread in threads:
+                thread.start()
+            for ordinal, points in enumerate(inserts):
+                engine.insert(points, sequence_id=f"w{ordinal}")
+            engine.remove("w0")
+            for thread in threads:
+                thread.join()
+
+        assert not failures, failures[0]
+
+
+class TestLifecycleAndValidation:
+    def test_closed_engine_rejects_requests(self, rng):
+        engine = QueryEngine(build_database(rng, count=2), workers=1)
+        engine.close()
+        query = rng.random((6, 2))
+        with pytest.raises(EngineClosed):
+            engine.search(query, 0.5)
+        with pytest.raises(EngineClosed):
+            engine.insert(query)
+        engine.close()  # idempotent
+
+    def test_constructor_validation(self, rng):
+        database = build_database(rng, count=2)
+        with pytest.raises(TypeError):
+            QueryEngine(object())
+        with pytest.raises(ValueError):
+            QueryEngine(database, workers=0)
+        with pytest.raises(ValueError):
+            QueryEngine(database, queue_cap=-1)
+        with pytest.raises(ValueError):
+            QueryEngine(database, cache_size=-1)
+        with pytest.raises(ValueError):
+            QueryEngine(database, default_timeout=0.0)
+
+    def test_request_validation(self, rng):
+        with QueryEngine(build_database(rng, count=2), workers=1) as engine:
+            with pytest.raises(ValueError):
+                engine.search(rng.random((6, 2)), -0.1)
+            with pytest.raises(ValueError):
+                engine.search(rng.random((6, 2)), 0.1, timeout=-1.0)
+            with pytest.raises(ValueError):
+                engine.knn(rng.random((6, 2)), 0)
+            with pytest.raises(ValueError):
+                engine.search(rng.random((6, 3)), 0.1)  # wrong dimension
+
+    def test_dimension_and_len(self, rng):
+        with QueryEngine(build_database(rng, count=3), workers=1) as engine:
+            assert engine.dimension == 2
+            assert len(engine) == 3
+            assert engine.sequence_ids() == ["s0", "s1", "s2"]
+
+
+class TestStatsAndTracing:
+    def test_stats_block(self, rng):
+        with QueryEngine(build_database(rng), workers=2, cache_size=4) as engine:
+            query = rng.random((10, 2))
+            engine.search(query, 0.5)
+            engine.search(query, 0.5)
+            engine.insert(rng.random((20, 2)), sequence_id="w")
+            stats = engine.stats()
+        assert stats["requests"]["search"] == 2
+        assert stats["requests"]["insert"] == 1
+        assert stats["completed"] == 3
+        assert stats["cache"]["hits"] == 1
+        assert stats["cache"]["misses"] == 1
+        assert 0.0 < stats["cache"]["hit_ratio"] <= 1.0
+        assert stats["snapshots_published"] == 1
+        assert stats["snapshot_version"] == 1
+        assert stats["latency_ms"]["p95"] >= stats["latency_ms"]["p50"] >= 0.0
+        assert stats["queue_depth"] == 0
+        assert stats["workers"] == 2
+        assert stats["sequences"] == 11
+
+    def test_trace_records(self, rng, tmp_path):
+        trace = tmp_path / "serve_trace.jsonl"
+        with QueryEngine(
+            build_database(rng, count=4),
+            workers=1,
+            cache_size=4,
+            trace_path=trace,
+        ) as engine:
+            query = rng.random((10, 2))
+            engine.search(query, 0.5)
+            engine.search(query, 0.5)
+            engine.search(query, 0.25)
+        records = read_trace(trace)
+        assert [r["cache"] for r in records] == ["miss", "hit", "refine"]
+        for record in records:
+            assert record["op"] == "search"
+            assert record["snapshot_version"] == 0
+            assert record["epsilon"] in (0.5, 0.25)
+            assert "answers" in record and "candidates" in record

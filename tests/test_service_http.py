@@ -1,0 +1,234 @@
+"""End-to-end tests of the HTTP endpoint and its client.
+
+The server binds port 0 (a free ephemeral port) so tests never collide;
+each fixture tears the server and engine down deterministically.  Status
+codes are asserted at the raw urllib level; the typed-exception round
+trip (429 → Overloaded etc.) through :class:`ServiceClient`.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.database import SequenceDatabase
+from repro.service import (
+    DeadlineExceeded,
+    EngineClosed,
+    Overloaded,
+    QueryEngine,
+    ServiceClient,
+)
+from repro.service.http import serve
+
+
+def build_database(rng, count=8):
+    database = SequenceDatabase(dimension=2)
+    for ordinal in range(count):
+        database.add(rng.random((25, 2)), sequence_id=f"s{ordinal}")
+    return database
+
+
+def start_server(engine):
+    server = serve(engine, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServiceClient(
+        f"http://127.0.0.1:{server.server_address[1]}", timeout=10.0
+    )
+    return server, client
+
+
+@pytest.fixture
+def served(rng):
+    engine = QueryEngine(build_database(rng), workers=2, cache_size=8)
+    server, client = start_server(engine)
+    yield engine, client
+    server.shutdown()
+    server.server_close()
+    engine.close()
+
+
+def post_status(client, path, body):
+    """Raw POST returning the HTTP status code."""
+    request = urllib.request.Request(
+        client.base_url + path,
+        data=json.dumps(body).encode(),
+        method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10.0) as reply:
+            return reply.status
+    except urllib.error.HTTPError as error:
+        error.read()
+        return error.code
+
+
+class TestRoutes:
+    def test_healthz(self, served):
+        engine, client = served
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["sequences"] == 8
+        assert health["dimension"] == 2
+        assert health["snapshot_version"] == 0
+
+    def test_search_matches_embedded_engine(self, rng, served):
+        engine, client = served
+        query = rng.random((10, 2))
+        reply = client.search(query, 0.5)
+        embedded = engine.search(query, 0.5)
+        assert reply["answers"] == list(embedded.answers)
+        assert reply["candidates"] == list(embedded.candidates)
+        assert reply["snapshot_version"] == 0
+        for sequence_id, interval in embedded.solution_intervals.items():
+            assert reply["intervals"][str(sequence_id)] == [
+                [start, stop] for start, stop in interval.intervals
+            ]
+
+    def test_repeated_search_is_a_cache_hit(self, rng, served):
+        _, client = served
+        query = rng.random((10, 2))
+        first = client.search(query, 0.5)
+        again = client.search(query, 0.5)
+        assert first["cache"] == "miss"
+        assert again["cache"] == "hit"
+        assert again["answers"] == first["answers"]
+        tighter = client.search(query, 0.2)
+        assert tighter["cache"] == "refine"
+        assert set(tighter["answers"]) <= set(first["answers"])
+
+    def test_find_intervals_false_omits_intervals(self, rng, served):
+        _, client = served
+        reply = client.search(rng.random((10, 2)), 0.5, find_intervals=False)
+        assert "intervals" not in reply
+
+    def test_knn(self, rng, served):
+        engine, client = served
+        query = rng.random((10, 2))
+        neighbors = client.knn(query, 3)
+        assert neighbors == engine.knn(query, 3)
+        distances = [distance for distance, _ in neighbors]
+        assert distances == sorted(distances)
+
+    def test_insert_then_search_and_remove(self, rng, served):
+        engine, client = served
+        points = rng.random((25, 2))
+        assert client.insert(points, sequence_id="fresh") == "fresh"
+        assert client.healthz()["sequences"] == 9
+        assert client.healthz()["snapshot_version"] == 1
+        reply = client.search(points, 0.05)
+        assert "fresh" in reply["answers"]
+        client.remove("fresh")
+        assert client.healthz()["sequences"] == 8
+
+    def test_stats_endpoint(self, rng, served):
+        engine, client = served
+        client.search(rng.random((10, 2)), 0.5)
+        stats = client.stats()
+        assert stats == engine.stats() or stats["requests_total"] >= 1
+        for key in (
+            "requests",
+            "completed",
+            "latency_ms",
+            "cache",
+            "queue_depth",
+            "snapshot_version",
+        ):
+            assert key in stats
+
+
+class TestErrorMapping:
+    def test_duplicate_insert_is_409(self, rng, served):
+        _, client = served
+        points = rng.random((20, 2)).tolist()
+        assert post_status(client, "/insert", {"points": points, "sequence_id": "dup"}) == 200
+        assert post_status(client, "/insert", {"points": points, "sequence_id": "dup"}) == 409
+        with pytest.raises(KeyError):
+            client.insert(points, sequence_id="dup")
+
+    def test_unknown_remove_is_404(self, served):
+        _, client = served
+        assert post_status(client, "/remove", {"sequence_id": "ghost"}) == 404
+        with pytest.raises(KeyError):
+            client.remove("ghost")
+
+    def test_bad_input_is_400(self, rng, served):
+        _, client = served
+        points = rng.random((10, 2)).tolist()
+        assert post_status(client, "/search", {"points": points, "epsilon": -1}) == 400
+        assert post_status(client, "/search", {"epsilon": 0.5}) == 400
+        assert post_status(client, "/search", {"points": points, "epsilon": 0.5, "timeout": -2}) == 400
+        with pytest.raises(ValueError):
+            client.search(points, -1.0)
+
+    def test_unknown_route_is_404(self, served):
+        _, client = served
+        assert post_status(client, "/nope", {}) == 404
+
+    def test_overloaded_is_429_and_typed(self, rng):
+        engine = QueryEngine(build_database(rng, count=3), workers=1, queue_cap=0)
+        gate = threading.Event()
+        inner = engine._do_search
+        engine._do_search = lambda *args: (gate.wait(5), inner(*args))[1]
+        server, client = start_server(engine)
+        query = rng.random((8, 2))
+        blocker = threading.Thread(
+            target=lambda: post_status(
+                client, "/search", {"points": query.tolist(), "epsilon": 0.5}
+            )
+        )
+        blocker.start()
+        try:
+            deadline = time.monotonic() + 5
+            while engine.queue_depth == 0 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            with pytest.raises(Overloaded) as caught:
+                client.search(query, 0.5)
+            assert caught.value.capacity == 1
+        finally:
+            gate.set()
+            blocker.join()
+            server.shutdown()
+            server.server_close()
+            engine.close()
+
+    def test_deadline_is_408_and_typed(self, rng):
+        engine = QueryEngine(build_database(rng, count=3), workers=1)
+        inner = engine._do_search
+        engine._do_search = lambda *args: (time.sleep(0.4), inner(*args))[1]
+        server, client = start_server(engine)
+        try:
+            with pytest.raises(DeadlineExceeded) as caught:
+                client.search(rng.random((8, 2)), 0.5, timeout=0.05)
+            assert caught.value.timeout == pytest.approx(0.05)
+        finally:
+            server.shutdown()
+            server.server_close()
+            engine.close()
+
+    def test_closed_engine_is_503_and_typed(self, rng):
+        engine = QueryEngine(build_database(rng, count=2), workers=1)
+        server, client = start_server(engine)
+        engine.close()
+        try:
+            assert client.healthz()["status"] == "closed"
+            with pytest.raises(EngineClosed):
+                client.search(rng.random((8, 2)), 0.5)
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+class TestClientValidation:
+    def test_bad_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceClient("http://127.0.0.1:1", timeout=0.0)
+
+    def test_base_url_normalised(self):
+        client = ServiceClient("http://127.0.0.1:9999/")
+        assert client.base_url == "http://127.0.0.1:9999"

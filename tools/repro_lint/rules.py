@@ -38,6 +38,9 @@ LAYER_ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
     "analysis": frozenset(
         {"analysis", "baselines", "datagen", "index", "core", "util"}
     ),
+    # The serving subsystem sits above analysis; nothing below it (and in
+    # particular never core) may import it back.
+    "service": frozenset({"service", "analysis", "core", "util"}),
 }
 
 # Identifier tokens that mark a value as a distance in the paper's hierarchy.

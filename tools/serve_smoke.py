@@ -1,0 +1,131 @@
+"""CI smoke test for the ``repro serve`` endpoint.
+
+Boots the real CLI (``python -m repro serve``) on a tiny generated corpus
+and a free port, waits for the banner line, hits ``/healthz``, ``/search``
+and ``/stats`` through :class:`repro.service.client.ServiceClient`, then
+sends SIGINT and requires a clean exit with the shutdown banner — i.e. the
+whole serve path a user would touch, end to end, in a few seconds.
+
+Usage::
+
+    PYTHONPATH=src python tools/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+__all__ = ["main"]
+
+_BANNER = re.compile(r"http://([\d.]+):(\d+)")
+
+
+def _generate_corpus(path: Path) -> None:
+    completed = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "generate",
+            "--dataset",
+            "fractal",
+            "--sequences",
+            "12",
+            "--out",
+            str(path),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    if completed.returncode != 0:
+        raise RuntimeError(f"corpus generation failed:\n{completed.stderr}")
+
+
+def main() -> int:
+    """Run the smoke sequence; returns a process exit code."""
+    import numpy as np
+
+    from repro.service.client import ServiceClient
+
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
+        corpus = Path(tmp) / "corpus.npz"
+        _generate_corpus(corpus)
+
+        server = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--corpus",
+                str(corpus),
+                "--port",
+                "0",
+                "--workers",
+                "2",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            if server.stdout is None:
+                raise RuntimeError("server stdout was not captured")
+            banner = server.stdout.readline()
+            match = _BANNER.search(banner)
+            if match is None:
+                raise RuntimeError(f"no address banner in: {banner!r}")
+            host, port = match.group(1), int(match.group(2))
+            client = ServiceClient(f"http://{host}:{port}", timeout=10.0)
+
+            health = client.healthz()
+            if health["status"] != "ok" or health["sequences"] != 12:
+                raise RuntimeError(f"bad /healthz reply: {health}")
+
+            dimension = int(health["dimension"])
+            rng = np.random.default_rng(2000)
+            query = rng.random((30, dimension))
+            reply = client.search(query, 0.5, find_intervals=True)
+            for field in ("answers", "candidates", "cache", "snapshot_version"):
+                if field not in reply:
+                    raise RuntimeError(f"/search reply missing {field!r}: {reply}")
+            again = client.search(query, 0.5)
+            if again["cache"] != "hit" or again["answers"] != reply["answers"]:
+                raise RuntimeError(f"repeat query not served from cache: {again}")
+
+            stats = client.stats()
+            if stats["requests_total"] < 2 or stats["cache"]["hits"] < 1:
+                raise RuntimeError(f"bad /stats reply: {stats}")
+
+            server.send_signal(signal.SIGINT)
+            deadline = time.monotonic() + 15
+            while server.poll() is None and time.monotonic() < deadline:
+                time.sleep(0.1)
+            if server.poll() != 0:
+                raise RuntimeError(
+                    f"server did not exit cleanly (returncode={server.poll()})"
+                )
+            tail = server.stdout.read()
+            if "shut down cleanly" not in tail:
+                raise RuntimeError(f"missing shutdown banner in: {tail!r}")
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.wait(timeout=10)
+
+    print(
+        "serve smoke OK: /healthz, /search (miss then hit), /stats, "
+        "clean SIGINT shutdown"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
