@@ -66,7 +66,12 @@ def build_parser() -> argparse.ArgumentParser:
         "serve", help="serve a saved corpus over HTTP (repro.service)"
     )
     serve.add_argument(
-        "--corpus", required=True, help=".npz corpus written by generate/save"
+        "--corpus",
+        default=None,
+        help=(
+            ".npz corpus written by generate/save (optional when --data-dir "
+            "already holds a snapshot)"
+        ),
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
@@ -93,6 +98,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--trace", default=None, help="JSON-lines trace file for searches"
+    )
+    serve.add_argument(
+        "--data-dir",
+        default=None,
+        help=(
+            "durability directory (snapshot + write-ahead log); writes are "
+            "logged before they are acknowledged and replayed on restart"
+        ),
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        help=(
+            "auto-checkpoint (snapshot save + WAL reset) after this many "
+            "logged writes (0: only on shutdown)"
+        ),
+    )
+    serve.add_argument(
+        "--no-fsync",
+        action="store_true",
+        help="skip fsync on WAL appends (faster, loses the power-loss guarantee)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="seconds to wait for in-flight requests before closing",
+    )
+    serve.add_argument(
+        "--degrade-after",
+        type=int,
+        default=None,
+        help=(
+            "enter degraded mode (shed writes before reads) after this many "
+            "consecutive overload rejections"
+        ),
     )
     serve.add_argument(
         "--verbose", action="store_true", help="log each HTTP request"
@@ -200,12 +242,32 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 def _command_serve(args: argparse.Namespace) -> int:
     import signal
+    from pathlib import Path
 
     from repro.core.database import SequenceDatabase
-    from repro.service import QueryEngine
+    from repro.service import DurabilityConfig, QueryEngine
     from repro.service.http import serve as bind_server
+    from repro.service.http import shutdown_gracefully
 
-    database = SequenceDatabase.load(args.corpus)
+    durability = None
+    if args.data_dir is not None:
+        durability = DurabilityConfig(
+            Path(args.data_dir),
+            fsync=not args.no_fsync,
+            checkpoint_every=args.checkpoint_every,
+        )
+
+    database = None
+    if args.corpus is not None:
+        database = SequenceDatabase.load(args.corpus)
+    elif durability is None or not durability.snapshot_path.exists():
+        print(
+            "repro serve: --corpus is required unless --data-dir holds a "
+            "previous snapshot",
+            file=sys.stderr,
+        )
+        return 2
+
     engine = QueryEngine(
         database,
         workers=args.workers,
@@ -213,15 +275,18 @@ def _command_serve(args: argparse.Namespace) -> int:
         cache_size=args.cache_size,
         default_timeout=args.timeout,
         trace_path=args.trace,
+        durability=durability,
+        degrade_after=args.degrade_after,
     )
     server = bind_server(
         engine, host=args.host, port=args.port, verbose=args.verbose
     )
     host, port = server.server_address[:2]
+    durable = " durable" if durability is not None else ""
     print(
         f"repro serve: {len(engine)} sequences "
         f"({engine.stats()['segments']} MBRs) on http://{host}:{port} "
-        f"with {args.workers} workers",
+        f"with {args.workers} workers{durable}",
         flush=True,
     )
 
@@ -242,11 +307,14 @@ def _command_serve(args: argparse.Namespace) -> int:
     try:
         stop.wait()
     finally:
-        server.shutdown()
-        server.server_close()
+        # Stop accepting, let in-flight requests finish (bounded), then
+        # close the engine (checkpointing if durable) and release the port.
+        drained = shutdown_gracefully(
+            server, engine, drain_timeout=args.drain_timeout
+        )
         accept_loop.join(timeout=5.0)
-        engine.close()
-        print("repro serve: shut down cleanly", flush=True)
+        suffix = "" if drained else " (drain timed out)"
+        print(f"repro serve: shut down cleanly{suffix}", flush=True)
     return 0
 
 

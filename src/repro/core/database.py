@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from repro.core.backends import (
     IndexBackend,
@@ -358,7 +358,7 @@ class SequenceDatabase:
     # Persistence
     # ------------------------------------------------------------------
     def save(self, path: PathLike, *, include_index: bool = True) -> None:
-        """Persist the database to an ``.npz`` archive.
+        """Persist the database to an ``.npz`` archive, crash-safely.
 
         Stored: the configuration and every sequence's points and id, and —
         when the backend supports flat serialisation and ``include_index``
@@ -370,6 +370,13 @@ class SequenceDatabase:
         rebuilt from the sequences).  Sequence ids are stored via ``repr``
         round-tripping for the common id types (str, int); exotic id
         objects are rejected.
+
+        The archive is written to a temporary file in the target
+        directory, fsynced, and atomically renamed into place
+        (``os.replace``) — a crash at any point during a save leaves
+        either the old archive or the new one, never a torn file.  This
+        is what lets the serving layer's checkpoint overwrite its
+        snapshot in place (:mod:`repro.service.wal`).
         """
         import json
 
@@ -398,10 +405,50 @@ class SequenceDatabase:
             blob = serialize_index(self.index_kind, self._live_index())
             if blob is not None:
                 arrays["_index"] = np.frombuffer(blob, dtype=np.uint8)
-        np.savez_compressed(
-            path, _meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
-            **arrays,
+        arrays["_meta"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8
         )
+        self._write_archive_atomically(path, arrays)
+
+    @staticmethod
+    def _write_archive_atomically(
+        path: PathLike, arrays: dict[str, Any]
+    ) -> None:
+        """Write ``arrays`` as an npz at ``path`` via temp file + replace."""
+        import os
+        from pathlib import Path as _Path
+
+        import numpy as np
+
+        from repro.util.faults import inject
+
+        target = _Path(os.fspath(path))
+        if target.suffix != ".npz":
+            # np.savez appends the suffix itself; mirror that so the
+            # temp-file rename lands on the name load() will be given.
+            target = target.with_name(target.name + ".npz")
+        temp = target.with_name(f".{target.name}.tmp-{os.getpid()}")
+        try:
+            with open(temp, "wb") as handle:
+                np.savez_compressed(handle, **arrays)
+                handle.flush()
+                os.fsync(handle.fileno())
+            inject("database.save.replace")
+            os.replace(temp, target)
+        except BaseException:
+            try:
+                temp.unlink(missing_ok=True)
+            except OSError:  # pragma: no cover - cleanup best effort
+                pass
+            raise
+        try:
+            directory_fd = os.open(target.parent, os.O_RDONLY)
+            try:
+                os.fsync(directory_fd)
+            finally:
+                os.close(directory_fd)
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
 
     @classmethod
     def load(cls, path: PathLike) -> "SequenceDatabase":

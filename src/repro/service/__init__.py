@@ -13,48 +13,78 @@ subsystem:
   Lemmas 1-3); writes patch affected sequence ids instead of flushing.
 * :mod:`repro.service.stats` — per-engine request counts, p50/p95/p99
   latency, cache hit ratio, queue depth, rejections.
+* :mod:`repro.service.wal` — durability: a checksummed, fsynced
+  write-ahead log with torn-tail recovery, idempotent replay, and the
+  :class:`DurabilityConfig` that turns the engine crash-safe (WAL before
+  acknowledge, checkpoint = atomic snapshot save + log reset).
 * :mod:`repro.service.http` / :mod:`repro.service.client` — a stdlib-only
-  HTTP JSON endpoint (``python -m repro serve``) and its client.
+  HTTP JSON endpoint (``python -m repro serve``) with graceful drain on
+  shutdown, and a client with optional :class:`RetryPolicy` (full-jitter
+  backoff honouring ``Retry-After``, idempotent reads only) and
+  :class:`CircuitBreaker`.
 * :mod:`repro.service.errors` — typed serving failures (:class:`Overloaded`,
-  :class:`DeadlineExceeded`, :class:`EngineClosed`).
+  :class:`DeadlineExceeded`, :class:`EngineClosed`, :class:`CircuitOpen`).
+* :mod:`repro.service.faults` — deterministic fault injection at named
+  sites (``REPRO_FAULTS`` / :func:`fault_plan`), so chaos tests can prove
+  the recovery invariants instead of asserting them.
 
 Embedded use::
 
-    from repro.service import QueryEngine
+    from repro.service import DurabilityConfig, QueryEngine
 
-    with QueryEngine(db, workers=4) as engine:
+    with QueryEngine(
+        db, workers=4, durability=DurabilityConfig("./data")
+    ) as engine:
         result = engine.search(query_points, epsilon=0.5)
 
 Served use::
 
-    $ python -m repro serve --corpus corpus.npz --workers 8
+    $ python -m repro serve --corpus corpus.npz --data-dir ./data --workers 8
 """
 
 from repro.service.cache import CacheEntry, EpsilonCache, query_fingerprint
-from repro.service.client import ServiceClient
+from repro.service.client import CircuitBreaker, RetryPolicy, ServiceClient
 from repro.service.engine import QueryEngine, ServiceResponse
 from repro.service.errors import (
+    CircuitOpen,
     DeadlineExceeded,
     EngineClosed,
     Overloaded,
     ServiceError,
 )
-from repro.service.http import ServiceServer, serve
+from repro.service.faults import FaultRule, fault_plan
+from repro.service.http import ServiceServer, serve, shutdown_gracefully
 from repro.service.stats import LatencyWindow, ServiceStats
+from repro.service.wal import (
+    DurabilityConfig,
+    WalRecord,
+    WriteAheadLog,
+    replay_into,
+)
 
 __all__ = [
     "CacheEntry",
+    "CircuitBreaker",
+    "CircuitOpen",
     "DeadlineExceeded",
+    "DurabilityConfig",
     "EngineClosed",
     "EpsilonCache",
+    "FaultRule",
     "LatencyWindow",
     "Overloaded",
     "QueryEngine",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceError",
     "ServiceResponse",
     "ServiceServer",
     "ServiceStats",
+    "WalRecord",
+    "WriteAheadLog",
+    "fault_plan",
     "query_fingerprint",
+    "replay_into",
     "serve",
+    "shutdown_gracefully",
 ]

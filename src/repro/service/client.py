@@ -1,21 +1,49 @@
-"""A minimal urllib client for the ``repro serve`` HTTP endpoint.
+"""A fault-tolerant urllib client for the ``repro serve`` HTTP endpoint.
 
 Mirrors the :class:`~repro.service.engine.QueryEngine` surface over JSON
 and rebuilds the typed serving errors from the server's error payloads,
 so ``except Overloaded`` works the same whether the engine is embedded or
 behind HTTP.  stdlib-only, like the server.
+
+Two optional resilience layers wrap the transport:
+
+* a :class:`RetryPolicy` — exponential backoff with *full jitter*
+  (AWS-style: each delay is uniform in ``[0, cap]``, decorrelating
+  synchronized clients), honouring the server's ``Retry-After``.  Only
+  *idempotent reads* (``healthz``, ``stats``, ``search``, ``knn``) are
+  retried, and only on typed-retryable failures: :class:`Overloaded`
+  (the server shed the request before doing work) and transport-level
+  errors (connection refused/reset, dropped responses, socket timeouts).
+  Writes are never retried — an ``insert`` whose response was dropped
+  may have been applied, and blind replay would turn one mutation into
+  two.
+* a :class:`CircuitBreaker` — after ``failure_threshold`` consecutive
+  transport failures the circuit opens and requests fast-fail locally
+  with :class:`CircuitOpen` (no bytes hit the wire) until
+  ``reset_timeout`` elapses; then one half-open probe decides between
+  closing the circuit and re-opening it.  Any HTTP response — even an
+  error status — proves the server reachable and counts as breaker
+  success.
+
+Both layers surface counters through :meth:`ServiceClient.transport_stats`.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import random
+import threading
+import time
 import urllib.error
 import urllib.request
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from repro.service.errors import (
+    CircuitOpen,
     DeadlineExceeded,
     EngineClosed,
     Overloaded,
@@ -26,17 +54,27 @@ from repro.util.validation import check_threshold
 if TYPE_CHECKING:
     import numpy.typing as npt
 
-__all__ = ["ServiceClient"]
+__all__ = ["CircuitBreaker", "RetryPolicy", "ServiceClient"]
+
+#: Transport-level failures a retry may safely cover for idempotent reads.
+_TRANSPORT_ERRORS = (
+    urllib.error.URLError,
+    ConnectionError,
+    TimeoutError,
+    http.client.HTTPException,
+)
 
 
 def _raise_typed(status: int, detail: dict) -> None:
     """Rebuild the server-side exception from an error payload."""
     message = str(detail.get("message", f"HTTP {status}"))
     if status == 429:
+        retry_after = detail.get("retry_after")
         raise Overloaded(
             message,
             queue_depth=int(detail.get("queue_depth", 0)),
             capacity=int(detail.get("capacity", 0)),
+            retry_after=None if retry_after is None else float(retry_after),
         )
     if status == 408:
         raise DeadlineExceeded(message, timeout=float(detail.get("timeout", 0.0)))
@@ -49,6 +87,172 @@ def _raise_typed(status: int, detail: dict) -> None:
     raise ServiceError(f"HTTP {status}: {message}")
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with full jitter for idempotent reads.
+
+    The delay before retry ``i`` (zero-based) is drawn uniformly from
+    ``[0, min(max_delay, base_delay * multiplier**i)]``; when the failed
+    attempt carried a server ``Retry-After`` hint (an :class:`Overloaded`
+    with ``retry_after``), the delay is at least that hint.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries, the first included; ``1`` disables retrying.
+    base_delay / multiplier / max_delay:
+        The backoff schedule's cap sequence, in seconds.
+    jitter:
+        Draw uniformly from ``[0, cap]`` (full jitter) instead of
+        sleeping the cap itself.
+    honor_retry_after:
+        Respect the server's ``Retry-After`` as a lower bound.
+    seed:
+        Seed for the jitter RNG — set it in tests for reproducibility.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: bool = True
+    honor_retry_after: bool = True
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+
+    def delay(
+        self,
+        retry_index: int,
+        rng: random.Random,
+        *,
+        retry_after: float | None = None,
+    ) -> float:
+        """The sleep (seconds) before zero-based retry ``retry_index``."""
+        if retry_index < 0:
+            raise ValueError(f"retry_index must be >= 0, got {retry_index}")
+        cap = min(self.max_delay, self.base_delay * self.multiplier**retry_index)
+        chosen = rng.uniform(0.0, cap) if self.jitter else cap
+        if self.honor_retry_after and retry_after is not None:
+            chosen = max(chosen, retry_after)
+        return chosen
+
+
+class CircuitBreaker:
+    """A consecutive-failure circuit breaker with a half-open probe.
+
+    Thread-safe.  States: ``closed`` (normal), ``open`` (fast-fail until
+    ``reset_timeout`` since the trip), ``half-open`` (one probe request
+    allowed; its outcome closes or re-opens the circuit).
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that trip the circuit.
+    reset_timeout:
+        Seconds an open circuit waits before allowing the probe.
+    clock:
+        Monotonic time source — injectable for deterministic tests.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        clock: Any = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout <= 0:
+            raise ValueError(
+                f"reset_timeout must be positive, got {reset_timeout}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+        self._opens = 0
+
+    @property
+    def state(self) -> str:
+        """The current state: ``closed``, ``open`` or ``half-open``."""
+        with self._lock:
+            return self._state
+
+    def before_request(self) -> None:
+        """Gate one request; raises :class:`CircuitOpen` when open."""
+        with self._lock:
+            if self._state == self.OPEN:
+                elapsed = self._clock() - self._opened_at
+                if elapsed < self.reset_timeout:
+                    remaining = self.reset_timeout - elapsed
+                    raise CircuitOpen(
+                        f"circuit open after {self._failures} consecutive "
+                        f"failures; probe allowed in {remaining:.2f}s",
+                        retry_after=remaining,
+                    )
+                self._state = self.HALF_OPEN
+                self._probing = False
+            if self._state == self.HALF_OPEN:
+                if self._probing:
+                    raise CircuitOpen(
+                        "circuit half-open with a probe already in flight",
+                        retry_after=self.reset_timeout,
+                    )
+                self._probing = True
+
+    def record_success(self) -> None:
+        """An attempt reached the server: close the circuit."""
+        with self._lock:
+            self._state = self.CLOSED
+            self._failures = 0
+            self._probing = False
+
+    def record_failure(self) -> None:
+        """A transport failure: trip the circuit at the threshold."""
+        with self._lock:
+            self._failures += 1
+            self._probing = False
+            if (
+                self._state == self.HALF_OPEN
+                or self._failures >= self.failure_threshold
+            ):
+                if self._state != self.OPEN:
+                    self._opens += 1
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+
+    def stats(self) -> dict:
+        """State, consecutive-failure count, and times opened."""
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._failures,
+                "opens": self._opens,
+            }
+
+
 class ServiceClient:
     """Talks JSON to a running ``repro serve`` endpoint.
 
@@ -59,24 +263,53 @@ class ServiceClient:
     timeout:
         Socket-level timeout (seconds) for each HTTP call — distinct from
         the per-request serving deadline, which travels in the body.
+    retry:
+        Optional :class:`RetryPolicy`; ``None`` (default) fails fast like
+        the plain urllib client.  Only idempotent reads are retried.
+    breaker:
+        Optional :class:`CircuitBreaker` shared by all this client's
+        requests; ``None`` disables circuit breaking.
     """
 
-    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 30.0,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+    ) -> None:
         if timeout <= 0:
             raise ValueError(f"timeout must be positive, got {timeout}")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retry = retry
+        self.breaker = breaker
+        self._rng = random.Random(None if retry is None else retry.seed)
+        self._sleep = time.sleep  # monkeypatchable seam for tests
+        self._counters_lock = threading.Lock()
+        self._counters: dict[str, float] = {
+            "requests": 0,
+            "attempts": 0,
+            "retries": 0,
+            "transport_errors": 0,
+            "overloaded": 0,
+            "circuit_open_rejections": 0,
+            "retry_wait_s": 0.0,
+        }
 
     # ------------------------------------------------------------------
     # Endpoints
     # ------------------------------------------------------------------
     def healthz(self) -> dict:
-        """Liveness probe: status, sequence count, snapshot version."""
-        return self._request("GET", "/healthz")
+        """Liveness probe: status, degraded flag, counts, snapshot version."""
+        reply = self._request("GET", "/healthz", idempotent=True)
+        return dict(reply)
 
     def stats(self) -> dict:
         """The engine's full metrics block."""
-        return self._request("GET", "/stats")
+        reply = self._request("GET", "/stats", idempotent=True)
+        return dict(reply)
 
     def search(
         self,
@@ -96,7 +329,8 @@ class ServiceClient:
         }
         if timeout is not None:
             body["timeout"] = timeout
-        return self._request("POST", "/search", body)
+        reply = self._request("POST", "/search", body, idempotent=True)
+        return dict(reply)
 
     def knn(
         self,
@@ -109,7 +343,7 @@ class ServiceClient:
         body: dict[str, Any] = {"points": self._point_list(points), "k": k}
         if timeout is not None:
             body["timeout"] = timeout
-        payload = self._request("POST", "/knn", body)
+        payload = self._request("POST", "/knn", body, idempotent=True)
         return [
             (float(entry["distance"]), entry["sequence_id"])
             for entry in payload["neighbors"]
@@ -118,15 +352,36 @@ class ServiceClient:
     def insert(
         self, points: npt.ArrayLike, sequence_id: object = None
     ) -> object:
-        """Insert a sequence; returns its id as assigned by the server."""
+        """Insert a sequence; returns its id as assigned by the server.
+
+        Never retried: a dropped response does not prove the insert was
+        not applied, and replaying it could raise a spurious 409 or —
+        with a server-assigned id — store the sequence twice.
+        """
         body: dict[str, Any] = {"points": self._point_list(points)}
         if sequence_id is not None:
             body["sequence_id"] = sequence_id
         return self._request("POST", "/insert", body)["sequence_id"]
 
     def remove(self, sequence_id: object) -> dict:
-        """Remove a sequence from subsequent snapshots."""
-        return self._request("POST", "/remove", {"sequence_id": sequence_id})
+        """Remove a sequence from subsequent snapshots (never retried)."""
+        reply = self._request("POST", "/remove", {"sequence_id": sequence_id})
+        return dict(reply)
+
+    # ------------------------------------------------------------------
+    # Resilience metrics
+    # ------------------------------------------------------------------
+    def transport_stats(self) -> dict:
+        """Client-side counters: attempts, retries, waits, circuit state."""
+        with self._counters_lock:
+            block: dict[str, Any] = dict(self._counters)
+        if self.breaker is not None:
+            block["circuit"] = self.breaker.stats()
+        return block
+
+    def _count(self, key: str, amount: float = 1) -> None:
+        with self._counters_lock:
+            self._counters[key] += amount
 
     # ------------------------------------------------------------------
     # Transport
@@ -140,8 +395,58 @@ class ServiceClient:
         return listed
 
     def _request(
-        self, method: str, path: str, body: dict | None = None
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        *,
+        idempotent: bool = False,
     ) -> Any:
+        self._count("requests")
+        attempts = (
+            self.retry.max_attempts
+            if (self.retry is not None and idempotent)
+            else 1
+        )
+        last_error: Exception | None = None
+        for attempt in range(attempts):
+            if attempt:
+                self._count("retries")
+                retry_after = getattr(last_error, "retry_after", None)
+                wait = self.retry.delay(  # type: ignore[union-attr]
+                    attempt - 1,
+                    self._rng,
+                    retry_after=retry_after,
+                )
+                self._count("retry_wait_s", wait)
+                self._sleep(wait)
+            try:
+                return self._request_once(method, path, body)
+            except Overloaded as error:
+                self._count("overloaded")
+                last_error = error
+                if attempt == attempts - 1:
+                    raise
+            except CircuitOpen:
+                raise
+            except _TRANSPORT_ERRORS as error:
+                last_error = error
+                if attempt == attempts - 1:
+                    raise
+        raise ServiceError(  # pragma: no cover - loop always returns/raises
+            f"retry loop exhausted for {method} {path}"
+        )
+
+    def _request_once(
+        self, method: str, path: str, body: dict | None
+    ) -> Any:
+        if self.breaker is not None:
+            try:
+                self.breaker.before_request()
+            except CircuitOpen:
+                self._count("circuit_open_rejections")
+                raise
+        self._count("attempts")
         data = None if body is None else json.dumps(body).encode("utf-8")
         request = urllib.request.Request(
             self.base_url + path,
@@ -151,12 +456,28 @@ class ServiceClient:
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as reply:
-                return json.loads(reply.read())
+                payload = json.loads(reply.read())
         except urllib.error.HTTPError as error:
-            payload = error.read()
+            # An HTTP error status is still a response: the server is
+            # reachable, so the breaker treats it as success.
+            if self.breaker is not None:
+                self.breaker.record_success()
+            raw = error.read()
             try:
-                detail = json.loads(payload).get("error", {})
+                detail = json.loads(raw).get("error", {})
             except (json.JSONDecodeError, AttributeError):
-                detail = {"message": payload.decode("utf-8", "replace")}
+                detail = {"message": raw.decode("utf-8", "replace")}
+            if "retry_after" not in detail:
+                header = error.headers.get("Retry-After")
+                if header is not None:
+                    detail["retry_after"] = header
             _raise_typed(error.code, detail)
             raise  # unreachable: _raise_typed always raises
+        except _TRANSPORT_ERRORS:
+            self._count("transport_errors")
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            raise
+        if self.breaker is not None:
+            self.breaker.record_success()
+        return payload

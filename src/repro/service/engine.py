@@ -31,6 +31,24 @@ re-runs only Phase 3 over the cached candidate set — exact by the
 lower-bound monotonicity of Lemmas 1-3.  Writes patch affected sequence
 ids in place rather than flushing the cache.
 
+**Durability (optional).**  With a :class:`~repro.service.wal.
+DurabilityConfig`, every mutation is appended to a checksummed, fsynced
+write-ahead log *before* the snapshot that acknowledges it is published,
+and startup recovers by replaying the log over the latest good checkpoint
+(``snapshot.npz``) — a torn or corrupt log tail is truncated at the last
+valid record instead of refusing to start.  :meth:`checkpoint` persists
+the current snapshot crash-safely and resets the log; it runs
+automatically every ``checkpoint_every`` records and on clean close.
+
+**Graceful degradation (optional).**  With ``degrade_after`` set, a run
+of consecutive admission-control rejections flips the engine into a
+degraded mode that sheds ``insert``/``append``/``remove`` (readers keep
+their capacity) and — with ``degraded_cache_only`` — serves ``search``
+from the ε-cache alone.  The mode clears itself once a request is
+admitted while the queue has drained below half capacity.  ``/healthz``
+reports it, and every :class:`Overloaded` carries a ``retry_after`` hint
+derived from queue depth.
+
 The only intentional cross-thread mutation on the read path is the index's
 access-counter block (``index.stats``), whose increments may race benignly
 under concurrent readers; treat per-engine node-access counts as
@@ -59,7 +77,14 @@ from repro.core.sequence import MultidimensionalSequence
 from repro.core.solution_interval import IntervalSet
 from repro.service.cache import CacheEntry, EpsilonCache, query_fingerprint
 from repro.service.errors import DeadlineExceeded, EngineClosed, Overloaded
+from repro.service.faults import inject
 from repro.service.stats import ServiceStats
+from repro.service.wal import (
+    DurabilityConfig,
+    WalRecord,
+    WriteAheadLog,
+    replay_into,
+)
 from repro.util.validation import check_threshold
 
 if TYPE_CHECKING:
@@ -123,6 +148,21 @@ class QueryEngine:
         appends one record in the :func:`repro.analysis.tracing.
         search_record` schema plus ``op``/``cache``/``snapshot_version``
         fields, readable with :func:`repro.analysis.tracing.read_trace`.
+    durability:
+        Optional :class:`~repro.service.wal.DurabilityConfig`.  When set,
+        startup recovers from the config's data directory (latest
+        checkpoint plus WAL replay; the ``database`` argument only seeds
+        an empty directory and may then be ``None``), every mutation is
+        WAL-appended and fsynced before it is acknowledged, and
+        :meth:`checkpoint` / close persist crash-safe snapshots.
+    degrade_after:
+        Consecutive admission-control rejections after which the engine
+        enters degraded mode (sheds writes; see ``degraded_cache_only``).
+        ``None`` (default) disables degradation.
+    degraded_cache_only:
+        While degraded, serve ``search`` exclusively from the ε-cache —
+        a cache miss is rejected with :class:`Overloaded` instead of
+        occupying a worker.
 
     Examples
     --------
@@ -138,15 +178,18 @@ class QueryEngine:
 
     def __init__(
         self,
-        database: SequenceDatabase,
+        database: SequenceDatabase | None,
         *,
         workers: int = 4,
         queue_cap: int = 64,
         cache_size: int = 128,
         default_timeout: float | None = None,
         trace_path: str | Path | None = None,
+        durability: DurabilityConfig | None = None,
+        degrade_after: int | None = None,
+        degraded_cache_only: bool = False,
     ) -> None:
-        if not isinstance(database, SequenceDatabase):
+        if database is not None and not isinstance(database, SequenceDatabase):
             raise TypeError(
                 f"expected a SequenceDatabase, got {type(database).__name__}"
             )
@@ -160,11 +203,33 @@ class QueryEngine:
             raise ValueError(
                 f"default_timeout must be positive, got {default_timeout}"
             )
+        if degrade_after is not None and degrade_after < 1:
+            raise ValueError(
+                f"degrade_after must be >= 1 or None, got {degrade_after}"
+            )
+        if degraded_cache_only and cache_size == 0:
+            raise ValueError(
+                "degraded_cache_only requires a result cache (cache_size > 0)"
+            )
+        self.durability = durability
+        self._wal: WriteAheadLog | None = None
+        self._checkpoints = 0
+        self._last_checkpoint_version = 0
+        recovered_version = 0
+        if durability is not None:
+            database, recovered_version = self._recover(database, durability)
+        elif database is None:
+            raise TypeError(
+                "database may be None only with a durability config whose "
+                "directory already holds a snapshot"
+            )
         self._materialise(database)
         self.workers = workers
         self.queue_cap = queue_cap
         self.default_timeout = default_timeout
-        self._snapshot = _Snapshot(database, SimilaritySearch(database), 0)
+        self._snapshot = _Snapshot(
+            database, SimilaritySearch(database), recovered_version
+        )
         self._write_lock = threading.Lock()
         self._capacity = workers + queue_cap
         self._admission = threading.Semaphore(self._capacity)
@@ -179,6 +244,36 @@ class QueryEngine:
         self._trace_lock = threading.Lock()
         self._closed = False
         self._started_at = time.time()
+        self._degrade_after = degrade_after
+        self._degraded_cache_only = degraded_cache_only
+        self._health_lock = threading.Lock()
+        self._overload_strikes = 0
+        self._degraded = False
+
+    def _recover(
+        self, database: SequenceDatabase | None, config: DurabilityConfig
+    ) -> tuple[SequenceDatabase, int]:
+        """Reload the last checkpoint, replay the WAL, open it for writes.
+
+        The recovered snapshot version equals the number of WAL records
+        replayed, so two recoveries from the same directory publish the
+        same version — replay is deterministic and idempotent.
+        """
+        directory = Path(config.directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        if config.snapshot_path.exists():
+            database = SequenceDatabase.load(config.snapshot_path)
+        elif database is None:
+            raise TypeError(
+                f"no snapshot in {directory} and no seed database given"
+            )
+        else:
+            database.save(config.snapshot_path)
+        wal = WriteAheadLog(config.wal_path, fsync=config.fsync)
+        records = wal.recovered_records
+        replay_into(database, records)
+        self._wal = wal
+        return database, len(records)
 
     @staticmethod
     def _materialise(database: SequenceDatabase) -> None:
@@ -193,11 +288,52 @@ class QueryEngine:
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self, *, wait: bool = True) -> None:
-        """Stop accepting requests and shut the worker pool down."""
+        """Stop accepting requests and shut the worker pool down.
+
+        A durable engine checkpoints on clean close (unless its config
+        says otherwise), so a restart replays an empty WAL; the log file
+        handle is closed either way.
+        """
         if self._closed:
             return
         self._closed = True
         self._pool.shutdown(wait=wait)
+        if self._wal is not None:
+            try:
+                if (
+                    self.durability is not None
+                    and self.durability.checkpoint_on_close
+                ):
+                    with self._write_lock:
+                        self._checkpoint_locked()
+            finally:
+                self._wal.close()
+
+    def checkpoint(self) -> int:
+        """Persist the current snapshot and reset the WAL.
+
+        Returns the snapshot version the checkpoint captured.  The save
+        is crash-safe (temp file + atomic replace) and the WAL is only
+        truncated *after* the snapshot is durably in place; a crash
+        between the two leaves records that replay idempotently over the
+        fresh snapshot.
+        """
+        if self._wal is None or self.durability is None:
+            raise RuntimeError("engine has no durability configured")
+        with self._write_lock:
+            return self._checkpoint_locked()
+
+    def _checkpoint_locked(self) -> int:
+        if self._wal is None or self.durability is None:
+            raise RuntimeError("engine has no durability configured")
+        snapshot = self._snapshot
+        inject("checkpoint.before-save")
+        snapshot.database.save(self.durability.snapshot_path)
+        inject("checkpoint.before-reset")
+        self._wal.reset()
+        self._checkpoints += 1
+        self._last_checkpoint_version = snapshot.version
+        return snapshot.version
 
     def __enter__(self) -> "QueryEngine":
         return self
@@ -225,6 +361,22 @@ class QueryEngine:
         """Requests currently admitted (queued plus running)."""
         with self._pending_lock:
             return self._pending
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the engine is currently shedding load (degraded mode)."""
+        with self._health_lock:
+            return self._degraded
+
+    @property
+    def durable(self) -> bool:
+        """Whether the engine writes a WAL (a durability config is set)."""
+        return self._wal is not None
+
+    @property
+    def wal_records(self) -> int:
+        """Records in the WAL since the last checkpoint (0 if not durable)."""
+        return 0 if self._wal is None else len(self._wal)
 
     def sequence_ids(self) -> list[object]:
         """Sequence ids of the current snapshot, in insertion order."""
@@ -302,7 +454,11 @@ class QueryEngine:
     ) -> object:
         """Add a sequence; readers in flight keep their old snapshot."""
         return self._write(
-            "insert", lambda db: db.add(points, sequence_id=sequence_id)
+            "insert",
+            lambda db: db.add(points, sequence_id=sequence_id),
+            lambda db, sid: WalRecord(
+                "insert", sid, points=db.sequence(sid).points.tolist()
+            ),
         )
 
     def append(self, sequence_id: object, points: npt.ArrayLike) -> object:
@@ -312,7 +468,17 @@ class QueryEngine:
             db.append_points(sequence_id, points)
             return sequence_id
 
-        return self._write("append", mutate)
+        def wal_entry(db: SequenceDatabase, sid: object) -> WalRecord:
+            import numpy as np
+
+            return WalRecord(
+                "append",
+                sid,
+                points=np.asarray(points, dtype=np.float64).tolist(),
+                length=len(db.sequence(sid)),
+            )
+
+        return self._write("append", mutate, wal_entry)
 
     def remove(self, sequence_id: object) -> object:
         """Remove a sequence from subsequent snapshots."""
@@ -321,13 +487,21 @@ class QueryEngine:
             db.remove(sequence_id)
             return sequence_id
 
-        return self._write("remove", mutate)
+        return self._write(
+            "remove", mutate, lambda db, sid: WalRecord("remove", sid)
+        )
 
     def _write(
-        self, op: str, mutate: Callable[[SequenceDatabase], object]
+        self,
+        op: str,
+        mutate: Callable[[SequenceDatabase], object],
+        wal_entry: Callable[[SequenceDatabase, object], WalRecord],
     ) -> object:
         if self._closed:
             raise EngineClosed("engine is closed")
+        if self._degrade_after is not None and self.degraded:
+            self._stats.record_shed(op)
+            raise self._overloaded_error(op, shed=True)
         self._stats.record_request(op)
         started = time.monotonic()
         with self._write_lock:
@@ -335,10 +509,15 @@ class QueryEngine:
             clone = snapshot.database.clone()
             try:
                 written_id = mutate(clone)
+                self._materialise(clone)
+                if self._wal is not None:
+                    # Durability barrier: the record must be on disk
+                    # before the snapshot that acknowledges it publishes.
+                    self._wal.append(wal_entry(clone, written_id))
+                    self._stats.record_wal_append()
             except Exception:
                 self._stats.record_failure(op)
                 raise
-            self._materialise(clone)
             new_version = snapshot.version + 1
             new_search = SimilaritySearch(clone)
             if self._cache is not None:
@@ -348,6 +527,13 @@ class QueryEngine:
                 self._stats.record_cache_patches(patched)
             self._snapshot = _Snapshot(clone, new_search, new_version)
             self._stats.record_snapshot_published()
+            if (
+                self._wal is not None
+                and self.durability is not None
+                and self.durability.checkpoint_every > 0
+                and len(self._wal) >= self.durability.checkpoint_every
+            ):
+                self._checkpoint_locked()
         self._stats.record_completed(op, time.monotonic() - started)
         return written_id
 
@@ -369,6 +555,13 @@ class QueryEngine:
                 "cache_entries": 0 if self._cache is None else len(self._cache),
                 "cache_capacity": 0 if self._cache is None else self._cache.capacity,
                 "uptime_s": time.time() - self._started_at,
+                "degraded": self.degraded,
+                "durability": {
+                    "enabled": self.durable,
+                    "wal_records": self.wal_records,
+                    "checkpoints": self._checkpoints,
+                    "last_checkpoint_version": self._last_checkpoint_version,
+                },
             }
         )
         return block
@@ -388,14 +581,12 @@ class QueryEngine:
         deadline = None if timeout is None else time.monotonic() + timeout
         if not self._admission.acquire(blocking=False):
             self._stats.record_overloaded()
-            raise Overloaded(
-                f"{op} rejected: {self._capacity} requests already admitted "
-                f"({self.workers} workers + {self.queue_cap} queue slots)",
-                queue_depth=self._capacity,
-                capacity=self._capacity,
-            )
+            self._note_overload()
+            raise self._overloaded_error(op)
         with self._pending_lock:
+            depth_before = self._pending
             self._pending += 1
+        self._note_admitted(depth_before)
         self._stats.record_request(op)
         try:
             future = self._pool.submit(self._run, op, fn, deadline, timeout)
@@ -426,6 +617,54 @@ class QueryEngine:
             self._pending -= 1
         self._admission.release()
 
+    # ------------------------------------------------------------------
+    # Overload accounting and graceful degradation
+    # ------------------------------------------------------------------
+    def _overloaded_error(self, op: str, *, shed: bool = False) -> Overloaded:
+        depth = self.queue_depth
+        if shed:
+            message = (
+                f"{op} shed: engine degraded after sustained overload "
+                f"(writes resume when the queue drains)"
+            )
+        else:
+            message = (
+                f"{op} rejected: {self._capacity} requests already admitted "
+                f"({self.workers} workers + {self.queue_cap} queue slots)"
+            )
+        return Overloaded(
+            message,
+            queue_depth=depth,
+            capacity=self._capacity,
+            retry_after=self._retry_after_hint(depth),
+        )
+
+    def _retry_after_hint(self, depth: int) -> float:
+        """Suggested client backoff (seconds), derived from queue depth."""
+        hint = 0.05 * (1.0 + depth / max(1, self.workers))
+        return round(min(5.0, max(0.05, hint)), 3)
+
+    def _note_overload(self) -> None:
+        if self._degrade_after is None:
+            return
+        with self._health_lock:
+            self._overload_strikes += 1
+            if (
+                not self._degraded
+                and self._overload_strikes >= self._degrade_after
+            ):
+                self._degraded = True
+                self._stats.record_degraded(True)
+
+    def _note_admitted(self, depth_before: int) -> None:
+        if self._degrade_after is None:
+            return
+        with self._health_lock:
+            self._overload_strikes = 0
+            if self._degraded and depth_before <= self._capacity // 2:
+                self._degraded = False
+                self._stats.record_degraded(False)
+
     def _run(
         self,
         op: str,
@@ -441,6 +680,7 @@ class QueryEngine:
             )
         started = time.monotonic()
         try:
+            inject("engine.worker")
             result = fn()
         except DeadlineExceeded:
             raise
@@ -480,8 +720,14 @@ class QueryEngine:
             )
             outcome = "off"
         else:
+            cache_only = (
+                self._degraded_cache_only
+                and self._degrade_after is not None
+                and self.degraded
+            )
             result, outcome = self._search_cached(
-                snapshot, sequence, epsilon, find_intervals
+                snapshot, sequence, epsilon, find_intervals,
+                cache_only=cache_only,
             )
         self._stats.record_cache(outcome)
         self._trace(result, outcome, snapshot.version)
@@ -495,11 +741,18 @@ class QueryEngine:
         sequence: MultidimensionalSequence,
         epsilon: float,
         find_intervals: bool,
+        *,
+        cache_only: bool = False,
     ) -> tuple[SearchResult, str]:
         if self._cache is None:
             raise RuntimeError("_search_cached called with caching disabled")
         key = query_fingerprint(sequence.points)
         entry = self._cache.lookup(key, epsilon, snapshot.version)
+        if entry is None and cache_only:
+            # Degraded cache-only serving: a miss would occupy a worker
+            # with a full three-phase search; shed it instead.
+            self._stats.record_shed("search")
+            raise self._overloaded_error("search", shed=True)
         if entry is not None:
             exact_epsilon = (
                 abs(entry.epsilon - epsilon) <= _EPSILON_MATCH_TOLERANCE

@@ -2,9 +2,11 @@
 
 Admission control and deadlines need errors a caller (or the HTTP layer)
 can dispatch on without string matching: an overloaded engine fast-fails
-with :class:`Overloaded` (HTTP 429), an expired request raises
-:class:`DeadlineExceeded` (HTTP 408), and operations against a closed
-engine raise :class:`EngineClosed` (HTTP 503).  All inherit
+with :class:`Overloaded` (HTTP 429, carrying a ``retry_after`` hint), an
+expired request raises :class:`DeadlineExceeded` (HTTP 408), operations
+against a closed engine raise :class:`EngineClosed` (HTTP 503), and a
+client whose circuit breaker is open fast-fails locally with
+:class:`CircuitOpen` — no bytes hit the wire.  All inherit
 :class:`ServiceError`, so ``except ServiceError`` catches exactly the
 serving-layer failure modes and nothing from the search itself.
 """
@@ -12,6 +14,7 @@ serving-layer failure modes and nothing from the search itself.
 from __future__ import annotations
 
 __all__ = [
+    "CircuitOpen",
     "DeadlineExceeded",
     "EngineClosed",
     "Overloaded",
@@ -28,14 +31,25 @@ class Overloaded(ServiceError):
 
     Raised *before* any work is queued, so the caller can retry with
     backoff knowing the request consumed (almost) no server resources.
+    Also raised for writes (and, in cache-only mode, search misses) shed
+    by a degraded engine.
     """
 
-    def __init__(self, message: str, *, queue_depth: int, capacity: int) -> None:
+    def __init__(
+        self,
+        message: str,
+        *,
+        queue_depth: int,
+        capacity: int,
+        retry_after: float | None = None,
+    ) -> None:
         super().__init__(message)
         #: Requests queued or running when the rejection happened.
         self.queue_depth = queue_depth
         #: The admission limit (workers + queue slots).
         self.capacity = capacity
+        #: Server-suggested backoff in seconds (the 429 Retry-After header).
+        self.retry_after = retry_after
 
 
 class DeadlineExceeded(ServiceError):
@@ -49,3 +63,18 @@ class DeadlineExceeded(ServiceError):
 
 class EngineClosed(ServiceError):
     """The engine has been shut down; no further requests are accepted."""
+
+
+class CircuitOpen(ServiceError):
+    """The client's circuit breaker is open; the request was not sent.
+
+    Raised locally after repeated transport-level failures; the breaker
+    half-opens after ``retry_after`` seconds and probes the server once.
+    """
+
+    def __init__(
+        self, message: str, *, retry_after: float | None = None
+    ) -> None:
+        super().__init__(message)
+        #: Seconds until the breaker half-opens and allows a probe.
+        self.retry_after = retry_after

@@ -1,0 +1,63 @@
+"""Fault injection for the serving layer: the named sites and the seam.
+
+The mechanism lives in :mod:`repro.util.faults` (the ``util`` layer, so
+``core.database`` can hit sites without importing upward); this module is
+the serving-facing surface and the registry of every site the subsystem
+instruments.  Chaos tests arm them with :func:`fault_plan` or the
+``REPRO_FAULTS`` environment variable — see the table:
+
+==========================  ============================================
+site                        where it fires
+==========================  ============================================
+``wal.append``              before a WAL record's bytes are written
+``wal.fsync``               after flush, before ``os.fsync`` of the log
+``checkpoint.before-save``  checkpoint taken, before the snapshot save
+``checkpoint.before-reset`` snapshot saved, before the WAL truncate —
+                            the mid-checkpoint kill-point
+``database.save.replace``   snapshot temp file written, before the
+                            atomic ``os.replace`` into place
+``engine.worker``           on the worker thread, before the request
+                            body runs (slow / failed execution)
+``http.response``           before an HTTP response is written
+                            (dropped-response injection)
+==========================  ============================================
+
+All sites are listed in :data:`FAULT_SITES`; tests iterate it to assert
+instrumentation does not silently disappear.
+"""
+
+from __future__ import annotations
+
+from repro.util.faults import (
+    FAULTS_ENV_VAR,
+    FaultInjected,
+    FaultPlan,
+    FaultRule,
+    active_plan,
+    fault_plan,
+    inject,
+    parse_fault_spec,
+)
+
+__all__ = [
+    "FAULTS_ENV_VAR",
+    "FAULT_SITES",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultRule",
+    "active_plan",
+    "fault_plan",
+    "inject",
+    "parse_fault_spec",
+]
+
+#: Every injection site the serving subsystem instruments.
+FAULT_SITES: tuple[str, ...] = (
+    "wal.append",
+    "wal.fsync",
+    "checkpoint.before-save",
+    "checkpoint.before-reset",
+    "database.save.replace",
+    "engine.worker",
+    "http.response",
+)

@@ -16,11 +16,19 @@ route       method  body / response
 /remove     POST    ``{"sequence_id"}``
 ==========  ======  ====================================================
 
-Typed serving errors map onto status codes — :class:`Overloaded` → 429,
-:class:`DeadlineExceeded` → 408, :class:`EngineClosed` → 503, bad input →
-400, duplicate insert id → 409, unknown id → 404 — and every error body
-is ``{"error": {"type", "message", ...}}`` so clients can rebuild the
-typed exception (:mod:`repro.service.client` does exactly that).
+Typed serving errors map onto status codes — :class:`Overloaded` → 429
+(with a ``Retry-After`` header derived from queue depth), :class:`
+DeadlineExceeded` → 408, :class:`EngineClosed` → 503, bad input → 400,
+duplicate insert id → 409, unknown id → 404 — and every error body is
+``{"error": {"type", "message", ...}}`` so clients can rebuild the typed
+exception (:mod:`repro.service.client` does exactly that).
+
+Shutdown is graceful: :meth:`ServiceServer.drain` waits for in-flight
+requests to finish (new requests on kept-alive connections are answered
+with a typed 503 once draining starts), so a request racing SIGTERM gets
+a real response — a result or ``EngineClosed`` — never a connection
+reset.  ``repro serve --drain-timeout`` wires this into the CLI via
+:func:`shutdown_gracefully`.
 
 Sequence ids survive the JSON round trip when they are strings, numbers,
 booleans or null; solution-interval maps are keyed by ``str(sequence_id)``
@@ -30,6 +38,8 @@ because JSON object keys must be strings.
 from __future__ import annotations
 
 import json
+import math
+import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, cast
 
@@ -42,9 +52,15 @@ from repro.service.errors import (
     Overloaded,
     ServiceError,
 )
+from repro.service.faults import inject
 from repro.util.validation import check_threshold
 
-__all__ = ["ServiceHandler", "ServiceServer", "serve"]
+__all__ = [
+    "ServiceHandler",
+    "ServiceServer",
+    "serve",
+    "shutdown_gracefully",
+]
 
 
 def _error_payload(error: Exception) -> dict:
@@ -56,9 +72,20 @@ def _error_payload(error: Exception) -> dict:
     if isinstance(error, Overloaded):
         detail["queue_depth"] = error.queue_depth
         detail["capacity"] = error.capacity
+        if error.retry_after is not None:
+            detail["retry_after"] = error.retry_after
     if isinstance(error, DeadlineExceeded):
         detail["timeout"] = error.timeout
     return {"error": detail}
+
+
+def _error_headers(error: Exception) -> dict[str, str]:
+    """Extra response headers for a failed request (429 Retry-After)."""
+    if isinstance(error, Overloaded) and error.retry_after is not None:
+        # RFC 9110 Retry-After is integral delay-seconds; round up so the
+        # header never tells a client to come back sooner than the hint.
+        return {"Retry-After": str(max(1, math.ceil(error.retry_after)))}
+    return {}
 
 
 def _error_status(error: Exception, op: str) -> int:
@@ -140,11 +167,20 @@ class ServiceHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def _healthz(self, body: dict) -> dict:
         engine = self.engine
+        if engine.closed:
+            status = "closed"
+        elif engine.degraded:
+            status = "degraded"
+        else:
+            status = "ok"
         return {
-            "status": "closed" if engine.closed else "ok",
+            "status": status,
+            "degraded": engine.degraded,
             "sequences": len(engine),
             "dimension": engine.dimension,
             "snapshot_version": engine.snapshot_version,
+            "queue_depth": engine.queue_depth,
+            "durable": engine.durable,
         }
 
     def _stats(self, body: dict) -> dict:
@@ -226,19 +262,48 @@ class ServiceHandler(BaseHTTPRequestHandler):
         return body
 
     def _handle(self, op: str, route: Any) -> None:
+        server = cast("ServiceServer", self.server)
+        server.request_started()
         try:
-            body = self._read_body()
-            payload = route(body)
-        except Exception as error:  # noqa: BLE001 — boundary: map to status
-            self._send_json(_error_status(error, op), _error_payload(error))
-            return
-        self._send_json(200, payload)
+            if server.draining:
+                # Kept-alive connections can deliver requests after the
+                # accept loop stopped; answer with a typed 503 instead of
+                # racing the engine teardown.
+                self.close_connection = True
+                self._send_json(
+                    503,
+                    _error_payload(
+                        EngineClosed("server is draining for shutdown")
+                    ),
+                )
+                return
+            try:
+                body = self._read_body()
+                payload = route(body)
+            except Exception as error:  # noqa: BLE001 — boundary: map to status
+                self._send_json(
+                    _error_status(error, op),
+                    _error_payload(error),
+                    headers=_error_headers(error),
+                )
+                return
+            self._send_json(200, payload)
+        finally:
+            server.request_finished()
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: dict,
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        inject("http.response")
         data = json.dumps(payload, default=str).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(data)
 
@@ -253,7 +318,9 @@ class ServiceServer(ThreadingHTTPServer):
 
     The server does *not* own the engine's lifecycle: closing the server
     stops accepting connections, but the caller decides when to
-    ``engine.close()`` (the CLI does both, in that order, on shutdown).
+    ``engine.close()``.  Use :func:`shutdown_gracefully` (or the CLI,
+    which wraps it) to tear both down in the order that lets in-flight
+    requests drain.
     """
 
     daemon_threads = True
@@ -269,6 +336,59 @@ class ServiceServer(ThreadingHTTPServer):
         super().__init__(address, ServiceHandler)
         self.engine = engine
         self.verbose = verbose
+        self.draining = False
+        self.dropped_responses = 0
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._idle = threading.Event()
+        self._idle.set()
+
+    # ------------------------------------------------------------------
+    # In-flight request tracking (drives graceful drain)
+    # ------------------------------------------------------------------
+    def request_started(self) -> None:
+        """Count one request entering a handler."""
+        with self._inflight_lock:
+            self._inflight += 1
+            self._idle.clear()
+
+    def request_finished(self) -> None:
+        """Count one request leaving its handler."""
+        with self._inflight_lock:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._idle.set()
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently inside a handler."""
+        with self._inflight_lock:
+            return self._inflight
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Refuse new requests and wait for in-flight ones to finish.
+
+        Returns ``True`` once no request is in a handler, ``False`` if
+        some were still running when ``timeout`` expired (they keep
+        running; closing the engine afterwards turns them into typed
+        ``EngineClosed`` responses, not connection resets).
+        """
+        self.draining = True
+        return self._idle.wait(timeout)
+
+    def handle_error(
+        self, request: Any, client_address: Any
+    ) -> None:
+        """Count dropped connections instead of spamming stderr.
+
+        A handler thread that dies mid-response (fault injection, client
+        hangup) closes the connection without a reply; that is the
+        failure mode the retrying client exists for, not a server bug
+        worth a traceback — unless the server is verbose.
+        """
+        self.dropped_responses += 1
+        if self.verbose:
+            super().handle_error(request, client_address)
 
 
 def serve(
@@ -286,3 +406,25 @@ def serve(
     wires signal handling around exactly this function.
     """
     return ServiceServer((host, port), engine, verbose=verbose)
+
+
+def shutdown_gracefully(
+    server: ServiceServer,
+    engine: QueryEngine,
+    *,
+    drain_timeout: float = 10.0,
+) -> bool:
+    """Tear down a served engine without dropping in-flight requests.
+
+    The ordering is the contract: (1) stop the accept loop, (2) drain —
+    in-flight requests finish, late arrivals on kept-alive connections
+    get a typed 503, (3) close the engine (a drain stragglers' requests
+    turn into ``EngineClosed``, and a durable engine checkpoints), then
+    (4) close the listening socket.  Returns whether the drain completed
+    within ``drain_timeout``.
+    """
+    server.shutdown()
+    drained = server.drain(drain_timeout)
+    engine.close()
+    server.server_close()
+    return drained

@@ -71,6 +71,10 @@ class ServiceStats:
         self._snapshots_published = 0
         self._cache_patches = 0
         self._completed = 0
+        self._shed: Counter[str] = Counter()
+        self._degraded_entered = 0
+        self._degraded_exited = 0
+        self._wal_appends = 0
 
     # ------------------------------------------------------------------
     # Recording (called by the engine)
@@ -116,6 +120,24 @@ class ServiceStats:
         with self._lock:
             self._snapshots_published += 1
 
+    def record_shed(self, op: str) -> None:
+        """Count one request shed by the degraded engine."""
+        with self._lock:
+            self._shed[op] += 1
+
+    def record_degraded(self, entered: bool) -> None:
+        """Count one degraded-mode transition (entered or exited)."""
+        with self._lock:
+            if entered:
+                self._degraded_entered += 1
+            else:
+                self._degraded_exited += 1
+
+    def record_wal_append(self) -> None:
+        """Count one durable write-ahead-log append."""
+        with self._lock:
+            self._wal_appends += 1
+
     def record_cache_patches(self, count: int) -> None:
         """Count cache entries re-examined after a write."""
         with self._lock:
@@ -151,4 +173,10 @@ class ServiceStats:
                     "patches": self._cache_patches,
                 },
                 "snapshots_published": self._snapshots_published,
+                "shed": dict(self._shed),
+                "degraded_transitions": {
+                    "entered": self._degraded_entered,
+                    "exited": self._degraded_exited,
+                },
+                "wal_appends": self._wal_appends,
             }

@@ -1,0 +1,329 @@
+"""The write-ahead log: fsynced, checksummed mutation records.
+
+The serving engine's snapshots live in memory; without a log, a crash
+between an acknowledged ``insert`` and the next explicit ``save()`` loses
+the write silently — the worst possible failure for an index whose whole
+value is the Lemma 1-3 *no-false-dismissal* guarantee.  The WAL closes the
+window: every mutation is appended (and fsynced) *before* the engine
+publishes the snapshot that acknowledges it, so the on-disk pair
+
+    ``snapshot.npz``  (last checkpoint)  +  ``wal.log``  (records since)
+
+can always reconstruct the acknowledged state.
+
+**Record format.**  The file starts with an 10-byte magic header; each
+record is ``<u32 length><u32 crc32(payload)><payload>`` (little-endian),
+the payload being one UTF-8 JSON object::
+
+    {"op": "insert"|"append"|"remove", "id": [type, repr], "points": ...}
+
+**Torn tails.**  A crash mid-append leaves a short or corrupt final
+record.  On open, the log is scanned record by record; the first length
+that overruns the file or CRC that mismatches marks the tear, everything
+before it is recovered, and the file is truncated back to the last valid
+boundary — recovery proceeds instead of refusing to start, and the
+truncation can only discard a record that was never acknowledged (the
+engine acknowledges only after a successful fsync).
+
+**Idempotent replay.**  :func:`replay_into` applies records so that
+replaying the same log twice — or replaying over a snapshot that already
+contains a prefix of it, the state a crash *between* checkpoint save and
+WAL reset leaves behind — converges to the same state: an ``insert`` of a
+present id is skipped, a ``remove`` of an absent id is skipped, and an
+``append`` carries the post-append point count so an already-applied
+extension is recognised and skipped.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.util.faults import inject
+
+if TYPE_CHECKING:
+    from repro.core.database import SequenceDatabase
+
+__all__ = [
+    "DurabilityConfig",
+    "WalRecord",
+    "WriteAheadLog",
+    "replay_into",
+]
+
+#: File signature; the trailing newline keeps `head wal.log` readable.
+_MAGIC = b"REPROWAL1\n"
+
+#: Per-record header: little-endian payload length then CRC32.
+_HEADER = struct.Struct("<II")
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One logged mutation.
+
+    ``points`` is a nested list (JSON-ready) for ``insert``/``append`` and
+    ``None`` for ``remove``; ``length`` is the post-append point count used
+    to make ``append`` replay idempotent.
+    """
+
+    op: str
+    sequence_id: object
+    points: list[Any] | None = None
+    length: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.op not in ("insert", "append", "remove"):
+            raise ValueError(
+                f"op must be insert/append/remove, got {self.op!r}"
+            )
+        if not isinstance(self.sequence_id, (str, int)) or isinstance(
+            self.sequence_id, bool
+        ):
+            raise TypeError(
+                "only str/int sequence ids can be logged durably, got "
+                f"{type(self.sequence_id).__name__}"
+            )
+
+    def to_payload(self) -> bytes:
+        """Serialise to the on-disk JSON payload."""
+        body: dict[str, Any] = {
+            "op": self.op,
+            "id": [type(self.sequence_id).__name__, str(self.sequence_id)],
+        }
+        if self.points is not None:
+            body["points"] = self.points
+        if self.length is not None:
+            body["length"] = self.length
+        return json.dumps(body, separators=(",", ":")).encode("utf-8")
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "WalRecord":
+        """Rebuild a record from its JSON payload."""
+        body = json.loads(payload)
+        type_name, raw = body["id"]
+        sequence_id: object = int(raw) if type_name == "int" else raw
+        return cls(
+            op=body["op"],
+            sequence_id=sequence_id,
+            points=body.get("points"),
+            length=body.get("length"),
+        )
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """Where and how a :class:`~repro.service.engine.QueryEngine` persists.
+
+    Parameters
+    ----------
+    directory:
+        Data directory holding ``snapshot.npz`` (the last checkpoint) and
+        ``wal.log`` (records since).  Created if missing.
+    fsync:
+        Fsync the log after every record (the durable default).  Turning
+        it off trades the crash window for write latency — acknowledged
+        writes may be lost on power failure, never corrupted.
+    checkpoint_every:
+        Auto-checkpoint (snapshot save + WAL reset) after this many WAL
+        records; ``0`` checkpoints only on :meth:`QueryEngine.checkpoint`
+        and close.
+    checkpoint_on_close:
+        Checkpoint during a clean ``close()`` so restarts replay nothing.
+    """
+
+    directory: str | Path
+    fsync: bool = True
+    checkpoint_every: int = 0
+    checkpoint_on_close: bool = True
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
+            )
+
+    @property
+    def snapshot_path(self) -> Path:
+        """The checkpoint archive inside :attr:`directory`."""
+        return Path(self.directory) / "snapshot.npz"
+
+    @property
+    def wal_path(self) -> Path:
+        """The write-ahead log inside :attr:`directory`."""
+        return Path(self.directory) / "wal.log"
+
+
+class WriteAheadLog:
+    """An append-only, CRC-verified record log with torn-tail recovery.
+
+    Opening scans the whole file: valid records are exposed as
+    :attr:`recovered_records`, and a torn or corrupt tail is truncated at
+    the last valid record boundary.  Appends go through one file handle
+    kept at end-of-file; each is flushed and (by default) fsynced before
+    :meth:`append` returns.
+    """
+
+    def __init__(self, path: str | Path, *, fsync: bool = True) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self._recovered, valid_end, existing = self._scan()
+        mode = "r+b" if existing else "w+b"
+        self._handle = open(self.path, mode)  # noqa: SIM115 (long-lived)
+        if not existing:
+            self._handle.write(_MAGIC)
+            self._handle.flush()
+            self._sync()
+        else:
+            end = self._handle.seek(0, os.SEEK_END)
+            if end > valid_end:
+                self._handle.truncate(valid_end)
+                self._handle.flush()
+                self._sync()
+        self._handle.seek(0, os.SEEK_END)
+        self._records = len(self._recovered)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Recovery scan
+    # ------------------------------------------------------------------
+    def _scan(self) -> tuple[list[WalRecord], int, bool]:
+        """Read all valid records; returns (records, valid_end, existed)."""
+        if not self.path.exists() or self.path.stat().st_size == 0:
+            return [], len(_MAGIC), False
+        data = self.path.read_bytes()
+        if data[: len(_MAGIC)] != _MAGIC:
+            raise ValueError(
+                f"{self.path} is not a repro WAL (bad magic header)"
+            )
+        records: list[WalRecord] = []
+        offset = len(_MAGIC)
+        while offset + _HEADER.size <= len(data):
+            length, crc = _HEADER.unpack_from(data, offset)
+            start = offset + _HEADER.size
+            end = start + length
+            if end > len(data):
+                break  # torn tail: length overruns the file
+            payload = data[start:end]
+            if zlib.crc32(payload) != crc:
+                break  # corrupt record: stop at the last valid boundary
+            try:
+                records.append(WalRecord.from_payload(payload))
+            except (ValueError, KeyError, TypeError):
+                break  # undecodable payload that happened to pass CRC
+            offset = end
+        return records, offset, True
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def append(self, record: WalRecord) -> int:
+        """Write, flush and fsync one record; returns the record count.
+
+        On any failure the file is truncated back to its pre-record
+        length, so a failed append never leaves a torn record for the
+        next append to bury mid-file.
+        """
+        if self._closed:
+            raise RuntimeError("write-ahead log is closed")
+        payload = record.to_payload()
+        start = self._handle.tell()
+        try:
+            inject("wal.append")
+            self._handle.write(_HEADER.pack(len(payload), zlib.crc32(payload)))
+            self._handle.write(payload)
+            self._handle.flush()
+            self._sync()
+        except Exception:
+            try:
+                self._handle.truncate(start)
+                self._handle.seek(start)
+            except OSError:  # pragma: no cover - double fault
+                pass
+            raise
+        self._records += 1
+        return self._records
+
+    def _sync(self) -> None:
+        inject("wal.fsync")
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def recovered_records(self) -> list[WalRecord]:
+        """The records recovered by the opening scan (a copy)."""
+        return list(self._recovered)
+
+    def __len__(self) -> int:
+        """Records in the log (recovered plus appended since open)."""
+        return self._records
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def reset(self) -> None:
+        """Truncate to an empty log (after a successful checkpoint)."""
+        if self._closed:
+            raise RuntimeError("write-ahead log is closed")
+        self._handle.seek(len(_MAGIC))
+        self._handle.truncate(len(_MAGIC))
+        self._handle.flush()
+        self._sync()
+        self._records = 0
+        self._recovered = []
+
+    def close(self) -> None:
+        """Close the underlying file handle."""
+        if not self._closed:
+            self._closed = True
+            self._handle.close()
+
+
+def replay_into(database: "SequenceDatabase", records: list[WalRecord]) -> int:
+    """Apply ``records`` to ``database`` idempotently; returns applied count.
+
+    Records already reflected in the database — an insert whose id is
+    present, a remove whose id is absent, an append whose target already
+    has at least the recorded point count — are skipped, so replaying a
+    log over a snapshot that contains any prefix of it converges to the
+    same state (the invariant a crash between checkpoint save and WAL
+    reset relies on).
+    """
+    applied = 0
+    for record in records:
+        if record.op == "insert":
+            if record.sequence_id in database:
+                continue
+            if record.points is None:
+                raise ValueError(
+                    f"insert record for {record.sequence_id!r} has no points"
+                )
+            database.add(record.points, sequence_id=record.sequence_id)
+        elif record.op == "remove":
+            if record.sequence_id not in database:
+                continue
+            database.remove(record.sequence_id)
+        else:  # append
+            if record.sequence_id not in database:
+                raise ValueError(
+                    f"append record for unknown id {record.sequence_id!r}"
+                )
+            if record.points is None or record.length is None:
+                raise ValueError(
+                    f"append record for {record.sequence_id!r} is incomplete"
+                )
+            if len(database.sequence(record.sequence_id)) >= record.length:
+                continue
+            database.append_points(record.sequence_id, record.points)
+        applied += 1
+    return applied

@@ -1,0 +1,255 @@
+"""Deterministic fault injection at named sites.
+
+A durability claim is untestable unless the failure it defends against can
+be produced on demand: "the WAL survives a torn fsync" means nothing if no
+test can make ``fsync`` fail at exactly the right instruction.  This module
+provides the seam.  Production code calls :func:`inject` at *named sites* —
+``"wal.fsync"``, ``"checkpoint.before-reset"``, ``"database.save.replace"``,
+``"engine.worker"``, ``"http.response"`` — and the call is a no-op (one
+global read) unless a fault plan is active.
+
+Plans come from two places, mirroring ``REPRO_CHECK_CONTRACTS``:
+
+* the ``REPRO_FAULTS`` environment variable, parsed once on first use, for
+  subprocess crash tests (``REPRO_FAULTS="checkpoint.before-reset=kill"``
+  makes the process die like ``kill -9`` mid-checkpoint);
+* the :func:`fault_plan` context manager, for deterministic in-process
+  tests (it shadows any environment plan for its scope).
+
+Each :class:`FaultRule` names a site and an action:
+
+========  ==========================================================
+action    effect when the site is hit
+========  ==========================================================
+raise     raise :class:`FaultInjected` (or the rule's ``exception``)
+kill      ``os._exit(code)`` — no cleanup, like SIGKILL
+sleep     block for ``seconds`` (slow-worker / latency injection)
+========  ==========================================================
+
+Rules fire deterministically: ``skip`` hits pass through first, then the
+rule triggers ``times`` times (``None`` = forever), then it burns out.
+Every hit on every site is counted while a plan is active, so tests can
+assert a site was actually reached (a fault test that silently stops
+covering its site is worse than no test).
+
+The environment grammar is comma-separated ``site=action`` tokens::
+
+    REPRO_FAULTS="wal.fsync=raise,engine.worker=sleep:0.2"
+    REPRO_FAULTS="checkpoint.before-reset=kill"
+    REPRO_FAULTS="http.response=raise:2:1"   # skip 1 hit, then fail twice
+
+with optional ``:`` parameters — ``raise[:times[:skip]]``,
+``kill[:skip]``, ``sleep:seconds[:times[:skip]]``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+__all__ = [
+    "FAULTS_ENV_VAR",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultRule",
+    "active_plan",
+    "fault_plan",
+    "inject",
+    "parse_fault_spec",
+]
+
+#: Environment variable holding a fault specification for subprocesses.
+FAULTS_ENV_VAR = "REPRO_FAULTS"
+
+#: Exit status used by ``kill`` actions — the shell's code for SIGKILL.
+_KILL_EXIT_CODE = 137
+
+
+class FaultInjected(RuntimeError):
+    """The default exception raised by a ``raise`` fault rule."""
+
+
+@dataclass
+class FaultRule:
+    """One deterministic failure: a site, an action, and a trigger window.
+
+    Parameters
+    ----------
+    site:
+        The injection-site name this rule arms (exact match).
+    action:
+        ``"raise"``, ``"kill"`` or ``"sleep"``.
+    times:
+        Triggers before the rule burns out; ``None`` means every hit.
+    skip:
+        Hits allowed through before the first trigger.
+    seconds:
+        Sleep duration for ``"sleep"`` rules.
+    exception:
+        Factory for the exception a ``"raise"`` rule throws; defaults to
+        :class:`FaultInjected`.
+    exit_code:
+        Process exit status for ``"kill"`` rules (default 137, SIGKILL's).
+    """
+
+    site: str
+    action: str = "raise"
+    times: int | None = 1
+    skip: int = 0
+    seconds: float = 0.0
+    exception: Callable[[], BaseException] | None = None
+    exit_code: int = _KILL_EXIT_CODE
+
+    def __post_init__(self) -> None:
+        if self.action not in ("raise", "kill", "sleep"):
+            raise ValueError(
+                f"fault action must be raise/kill/sleep, got {self.action!r}"
+            )
+        if self.times is not None and self.times < 1:
+            raise ValueError(f"times must be >= 1 or None, got {self.times}")
+        if self.skip < 0:
+            raise ValueError(f"skip must be >= 0, got {self.skip}")
+        if self.seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {self.seconds}")
+
+
+class FaultPlan:
+    """An armed set of :class:`FaultRule`, with per-site hit counters."""
+
+    def __init__(self, rules: Iterator[FaultRule] | list[FaultRule]) -> None:
+        self._lock = threading.Lock()
+        self._rules: dict[str, FaultRule] = {}
+        self._fired: dict[str, int] = {}
+        self._passed: dict[str, int] = {}
+        self.hits: dict[str, int] = {}
+        for rule in rules:
+            if rule.site in self._rules:
+                raise ValueError(f"duplicate fault rule for site {rule.site!r}")
+            self._rules[rule.site] = rule
+
+    def fired(self, site: str) -> int:
+        """How many times the rule for ``site`` has triggered."""
+        with self._lock:
+            return self._fired.get(site, 0)
+
+    def trigger(self, site: str) -> None:
+        """Record a hit on ``site`` and apply its rule, if any is armed."""
+        with self._lock:
+            self.hits[site] = self.hits.get(site, 0) + 1
+            rule = self._rules.get(site)
+            if rule is None:
+                return
+            passed = self._passed.get(site, 0)
+            if passed < rule.skip:
+                self._passed[site] = passed + 1
+                return
+            fired = self._fired.get(site, 0)
+            if rule.times is not None and fired >= rule.times:
+                return
+            self._fired[site] = fired + 1
+        # Apply outside the lock: sleeps must not serialise other sites,
+        # and exceptions must not leave the lock held.
+        if rule.action == "sleep":
+            time.sleep(rule.seconds)
+            return
+        if rule.action == "kill":
+            os._exit(rule.exit_code)
+        factory = rule.exception
+        error = (
+            factory()
+            if factory is not None
+            else FaultInjected(f"injected fault at site {site!r}")
+        )
+        raise error
+
+
+_plan_lock = threading.Lock()
+_active: FaultPlan | None = None
+_env_loaded = False
+
+
+def parse_fault_spec(spec: str) -> list[FaultRule]:
+    """Parse a ``REPRO_FAULTS`` specification into rules."""
+    rules: list[FaultRule] = []
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if "=" not in token:
+            raise ValueError(
+                f"bad fault token {token!r}: expected site=action"
+            )
+        site, _, action_spec = token.partition("=")
+        parts = action_spec.split(":")
+        action = parts[0]
+        if action == "raise":
+            times = int(parts[1]) if len(parts) > 1 else 1
+            skip = int(parts[2]) if len(parts) > 2 else 0
+            rules.append(FaultRule(site.strip(), "raise", times=times, skip=skip))
+        elif action == "kill":
+            skip = int(parts[1]) if len(parts) > 1 else 0
+            rules.append(FaultRule(site.strip(), "kill", skip=skip))
+        elif action == "sleep":
+            if len(parts) < 2:
+                raise ValueError(f"sleep action needs seconds: {token!r}")
+            seconds = float(parts[1])
+            times = int(parts[2]) if len(parts) > 2 else None
+            skip = int(parts[3]) if len(parts) > 3 else 0
+            rules.append(
+                FaultRule(
+                    site.strip(), "sleep", times=times, skip=skip, seconds=seconds
+                )
+            )
+        else:
+            raise ValueError(
+                f"unknown fault action {action!r} in {token!r} "
+                "(expected raise/kill/sleep)"
+            )
+    return rules
+
+
+def _load_env_plan() -> None:
+    global _active, _env_loaded
+    _env_loaded = True
+    spec = os.environ.get(FAULTS_ENV_VAR, "").strip()
+    if spec:
+        _active = FaultPlan(parse_fault_spec(spec))
+
+
+def active_plan() -> FaultPlan | None:
+    """The currently armed plan (context-manager plan wins over env)."""
+    global _env_loaded
+    with _plan_lock:
+        if not _env_loaded:
+            _load_env_plan()
+        return _active
+
+
+def inject(site: str) -> None:
+    """Hit injection site ``site``; a no-op unless a plan arms it."""
+    if _active is None and _env_loaded:
+        return
+    plan = active_plan()
+    if plan is not None:
+        plan.trigger(site)
+
+
+@contextmanager
+def fault_plan(*rules: FaultRule) -> Iterator[FaultPlan]:
+    """Arm ``rules`` for a scope, shadowing any environment plan."""
+    global _active, _env_loaded
+    plan = FaultPlan(list(rules))
+    with _plan_lock:
+        if not _env_loaded:
+            _load_env_plan()
+        previous = _active
+        _active = plan
+    try:
+        yield plan
+    finally:
+        with _plan_lock:
+            _active = previous

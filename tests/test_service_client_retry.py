@@ -1,0 +1,295 @@
+"""Unit tests for the client's retry policy and circuit breaker.
+
+Backoff schedules are asserted with a seeded RNG and a recorded sleep
+seam (no real sleeping); the breaker runs on an injectable fake clock, so
+every state transition is deterministic.  The end-to-end dropped-response
+retry lives in ``test_service_faults.py``.
+"""
+
+import random
+import socket
+
+import pytest
+
+from repro.service import (
+    CircuitBreaker,
+    CircuitOpen,
+    Overloaded,
+    RetryPolicy,
+    ServiceClient,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_client(**kwargs) -> ServiceClient:
+    """A client whose base_url is never dialled by these tests."""
+    return ServiceClient("http://127.0.0.1:1", timeout=1.0, **kwargs)
+
+
+class TestRetryPolicy:
+    def test_deterministic_caps_without_jitter(self):
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=False
+        )
+        rng = random.Random(0)
+        delays = [policy.delay(i, rng) for i in range(4)]
+        assert delays == [
+            pytest.approx(0.1),
+            pytest.approx(0.2),
+            pytest.approx(0.4),
+            pytest.approx(0.5),  # capped
+        ]
+
+    def test_full_jitter_stays_within_the_cap(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=1.0)
+        rng = random.Random(42)
+        for retry_index in range(5):
+            cap = min(1.0, 0.1 * 2.0**retry_index)
+            for _ in range(50):
+                delay = policy.delay(retry_index, rng)
+                assert 0.0 <= delay <= cap
+
+    def test_seeded_jitter_is_reproducible(self):
+        policy = RetryPolicy(seed=7)
+        a = [policy.delay(i, random.Random(policy.seed)) for i in range(3)]
+        b = [policy.delay(i, random.Random(policy.seed)) for i in range(3)]
+        assert a == b
+
+    def test_retry_after_is_a_lower_bound(self):
+        policy = RetryPolicy(base_delay=0.01, max_delay=0.02)
+        rng = random.Random(0)
+        assert policy.delay(0, rng, retry_after=0.75) >= 0.75
+
+    def test_retry_after_ignored_when_disabled(self):
+        policy = RetryPolicy(
+            base_delay=0.01, max_delay=0.02, jitter=False,
+            honor_retry_after=False,
+        )
+        rng = random.Random(0)
+        assert policy.delay(0, rng, retry_after=9.0) == pytest.approx(0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="multiplier"):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError, match="delays"):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(ValueError, match="retry_index"):
+            RetryPolicy().delay(-1, random.Random(0))
+
+
+class TestRetryLoop:
+    def _stubbed(self, client, outcomes):
+        """Replace the transport with a scripted outcome sequence."""
+        calls = []
+
+        def fake_request_once(method, path, body):
+            calls.append((method, path))
+            outcome = outcomes[min(len(calls), len(outcomes)) - 1]
+            if isinstance(outcome, Exception):
+                raise outcome
+            return outcome
+
+        client._request_once = fake_request_once
+        return calls
+
+    def test_retries_overloaded_reads_honoring_retry_after(self):
+        client = make_client(
+            retry=RetryPolicy(
+                max_attempts=3, base_delay=0.01, max_delay=0.02, seed=3
+            )
+        )
+        slept = []
+        client._sleep = slept.append
+        overloaded = Overloaded(
+            "busy", queue_depth=4, capacity=4, retry_after=0.5
+        )
+        calls = self._stubbed(
+            client, [overloaded, overloaded, {"status": "ok"}]
+        )
+        assert client.healthz() == {"status": "ok"}
+        assert len(calls) == 3
+        # Retry-After (0.5s) dominates the tiny backoff caps.
+        assert len(slept) == 2
+        assert all(wait >= 0.5 for wait in slept)
+        stats = client.transport_stats()
+        assert stats["retries"] == 2
+        assert stats["overloaded"] == 2
+        assert stats["retry_wait_s"] >= 1.0
+
+    def test_raises_after_exhausting_attempts(self):
+        client = make_client(
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0, jitter=False)
+        )
+        client._sleep = lambda _: None
+        overloaded = Overloaded("busy", queue_depth=1, capacity=1)
+        calls = self._stubbed(client, [overloaded, overloaded])
+        with pytest.raises(Overloaded):
+            client.stats()
+        assert len(calls) == 2
+
+    def test_retries_transport_errors(self):
+        client = make_client(
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0, jitter=False)
+        )
+        client._sleep = lambda _: None
+        calls = self._stubbed(
+            client, [ConnectionResetError("reset"), {"status": "ok"}]
+        )
+        assert client.healthz() == {"status": "ok"}
+        assert len(calls) == 2
+
+    def test_non_retryable_errors_pass_straight_through(self):
+        client = make_client(retry=RetryPolicy(max_attempts=5))
+        client._sleep = lambda _: None
+        calls = self._stubbed(client, [KeyError("missing")])
+        with pytest.raises(KeyError):
+            client.healthz()
+        assert len(calls) == 1
+
+    def test_writes_are_never_retried(self):
+        client = make_client(
+            retry=RetryPolicy(max_attempts=5, base_delay=0.0)
+        )
+        client._sleep = lambda _: None
+        overloaded = Overloaded("busy", queue_depth=1, capacity=1)
+        calls = self._stubbed(client, [overloaded])
+        with pytest.raises(Overloaded):
+            client.insert([[0.1, 0.2]], sequence_id="w")
+        assert len(calls) == 1
+        calls.clear()
+        with pytest.raises(Overloaded):
+            client.remove("w")
+        assert len(calls) == 1
+
+    def test_no_policy_means_no_retry(self):
+        client = make_client()
+        overloaded = Overloaded("busy", queue_depth=1, capacity=1)
+        calls = self._stubbed(client, [overloaded, {"status": "ok"}])
+        with pytest.raises(Overloaded):
+            client.healthz()
+        assert len(calls) == 1
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=3, reset_timeout=10.0, clock=clock
+        )
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        with pytest.raises(CircuitOpen) as caught:
+            breaker.before_request()
+        assert caught.value.retry_after == pytest.approx(10.0)
+
+    def test_success_resets_the_failure_run(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_probe_closes_on_success(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=5.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(5.0)
+        breaker.before_request()  # the probe is let through
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_allows_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=5.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(5.0)
+        breaker.before_request()
+        with pytest.raises(CircuitOpen, match="probe already in flight"):
+            breaker.before_request()
+
+    def test_failed_probe_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=5, reset_timeout=5.0, clock=clock
+        )
+        for _ in range(5):
+            breaker.record_failure()
+        clock.advance(5.0)
+        breaker.before_request()
+        breaker.record_failure()  # probe failed: back to open immediately
+        assert breaker.state == CircuitBreaker.OPEN
+        with pytest.raises(CircuitOpen):
+            breaker.before_request()
+        assert breaker.stats()["opens"] == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError, match="reset_timeout"):
+            CircuitBreaker(reset_timeout=0.0)
+
+
+class TestBreakerIntegration:
+    @pytest.fixture
+    def dead_port(self):
+        """A port with no listener (bound then closed, so it refuses)."""
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        return port
+
+    def test_breaker_fast_fails_after_transport_failures(self, dead_port):
+        breaker = CircuitBreaker(failure_threshold=2, reset_timeout=60.0)
+        client = ServiceClient(
+            f"http://127.0.0.1:{dead_port}", timeout=1.0, breaker=breaker
+        )
+        for _ in range(2):
+            with pytest.raises(Exception):  # noqa: B017 - refused/unreachable
+                client.healthz()
+        stats = client.transport_stats()
+        assert stats["attempts"] == 2
+        assert stats["circuit"]["state"] == CircuitBreaker.OPEN
+        # The circuit now rejects locally: no new attempt hits the wire.
+        with pytest.raises(CircuitOpen):
+            client.healthz()
+        stats = client.transport_stats()
+        assert stats["attempts"] == 2
+        assert stats["circuit_open_rejections"] == 1
+
+    def test_circuit_open_is_not_retried(self, dead_port):
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=60.0)
+        client = ServiceClient(
+            f"http://127.0.0.1:{dead_port}",
+            timeout=1.0,
+            retry=RetryPolicy(max_attempts=4, base_delay=0.0),
+            breaker=breaker,
+        )
+        client._sleep = lambda _: None
+        with pytest.raises(Exception):  # noqa: B017 - trips the breaker
+            client.healthz()
+        before = client.transport_stats()["attempts"]
+        with pytest.raises(CircuitOpen):
+            client.healthz()
+        # A CircuitOpen rejection never consumed a transport attempt.
+        assert client.transport_stats()["attempts"] == before

@@ -232,3 +232,181 @@ class TestClientValidation:
     def test_base_url_normalised(self):
         client = ServiceClient("http://127.0.0.1:9999/")
         assert client.base_url == "http://127.0.0.1:9999"
+
+
+class TestRetryAfterAndDegraded:
+    def test_429_carries_retry_after_header_and_payload(self, rng):
+        engine = QueryEngine(
+            build_database(rng, count=3), workers=1, queue_cap=0
+        )
+        gate = threading.Event()
+        inner = engine._do_search
+        engine._do_search = lambda *args: (gate.wait(5), inner(*args))[1]
+        server, client = start_server(engine)
+        query = rng.random((8, 2))
+        blocker = threading.Thread(
+            target=lambda: post_status(
+                client, "/search", {"points": query.tolist(), "epsilon": 0.5}
+            )
+        )
+        blocker.start()
+        try:
+            deadline = time.monotonic() + 5
+            while engine.queue_depth == 0 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            request = urllib.request.Request(
+                client.base_url + "/search",
+                data=json.dumps(
+                    {"points": query.tolist(), "epsilon": 0.5}
+                ).encode(),
+                method="POST",
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as caught:
+                urllib.request.urlopen(request, timeout=10.0)
+            error = caught.value
+            assert error.code == 429
+            # RFC 9110 integral delay-seconds, rounded up from the hint.
+            assert int(error.headers["Retry-After"]) >= 1
+            detail = json.loads(error.read())["error"]
+            assert detail["queue_depth"] == 1
+            assert detail["capacity"] == 1
+            assert detail["retry_after"] > 0
+            # The typed client surfaces the same hint.
+            with pytest.raises(Overloaded) as typed:
+                client.search(query, 0.5)
+            assert typed.value.retry_after is not None
+            assert typed.value.queue_depth == 1
+        finally:
+            gate.set()
+            blocker.join()
+            server.shutdown()
+            server.server_close()
+            engine.close()
+
+    def test_healthz_reports_degraded(self, rng):
+        engine = QueryEngine(
+            build_database(rng, count=2), workers=1, degrade_after=1
+        )
+        server, client = start_server(engine)
+        try:
+            health = client.healthz()
+            assert health["status"] == "ok"
+            assert health["degraded"] is False
+            assert health["queue_depth"] == 0
+            assert health["durable"] is False
+            with engine._health_lock:
+                engine._degraded = True
+            health = client.healthz()
+            assert health["status"] == "degraded"
+            assert health["degraded"] is True
+        finally:
+            server.shutdown()
+            server.server_close()
+            engine.close()
+
+    def test_healthz_reports_durable(self, rng, tmp_path):
+        from repro.service import DurabilityConfig
+
+        engine = QueryEngine(
+            build_database(rng, count=2),
+            workers=1,
+            durability=DurabilityConfig(tmp_path / "data"),
+        )
+        server, client = start_server(engine)
+        try:
+            assert client.healthz()["durable"] is True
+        finally:
+            server.shutdown()
+            server.server_close()
+            engine.close()
+
+
+class TestGracefulShutdown:
+    def test_draining_server_answers_typed_503(self, rng):
+        engine = QueryEngine(build_database(rng, count=2), workers=1)
+        server, client = start_server(engine)
+        try:
+            assert client.healthz()["status"] == "ok"
+            server.draining = True
+            with pytest.raises(EngineClosed, match="draining"):
+                client.healthz()
+        finally:
+            server.draining = False
+            server.shutdown()
+            server.server_close()
+            engine.close()
+
+    def test_request_racing_shutdown_gets_its_result(self, rng):
+        """A search in flight when shutdown starts completes normally."""
+        from repro.service.http import shutdown_gracefully
+
+        engine = QueryEngine(build_database(rng), workers=2, cache_size=8)
+        release = threading.Event()
+        inner = engine._do_search
+        engine._do_search = lambda *args: (release.wait(5), inner(*args))[1]
+        server, client = start_server(engine)
+        query = rng.random((10, 2))
+        outcome: dict = {}
+
+        def slow_search():
+            try:
+                outcome["reply"] = client.search(query, 0.5)
+            except Exception as error:  # noqa: BLE001 - recorded for assert
+                outcome["error"] = error
+
+        racer = threading.Thread(target=slow_search)
+        racer.start()
+        deadline = time.monotonic() + 5
+        while server.inflight == 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        shutdown = threading.Thread(
+            target=lambda: shutdown_gracefully(
+                server, engine, drain_timeout=10.0
+            )
+        )
+        shutdown.start()
+        time.sleep(0.05)  # shutdown is now waiting on the drain
+        release.set()
+        racer.join(timeout=10.0)
+        shutdown.join(timeout=10.0)
+        # The racing request got a real JSON response, never a reset.
+        assert "error" not in outcome, outcome.get("error")
+        assert "answers" in outcome["reply"]
+        assert engine.closed
+
+    def test_drain_timeout_reports_false(self, rng):
+        from repro.service.http import shutdown_gracefully
+
+        engine = QueryEngine(build_database(rng, count=2), workers=1)
+        release = threading.Event()
+        inner = engine._do_search
+        engine._do_search = lambda *args: (release.wait(1.0), inner(*args))[1]
+        server, client = start_server(engine)
+        query = rng.random((8, 2))
+        racer = threading.Thread(
+            target=lambda: post_status(
+                client, "/search", {"points": query.tolist(), "epsilon": 0.5}
+            )
+        )
+        racer.start()
+        deadline = time.monotonic() + 5
+        while server.inflight == 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        drained = shutdown_gracefully(server, engine, drain_timeout=0.05)
+        assert drained is False
+        release.set()
+        racer.join(timeout=10.0)
+
+    def test_inflight_counter_balances(self, rng):
+        engine = QueryEngine(build_database(rng, count=2), workers=1)
+        server, client = start_server(engine)
+        try:
+            assert server.inflight == 0
+            client.healthz()
+            client.search(rng.random((8, 2)), 0.5)
+            assert server.inflight == 0
+        finally:
+            server.shutdown()
+            server.server_close()
+            engine.close()

@@ -1,0 +1,387 @@
+"""Tests for the write-ahead log and crash recovery (repro.service.wal).
+
+The durability contract: an acknowledged write survives any crash, a torn
+or corrupt log tail is truncated (never fatal), and replay is idempotent —
+the exact invariant a crash between checkpoint save and WAL reset relies
+on.  Recovery is also exercised with the no-false-dismissal contracts
+enabled, so a recovered engine is held to the same correctness bar as a
+never-crashed one.
+"""
+
+import os
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.core.contracts import checking_contracts
+from repro.core.database import SequenceDatabase
+from repro.core.search import SimilaritySearch
+from repro.service import (
+    DurabilityConfig,
+    QueryEngine,
+    WalRecord,
+    WriteAheadLog,
+    replay_into,
+)
+
+_MAGIC = b"REPROWAL1\n"
+_HEADER = struct.Struct("<II")
+
+
+def build_database(rng, count=6, dimension=2):
+    database = SequenceDatabase(dimension=dimension)
+    for ordinal in range(count):
+        length = int(rng.integers(20, 50))
+        database.add(rng.random((length, dimension)), sequence_id=f"s{ordinal}")
+    return database
+
+
+def read_raw(path):
+    return path.read_bytes()
+
+
+class TestWalRecord:
+    def test_round_trip_all_ops(self):
+        records = [
+            WalRecord("insert", "a", points=[[0.1, 0.2], [0.3, 0.4]]),
+            WalRecord("append", 7, points=[[0.5, 0.6]], length=12),
+            WalRecord("remove", "gone"),
+        ]
+        for record in records:
+            rebuilt = WalRecord.from_payload(record.to_payload())
+            assert rebuilt == record
+
+    def test_int_id_preserves_type(self):
+        rebuilt = WalRecord.from_payload(WalRecord("remove", 42).to_payload())
+        assert rebuilt.sequence_id == 42
+        assert isinstance(rebuilt.sequence_id, int)
+
+    def test_rejects_unloggable_ids_and_ops(self):
+        with pytest.raises(TypeError, match="sequence ids"):
+            WalRecord("insert", ("tuple", "id"), points=[[0.0]])
+        with pytest.raises(TypeError, match="sequence ids"):
+            WalRecord("remove", True)
+        with pytest.raises(ValueError, match="op"):
+            WalRecord("upsert", "a")
+
+
+class TestWriteAheadLog:
+    def test_empty_log_recovers_to_nothing(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        assert wal.recovered_records == []
+        assert len(wal) == 0
+        wal.close()
+        # Re-open the now-existing (but record-free) file.
+        wal = WriteAheadLog(path)
+        assert wal.recovered_records == []
+        wal.close()
+
+    def test_append_then_recover(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        wal.append(WalRecord("insert", "a", points=[[0.1, 0.2]]))
+        wal.append(WalRecord("remove", "a"))
+        assert len(wal) == 2
+        wal.close()
+        recovered = WriteAheadLog(path)
+        ops = [record.op for record in recovered.recovered_records]
+        assert ops == ["insert", "remove"]
+        recovered.close()
+
+    def test_torn_tail_is_truncated(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        wal.append(WalRecord("insert", "a", points=[[0.1, 0.2]]))
+        wal.close()
+        intact = read_raw(path)
+        # Simulate a crash mid-append: a header promising more bytes than
+        # the file holds.
+        payload = WalRecord("insert", "b", points=[[0.3, 0.4]]).to_payload()
+        torn = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload[:5]
+        path.write_bytes(intact + torn)
+        recovered = WriteAheadLog(path)
+        assert [r.sequence_id for r in recovered.recovered_records] == ["a"]
+        recovered.close()
+        # The tear was physically removed, so the next open is clean.
+        assert read_raw(path) == intact
+
+    def test_checksum_mismatch_truncates_from_bad_record(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        wal.append(WalRecord("insert", "a", points=[[0.1, 0.2]]))
+        offset_after_first = path.stat().st_size
+        wal.append(WalRecord("insert", "b", points=[[0.3, 0.4]]))
+        wal.append(WalRecord("insert", "c", points=[[0.5, 0.6]]))
+        wal.close()
+        # Flip one payload byte of the second record: it and everything
+        # after it must be discarded (no resynchronisation guessing).
+        data = bytearray(read_raw(path))
+        data[offset_after_first + _HEADER.size] ^= 0xFF
+        path.write_bytes(bytes(data))
+        recovered = WriteAheadLog(path)
+        assert [r.sequence_id for r in recovered.recovered_records] == ["a"]
+        recovered.close()
+        assert path.stat().st_size == offset_after_first
+
+    def test_bad_magic_is_fatal(self, tmp_path):
+        path = tmp_path / "wal.log"
+        path.write_bytes(b"NOTAWAL!!\n")
+        with pytest.raises(ValueError, match="magic"):
+            WriteAheadLog(path)
+
+    def test_reset_empties_the_log(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        wal.append(WalRecord("remove", "a"))
+        wal.reset()
+        assert len(wal) == 0
+        wal.append(WalRecord("remove", "b"))
+        wal.close()
+        recovered = WriteAheadLog(path)
+        assert [r.sequence_id for r in recovered.recovered_records] == ["b"]
+        recovered.close()
+
+    def test_closed_log_refuses_writes(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.close()
+        assert wal.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            wal.append(WalRecord("remove", "a"))
+        with pytest.raises(RuntimeError, match="closed"):
+            wal.reset()
+
+
+class TestReplay:
+    def test_replay_is_idempotent(self, rng):
+        database = build_database(rng, count=3)
+        records = [
+            WalRecord(
+                "insert", "new", points=rng.random((10, 2)).tolist()
+            ),
+            WalRecord("remove", "s0"),
+            WalRecord(
+                "append",
+                "s1",
+                points=[[0.5, 0.5]],
+                length=len(database.sequence("s1")) + 1,
+            ),
+        ]
+        applied_first = replay_into(database, records)
+        ids_after_first = database.ids()
+        lengths_first = {
+            sid: len(database.sequence(sid)) for sid in ids_after_first
+        }
+        applied_second = replay_into(database, records)
+        assert applied_first == 3
+        assert applied_second == 0
+        assert database.ids() == ids_after_first
+        assert {
+            sid: len(database.sequence(sid)) for sid in database.ids()
+        } == lengths_first
+
+    def test_replay_over_partial_prefix(self, rng):
+        """The mid-checkpoint-crash state: snapshot already holds a prefix."""
+        base = build_database(rng, count=2)
+        ahead = base.clone()
+        records = [
+            WalRecord("insert", "x", points=rng.random((8, 2)).tolist()),
+            WalRecord("remove", "s0"),
+        ]
+        replay_into(ahead, records[:1])  # snapshot saved after record 1
+        replay_into(ahead, records)  # full replay over the partial state
+        expected = base.clone()
+        replay_into(expected, records)
+        assert ahead.ids() == expected.ids()
+
+    def test_replay_rejects_malformed_records(self, rng):
+        database = build_database(rng, count=2)
+        with pytest.raises(ValueError, match="no points"):
+            replay_into(database, [WalRecord("insert", "zzz")])
+        with pytest.raises(ValueError, match="unknown id"):
+            replay_into(
+                database,
+                [WalRecord("append", "zzz", points=[[0.1, 0.2]], length=1)],
+            )
+
+
+class TestEngineRecovery:
+    def test_engine_recovers_acknowledged_writes(self, rng, tmp_path):
+        database = build_database(rng)
+        config = DurabilityConfig(tmp_path / "data")
+        new_points = rng.random((15, 2))
+        with QueryEngine(database, workers=2, durability=config) as engine:
+            engine.insert(new_points, sequence_id="durable")
+            engine.remove("s0")
+            # Simulate a crash: drop the engine without checkpointing by
+            # bypassing close() — re-open from disk only.
+            engine.durability = DurabilityConfig(
+                config.directory, checkpoint_on_close=False
+            )
+        with QueryEngine(None, workers=2, durability=config) as recovered:
+            ids = recovered.sequence_ids()
+            assert "durable" in ids
+            assert "s0" not in ids
+            got = recovered._snapshot.database.sequence("durable").points
+            np.testing.assert_allclose(got, new_points)
+
+    def test_recovered_search_matches_never_crashed_engine(self, rng, tmp_path):
+        seed = build_database(rng)
+        config = DurabilityConfig(
+            tmp_path / "data", checkpoint_on_close=False
+        )
+        extra = rng.random((25, 2))
+        query = rng.random((10, 2))
+        with QueryEngine(seed.clone(), workers=2, durability=config) as engine:
+            engine.insert(extra, sequence_id="added")
+            engine.remove("s1")
+        # Ground truth: the same mutations applied without any crash.
+        pristine = seed.clone()
+        pristine.add(extra, sequence_id="added")
+        pristine.remove("s1")
+        reference = SimilaritySearch(pristine)
+        with checking_contracts():
+            with QueryEngine(None, durability=config) as recovered:
+                for epsilon in (0.5, 0.25):
+                    got = recovered.search(query, epsilon)
+                    expected = reference.search(query, epsilon)
+                    assert got.answers == expected.answers
+                    assert (
+                        got.solution_intervals == expected.solution_intervals
+                    )
+
+    def test_double_recovery_is_deterministic(self, rng, tmp_path):
+        config = DurabilityConfig(
+            tmp_path / "data", checkpoint_on_close=False
+        )
+        with QueryEngine(
+            build_database(rng), workers=1, durability=config
+        ) as engine:
+            engine.insert(rng.random((10, 2)), sequence_id="w1")
+            engine.insert(rng.random((10, 2)), sequence_id="w2")
+        versions = []
+        for _ in range(2):
+            with QueryEngine(None, workers=1, durability=config) as engine:
+                versions.append(engine.snapshot_version)
+                assert set(engine.sequence_ids()) >= {"w1", "w2"}
+        assert versions[0] == versions[1]
+
+    def test_checkpoint_rotates_the_log(self, rng, tmp_path):
+        config = DurabilityConfig(tmp_path / "data")
+        with QueryEngine(
+            build_database(rng), workers=1, durability=config
+        ) as engine:
+            engine.insert(rng.random((10, 2)), sequence_id="w1")
+            assert engine.wal_records == 1
+            version = engine.checkpoint()
+            assert version == engine.snapshot_version
+            assert engine.wal_records == 0
+            block = engine.stats()["durability"]
+            assert block["enabled"] is True
+            assert block["checkpoints"] == 1
+            assert block["last_checkpoint_version"] == version
+        # Clean close checkpoints again; restart replays an empty log.
+        with QueryEngine(None, workers=1, durability=config) as engine:
+            assert engine.wal_records == 0
+            assert "w1" in engine.sequence_ids()
+
+    def test_auto_checkpoint_every_n_records(self, rng, tmp_path):
+        config = DurabilityConfig(tmp_path / "data", checkpoint_every=2)
+        with QueryEngine(
+            build_database(rng), workers=1, durability=config
+        ) as engine:
+            engine.insert(rng.random((10, 2)), sequence_id="w1")
+            assert engine.stats()["durability"]["checkpoints"] == 0
+            engine.insert(rng.random((10, 2)), sequence_id="w2")
+            block = engine.stats()["durability"]
+            assert block["checkpoints"] == 1
+            assert block["wal_records"] == 0
+
+    def test_fsync_disabled_still_recovers_cleanly(self, rng, tmp_path):
+        config = DurabilityConfig(
+            tmp_path / "data", fsync=False, checkpoint_on_close=False
+        )
+        with QueryEngine(
+            build_database(rng), workers=1, durability=config
+        ) as engine:
+            engine.insert(rng.random((10, 2)), sequence_id="w1")
+        with QueryEngine(None, workers=1, durability=config) as engine:
+            assert "w1" in engine.sequence_ids()
+
+    def test_database_none_without_snapshot_is_an_error(self, tmp_path):
+        config = DurabilityConfig(tmp_path / "empty")
+        with pytest.raises(TypeError, match="no snapshot"):
+            QueryEngine(None, durability=config)
+
+    def test_database_none_without_durability_is_an_error(self):
+        with pytest.raises(TypeError, match="durability"):
+            QueryEngine(None)
+
+    def test_unloggable_write_fails_before_publishing(self, rng, tmp_path):
+        """A write the WAL cannot represent is rejected, not half-applied."""
+        config = DurabilityConfig(tmp_path / "data")
+        with QueryEngine(
+            build_database(rng), workers=1, durability=config
+        ) as engine:
+            before = engine.snapshot_version
+            with pytest.raises(TypeError, match="sequence ids"):
+                engine.insert(rng.random((10, 2)), sequence_id=("t", 1))
+            assert engine.snapshot_version == before
+            assert ("t", 1) not in engine.sequence_ids()
+
+
+class TestCrashSafeSave:
+    def test_save_is_atomic_via_replace(self, rng, tmp_path):
+        database = build_database(rng, count=3)
+        target = tmp_path / "corpus.npz"
+        database.save(target)
+        loaded = SequenceDatabase.load(target)
+        assert loaded.ids() == database.ids()
+        # No temp litter left behind.
+        assert [p.name for p in tmp_path.iterdir()] == ["corpus.npz"]
+
+    def test_save_overwrite_keeps_old_archive_on_crash(self, rng, tmp_path):
+        from repro.service.faults import FaultInjected, FaultRule, fault_plan
+
+        database = build_database(rng, count=3)
+        target = tmp_path / "corpus.npz"
+        database.save(target)
+        bigger = build_database(rng, count=5)
+        with fault_plan(FaultRule("database.save.replace", "raise")):
+            with pytest.raises(FaultInjected):
+                bigger.save(target)
+        # The old archive is intact and loadable; the temp file is gone.
+        survivor = SequenceDatabase.load(target)
+        assert survivor.ids() == database.ids()
+        assert [p.name for p in tmp_path.iterdir()] == ["corpus.npz"]
+
+    def test_save_appends_npz_suffix_like_savez(self, rng, tmp_path):
+        database = build_database(rng, count=2)
+        database.save(tmp_path / "corpus")
+        assert (tmp_path / "corpus.npz").exists()
+        loaded = SequenceDatabase.load(tmp_path / "corpus.npz")
+        assert loaded.ids() == database.ids()
+
+
+class TestWalFilePermanence:
+    def test_magic_header_present(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.close()
+        assert read_raw(tmp_path / "wal.log").startswith(_MAGIC)
+
+    def test_records_survive_process_style_reopen(self, rng, tmp_path):
+        """Write with one handle, read with a brand-new one (no shared state)."""
+        path = tmp_path / "wal.log"
+        points = rng.random((5, 2)).tolist()
+        wal = WriteAheadLog(path)
+        wal.append(WalRecord("insert", "a", points=points))
+        # Crash-style: no close(), only the OS-level file contents matter
+        # (fsync already ran).
+        os.stat(path)
+        recovered = WriteAheadLog(path)
+        [record] = recovered.recovered_records
+        assert record.points == points
+        recovered.close()
+        wal.close()

@@ -1,0 +1,189 @@
+"""CI crash-recovery smoke test: kill -9 loses no acknowledged write.
+
+The full durability loop, through the real CLI and real processes:
+
+1. generate a tiny corpus and boot ``python -m repro serve --data-dir``
+   (WAL enabled) on a free port;
+2. insert sequences and remove one through :class:`ServiceClient` — each
+   acknowledgement means the record is fsynced in the WAL;
+3. ``SIGKILL`` the server (no drain, no checkpoint, no atexit);
+4. restart from the same data directory **without** ``--corpus`` and with
+   ``REPRO_CHECK_CONTRACTS=1``, and require every acknowledged mutation
+   to be visible;
+5. tier-1 parity: a range search against the recovered server must return
+   exactly what a never-crashed in-process engine returns on the same
+   logical state.
+
+Usage::
+
+    PYTHONPATH=src python tools/crash_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+__all__ = ["main"]
+
+_BANNER = re.compile(r"http://([\d.]+):(\d+)")
+
+
+def _generate_corpus(path: Path) -> None:
+    completed = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "generate",
+            "--dataset",
+            "fractal",
+            "--sequences",
+            "10",
+            "--out",
+            str(path),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    if completed.returncode != 0:
+        raise RuntimeError(f"corpus generation failed:\n{completed.stderr}")
+
+
+def _boot(arguments: list[str], env: dict[str, str]) -> tuple:
+    """Start ``repro serve``; returns (process, base_url)."""
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", *arguments],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    if server.stdout is None:
+        server.kill()
+        raise RuntimeError("server stdout was not captured")
+    banner = server.stdout.readline()
+    match = _BANNER.search(banner)
+    if match is None:
+        server.kill()
+        raise RuntimeError(f"no address banner in: {banner!r}")
+    return server, f"http://{match.group(1)}:{match.group(2)}"
+
+
+def main() -> int:
+    """Run the crash-recovery sequence; returns a process exit code."""
+    import numpy as np
+
+    from repro.core.database import SequenceDatabase
+    from repro.core.search import SimilaritySearch
+    from repro.service.client import RetryPolicy, ServiceClient
+
+    env = dict(os.environ)
+    env.setdefault("PYTHONPATH", "src")
+
+    with tempfile.TemporaryDirectory(prefix="repro-crash-") as tmp:
+        corpus = Path(tmp) / "corpus.npz"
+        data_dir = Path(tmp) / "data"
+        _generate_corpus(corpus)
+
+        server, base_url = _boot(
+            ["--corpus", str(corpus), "--data-dir", str(data_dir)], env
+        )
+        rng = np.random.default_rng(2000)
+        inserted: dict[str, list] = {}
+        try:
+            client = ServiceClient(base_url, timeout=10.0)
+            health = client.healthz()
+            if not health["durable"]:
+                raise RuntimeError(f"server is not durable: {health}")
+            dimension = int(health["dimension"])
+            for ordinal in range(3):
+                points = rng.random((20, dimension))
+                sequence_id = f"crash-{ordinal}"
+                client.insert(points, sequence_id=sequence_id)
+                inserted[sequence_id] = points.tolist()
+            client.remove("crash-1")
+            del inserted["crash-1"]
+            # Every call above returned 200: all three inserts and the
+            # remove are acknowledged, hence fsynced in the WAL.
+        finally:
+            server.send_signal(signal.SIGKILL)
+            server.wait(timeout=15)
+        if server.poll() == 0:
+            raise RuntimeError("server survived SIGKILL?")
+
+        # Restart purely from the data directory, contracts armed.
+        env_checked = dict(env)
+        env_checked["REPRO_CHECK_CONTRACTS"] = "1"
+        server, base_url = _boot(["--data-dir", str(data_dir)], env_checked)
+        try:
+            client = ServiceClient(
+                base_url,
+                timeout=10.0,
+                retry=RetryPolicy(max_attempts=3, seed=0),
+            )
+            health = client.healthz()
+            expected_count = 10 + len(inserted)
+            if health["sequences"] != expected_count:
+                raise RuntimeError(
+                    f"recovered {health['sequences']} sequences, expected "
+                    f"{expected_count}: an acknowledged write was lost"
+                )
+
+            # Acknowledged inserts are findable; the removed one is not.
+            for sequence_id, points in inserted.items():
+                reply = client.search(points, 0.05)
+                if sequence_id not in reply["answers"]:
+                    raise RuntimeError(
+                        f"recovered server cannot find {sequence_id!r}"
+                    )
+            probe = client.search(np.asarray(inserted["crash-0"]), 0.05)
+            if "crash-1" in probe["answers"]:
+                raise RuntimeError("removed sequence came back after recovery")
+
+            # Tier-1 parity: recovered HTTP answers == never-crashed engine.
+            reference = SequenceDatabase.load(corpus)
+            for sequence_id, points in inserted.items():
+                reference.add(points, sequence_id=sequence_id)
+            search = SimilaritySearch(reference)
+            query = rng.random((25, dimension))
+            for epsilon in (0.5, 0.25):
+                served = client.search(query, epsilon)
+                expected = search.search(query, epsilon)
+                if served["answers"] != list(expected.answers):
+                    raise RuntimeError(
+                        f"parity failure at epsilon={epsilon}: served "
+                        f"{served['answers']}, expected {expected.answers}"
+                    )
+
+            server.send_signal(signal.SIGINT)
+            deadline = time.monotonic() + 15
+            while server.poll() is None and time.monotonic() < deadline:
+                time.sleep(0.1)
+            if server.poll() != 0:
+                raise RuntimeError(
+                    f"recovered server did not exit cleanly "
+                    f"(returncode={server.poll()})"
+                )
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.wait(timeout=10)
+
+    print(
+        "crash smoke OK: kill -9 mid-serve, restart from WAL, all "
+        "acknowledged writes present, search parity with a never-crashed "
+        "engine (contracts on)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
