@@ -140,6 +140,119 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="log each HTTP request"
     )
 
+    cluster = commands.add_parser(
+        "cluster-serve",
+        help="coordinate sharded, replicated backends behind one endpoint",
+    )
+    cluster.add_argument(
+        "--backend",
+        action="append",
+        dest="backends",
+        default=None,
+        metavar="URL",
+        help=(
+            "a running repro-serve base URL; repeat per backend "
+            "(attached mode)"
+        ),
+    )
+    cluster.add_argument(
+        "--corpus",
+        default=None,
+        help=(
+            ".npz corpus to shard across in-process backends "
+            "(self-contained mode; mutually exclusive with --backend)"
+        ),
+    )
+    cluster.add_argument(
+        "--local-backends",
+        type=int,
+        default=3,
+        help="in-process backends to boot in self-contained mode",
+    )
+    cluster.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="corpus shards (default: one per backend)",
+    )
+    cluster.add_argument(
+        "--replication", type=int, default=1, help="replicas per shard"
+    )
+    cluster.add_argument(
+        "--write-quorum",
+        type=int,
+        default=None,
+        help="replica acks required per write (default: majority)",
+    )
+    cluster.add_argument("--host", default="127.0.0.1")
+    cluster.add_argument(
+        "--port", type=int, default=8770, help="0 picks a free port"
+    )
+    cluster.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker threads per in-process backend",
+    )
+    cluster.add_argument(
+        "--probe-interval",
+        type=float,
+        default=2.0,
+        help="seconds between /healthz sweeps of the backends",
+    )
+    cluster.add_argument(
+        "--no-hedge",
+        action="store_true",
+        help="disable hedged (backup) requests for slow shards",
+    )
+    cluster.add_argument(
+        "--hedge-quantile",
+        type=float,
+        default=0.95,
+        help="latency quantile after which a shard request is hedged",
+    )
+    cluster.add_argument(
+        "--backend-timeout",
+        type=float,
+        default=10.0,
+        help="socket timeout per backend call (attached mode)",
+    )
+    cluster.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="seconds to wait for in-flight requests before closing",
+    )
+    cluster.add_argument(
+        "--verbose", action="store_true", help="log each HTTP request"
+    )
+
+    route = commands.add_parser(
+        "cluster-route",
+        help="print the shard/replica placement of sequence ids",
+    )
+    route.add_argument(
+        "--backends", type=int, required=True, help="backend count"
+    )
+    route.add_argument("--shards", type=int, default=None)
+    route.add_argument("--replication", type=int, default=1)
+    route.add_argument(
+        "ids",
+        nargs="+",
+        help="sequence ids (decimal tokens route as ints, others as strs)",
+    )
+
+    wal_inspect = commands.add_parser(
+        "wal-inspect",
+        help="dump and verify a write-ahead log without modifying it",
+    )
+    wal_inspect.add_argument("path", help="path to a wal.log file")
+    wal_inspect.add_argument(
+        "--records",
+        action="store_true",
+        help="print every decoded record, not just the summary",
+    )
+
     return parser
 
 
@@ -318,11 +431,218 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_route_id(token: str) -> object:
+    """CLI id token: decimal tokens route as ints, everything else as strs."""
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def _command_cluster_serve(args: argparse.Namespace) -> int:
+    import signal
+    import time
+
+    from repro.cluster import (
+        ClusterCoordinator,
+        HedgePolicy,
+        LocalBackend,
+        ShardRouter,
+        serve_cluster,
+    )
+    from repro.cluster.backends import Backend
+    from repro.service import QueryEngine, ServiceClient
+
+    if bool(args.backends) == bool(args.corpus):
+        print(
+            "repro cluster-serve: pass either --backend URL... (attached "
+            "mode) or --corpus PATH (self-contained mode), not both",
+            file=sys.stderr,
+        )
+        return 2
+
+    backends: list[Backend]
+    engines: list[QueryEngine] = []
+    seed_ids: list[object] = []
+    if args.backends:
+        backends = [
+            ServiceClient(url, timeout=args.backend_timeout)
+            for url in args.backends
+        ]
+        mode = f"{len(backends)} attached backend(s)"
+    else:
+        from repro.core.database import SequenceDatabase
+
+        corpus = SequenceDatabase.load(args.corpus)
+        seed_ids = corpus.ids()
+        count = args.local_backends
+        router = ShardRouter(
+            num_backends=count,
+            num_shards=args.shards,
+            replication=args.replication,
+        )
+        shards = [
+            SequenceDatabase(corpus.dimension) for _ in range(count)
+        ]
+        for sequence_id in seed_ids:
+            placement = router.placement(sequence_id)
+            for backend_index in placement.replicas:
+                shards[backend_index].add(
+                    corpus.sequence(sequence_id).points,
+                    sequence_id=sequence_id,
+                )
+        engines = [
+            QueryEngine(shard, workers=args.workers) for shard in shards
+        ]
+        backends = [
+            LocalBackend(engine, name=f"local-{index}")
+            for index, engine in enumerate(engines)
+        ]
+        mode = (
+            f"{len(seed_ids)} sequences sharded over {count} "
+            "in-process backend(s)"
+        )
+
+    hedge = (
+        None
+        if args.no_hedge
+        else HedgePolicy(quantile=args.hedge_quantile)
+    )
+    coordinator = ClusterCoordinator(
+        backends,
+        num_shards=args.shards,
+        replication=args.replication,
+        hedge=hedge,
+        write_quorum=args.write_quorum,
+        probe_interval=args.probe_interval,
+    )
+    coordinator.seed_order(seed_ids)
+    server = serve_cluster(
+        coordinator, host=args.host, port=args.port, verbose=args.verbose
+    )
+    host, port = server.server_address[:2]
+    describe = coordinator.router.describe()
+    print(
+        f"repro cluster-serve: {mode}, {describe['shards']} shard(s) x "
+        f"{describe['replication']} replica(s) on http://{host}:{port}",
+        flush=True,
+    )
+
+    stop = threading.Event()
+
+    def _request_stop(signum: int, frame: object) -> None:
+        stop.set()
+
+    def _probe_loop() -> None:
+        while not stop.wait(args.probe_interval):
+            coordinator.probe()
+
+    signal.signal(signal.SIGINT, _request_stop)
+    signal.signal(signal.SIGTERM, _request_stop)
+    accept_loop = threading.Thread(
+        target=server.serve_forever, name="repro-cluster-accept", daemon=True
+    )
+    accept_loop.start()
+    prober = threading.Thread(
+        target=_probe_loop, name="repro-cluster-probe", daemon=True
+    )
+    prober.start()
+    try:
+        stop.wait()
+    finally:
+        server.shutdown()
+        deadline = time.monotonic() + args.drain_timeout
+        drained = server.drain(args.drain_timeout)
+        coordinator.close()
+        server.server_close()
+        accept_loop.join(timeout=max(0.0, deadline - time.monotonic()))
+        prober.join(timeout=args.probe_interval + 1.0)
+        for engine in engines:
+            engine.close()
+        suffix = "" if drained else " (drain timed out)"
+        print(f"repro cluster-serve: shut down cleanly{suffix}", flush=True)
+    return 0
+
+
+def _command_cluster_route(args: argparse.Namespace) -> int:
+    from repro.cluster import ShardRouter
+
+    router = ShardRouter(
+        num_backends=args.backends,
+        num_shards=args.shards,
+        replication=args.replication,
+    )
+    describe = router.describe()
+    print(
+        f"{describe['backends']} backend(s), {describe['shards']} shard(s), "
+        f"replication {describe['replication']}"
+    )
+    for token in args.ids:
+        placement = router.placement(_parse_route_id(token))
+        replicas = ", ".join(str(index) for index in placement.replicas)
+        print(
+            f"  {placement.sequence_id!r}: shard {placement.shard} "
+            f"-> backends [{replicas}]"
+        )
+    return 0
+
+
+def _command_wal_inspect(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.service.wal import inspect_wal
+
+    path = Path(args.path)
+    if not path.exists():
+        print(f"repro wal-inspect: {path}: no such file", file=sys.stderr)
+        return 2
+    inspection = inspect_wal(path)
+    if not inspection.magic_ok:
+        print(f"{path}: not a repro WAL (bad magic header)")
+        return 1
+    records = inspection.records
+    ops = {"insert": 0, "append": 0, "remove": 0}
+    for record in records:
+        ops[record.op] += 1
+    print(
+        f"{path}: {inspection.size} bytes, {len(records)} valid record(s) "
+        f"(insert {ops['insert']}, append {ops['append']}, "
+        f"remove {ops['remove']})"
+    )
+    if args.records:
+        for entry in inspection.entries:
+            if entry.record is None:
+                continue
+            record = entry.record
+            extent = (
+                "" if record.points is None else f" points={len(record.points)}"
+            )
+            length = "" if record.length is None else f" length={record.length}"
+            print(
+                f"  @{entry.offset:<8} crc=ok {record.op:<6} "
+                f"id={record.sequence_id!r}{extent}{length}"
+            )
+    if inspection.torn:
+        tail = inspection.entries[-1] if inspection.entries else None
+        reason = tail.error if tail is not None and tail.error else "torn tail"
+        print(
+            f"  CORRUPT @{inspection.valid_bytes}: {reason} "
+            f"({inspection.size - inspection.valid_bytes} byte(s) after the "
+            "last valid record; recovery would truncate here)"
+        )
+        return 1
+    print("  tail: clean (every byte accounted for)")
+    return 0
+
+
 _COMMANDS = {
     "sweep": _command_sweep,
     "demo": _command_demo,
     "generate": _command_generate,
     "serve": _command_serve,
+    "cluster-serve": _command_cluster_serve,
+    "cluster-route": _command_cluster_route,
+    "wal-inspect": _command_wal_inspect,
 }
 
 

@@ -1,0 +1,177 @@
+"""Backend adapters: anything with the :class:`ServiceClient` surface.
+
+The coordinator is transport-agnostic: a *backend* is any object exposing
+``healthz`` / ``stats`` / ``search`` / ``knn`` / ``insert`` / ``append``
+/ ``remove`` with :class:`~repro.service.client.ServiceClient` semantics
+(same payload shapes, same typed errors).  Over the wire that is a
+``ServiceClient``; in-process it is :class:`LocalBackend`, which wraps a
+:class:`~repro.service.engine.QueryEngine` directly — no sockets — while
+still pushing every payload through a JSON round trip, so results are
+byte-identical to what the HTTP path produces.  Chaos and property tests
+run hundreds of cluster configurations against ``LocalBackend`` in the
+time one real server would take to boot.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.service.engine import QueryEngine
+from repro.service.http import healthz_payload, knn_payload, search_payload
+from repro.util.validation import check_threshold
+
+if TYPE_CHECKING:
+    import numpy.typing as npt
+
+__all__ = ["Backend", "LocalBackend"]
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """The client surface the coordinator requires of every backend."""
+
+    def healthz(self) -> dict:
+        """Liveness probe payload."""
+        ...
+
+    def stats(self) -> dict:
+        """The backend's metrics block."""
+        ...
+
+    def search(
+        self,
+        points: "npt.ArrayLike",
+        epsilon: float,
+        *,
+        find_intervals: bool = True,
+        timeout: float | None = None,
+    ) -> dict:
+        """Range search payload (answers, candidates, intervals)."""
+        ...
+
+    def knn(
+        self,
+        points: "npt.ArrayLike",
+        k: int,
+        *,
+        timeout: float | None = None,
+    ) -> list[tuple[float, object]]:
+        """The local ``k`` nearest as ``(distance, sequence_id)``."""
+        ...
+
+    def insert(
+        self, points: "npt.ArrayLike", sequence_id: object = None
+    ) -> object:
+        """Insert a sequence; returns its id."""
+        ...
+
+    def append(self, sequence_id: object, points: "npt.ArrayLike") -> dict:
+        """Extend a stored sequence."""
+        ...
+
+    def remove(self, sequence_id: object) -> dict:
+        """Remove a sequence."""
+        ...
+
+
+def _round_trip(payload: dict) -> Any:
+    """Force payloads through JSON so local == HTTP byte-for-byte."""
+    return json.loads(json.dumps(payload, default=str))
+
+
+class LocalBackend:
+    """A :class:`QueryEngine` speaking the :class:`ServiceClient` dialect.
+
+    Every response passes through ``json.dumps``/``loads`` to reproduce
+    the wire transport exactly — interval maps keyed by
+    ``str(sequence_id)``, tuples decayed to lists, numpy scalars to
+    floats — so a coordinator cannot tell a local backend from a remote
+    one, and parity tests exercise the same code paths either way.
+    """
+
+    def __init__(self, engine: QueryEngine, *, name: str = "local") -> None:
+        self.engine = engine
+        self.name = name
+
+    def healthz(self) -> dict:
+        """Liveness probe: same payload as the HTTP ``/healthz`` route."""
+        return dict(_round_trip(healthz_payload(self.engine)))
+
+    def stats(self) -> dict:
+        """The engine's metrics block (JSON round-tripped)."""
+        return dict(_round_trip(self.engine.stats()))
+
+    def search(
+        self,
+        points: "npt.ArrayLike",
+        epsilon: float,
+        *,
+        find_intervals: bool = True,
+        timeout: float | None = None,
+    ) -> dict:
+        """Range search, transport-shaped like ``ServiceClient.search``."""
+        epsilon = check_threshold(epsilon)
+        response = self.engine.search_detailed(
+            np.asarray(points, dtype=np.float64),
+            epsilon,
+            find_intervals=find_intervals,
+            timeout=timeout,
+        )
+        return dict(
+            _round_trip(search_payload(response, find_intervals=find_intervals))
+        )
+
+    def knn(
+        self,
+        points: "npt.ArrayLike",
+        k: int,
+        *,
+        timeout: float | None = None,
+    ) -> list[tuple[float, object]]:
+        """Local kNN, shaped like ``ServiceClient.knn``."""
+        neighbors = self.engine.knn(
+            np.asarray(points, dtype=np.float64), k, timeout=timeout
+        )
+        payload = _round_trip(knn_payload(neighbors))
+        return [
+            (float(entry["distance"]), entry["sequence_id"])
+            for entry in payload["neighbors"]
+        ]
+
+    def insert(
+        self, points: "npt.ArrayLike", sequence_id: object = None
+    ) -> object:
+        """Insert a sequence; returns its id (JSON round-tripped)."""
+        written = self.engine.insert(
+            np.asarray(points, dtype=np.float64), sequence_id=sequence_id
+        )
+        return _round_trip({"sequence_id": written})["sequence_id"]
+
+    def append(self, sequence_id: object, points: "npt.ArrayLike") -> dict:
+        """Extend a stored sequence."""
+        self.engine.append(sequence_id, np.asarray(points, dtype=np.float64))
+        return dict(
+            _round_trip(
+                {
+                    "sequence_id": sequence_id,
+                    "sequences": len(self.engine),
+                    "snapshot_version": self.engine.snapshot_version,
+                }
+            )
+        )
+
+    def remove(self, sequence_id: object) -> dict:
+        """Remove a sequence."""
+        self.engine.remove(sequence_id)
+        return dict(
+            _round_trip(
+                {
+                    "sequence_id": sequence_id,
+                    "sequences": len(self.engine),
+                    "snapshot_version": self.engine.snapshot_version,
+                }
+            )
+        )

@@ -1,0 +1,783 @@
+"""The cluster coordinator: scatter-gather with failover and hedging.
+
+One :class:`ClusterCoordinator` fronts N backends (local engines or
+remote ``repro serve`` processes behind :class:`ServiceClient`), shards
+the corpus across them by deterministic hash placement
+(:mod:`repro.cluster.router`), replicates every shard R ways, and makes
+the paper's operations cluster-wide:
+
+* **Reads** (``search`` / ``knn`` / ``range_query``) scatter one request
+  per shard to the healthiest replica, failing over replica-by-replica,
+  and merge exactly (:mod:`repro.cluster.merge`) — a complete scatter is
+  bit-identical to a single node over the union corpus, preserving the
+  no-false-dismissal guarantee of Lemmas 1-3 across the distribution
+  seams.
+* **Hedging** cuts tail latency: when a shard's first attempt exceeds the
+  recent latency quantile (:class:`HedgePolicy`), a second replica is
+  asked concurrently and the first answer wins.
+* **Partial-result degradation** is typed, not exceptional: when *every*
+  replica of a shard is unavailable, ``search`` returns
+  ``complete=False`` plus the missing shard list — sound answers, no
+  false positives, possibly missing matches from the dead shards.
+  ``knn`` fails closed by default (:class:`~repro.service.errors.
+  ShardUnavailable`) because "the global k nearest" is unverifiable with
+  a shard missing; pass ``fail_closed=False`` to take the typed partial
+  result instead.
+* **Writes** (``insert`` / ``append`` / ``remove``) go to all replicas of
+  the owning shard with best-effort quorum (majority acks); replicas that
+  miss a write are queued for **read-repair** and caught up as soon as a
+  probe or a successful request sees them healthy again.
+
+Health is tracked per backend (:mod:`repro.cluster.health`) from request
+outcomes and explicit :meth:`ClusterCoordinator.probe` sweeps of
+``/healthz`` — which also surface each backend's durability lag
+(``wal_records`` since its last checkpoint).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+import numpy as np
+
+from repro.cluster.backends import Backend
+from repro.cluster.health import HealthTracker
+from repro.cluster.merge import MergedSearch, merge_knn, merge_search_payloads
+from repro.cluster.router import ShardRouter, canonical_id
+from repro.service.client import TRANSPORT_ERRORS
+from repro.service.errors import (
+    EngineClosed,
+    ServiceError,
+    ShardUnavailable,
+    WriteQuorumFailed,
+)
+from repro.service.faults import inject
+from repro.service.stats import LatencyWindow
+from repro.util.faults import FaultInjected
+from repro.util.rng import ensure_rng
+from repro.util.validation import check_threshold
+
+if TYPE_CHECKING:
+    import numpy.typing as npt
+
+__all__ = [
+    "ClusterCoordinator",
+    "ClusterKnnResult",
+    "ClusterSearchResult",
+    "HedgePolicy",
+]
+
+#: Failures worth trying the next replica for.  Deterministic caller
+#: errors (ValueError/KeyError/TypeError) are *not* here: every replica
+#: would answer them identically, so they propagate immediately.
+_FAILOVER_ERRORS = (*TRANSPORT_ERRORS, ServiceError, FaultInjected)
+
+#: Failures that count against a backend's health.  ``Overloaded`` and
+#: ``DeadlineExceeded`` prove the backend reachable and are excluded.
+_HEALTH_FAILURES = (*TRANSPORT_ERRORS, EngineClosed, FaultInjected)
+
+#: Sort rank for ids the coordinator never saw an insert for.
+_UNKNOWN_ORDER = 1 << 62
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """When to send a backup request for a slow shard.
+
+    The hedge delay is the ``quantile`` of recent backend-call latencies
+    (clamped to ``[min_delay, max_delay]``), plus an optional uniform
+    jitter of up to ``jitter`` of itself — seedable via
+    :func:`repro.util.rng.ensure_rng` so chaos tests never sleep on real
+    randomness.
+    """
+
+    enabled: bool = True
+    quantile: float = 0.95
+    min_delay: float = 0.02
+    max_delay: float = 1.0
+    jitter: float = 0.0
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.quantile <= 1.0:
+            raise ValueError(
+                f"quantile must be in [0, 1], got {self.quantile}"
+            )
+        if self.min_delay < 0 or self.max_delay < self.min_delay:
+            raise ValueError(
+                "delays must satisfy 0 <= min_delay <= max_delay, got "
+                f"[{self.min_delay}, {self.max_delay}]"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(
+                f"jitter must be a fraction in [0, 1], got {self.jitter}"
+            )
+
+    def delay(
+        self, window: LatencyWindow, rng: np.random.Generator
+    ) -> float:
+        """The seconds to wait before hedging one shard's request."""
+        base = window.quantile(self.quantile) if len(window) else 0.0
+        base = min(self.max_delay, max(self.min_delay, base))
+        if self.jitter > 0.0:
+            base += float(rng.uniform(0.0, self.jitter * base))
+        return base
+
+
+@dataclass(frozen=True)
+class ClusterSearchResult:
+    """A merged range-search answer plus its completeness contract.
+
+    With ``complete=True`` the result is exactly what a single node over
+    the union corpus returns — no false dismissals (Lemmas 1-3) and no
+    false positives.  With ``complete=False`` the shards listed in
+    ``missing_shards`` contributed nothing: every reported answer is
+    still exact (no false positives), but matches stored on the missing
+    shards may be absent, so the no-false-dismissal guarantee holds only
+    for the shards that responded.
+    """
+
+    epsilon: float
+    answers: list = field(default_factory=list)
+    candidates: list = field(default_factory=list)
+    #: Solution intervals keyed by ``str(sequence_id)`` (transport form).
+    intervals: dict = field(default_factory=dict)
+    complete: bool = True
+    missing_shards: tuple[int, ...] = ()
+    stats: dict = field(default_factory=dict)
+    snapshot_versions: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ClusterKnnResult:
+    """A merged kNN answer plus its completeness contract."""
+
+    neighbors: list[tuple[float, object]] = field(default_factory=list)
+    complete: bool = True
+    missing_shards: tuple[int, ...] = ()
+
+
+@dataclass
+class _RepairOp:
+    """One write a replica missed, queued for replay when it recovers."""
+
+    op: str
+    sequence_id: object
+    points: list | None = None
+
+
+class ClusterCoordinator:
+    """Scatter-gather serving over sharded, replicated backends.
+
+    Parameters
+    ----------
+    backends:
+        The backend pool, in a fixed order (placement is positional).
+        Anything satisfying :class:`~repro.cluster.backends.Backend`:
+        :class:`~repro.service.client.ServiceClient` instances for a real
+        cluster, :class:`~repro.cluster.backends.LocalBackend` in tests.
+    num_shards:
+        Corpus shards; defaults to the backend count.
+    replication:
+        Replicas per shard (distinct backends).
+    health:
+        Injectable :class:`HealthTracker` (deterministic clocks in tests).
+    hedge:
+        The :class:`HedgePolicy`; ``None`` disables hedging.
+    write_quorum:
+        Acks required before a write is reported written; defaults to a
+        majority of ``replication``.  Failed replicas are queued for
+        read-repair either way.
+    probe_interval:
+        Seconds between automatic recovery probes of a down backend
+        (also the default for an injected ``health`` tracker).
+    """
+
+    def __init__(
+        self,
+        backends: list[Backend],
+        *,
+        num_shards: int | None = None,
+        replication: int = 1,
+        health: HealthTracker | None = None,
+        hedge: HedgePolicy | None = HedgePolicy(),
+        write_quorum: int | None = None,
+        probe_interval: float = 5.0,
+    ) -> None:
+        if not backends:
+            raise ValueError("a cluster needs at least one backend")
+        self.backends = list(backends)
+        self.router = ShardRouter(
+            num_backends=len(self.backends),
+            num_shards=num_shards,
+            replication=replication,
+        )
+        self.health = health or HealthTracker(
+            len(self.backends), probe_interval=probe_interval
+        )
+        if self.health.num_backends != len(self.backends):
+            raise ValueError(
+                f"health tracker covers {self.health.num_backends} backends, "
+                f"cluster has {len(self.backends)}"
+            )
+        self.hedge = hedge
+        if write_quorum is None:
+            write_quorum = replication // 2 + 1
+        if not 1 <= write_quorum <= replication:
+            raise ValueError(
+                f"write_quorum must be in [1, {replication}] (the "
+                f"replication factor), got {write_quorum}"
+            )
+        self.write_quorum = write_quorum
+        self._hedge_rng = ensure_rng(None if hedge is None else hedge.seed)
+        self._rng_lock = threading.Lock()
+        self._latency = LatencyWindow(1024)
+        self._latency_lock = threading.Lock()
+        # Two pools so a shard-gather blocking on its backend futures can
+        # never deadlock against the futures it waits for.
+        self._scatter_pool = ThreadPoolExecutor(
+            max_workers=max(4, self.router.num_shards),
+            thread_name_prefix="repro-cluster-scatter",
+        )
+        self._backend_pool = ThreadPoolExecutor(
+            max_workers=max(4, 2 * len(self.backends)),
+            thread_name_prefix="repro-cluster-io",
+        )
+        self._order: dict[str, int] = {}
+        self._order_lock = threading.Lock()
+        self._auto_id = 0
+        self._repairs: dict[int, list[_RepairOp]] = {
+            index: [] for index in range(len(self.backends))
+        }
+        self._repair_lock = threading.Lock()
+        self._counters_lock = threading.Lock()
+        self._counters: dict[str, int] = {
+            "requests": 0,
+            "backend_calls": 0,
+            "backend_failures": 0,
+            "failovers": 0,
+            "hedges": 0,
+            "hedge_wins": 0,
+            "shard_misses": 0,
+            "partial_results": 0,
+            "repairs_queued": 0,
+            "repairs_replayed": 0,
+            "quorum_failures": 0,
+            "probes": 0,
+        }
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the scatter pools down (backends stay up; not owned)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._scatter_pool.shutdown(wait=False)
+        self._backend_pool.shutdown(wait=False)
+
+    def __enter__(self) -> "ClusterCoordinator":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Corpus order (reproduces single-node insertion order on merge)
+    # ------------------------------------------------------------------
+    def seed_order(self, sequence_ids: list[object]) -> None:
+        """Register pre-loaded corpus ids in their single-node order."""
+        for sequence_id in sequence_ids:
+            self._note_order(sequence_id)
+
+    def _note_order(self, sequence_id: object) -> None:
+        key = canonical_id(sequence_id)
+        with self._order_lock:
+            if key not in self._order:
+                self._order[key] = len(self._order)
+
+    def _order_key(self, sequence_id: object) -> tuple[int, str]:
+        key = canonical_id(sequence_id)
+        with self._order_lock:
+            return (self._order.get(key, _UNKNOWN_ORDER), key)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        points: "npt.ArrayLike",
+        epsilon: float,
+        *,
+        find_intervals: bool = True,
+        timeout: float | None = None,
+        fail_closed: bool = False,
+    ) -> ClusterSearchResult:
+        """Cluster-wide range search with typed partial degradation."""
+        epsilon = check_threshold(epsilon)
+        query = np.asarray(points, dtype=np.float64)
+        payloads, missing = self._scatter_read(
+            "search",
+            lambda backend: backend.search(
+                query,
+                epsilon,
+                find_intervals=find_intervals,
+                timeout=timeout,
+            ),
+        )
+        if missing and fail_closed:
+            raise ShardUnavailable(
+                f"search lost shard(s) {sorted(missing)}: every replica "
+                "unavailable",
+                missing_shards=missing,
+            )
+        merged: MergedSearch = merge_search_payloads(
+            payloads, order=self._order_key
+        )
+        if missing:
+            self._count("partial_results")
+        return ClusterSearchResult(
+            epsilon=epsilon,
+            answers=merged.answers,
+            candidates=merged.candidates,
+            intervals=merged.intervals,
+            complete=not missing,
+            missing_shards=tuple(sorted(missing)),
+            stats=merged.stats,
+            snapshot_versions=merged.snapshot_versions,
+        )
+
+    def range_query(
+        self,
+        points: "npt.ArrayLike",
+        epsilon: float,
+        *,
+        timeout: float | None = None,
+        fail_closed: bool = False,
+    ) -> ClusterSearchResult:
+        """Matching ids only (no solution intervals)."""
+        epsilon = check_threshold(epsilon)
+        return self.search(
+            points,
+            epsilon,
+            find_intervals=False,
+            timeout=timeout,
+            fail_closed=fail_closed,
+        )
+
+    def knn(
+        self,
+        points: "npt.ArrayLike",
+        k: int,
+        *,
+        timeout: float | None = None,
+        fail_closed: bool = True,
+    ) -> ClusterKnnResult:
+        """The global ``k`` nearest sequences (exact heap merge).
+
+        Fails closed by default: a missing shard could hold a nearer
+        neighbor than any reported one, so the global contract cannot be
+        certified and :class:`ShardUnavailable` is raised.  With
+        ``fail_closed=False`` the merged partial answer is returned with
+        ``complete=False`` — every reported distance is exact, but the
+        ranking is only over the shards that responded.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        query = np.asarray(points, dtype=np.float64)
+        payloads, missing = self._scatter_read(
+            "knn",
+            lambda backend: backend.knn(query, k, timeout=timeout),
+        )
+        if missing and fail_closed:
+            raise ShardUnavailable(
+                f"knn lost shard(s) {sorted(missing)}: the global top-{k} "
+                "cannot be certified with a shard missing",
+                missing_shards=missing,
+            )
+        neighbors = merge_knn(
+            list(payloads.values()), k, order=self._order_key
+        )
+        if missing:
+            self._count("partial_results")
+        return ClusterKnnResult(
+            neighbors=neighbors,
+            complete=not missing,
+            missing_shards=tuple(sorted(missing)),
+        )
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def insert(
+        self, points: "npt.ArrayLike", sequence_id: object = None
+    ) -> object:
+        """Insert a sequence on every replica of its shard.
+
+        The coordinator assigns an id when none is given — placement is a
+        function of the id, so it must exist before routing.
+        """
+        if sequence_id is None:
+            with self._order_lock:
+                sequence_id = f"auto-{self._auto_id}"
+                self._auto_id += 1
+        listed = np.asarray(points, dtype=np.float64).tolist()
+        self._replicated_write(
+            "insert",
+            sequence_id,
+            lambda backend: backend.insert(listed, sequence_id=sequence_id),
+            points=listed,
+        )
+        return sequence_id
+
+    def append(self, sequence_id: object, points: "npt.ArrayLike") -> object:
+        """Extend a stored sequence on every replica of its shard."""
+        listed = np.asarray(points, dtype=np.float64).tolist()
+        self._replicated_write(
+            "append",
+            sequence_id,
+            lambda backend: backend.append(sequence_id, listed),
+            points=listed,
+        )
+        return sequence_id
+
+    def remove(self, sequence_id: object) -> object:
+        """Remove a sequence from every replica of its shard."""
+        self._replicated_write(
+            "remove",
+            sequence_id,
+            lambda backend: backend.remove(sequence_id),
+        )
+        return sequence_id
+
+    def _replicated_write(
+        self,
+        op: str,
+        sequence_id: object,
+        call: Callable[[Backend], Any],
+        *,
+        points: list | None = None,
+    ) -> None:
+        self._count("requests")
+        placement = self.router.placement(sequence_id)
+        self._note_order(sequence_id)
+        futures: dict[Future, int] = {}
+        skipped: list[int] = []
+        for backend_index in placement.replicas:
+            if self.health.usable(backend_index):
+                futures[
+                    self._backend_pool.submit(
+                        self._call_backend, backend_index, call
+                    )
+                ] = backend_index
+            else:
+                skipped.append(backend_index)
+        acks = 0
+        caller_error: Exception | None = None
+        missed: list[int] = []
+        for future, backend_index in futures.items():
+            try:
+                future.result()
+            except _FAILOVER_ERRORS:
+                missed.append(backend_index)
+            except (KeyError, TypeError, ValueError) as error:
+                # Deterministic rejection (duplicate id, unknown id, bad
+                # payload): every replica agrees, surface it to the
+                # caller instead of treating it as replica loss.
+                caller_error = error
+            else:
+                acks += 1
+        if caller_error is not None:
+            raise caller_error
+        for backend_index in (*skipped, *missed):
+            self._queue_repair(
+                backend_index, _RepairOp(op, sequence_id, points)
+            )
+        if acks < self.write_quorum:
+            self._count("quorum_failures")
+            raise WriteQuorumFailed(
+                f"{op} of {sequence_id!r} reached {acks} of "
+                f"{len(placement.replicas)} replicas "
+                f"(quorum {self.write_quorum}); missed replicas queued "
+                "for read-repair",
+                shard=placement.shard,
+                acks=acks,
+                required=self.write_quorum,
+            )
+
+    # ------------------------------------------------------------------
+    # Read-repair
+    # ------------------------------------------------------------------
+    def _queue_repair(self, backend_index: int, op: _RepairOp) -> None:
+        with self._repair_lock:
+            self._repairs[backend_index].append(op)
+        self._count("repairs_queued")
+
+    def repair_pending(self) -> dict[int, int]:
+        """Queued repair ops per backend (non-empty queues only)."""
+        with self._repair_lock:
+            return {
+                index: len(queue)
+                for index, queue in self._repairs.items()
+                if queue
+            }
+
+    def _drain_repairs(self, backend_index: int) -> int:
+        """Replay a recovered backend's missed writes, in order."""
+        backend = self.backends[backend_index]
+        replayed = 0
+        while True:
+            with self._repair_lock:
+                if not self._repairs[backend_index]:
+                    return replayed
+                op = self._repairs[backend_index][0]
+            try:
+                inject("cluster.read-repair")
+                if op.op == "insert":
+                    try:
+                        backend.insert(op.points, sequence_id=op.sequence_id)
+                    except KeyError:
+                        pass  # already present: the write did land
+                elif op.op == "remove":
+                    try:
+                        backend.remove(op.sequence_id)
+                    except KeyError:
+                        pass  # already absent
+                else:
+                    backend.append(op.sequence_id, op.points)
+            except _FAILOVER_ERRORS:
+                # Still unhealthy: keep the queue, try again next probe.
+                self.health.record_failure(backend_index)
+                return replayed
+            with self._repair_lock:
+                queue = self._repairs[backend_index]
+                if queue and queue[0] is op:
+                    queue.pop(0)
+            replayed += 1
+            self._count("repairs_replayed")
+
+    def probe(self) -> dict[int, bool]:
+        """Probe every backend's ``/healthz``; drain repairs on recovery.
+
+        Returns ``backend index -> probe succeeded``.  Run this on a
+        timer in a long-lived deployment (``repro cluster-serve`` does)
+        or explicitly in tests.
+        """
+        outcomes: dict[int, bool] = {}
+        for index, backend in enumerate(self.backends):
+            self._count("probes")
+            inject("cluster.health.probe")
+            inject(f"cluster.backend.{index}.probe")
+            try:
+                info = backend.healthz()
+            except (*_FAILOVER_ERRORS, KeyError, TypeError, ValueError):
+                self.health.record_probe(index, None)
+                outcomes[index] = False
+            else:
+                self.health.record_probe(index, info)
+                outcomes[index] = True
+        # Catch up every reachable backend with missed writes — covering
+        # both fresh down -> up recoveries and queues left behind by an
+        # earlier replay that failed halfway.
+        self.health.take_recovered()
+        pending = self.repair_pending()
+        for index, reachable in outcomes.items():
+            if reachable and pending.get(index):
+                self._drain_repairs(index)
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # Scatter plumbing
+    # ------------------------------------------------------------------
+    def _scatter_read(
+        self, op: str, call: Callable[[Backend], Any]
+    ) -> tuple[dict[int, Any], list[int]]:
+        """Fan ``call`` out to one replica per shard; gather or degrade."""
+        self._count("requests")
+        shards = range(self.router.num_shards)
+        futures = {
+            self._scatter_pool.submit(self._gather_shard, shard, call): shard
+            for shard in shards
+        }
+        payloads: dict[int, Any] = {}
+        missing: list[int] = []
+        caller_error: Exception | None = None
+        for future, shard in futures.items():
+            try:
+                payloads[shard] = future.result()
+            except ShardUnavailable:
+                missing.append(shard)
+                self._count("shard_misses")
+            except (KeyError, TypeError, ValueError) as error:
+                caller_error = error
+        if caller_error is not None:
+            raise caller_error
+        return payloads, sorted(missing)
+
+    def _gather_shard(
+        self, shard: int, call: Callable[[Backend], Any]
+    ) -> Any:
+        """One shard's result from its healthiest replica, with hedging."""
+        replicas = self.router.replicas_of(shard)
+        attempt_order = [
+            index
+            for index in replicas
+            if self.health.usable(index) or self.health.probe_due(index)
+        ]
+        if not attempt_order:
+            raise ShardUnavailable(
+                f"shard {shard}: no usable replica among {list(replicas)}",
+                missing_shards=[shard],
+            )
+        pending: dict[Future, int] = {}
+        launched = 0
+
+        def launch_next() -> bool:
+            nonlocal launched
+            if launched >= len(attempt_order):
+                return False
+            index = attempt_order[launched]
+            launched += 1
+            pending[
+                self._backend_pool.submit(self._call_backend, index, call)
+            ] = index
+            return True
+
+        launch_next()
+        hedged = False
+        errors: dict[int, Exception] = {}
+        while pending:
+            may_hedge = (
+                self.hedge is not None
+                and self.hedge.enabled
+                and not hedged
+                and launched < len(attempt_order)
+            )
+            hedge_timeout = self._hedge_delay() if may_hedge else None
+            done, _ = wait(
+                pending, timeout=hedge_timeout, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                # The hedge timer fired before the primary answered.
+                hedged = True
+                self._count("hedges")
+                launch_next()
+                continue
+            for future in done:
+                index = pending.pop(future)
+                try:
+                    payload = future.result()
+                except _FAILOVER_ERRORS as error:
+                    errors[index] = error
+                    if pending or launch_next():
+                        if launched > 1:
+                            self._count("failovers")
+                        continue
+                else:
+                    if hedged and index != attempt_order[0]:
+                        self._count("hedge_wins")
+                    # Stragglers finish in the background; their health
+                    # outcomes are recorded inside _call_backend.
+                    return payload
+        raise ShardUnavailable(
+            f"shard {shard}: every replica failed "
+            f"({ {i: type(e).__name__ for i, e in errors.items()} })",
+            missing_shards=[shard],
+        )
+
+    def _hedge_delay(self) -> float:
+        if self.hedge is None:
+            return 0.0
+        with self._latency_lock:
+            window = self._latency
+            with self._rng_lock:
+                return self.hedge.delay(window, self._hedge_rng)
+
+    def _call_backend(
+        self, backend_index: int, call: Callable[[Backend], Any]
+    ) -> Any:
+        """One backend attempt: fault sites, latency, health accounting."""
+        self._count("backend_calls")
+        inject("cluster.backend.request")
+        inject(f"cluster.backend.{backend_index}.request")
+        started = time.monotonic()
+        try:
+            payload = call(self.backends[backend_index])
+        except _HEALTH_FAILURES:
+            self._count("backend_failures")
+            self.health.record_failure(backend_index)
+            raise
+        except ServiceError:
+            # Overloaded / DeadlineExceeded: the backend answered, so it
+            # is alive — the request still failed over to a replica.
+            self.health.record_success(backend_index)
+            raise
+        with self._latency_lock:
+            self._latency.record(time.monotonic() - started)
+        if self.health.record_success(backend_index):
+            # A regular request just proved a down backend recovered:
+            # catch its replicas up without blocking this request.
+            self.health.take_recovered()
+            self._backend_pool.submit(self._drain_repairs, backend_index)
+        return payload
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def _count(self, key: str, amount: int = 1) -> None:
+        with self._counters_lock:
+            self._counters[key] += amount
+
+    def unavailable_shards(self) -> list[int]:
+        """Shards whose every replica is currently marked down."""
+        return [
+            shard
+            for shard in range(self.router.num_shards)
+            if not any(
+                self.health.usable(index)
+                for index in self.router.replicas_of(shard)
+            )
+        ]
+
+    def healthz(self) -> dict:
+        """Cluster liveness: ok / degraded (a backend down) / partial."""
+        down = self.health.down_backends()
+        unavailable = self.unavailable_shards()
+        if unavailable:
+            status = "partial"
+        elif down:
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "degraded": bool(down),
+            "backends": len(self.backends),
+            "backends_down": down,
+            "unavailable_shards": unavailable,
+            "repair_pending": sum(self.repair_pending().values()),
+            **self.router.describe(),
+        }
+
+    def stats(self) -> dict:
+        """Coordinator counters, router config, per-backend health."""
+        with self._counters_lock:
+            counters = dict(self._counters)
+        with self._latency_lock:
+            p50 = self._latency.quantile(0.50)
+            p95 = self._latency.quantile(0.95)
+        return {
+            **counters,
+            "router": self.router.describe(),
+            "write_quorum": self.write_quorum,
+            "backend_latency_p50_s": p50,
+            "backend_latency_p95_s": p95,
+            "repair_pending": self.repair_pending(),
+            "backends": self.health.snapshot(),
+        }

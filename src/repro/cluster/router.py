@@ -1,0 +1,154 @@
+"""Deterministic shard placement: which backends own which sequences.
+
+The paper's search decomposes over disjoint subsets of the corpus — every
+phase (MCOST partitioning, the Dmbr index probe, the Dnorm refinement) is
+per-sequence, so a sequence's verdict is the same whichever node stores
+it.  That makes placement a pure function: hash the sequence id onto one
+of ``num_shards`` shards, and map each shard onto ``replication``
+backends.  No placement table has to be replicated or repaired; any
+coordinator (or operator, via ``repro cluster-route``) can recompute where
+a sequence lives from the id alone.
+
+Two properties matter and are tested:
+
+* **Stability.**  The hash is :func:`hashlib.blake2b` over a canonical
+  ``type:value`` encoding of the id — never Python's ``hash()``, whose
+  per-process randomisation (``PYTHONHASHSEED``) would scatter a corpus
+  differently on every boot.  Only ``str`` and ``int`` ids are routable,
+  mirroring the write-ahead log's durable-id restriction (the cluster and
+  the WAL must agree on which ids can survive a process boundary).
+* **Distinct replicas.**  A shard's ``replication`` backends are distinct
+  (consecutive indices modulo the backend count), so losing one node
+  never takes out two replicas of the same shard.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+__all__ = ["Placement", "ShardRouter", "canonical_id", "shard_of"]
+
+
+def canonical_id(sequence_id: object) -> str:
+    """A process-stable ``type:value`` encoding of a routable sequence id.
+
+    Distinguishes ``1`` from ``"1"`` (they are different database keys)
+    while staying identical across processes and JSON round trips.
+    """
+    if isinstance(sequence_id, bool) or not isinstance(sequence_id, (str, int)):
+        raise TypeError(
+            "only str/int sequence ids are routable across the cluster, "
+            f"got {type(sequence_id).__name__}"
+        )
+    kind = "int" if isinstance(sequence_id, int) else "str"
+    return f"{kind}:{sequence_id}"
+
+
+def shard_of(sequence_id: object, num_shards: int) -> int:
+    """The shard owning ``sequence_id`` (stable blake2b placement)."""
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    digest = hashlib.blake2b(
+        canonical_id(sequence_id).encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "little") % num_shards
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Where one sequence lives: its shard and the shard's replicas."""
+
+    sequence_id: object
+    shard: int
+    #: Backend indices holding a replica of the shard, primary first.
+    replicas: tuple[int, ...]
+
+
+class ShardRouter:
+    """Pure-function placement of sequences onto replicated backends.
+
+    Parameters
+    ----------
+    num_backends:
+        Backends in the cluster (indices ``0 .. num_backends - 1``).
+    num_shards:
+        Disjoint corpus subsets; defaults to ``num_backends``.  More
+        shards than backends gives finer failover granularity.
+    replication:
+        Replicas per shard; must not exceed ``num_backends`` (replicas
+        are distinct backends).
+
+    Examples
+    --------
+    >>> router = ShardRouter(num_backends=3, replication=2)
+    >>> placement = router.placement("clip-7")
+    >>> len(set(placement.replicas))
+    2
+    """
+
+    def __init__(
+        self,
+        *,
+        num_backends: int,
+        num_shards: int | None = None,
+        replication: int = 1,
+    ) -> None:
+        if num_backends < 1:
+            raise ValueError(f"num_backends must be >= 1, got {num_backends}")
+        if num_shards is None:
+            num_shards = num_backends
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if not 1 <= replication <= num_backends:
+            raise ValueError(
+                f"replication must be in [1, {num_backends}] "
+                f"(the backend count), got {replication}"
+            )
+        self.num_backends = num_backends
+        self.num_shards = num_shards
+        self.replication = replication
+
+    def shard_of(self, sequence_id: object) -> int:
+        """The shard owning ``sequence_id``."""
+        return shard_of(sequence_id, self.num_shards)
+
+    def replicas_of(self, shard: int) -> tuple[int, ...]:
+        """The distinct backends holding ``shard``, primary first."""
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(
+                f"shard must be in [0, {self.num_shards}), got {shard}"
+            )
+        return tuple(
+            (shard + offset) % self.num_backends
+            for offset in range(self.replication)
+        )
+
+    def placement(self, sequence_id: object) -> Placement:
+        """Shard and replica set of one sequence id."""
+        shard = self.shard_of(sequence_id)
+        return Placement(
+            sequence_id=sequence_id,
+            shard=shard,
+            replicas=self.replicas_of(shard),
+        )
+
+    def shards_of_backend(self, backend: int) -> tuple[int, ...]:
+        """Every shard that places a replica on ``backend``."""
+        if not 0 <= backend < self.num_backends:
+            raise ValueError(
+                f"backend must be in [0, {self.num_backends}), got {backend}"
+            )
+        return tuple(
+            shard
+            for shard in range(self.num_shards)
+            if backend in self.replicas_of(shard)
+        )
+
+    def describe(self) -> dict:
+        """The routing configuration as a JSON-serialisable block."""
+        return {
+            "backends": self.num_backends,
+            "shards": self.num_shards,
+            "replication": self.replication,
+        }

@@ -51,14 +51,19 @@ from repro.service.errors import (
     EngineClosed,
     Overloaded,
     ServiceError,
+    ShardUnavailable,
+    WriteQuorumFailed,
 )
 from repro.service.faults import FaultRule, fault_plan
 from repro.service.http import ServiceServer, serve, shutdown_gracefully
 from repro.service.stats import LatencyWindow, ServiceStats
 from repro.service.wal import (
     DurabilityConfig,
+    WalEntryInfo,
+    WalInspection,
     WalRecord,
     WriteAheadLog,
+    inspect_wal,
     replay_into,
 )
 
@@ -80,9 +85,14 @@ __all__ = [
     "ServiceResponse",
     "ServiceServer",
     "ServiceStats",
+    "ShardUnavailable",
+    "WalEntryInfo",
+    "WalInspection",
     "WalRecord",
+    "WriteQuorumFailed",
     "WriteAheadLog",
     "fault_plan",
+    "inspect_wal",
     "query_fingerprint",
     "replay_into",
     "serve",

@@ -48,21 +48,37 @@ from repro.service.errors import (
     EngineClosed,
     Overloaded,
     ServiceError,
+    ShardUnavailable,
+    WriteQuorumFailed,
 )
+from repro.util.rng import ensure_rng
 from repro.util.validation import check_threshold
 
 if TYPE_CHECKING:
     import numpy.typing as npt
 
-__all__ = ["CircuitBreaker", "RetryPolicy", "ServiceClient"]
+    #: Anything with a ``uniform(low, high) -> float``-like method; in
+    #: production this is a :class:`numpy.random.Generator` from
+    #: :func:`repro.util.rng.ensure_rng`, but a seeded
+    #: :class:`random.Random` works too (handy in tests).
+    UniformRng = np.random.Generator | random.Random
 
-#: Transport-level failures a retry may safely cover for idempotent reads.
-_TRANSPORT_ERRORS = (
+__all__ = [
+    "TRANSPORT_ERRORS",
+    "CircuitBreaker",
+    "RetryPolicy",
+    "ServiceClient",
+]
+
+#: Transport-level failures a retry may safely cover for idempotent reads
+#: (and the cluster coordinator treats as grounds for replica failover).
+TRANSPORT_ERRORS = (
     urllib.error.URLError,
     ConnectionError,
     TimeoutError,
     http.client.HTTPException,
 )
+_TRANSPORT_ERRORS = TRANSPORT_ERRORS
 
 
 def _raise_typed(status: int, detail: dict) -> None:
@@ -79,6 +95,21 @@ def _raise_typed(status: int, detail: dict) -> None:
     if status == 408:
         raise DeadlineExceeded(message, timeout=float(detail.get("timeout", 0.0)))
     if status == 503:
+        kind = detail.get("type")
+        if kind == "ShardUnavailable":
+            raise ShardUnavailable(
+                message,
+                missing_shards=[
+                    int(shard) for shard in detail.get("missing_shards", ())
+                ],
+            )
+        if kind == "WriteQuorumFailed":
+            raise WriteQuorumFailed(
+                message,
+                shard=int(detail.get("shard", -1)),
+                acks=int(detail.get("acks", 0)),
+                required=int(detail.get("required", 0)),
+            )
         raise EngineClosed(message)
     if status == 400:
         raise ValueError(message)
@@ -108,7 +139,9 @@ class RetryPolicy:
     honor_retry_after:
         Respect the server's ``Retry-After`` as a lower bound.
     seed:
-        Seed for the jitter RNG — set it in tests for reproducibility.
+        Seed for the jitter RNG (threaded through
+        :func:`repro.util.rng.ensure_rng`) — set it in tests so backoff
+        schedules are reproducible instead of sleeping on real jitter.
     """
 
     max_attempts: int = 4
@@ -134,7 +167,7 @@ class RetryPolicy:
     def delay(
         self,
         retry_index: int,
-        rng: random.Random,
+        rng: UniformRng,
         *,
         retry_after: float | None = None,
     ) -> float:
@@ -142,7 +175,7 @@ class RetryPolicy:
         if retry_index < 0:
             raise ValueError(f"retry_index must be >= 0, got {retry_index}")
         cap = min(self.max_delay, self.base_delay * self.multiplier**retry_index)
-        chosen = rng.uniform(0.0, cap) if self.jitter else cap
+        chosen = float(rng.uniform(0.0, cap)) if self.jitter else cap
         if self.honor_retry_after and retry_after is not None:
             chosen = max(chosen, retry_after)
         return chosen
@@ -269,6 +302,11 @@ class ServiceClient:
     breaker:
         Optional :class:`CircuitBreaker` shared by all this client's
         requests; ``None`` disables circuit breaking.
+    rng:
+        Jitter RNG override — anything :func:`repro.util.rng.ensure_rng`
+        accepts (an int seed, a ``numpy.random.Generator``, ``None``).
+        Defaults to a generator seeded from ``retry.seed``, so a seeded
+        policy alone already makes backoff deterministic.
     """
 
     def __init__(
@@ -278,6 +316,7 @@ class ServiceClient:
         timeout: float = 30.0,
         retry: RetryPolicy | None = None,
         breaker: CircuitBreaker | None = None,
+        rng: int | np.random.Generator | None = None,
     ) -> None:
         if timeout <= 0:
             raise ValueError(f"timeout must be positive, got {timeout}")
@@ -285,7 +324,9 @@ class ServiceClient:
         self.timeout = timeout
         self.retry = retry
         self.breaker = breaker
-        self._rng = random.Random(None if retry is None else retry.seed)
+        if rng is None and retry is not None:
+            rng = retry.seed
+        self._rng = ensure_rng(rng)
         self._sleep = time.sleep  # monkeypatchable seam for tests
         self._counters_lock = threading.Lock()
         self._counters: dict[str, float] = {
@@ -362,6 +403,18 @@ class ServiceClient:
         if sequence_id is not None:
             body["sequence_id"] = sequence_id
         return self._request("POST", "/insert", body)["sequence_id"]
+
+    def append(self, sequence_id: object, points: npt.ArrayLike) -> dict:
+        """Extend a stored sequence with new points (never retried)."""
+        reply = self._request(
+            "POST",
+            "/append",
+            {
+                "sequence_id": sequence_id,
+                "points": self._point_list(points),
+            },
+        )
+        return dict(reply)
 
     def remove(self, sequence_id: object) -> dict:
         """Remove a sequence from subsequent snapshots (never retried)."""

@@ -378,6 +378,16 @@ class QueryEngine:
         """Records in the WAL since the last checkpoint (0 if not durable)."""
         return 0 if self._wal is None else len(self._wal)
 
+    @property
+    def checkpoints(self) -> int:
+        """Checkpoints taken since startup (explicit, automatic, on close)."""
+        return self._checkpoints
+
+    @property
+    def last_checkpoint_version(self) -> int:
+        """Snapshot version captured by the most recent checkpoint."""
+        return self._last_checkpoint_version
+
     def sequence_ids(self) -> list[object]:
         """Sequence ids of the current snapshot, in insertion order."""
         return self._snapshot.database.ids()

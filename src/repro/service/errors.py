@@ -13,12 +13,16 @@ serving-layer failure modes and nothing from the search itself.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+
 __all__ = [
     "CircuitOpen",
     "DeadlineExceeded",
     "EngineClosed",
     "Overloaded",
     "ServiceError",
+    "ShardUnavailable",
+    "WriteQuorumFailed",
 ]
 
 
@@ -63,6 +67,44 @@ class DeadlineExceeded(ServiceError):
 
 class EngineClosed(ServiceError):
     """The engine has been shut down; no further requests are accepted."""
+
+
+class ShardUnavailable(ServiceError):
+    """Every replica of at least one shard refused or failed the request.
+
+    Raised by cluster operations that *fail closed* (``knn`` by default:
+    its contract — "the global k nearest" — cannot be met with a shard
+    missing).  Range ``search`` degrades instead, returning a typed
+    partial result with ``complete=False`` and the same shard list.
+    """
+
+    def __init__(
+        self, message: str, *, missing_shards: Iterable[int]
+    ) -> None:
+        super().__init__(message)
+        #: The shards whose every replica was unavailable, ascending.
+        self.missing_shards: tuple[int, ...] = tuple(sorted(missing_shards))
+
+
+class WriteQuorumFailed(ServiceError):
+    """A cluster write reached fewer replicas than its quorum.
+
+    Replicas that did acknowledge keep the write and the missed replicas
+    are queued for read-repair, so a quorum failure means "not yet
+    durable on a majority", not "rolled back" — the caller may retry
+    idempotently or wait for repair to converge.
+    """
+
+    def __init__(
+        self, message: str, *, shard: int, acks: int, required: int
+    ) -> None:
+        super().__init__(message)
+        #: The shard whose replica set was written.
+        self.shard = shard
+        #: Replicas that acknowledged the write.
+        self.acks = acks
+        #: The quorum (majority of the replication factor).
+        self.required = required
 
 
 class CircuitOpen(ServiceError):

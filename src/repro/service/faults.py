@@ -20,10 +20,23 @@ site                        where it fires
                             body runs (slow / failed execution)
 ``http.response``           before an HTTP response is written
                             (dropped-response injection)
+``cluster.backend.request``  before the coordinator calls any backend
+                            (backend-down / slow-shard injection)
+``cluster.health.probe``    before the coordinator probes a backend's
+                            ``/healthz``
+``cluster.read-repair``     before each queued write is replayed onto a
+                            recovered replica
 ==========================  ============================================
 
-All sites are listed in :data:`FAULT_SITES`; tests iterate it to assert
-instrumentation does not silently disappear.
+The coordinator additionally fires *per-backend* dynamic sites —
+``cluster.backend.<i>.request`` and ``cluster.backend.<i>.probe`` for
+backend index ``i`` — so a chaos plan can take down exactly one replica
+(``cluster.backend.2.request=raise:0`` keeps backend 2 dark forever,
+``...=raise:0:0:2`` makes it flap).  Dynamic sites are not enumerable in
+advance and therefore not part of :data:`FAULT_SITES`.
+
+All static sites are listed in :data:`FAULT_SITES`; tests iterate it to
+assert instrumentation does not silently disappear.
 """
 
 from __future__ import annotations
@@ -60,4 +73,7 @@ FAULT_SITES: tuple[str, ...] = (
     "database.save.replace",
     "engine.worker",
     "http.response",
+    "cluster.backend.request",
+    "cluster.health.probe",
+    "cluster.read-repair",
 )

@@ -8,27 +8,36 @@ internet:
 ==========  ======  ====================================================
 route       method  body / response
 ==========  ======  ====================================================
-/healthz    GET     liveness: ``{"status": "ok", ...}``
+/healthz    GET     liveness: ``{"status": "ok", ...}`` plus durability
+                    lag (``wal_records``, ``last_checkpoint_version``)
 /stats      GET     the engine's :meth:`QueryEngine.stats` block
 /search     POST    ``{"points", "epsilon", "find_intervals"?, "timeout"?}``
 /knn        POST    ``{"points", "k", "timeout"?}``
 /insert     POST    ``{"points", "sequence_id"?}``
+/append     POST    ``{"sequence_id", "points"}``
 /remove     POST    ``{"sequence_id"}``
 ==========  ======  ====================================================
 
 Typed serving errors map onto status codes — :class:`Overloaded` → 429
 (with a ``Retry-After`` header derived from queue depth), :class:`
-DeadlineExceeded` → 408, :class:`EngineClosed` → 503, bad input → 400,
-duplicate insert id → 409, unknown id → 404 — and every error body is
-``{"error": {"type", "message", ...}}`` so clients can rebuild the typed
-exception (:mod:`repro.service.client` does exactly that).
+DeadlineExceeded` → 408, :class:`EngineClosed` / :class:`ShardUnavailable`
+/ :class:`WriteQuorumFailed` → 503, bad input → 400, duplicate insert id
+→ 409, unknown id → 404 — and every error body is ``{"error": {"type",
+"message", ...}}`` so clients can rebuild the typed exception
+(:mod:`repro.service.client` does exactly that).
 
-Shutdown is graceful: :meth:`ServiceServer.drain` waits for in-flight
-requests to finish (new requests on kept-alive connections are answered
-with a typed 503 once draining starts), so a request racing SIGTERM gets
-a real response — a result or ``EngineClosed`` — never a connection
-reset.  ``repro serve --drain-timeout`` wires this into the CLI via
-:func:`shutdown_gracefully`.
+The handler/server split is reusable: :class:`JsonRequestHandler` carries
+the JSON plumbing (body parsing, typed error mapping, drain-aware
+dispatch) and :class:`DrainingHTTPServer` the in-flight tracking, so the
+cluster coordinator's endpoint (:mod:`repro.cluster.http`) serves the
+same wire protocol from the same base classes.
+
+Shutdown is graceful: :meth:`DrainingHTTPServer.drain` waits for
+in-flight requests to finish (new requests on kept-alive connections are
+answered with a typed 503 once draining starts), so a request racing
+SIGTERM gets a real response — a result or ``EngineClosed`` — never a
+connection reset.  ``repro serve --drain-timeout`` wires this into the
+CLI via :func:`shutdown_gracefully`.
 
 Sequence ids survive the JSON round trip when they are strings, numbers,
 booleans or null; solution-interval maps are keyed by ``str(sequence_id)``
@@ -41,29 +50,41 @@ import json
 import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, cast
+from typing import Any, Callable, cast
 
 import numpy as np
 
-from repro.service.engine import QueryEngine
+from repro.service.engine import QueryEngine, ServiceResponse
 from repro.service.errors import (
     DeadlineExceeded,
     EngineClosed,
     Overloaded,
     ServiceError,
+    ShardUnavailable,
+    WriteQuorumFailed,
 )
 from repro.service.faults import inject
 from repro.util.validation import check_threshold
 
 __all__ = [
+    "DrainingHTTPServer",
+    "JsonRequestHandler",
     "ServiceHandler",
     "ServiceServer",
+    "error_headers",
+    "error_payload",
+    "error_status",
+    "healthz_payload",
+    "knn_payload",
+    "read_points",
+    "required_field",
+    "search_payload",
     "serve",
     "shutdown_gracefully",
 ]
 
 
-def _error_payload(error: Exception) -> dict:
+def error_payload(error: Exception) -> dict:
     """The JSON body describing a failed request."""
     detail: dict[str, Any] = {
         "type": type(error).__name__,
@@ -76,10 +97,16 @@ def _error_payload(error: Exception) -> dict:
             detail["retry_after"] = error.retry_after
     if isinstance(error, DeadlineExceeded):
         detail["timeout"] = error.timeout
+    if isinstance(error, ShardUnavailable):
+        detail["missing_shards"] = list(error.missing_shards)
+    if isinstance(error, WriteQuorumFailed):
+        detail["shard"] = error.shard
+        detail["acks"] = error.acks
+        detail["required"] = error.required
     return {"error": detail}
 
 
-def _error_headers(error: Exception) -> dict[str, str]:
+def error_headers(error: Exception) -> dict[str, str]:
     """Extra response headers for a failed request (429 Retry-After)."""
     if isinstance(error, Overloaded) and error.retry_after is not None:
         # RFC 9110 Retry-After is integral delay-seconds; round up so the
@@ -88,13 +115,13 @@ def _error_headers(error: Exception) -> dict[str, str]:
     return {}
 
 
-def _error_status(error: Exception, op: str) -> int:
+def error_status(error: Exception, op: str) -> int:
     """Map an exception to its HTTP status code."""
     if isinstance(error, Overloaded):
         return 429
     if isinstance(error, DeadlineExceeded):
         return 408
-    if isinstance(error, EngineClosed):
+    if isinstance(error, (EngineClosed, ShardUnavailable, WriteQuorumFailed)):
         return 503
     if isinstance(error, ServiceError):
         return 500
@@ -107,16 +134,16 @@ def _error_status(error: Exception, op: str) -> int:
     return 500
 
 
-def _field(body: dict, name: str) -> Any:
+def required_field(body: dict, name: str) -> Any:
     """A required JSON field; missing fields are a 400, not a 404/409."""
     if name not in body:
         raise ValueError(f"missing required field {name!r}")
     return body[name]
 
 
-def _points(body: dict) -> np.ndarray:
+def read_points(body: dict) -> np.ndarray:
     """The request's point array as float64."""
-    return np.asarray(_field(body, "points"), dtype=np.float64)
+    return np.asarray(required_field(body, "points"), dtype=np.float64)
 
 
 def _intervals_payload(result_intervals: dict) -> dict[str, list]:
@@ -127,123 +154,104 @@ def _intervals_payload(result_intervals: dict) -> dict[str, list]:
     }
 
 
-class ServiceHandler(BaseHTTPRequestHandler):
-    """Dispatches the route table above against ``self.server.engine``."""
+def healthz_payload(engine: QueryEngine) -> dict:
+    """The ``/healthz`` body: liveness plus durability lag.
+
+    ``wal_records`` is the number of acknowledged writes not yet folded
+    into a checkpoint — the durability lag an operator (or the cluster
+    health tracker) watches; ``last_checkpoint_version`` /
+    ``checkpoints`` date the most recent checkpoint.
+    """
+    if engine.closed:
+        status = "closed"
+    elif engine.degraded:
+        status = "degraded"
+    else:
+        status = "ok"
+    return {
+        "status": status,
+        "degraded": engine.degraded,
+        "sequences": len(engine),
+        "dimension": engine.dimension,
+        "snapshot_version": engine.snapshot_version,
+        "queue_depth": engine.queue_depth,
+        "durable": engine.durable,
+        "wal_records": engine.wal_records,
+        "checkpoints": engine.checkpoints,
+        "last_checkpoint_version": engine.last_checkpoint_version,
+    }
+
+
+def search_payload(
+    response: ServiceResponse, *, find_intervals: bool
+) -> dict:
+    """The ``/search`` body for one engine response (transport shape)."""
+    result = response.result
+    payload = {
+        "answers": list(result.answers),
+        "candidates": list(result.candidates),
+        "cache": response.cache,
+        "snapshot_version": response.snapshot_version,
+        "stats": {
+            "query_segments": result.stats.query_segments,
+            "node_accesses": result.stats.node_accesses,
+            "dnorm_evaluations": result.stats.dnorm_evaluations,
+        },
+    }
+    if find_intervals:
+        payload["intervals"] = _intervals_payload(result.solution_intervals)
+    return payload
+
+
+def knn_payload(neighbors: list[tuple[float, object]]) -> dict:
+    """The ``/knn`` body for one neighbor list (transport shape)."""
+    return {
+        "neighbors": [
+            {"distance": distance, "sequence_id": sid}
+            for distance, sid in neighbors
+        ]
+    }
+
+
+class JsonRequestHandler(BaseHTTPRequestHandler):
+    """JSON route dispatch with typed error mapping and drain awareness.
+
+    Subclasses declare ``get_routes`` / ``post_routes`` mapping paths to
+    handler-method *names*; each handler takes the parsed JSON body and
+    returns the response payload.  Exceptions map to status codes via
+    :func:`error_status` and serialise via :func:`error_payload`.
+    """
 
     server_version = "repro-serve/1.0"
     protocol_version = "HTTP/1.1"
 
-    @property
-    def engine(self) -> QueryEngine:
-        """The engine owned by the enclosing :class:`ServiceServer`."""
-        return cast("ServiceServer", self.server).engine
+    #: path -> bound-method name, filled in by subclasses.
+    get_routes: dict[str, str] = {}
+    post_routes: dict[str, str] = {}
 
     # ------------------------------------------------------------------
     # HTTP verbs
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (http.server naming convention)
-        if self.path == "/healthz":
-            self._handle("healthz", self._healthz)
-        elif self.path == "/stats":
-            self._handle("stats", self._stats)
-        else:
-            self._send_json(404, {"error": {"type": "NotFound", "message": f"no such route: GET {self.path}"}})
+        self._dispatch("GET", self.get_routes)
 
     def do_POST(self) -> None:  # noqa: N802 (http.server naming convention)
-        routes = {
-            "/search": self._search,
-            "/knn": self._knn,
-            "/insert": self._insert,
-            "/remove": self._remove,
-        }
-        handler = routes.get(self.path)
-        if handler is None:
-            self._send_json(404, {"error": {"type": "NotFound", "message": f"no such route: POST {self.path}"}})
+        self._dispatch("POST", self.post_routes)
+
+    def _dispatch(self, verb: str, routes: dict[str, str]) -> None:
+        name = routes.get(self.path)
+        if name is None:
+            self._send_json(
+                404,
+                {
+                    "error": {
+                        "type": "NotFound",
+                        "message": f"no such route: {verb} {self.path}",
+                    }
+                },
+            )
             return
-        self._handle(self.path.lstrip("/"), handler)
-
-    # ------------------------------------------------------------------
-    # Route bodies
-    # ------------------------------------------------------------------
-    def _healthz(self, body: dict) -> dict:
-        engine = self.engine
-        if engine.closed:
-            status = "closed"
-        elif engine.degraded:
-            status = "degraded"
-        else:
-            status = "ok"
-        return {
-            "status": status,
-            "degraded": engine.degraded,
-            "sequences": len(engine),
-            "dimension": engine.dimension,
-            "snapshot_version": engine.snapshot_version,
-            "queue_depth": engine.queue_depth,
-            "durable": engine.durable,
-        }
-
-    def _stats(self, body: dict) -> dict:
-        return self.engine.stats()
-
-    def _search(self, body: dict) -> dict:
-        epsilon = check_threshold(float(_field(body, "epsilon")))
-        find_intervals = bool(body.get("find_intervals", True))
-        timeout = body.get("timeout")
-        response = self.engine.search_detailed(
-            _points(body),
-            epsilon,
-            find_intervals=find_intervals,
-            timeout=None if timeout is None else float(timeout),
-        )
-        result = response.result
-        payload = {
-            "answers": list(result.answers),
-            "candidates": list(result.candidates),
-            "cache": response.cache,
-            "snapshot_version": response.snapshot_version,
-            "stats": {
-                "query_segments": result.stats.query_segments,
-                "node_accesses": result.stats.node_accesses,
-                "dnorm_evaluations": result.stats.dnorm_evaluations,
-            },
-        }
-        if find_intervals:
-            payload["intervals"] = _intervals_payload(result.solution_intervals)
-        return payload
-
-    def _knn(self, body: dict) -> dict:
-        timeout = body.get("timeout")
-        neighbors = self.engine.knn(
-            _points(body),
-            int(_field(body, "k")),
-            timeout=None if timeout is None else float(timeout),
-        )
-        return {
-            "neighbors": [
-                {"distance": distance, "sequence_id": sid}
-                for distance, sid in neighbors
-            ]
-        }
-
-    def _insert(self, body: dict) -> dict:
-        sequence_id = self.engine.insert(
-            _points(body), sequence_id=body.get("sequence_id")
-        )
-        return {
-            "sequence_id": sequence_id,
-            "sequences": len(self.engine),
-            "snapshot_version": self.engine.snapshot_version,
-        }
-
-    def _remove(self, body: dict) -> dict:
-        sequence_id = _field(body, "sequence_id")
-        self.engine.remove(sequence_id)
-        return {
-            "sequence_id": sequence_id,
-            "sequences": len(self.engine),
-            "snapshot_version": self.engine.snapshot_version,
-        }
+        self._handle(self.path.lstrip("/"), getattr(self, name))
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -261,8 +269,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
             raise ValueError("request body must be a JSON object")
         return body
 
-    def _handle(self, op: str, route: Any) -> None:
-        server = cast("ServiceServer", self.server)
+    def _handle(self, op: str, route: Callable[[dict], dict]) -> None:
+        server = cast("DrainingHTTPServer", self.server)
         server.request_started()
         try:
             if server.draining:
@@ -272,7 +280,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 self.close_connection = True
                 self._send_json(
                     503,
-                    _error_payload(
+                    error_payload(
                         EngineClosed("server is draining for shutdown")
                     ),
                 )
@@ -282,9 +290,9 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 payload = route(body)
             except Exception as error:  # noqa: BLE001 — boundary: map to status
                 self._send_json(
-                    _error_status(error, op),
-                    _error_payload(error),
-                    headers=_error_headers(error),
+                    error_status(error, op),
+                    error_payload(error),
+                    headers=error_headers(error),
                 )
                 return
             self._send_json(200, payload)
@@ -313,15 +321,84 @@ class ServiceHandler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
 
-class ServiceServer(ThreadingHTTPServer):
-    """A threading HTTP server bound to one :class:`QueryEngine`.
+class ServiceHandler(JsonRequestHandler):
+    """Dispatches the engine route table against ``self.server.engine``."""
 
-    The server does *not* own the engine's lifecycle: closing the server
-    stops accepting connections, but the caller decides when to
-    ``engine.close()``.  Use :func:`shutdown_gracefully` (or the CLI,
-    which wraps it) to tear both down in the order that lets in-flight
-    requests drain.
-    """
+    get_routes = {"/healthz": "_healthz", "/stats": "_stats"}
+    post_routes = {
+        "/search": "_search",
+        "/knn": "_knn",
+        "/insert": "_insert",
+        "/append": "_append",
+        "/remove": "_remove",
+    }
+
+    @property
+    def engine(self) -> QueryEngine:
+        """The engine owned by the enclosing :class:`ServiceServer`."""
+        return cast("ServiceServer", self.server).engine
+
+    # ------------------------------------------------------------------
+    # Route bodies
+    # ------------------------------------------------------------------
+    def _healthz(self, body: dict) -> dict:
+        return healthz_payload(self.engine)
+
+    def _stats(self, body: dict) -> dict:
+        return self.engine.stats()
+
+    def _search(self, body: dict) -> dict:
+        epsilon = check_threshold(float(required_field(body, "epsilon")))
+        find_intervals = bool(body.get("find_intervals", True))
+        timeout = body.get("timeout")
+        response = self.engine.search_detailed(
+            read_points(body),
+            epsilon,
+            find_intervals=find_intervals,
+            timeout=None if timeout is None else float(timeout),
+        )
+        return search_payload(response, find_intervals=find_intervals)
+
+    def _knn(self, body: dict) -> dict:
+        timeout = body.get("timeout")
+        neighbors = self.engine.knn(
+            read_points(body),
+            int(required_field(body, "k")),
+            timeout=None if timeout is None else float(timeout),
+        )
+        return knn_payload(neighbors)
+
+    def _insert(self, body: dict) -> dict:
+        sequence_id = self.engine.insert(
+            read_points(body), sequence_id=body.get("sequence_id")
+        )
+        return {
+            "sequence_id": sequence_id,
+            "sequences": len(self.engine),
+            "snapshot_version": self.engine.snapshot_version,
+        }
+
+    def _append(self, body: dict) -> dict:
+        sequence_id = required_field(body, "sequence_id")
+        self.engine.append(sequence_id, read_points(body))
+        return {
+            "sequence_id": sequence_id,
+            "sequences": len(self.engine),
+            "snapshot_version": self.engine.snapshot_version,
+        }
+
+    def _remove(self, body: dict) -> dict:
+        sequence_id = required_field(body, "sequence_id")
+        self.engine.remove(sequence_id)
+        return {
+            "sequence_id": sequence_id,
+            "sequences": len(self.engine),
+            "snapshot_version": self.engine.snapshot_version,
+        }
+
+
+class DrainingHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server with in-flight tracking and graceful drain."""
 
     daemon_threads = True
     allow_reuse_address = True
@@ -329,12 +406,11 @@ class ServiceServer(ThreadingHTTPServer):
     def __init__(
         self,
         address: tuple[str, int],
-        engine: QueryEngine,
+        handler: type[BaseHTTPRequestHandler],
         *,
         verbose: bool = False,
     ) -> None:
-        super().__init__(address, ServiceHandler)
-        self.engine = engine
+        super().__init__(address, handler)
         self.verbose = verbose
         self.draining = False
         self.dropped_responses = 0
@@ -389,6 +465,27 @@ class ServiceServer(ThreadingHTTPServer):
         self.dropped_responses += 1
         if self.verbose:
             super().handle_error(request, client_address)
+
+
+class ServiceServer(DrainingHTTPServer):
+    """A threading HTTP server bound to one :class:`QueryEngine`.
+
+    The server does *not* own the engine's lifecycle: closing the server
+    stops accepting connections, but the caller decides when to
+    ``engine.close()``.  Use :func:`shutdown_gracefully` (or the CLI,
+    which wraps it) to tear both down in the order that lets in-flight
+    requests drain.
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        engine: QueryEngine,
+        *,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, ServiceHandler, verbose=verbose)
+        self.engine = engine
 
 
 def serve(

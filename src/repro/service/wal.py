@@ -51,8 +51,11 @@ if TYPE_CHECKING:
 
 __all__ = [
     "DurabilityConfig",
+    "WalEntryInfo",
+    "WalInspection",
     "WalRecord",
     "WriteAheadLog",
+    "inspect_wal",
     "replay_into",
 ]
 
@@ -287,6 +290,146 @@ class WriteAheadLog:
         if not self._closed:
             self._closed = True
             self._handle.close()
+
+
+@dataclass(frozen=True)
+class WalEntryInfo:
+    """One record slot found by :func:`inspect_wal`.
+
+    ``record`` is the decoded mutation when the slot is intact; a torn or
+    corrupt slot has ``record=None`` and ``error`` naming what is wrong
+    (length overrun, CRC mismatch, undecodable payload).
+    """
+
+    offset: int
+    length: int
+    crc_ok: bool
+    record: WalRecord | None = None
+    error: str | None = None
+
+
+@dataclass(frozen=True)
+class WalInspection:
+    """A read-only forensic scan of a WAL file (``repro wal-inspect``).
+
+    Unlike opening a :class:`WriteAheadLog`, inspection never truncates:
+    it reports exactly what is on disk — every valid record, plus the
+    torn or corrupt tail entry if one exists — so an operator can look at
+    a crashed node's log before recovery rewrites it.
+    """
+
+    path: Path
+    size: int
+    magic_ok: bool
+    valid_bytes: int
+    entries: tuple[WalEntryInfo, ...] = ()
+
+    @property
+    def torn(self) -> bool:
+        """Whether trailing bytes fail to parse as a complete record."""
+        return self.valid_bytes < self.size
+
+    @property
+    def records(self) -> tuple[WalRecord, ...]:
+        """The decodable records, in log order."""
+        return tuple(
+            entry.record for entry in self.entries if entry.record is not None
+        )
+
+    @property
+    def clean(self) -> bool:
+        """Whether the whole file parses: good magic and no torn tail."""
+        return self.magic_ok and not self.torn
+
+
+def inspect_wal(path: str | Path) -> WalInspection:
+    """Scan a WAL file without opening (or repairing) it.
+
+    Walks the record framing byte-for-byte: each entry reports its
+    offset, framed length, CRC verdict and decoded record; the first
+    invalid entry (overrunning length, CRC mismatch, undecodable JSON)
+    is included with its ``error`` and ends the scan — exactly the
+    boundary :class:`WriteAheadLog` would truncate to on open.
+    """
+    wal_path = Path(path)
+    data = wal_path.read_bytes()
+    size = len(data)
+    magic_ok = data[: len(_MAGIC)] == _MAGIC
+    if not magic_ok:
+        return WalInspection(
+            path=wal_path, size=size, magic_ok=False, valid_bytes=0
+        )
+    entries: list[WalEntryInfo] = []
+    offset = len(_MAGIC)
+    valid_end = offset
+    while offset < size:
+        if offset + _HEADER.size > size:
+            entries.append(
+                WalEntryInfo(
+                    offset=offset,
+                    length=size - offset,
+                    crc_ok=False,
+                    error=(
+                        f"torn header: {size - offset} trailing byte(s), "
+                        f"header needs {_HEADER.size}"
+                    ),
+                )
+            )
+            break
+        length, crc = _HEADER.unpack_from(data, offset)
+        start = offset + _HEADER.size
+        end = start + length
+        if end > size:
+            entries.append(
+                WalEntryInfo(
+                    offset=offset,
+                    length=length,
+                    crc_ok=False,
+                    error=(
+                        f"torn record: framed length {length} overruns "
+                        f"end of file by {end - size} byte(s)"
+                    ),
+                )
+            )
+            break
+        payload = data[start:end]
+        crc_ok = zlib.crc32(payload) == crc
+        if not crc_ok:
+            entries.append(
+                WalEntryInfo(
+                    offset=offset,
+                    length=length,
+                    crc_ok=False,
+                    error="CRC mismatch: payload bytes are corrupt",
+                )
+            )
+            break
+        try:
+            record = WalRecord.from_payload(payload)
+        except (ValueError, KeyError, TypeError) as error:
+            entries.append(
+                WalEntryInfo(
+                    offset=offset,
+                    length=length,
+                    crc_ok=True,
+                    error=f"undecodable payload: {error}",
+                )
+            )
+            break
+        entries.append(
+            WalEntryInfo(
+                offset=offset, length=length, crc_ok=True, record=record
+            )
+        )
+        offset = end
+        valid_end = end
+    return WalInspection(
+        path=wal_path,
+        size=size,
+        magic_ok=True,
+        valid_bytes=valid_end,
+        entries=tuple(entries),
+    )
 
 
 def replay_into(database: "SequenceDatabase", records: list[WalRecord]) -> int:

@@ -27,19 +27,24 @@ sleep     block for ``seconds`` (slow-worker / latency injection)
 ========  ==========================================================
 
 Rules fire deterministically: ``skip`` hits pass through first, then the
-rule triggers ``times`` times (``None`` = forever), then it burns out.
-Every hit on every site is counted while a plan is active, so tests can
-assert a site was actually reached (a fault test that silently stops
-covering its site is worse than no test).
+rule triggers on every ``every``-th remaining hit (``every=1``, the
+default, is every hit; ``every=2`` alternates fail/pass — a *flapping*
+backend, the failure mode health trackers find hardest) until it has
+fired ``times`` times (``None`` = forever), then it burns out.  Every hit
+on every site is counted while a plan is active, so tests can assert a
+site was actually reached (a fault test that silently stops covering its
+site is worse than no test).
 
 The environment grammar is comma-separated ``site=action`` tokens::
 
     REPRO_FAULTS="wal.fsync=raise,engine.worker=sleep:0.2"
     REPRO_FAULTS="checkpoint.before-reset=kill"
     REPRO_FAULTS="http.response=raise:2:1"   # skip 1 hit, then fail twice
+    REPRO_FAULTS="cluster.backend.0.request=raise:0:0:2"  # flap forever
 
-with optional ``:`` parameters — ``raise[:times[:skip]]``,
-``kill[:skip]``, ``sleep:seconds[:times[:skip]]``.
+with optional ``:`` parameters — ``raise[:times[:skip[:every]]]``,
+``kill[:skip]``, ``sleep:seconds[:times[:skip[:every]]]``; a ``times`` of
+``0`` means unlimited.
 """
 
 from __future__ import annotations
@@ -87,6 +92,10 @@ class FaultRule:
         Triggers before the rule burns out; ``None`` means every hit.
     skip:
         Hits allowed through before the first trigger.
+    every:
+        Trigger cadence after ``skip``: fire on hit 1, then every
+        ``every``-th hit.  ``2`` alternates fail/pass (a flapping
+        backend); ``1`` (default) fires on each hit.
     seconds:
         Sleep duration for ``"sleep"`` rules.
     exception:
@@ -100,6 +109,7 @@ class FaultRule:
     action: str = "raise"
     times: int | None = 1
     skip: int = 0
+    every: int = 1
     seconds: float = 0.0
     exception: Callable[[], BaseException] | None = None
     exit_code: int = _KILL_EXIT_CODE
@@ -113,6 +123,8 @@ class FaultRule:
             raise ValueError(f"times must be >= 1 or None, got {self.times}")
         if self.skip < 0:
             raise ValueError(f"skip must be >= 0, got {self.skip}")
+        if self.every < 1:
+            raise ValueError(f"every must be >= 1, got {self.every}")
         if self.seconds < 0:
             raise ValueError(f"seconds must be >= 0, got {self.seconds}")
 
@@ -125,6 +137,7 @@ class FaultPlan:
         self._rules: dict[str, FaultRule] = {}
         self._fired: dict[str, int] = {}
         self._passed: dict[str, int] = {}
+        self._eligible: dict[str, int] = {}
         self.hits: dict[str, int] = {}
         for rule in rules:
             if rule.site in self._rules:
@@ -150,6 +163,11 @@ class FaultPlan:
             fired = self._fired.get(site, 0)
             if rule.times is not None and fired >= rule.times:
                 return
+            eligible = self._eligible.get(site, 0)
+            self._eligible[site] = eligible + 1
+            if eligible % rule.every != 0:
+                # Off-cadence hit of a flapping rule: let it through.
+                return
             self._fired[site] = fired + 1
         # Apply outside the lock: sleeps must not serialise other sites,
         # and exceptions must not leave the lock held.
@@ -172,6 +190,12 @@ _active: FaultPlan | None = None
 _env_loaded = False
 
 
+def _parse_times(raw: str) -> int | None:
+    """A ``times`` field from the env grammar; ``0`` means unlimited."""
+    value = int(raw)
+    return None if value == 0 else value
+
+
 def parse_fault_spec(spec: str) -> list[FaultRule]:
     """Parse a ``REPRO_FAULTS`` specification into rules."""
     rules: list[FaultRule] = []
@@ -187,9 +211,14 @@ def parse_fault_spec(spec: str) -> list[FaultRule]:
         parts = action_spec.split(":")
         action = parts[0]
         if action == "raise":
-            times = int(parts[1]) if len(parts) > 1 else 1
+            times = _parse_times(parts[1] if len(parts) > 1 else "1")
             skip = int(parts[2]) if len(parts) > 2 else 0
-            rules.append(FaultRule(site.strip(), "raise", times=times, skip=skip))
+            every = int(parts[3]) if len(parts) > 3 else 1
+            rules.append(
+                FaultRule(
+                    site.strip(), "raise", times=times, skip=skip, every=every
+                )
+            )
         elif action == "kill":
             skip = int(parts[1]) if len(parts) > 1 else 0
             rules.append(FaultRule(site.strip(), "kill", skip=skip))
@@ -197,11 +226,17 @@ def parse_fault_spec(spec: str) -> list[FaultRule]:
             if len(parts) < 2:
                 raise ValueError(f"sleep action needs seconds: {token!r}")
             seconds = float(parts[1])
-            times = int(parts[2]) if len(parts) > 2 else None
+            times = _parse_times(parts[2]) if len(parts) > 2 else None
             skip = int(parts[3]) if len(parts) > 3 else 0
+            every = int(parts[4]) if len(parts) > 4 else 1
             rules.append(
                 FaultRule(
-                    site.strip(), "sleep", times=times, skip=skip, seconds=seconds
+                    site.strip(),
+                    "sleep",
+                    times=times,
+                    skip=skip,
+                    every=every,
+                    seconds=seconds,
                 )
             )
         else:

@@ -1,0 +1,609 @@
+"""The cluster coordinator: parity, failover, degradation, read-repair.
+
+The tests drive a real :class:`ClusterCoordinator` over in-process
+:class:`LocalBackend` engines (JSON-round-tripped, so payloads are
+byte-identical to the HTTP transport) and compare against a single-node
+engine holding the union corpus.  Backend failures are injected either
+through a wrapper that raises transport errors (a killed process) or
+through the ``cluster.backend.<i>.request`` fault sites (a mid-scatter
+crash), with the paper's result contracts armed via
+:func:`checking_contracts` where parity is asserted.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterCoordinator,
+    HedgePolicy,
+    LocalBackend,
+    ShardRouter,
+)
+from repro.cluster.health import HealthTracker
+from repro.core.contracts import checking_contracts
+from repro.core.database import SequenceDatabase
+from repro.service import QueryEngine
+from repro.service.errors import ShardUnavailable, WriteQuorumFailed
+from repro.service.faults import FaultRule, fault_plan
+from repro.service.http import search_payload
+
+DIMENSION = 3
+
+
+class KillableBackend:
+    """A backend whose process can be 'killed' (raises ConnectionError)."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.dead = False
+        self.calls = 0
+
+    def _guard(self):
+        self.calls += 1
+        if self.dead:
+            raise ConnectionError("backend killed")
+
+    def healthz(self):
+        self._guard()
+        return self.inner.healthz()
+
+    def stats(self):
+        self._guard()
+        return self.inner.stats()
+
+    def search(self, points, epsilon, *, find_intervals=True, timeout=None):
+        self._guard()
+        return self.inner.search(
+            points, epsilon, find_intervals=find_intervals, timeout=timeout
+        )
+
+    def knn(self, points, k, *, timeout=None):
+        self._guard()
+        return self.inner.knn(points, k, timeout=timeout)
+
+    def insert(self, points, sequence_id=None):
+        self._guard()
+        return self.inner.insert(points, sequence_id=sequence_id)
+
+    def append(self, sequence_id, points):
+        self._guard()
+        return self.inner.append(sequence_id, points)
+
+    def remove(self, sequence_id):
+        self._guard()
+        return self.inner.remove(sequence_id)
+
+
+def make_corpus(count=24, seed=11):
+    rng = np.random.default_rng(seed)
+    return [
+        (f"seq-{i}", rng.random((int(rng.integers(15, 45)), DIMENSION)))
+        for i in range(count)
+    ]
+
+
+def make_single(corpus):
+    database = SequenceDatabase(DIMENSION)
+    for sequence_id, points in corpus:
+        database.add(points, sequence_id=sequence_id)
+    return QueryEngine(database, workers=1, cache_size=0)
+
+
+def make_cluster(
+    corpus,
+    *,
+    num_backends=3,
+    replication=2,
+    num_shards=None,
+    hedge=None,
+    health=None,
+    write_quorum=None,
+):
+    router = ShardRouter(
+        num_backends=num_backends,
+        num_shards=num_shards,
+        replication=replication,
+    )
+    databases = [SequenceDatabase(DIMENSION) for _ in range(num_backends)]
+    for sequence_id, points in corpus:
+        for backend in router.placement(sequence_id).replicas:
+            databases[backend].add(points, sequence_id=sequence_id)
+    engines = [
+        QueryEngine(database, workers=1, cache_size=0)
+        for database in databases
+    ]
+    backends = [
+        KillableBackend(LocalBackend(engine, name=f"local-{i}"))
+        for i, engine in enumerate(engines)
+    ]
+    coordinator = ClusterCoordinator(
+        backends,
+        num_shards=num_shards,
+        replication=replication,
+        hedge=hedge,
+        health=health,
+        write_quorum=write_quorum,
+    )
+    coordinator.seed_order([sequence_id for sequence_id, _ in corpus])
+    return engines, backends, coordinator
+
+
+def close_all(engines, coordinator, single=None):
+    coordinator.close()
+    for engine in engines:
+        engine.close()
+    if single is not None:
+        single.close()
+
+
+def single_node_search(single, query, epsilon, *, find_intervals=True):
+    """The single-node answer in exact transport shape."""
+    response = single.search_detailed(
+        query, epsilon, find_intervals=find_intervals
+    )
+    return json.loads(
+        json.dumps(
+            search_payload(response, find_intervals=find_intervals),
+            default=str,
+        )
+    )
+
+
+def single_node_knn(single, query, k):
+    neighbors = single.knn(query, k)
+    decoded = json.loads(
+        json.dumps([[d, sid] for d, sid in neighbors], default=str)
+    )
+    return [(float(d), sid) for d, sid in decoded]
+
+
+class TestParity:
+    @pytest.mark.parametrize(
+        ("num_backends", "replication", "num_shards"),
+        [(3, 2, None), (4, 3, None), (2, 1, None), (5, 2, 7)],
+    )
+    def test_merged_results_match_single_node(
+        self, num_backends, replication, num_shards
+    ):
+        corpus = make_corpus()
+        single = make_single(corpus)
+        engines, _, coordinator = make_cluster(
+            corpus,
+            num_backends=num_backends,
+            replication=replication,
+            num_shards=num_shards,
+        )
+        rng = np.random.default_rng(5)
+        try:
+            with checking_contracts():
+                for epsilon in (0.3, 0.6):
+                    query = rng.random((20, DIMENSION))
+                    expected = single_node_search(single, query, epsilon)
+                    result = coordinator.search(query, epsilon)
+                    assert result.complete
+                    assert result.missing_shards == ()
+                    assert result.answers == expected["answers"]
+                    assert result.candidates == expected["candidates"]
+                    assert result.intervals == expected["intervals"]
+                    knn = coordinator.knn(query, 6)
+                    assert knn.complete
+                    assert knn.neighbors == single_node_knn(single, query, 6)
+        finally:
+            close_all(engines, coordinator, single)
+
+    def test_range_query_skips_intervals(self):
+        corpus = make_corpus(10)
+        single = make_single(corpus)
+        engines, _, coordinator = make_cluster(corpus)
+        query = np.random.default_rng(3).random((12, DIMENSION))
+        try:
+            expected = single_node_search(
+                single, query, 0.5, find_intervals=False
+            )
+            result = coordinator.range_query(query, 0.5)
+            assert result.answers == expected["answers"]
+            assert result.intervals == {}
+        finally:
+            close_all(engines, coordinator, single)
+
+    def test_epsilon_is_validated(self):
+        corpus = make_corpus(4)
+        engines, _, coordinator = make_cluster(corpus)
+        try:
+            with pytest.raises(ValueError):
+                coordinator.search(np.zeros((3, DIMENSION)), -0.5)
+        finally:
+            close_all(engines, coordinator)
+
+
+class TestFailover:
+    def test_killed_replica_fails_over_with_full_results(self):
+        corpus = make_corpus()
+        single = make_single(corpus)
+        engines, backends, coordinator = make_cluster(corpus, replication=2)
+        backends[0].dead = True
+        query = np.random.default_rng(9).random((15, DIMENSION))
+        try:
+            with checking_contracts():
+                expected = single_node_search(single, query, 0.5)
+                result = coordinator.search(query, 0.5)
+            assert result.complete
+            assert result.answers == expected["answers"]
+            assert result.intervals == expected["intervals"]
+            assert coordinator.stats()["failovers"] >= 1
+        finally:
+            close_all(engines, coordinator, single)
+
+    def test_mid_scatter_crash_is_covered_by_the_replica(self):
+        # The per-backend fault site fires inside the scatter itself —
+        # the request reaches _call_backend and dies there, exactly a
+        # process crash racing the fan-out.
+        corpus = make_corpus()
+        single = make_single(corpus)
+        engines, _, coordinator = make_cluster(corpus, replication=2)
+        query = np.random.default_rng(2).random((15, DIMENSION))
+        try:
+            with checking_contracts():
+                expected = single_node_search(single, query, 0.6)
+                with fault_plan(
+                    FaultRule(
+                        "cluster.backend.1.request", "raise", times=None
+                    )
+                ):
+                    result = coordinator.search(query, 0.6)
+            assert result.complete
+            assert result.answers == expected["answers"]
+            assert result.candidates == expected["candidates"]
+            assert result.intervals == expected["intervals"]
+        finally:
+            close_all(engines, coordinator, single)
+
+    def test_repeated_failures_mark_the_backend_down(self):
+        corpus = make_corpus(8)
+        engines, backends, coordinator = make_cluster(corpus, replication=2)
+        backends[2].dead = True
+        query = np.random.default_rng(1).random((10, DIMENSION))
+        try:
+            for _ in range(4):
+                coordinator.search(query, 0.4)
+            assert coordinator.health.state(2) == "down"
+            calls_when_down = backends[2].calls
+            coordinator.search(query, 0.4)
+            # Down backends are skipped outright, not retried per request.
+            assert backends[2].calls == calls_when_down
+        finally:
+            close_all(engines, coordinator)
+
+    def test_flapping_backend_keeps_serving_complete_results(self):
+        corpus = make_corpus()
+        single = make_single(corpus)
+        engines, _, coordinator = make_cluster(corpus, replication=2)
+        query = np.random.default_rng(8).random((15, DIMENSION))
+        try:
+            expected = single_node_search(single, query, 0.5)
+            # every=2: backend 0 alternates failure and success forever.
+            with fault_plan(
+                FaultRule(
+                    "cluster.backend.0.request",
+                    "raise",
+                    times=None,
+                    every=2,
+                )
+            ):
+                for _ in range(6):
+                    result = coordinator.search(query, 0.5)
+                    assert result.complete
+                    assert result.answers == expected["answers"]
+            # Interleaved successes keep resetting the failure streak, so
+            # the flapping backend never trips the down threshold.
+            assert coordinator.health.state(0) in ("up", "suspect")
+        finally:
+            close_all(engines, coordinator, single)
+
+
+class TestPartialResults:
+    def test_whole_shard_down_degrades_search_typed(self):
+        corpus = make_corpus()
+        engines, backends, coordinator = make_cluster(corpus, replication=1)
+        backends[1].dead = True
+        lost_shards = coordinator.router.shards_of_backend(1)
+        query = np.random.default_rng(4).random((12, DIMENSION))
+        try:
+            result = coordinator.search(query, 0.7)
+            assert not result.complete
+            assert result.missing_shards == lost_shards
+            # Reported answers are still sound: every one comes from a
+            # live shard and passed Phase 3 there.
+            live = {
+                sid
+                for sid, _ in corpus
+                if coordinator.router.shard_of(sid) not in lost_shards
+            }
+            assert set(result.answers) <= live
+            assert coordinator.stats()["partial_results"] >= 1
+            # A few more failures trip the down threshold; only then does
+            # the shard count as unavailable in health reporting.
+            for _ in range(3):
+                coordinator.search(query, 0.7)
+            assert coordinator.unavailable_shards() == sorted(lost_shards)
+            assert coordinator.healthz()["status"] == "partial"
+        finally:
+            close_all(engines, coordinator)
+
+    def test_search_fail_closed_raises_typed(self):
+        corpus = make_corpus(8)
+        engines, backends, coordinator = make_cluster(corpus, replication=1)
+        backends[0].dead = True
+        query = np.random.default_rng(4).random((8, DIMENSION))
+        try:
+            with pytest.raises(ShardUnavailable) as excinfo:
+                coordinator.search(query, 0.5, fail_closed=True)
+            assert excinfo.value.missing_shards == (
+                coordinator.router.shards_of_backend(0)
+            )
+        finally:
+            close_all(engines, coordinator)
+
+    def test_knn_fails_closed_by_default_and_degrades_on_request(self):
+        corpus = make_corpus()
+        engines, backends, coordinator = make_cluster(corpus, replication=1)
+        backends[2].dead = True
+        query = np.random.default_rng(6).random((10, DIMENSION))
+        try:
+            with pytest.raises(ShardUnavailable):
+                coordinator.knn(query, 5)
+            partial = coordinator.knn(query, 5, fail_closed=False)
+            assert not partial.complete
+            assert partial.missing_shards == (
+                coordinator.router.shards_of_backend(2)
+            )
+            assert len(partial.neighbors) <= 5
+        finally:
+            close_all(engines, coordinator)
+
+    def test_replication_covers_a_single_dead_backend_completely(self):
+        corpus = make_corpus()
+        engines, backends, coordinator = make_cluster(corpus, replication=2)
+        backends[1].dead = True
+        query = np.random.default_rng(6).random((10, DIMENSION))
+        try:
+            result = coordinator.search(query, 0.5)
+            assert result.complete
+            assert coordinator.unavailable_shards() == []
+        finally:
+            close_all(engines, coordinator)
+
+
+class TestWrites:
+    def test_insert_reaches_every_replica(self):
+        corpus = make_corpus(6)
+        engines, _, coordinator = make_cluster(corpus, replication=2)
+        points = np.random.default_rng(3).random((18, DIMENSION))
+        try:
+            sequence_id = coordinator.insert(points, sequence_id="fresh")
+            placement = coordinator.router.placement(sequence_id)
+            for backend in placement.replicas:
+                assert "fresh" in engines[backend].sequence_ids()
+        finally:
+            close_all(engines, coordinator)
+
+    def test_write_quorum_failure_is_typed_and_queues_repair(self):
+        corpus = make_corpus(6)
+        engines, backends, coordinator = make_cluster(corpus, replication=2)
+        points = np.random.default_rng(3).random((18, DIMENSION))
+        try:
+            # Find an id placed on backend 0 so killing it loses a replica.
+            probe_id = next(
+                f"w-{i}"
+                for i in range(1000)
+                if 0 in coordinator.router.placement(f"w-{i}").replicas
+            )
+            backends[0].dead = True
+            with pytest.raises(WriteQuorumFailed) as excinfo:
+                coordinator.insert(points, sequence_id=probe_id)
+            assert excinfo.value.acks == 1
+            assert excinfo.value.required == 2
+            assert coordinator.repair_pending() == {0: 1}
+        finally:
+            close_all(engines, coordinator)
+
+    def test_duplicate_insert_raises_key_error_not_quorum(self):
+        corpus = make_corpus(6)
+        engines, _, coordinator = make_cluster(corpus, replication=2)
+        points = np.random.default_rng(3).random((10, DIMENSION))
+        try:
+            coordinator.insert(points, sequence_id="dup")
+            with pytest.raises(KeyError):
+                coordinator.insert(points, sequence_id="dup")
+            assert coordinator.repair_pending() == {}
+        finally:
+            close_all(engines, coordinator)
+
+    def test_auto_ids_are_assigned_and_routable(self):
+        corpus = make_corpus(4)
+        engines, _, coordinator = make_cluster(corpus, replication=2)
+        points = np.random.default_rng(3).random((10, DIMENSION))
+        try:
+            first = coordinator.insert(points)
+            second = coordinator.insert(points)
+            assert first != second
+            assert coordinator.router.placement(first).replicas
+        finally:
+            close_all(engines, coordinator)
+
+    def test_append_and_remove_replicate(self):
+        corpus = make_corpus(6)
+        engines, _, coordinator = make_cluster(corpus, replication=3)
+        rng = np.random.default_rng(7)
+        try:
+            coordinator.insert(rng.random((12, DIMENSION)), sequence_id="rw")
+            coordinator.append("rw", rng.random((5, DIMENSION)))
+            for engine in engines:
+                assert len(engine._snapshot.database.sequence("rw")) == 17
+            coordinator.remove("rw")
+            for engine in engines:
+                assert "rw" not in engine.sequence_ids()
+        finally:
+            close_all(engines, coordinator)
+
+
+class TestReadRepair:
+    def test_missed_writes_replay_when_the_backend_recovers(self):
+        corpus = make_corpus(6)
+        engines, backends, coordinator = make_cluster(
+            corpus, num_backends=3, replication=3
+        )
+        rng = np.random.default_rng(5)
+        try:
+            backends[1].dead = True
+            coordinator.insert(rng.random((14, DIMENSION)), sequence_id="r1")
+            coordinator.insert(rng.random((14, DIMENSION)), sequence_id="r2")
+            assert coordinator.repair_pending() == {1: 2}
+            assert "r1" not in engines[1].sequence_ids()
+
+            backends[1].dead = False
+            # Mark it down first so the probe sees a recovery transition.
+            for _ in range(3):
+                coordinator.health.record_failure(1)
+            coordinator.probe()
+            assert coordinator.repair_pending() == {}
+            assert "r1" in engines[1].sequence_ids()
+            assert "r2" in engines[1].sequence_ids()
+            assert coordinator.stats()["repairs_replayed"] == 2
+        finally:
+            close_all(engines, coordinator)
+
+    def test_repair_is_idempotent_when_the_write_already_landed(self):
+        corpus = make_corpus(6)
+        engines, backends, coordinator = make_cluster(
+            corpus, num_backends=3, replication=3
+        )
+        rng = np.random.default_rng(5)
+        try:
+            backends[2].dead = True
+            coordinator.insert(rng.random((14, DIMENSION)), sequence_id="x1")
+            # The write sneaks in through another path before repair runs.
+            backends[2].dead = False
+            backends[2].inner.insert(
+                rng.random((14, DIMENSION)).tolist(), sequence_id="x1"
+            )
+            for _ in range(3):
+                coordinator.health.record_failure(2)
+            coordinator.probe()
+            assert coordinator.repair_pending() == {}
+        finally:
+            close_all(engines, coordinator)
+
+    def test_failed_repair_keeps_the_queue(self):
+        corpus = make_corpus(6)
+        engines, backends, coordinator = make_cluster(
+            corpus, num_backends=3, replication=3
+        )
+        rng = np.random.default_rng(5)
+        try:
+            backends[0].dead = True
+            coordinator.insert(rng.random((10, DIMENSION)), sequence_id="q1")
+            assert coordinator.repair_pending() == {0: 1}
+            backends[0].dead = False
+            for _ in range(3):
+                coordinator.health.record_failure(0)
+            with fault_plan(
+                FaultRule("cluster.read-repair", "raise", times=1)
+            ):
+                coordinator.probe()
+            # The replay failed; the op stays queued for the next probe.
+            assert coordinator.repair_pending() == {0: 1}
+            coordinator.probe()
+            assert coordinator.repair_pending() == {}
+        finally:
+            close_all(engines, coordinator)
+
+
+class TestHedging:
+    def test_slow_primary_is_hedged_to_a_replica(self):
+        corpus = make_corpus(12)
+        single = make_single(corpus)
+        engines, _, coordinator = make_cluster(
+            corpus,
+            replication=2,
+            hedge=HedgePolicy(min_delay=0.01, max_delay=0.01, seed=7),
+        )
+        query = np.random.default_rng(10).random((10, DIMENSION))
+        try:
+            expected = single_node_search(single, query, 0.5)
+            with fault_plan(
+                FaultRule(
+                    "cluster.backend.0.request",
+                    "sleep",
+                    seconds=0.4,
+                    times=None,
+                )
+            ):
+                result = coordinator.search(query, 0.5)
+            assert result.complete
+            assert result.answers == expected["answers"]
+            stats = coordinator.stats()
+            assert stats["hedges"] >= 1
+            assert stats["hedge_wins"] >= 1
+        finally:
+            close_all(engines, coordinator, single)
+
+    def test_hedge_policy_validation(self):
+        with pytest.raises(ValueError):
+            HedgePolicy(quantile=1.5)
+        with pytest.raises(ValueError):
+            HedgePolicy(min_delay=0.5, max_delay=0.1)
+        with pytest.raises(ValueError):
+            HedgePolicy(jitter=2.0)
+
+    def test_hedge_delay_clamps_to_bounds(self):
+        from repro.service.stats import LatencyWindow
+        from repro.util.rng import ensure_rng
+
+        policy = HedgePolicy(min_delay=0.05, max_delay=0.2)
+        window = LatencyWindow(16)
+        rng = ensure_rng(3)
+        assert policy.delay(window, rng) == 0.05  # empty window -> floor
+        for _ in range(10):
+            window.record(5.0)
+        assert policy.delay(window, rng) == 0.2  # quantile -> ceiling
+
+
+class TestConfiguration:
+    def test_rejects_empty_backends_and_bad_quorum(self):
+        corpus = make_corpus(4)
+        with pytest.raises(ValueError):
+            ClusterCoordinator([])
+        engines, _, coordinator = make_cluster(corpus, replication=2)
+        coordinator.close()
+        with pytest.raises(ValueError):
+            make_cluster(corpus, replication=2, write_quorum=3)
+        with pytest.raises(ValueError):
+            ClusterCoordinator(
+                [object()] * 2,
+                health=HealthTracker(5),
+            )
+        for engine in engines:
+            engine.close()
+
+    def test_healthz_reports_degraded_then_partial(self):
+        corpus = make_corpus(8)
+        engines, backends, coordinator = make_cluster(corpus, replication=2)
+        query = np.random.default_rng(2).random((8, DIMENSION))
+        try:
+            assert coordinator.healthz()["status"] == "ok"
+            backends[0].dead = True
+            for _ in range(4):
+                coordinator.search(query, 0.4)
+            assert coordinator.healthz()["status"] == "degraded"
+            backends[1].dead = True
+            backends[2].dead = True
+            for _ in range(4):
+                coordinator.search(query, 0.4)
+            health = coordinator.healthz()
+            assert health["status"] == "partial"
+            assert health["unavailable_shards"]
+        finally:
+            close_all(engines, coordinator)

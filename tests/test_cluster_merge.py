@@ -1,0 +1,140 @@
+"""Exact scatter-gather merging (repro.cluster.merge)."""
+
+import pytest
+
+from repro.cluster.merge import merge_knn, merge_search_payloads
+
+
+def order_by_list(ids):
+    """An order key reproducing the given insertion order."""
+    from repro.cluster.router import canonical_id
+
+    ranks = {canonical_id(sid): rank for rank, sid in enumerate(ids)}
+    return lambda sid: (ranks.get(canonical_id(sid), 1 << 30), canonical_id(sid))
+
+
+class TestMergeSearch:
+    def test_unions_and_orders_answers(self):
+        order = order_by_list(["a", "b", "c", "d"])
+        merged = merge_search_payloads(
+            {
+                1: {"answers": ["d", "b"], "candidates": ["d", "b"]},
+                0: {"answers": ["c"], "candidates": ["c", "a"]},
+            },
+            order=order,
+        )
+        assert merged.answers == ["b", "c", "d"]
+        assert merged.candidates == ["a", "b", "c", "d"]
+
+    def test_dedups_ids_reported_by_several_shards(self):
+        # Under replication a backend hosts several shards and answers
+        # per-shard requests from its whole database, so the same id can
+        # arrive in two payloads.  The merge must keep it once.
+        order = order_by_list(["a", "b"])
+        merged = merge_search_payloads(
+            {
+                0: {"answers": ["a", "b"], "candidates": ["a", "b"]},
+                1: {"answers": ["b"], "candidates": ["b", "a"]},
+            },
+            order=order,
+        )
+        assert merged.answers == ["a", "b"]
+        assert merged.candidates == ["a", "b"]
+
+    def test_int_and_str_ids_do_not_collide(self):
+        order = order_by_list([1, "1"])
+        merged = merge_search_payloads(
+            {0: {"answers": [1]}, 1: {"answers": ["1"]}},
+            order=order,
+        )
+        assert merged.answers == [1, "1"]
+
+    def test_intervals_and_versions_union(self):
+        order = order_by_list(["a", "b"])
+        merged = merge_search_payloads(
+            {
+                0: {
+                    "answers": ["a"],
+                    "intervals": {"a": [[0, 4]]},
+                    "snapshot_version": 3,
+                },
+                1: {
+                    "answers": ["b"],
+                    "intervals": {"b": [[2, 9]]},
+                    "snapshot_version": 5,
+                },
+            },
+            order=order,
+        )
+        assert merged.intervals == {"a": [[0, 4]], "b": [[2, 9]]}
+        assert merged.snapshot_versions == {0: 3, 1: 5}
+
+    def test_stats_sum_except_query_segments(self):
+        order = order_by_list([])
+        merged = merge_search_payloads(
+            {
+                0: {
+                    "stats": {
+                        "query_segments": 4,
+                        "node_accesses": 10,
+                        "dnorm_evaluations": 3,
+                    }
+                },
+                1: {
+                    "stats": {
+                        "query_segments": 4,
+                        "node_accesses": 7,
+                        "dnorm_evaluations": 2,
+                    }
+                },
+            },
+            order=order,
+        )
+        # The query is partitioned identically everywhere; work counters
+        # accumulate across shards.
+        assert merged.stats["query_segments"] == 4
+        assert merged.stats["node_accesses"] == 17
+        assert merged.stats["dnorm_evaluations"] == 5
+
+
+class TestMergeKnn:
+    def test_takes_global_k_smallest(self):
+        order = order_by_list(["a", "b", "c", "d"])
+        merged = merge_knn(
+            [
+                [(0.5, "a"), (0.9, "b")],
+                [(0.1, "c"), (0.7, "d")],
+            ],
+            3,
+            order=order,
+        )
+        assert merged == [(0.1, "c"), (0.5, "a"), (0.7, "d")]
+
+    def test_dedups_replicated_ids_at_equal_distance(self):
+        order = order_by_list(["a", "b"])
+        merged = merge_knn(
+            [
+                [(0.2, "a"), (0.4, "b")],
+                [(0.2, "a")],
+            ],
+            2,
+            order=order,
+        )
+        assert merged == [(0.2, "a"), (0.4, "b")]
+
+    def test_distance_ties_break_by_corpus_order(self):
+        order = order_by_list(["first", "second"])
+        merged = merge_knn(
+            [[(0.3, "second")], [(0.3, "first")]],
+            2,
+            order=order,
+        )
+        assert merged == [(0.3, "first"), (0.3, "second")]
+
+    def test_short_result_when_fewer_than_k(self):
+        order = order_by_list(["a"])
+        assert merge_knn([[(0.4, "a")]], 5, order=order) == [(0.4, "a")]
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            merge_knn([], 0, order=lambda sid: sid)

@@ -1,0 +1,97 @@
+"""Deterministic shard placement (repro.cluster.router)."""
+
+import pytest
+
+from repro.cluster.router import Placement, ShardRouter, canonical_id, shard_of
+
+
+class TestCanonicalId:
+    def test_distinguishes_int_from_str(self):
+        assert canonical_id(5) == "int:5"
+        assert canonical_id("5") == "str:5"
+        assert canonical_id(5) != canonical_id("5")
+
+    def test_rejects_bool_and_other_types(self):
+        for bad in (True, False, 1.5, None, (1,), b"x"):
+            with pytest.raises(TypeError):
+                canonical_id(bad)
+
+
+class TestShardOf:
+    def test_stable_across_calls_and_processes(self):
+        # Frozen expectations: blake2b placement must never drift, or a
+        # rebooted coordinator would look for sequences on the wrong
+        # backends.  If this test fails, the hash function changed.
+        assert shard_of("seq-0", 8) == shard_of("seq-0", 8)
+        frozen = [shard_of(f"seq-{i}", 8) for i in range(6)]
+        assert frozen == [5, 0, 2, 4, 3, 0]
+        assert shard_of(42, 8) == 0
+
+    def test_spreads_ids_over_shards(self):
+        shards = {shard_of(f"seq-{i}", 4) for i in range(100)}
+        assert shards == {0, 1, 2, 3}
+
+    def test_respects_modulus(self):
+        for i in range(50):
+            assert 0 <= shard_of(i, 7) < 7
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError):
+            shard_of("x", 0)
+
+
+class TestShardRouter:
+    def test_defaults_one_shard_per_backend(self):
+        router = ShardRouter(num_backends=4)
+        assert router.num_shards == 4
+        assert router.replication == 1
+
+    def test_replicas_are_distinct_and_consecutive(self):
+        router = ShardRouter(num_backends=5, replication=3)
+        for shard in range(router.num_shards):
+            replicas = router.replicas_of(shard)
+            assert len(replicas) == 3
+            assert len(set(replicas)) == 3
+            assert replicas == tuple((shard + i) % 5 for i in range(3))
+
+    def test_placement_matches_shard_of(self):
+        router = ShardRouter(num_backends=3, num_shards=7, replication=2)
+        placement = router.placement("clip-9")
+        assert isinstance(placement, Placement)
+        assert placement.shard == shard_of("clip-9", 7)
+        assert placement.replicas == router.replicas_of(placement.shard)
+
+    def test_shards_of_backend_inverts_replicas_of(self):
+        router = ShardRouter(num_backends=4, num_shards=9, replication=2)
+        for backend in range(4):
+            for shard in router.shards_of_backend(backend):
+                assert backend in router.replicas_of(shard)
+        covered = {
+            shard
+            for backend in range(4)
+            for shard in router.shards_of_backend(backend)
+        }
+        assert covered == set(range(9))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardRouter(num_backends=0)
+        with pytest.raises(ValueError):
+            ShardRouter(num_backends=2, replication=3)
+        with pytest.raises(ValueError):
+            ShardRouter(num_backends=2, replication=0)
+        with pytest.raises(ValueError):
+            ShardRouter(num_backends=2, num_shards=0)
+        router = ShardRouter(num_backends=2)
+        with pytest.raises(ValueError):
+            router.replicas_of(2)
+        with pytest.raises(ValueError):
+            router.shards_of_backend(5)
+
+    def test_describe_is_json_ready(self):
+        router = ShardRouter(num_backends=3, num_shards=6, replication=2)
+        assert router.describe() == {
+            "backends": 3,
+            "shards": 6,
+            "replication": 2,
+        }

@@ -78,6 +78,33 @@ class TestRetryPolicy:
         rng = random.Random(0)
         assert policy.delay(0, rng, retry_after=9.0) == pytest.approx(0.01)
 
+    def test_delay_accepts_a_seeded_numpy_generator(self):
+        from repro.util.rng import ensure_rng
+
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=1.0)
+        a = [policy.delay(i, ensure_rng(5)) for i in range(4)]
+        b = [policy.delay(i, ensure_rng(5)) for i in range(4)]
+        assert a == b
+        for retry_index, delay in enumerate(a):
+            assert 0.0 <= delay <= min(1.0, 0.1 * 2.0**retry_index)
+
+    def test_client_rng_seed_makes_jitter_reproducible(self):
+        import numpy as np
+
+        first = make_client(rng=7)
+        second = make_client(rng=7)
+        assert isinstance(first._rng, np.random.Generator)
+        policy = RetryPolicy(base_delay=0.1, max_delay=1.0)
+        assert [policy.delay(i, first._rng) for i in range(5)] == [
+            policy.delay(i, second._rng) for i in range(5)
+        ]
+
+    def test_client_reuses_a_shared_generator(self):
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        assert make_client(rng=rng)._rng is rng
+
     def test_validation(self):
         with pytest.raises(ValueError, match="max_attempts"):
             RetryPolicy(max_attempts=0)

@@ -83,6 +83,27 @@ class TestFaultSpec:
         assert "wal.fsync" in FAULT_SITES
         assert "checkpoint.before-reset" in FAULT_SITES
         assert "database.save.replace" in FAULT_SITES
+        assert "cluster.backend.request" in FAULT_SITES
+        assert "cluster.health.probe" in FAULT_SITES
+        assert "cluster.read-repair" in FAULT_SITES
+
+    def test_parse_every_and_unlimited_times(self):
+        rules = parse_fault_spec(
+            "a=raise:0:0:2, b=sleep:0.1:2:1:3, c=raise:0"
+        )
+        by_site = {rule.site: rule for rule in rules}
+        assert by_site["a"].times is None  # 0 means unlimited
+        assert by_site["a"].skip == 0
+        assert by_site["a"].every == 2
+        assert by_site["b"].seconds == pytest.approx(0.1)
+        assert by_site["b"].times == 2
+        assert by_site["b"].skip == 1
+        assert by_site["b"].every == 3
+        assert by_site["c"].times is None
+
+    def test_rejects_bad_every(self):
+        with pytest.raises(ValueError, match="every"):
+            FaultRule("x", "raise", every=0)
 
 
 class TestFaultPlan:
@@ -113,6 +134,33 @@ class TestFaultPlan:
             started = time.monotonic()
             inject("slow")
             assert time.monotonic() - started >= 0.05
+
+    def test_every_flaps_on_a_cadence(self):
+        # every=2 with unlimited times: fail, pass, fail, pass, ...
+        with fault_plan(
+            FaultRule("flap", "raise", times=None, every=2)
+        ) as plan:
+            for hit in range(6):
+                if hit % 2 == 0:
+                    with pytest.raises(FaultInjected):
+                        inject("flap")
+                else:
+                    inject("flap")
+            assert plan.fired("flap") == 3
+
+    def test_every_counts_after_skip_and_respects_times(self):
+        with fault_plan(
+            FaultRule("site", "raise", times=2, skip=2, every=2)
+        ) as plan:
+            inject("site")  # skipped
+            inject("site")  # skipped
+            with pytest.raises(FaultInjected):
+                inject("site")  # eligible hit 0 -> fires
+            inject("site")  # eligible hit 1 -> passes
+            with pytest.raises(FaultInjected):
+                inject("site")  # eligible hit 2 -> fires, burns out
+            inject("site")
+            assert plan.fired("site") == 2
 
     def test_custom_exception_factory(self):
         with fault_plan(

@@ -315,7 +315,22 @@ class TestRetryAfterAndDegraded:
         )
         server, client = start_server(engine)
         try:
-            assert client.healthz()["durable"] is True
+            health = client.healthz()
+            assert health["durable"] is True
+            # Checkpoint age: acknowledged writes not yet folded into a
+            # checkpoint, and which checkpoint the engine would recover to.
+            assert health["wal_records"] == 0
+            assert health["checkpoints"] == 0
+            assert health["last_checkpoint_version"] == 0
+            client.insert(rng.random((10, 2)), "lagging")
+            health = client.healthz()
+            assert health["wal_records"] == 1
+            assert health["last_checkpoint_version"] == 0
+            engine.checkpoint()
+            health = client.healthz()
+            assert health["wal_records"] == 0
+            assert health["checkpoints"] == 1
+            assert health["last_checkpoint_version"] >= 1
         finally:
             server.shutdown()
             server.server_close()

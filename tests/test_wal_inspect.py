@@ -1,0 +1,112 @@
+"""Read-only WAL inspection (`inspect_wal`) and the `wal-inspect` CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.service.wal import WalRecord, WriteAheadLog, inspect_wal
+
+
+def write_wal(path, records):
+    wal = WriteAheadLog(path, fsync=False)
+    for record in records:
+        wal.append(record)
+    wal.close()
+
+
+@pytest.fixture
+def wal_path(tmp_path):
+    path = tmp_path / "wal.log"
+    write_wal(
+        path,
+        [
+            WalRecord("insert", "a", points=[[0.1, 0.2]]),
+            WalRecord("append", "a", points=[[0.3, 0.4]], length=2),
+            WalRecord("remove", "a"),
+        ],
+    )
+    return path
+
+
+class TestInspectWal:
+    def test_clean_log_round_trips_every_record(self, wal_path):
+        inspection = inspect_wal(wal_path)
+        assert inspection.magic_ok
+        assert inspection.clean
+        assert not inspection.torn
+        assert inspection.valid_bytes == inspection.size
+        assert [r.op for r in inspection.records] == [
+            "insert",
+            "append",
+            "remove",
+        ]
+        assert inspection.records[1].length == 2
+        assert all(entry.crc_ok for entry in inspection.entries)
+
+    def test_flipped_payload_byte_is_a_crc_mismatch(self, wal_path):
+        data = bytearray(wal_path.read_bytes())
+        data[-2] ^= 0xFF  # inside the last record's JSON payload
+        wal_path.write_bytes(bytes(data))
+        inspection = inspect_wal(wal_path)
+        assert inspection.torn
+        assert not inspection.clean
+        assert len(inspection.records) == 2  # first two still valid
+        tail = inspection.entries[-1]
+        assert not tail.crc_ok
+        assert tail.error is not None and "crc" in tail.error.lower()
+
+    def test_truncated_record_is_a_torn_tail(self, wal_path):
+        data = wal_path.read_bytes()
+        wal_path.write_bytes(data[:-5])
+        inspection = inspect_wal(wal_path)
+        assert inspection.torn
+        assert len(inspection.records) == 2
+        assert inspection.valid_bytes < inspection.size
+
+    def test_garbage_file_fails_the_magic_check(self, tmp_path):
+        path = tmp_path / "junk.log"
+        path.write_bytes(b"this is not a wal at all")
+        inspection = inspect_wal(path)
+        assert not inspection.magic_ok
+        assert inspection.valid_bytes == 0
+        assert not inspection.clean
+        assert inspection.records == ()
+
+    def test_empty_log_is_clean(self, tmp_path):
+        path = tmp_path / "fresh.log"
+        WriteAheadLog(path, fsync=False).close()
+        inspection = inspect_wal(path)
+        assert inspection.magic_ok
+        assert inspection.clean
+        assert inspection.records == ()
+
+
+class TestWalInspectCli:
+    def test_clean_log_exits_zero(self, wal_path, capsys):
+        assert main(["wal-inspect", str(wal_path)]) == 0
+        out = capsys.readouterr().out
+        assert "3 valid record(s)" in out
+        assert "clean" in out
+
+    def test_records_flag_dumps_each_entry(self, wal_path, capsys):
+        assert main(["wal-inspect", str(wal_path), "--records"]) == 0
+        out = capsys.readouterr().out
+        assert "insert" in out and "append" in out and "remove" in out
+        assert "id='a'" in out
+
+    def test_corrupt_tail_exits_nonzero_and_says_corrupt(
+        self, wal_path, capsys
+    ):
+        data = wal_path.read_bytes()
+        wal_path.write_bytes(data[:-5])
+        assert main(["wal-inspect", str(wal_path)]) == 1
+        assert "CORRUPT" in capsys.readouterr().out
+
+    def test_bad_magic_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "junk.log"
+        path.write_bytes(b"garbage")
+        assert main(["wal-inspect", str(path)]) == 1
+        assert "bad magic" in capsys.readouterr().out
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        assert main(["wal-inspect", str(tmp_path / "absent.log")]) == 2
+        assert "no such file" in capsys.readouterr().err

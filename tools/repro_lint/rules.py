@@ -41,6 +41,9 @@ LAYER_ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
     # The serving subsystem sits above analysis; nothing below it (and in
     # particular never core) may import it back.
     "service": frozenset({"service", "analysis", "core", "util"}),
+    # Cluster coordination sits above serving: it composes whole
+    # QueryEngine stacks behind a router and must never be imported back.
+    "cluster": frozenset({"cluster", "service", "analysis", "core", "util"}),
 }
 
 # Identifier tokens that mark a value as a distance in the paper's hierarchy.
