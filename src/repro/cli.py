@@ -534,8 +534,18 @@ def _command_cluster_serve(args: argparse.Namespace) -> int:
         stop.set()
 
     def _probe_loop() -> None:
+        # The probe thread must outlive any single bad sweep: if it
+        # died, down backends would never be re-probed and read-repair
+        # queues would never drain for the life of the process.
         while not stop.wait(args.probe_interval):
-            coordinator.probe()
+            try:
+                coordinator.probe()
+            except Exception as error:
+                print(
+                    f"repro cluster-serve: probe sweep failed: {error!r}",
+                    file=sys.stderr,
+                    flush=True,
+                )
 
     signal.signal(signal.SIGINT, _request_stop)
     signal.signal(signal.SIGTERM, _request_stop)

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import threading
 import time
+import uuid
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable
@@ -50,6 +51,7 @@ from repro.cluster.merge import MergedSearch, merge_knn, merge_search_payloads
 from repro.cluster.router import ShardRouter, canonical_id
 from repro.service.client import TRANSPORT_ERRORS
 from repro.service.errors import (
+    CircuitOpen,
     EngineClosed,
     ServiceError,
     ShardUnavailable,
@@ -77,8 +79,12 @@ __all__ = [
 _FAILOVER_ERRORS = (*TRANSPORT_ERRORS, ServiceError, FaultInjected)
 
 #: Failures that count against a backend's health.  ``Overloaded`` and
-#: ``DeadlineExceeded`` prove the backend reachable and are excluded.
-_HEALTH_FAILURES = (*TRANSPORT_ERRORS, EngineClosed, FaultInjected)
+#: ``DeadlineExceeded`` prove the backend reachable and are excluded;
+#: ``CircuitOpen`` is the opposite — the client fast-failed locally
+#: after repeated transport errors, no bytes hit the wire — so it must
+#: count as a failure or a dead backend behind an open breaker would be
+#: pinned "up" by its own fast-fails.
+_HEALTH_FAILURES = (*TRANSPORT_ERRORS, CircuitOpen, EngineClosed, FaultInjected)
 
 #: Sort rank for ids the coordinator never saw an insert for.
 _UNKNOWN_ORDER = 1 << 62
@@ -249,11 +255,22 @@ class ClusterCoordinator:
         )
         self._order: dict[str, int] = {}
         self._order_lock = threading.Lock()
+        # Auto-assigned ids carry a per-coordinator random token so they
+        # cannot collide with ids minted by a previous (or concurrent)
+        # coordinator over the same backends, nor with user ids.
+        self._auto_token = uuid.uuid4().hex[:8]
         self._auto_id = 0
         self._repairs: dict[int, list[_RepairOp]] = {
             index: [] for index in range(len(self.backends))
         }
         self._repair_lock = threading.Lock()
+        # One drain may run per backend at a time: probe() drains
+        # synchronously while _call_backend submits drains to the pool
+        # on down -> up transitions, and a concurrent double-replay
+        # would apply the same op twice.
+        self._drain_locks = [
+            threading.Lock() for _ in range(len(self.backends))
+        ]
         self._counters_lock = threading.Lock()
         self._counters: dict[str, int] = {
             "requests": 0,
@@ -266,6 +283,8 @@ class ClusterCoordinator:
             "partial_results": 0,
             "repairs_queued": 0,
             "repairs_replayed": 0,
+            "repairs_dropped": 0,
+            "divergent_writes": 0,
             "quorum_failures": 0,
             "probes": 0,
         }
@@ -421,11 +440,15 @@ class ClusterCoordinator:
         """Insert a sequence on every replica of its shard.
 
         The coordinator assigns an id when none is given — placement is a
-        function of the id, so it must exist before routing.
+        function of the id, so it must exist before routing.  Assigned
+        ids are coordinator-scoped: they embed a per-coordinator random
+        token (``auto-<token>-<n>``), so restarting the coordinator or
+        running two coordinators over the same backends never reissues
+        an id already stored.
         """
         if sequence_id is None:
             with self._order_lock:
-                sequence_id = f"auto-{self._auto_id}"
+                sequence_id = f"auto-{self._auto_token}-{self._auto_id}"
                 self._auto_id += 1
         listed = np.asarray(points, dtype=np.float64).tolist()
         self._replicated_write(
@@ -481,6 +504,7 @@ class ClusterCoordinator:
         acks = 0
         caller_error: Exception | None = None
         missed: list[int] = []
+        rejected: list[int] = []
         for future, backend_index in futures.items():
             try:
                 future.result()
@@ -488,14 +512,35 @@ class ClusterCoordinator:
                 missed.append(backend_index)
             except (KeyError, TypeError, ValueError) as error:
                 # Deterministic rejection (duplicate id, unknown id, bad
-                # payload): every replica agrees, surface it to the
-                # caller instead of treating it as replica loss.
-                caller_error = error
+                # payload).  Whether this is the caller's fault depends
+                # on the other replicas: see below.
+                rejected.append(backend_index)
+                if caller_error is None:
+                    caller_error = error
             else:
                 acks += 1
-        if caller_error is not None:
+        if acks == 0 and caller_error is not None:
+            # No replica accepted and at least one rejected
+            # deterministically: the replicas agree the request itself
+            # is bad (duplicate id, unknown id, ...).  Surface it — but
+            # first queue repairs for replicas that were skipped or
+            # transport-failed, whose state is unknown (replay is
+            # idempotent, so a repair that turns out unnecessary is
+            # absorbed).
+            for backend_index in (*skipped, *missed):
+                self._queue_repair(
+                    backend_index, _RepairOp(op, sequence_id, points)
+                )
             raise caller_error
-        for backend_index in (*skipped, *missed):
+        if rejected:
+            # At least one replica acked, so the request was
+            # well-formed — a rejecting replica has silently diverged
+            # (e.g. it missed an insert while merely "suspect" and now
+            # rejects the append).  That is replica damage, not a caller
+            # error: queue it for repair instead of failing a write the
+            # quorum already applied.
+            self._count("divergent_writes", len(rejected))
+        for backend_index in (*skipped, *missed, *rejected):
             self._queue_repair(
                 backend_index, _RepairOp(op, sequence_id, points)
             )
@@ -529,7 +574,23 @@ class ClusterCoordinator:
             }
 
     def _drain_repairs(self, backend_index: int) -> int:
-        """Replay a recovered backend's missed writes, in order."""
+        """Replay a recovered backend's missed writes, in order.
+
+        At most one drain runs per backend at a time: a concurrent
+        drain (probe sweep racing a down -> up transition seen by a
+        regular request) returns immediately — the active drain owns
+        the queue, and replaying the same op from two threads would
+        apply it twice.
+        """
+        lock = self._drain_locks[backend_index]
+        if not lock.acquire(blocking=False):
+            return 0
+        try:
+            return self._drain_repairs_locked(backend_index)
+        finally:
+            lock.release()
+
+    def _drain_repairs_locked(self, backend_index: int) -> int:
         backend = self.backends[backend_index]
         replayed = 0
         while True:
@@ -537,6 +598,7 @@ class ClusterCoordinator:
                 if not self._repairs[backend_index]:
                     return replayed
                 op = self._repairs[backend_index][0]
+            dropped = False
             try:
                 inject("cluster.read-repair")
                 if op.op == "insert":
@@ -555,12 +617,21 @@ class ClusterCoordinator:
                 # Still unhealthy: keep the queue, try again next probe.
                 self.health.record_failure(backend_index)
                 return replayed
+            except (KeyError, TypeError, ValueError):
+                # Deterministic rejection on replay (e.g. an append
+                # whose target id never landed on this replica): no
+                # retry can fix it, so dead-letter the op rather than
+                # wedging the queue — and the probe thread — forever.
+                dropped = True
             with self._repair_lock:
                 queue = self._repairs[backend_index]
                 if queue and queue[0] is op:
                     queue.pop(0)
-            replayed += 1
-            self._count("repairs_replayed")
+            if dropped:
+                self._count("repairs_dropped")
+            else:
+                replayed += 1
+                self._count("repairs_replayed")
 
     def probe(self) -> dict[int, bool]:
         """Probe every backend's ``/healthz``; drain repairs on recovery.
@@ -716,6 +787,9 @@ class ClusterCoordinator:
         except ServiceError:
             # Overloaded / DeadlineExceeded: the backend answered, so it
             # is alive — the request still failed over to a replica.
+            # (CircuitOpen never reaches here: it is a local fast-fail
+            # proving nothing about the backend and is matched by the
+            # _HEALTH_FAILURES clause above.)
             self.health.record_success(backend_index)
             raise
         with self._latency_lock:

@@ -25,7 +25,11 @@ from repro.cluster.health import HealthTracker
 from repro.core.contracts import checking_contracts
 from repro.core.database import SequenceDatabase
 from repro.service import QueryEngine
-from repro.service.errors import ShardUnavailable, WriteQuorumFailed
+from repro.service.errors import (
+    CircuitOpen,
+    ShardUnavailable,
+    WriteQuorumFailed,
+)
 from repro.service.faults import FaultRule, fault_plan
 from repro.service.http import search_payload
 
@@ -276,6 +280,29 @@ class TestFailover:
         finally:
             close_all(engines, coordinator)
 
+    def test_circuit_open_counts_against_health(self):
+        # CircuitOpen is a *local* fast-fail (no bytes hit the wire):
+        # it must not reset the failure streak and pin a dead backend
+        # 'up', and results must still fail over to the live replica.
+        corpus = make_corpus(8)
+        single = make_single(corpus)
+        engines, backends, coordinator = make_cluster(corpus, replication=2)
+        query = np.random.default_rng(1).random((8, DIMENSION))
+
+        def breaker_open(*args, **kwargs):
+            raise CircuitOpen("breaker open", retry_after=1.0)
+
+        backends[0].search = breaker_open
+        try:
+            expected = single_node_search(single, query, 0.4)
+            for _ in range(4):
+                result = coordinator.search(query, 0.4)
+                assert result.complete
+                assert result.answers == expected["answers"]
+            assert coordinator.health.state(0) == "down"
+        finally:
+            close_all(engines, coordinator, single)
+
     def test_flapping_backend_keeps_serving_complete_results(self):
         corpus = make_corpus()
         single = make_single(corpus)
@@ -433,6 +460,68 @@ class TestWrites:
         finally:
             close_all(engines, coordinator)
 
+    def test_auto_ids_do_not_collide_across_coordinators(self):
+        # A restarted (or concurrent) coordinator over the same backends
+        # must not reissue an id a previous coordinator already stored.
+        corpus = make_corpus(4)
+        engines, backends, coordinator = make_cluster(corpus, replication=2)
+        points = np.random.default_rng(3).random((10, DIMENSION))
+        try:
+            first = coordinator.insert(points)
+            second = ClusterCoordinator(backends, replication=2)
+            try:
+                other = second.insert(points)  # would KeyError on collision
+            finally:
+                second.close()
+            assert other != first
+        finally:
+            close_all(engines, coordinator)
+
+    def test_divergent_replica_rejection_is_repaired_not_raised(self):
+        corpus = make_corpus(6)
+        engines, _, coordinator = make_cluster(
+            corpus, num_backends=3, replication=3
+        )
+        rng = np.random.default_rng(5)
+        try:
+            coordinator.insert(rng.random((10, DIMENSION)), sequence_id="div")
+            # Replica 1 silently loses the sequence — the state a replica
+            # is in after missing a write while merely "suspect" (still
+            # routable, so the miss was never queued for repair).
+            engines[1].remove("div")
+            coordinator.append("div", rng.random((4, DIMENSION)))
+            # The quorum applied the append: the caller sees success and
+            # the diverged replica is queued for repair, not raised.
+            assert len(engines[0]._snapshot.database.sequence("div")) == 14
+            assert coordinator.repair_pending() == {1: 1}
+            assert coordinator.stats()["divergent_writes"] == 1
+            # The replay rejects deterministically too (the target id is
+            # missing): the op is dead-lettered so the queue — and the
+            # probe sweep driving it — keeps draining.
+            coordinator.probe()
+            assert coordinator.repair_pending() == {}
+            assert coordinator.stats()["repairs_dropped"] == 1
+        finally:
+            close_all(engines, coordinator)
+
+    def test_caller_error_still_queues_repairs_for_dead_replicas(self):
+        corpus = make_corpus(6)
+        engines, backends, coordinator = make_cluster(
+            corpus, num_backends=3, replication=3, write_quorum=1
+        )
+        rng = np.random.default_rng(5)
+        try:
+            backends[0].dead = True
+            with pytest.raises(KeyError):
+                coordinator.append("no-such-id", rng.random((3, DIMENSION)))
+            # The live replicas agreed the request is bad, but the dead
+            # replica's state is unknown — the op must still be queued
+            # (replay is idempotent or dead-lettered), not dropped by
+            # the raise.
+            assert coordinator.repair_pending() == {0: 1}
+        finally:
+            close_all(engines, coordinator)
+
     def test_append_and_remove_replicate(self):
         corpus = make_corpus(6)
         engines, _, coordinator = make_cluster(corpus, replication=3)
@@ -493,6 +582,32 @@ class TestReadRepair:
                 coordinator.health.record_failure(2)
             coordinator.probe()
             assert coordinator.repair_pending() == {}
+        finally:
+            close_all(engines, coordinator)
+
+    def test_drain_is_single_flight_per_backend(self):
+        corpus = make_corpus(6)
+        engines, backends, coordinator = make_cluster(
+            corpus, num_backends=3, replication=3
+        )
+        rng = np.random.default_rng(5)
+        try:
+            backends[1].dead = True
+            coordinator.insert(rng.random((8, DIMENSION)), sequence_id="sf")
+            assert coordinator.repair_pending() == {1: 1}
+            backends[1].dead = False
+            # While one thread holds backend 1's drain (a probe racing a
+            # down -> up transition), a concurrent drain must skip, not
+            # replay the same op a second time.
+            assert coordinator._drain_locks[1].acquire(blocking=False)
+            try:
+                assert coordinator._drain_repairs(1) == 0
+                assert coordinator.repair_pending() == {1: 1}
+            finally:
+                coordinator._drain_locks[1].release()
+            assert coordinator._drain_repairs(1) == 1
+            assert coordinator.repair_pending() == {}
+            assert len(engines[1]._snapshot.database.sequence("sf")) == 8
         finally:
             close_all(engines, coordinator)
 
