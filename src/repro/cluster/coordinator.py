@@ -36,7 +36,6 @@ outcomes and explicit :meth:`ClusterCoordinator.probe` sweeps of
 
 from __future__ import annotations
 
-import threading
 import time
 import uuid
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
@@ -61,6 +60,7 @@ from repro.service.faults import inject
 from repro.service.stats import LatencyWindow
 from repro.util.faults import FaultInjected
 from repro.util.rng import ensure_rng
+from repro.util.sync import TracedLock
 from repro.util.validation import check_threshold
 
 if TYPE_CHECKING:
@@ -240,9 +240,9 @@ class ClusterCoordinator:
             )
         self.write_quorum = write_quorum
         self._hedge_rng = ensure_rng(None if hedge is None else hedge.seed)
-        self._rng_lock = threading.Lock()
+        self._rng_lock = TracedLock("coordinator.rng")
         self._latency = LatencyWindow(1024)
-        self._latency_lock = threading.Lock()
+        self._latency_lock = TracedLock("coordinator.latency")
         # Two pools so a shard-gather blocking on its backend futures can
         # never deadlock against the futures it waits for.
         self._scatter_pool = ThreadPoolExecutor(
@@ -254,7 +254,7 @@ class ClusterCoordinator:
             thread_name_prefix="repro-cluster-io",
         )
         self._order: dict[str, int] = {}
-        self._order_lock = threading.Lock()
+        self._order_lock = TracedLock("coordinator.order")
         # Auto-assigned ids carry a per-coordinator random token so they
         # cannot collide with ids minted by a previous (or concurrent)
         # coordinator over the same backends, nor with user ids.
@@ -263,15 +263,16 @@ class ClusterCoordinator:
         self._repairs: dict[int, list[_RepairOp]] = {
             index: [] for index in range(len(self.backends))
         }
-        self._repair_lock = threading.Lock()
+        self._repair_lock = TracedLock("coordinator.repairs")
         # One drain may run per backend at a time: probe() drains
         # synchronously while _call_backend submits drains to the pool
         # on down -> up transitions, and a concurrent double-replay
         # would apply the same op twice.
         self._drain_locks = [
-            threading.Lock() for _ in range(len(self.backends))
+            TracedLock(f"coordinator.drain.{index}")
+            for index in range(len(self.backends))
         ]
-        self._counters_lock = threading.Lock()
+        self._counters_lock = TracedLock("coordinator.counters")
         self._counters: dict[str, int] = {
             "requests": 0,
             "backend_calls": 0,
@@ -297,7 +298,7 @@ class ClusterCoordinator:
         """Shut the scatter pools down (backends stay up; not owned)."""
         if self._closed:
             return
-        self._closed = True
+        self._closed = True  # thread-safe: monotonic latch, races are benign
         self._scatter_pool.shutdown(wait=False)
         self._backend_pool.shutdown(wait=False)
 

@@ -26,9 +26,10 @@ state       meaning
 
 from __future__ import annotations
 
-import threading
 import time
 from typing import Any, Callable
+
+from repro.util.sync import TracedLock
 
 __all__ = ["BackendHealth", "HealthTracker"]
 
@@ -106,7 +107,7 @@ class HealthTracker:
         self.failure_threshold = failure_threshold
         self.probe_interval = probe_interval
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = TracedLock("health.tracker")
         self._backends = [BackendHealth() for _ in range(num_backends)]
         #: Backends whose down -> up transition has not been consumed yet
         #: (drives the coordinator's read-repair replay).

@@ -26,7 +26,6 @@ snapshot, and no write ever flushes the whole cache.
 from __future__ import annotations
 
 import hashlib
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
@@ -35,6 +34,7 @@ import numpy as np
 
 from repro.core.search import SimilaritySearch
 from repro.core.solution_interval import IntervalSet
+from repro.util.sync import TracedLock
 from repro.util.validation import check_threshold
 
 if TYPE_CHECKING:
@@ -83,8 +83,19 @@ class EpsilonCache:
         if capacity < 1:
             raise ValueError(f"cache capacity must be >= 1, got {capacity}")
         self.capacity = capacity
-        self._lock = threading.Lock()
+        self._lock = TracedLock("cache.entries")
         self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
+        # Traffic counters, mutated only under self._lock; a "refine" is
+        # an ε-monotonic hit (entry computed at a wider threshold, so the
+        # engine re-runs Phase 3 over the cached candidate set).
+        self._lookups = 0
+        self._hits = 0
+        self._refines = 0
+        self._misses = 0
+        self._stores = 0
+        self._store_races = 0
+        self._evictions = 0
+        self._patches = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -105,11 +116,17 @@ class EpsilonCache:
         """
         epsilon = check_threshold(epsilon)
         with self._lock:
+            self._lookups += 1
             entry = self._entries.get(key)
             if entry is None:
+                self._misses += 1
                 return None
             if entry.version != version or entry.epsilon < epsilon:
+                self._misses += 1
                 return None
+            self._hits += 1
+            if entry.epsilon > epsilon:
+                self._refines += 1
             self._entries.move_to_end(key)
             return entry
 
@@ -125,6 +142,7 @@ class EpsilonCache:
         """
         with self._lock:
             if entry.version != version:
+                self._store_races += 1
                 return False
             current = self._entries.get(key)
             if (
@@ -133,17 +151,40 @@ class EpsilonCache:
                 and current.epsilon > entry.epsilon
             ):
                 self._entries.move_to_end(key)
+                self._store_races += 1
                 return False
             self._entries[key] = entry
             self._entries.move_to_end(key)
+            self._stores += 1
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
+                self._evictions += 1
             return True
 
     def clear(self) -> None:
         """Drop every entry."""
         with self._lock:
             self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Traffic counters, read atomically under the cache lock.
+
+        ``hits`` includes ``refines`` (a refine *is* an ε-monotonic hit
+        that skipped Phases 1–2); ``store_races`` counts stores dropped
+        because a concurrent writer made the result stale or a wider
+        entry already covered it.
+        """
+        with self._lock:
+            return {
+                "lookups": self._lookups,
+                "hits": self._hits,
+                "refines": self._refines,
+                "misses": self._misses,
+                "stores": self._stores,
+                "store_races": self._store_races,
+                "evictions": self._evictions,
+                "patches": self._patches,
+            }
 
     # ------------------------------------------------------------------
     # Write-through patching
@@ -184,6 +225,7 @@ class EpsilonCache:
             for key, entry in list(self._entries.items()):
                 if entry.version != new_version - 1:
                     del self._entries[key]
+                    self._evictions += 1
                     continue
                 candidates = set(entry.candidates)
                 answers = set(entry.answers)
@@ -207,6 +249,7 @@ class EpsilonCache:
                             if entry.find_intervals:
                                 intervals[sequence_id] = interval
                     patched += 1
+                    self._patches += 1
                 self._entries[key] = CacheEntry(
                     query_partition=entry.query_partition,
                     epsilon=entry.epsilon,

@@ -33,7 +33,6 @@ from __future__ import annotations
 import http.client
 import json
 import random
-import threading
 import time
 import urllib.error
 import urllib.request
@@ -52,6 +51,7 @@ from repro.service.errors import (
     WriteQuorumFailed,
 )
 from repro.util.rng import ensure_rng
+from repro.util.sync import TracedLock
 from repro.util.validation import check_threshold
 
 if TYPE_CHECKING:
@@ -220,7 +220,7 @@ class CircuitBreaker:
         self.failure_threshold = failure_threshold
         self.reset_timeout = reset_timeout
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = TracedLock("client.breaker")
         self._state = self.CLOSED
         self._failures = 0
         self._opened_at = 0.0
@@ -328,7 +328,7 @@ class ServiceClient:
             rng = retry.seed
         self._rng = ensure_rng(rng)
         self._sleep = time.sleep  # monkeypatchable seam for tests
-        self._counters_lock = threading.Lock()
+        self._counters_lock = TracedLock("client.counters")
         self._counters: dict[str, float] = {
             "requests": 0,
             "attempts": 0,

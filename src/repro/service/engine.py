@@ -85,6 +85,7 @@ from repro.service.wal import (
     WriteAheadLog,
     replay_into,
 )
+from repro.util.sync import TracedLock
 from repro.util.validation import check_threshold
 
 if TYPE_CHECKING:
@@ -230,23 +231,23 @@ class QueryEngine:
         self._snapshot = _Snapshot(
             database, SimilaritySearch(database), recovered_version
         )
-        self._write_lock = threading.Lock()
+        self._write_lock = TracedLock("engine.write")
         self._capacity = workers + queue_cap
         self._admission = threading.Semaphore(self._capacity)
         self._pending = 0
-        self._pending_lock = threading.Lock()
+        self._pending_lock = TracedLock("engine.pending")
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-serve"
         )
         self._cache = EpsilonCache(cache_size) if cache_size else None
         self._stats = ServiceStats()
         self._trace_path = None if trace_path is None else Path(trace_path)
-        self._trace_lock = threading.Lock()
+        self._trace_lock = TracedLock("engine.trace")
         self._closed = False
         self._started_at = time.time()
         self._degrade_after = degrade_after
         self._degraded_cache_only = degraded_cache_only
-        self._health_lock = threading.Lock()
+        self._health_lock = TracedLock("engine.health")
         self._overload_strikes = 0
         self._degraded = False
 
@@ -272,7 +273,7 @@ class QueryEngine:
         wal = WriteAheadLog(config.wal_path, fsync=config.fsync)
         records = wal.recovered_records
         replay_into(database, records)
-        self._wal = wal
+        self._wal = wal  # thread-safe: runs inside __init__, pre-publication
         return database, len(records)
 
     @staticmethod
@@ -296,7 +297,7 @@ class QueryEngine:
         """
         if self._closed:
             return
-        self._closed = True
+        self._closed = True  # thread-safe: monotonic latch, races are benign
         self._pool.shutdown(wait=wait)
         if self._wal is not None:
             try:
@@ -564,6 +565,11 @@ class QueryEngine:
                 "segments": snapshot.database.segment_count,
                 "cache_entries": 0 if self._cache is None else len(self._cache),
                 "cache_capacity": 0 if self._cache is None else self._cache.capacity,
+                # The LRU's own lock-guarded counters; the "cache" block
+                # above it tracks request *outcomes* as the engine saw
+                # them, this one tracks the cache's internal traffic
+                # (store races, evictions, write-through patches).
+                "cache_lru": {} if self._cache is None else self._cache.stats(),
                 "uptime_s": time.time() - self._started_at,
                 "degraded": self.degraded,
                 "durability": {

@@ -64,6 +64,7 @@ from repro.service.errors import (
     WriteQuorumFailed,
 )
 from repro.service.faults import inject
+from repro.util.sync import TracedLock
 from repro.util.validation import check_threshold
 
 __all__ = [
@@ -415,7 +416,7 @@ class DrainingHTTPServer(ThreadingHTTPServer):
         self.draining = False
         self.dropped_responses = 0
         self._inflight = 0
-        self._inflight_lock = threading.Lock()
+        self._inflight_lock = TracedLock("http.inflight")
         self._idle = threading.Event()
         self._idle.set()
 
@@ -449,7 +450,8 @@ class DrainingHTTPServer(ThreadingHTTPServer):
         running; closing the engine afterwards turns them into typed
         ``EngineClosed`` responses, not connection resets).
         """
-        self.draining = True
+        with self._inflight_lock:
+            self.draining = True
         return self._idle.wait(timeout)
 
     def handle_error(
@@ -462,7 +464,8 @@ class DrainingHTTPServer(ThreadingHTTPServer):
         failure mode the retrying client exists for, not a server bug
         worth a traceback — unless the server is verbose.
         """
-        self.dropped_responses += 1
+        with self._inflight_lock:
+            self.dropped_responses += 1
         if self.verbose:
             super().handle_error(request, client_address)
 

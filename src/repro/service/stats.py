@@ -11,8 +11,9 @@ whole block renders to a plain dict for the ``/stats`` endpoint.
 from __future__ import annotations
 
 import math
-import threading
 from collections import Counter
+
+from repro.util.sync import TracedLock
 
 __all__ = ["LatencyWindow", "ServiceStats"]
 
@@ -61,7 +62,7 @@ class ServiceStats:
     """
 
     def __init__(self, *, latency_window: int = 2048) -> None:
-        self._lock = threading.Lock()
+        self._lock = TracedLock("service.stats")
         self._requests: Counter[str] = Counter()
         self._failures: Counter[str] = Counter()
         self._cache: Counter[str] = Counter()

@@ -45,6 +45,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
 from repro.util.faults import inject
+from repro.util.sync import TracedLock
 
 if TYPE_CHECKING:
     from repro.core.database import SequenceDatabase
@@ -191,6 +192,12 @@ class WriteAheadLog:
         self._handle.seek(0, os.SEEK_END)
         self._records = len(self._recovered)
         self._closed = False
+        # The engine serialises appends behind its writer lock, but the
+        # log is also poked from shutdown paths and inspection helpers;
+        # its own lock makes the file-handle state safe regardless of
+        # who calls.  Holding it across the fsync is deliberate — the
+        # durability barrier *is* the critical section.
+        self._lock = TracedLock("wal.log")
 
     # ------------------------------------------------------------------
     # Recovery scan
@@ -232,25 +239,28 @@ class WriteAheadLog:
         length, so a failed append never leaves a torn record for the
         next append to bury mid-file.
         """
-        if self._closed:
-            raise RuntimeError("write-ahead log is closed")
         payload = record.to_payload()
-        start = self._handle.tell()
-        try:
-            inject("wal.append")
-            self._handle.write(_HEADER.pack(len(payload), zlib.crc32(payload)))
-            self._handle.write(payload)
-            self._handle.flush()
-            self._sync()
-        except Exception:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("write-ahead log is closed")
+            start = self._handle.tell()
             try:
-                self._handle.truncate(start)
-                self._handle.seek(start)
-            except OSError:  # pragma: no cover - double fault
-                pass
-            raise
-        self._records += 1
-        return self._records
+                inject("wal.append")
+                self._handle.write(
+                    _HEADER.pack(len(payload), zlib.crc32(payload))
+                )
+                self._handle.write(payload)
+                self._handle.flush()
+                self._sync()
+            except Exception:
+                try:
+                    self._handle.truncate(start)
+                    self._handle.seek(start)
+                except OSError:  # pragma: no cover - double fault
+                    pass
+                raise
+            self._records += 1
+            return self._records
 
     def _sync(self) -> None:
         inject("wal.fsync")
@@ -267,7 +277,8 @@ class WriteAheadLog:
 
     def __len__(self) -> int:
         """Records in the log (recovered plus appended since open)."""
-        return self._records
+        with self._lock:
+            return self._records
 
     @property
     def closed(self) -> bool:
@@ -276,20 +287,22 @@ class WriteAheadLog:
 
     def reset(self) -> None:
         """Truncate to an empty log (after a successful checkpoint)."""
-        if self._closed:
-            raise RuntimeError("write-ahead log is closed")
-        self._handle.seek(len(_MAGIC))
-        self._handle.truncate(len(_MAGIC))
-        self._handle.flush()
-        self._sync()
-        self._records = 0
-        self._recovered = []
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("write-ahead log is closed")
+            self._handle.seek(len(_MAGIC))
+            self._handle.truncate(len(_MAGIC))
+            self._handle.flush()
+            self._sync()
+            self._records = 0
+            self._recovered = []
 
     def close(self) -> None:
         """Close the underlying file handle."""
-        if not self._closed:
-            self._closed = True
-            self._handle.close()
+        with self._lock:
+            if not self._closed:
+                self._closed = True
+                self._handle.close()
 
 
 @dataclass(frozen=True)

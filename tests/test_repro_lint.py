@@ -478,6 +478,353 @@ def test_violation_render_is_location_prefixed(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# REP200 — shared attributes mutated under the owning class's lock
+# ----------------------------------------------------------------------
+LOCKED_CLASS_HEADER = '''
+    """Doc."""
+    from repro.util.sync import TracedLock
+
+    __all__ = []
+
+
+    class Widget:
+        def __init__(self) -> None:
+            self._lock = TracedLock("widget.lock")
+            self._count = 0
+'''
+
+
+def test_rep200_seeded_unguarded_write_is_caught(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/service/widget.py",
+        LOCKED_CLASS_HEADER
+        + '''
+        def bump(self) -> None:
+            self._count += 1
+        ''',
+    )
+    assert "REP200" in codes_in(path)
+
+
+def test_rep200_guarded_write_is_clean(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/service/widget.py",
+        LOCKED_CLASS_HEADER
+        + '''
+        def bump(self) -> None:
+            with self._lock:
+                self._count += 1
+        ''',
+    )
+    assert "REP200" not in codes_in(path)
+
+
+def test_rep200_locked_suffix_and_waiver_are_exempt(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/service/widget.py",
+        LOCKED_CLASS_HEADER
+        + '''
+        def _bump_locked(self) -> None:
+            self._count += 1
+
+        def close(self) -> None:
+            self._count = -1  # thread-safe: monotonic latch
+        ''',
+    )
+    assert "REP200" not in codes_in(path)
+
+
+def test_rep200_lockless_class_is_externally_synchronised(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/service/window.py",
+        '''
+        """Doc."""
+
+        __all__ = []
+
+
+        class Window:
+            def __init__(self) -> None:
+                self._count = 0
+
+            def bump(self) -> None:
+                self._count += 1
+        ''',
+    )
+    assert "REP200" not in codes_in(path)
+
+
+def test_rep200_does_not_apply_outside_concurrent_layers(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/core/widget.py",
+        '''
+        """Doc."""
+        import threading
+
+        __all__ = []
+
+
+        class Widget:
+            def __init__(self) -> None:
+                self._lock = threading.Lock()
+                self._count = 0
+
+            def bump(self) -> None:
+                self._count += 1
+        ''',
+    )
+    assert codes_in(path) & {"REP200", "REP203"} == set()
+
+
+# ----------------------------------------------------------------------
+# REP201 — declared module lock order
+# ----------------------------------------------------------------------
+def test_rep201_flags_inverted_declared_order(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/service/engine.py",
+        '''
+        """Doc."""
+        from repro.util.sync import TracedLock
+
+        __all__ = []
+
+
+        class Engine:
+            def __init__(self) -> None:
+                self._write_lock = TracedLock("engine.write")
+                self._pending_lock = TracedLock("engine.pending")
+
+            def bad(self) -> None:
+                with self._pending_lock:
+                    with self._write_lock:
+                        pass
+
+            def good(self) -> None:
+                with self._write_lock:
+                    with self._pending_lock:
+                        pass
+        ''',
+    )
+    violations = [v for v in lint_file(path) if v.rule == "REP201"]
+    assert len(violations) == 1
+    assert "self._write_lock" in violations[0].message
+
+
+def test_rep201_flags_undeclared_nesting(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/service/undeclared.py",
+        '''
+        """Doc."""
+        from repro.util.sync import TracedLock
+
+        __all__ = []
+
+
+        class Thing:
+            def __init__(self) -> None:
+                self._a_lock = TracedLock("thing.a")
+                self._b_lock = TracedLock("thing.b")
+
+            def nest(self) -> None:
+                with self._a_lock:
+                    with self._b_lock:
+                        pass
+        ''',
+    )
+    violations = [v for v in lint_file(path) if v.rule == "REP201"]
+    assert len(violations) == 1
+    assert "MODULE_LOCK_ORDER" in violations[0].message
+
+
+# ----------------------------------------------------------------------
+# REP202 — blocking calls under a lock
+# ----------------------------------------------------------------------
+def test_rep202_flags_sleep_under_lock(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/service/sleepy.py",
+        '''
+        """Doc."""
+        import time
+
+        from repro.util.sync import TracedLock
+
+        __all__ = []
+
+
+        class Sleepy:
+            def __init__(self) -> None:
+                self._lock = TracedLock("sleepy.lock")
+
+            def nap(self) -> None:
+                with self._lock:
+                    time.sleep(0.5)
+
+            def fine(self) -> None:
+                with self._lock:
+                    pass
+                time.sleep(0.5)
+        ''',
+    )
+    violations = [v for v in lint_file(path) if v.rule == "REP202"]
+    assert len(violations) == 1
+    assert "time.sleep" in violations[0].message
+
+
+# ----------------------------------------------------------------------
+# REP203 — raw threading primitives in service/cluster
+# ----------------------------------------------------------------------
+def test_rep203_flags_raw_lock_and_allows_semaphore(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/cluster/raw.py",
+        '''
+        """Doc."""
+        import threading
+
+        __all__ = []
+
+
+        class Raw:
+            def __init__(self) -> None:
+                self._lock = threading.Lock()
+                self._cond = threading.Condition()
+                self._slots = threading.Semaphore(4)
+                self._flag = threading.Event()
+        ''',
+    )
+    violations = [v for v in lint_file(path) if v.rule == "REP203"]
+    assert len(violations) == 2  # Lock + Condition; Semaphore/Event exempt
+
+
+def test_rep203_counts_from_threading_imports(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/service/bare.py",
+        '''
+        """Doc."""
+        from threading import Lock
+
+        __all__ = []
+
+
+        def make() -> Lock:
+            return Lock()
+        ''',
+    )
+    assert "REP203" in codes_in(path)
+
+
+# ----------------------------------------------------------------------
+# REP204 — condition discipline
+# ----------------------------------------------------------------------
+def test_rep204_flags_notify_without_lock(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/service/condy.py",
+        '''
+        """Doc."""
+        from repro.util.sync import TracedCondition
+
+        __all__ = []
+
+
+        class Condy:
+            def __init__(self) -> None:
+                self._cond = TracedCondition(name="condy.cond")
+
+            def bad(self) -> None:
+                self._cond.notify()
+
+            def good(self) -> None:
+                with self._cond:
+                    self._cond.notify_all()
+        ''',
+    )
+    violations = [v for v in lint_file(path) if v.rule == "REP204"]
+    assert len(violations) == 1
+    assert "notify" in violations[0].message
+
+
+# ----------------------------------------------------------------------
+# REP205 — lexical self-deadlock
+# ----------------------------------------------------------------------
+def test_rep205_flags_reentered_lock(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/service/reenter.py",
+        LOCKED_CLASS_HEADER
+        + '''
+        def bad(self) -> None:
+            with self._lock:
+                with self._lock:
+                    pass
+        ''',
+    )
+    assert "REP205" in codes_in(path)
+
+
+# ----------------------------------------------------------------------
+# REP206 — manual acquire without finally release
+# ----------------------------------------------------------------------
+def test_rep206_requires_finally_release(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/service/manual.py",
+        LOCKED_CLASS_HEADER
+        + '''
+        def leak(self) -> bool:
+            if not self._lock.acquire(blocking=False):
+                return False
+            self._count += 1  # thread-safe: lock held via manual acquire
+            self._lock.release()
+            return True
+
+        def safe(self) -> bool:
+            if not self._lock.acquire(blocking=False):
+                return False
+            try:
+                return True
+            finally:
+                self._lock.release()
+        ''',
+    )
+    violations = [v for v in lint_file(path) if v.rule == "REP206"]
+    assert [v.line for v in violations] == [
+        min(v.line for v in violations)
+    ]  # only leak() is flagged, not safe()
+
+
+# ----------------------------------------------------------------------
+# --format json (CI problem-matcher input)
+# ----------------------------------------------------------------------
+def test_main_format_json_emits_json_lines(tmp_path, capsys):
+    import json as json_module
+
+    dirty = write_module(
+        tmp_path, "src/repro/core/bad.py", "assert True\n"
+    )
+    assert main(["--format", "json", str(dirty)]) == 1
+    out = capsys.readouterr().out
+    records = [
+        json_module.loads(line) for line in out.splitlines() if line.strip()
+    ]
+    assert records, "expected at least one JSON record"
+    for record in records:
+        assert list(record) == ["file", "line", "col", "code", "summary"]
+    assert records[0]["code"] == "REP101"
+    assert records[0]["file"].endswith("bad.py")
+    assert records[0]["line"] == 1
+
+
+# ----------------------------------------------------------------------
 # The repository itself passes its own gate
 # ----------------------------------------------------------------------
 def test_repository_is_lint_clean():

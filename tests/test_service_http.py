@@ -420,6 +420,12 @@ class TestGracefulShutdown:
             assert server.inflight == 0
             client.healthz()
             client.search(rng.random((8, 2)), 0.5)
+            # The client sees the response body before the handler
+            # thread runs its finally-block decrement, so give the
+            # counter a moment to settle instead of racing it.
+            deadline = time.monotonic() + 5.0
+            while server.inflight != 0 and time.monotonic() < deadline:
+                time.sleep(0.005)
             assert server.inflight == 0
         finally:
             server.shutdown()

@@ -14,15 +14,32 @@ REP105     no forbidden cross-layer imports (e.g. ``core`` -> ``index``)
 REP106     public functions taking ``epsilon`` must call a
            ``util.validation`` checker
 REP107     every ``def`` in ``src/`` is fully annotated (params + return)
+REP200     shared attributes mutated under the owning class's lock
+           (``service``/``cluster`` layers; ``# thread-safe:`` waives)
+REP201     nested lock acquisitions follow the declared module lock order
+REP202     no blocking calls (fsync/sleep/socket/subprocess) under a lock
+REP203     service/cluster locks built via ``repro.util.sync``, not
+           raw ``threading`` primitives
+REP204     condition ``wait``/``notify`` only under the condition's lock
+REP205     no re-entry of a lock already held (lexical self-deadlock)
+REP206     manual ``acquire()`` pairs with ``release()`` in a ``finally``
 =========  ==============================================================
 
 Run the gate::
 
     python -m tools.repro_lint src tests
 
+Machine-readable output for CI problem matchers::
+
+    python -m tools.repro_lint --format json src tests
+
 A violation on a given line can be suppressed with a trailing comment::
 
     x == 0.0  # repro-lint: disable=REP104
+
+The REP2xx family (static half) pairs with the runtime sanitizer in
+:mod:`repro.util.sync` (``REPRO_SYNC_CHECKS=1``); see
+``docs/concurrency.md`` for the lock-order table and waiver syntax.
 """
 
 from tools.repro_lint.engine import (

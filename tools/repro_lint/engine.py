@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import argparse
 import ast
+import json
 import sys
 from collections.abc import Iterable, Iterator, Sequence
 from pathlib import Path
@@ -17,6 +18,7 @@ __all__ = [
     "lint_file",
     "lint_paths",
     "main",
+    "render_json",
 ]
 
 
@@ -107,7 +109,33 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule table and exit"
     )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help=(
+            "violation output format: 'text' (path:line:col: CODE message) "
+            "or 'json' (one JSON object per line, for CI problem matchers)"
+        ),
+    )
     return parser
+
+
+def render_json(violation: Violation) -> str:
+    """One violation as a single-line JSON record (JSON Lines).
+
+    Key order is part of the contract — the GitHub problem matcher in
+    ``.github/problem-matchers/repro-lint.json`` parses these lines with
+    a regex, which only works if the fields appear in a fixed order.
+    """
+    record = {
+        "file": str(violation.path),
+        "line": violation.line,
+        "col": violation.col + 1,
+        "code": violation.rule,
+        "summary": violation.message,
+    }
+    return json.dumps(record)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -133,7 +161,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         rules = tuple(rule for rule in ALL_RULES if rule.code in wanted)
     violations = lint_paths([Path(p) for p in args.paths], rules)
     for violation in violations:
-        print(violation.render())
+        if args.format == "json":
+            print(render_json(violation))
+        else:
+            print(violation.render())
     if violations:
         print(f"{len(violations)} violation(s) found", file=sys.stderr)
         return 1

@@ -14,10 +14,12 @@ from collections.abc import Callable, Iterator
 from dataclasses import dataclass
 from pathlib import Path
 
+from tools.repro_lint.concurrency import CONCURRENCY_RULE_SPECS
 from tools.repro_lint.model import ModuleContext, Violation
 
 __all__ = [
     "ALL_RULES",
+    "CONCURRENCY_RULES",
     "DISTANCE_LEXICON",
     "LAYER_ALLOWED_IMPORTS",
     "Rule",
@@ -394,3 +396,13 @@ ALL_RULES: tuple[Rule, ...] = (
         _check_annotations,
     ),
 )
+
+# The concurrency-discipline family (REP200–REP206) lives in its own
+# module; it exports plain (code, summary, checker) triples so that it
+# never needs to import Rule back from here.
+CONCURRENCY_RULES: tuple[Rule, ...] = tuple(
+    Rule(code, summary, checker)
+    for code, summary, checker in CONCURRENCY_RULE_SPECS
+)
+
+ALL_RULES = ALL_RULES + CONCURRENCY_RULES
