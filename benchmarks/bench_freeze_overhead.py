@@ -1,0 +1,100 @@
+"""verify_frozen overhead: the disabled fast path versus a bare loop.
+
+Every snapshot publication, checkpoint, and index boundary now calls
+:func:`repro.util.freeze.verify_frozen` on the structure it is about to
+share (see ``docs/immutability.md``); the deal was the same as for the
+lock sanitizer — *zero behavioural change and negligible cost when
+``REPRO_FREEZE_CHECKS`` is unset*.  This benchmark keeps that honest
+with three measurements of the same boundary call on a real partitioned
+sequence:
+
+* a bare pass loop — the floor,
+* ``verify_frozen`` with checks disabled — the production configuration,
+* ``verify_frozen`` inside :func:`checking_freeze` — the sanitizer's
+  full object-graph walk.
+
+The disabled path is one function call and one module-flag read, the
+same shape as ``TracedLock``'s disabled acquire (~190 ns/op, see
+``results/sync_overhead.txt``); the budget below allows twice that.
+An engine write publishes one snapshot, so even the checks-on walk is
+paid once per write, never per comparison.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import publish
+from repro.core.partitioning import PartitionedSequence, partition_sequence
+from repro.core.sequence import MultidimensionalSequence
+from repro.util.freeze import checking_freeze, reset_freeze_state, verify_frozen
+
+OPS = 50_000
+
+# The disabled boundary check may cost this much per call over a bare
+# loop iteration before we call the claim broken: twice the disabled
+# TracedLock acquire (~190 ns/op), and ~4 decimal orders of magnitude
+# below one served search.
+MAX_DISABLED_OVERHEAD_S = 4e-7
+
+
+def _spin_floor(ops: int) -> float:
+    started = time.perf_counter()
+    for _ in range(ops):
+        pass
+    return time.perf_counter() - started
+
+
+def _spin_verify(partition: PartitionedSequence, ops: int) -> float:
+    started = time.perf_counter()
+    for _ in range(ops):
+        verify_frozen(partition, role="bench", site="bench_freeze_overhead")
+    return time.perf_counter() - started
+
+
+def test_freeze_overhead(benchmark) -> None:
+    rng = np.random.default_rng(7)
+    sequence = MultidimensionalSequence(rng.random((64, 3)))
+    partition = partition_sequence(sequence)
+    reset_freeze_state()
+
+    # Warm both paths (bytecode caches, allocator) before timing.
+    _spin_floor(1000)
+    _spin_verify(partition, 1000)
+
+    floor_seconds = min(_spin_floor(OPS) for _ in range(3))
+    disabled_seconds = min(_spin_verify(partition, OPS) for _ in range(3))
+    with checking_freeze():
+        # The full graph walk is ~1000x the flag read; keep the round short.
+        enabled_ops = OPS // 50
+        enabled_seconds = min(
+            _spin_verify(partition, enabled_ops) for _ in range(3)
+        )
+    reset_freeze_state()
+
+    benchmark.pedantic(_spin_verify, rounds=1, iterations=1, args=(partition, OPS))
+
+    per_op_floor = floor_seconds / OPS
+    per_op_disabled = disabled_seconds / OPS
+    per_op_enabled = enabled_seconds / enabled_ops
+    overhead = per_op_disabled - per_op_floor
+
+    assert overhead < MAX_DISABLED_OVERHEAD_S, (
+        f"disabled verify_frozen costs {overhead * 1e9:.0f} ns/op over a "
+        f"bare loop (budget {MAX_DISABLED_OVERHEAD_S * 1e9:.0f} ns)"
+    )
+
+    lines = [
+        f"{OPS} verify_frozen calls on a 64-point partition, best of 3",
+        f"bare loop iteration       : {per_op_floor * 1e9:8.1f} ns/op",
+        f"verify_frozen (checks off): {per_op_disabled * 1e9:8.1f} ns/op"
+        f"  (+{overhead * 1e9:.1f} ns/op)",
+        f"verify_frozen (checks on) : {per_op_enabled * 1e9:8.1f} ns/op",
+        "the disabled path is one module-flag read per publish boundary",
+        "(an engine write publishes one snapshot), so the production cost",
+        "is within noise; the checks-on graph walk is paid only under",
+        "REPRO_FREEZE_CHECKS=1 (CI's immutability-gate job).",
+    ]
+    publish("freeze_overhead", "\n".join(lines))

@@ -31,6 +31,7 @@ from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 
 from repro.cluster.router import canonical_id
+from repro.util.freeze import deep_freeze, freeze_checks_enabled
 
 __all__ = ["MergedSearch", "merge_knn", "merge_search_payloads"]
 
@@ -66,6 +67,15 @@ def merge_search_payloads(
         Sort key reproducing the single-node corpus order; applied to the
         merged ``answers`` and ``candidates`` lists.
     """
+    if freeze_checks_enabled():
+        # The per-shard payloads are shared with the read-repair and
+        # degradation paths; the merge must never mutate them.  Under
+        # checks, freeze the inputs so any such write raises here.
+        shard_payloads = deep_freeze(
+            dict(shard_payloads),
+            role="cluster.merge",
+            site="merge_search_payloads",
+        )
     answers: list = []
     candidates: list = []
     intervals: dict = {}
@@ -128,6 +138,12 @@ def merge_knn(
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
+    if freeze_checks_enabled():
+        shard_neighbors = deep_freeze(
+            [list(neighbors) for neighbors in shard_neighbors],
+            role="cluster.merge",
+            site="merge_knn",
+        )
     merged = heapq.merge(
         *(
             sorted(

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.core.mbr import MBR
 from repro.core.sequence import MultidimensionalSequence
+from repro.util.freeze import freeze
 
 if TYPE_CHECKING:
     import numpy.typing as npt
@@ -156,10 +157,15 @@ class PartitionedSequence:
             )
         self._sequence = sequence
         self._segments = list(segments)
-        self._counts = np.array([s.count for s in segments], dtype=np.int64)
+        # The matrices are shared by reference across engine snapshots and
+        # cache entries, so they are frozen at construction: an in-place
+        # write here would corrupt Dmbr for every concurrent reader.
+        self._counts = freeze(
+            np.array([s.count for s in segments], dtype=np.int64)
+        )
         self._cost_constant = cost_constant
-        self._low_matrix = np.vstack([s.mbr.low for s in segments])
-        self._high_matrix = np.vstack([s.mbr.high for s in segments])
+        self._low_matrix = freeze(np.vstack([s.mbr.low for s in segments]))
+        self._high_matrix = freeze(np.vstack([s.mbr.high for s in segments]))
 
     @property
     def sequence(self) -> MultidimensionalSequence:
@@ -173,7 +179,7 @@ class PartitionedSequence:
 
     @property
     def counts(self) -> np.ndarray:
-        """Point count per segment, in order (read-only view)."""
+        """Point count per segment, in order (frozen; writes raise)."""
         return self._counts
 
     @property

@@ -22,6 +22,7 @@ import numpy as np
 from repro.core.mbr import MBR
 from repro.index.node import LeafEntry, Node
 from repro.index.rtree import RTree
+from repro.util.freeze import freeze_checks_enabled, verify_frozen
 
 __all__ = ["RStarTree"]
 
@@ -82,6 +83,16 @@ class RStarTree(RTree):
             self._levels_reinserted.add(node.level)
             removed = self._shed_for_reinsert(node)
             if removed:
+                if freeze_checks_enabled():
+                    # Shed children hop levels through the pending queue
+                    # while readers can still reach their rectangles; a
+                    # writable MBR here would let the reinsert scribble
+                    # over a rectangle a concurrent search is pruning on.
+                    verify_frozen(
+                        removed,
+                        role="index.reinsert",
+                        site="RStarTree._handle_overflow",
+                    )
                 self.stats.reinserts += len(removed)
                 self._pending.extend((child, node.level) for child in removed)
                 return None

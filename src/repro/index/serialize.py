@@ -34,6 +34,7 @@ from repro.core.mbr import MBR
 from repro.index.node import LeafEntry, Node
 from repro.index.rstar import RStarTree
 from repro.index.rtree import RTree
+from repro.util.freeze import freeze, freeze_checks_enabled, verify_frozen
 
 if TYPE_CHECKING:
     import os
@@ -190,8 +191,11 @@ def load_tree(path: TreeSink) -> RTree:
         child_start = archive["child_start"]
         child_count = archive["child_count"]
         first_child = archive["first_child"]
-        lows = archive["entry_lows"]
-        highs = archive["entry_highs"]
+        # Frozen so nothing rebuilt below can alias a writable buffer:
+        # MBR copies its inputs, but the flag makes any future by-
+        # reference refactor fail loudly instead of sharing mutable state.
+        lows = freeze(archive["entry_lows"])
+        highs = freeze(archive["entry_highs"])
         payloads = _restricted_loads(bytes(archive["payloads"]))
 
         nodes = [
@@ -219,6 +223,8 @@ def load_tree(path: TreeSink) -> RTree:
 
         tree.root = nodes[0] if nodes else Node(is_leaf=True, level=0)
         tree._size = int(archive["size"])
+        if freeze_checks_enabled():
+            verify_frozen(tree, role="index.load", site="load_tree")
         return tree
 
 

@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.core.search import SimilaritySearch
 from repro.core.solution_interval import IntervalSet
+from repro.util.freeze import deep_freeze, freeze, freeze_checks_enabled
 from repro.util.sync import TracedLock
 from repro.util.validation import check_threshold
 
@@ -69,6 +70,27 @@ class CacheEntry:
     intervals: dict[object, IntervalSet] = field(default_factory=dict)
     version: int = 0
     dimension: int = 0
+
+
+def _published(entry: CacheEntry, site: str) -> CacheEntry:
+    """The entry object actually shared with concurrent readers.
+
+    Storing transfers ownership of the entry to the cache, so under
+    ``REPRO_FREEZE_CHECKS`` its result sets are frozen *in place* before
+    publication: any later in-place patching of a shared entry (the bug
+    shape :meth:`EpsilonCache.apply_write` exists to avoid) raises
+    :class:`~repro.util.freeze.FrozenWriteViolation` instead of silently
+    corrupting readers still holding the entry.  The disabled path
+    returns the entry untouched.
+    """
+    if not freeze_checks_enabled():
+        return entry
+    entry.candidates = freeze(entry.candidates, role="cache.entry", site=site)
+    entry.answers = freeze(entry.answers, role="cache.entry", site=site)
+    entry.intervals = deep_freeze(
+        dict(entry.intervals), role="cache.entry", site=site
+    )
+    return entry
 
 
 class EpsilonCache:
@@ -153,7 +175,7 @@ class EpsilonCache:
                 self._entries.move_to_end(key)
                 self._store_races += 1
                 return False
-            self._entries[key] = entry
+            self._entries[key] = _published(entry, "EpsilonCache.store")
             self._entries.move_to_end(key)
             self._stores += 1
             while len(self._entries) > self.capacity:
@@ -250,14 +272,17 @@ class EpsilonCache:
                                 intervals[sequence_id] = interval
                     patched += 1
                     self._patches += 1
-                self._entries[key] = CacheEntry(
-                    query_partition=entry.query_partition,
-                    epsilon=entry.epsilon,
-                    find_intervals=entry.find_intervals,
-                    candidates=candidates,
-                    answers=answers,
-                    intervals=intervals,
-                    version=new_version,
-                    dimension=entry.dimension,
+                self._entries[key] = _published(
+                    CacheEntry(
+                        query_partition=entry.query_partition,
+                        epsilon=entry.epsilon,
+                        find_intervals=entry.find_intervals,
+                        candidates=candidates,
+                        answers=answers,
+                        intervals=intervals,
+                        version=new_version,
+                        dimension=entry.dimension,
+                    ),
+                    "EpsilonCache.apply_write",
                 )
         return patched

@@ -85,6 +85,7 @@ from repro.service.wal import (
     WriteAheadLog,
     replay_into,
 )
+from repro.util.freeze import verify_frozen
 from repro.util.sync import TracedLock
 from repro.util.validation import check_threshold
 
@@ -228,8 +229,10 @@ class QueryEngine:
         self.workers = workers
         self.queue_cap = queue_cap
         self.default_timeout = default_timeout
-        self._snapshot = _Snapshot(
-            database, SimilaritySearch(database), recovered_version
+        self._snapshot = verify_frozen(
+            _Snapshot(database, SimilaritySearch(database), recovered_version),
+            role="engine.snapshot",
+            site="QueryEngine.__init__",
         )
         self._write_lock = TracedLock("engine.write")
         self._capacity = workers + queue_cap
@@ -328,6 +331,11 @@ class QueryEngine:
         if self._wal is None or self.durability is None:
             raise RuntimeError("engine has no durability configured")
         snapshot = self._snapshot
+        verify_frozen(
+            snapshot,
+            role="engine.checkpoint",
+            site="QueryEngine._checkpoint_locked",
+        )
         inject("checkpoint.before-save")
         snapshot.database.save(self.durability.snapshot_path)
         inject("checkpoint.before-reset")
@@ -536,7 +544,11 @@ class QueryEngine:
                     written_id, new_search, new_version
                 )
                 self._stats.record_cache_patches(patched)
-            self._snapshot = _Snapshot(clone, new_search, new_version)
+            self._snapshot = verify_frozen(
+                _Snapshot(clone, new_search, new_version),
+                role="engine.snapshot",
+                site="QueryEngine._write",
+            )
             self._stats.record_snapshot_published()
             if (
                 self._wal is not None

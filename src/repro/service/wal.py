@@ -363,6 +363,12 @@ def inspect_wal(path: str | Path) -> WalInspection:
     invalid entry (overrunning length, CRC mismatch, undecodable JSON)
     is included with its ``error`` and ends the scan — exactly the
     boundary :class:`WriteAheadLog` would truncate to on open.
+
+    Strictly read-only: the file is read in one ``read_bytes`` call, no
+    lock is taken and no byte is written — a torn tail is *reported*,
+    never repaired — so ``repro wal-inspect`` is safe against the live
+    log of a running engine and can never block on (or dead-lock with)
+    its writer.  ``test_wal_inspect.py`` pins this contract.
     """
     wal_path = Path(path)
     data = wal_path.read_bytes()

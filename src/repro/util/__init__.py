@@ -1,5 +1,18 @@
-"""Shared utilities: argument validation, RNG plumbing, space-filling curves."""
+"""Shared utilities: validation, RNG plumbing, sync and freeze sanitizers."""
 
+from repro.util.freeze import (
+    FREEZE_ENV_VAR,
+    FrozenDict,
+    FrozenList,
+    FrozenWriteViolation,
+    checking_freeze,
+    deep_freeze,
+    freeze,
+    freeze_checks_enabled,
+    frozen_view,
+    reset_freeze_state,
+    verify_frozen,
+)
 from repro.util.rng import ensure_rng, spawn_rngs
 from repro.util.validation import (
     check_dimension,
@@ -10,11 +23,22 @@ from repro.util.validation import (
 )
 
 __all__ = [
+    "FREEZE_ENV_VAR",
+    "FrozenDict",
+    "FrozenList",
+    "FrozenWriteViolation",
     "check_dimension",
     "check_fraction",
     "check_positive",
     "check_probability",
     "check_threshold",
+    "checking_freeze",
+    "deep_freeze",
     "ensure_rng",
+    "freeze",
+    "freeze_checks_enabled",
+    "frozen_view",
+    "reset_freeze_state",
     "spawn_rngs",
+    "verify_frozen",
 ]

@@ -830,3 +830,408 @@ def test_main_format_json_emits_json_lines(tmp_path, capsys):
 def test_repository_is_lint_clean():
     violations = lint_paths([REPO_ROOT / "src", REPO_ROOT / "tests"])
     assert violations == [], "\n".join(v.render() for v in violations)
+
+
+# ----------------------------------------------------------------------
+# REP300 — in-place writes to snapshot-derived values
+# ----------------------------------------------------------------------
+def test_rep300_seeded_partition_matrix_write_is_caught(tmp_path):
+    # The real-shape regression: before the freeze fix, nothing stopped
+    # an in-place accumulation on the shared partition matrices.
+    path = write_module(
+        tmp_path,
+        "src/repro/core/partitioning.py",
+        '''
+        """Doc."""
+        __all__ = []
+
+
+        class PartitionedSequence:
+            def rescale(self, factor: float) -> None:
+                self._low_matrix *= factor
+                self._counts[0] += 1
+        ''',
+    )
+    violations = [v for v in lint_file(path) if v.rule == "REP300"]
+    assert len(violations) == 2
+
+
+def test_rep300_item_write_through_parameter(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/core/boxes.py",
+        '''
+        """Doc."""
+        from repro.core.mbr import MBR
+
+        __all__ = []
+
+
+        def widen(box: MBR, amount: float) -> None:
+            box.low[0] -= amount
+        ''',
+    )
+    assert "REP300" in codes_in(path)
+
+
+def test_rep300_copies_are_clean(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/core/clean300.py",
+        '''
+        """Doc."""
+        import numpy as np
+
+        from repro.core.mbr import MBR
+
+        __all__ = []
+
+
+        def widen(box: MBR, amount: float) -> np.ndarray:
+            low = np.array(box.low)
+            low[0] -= amount
+            return low
+        ''',
+    )
+    assert "REP300" not in codes_in(path)
+
+
+# ----------------------------------------------------------------------
+# REP301 — mutating methods on tracked values
+# ----------------------------------------------------------------------
+def test_rep301_seeded_cache_patch_shape_is_caught(tmp_path):
+    # The real-shape bug apply_write exists to avoid: patching a shared
+    # entry's sets in place instead of publishing a patched copy.
+    path = write_module(
+        tmp_path,
+        "src/repro/service/cache.py",
+        '''
+        """Doc."""
+        __all__ = []
+
+
+        class EpsilonCache:
+            def apply_write(self, sequence_id: object, entry: object) -> None:
+                entry.candidates.discard(sequence_id)
+                entry.intervals.pop(sequence_id, None)
+        ''',
+    )
+    violations = [v for v in lint_file(path) if v.rule == "REP301"]
+    assert len(violations) == 2
+
+
+def test_rep301_copy_then_mutate_is_clean(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/service/cache.py",
+        '''
+        """Doc."""
+        __all__ = []
+
+
+        class EpsilonCache:
+            def apply_write(self, sequence_id: object, entry: object) -> set:
+                candidates = set(entry.candidates)
+                candidates.discard(sequence_id)
+                return candidates
+        ''',
+    )
+    assert "REP301" not in codes_in(path)
+
+
+# ----------------------------------------------------------------------
+# REP302 — tracked containers returned across public boundaries
+# ----------------------------------------------------------------------
+def test_rep302_public_return_of_registered_container(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/core/partitioning.py",
+        '''
+        """Doc."""
+        __all__ = []
+
+
+        class PartitionedSequence:
+            def segments(self) -> list:
+                return self._segments
+
+            def _segments_internal(self) -> list:
+                return self._segments
+        ''',
+    )
+    violations = [v for v in lint_file(path) if v.rule == "REP302"]
+    assert len(violations) == 1  # the private accessor is exempt
+
+
+def test_rep302_copied_return_is_clean(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/core/partitioning.py",
+        '''
+        """Doc."""
+        __all__ = []
+
+
+        class PartitionedSequence:
+            def segments(self) -> list:
+                return list(self._segments)
+        ''',
+    )
+    assert "REP302" not in codes_in(path)
+
+
+# ----------------------------------------------------------------------
+# REP303 — aliases escaping into self state
+# ----------------------------------------------------------------------
+def test_rep303_asarray_alias_stored_on_self(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/index/cacheing.py",
+        '''
+        """Doc."""
+        import numpy as np
+
+        from repro.core.mbr import MBR
+
+        __all__ = []
+
+
+        class RowCache:
+            def remember(self, box: MBR) -> None:
+                self._last_low = np.asarray(box.low)
+
+            def remember_copy(self, box: MBR) -> None:
+                self._safe_low = np.array(box.low)
+        ''',
+    )
+    violations = [v for v in lint_file(path) if v.rule == "REP303"]
+    assert len(violations) == 1
+    assert "_last_low" in violations[0].message
+
+
+def test_rep303_slice_alias_stored_on_self(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/core/slicer.py",
+        '''
+        """Doc."""
+        from repro.core.sequence import MultidimensionalSequence
+
+        __all__ = []
+
+
+        class Slicer:
+            def keep(self, seq: MultidimensionalSequence) -> None:
+                self._window = seq.points[0:8]
+        ''',
+    )
+    assert "REP303" in codes_in(path)
+
+
+# ----------------------------------------------------------------------
+# REP304 — constructor capture of caller-owned mutables
+# ----------------------------------------------------------------------
+def test_rep304_flags_uncopied_capture_and_accepts_copies(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/core/capture.py",
+        '''
+        """Doc."""
+        import numpy as np
+
+        __all__ = []
+
+
+        class Holder:
+            def __init__(self, points: np.ndarray, ids: list) -> None:
+                self._points = points
+                self._ids = list(ids)
+        ''',
+    )
+    violations = [v for v in lint_file(path) if v.rule == "REP304"]
+    assert len(violations) == 1
+    assert "'points'" in violations[0].message
+
+
+def test_rep304_immutable_parameters_are_clean(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/core/capture_ok.py",
+        '''
+        """Doc."""
+        __all__ = []
+
+
+        class Holder:
+            def __init__(self, name: str, limit: int) -> None:
+                self._name = name
+                self._limit = limit
+        ''',
+    )
+    assert "REP304" not in codes_in(path)
+
+
+# ----------------------------------------------------------------------
+# REP305 — dtype narrowing on distance-critical arrays
+# ----------------------------------------------------------------------
+def test_rep305_flags_float32_cast_on_distances(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/core/narrow.py",
+        '''
+        """Doc."""
+        import numpy as np
+
+        __all__ = []
+
+
+        def compact(distances: np.ndarray) -> np.ndarray:
+            return distances.astype(np.float32)
+        ''',
+    )
+    assert "REP305" in codes_in(path)
+
+
+def test_rep305_allows_narrowing_non_distance_data(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/core/narrow_ok.py",
+        '''
+        """Doc."""
+        import numpy as np
+
+        __all__ = []
+
+
+        def pack(colors: np.ndarray) -> np.ndarray:
+            return colors.astype(np.float32)
+
+
+        def keep_precision(distances: np.ndarray) -> np.ndarray:
+            return distances.astype(np.float64)
+        ''',
+    )
+    assert "REP305" not in codes_in(path)
+
+
+# ----------------------------------------------------------------------
+# REP306 — writeability re-enabled outside repro.util.freeze
+# ----------------------------------------------------------------------
+def test_rep306_flags_setflags_and_flags_writeable(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/index/unfreezer.py",
+        '''
+        """Doc."""
+        import numpy as np
+
+        __all__ = []
+
+
+        def thaw(arr: np.ndarray) -> None:
+            arr.setflags(write=True)
+            arr.flags.writeable = True
+        ''',
+    )
+    violations = [v for v in lint_file(path) if v.rule == "REP306"]
+    assert len(violations) == 2
+
+
+def test_rep306_freeze_module_itself_is_exempt():
+    path = REPO_ROOT / "src" / "repro" / "util" / "freeze.py"
+    assert "REP306" not in codes_in(path)
+
+
+# ----------------------------------------------------------------------
+# REP307 — waivers need reasons; reasoned waivers suppress
+# ----------------------------------------------------------------------
+def test_rep307_bare_waiver_flagged_and_does_not_suppress(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/core/waivers.py",
+        '''
+        """Doc."""
+        import numpy as np
+
+        __all__ = []
+
+
+        def thaw(arr: np.ndarray) -> None:
+            arr.setflags(write=True)  # alias-ok
+        ''',
+    )
+    codes = codes_in(path)
+    assert "REP307" in codes
+    assert "REP306" in codes  # a bare waiver waives nothing
+
+
+def test_reasoned_alias_ok_waiver_suppresses(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/core/waived.py",
+        '''
+        """Doc."""
+        import numpy as np
+
+        __all__ = []
+
+
+        def thaw(arr: np.ndarray) -> None:
+            arr.setflags(write=True)  # alias-ok: scratch buffer owned here
+        ''',
+    )
+    codes = codes_in(path)
+    assert "REP306" not in codes
+    assert "REP307" not in codes
+
+
+def test_rep3xx_does_not_apply_to_test_code(tmp_path):
+    path = write_module(
+        tmp_path,
+        "tests/helper_alias.py",
+        '''
+        import numpy as np
+
+
+        def thaw(arr: np.ndarray) -> None:
+            arr.setflags(write=True)
+        ''',
+    )
+    assert codes_in(path) & {"REP300", "REP306"} == set()
+
+
+# ----------------------------------------------------------------------
+# The rule table carries waiver syntax and matches the documentation
+# ----------------------------------------------------------------------
+def test_list_rules_shows_waiver_column(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "# alias-ok: <reason>" in out
+    assert "# thread-safe: <reason>" in out
+    assert "# repro-lint: disable=REP101" in out
+
+
+def test_every_rule_is_documented():
+    docs = (REPO_ROOT / "docs" / "static_analysis.md").read_text(
+        encoding="utf-8"
+    )
+    for rule in ALL_RULES:
+        assert rule.code in docs, f"{rule.code} missing from static_analysis.md"
+        assert rule.waiver_syntax.split(":")[0] in docs
+
+
+def test_rule_codes_are_unique_and_sorted_by_family():
+    codes = [rule.code for rule in ALL_RULES]
+    assert len(codes) == len(set(codes))
+    aliasing = [c for c in codes if c.startswith("REP3")]
+    assert aliasing == [f"REP30{i}" for i in range(8)]
+
+
+# ----------------------------------------------------------------------
+# Benchmarks and examples pass the gate too (CI parity)
+# ----------------------------------------------------------------------
+def test_benchmarks_and_examples_are_lint_clean():
+    violations = lint_paths(
+        [REPO_ROOT / "benchmarks", REPO_ROOT / "examples"]
+    )
+    assert violations == [], "\n".join(v.render() for v in violations)

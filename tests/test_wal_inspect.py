@@ -1,5 +1,7 @@
 """Read-only WAL inspection (`inspect_wal`) and the `wal-inspect` CLI."""
 
+import threading
+
 import pytest
 
 from repro.cli import main
@@ -78,6 +80,47 @@ class TestInspectWal:
         assert inspection.magic_ok
         assert inspection.clean
         assert inspection.records == ()
+
+
+class TestReadOnlyContract:
+    """Pins the contract in the ``inspect_wal`` docstring: strictly
+    read-only — no lock taken, no byte written — so ``wal-inspect`` is
+    safe against the live log of a running engine."""
+
+    def test_inspect_completes_while_writer_lock_is_held(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path, fsync=False)
+        try:
+            wal.append(WalRecord("insert", "a", points=[[0.1, 0.2]]))
+            before = path.read_bytes()
+            results = []
+            # Hold the log's own lock (as a mid-append writer would) and
+            # require inspection to finish anyway: it must not block on it.
+            with wal._lock:
+                worker = threading.Thread(
+                    target=lambda: results.append(inspect_wal(path)),
+                    daemon=True,
+                )
+                worker.start()
+                worker.join(timeout=5.0)
+                assert not results or results[0] is not None
+                assert not worker.is_alive(), (
+                    "inspect_wal blocked on the writer lock"
+                )
+            inspection = results[0]
+            assert inspection.clean
+            assert [r.op for r in inspection.records] == ["insert"]
+            assert path.read_bytes() == before
+        finally:
+            wal.close()
+
+    def test_torn_tail_is_reported_never_repaired(self, wal_path):
+        data = wal_path.read_bytes()
+        wal_path.write_bytes(data[:-5])
+        truncated = wal_path.read_bytes()
+        inspection = inspect_wal(wal_path)
+        assert inspection.torn
+        assert wal_path.read_bytes() == truncated
 
 
 class TestWalInspectCli:

@@ -28,16 +28,10 @@ from __future__ import annotations
 
 import ast
 import re
-from collections.abc import Callable, Iterator
+from collections.abc import Iterator
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
 
-from tools.repro_lint.model import ModuleContext, Violation
-
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard (rules wraps us)
-    from tools.repro_lint.rules import Rule
-
-Checker = Callable[["Rule", ModuleContext], Iterator[Violation]]
+from tools.repro_lint.model import Checker, ModuleContext, Rule, Violation
 
 __all__ = [
     "BLOCKING_CALLS",

@@ -142,8 +142,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
     if args.list_rules:
+        width = max(len(rule.summary) for rule in ALL_RULES)
         for rule in ALL_RULES:
-            print(f"{rule.code}  {rule.summary}")
+            print(
+                f"{rule.code}  {rule.summary:<{width}}  "
+                f"waiver: {rule.waiver_syntax}"
+            )
         return 0
     missing = [p for p in args.paths if not Path(p).exists()]
     if missing:

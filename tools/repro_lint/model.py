@@ -1,15 +1,36 @@
-"""Shared data model for the linter: violations and module context."""
+"""Shared data model for the linter: rules, violations, module context.
+
+Everything the rule families (``rules.py`` REP1xx, ``concurrency.py``
+REP2xx, ``aliasing.py`` REP3xx) share lives here so none of them has to
+import another family: :class:`Rule` (code, summary, checker, waiver
+syntax), :class:`Violation`, :class:`ModuleContext`, and the
+distance-name lexicon several rules key on.
+"""
 
 from __future__ import annotations
 
 import ast
 import re
+from collections.abc import Callable, Iterator
 from dataclasses import dataclass
 from pathlib import Path
 
-__all__ = ["ModuleContext", "Violation"]
+__all__ = [
+    "Checker",
+    "DISTANCE_LEXICON",
+    "ModuleContext",
+    "Rule",
+    "Violation",
+]
 
 _DISABLE_PATTERN = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9,\s]+)")
+
+# Identifier tokens that mark a value as a distance in the paper's
+# Dmbr/Dnorm/D hierarchy; REP104 (float equality) and REP305 (dtype
+# narrowing) both key on these.
+DISTANCE_LEXICON: frozenset[str] = frozenset(
+    {"dist", "distance", "distances", "dmbr", "dnorm", "dmean", "epsilon"}
+)
 
 
 @dataclass(frozen=True)
@@ -63,4 +84,42 @@ class ModuleContext:
             token.strip().upper()
             for token in match.group(1).split(",")
             if token.strip()
+        )
+
+
+Checker = Callable[["Rule", "ModuleContext"], Iterator[Violation]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: a code, a summary, a checker, and its waiver syntax.
+
+    ``waiver`` is the inline comment that suppresses the rule with a
+    mandatory reason (e.g. ``# thread-safe: <reason>`` for REP2xx,
+    ``# alias-ok: <reason>`` for REP3xx); rules without a dedicated
+    waiver fall back to the generic per-line disable comment.
+    """
+
+    code: str
+    summary: str
+    checker: Checker
+    waiver: str = ""
+
+    @property
+    def waiver_syntax(self) -> str:
+        """The inline comment that suppresses this rule on one line."""
+        return self.waiver or f"# repro-lint: disable={self.code}"
+
+    def check(self, context: ModuleContext) -> Iterator[Violation]:
+        return self.checker(self, context)
+
+    def violation(
+        self, context: ModuleContext, node: ast.AST, message: str
+    ) -> Violation:
+        return Violation(
+            rule=self.code,
+            message=message,
+            path=context.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
         )

@@ -10,14 +10,19 @@ reach across layers, and so on).
 from __future__ import annotations
 
 import ast
-from collections.abc import Callable, Iterator
-from dataclasses import dataclass
-from pathlib import Path
+from collections.abc import Iterator
 
+from tools.repro_lint.aliasing import ALIASING_RULE_SPECS
 from tools.repro_lint.concurrency import CONCURRENCY_RULE_SPECS
-from tools.repro_lint.model import ModuleContext, Violation
+from tools.repro_lint.model import (
+    DISTANCE_LEXICON,
+    ModuleContext,
+    Rule,
+    Violation,
+)
 
 __all__ = [
+    "ALIASING_RULES",
     "ALL_RULES",
     "CONCURRENCY_RULES",
     "DISTANCE_LEXICON",
@@ -48,11 +53,6 @@ LAYER_ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
     "cluster": frozenset({"cluster", "service", "analysis", "core", "util"}),
 }
 
-# Identifier tokens that mark a value as a distance in the paper's hierarchy.
-DISTANCE_LEXICON: frozenset[str] = frozenset(
-    {"dist", "distance", "distances", "dmbr", "dnorm", "dmean", "epsilon"}
-)
-
 # The util.validation helpers REP106 accepts as argument validation.
 VALIDATION_HELPERS: frozenset[str] = frozenset(
     {
@@ -65,29 +65,6 @@ VALIDATION_HELPERS: frozenset[str] = frozenset(
 )
 
 _MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set", "bytearray"})
-
-
-@dataclass(frozen=True)
-class Rule:
-    """One lint rule: a code, a summary, and a checker."""
-
-    code: str
-    summary: str
-    checker: Callable[["Rule", ModuleContext], Iterator[Violation]]
-
-    def check(self, context: ModuleContext) -> Iterator[Violation]:
-        return self.checker(self, context)
-
-    def violation(
-        self, context: ModuleContext, node: ast.AST, message: str
-    ) -> Violation:
-        return Violation(
-            rule=self.code,
-            message=message,
-            path=context.path,
-            line=getattr(node, "lineno", 1),
-            col=getattr(node, "col_offset", 0),
-        )
 
 
 def _iter_function_defs(
@@ -397,12 +374,18 @@ ALL_RULES: tuple[Rule, ...] = (
     ),
 )
 
-# The concurrency-discipline family (REP200–REP206) lives in its own
-# module; it exports plain (code, summary, checker) triples so that it
-# never needs to import Rule back from here.
+# The concurrency-discipline (REP200–REP206) and snapshot-immutability
+# (REP300–REP307) families live in their own modules; each exports plain
+# (code, summary, checker) triples and is wrapped here with its family's
+# waiver syntax.
 CONCURRENCY_RULES: tuple[Rule, ...] = tuple(
-    Rule(code, summary, checker)
+    Rule(code, summary, checker, waiver="# thread-safe: <reason>")
     for code, summary, checker in CONCURRENCY_RULE_SPECS
 )
 
-ALL_RULES = ALL_RULES + CONCURRENCY_RULES
+ALIASING_RULES: tuple[Rule, ...] = tuple(
+    Rule(code, summary, checker, waiver="# alias-ok: <reason>")
+    for code, summary, checker in ALIASING_RULE_SPECS
+)
+
+ALL_RULES = ALL_RULES + CONCURRENCY_RULES + ALIASING_RULES
