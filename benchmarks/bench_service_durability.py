@@ -17,7 +17,8 @@ hardware-dependent, so the report, not a threshold, is the product).
 
 import time
 
-from benchmarks.conftest import publish, scale_parameters
+from benchmarks.conftest import publish, publish_trajectory, scale_parameters
+from repro.bench import BenchResult
 from repro.core.database import SequenceDatabase
 from repro.datagen.video import generate_video_corpus
 from repro.service.engine import QueryEngine
@@ -81,3 +82,31 @@ def test_service_durability_cost(benchmark, tmp_path):
         " ms/insert",
     ]
     publish("service_durability", "\n".join(lines))
+    publish_trajectory(
+        "service_durability",
+        [
+            BenchResult(
+                suite="service_durability",
+                scenario="no_durability",
+                metrics={"insert_ms": plain_seconds / n * 1e3},
+                meta={"inserts": n},
+            ),
+            BenchResult(
+                suite="service_durability",
+                scenario="wal_buffered",
+                metrics={"insert_ms": buffered_seconds / n * 1e3},
+                meta={"inserts": n, "fsync": False},
+            ),
+            BenchResult(
+                suite="service_durability",
+                scenario="wal_fsync",
+                metrics={
+                    "insert_ms": fsync_seconds / n * 1e3,
+                    "fsync_premium_ms": max(
+                        0.0, (fsync_seconds - plain_seconds) / n * 1e3
+                    ),
+                },
+                meta={"inserts": n, "fsync": True},
+            ),
+        ],
+    )

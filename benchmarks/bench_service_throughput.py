@@ -19,7 +19,8 @@ repeat-heavy workload (in practice it is far faster).
 
 import time
 
-from benchmarks.conftest import publish, scale_parameters
+from benchmarks.conftest import publish, publish_trajectory, scale_parameters
+from repro.bench import BenchResult
 from repro.core.database import SequenceDatabase
 from repro.core.search import SimilaritySearch
 from repro.datagen.queries import generate_queries
@@ -91,3 +92,26 @@ def test_service_throughput(benchmark):
         f"QueryEngine, cache on     : {n / cached_seconds:8.1f} req/s",
     ]
     publish("service_throughput", "\n".join(lines))
+    publish_trajectory(
+        "service_throughput",
+        [
+            BenchResult(
+                suite="service_throughput",
+                scenario="baseline_search",
+                metrics={"qps": n / baseline_seconds},
+                meta={"requests": n},
+            ),
+            BenchResult(
+                suite="service_throughput",
+                scenario="engine_cache_off",
+                metrics={"qps": n / uncached_seconds},
+                meta={"requests": n},
+            ),
+            BenchResult(
+                suite="service_throughput",
+                scenario="engine_cache_on",
+                metrics={"qps": n / cached_seconds},
+                meta={"requests": n, "cache_size": 256},
+            ),
+        ],
+    )

@@ -24,12 +24,19 @@ figure set on disk.
 
 from __future__ import annotations
 
+import datetime
 import os
 from pathlib import Path
 
 import pytest
 
 from repro.analysis.experiment import ExperimentConfig, ExperimentRunner
+from repro.bench import (
+    BenchResult,
+    detect_git_sha,
+    detect_machine,
+    write_trajectory,
+)
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -135,3 +142,27 @@ def publish(name: str, text: str) -> None:
     banner = f"\n===== {name} (scale={current_scale()}) =====\n{text}\n"
     print(banner)
     (RESULTS_DIR / f"{name}.txt").write_text(banner.lstrip("\n"))
+
+
+def publish_trajectory(suite: str, results: "list[BenchResult]") -> Path:
+    """Write a ``BENCH_<suite>.json`` trajectory under benchmarks/results/.
+
+    The machine-readable companion to :func:`publish`: the same numbers
+    the human-readable table reports, emitted through the canonical
+    ``repro.bench`` trajectory schema so benchmark runs from different
+    commits can be diffed with ``repro bench-diff``.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    timestamp = datetime.datetime.now(datetime.timezone.utc).isoformat(
+        timespec="seconds"
+    )
+    return write_trajectory(
+        RESULTS_DIR,
+        suite,
+        results,
+        machine=detect_machine(),
+        git_sha=detect_git_sha(str(Path(__file__).parent.parent)),
+        timestamp=timestamp,
+        profile=current_scale(),
+        seed=0,
+    )

@@ -68,8 +68,9 @@ from repro.core import (
 )
 from repro.index import RStarTree, RTree, bulk_load_str
 from repro.service import QueryEngine, ServiceClient
+from repro.util.version import REPRO_VERSION
 
-__version__ = "1.0.0"
+__version__ = REPRO_VERSION
 
 __all__ = [
     "IntervalSet",

@@ -29,7 +29,42 @@ from repro.util.validation import check_threshold
 if TYPE_CHECKING:
     from repro.core.sequence import MultidimensionalSequence
 
-__all__ = ["TracingSearch", "read_trace", "search_record"]
+__all__ = [
+    "SERVICE_TRACE_FIELDS",
+    "TRACE_FIELDS",
+    "TracingSearch",
+    "read_trace",
+    "search_record",
+]
+
+#: The canonical per-search trace schema, in record order.  Every record
+#: written by :func:`search_record` (and therefore by
+#: :class:`TracingSearch`) carries exactly these keys.
+TRACE_FIELDS: tuple[str, ...] = (
+    "timestamp",
+    "epsilon",
+    "query_points",
+    "query_segments",
+    "candidates",
+    "answers",
+    "interval_points",
+    "node_accesses",
+    "dnorm_evaluations",
+    "phase1_ms",
+    "phase2_ms",
+    "phase3_ms",
+    "total_ms",
+)
+
+#: The serving layer's per-request record: the canonical schema plus the
+#: engine-only context (operation kind, cache outcome, snapshot served).
+#: ``tests/test_tracing.py`` asserts both layers actually write these
+#: keys, so the schemas cannot silently drift apart.
+SERVICE_TRACE_FIELDS: tuple[str, ...] = TRACE_FIELDS + (
+    "op",
+    "cache",
+    "snapshot_version",
+)
 
 
 def search_record(result: SearchResult, *, timestamp: float) -> dict:
@@ -38,7 +73,7 @@ def search_record(result: SearchResult, *, timestamp: float) -> dict:
     The schema shared by :class:`TracingSearch` and the serving layer
     (:mod:`repro.service`), so traces from library calls and from the
     query engine can be analysed with the same tooling
-    (:func:`read_trace`).
+    (:func:`read_trace`).  The key set is exactly :data:`TRACE_FIELDS`.
     """
     stats = result.stats
     return {

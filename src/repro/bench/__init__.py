@@ -1,0 +1,91 @@
+"""The benchmark subsystem: canonical scenarios, load generation, SLOs.
+
+The perf trajectory of this repository lives in ``BENCH_<suite>.json``
+files at the repo root, written by ``repro bench`` through this package.
+See ``docs/benchmarks.md`` for the schema, the scenario registry, and
+how a perf PR lands its before/after numbers.
+"""
+
+from __future__ import annotations
+
+from repro.bench.registry import (
+    BenchProfile,
+    Scenario,
+    iter_scenarios,
+    register_scenario,
+    scenario_names,
+    suite_names,
+)
+from repro.bench.result import BenchResult
+from repro.bench.runner import BenchRunConfig, BenchRunOutcome, run_bench
+from repro.bench.slo import (
+    DEFAULT_SLO_RULES,
+    SloRule,
+    SloViolation,
+    assert_slos,
+    check_slos,
+    parse_slo,
+)
+from repro.bench.trajectory import (
+    SCHEMA_VERSION,
+    Regression,
+    detect_git_sha,
+    detect_machine,
+    diff_trajectories,
+    load_trajectory,
+    metric_direction,
+    trajectory_filename,
+    validate_trajectory,
+    write_trajectory,
+)
+from repro.bench.workload import (
+    Operation,
+    OperationMix,
+    WorkloadReport,
+    WorkloadSpec,
+    WorkloadTarget,
+    generate_operations,
+    nearest_rank_quantile,
+    run_closed_loop,
+    run_open_loop,
+    zipf_weights,
+)
+
+__all__ = [
+    "DEFAULT_SLO_RULES",
+    "SCHEMA_VERSION",
+    "BenchProfile",
+    "BenchResult",
+    "BenchRunConfig",
+    "BenchRunOutcome",
+    "Operation",
+    "OperationMix",
+    "Regression",
+    "Scenario",
+    "SloRule",
+    "SloViolation",
+    "WorkloadReport",
+    "WorkloadSpec",
+    "WorkloadTarget",
+    "assert_slos",
+    "check_slos",
+    "detect_git_sha",
+    "detect_machine",
+    "diff_trajectories",
+    "generate_operations",
+    "iter_scenarios",
+    "load_trajectory",
+    "metric_direction",
+    "nearest_rank_quantile",
+    "parse_slo",
+    "register_scenario",
+    "run_bench",
+    "run_closed_loop",
+    "run_open_loop",
+    "scenario_names",
+    "suite_names",
+    "trajectory_filename",
+    "validate_trajectory",
+    "write_trajectory",
+    "zipf_weights",
+]

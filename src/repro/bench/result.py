@@ -1,0 +1,99 @@
+"""The typed record every benchmark scenario produces.
+
+A benchmark number that cannot be compared across runs is a print
+statement, not a measurement.  :class:`BenchResult` is the one shape all
+measurement flows through: the canonical scenarios (:mod:`repro.bench.
+scenarios`), the legacy ``benchmarks/bench_*.py`` modules, and any future
+perf PR all emit these records, and the trajectory writer
+(:mod:`repro.bench.trajectory`) serialises them into the schema-versioned
+``BENCH_<suite>.json`` files the SLO gate and the regression differ read.
+
+``metrics`` carries only finite numbers — a NaN throughput would silently
+poison every downstream comparison, so it is rejected at construction —
+while ``meta`` carries free-form context (corpus size, workload shape,
+serving state such as the snapshot version the run was stamped against).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["BenchResult"]
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One scenario's measurement: identity, metrics, and context.
+
+    Parameters
+    ----------
+    suite:
+        The trajectory file this joins (``BENCH_<suite>.json``), e.g.
+        ``"engine"``, ``"service"``, ``"cluster"``.
+    scenario:
+        The scenario name, unique within its suite.
+    metrics:
+        Finite numbers only — throughputs, quantile latencies, ratios.
+        Keys follow the direction conventions of
+        :func:`repro.bench.trajectory.metric_direction` (``*_ms`` is
+        lower-is-better, ``*qps``/``*_ratio`` higher-is-better).
+    meta:
+        JSON-serialisable context that is *not* compared across runs:
+        corpus size, workload shape, snapshot version, uptime.
+    """
+
+    suite: str
+    scenario: str
+    metrics: dict[str, float]
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.suite or not self.suite.replace("_", "").isalnum():
+            raise ValueError(
+                f"suite must be a non-empty [a-z0-9_] token, got {self.suite!r}"
+            )
+        if not self.scenario:
+            raise ValueError("scenario must be a non-empty string")
+        if not self.metrics:
+            raise ValueError(
+                f"{self.suite}/{self.scenario}: metrics must not be empty"
+            )
+        cleaned: dict[str, float] = {}
+        for name, value in self.metrics.items():
+            if not isinstance(name, str) or not name:
+                raise ValueError(f"metric names must be strings, got {name!r}")
+            number = float(value)
+            if not math.isfinite(number):
+                raise ValueError(
+                    f"{self.suite}/{self.scenario}: metric {name!r} is "
+                    f"non-finite ({value!r})"
+                )
+            cleaned[name] = number
+        # Normalise every value to float so payloads round-trip via JSON.
+        object.__setattr__(self, "metrics", cleaned)
+
+    def to_payload(self) -> dict[str, Any]:
+        """The JSON shape stored under ``scenarios.<name>`` in a trajectory."""
+        return {"metrics": dict(self.metrics), "meta": dict(self.meta)}
+
+    @classmethod
+    def from_payload(
+        cls, suite: str, scenario: str, payload: Mapping[str, Any]
+    ) -> "BenchResult":
+        """Rebuild a result from a trajectory file's scenario block."""
+        metrics = payload.get("metrics")
+        if not isinstance(metrics, Mapping):
+            raise ValueError(
+                f"{suite}/{scenario}: scenario block has no metrics mapping"
+            )
+        meta = payload.get("meta", {})
+        if not isinstance(meta, Mapping):
+            raise ValueError(f"{suite}/{scenario}: meta must be a mapping")
+        return cls(
+            suite=suite,
+            scenario=scenario,
+            metrics={str(k): float(v) for k, v in metrics.items()},
+            meta=dict(meta),
+        )

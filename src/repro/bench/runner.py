@@ -1,0 +1,112 @@
+"""Orchestration: run registered scenarios, write trajectories, gate SLOs.
+
+This is the piece the CLI (``repro bench``) and CI (``bench-gate``)
+call.  It owns no policy of its own: scenarios come from the registry,
+sizes from the profile, bounds from the SLO rules, and provenance
+(machine / git SHA / timestamp) from the caller — so the whole run is a
+pure function of its :class:`BenchRunConfig`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.bench.registry import BenchProfile, iter_scenarios
+from repro.bench.result import BenchResult
+from repro.bench.slo import DEFAULT_SLO_RULES, SloRule, SloViolation, check_slos
+from repro.bench.trajectory import write_trajectory
+
+__all__ = ["BenchRunConfig", "BenchRunOutcome", "run_bench"]
+
+
+@dataclass(frozen=True)
+class BenchRunConfig:
+    """Everything one ``repro bench`` invocation needs."""
+
+    profile: BenchProfile
+    out_dir: str | Path = "."
+    suites: tuple[str, ...] = ()
+    seed: int = 2000
+    machine: str = "unknown"
+    git_sha: str = "unknown"
+    timestamp: str = "unknown"
+    slo_rules: tuple[SloRule, ...] = DEFAULT_SLO_RULES
+    write_files: bool = True
+
+
+@dataclass(frozen=True)
+class BenchRunOutcome:
+    """What a run produced: results, files written, violations found."""
+
+    results: tuple[BenchResult, ...]
+    written: tuple[Path, ...]
+    violations: tuple[SloViolation, ...]
+
+    def by_suite(self) -> dict[str, list[BenchResult]]:
+        """Results grouped by suite, in execution order."""
+        grouped: dict[str, list[BenchResult]] = {}
+        for result in self.results:
+            grouped.setdefault(result.suite, []).append(result)
+        return grouped
+
+
+def _silent(message: str) -> None:
+    return None
+
+
+def run_bench(
+    config: BenchRunConfig,
+    *,
+    progress: Callable[[str], None] | None = None,
+) -> BenchRunOutcome:
+    """Run the selected scenarios and return the full outcome.
+
+    Scenarios execute in registration order; after they complete, each
+    measured suite's results are written to ``BENCH_<suite>.json`` in
+    ``config.out_dir``.  SLO evaluation runs over everything that was
+    measured; violations are *returned*, not raised — exiting non-zero
+    is the caller's decision.
+    """
+    report = progress if progress is not None else _silent
+    selected = list(iter_scenarios())
+    if config.suites:
+        selected = [s for s in selected if s.suite in config.suites]
+        known = {s.suite for s in iter_scenarios()}
+        unknown = [s for s in config.suites if s not in known]
+        if unknown:
+            raise ValueError(
+                f"unknown suite(s): {', '.join(unknown)}; "
+                f"available: {', '.join(sorted(known))}"
+            )
+    if not selected:
+        raise ValueError("no scenarios selected")
+    results: list[BenchResult] = []
+    for scenario in selected:
+        report(f"running {scenario.suite}/{scenario.name} ...")
+        results.append(scenario.run(config.profile, config.seed))
+    written: list[Path] = []
+    if config.write_files:
+        outcome_by_suite: dict[str, list[BenchResult]] = {}
+        for result in results:
+            outcome_by_suite.setdefault(result.suite, []).append(result)
+        for suite, suite_results in outcome_by_suite.items():
+            path = write_trajectory(
+                config.out_dir,
+                suite,
+                suite_results,
+                machine=config.machine,
+                git_sha=config.git_sha,
+                timestamp=config.timestamp,
+                profile=config.profile.name,
+                seed=config.seed,
+            )
+            written.append(path)
+            report(f"wrote {path}")
+    violations = check_slos(results, config.slo_rules)
+    return BenchRunOutcome(
+        results=tuple(results),
+        written=tuple(written),
+        violations=tuple(violations),
+    )

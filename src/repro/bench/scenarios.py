@@ -1,0 +1,339 @@
+"""The canonical benchmark scenarios.
+
+Importing this module populates the registry in
+:mod:`repro.bench.registry`.  Five scenarios cover the stack bottom-up,
+one per architectural capability the ROADMAP's perf items will move:
+
+========  ==================  ========================================
+suite     scenario            what it measures
+========  ==================  ========================================
+engine    single_query        raw three-phase search latency/QPS
+service   end_to_end          QueryEngine under a mixed closed loop
+service   cache_hit_ratio     ε-aware cache hits under Zipf-skewed reads
+service   wal_recovery        cold-start replay time of a dirty WAL
+cluster   scatter_gather      fan-out latency, healthy and one-dead
+========  ==================  ========================================
+
+Every scenario is a pure function of ``(profile, seed)``: corpora,
+queries, and operation streams all derive from the seed through
+``repro.util.rng``, so a trajectory point is reproducible from its
+recorded inputs.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.bench.registry import BenchProfile, register_scenario
+from repro.bench.result import BenchResult
+from repro.bench.workload import (
+    OperationMix,
+    WorkloadSpec,
+    generate_operations,
+    nearest_rank_quantile,
+    run_closed_loop,
+)
+from repro.cluster.backends import LocalBackend
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.core.database import SequenceDatabase
+from repro.core.search import SimilaritySearch
+from repro.core.sequence import MultidimensionalSequence
+from repro.datagen.queries import generate_queries
+from repro.datagen.video import generate_video_corpus
+from repro.service.engine import QueryEngine
+from repro.service.wal import DurabilityConfig
+from repro.util.faults import FaultRule, fault_plan
+
+__all__: list[str] = []
+
+#: Video streams are 3-dimensional (the paper's running example).
+_DIMENSION = 3
+
+
+def _build_corpus(
+    profile: BenchProfile, seed: int
+) -> list[MultidimensionalSequence]:
+    return list(
+        generate_video_corpus(
+            profile.corpus_sequences,
+            length_range=profile.sequence_length,
+            seed=seed,
+        )
+    )
+
+
+def _build_database(
+    corpus: list[MultidimensionalSequence],
+) -> SequenceDatabase:
+    database = SequenceDatabase(dimension=_DIMENSION)
+    for stream in corpus:
+        database.add(stream)
+    return database
+
+
+def _build_queries(
+    corpus: list[MultidimensionalSequence], profile: BenchProfile, seed: int
+) -> list[npt.NDArray[np.float64]]:
+    workload = generate_queries(
+        corpus,
+        profile.query_count,
+        length_range=profile.query_length,
+        seed=seed + 1,
+    )
+    return [np.asarray(query.points, dtype=np.float64) for query in workload]
+
+
+@register_scenario(
+    "engine",
+    "single_query",
+    "single-threaded three-phase search latency and QPS",
+)
+def _engine_single_query(profile: BenchProfile, seed: int) -> BenchResult:
+    corpus = _build_corpus(profile, seed)
+    database = _build_database(corpus)
+    queries = _build_queries(corpus, profile, seed)
+    searcher = SimilaritySearch(database)
+    latencies_ms: list[float] = []
+    answers = 0
+    started = time.perf_counter()
+    for index, query in enumerate(queries):
+        threshold = profile.epsilons[index % len(profile.epsilons)]
+        t0 = time.perf_counter()
+        result = searcher.search(query, threshold, find_intervals=False)
+        latencies_ms.append((time.perf_counter() - t0) * 1000.0)
+        answers += len(result.answers)
+    elapsed = time.perf_counter() - started
+    return BenchResult(
+        suite="engine",
+        scenario="single_query",
+        metrics={
+            "qps": len(queries) / elapsed if elapsed > 0 else 0.0,
+            "p50_ms": nearest_rank_quantile(latencies_ms, 0.50),
+            "p95_ms": nearest_rank_quantile(latencies_ms, 0.95),
+            "p99_ms": nearest_rank_quantile(latencies_ms, 0.99),
+        },
+        meta={
+            "corpus_sequences": profile.corpus_sequences,
+            "queries": len(queries),
+            "epsilons": list(profile.epsilons),
+            "answers": answers,
+        },
+    )
+
+
+@register_scenario(
+    "service",
+    "end_to_end",
+    "QueryEngine QPS and latency quantiles under a mixed closed loop",
+)
+def _service_end_to_end(profile: BenchProfile, seed: int) -> BenchResult:
+    corpus = _build_corpus(profile, seed)
+    queries = _build_queries(corpus, profile, seed)
+    existing = [str(stream.sequence_id) for stream in corpus]
+    spec = WorkloadSpec(
+        operations=profile.operations,
+        query_pool=len(queries),
+        dimension=_DIMENSION,
+        mix=OperationMix(search=0.8, insert=0.1, append=0.1),
+        epsilons=profile.epsilons,
+    )
+    operations = generate_operations(spec, seed=seed + 2, existing_ids=existing)
+    with QueryEngine(
+        _build_database(corpus),
+        workers=profile.engine_workers,
+        cache_size=256,
+    ) as engine:
+        report = run_closed_loop(
+            engine,
+            operations,
+            queries=queries,
+            dimension=_DIMENSION,
+            concurrency=profile.concurrency,
+            seed=seed + 3,
+        )
+        stats = engine.stats()
+    metrics = report.metrics()
+    return BenchResult(
+        suite="service",
+        scenario="end_to_end",
+        metrics=metrics,
+        meta={
+            "operations": report.total,
+            "completed": report.completed,
+            "errors": report.errors,
+            "mix": spec.mix.as_dict(),
+            "concurrency": profile.concurrency,
+            "workers": profile.engine_workers,
+            "snapshot_version": stats.get("snapshot_version"),
+        },
+    )
+
+
+@register_scenario(
+    "service",
+    "cache_hit_ratio",
+    "ε-aware cache effectiveness under a Zipf-skewed read-only stream",
+)
+def _service_cache_hit_ratio(profile: BenchProfile, seed: int) -> BenchResult:
+    corpus = _build_corpus(profile, seed)
+    queries = _build_queries(corpus, profile, seed)
+    spec = WorkloadSpec(
+        operations=profile.operations,
+        query_pool=len(queries),
+        dimension=_DIMENSION,
+        mix=OperationMix(search=1.0),
+        epsilons=profile.epsilons,
+        zipf_s=1.5,
+    )
+    operations = generate_operations(spec, seed=seed + 2)
+    with QueryEngine(
+        _build_database(corpus),
+        workers=profile.engine_workers,
+        cache_size=256,
+    ) as engine:
+        report = run_closed_loop(
+            engine,
+            operations,
+            queries=queries,
+            dimension=_DIMENSION,
+            concurrency=profile.concurrency,
+            seed=seed + 3,
+        )
+        cache = dict(engine.stats()["cache"])
+    hits = float(cache.get("hits", 0) or 0)
+    refines = float(cache.get("refines", 0) or 0)
+    misses = float(cache.get("misses", 0) or 0)
+    lookups = hits + refines + misses
+    return BenchResult(
+        suite="service",
+        scenario="cache_hit_ratio",
+        metrics={
+            "hit_ratio": (hits + refines) / lookups if lookups else 0.0,
+            "hits": hits,
+            "refines": refines,
+            "misses": misses,
+            "qps": report.metrics()["qps"],
+        },
+        meta={
+            "zipf_s": spec.zipf_s,
+            "operations": report.total,
+            "errors": report.errors,
+        },
+    )
+
+
+@register_scenario(
+    "service",
+    "wal_recovery",
+    "cold-start recovery time from a dirty WAL (no closing checkpoint)",
+)
+def _service_wal_recovery(profile: BenchProfile, seed: int) -> BenchResult:
+    rng = np.random.default_rng(seed)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-wal-") as directory:
+        config = DurabilityConfig(
+            directory, fsync=False, checkpoint_on_close=False
+        )
+        with QueryEngine(
+            SequenceDatabase(dimension=_DIMENSION),
+            workers=1,
+            durability=config,
+        ) as engine:
+            for index in range(profile.wal_inserts):
+                engine.insert(
+                    rng.random((32, _DIMENSION)),
+                    sequence_id=f"wal-{index}",
+                )
+            wal_records = int(engine.wal_records)
+        started = time.perf_counter()
+        with QueryEngine(None, workers=1, durability=config) as recovered:
+            recovery_ms = (time.perf_counter() - started) * 1000.0
+            recovered_sequences = len(recovered.sequence_ids())
+    return BenchResult(
+        suite="service",
+        scenario="wal_recovery",
+        metrics={
+            "recovery_ms": recovery_ms,
+            "wal_records": float(wal_records),
+            "recovered_sequences": float(recovered_sequences),
+        },
+        meta={"inserts": profile.wal_inserts, "fsync": False},
+    )
+
+
+@register_scenario(
+    "cluster",
+    "scatter_gather",
+    "coordinator fan-out latency, healthy and with one backend killed",
+)
+def _cluster_scatter_gather(profile: BenchProfile, seed: int) -> BenchResult:
+    corpus = _build_corpus(profile, seed)
+    queries = _build_queries(corpus, profile, seed)
+    engines = [
+        QueryEngine(SequenceDatabase(dimension=_DIMENSION), workers=2)
+        for _ in range(profile.cluster_backends)
+    ]
+    backends = [
+        LocalBackend(engine, name=f"bench-{index}")
+        for index, engine in enumerate(engines)
+    ]
+    try:
+        with ClusterCoordinator(
+            list(backends),
+            replication=profile.cluster_replication,
+            hedge=None,
+            probe_interval=3600.0,
+        ) as coordinator:
+            for stream in corpus:
+                coordinator.insert(
+                    stream.points, sequence_id=str(stream.sequence_id)
+                )
+
+            def sweep(count: int) -> tuple[list[float], int]:
+                latencies: list[float] = []
+                complete = 0
+                for index in range(count):
+                    query = queries[index % len(queries)]
+                    threshold = profile.epsilons[index % len(profile.epsilons)]
+                    t0 = time.perf_counter()
+                    result = coordinator.search(
+                        query, threshold, find_intervals=False
+                    )
+                    latencies.append((time.perf_counter() - t0) * 1000.0)
+                    if result.complete:
+                        complete += 1
+                return latencies, complete
+
+            healthy_ms, _ = sweep(profile.cluster_queries)
+            kill_backend_zero = FaultRule(
+                "cluster.backend.0.request", action="raise", times=None
+            )
+            with fault_plan(kill_backend_zero):
+                killed_ms, killed_complete = sweep(profile.cluster_queries)
+            stats = coordinator.stats()
+    finally:
+        for engine in engines:
+            engine.close()
+    return BenchResult(
+        suite="cluster",
+        scenario="scatter_gather",
+        metrics={
+            "p50_ms": nearest_rank_quantile(healthy_ms, 0.50),
+            "p95_ms": nearest_rank_quantile(healthy_ms, 0.95),
+            "killed_p50_ms": nearest_rank_quantile(killed_ms, 0.50),
+            "killed_p95_ms": nearest_rank_quantile(killed_ms, 0.95),
+            "complete_ratio": (
+                killed_complete / profile.cluster_queries
+            ),
+            "failovers": float(stats.get("failovers", 0)),
+        },
+        meta={
+            "backends": profile.cluster_backends,
+            "replication": profile.cluster_replication,
+            "queries_per_sweep": profile.cluster_queries,
+            "killed_backend": 0,
+        },
+    )

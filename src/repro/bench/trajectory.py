@@ -1,0 +1,317 @@
+"""Reading, writing, validating and diffing ``BENCH_<suite>.json`` files.
+
+A trajectory file is one suite's measurement at one point in the repo's
+history.  The schema is versioned and deliberately small::
+
+    {
+      "schema_version": 1,
+      "suite": "service",
+      "profile": "quick",
+      "machine": "runner-host",
+      "git_sha": "7c40dae...",
+      "timestamp": "2026-08-08T12:00:00+00:00",
+      "seed": 2000,
+      "scenarios": {
+        "end_to_end": {"metrics": {"qps": 41.0, "p99_ms": 88.2},
+                        "meta": {"operations": 120}}
+      }
+    }
+
+``machine``, ``git_sha`` and ``timestamp`` are **passed in by the
+caller, never sampled here** — the writer stays a pure function of its
+arguments, so tests can produce byte-identical files and the resume/
+replay machinery upstream never sees a hidden clock.  The CLI samples
+them once at its entry point (:func:`detect_machine`,
+:func:`detect_git_sha` are the helpers it uses).
+
+:func:`diff_trajectories` compares two files metric-by-metric with a
+relative threshold, classifying each change by the metric's direction
+convention (``*_ms``-style metrics regress upward, ``*qps``-style
+metrics regress downward) so a perf PR can gate on "no metric moved the
+wrong way by more than X%".
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.bench.result import BenchResult
+from repro.util.validation import check_positive
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Regression",
+    "detect_git_sha",
+    "detect_machine",
+    "diff_trajectories",
+    "load_trajectory",
+    "metric_direction",
+    "trajectory_filename",
+    "trajectory_payload",
+    "validate_trajectory",
+    "write_trajectory",
+]
+
+#: Bumped whenever the trajectory JSON shape changes incompatibly.
+SCHEMA_VERSION = 1
+
+_REQUIRED_KEYS = (
+    "schema_version",
+    "suite",
+    "profile",
+    "machine",
+    "git_sha",
+    "timestamp",
+    "seed",
+    "scenarios",
+)
+
+# Metric-name tokens that mark a value as higher-is-better; everything
+# ending in "_ms" or carrying a lower-is-better token regresses upward.
+_HIGHER_BETTER_TOKENS = frozenset(
+    {"qps", "ratio", "hits", "refines", "throughput", "recall", "sequences"}
+)
+_LOWER_BETTER_TOKENS = frozenset(
+    {"latency", "recovery", "errors", "misses", "failovers"}
+)
+
+
+def metric_direction(name: str) -> str:
+    """``"higher"`` or ``"lower"`` — which way the metric improves.
+
+    Unknown names default to ``"higher"`` (the common case for counts);
+    suffix ``_ms`` always means lower-is-better.
+    """
+    tokens = set(name.lower().split("_"))
+    if name.endswith("_ms") or tokens & _LOWER_BETTER_TOKENS:
+        return "lower"
+    if tokens & _HIGHER_BETTER_TOKENS:
+        return "higher"
+    return "higher"
+
+
+def trajectory_filename(suite: str) -> str:
+    """The canonical file name for a suite's trajectory point."""
+    return f"BENCH_{suite}.json"
+
+
+def trajectory_payload(
+    suite: str,
+    results: Sequence[BenchResult],
+    *,
+    machine: str,
+    git_sha: str,
+    timestamp: str,
+    profile: str,
+    seed: int,
+) -> dict[str, Any]:
+    """Assemble (and validate) the JSON payload for one suite."""
+    if not results:
+        raise ValueError(f"suite {suite!r} produced no results to write")
+    scenarios: dict[str, Any] = {}
+    for result in results:
+        if result.suite != suite:
+            raise ValueError(
+                f"result {result.suite}/{result.scenario} does not belong "
+                f"to suite {suite!r}"
+            )
+        if result.scenario in scenarios:
+            raise ValueError(
+                f"duplicate scenario {suite}/{result.scenario}"
+            )
+        scenarios[result.scenario] = result.to_payload()
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "suite": suite,
+        "profile": profile,
+        "machine": machine,
+        "git_sha": git_sha,
+        "timestamp": timestamp,
+        "seed": int(seed),
+        "scenarios": scenarios,
+    }
+    validate_trajectory(payload)
+    return payload
+
+
+def write_trajectory(
+    directory: str | Path,
+    suite: str,
+    results: Sequence[BenchResult],
+    *,
+    machine: str,
+    git_sha: str,
+    timestamp: str,
+    profile: str,
+    seed: int,
+) -> Path:
+    """Write ``BENCH_<suite>.json`` into ``directory`` and return its path.
+
+    The provenance fields are caller-supplied on purpose; see the module
+    docstring.
+    """
+    payload = trajectory_payload(
+        suite,
+        results,
+        machine=machine,
+        git_sha=git_sha,
+        timestamp=timestamp,
+        profile=profile,
+        seed=seed,
+    )
+    target = Path(directory) / trajectory_filename(suite)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n",
+        encoding="utf-8",
+    )
+    return target
+
+
+def validate_trajectory(payload: Mapping[str, Any]) -> None:
+    """Raise :class:`ValueError` unless ``payload`` matches the schema."""
+    missing = [key for key in _REQUIRED_KEYS if key not in payload]
+    if missing:
+        raise ValueError(
+            f"trajectory payload missing keys: {', '.join(missing)}"
+        )
+    version = payload["schema_version"]
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported trajectory schema_version {version!r} "
+            f"(this build reads {SCHEMA_VERSION})"
+        )
+    suite = payload["suite"]
+    if not isinstance(suite, str) or not suite:
+        raise ValueError("trajectory suite must be a non-empty string")
+    for key in ("profile", "machine", "git_sha", "timestamp"):
+        if not isinstance(payload[key], str) or not payload[key]:
+            raise ValueError(f"trajectory {key} must be a non-empty string")
+    if not isinstance(payload["seed"], int) or isinstance(
+        payload["seed"], bool
+    ):
+        raise ValueError("trajectory seed must be an integer")
+    scenarios = payload["scenarios"]
+    if not isinstance(scenarios, Mapping) or not scenarios:
+        raise ValueError("trajectory scenarios must be a non-empty mapping")
+    for name, block in scenarios.items():
+        # Construction re-runs the finite-metric checks.
+        BenchResult.from_payload(suite, str(name), block)
+
+
+def load_trajectory(path: str | Path) -> dict[str, Any]:
+    """Read and validate one trajectory file."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise ValueError(f"{path}: not valid JSON ({error})") from error
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: trajectory root must be an object")
+    validate_trajectory(payload)
+    return payload
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One metric that moved the wrong way beyond tolerance."""
+
+    suite: str
+    scenario: str
+    metric: str
+    baseline: float
+    current: float
+    change: float
+    direction: str
+
+    def describe(self) -> str:
+        """A one-line human rendering for CLI output."""
+        arrow = "↓" if self.current < self.baseline else "↑"
+        return (
+            f"{self.suite}/{self.scenario}:{self.metric} "
+            f"{self.baseline:.4g} -> {self.current:.4g} {arrow} "
+            f"({self.change:+.1%}, {self.direction}-is-better)"
+        )
+
+
+def diff_trajectories(
+    baseline: Mapping[str, Any],
+    current: Mapping[str, Any],
+    *,
+    tolerance: float = 0.25,
+) -> list[Regression]:
+    """Metrics in ``current`` that regressed beyond ``tolerance``.
+
+    Only metrics present in both files are compared (a new metric has no
+    baseline; a deleted one has no current value — neither is a
+    regression).  Metrics whose baseline is ``<= 0`` are skipped: a
+    relative change from zero is undefined, and the bench metrics that
+    matter (QPS, quantile latencies, ratios) are positive when healthy.
+    """
+    check_positive("tolerance", tolerance)
+    if baseline.get("suite") != current.get("suite"):
+        raise ValueError(
+            f"cannot diff different suites: {baseline.get('suite')!r} vs "
+            f"{current.get('suite')!r}"
+        )
+    suite = str(current.get("suite"))
+    regressions: list[Regression] = []
+    baseline_scenarios = baseline.get("scenarios", {})
+    for name, block in current.get("scenarios", {}).items():
+        before = baseline_scenarios.get(name)
+        if before is None:
+            continue
+        before_metrics = before.get("metrics", {})
+        for metric, value in block.get("metrics", {}).items():
+            if metric not in before_metrics:
+                continue
+            old = float(before_metrics[metric])
+            new = float(value)
+            if old <= 0:
+                continue
+            change = (new - old) / old
+            direction = metric_direction(metric)
+            regressed = (
+                change < -tolerance
+                if direction == "higher"
+                else change > tolerance
+            )
+            if regressed:
+                regressions.append(
+                    Regression(
+                        suite=suite,
+                        scenario=str(name),
+                        metric=str(metric),
+                        baseline=old,
+                        current=new,
+                        change=change,
+                        direction=direction,
+                    )
+                )
+    return regressions
+
+
+def detect_machine() -> str:
+    """A best-effort machine label for CLI callers (never raises)."""
+    return platform.node() or "unknown"
+
+
+def detect_git_sha(repo_root: str | Path = ".") -> str:
+    """The current git commit for CLI callers; ``"unknown"`` off-repo."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(repo_root),
+            capture_output=True,
+            text=True,
+            timeout=10.0,
+            check=False,
+        )
+    except OSError:
+        return "unknown"
+    sha = completed.stdout.strip()
+    return sha if completed.returncode == 0 and sha else "unknown"

@@ -253,6 +253,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="print every decoded record, not just the summary",
     )
 
+    bench = commands.add_parser(
+        "bench",
+        help="run the canonical benchmark suite and write BENCH_*.json",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized profile (whole suite well under two minutes)",
+    )
+    bench.add_argument(
+        "--suite",
+        action="append",
+        dest="suites",
+        default=None,
+        choices=("engine", "service", "cluster"),
+        help="run only this suite (repeatable; default: all)",
+    )
+    bench.add_argument(
+        "--assert-slo",
+        action="store_true",
+        help="exit non-zero if any SLO floor/ceiling is violated",
+    )
+    bench.add_argument(
+        "--slo",
+        action="append",
+        dest="slos",
+        default=None,
+        metavar="EXPR",
+        help=(
+            "extra SLO rule 'suite/scenario:metric>=X' (or <=X); "
+            "repeatable, extends the built-in floors"
+        ),
+    )
+    bench.add_argument(
+        "--out",
+        default=".",
+        help="directory for the BENCH_<suite>.json files (default: repo root)",
+    )
+    bench.add_argument(
+        "--seed", type=int, default=2000, help="workload seed"
+    )
+    bench.add_argument(
+        "--list",
+        action="store_true",
+        help="list registered scenarios and exit without running",
+    )
+
+    bench_diff = commands.add_parser(
+        "bench-diff",
+        help="compare two BENCH_<suite>.json files for regressions",
+    )
+    bench_diff.add_argument("baseline", help="older trajectory file")
+    bench_diff.add_argument("current", help="newer trajectory file")
+    bench_diff.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="relative change allowed in the regressing direction",
+    )
+
     return parser
 
 
@@ -645,6 +705,84 @@ def _command_wal_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench(args: argparse.Namespace) -> int:
+    import datetime
+
+    from repro.bench import (
+        DEFAULT_SLO_RULES,
+        BenchProfile,
+        BenchRunConfig,
+        iter_scenarios,
+        parse_slo,
+        run_bench,
+    )
+    from repro.bench.trajectory import detect_git_sha, detect_machine
+
+    if args.list:
+        for scenario in iter_scenarios():
+            print(f"{scenario.suite}/{scenario.name}: {scenario.summary}")
+        return 0
+
+    rules = list(DEFAULT_SLO_RULES)
+    for expression in args.slos or ():
+        try:
+            rules.append(parse_slo(expression))
+        except ValueError as error:
+            print(f"repro bench: {error}", file=sys.stderr)
+            return 2
+
+    profile = BenchProfile.quick() if args.quick else BenchProfile.full()
+    # Provenance is sampled once here, at the entry point — the bench
+    # library itself never reads a clock or the repository.
+    config = BenchRunConfig(
+        profile=profile,
+        out_dir=args.out,
+        suites=tuple(dict.fromkeys(args.suites)) if args.suites else (),
+        seed=args.seed,
+        machine=detect_machine(),
+        git_sha=detect_git_sha(),
+        timestamp=datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        slo_rules=tuple(rules),
+    )
+    outcome = run_bench(config, progress=lambda message: print(message, flush=True))
+    for result in outcome.results:
+        rendered = "  ".join(
+            f"{name}={value:.4g}" for name, value in result.metrics.items()
+        )
+        print(f"{result.suite}/{result.scenario}: {rendered}")
+    for violation in outcome.violations:
+        print(f"SloViolation: {violation}", file=sys.stderr)
+    if outcome.violations and args.assert_slo:
+        return 1
+    return 0
+
+
+def _command_bench_diff(args: argparse.Namespace) -> int:
+    from repro.bench import diff_trajectories, load_trajectory
+
+    try:
+        baseline = load_trajectory(args.baseline)
+        current = load_trajectory(args.current)
+        regressions = diff_trajectories(
+            baseline, current, tolerance=args.tolerance
+        )
+    except (OSError, ValueError) as error:
+        print(f"repro bench-diff: {error}", file=sys.stderr)
+        return 2
+    if not regressions:
+        print(
+            f"no regressions beyond {args.tolerance:.0%} "
+            f"({baseline['suite']} suite, "
+            f"{baseline['git_sha'][:12]} -> {current['git_sha'][:12]})"
+        )
+        return 0
+    for regression in regressions:
+        print(f"regression: {regression.describe()}", file=sys.stderr)
+    return 1
+
+
 _COMMANDS = {
     "sweep": _command_sweep,
     "demo": _command_demo,
@@ -653,6 +791,8 @@ _COMMANDS = {
     "cluster-serve": _command_cluster_serve,
     "cluster-route": _command_cluster_route,
     "wal-inspect": _command_wal_inspect,
+    "bench": _command_bench,
+    "bench-diff": _command_bench_diff,
 }
 
 

@@ -62,6 +62,7 @@ from repro.util.faults import FaultInjected
 from repro.util.rng import ensure_rng
 from repro.util.sync import TracedLock
 from repro.util.validation import check_threshold
+from repro.util.version import REPRO_VERSION
 
 if TYPE_CHECKING:
     import numpy.typing as npt
@@ -289,6 +290,7 @@ class ClusterCoordinator:
             "quorum_failures": 0,
             "probes": 0,
         }
+        self._started_at = time.time()
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -847,6 +849,14 @@ class ClusterCoordinator:
         with self._latency_lock:
             p50 = self._latency.quantile(0.50)
             p95 = self._latency.quantile(0.95)
+        health = self.health.snapshot()
+        # Per-backend snapshot versions, as last probed; the cluster-wide
+        # "snapshot_version" is the newest of them, so benchmark runs can
+        # stamp results against the serving state they actually hit.
+        versions = [
+            int(block["probe"].get("snapshot_version", 0) or 0)
+            for block in health
+        ]
         return {
             **counters,
             "router": self.router.describe(),
@@ -854,5 +864,9 @@ class ClusterCoordinator:
             "backend_latency_p50_s": p50,
             "backend_latency_p95_s": p95,
             "repair_pending": self.repair_pending(),
-            "backends": self.health.snapshot(),
+            "backends": health,
+            "uptime_s": time.time() - self._started_at,
+            "repro_version": REPRO_VERSION,
+            "snapshot_version": max(versions, default=0),
+            "snapshot_versions": versions,
         }

@@ -37,7 +37,7 @@ import time
 import urllib.error
 import urllib.request
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, TypedDict, cast
 
 import numpy as np
 
@@ -66,9 +66,47 @@ if TYPE_CHECKING:
 __all__ = [
     "TRANSPORT_ERRORS",
     "CircuitBreaker",
+    "EngineStatsPayload",
     "RetryPolicy",
     "ServiceClient",
 ]
+
+
+class EngineStatsPayload(TypedDict, total=False):
+    """The shape of ``GET /stats`` (``QueryEngine.stats()`` over JSON).
+
+    ``total=False`` because the block grows additively across versions —
+    an old client reading a new server (or vice versa) sees a subset,
+    never a type error.  Fields used to stamp benchmark trajectory
+    records — ``uptime_s``, ``repro_version``, ``snapshot_version`` —
+    are part of the stable surface.
+    """
+
+    requests: dict[str, int]
+    requests_total: int
+    completed: int
+    failures: dict[str, int]
+    rejected_overload: int
+    deadline_exceeded: int
+    latency_ms: dict[str, float]
+    cache: dict[str, Any]
+    cache_lru: dict[str, Any]
+    snapshots_published: int
+    shed: dict[str, int]
+    degraded_transitions: dict[str, int]
+    wal_appends: int
+    queue_depth: int
+    workers: int
+    queue_cap: int
+    snapshot_version: int
+    sequences: int
+    segments: int
+    cache_entries: int
+    cache_capacity: int
+    uptime_s: float
+    repro_version: str
+    degraded: bool
+    durability: dict[str, Any]
 
 #: Transport-level failures a retry may safely cover for idempotent reads
 #: (and the cluster coordinator treats as grounds for replica failover).
@@ -347,10 +385,10 @@ class ServiceClient:
         reply = self._request("GET", "/healthz", idempotent=True)
         return dict(reply)
 
-    def stats(self) -> dict:
-        """The engine's full metrics block."""
+    def stats(self) -> EngineStatsPayload:
+        """The engine's full metrics block (see :class:`EngineStatsPayload`)."""
         reply = self._request("GET", "/stats", idempotent=True)
-        return dict(reply)
+        return cast(EngineStatsPayload, dict(reply))
 
     def search(
         self,

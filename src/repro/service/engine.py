@@ -88,6 +88,7 @@ from repro.service.wal import (
 from repro.util.freeze import verify_frozen
 from repro.util.sync import TracedLock
 from repro.util.validation import check_threshold
+from repro.util.version import REPRO_VERSION
 
 if TYPE_CHECKING:
     import numpy.typing as npt
@@ -583,6 +584,7 @@ class QueryEngine:
                 # (store races, evictions, write-through patches).
                 "cache_lru": {} if self._cache is None else self._cache.stats(),
                 "uptime_s": time.time() - self._started_at,
+                "repro_version": REPRO_VERSION,
                 "degraded": self.degraded,
                 "durability": {
                     "enabled": self.durable,

@@ -35,7 +35,17 @@ class LatencyWindow:
         return len(self._values)
 
     def record(self, seconds: float) -> None:
-        """Add one latency observation (overwrites the oldest when full)."""
+        """Add one latency observation (overwrites the oldest when full).
+
+        Non-finite observations are rejected: one NaN in the ring would
+        make every quantile NaN for the rest of the window's life (NaN
+        sorts unpredictably), silently poisoning ``/stats`` and every
+        trajectory stamped from it.
+        """
+        if not math.isfinite(seconds):
+            raise ValueError(
+                f"latency must be finite, got {seconds!r}"
+            )
         if len(self._values) < self.capacity:
             self._values.append(seconds)
         else:

@@ -1,0 +1,16 @@
+"""The single source of the package version string.
+
+Lives in the ``util`` layer (the bottom of the architecture) so any
+subsystem — the serving ``/stats`` endpoint, the cluster coordinator,
+the benchmark trajectory writer — can stamp its output with the exact
+code version without importing the top-level package (which would be a
+layering cycle under REP105).  ``repro.__init__`` re-exports this as
+``repro.__version__``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["REPRO_VERSION"]
+
+#: The package version, kept in sync with ``pyproject.toml``.
+REPRO_VERSION = "1.0.0"

@@ -1,0 +1,160 @@
+"""The ``repro bench`` / ``repro bench-diff`` commands, end to end.
+
+The quick profile really runs here (a few seconds): the acceptance
+criteria for the bench subsystem are that ``repro bench --quick`` leaves
+one valid ``BENCH_<suite>.json`` per suite and that ``--assert-slo``
+exits non-zero when a floor is deliberately broken.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import load_trajectory, validate_trajectory
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def quick_run(tmp_path_factory):
+    """One full --quick run shared by the inspection tests (module-scoped
+    because it is the expensive part)."""
+    out = tmp_path_factory.mktemp("bench-out")
+    code = main(["bench", "--quick", "--out", str(out), "--seed", "7"])
+    return code, out
+
+
+class TestBenchCommand:
+    def test_quick_run_succeeds(self, quick_run):
+        code, _ = quick_run
+        assert code == 0
+
+    def test_writes_one_file_per_suite(self, quick_run):
+        _, out = quick_run
+        names = sorted(p.name for p in out.glob("BENCH_*.json"))
+        assert names == [
+            "BENCH_cluster.json",
+            "BENCH_engine.json",
+            "BENCH_service.json",
+        ]
+
+    def test_every_file_validates(self, quick_run):
+        _, out = quick_run
+        for path in out.glob("BENCH_*.json"):
+            payload = load_trajectory(path)
+            validate_trajectory(payload)
+            assert payload["profile"] == "quick"
+            assert payload["seed"] == 7
+
+    def test_service_file_has_expected_scenarios(self, quick_run):
+        _, out = quick_run
+        payload = load_trajectory(out / "BENCH_service.json")
+        assert set(payload["scenarios"]) == {
+            "end_to_end",
+            "cache_hit_ratio",
+            "wal_recovery",
+        }
+
+    def test_suite_filter_writes_only_that_suite(self, tmp_path):
+        code = main(
+            [
+                "bench",
+                "--quick",
+                "--suite",
+                "engine",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        names = [p.name for p in tmp_path.glob("BENCH_*.json")]
+        assert names == ["BENCH_engine.json"]
+
+    def test_broken_floor_fails_the_gate(self, tmp_path, capsys):
+        """The acceptance criterion: a deliberately unreachable floor
+        makes --assert-slo exit non-zero with the typed violation."""
+        code = main(
+            [
+                "bench",
+                "--quick",
+                "--suite",
+                "engine",
+                "--assert-slo",
+                "--slo",
+                "engine/single_query:qps>=1e12",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code != 0
+        captured = capsys.readouterr()
+        assert "SloViolation" in captured.err
+        assert "engine/single_query:qps" in captured.err
+
+    def test_broken_floor_without_assert_still_writes(self, tmp_path):
+        code = main(
+            [
+                "bench",
+                "--quick",
+                "--suite",
+                "engine",
+                "--slo",
+                "engine/single_query:qps>=1e12",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0  # reported, not enforced, without --assert-slo
+        assert (tmp_path / "BENCH_engine.json").exists()
+
+    def test_invalid_slo_expression_is_a_usage_error(self, tmp_path):
+        code = main(
+            [
+                "bench",
+                "--quick",
+                "--slo",
+                "not-an-slo",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 2
+
+    def test_list_prints_registry_without_running(self, tmp_path, capsys):
+        code = main(["bench", "--list", "--out", str(tmp_path)])
+        assert code == 0
+        captured = capsys.readouterr()
+        for name in (
+            "engine/single_query",
+            "service/end_to_end",
+            "service/cache_hit_ratio",
+            "service/wal_recovery",
+            "cluster/scatter_gather",
+        ):
+            assert name in captured.out
+        assert list(tmp_path.glob("BENCH_*.json")) == []
+
+
+class TestBenchDiffCommand:
+    def test_identical_points_exit_zero(self, quick_run, capsys):
+        _, out = quick_run
+        path = str(out / "BENCH_engine.json")
+        assert main(["bench-diff", path, path]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, quick_run, tmp_path, capsys):
+        _, out = quick_run
+        baseline = load_trajectory(out / "BENCH_engine.json")
+        worse = json.loads(json.dumps(baseline))
+        metrics = worse["scenarios"]["single_query"]["metrics"]
+        metrics["qps"] = metrics["qps"] / 10.0
+        worse_path = tmp_path / "BENCH_engine.json"
+        worse_path.write_text(json.dumps(worse))
+        code = main(
+            ["bench-diff", str(out / "BENCH_engine.json"), str(worse_path)]
+        )
+        assert code == 1
+        assert "regression" in capsys.readouterr().err
+
+    def test_missing_file_is_a_usage_error(self, tmp_path):
+        ghost = str(tmp_path / "nope.json")
+        assert main(["bench-diff", ghost, ghost]) == 2

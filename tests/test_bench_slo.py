@@ -1,0 +1,128 @@
+"""SLO rules: parsing, evaluation, typed violations, suite skipping."""
+
+import pytest
+
+from repro.bench import (
+    DEFAULT_SLO_RULES,
+    BenchResult,
+    SloRule,
+    SloViolation,
+    assert_slos,
+    check_slos,
+    parse_slo,
+)
+
+
+def result(suite="service", scenario="end_to_end", **metrics):
+    return BenchResult(
+        suite=suite, scenario=scenario, metrics=dict(metrics)
+    )
+
+
+class TestParse:
+    def test_floor_syntax(self):
+        rule = parse_slo("service/end_to_end:qps>=5")
+        assert rule == SloRule("service", "end_to_end", "qps", floor=5.0)
+
+    def test_ceiling_syntax(self):
+        rule = parse_slo("cluster/scatter_gather:killed_p95_ms<=250.5")
+        assert rule.ceiling == 250.5
+        assert rule.floor is None
+
+    def test_scientific_notation(self):
+        assert parse_slo("engine/single_query:qps>=1e3").floor == 1000.0
+
+    def test_whitespace_tolerated(self):
+        assert parse_slo("  engine/single_query:qps>=1  ").floor == 1.0
+
+    @pytest.mark.parametrize(
+        "expression",
+        [
+            "no-slash:qps>=1",
+            "suite/scenario:qps>1",
+            "suite/scenario:qps==1",
+            "suite/scenario:qps>=",
+            "suite/scenario>=3",
+            "suite/scenario:qps>=abc",
+            "",
+        ],
+    )
+    def test_invalid_expressions_rejected(self, expression):
+        with pytest.raises(ValueError, match="invalid SLO|could not convert"):
+            parse_slo(expression)
+
+    def test_describe_round_trips(self):
+        rule = parse_slo("service/end_to_end:qps>=5")
+        assert parse_slo(rule.describe()) == rule
+
+
+class TestRule:
+    def test_requires_a_bound(self):
+        with pytest.raises(ValueError, match="floor or a ceiling"):
+            SloRule("s", "x", "qps")
+
+
+class TestCheck:
+    def test_passing_results_no_violations(self):
+        rules = (SloRule("service", "end_to_end", "qps", floor=10.0),)
+        assert check_slos([result(qps=50.0)], rules) == []
+
+    def test_floor_breach_is_typed(self):
+        rules = (SloRule("service", "end_to_end", "qps", floor=100.0),)
+        (violation,) = check_slos([result(qps=50.0)], rules)
+        assert isinstance(violation, SloViolation)
+        assert violation.rule == rules[0]
+        assert violation.actual == 50.0
+        assert "below floor" in str(violation)
+
+    def test_ceiling_breach(self):
+        rules = (
+            SloRule("service", "end_to_end", "p99_ms", ceiling=100.0),
+        )
+        (violation,) = check_slos([result(p99_ms=500.0)], rules)
+        assert violation.actual == 500.0
+        assert "above ceiling" in str(violation)
+
+    def test_unmeasured_suite_is_skipped(self):
+        """--suite engine must not trip the service floors."""
+        rules = (
+            SloRule("engine", "single_query", "qps", floor=1.0),
+            SloRule("service", "end_to_end", "qps", floor=1e12),
+        )
+        engine_only = [result(suite="engine", scenario="single_query", qps=5.0)]
+        assert check_slos(engine_only, rules) == []
+
+    def test_missing_scenario_in_measured_suite_is_a_violation(self):
+        rules = (SloRule("service", "wal_recovery", "recovery_ms", ceiling=1.0),)
+        (violation,) = check_slos([result(qps=1.0)], rules)
+        assert violation.actual is None
+        assert "no measurement" in str(violation)
+
+    def test_missing_metric_in_measured_scenario_is_a_violation(self):
+        rules = (SloRule("service", "end_to_end", "p99_ms", ceiling=1.0),)
+        (violation,) = check_slos([result(qps=1.0)], rules)
+        assert violation.actual is None
+
+    def test_exact_boundary_passes(self):
+        rules = (
+            SloRule("service", "end_to_end", "qps", floor=10.0),
+            SloRule("service", "end_to_end", "p99_ms", ceiling=20.0),
+        )
+        assert check_slos([result(qps=10.0, p99_ms=20.0)], rules) == []
+
+
+class TestAssert:
+    def test_raises_first_violation(self):
+        rules = (SloRule("service", "end_to_end", "qps", floor=1e12),)
+        with pytest.raises(SloViolation, match="below floor"):
+            assert_slos([result(qps=5.0)], rules)
+
+    def test_passes_quietly(self):
+        assert_slos([result(qps=5.0)], ())
+
+
+class TestDefaults:
+    def test_every_default_rule_is_well_formed(self):
+        for rule in DEFAULT_SLO_RULES:
+            assert rule.floor is not None or rule.ceiling is not None
+            assert parse_slo(rule.describe().split(" and ")[0]).suite == rule.suite

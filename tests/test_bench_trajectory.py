@@ -1,0 +1,204 @@
+"""Trajectory files: round-trip, schema validation, regression diffing."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BenchResult,
+    diff_trajectories,
+    load_trajectory,
+    metric_direction,
+    trajectory_filename,
+    validate_trajectory,
+    write_trajectory,
+)
+
+
+def make_results(qps=100.0, p99=20.0):
+    return [
+        BenchResult(
+            suite="service",
+            scenario="end_to_end",
+            metrics={"qps": qps, "p99_ms": p99},
+            meta={"operations": 120},
+        ),
+        BenchResult(
+            suite="service",
+            scenario="cache_hit_ratio",
+            metrics={"hit_ratio": 0.5},
+        ),
+    ]
+
+
+def write_point(tmp_path, qps=100.0, p99=20.0):
+    return write_trajectory(
+        tmp_path,
+        "service",
+        make_results(qps=qps, p99=p99),
+        machine="test-host",
+        git_sha="deadbeef",
+        timestamp="2026-08-08T00:00:00+00:00",
+        profile="quick",
+        seed=2000,
+    )
+
+
+class TestWriteAndLoad:
+    def test_round_trip(self, tmp_path):
+        path = write_point(tmp_path)
+        assert path.name == trajectory_filename("service")
+        payload = load_trajectory(path)
+        validate_trajectory(payload)
+        assert payload["suite"] == "service"
+        assert payload["machine"] == "test-host"
+        assert payload["git_sha"] == "deadbeef"
+        assert payload["seed"] == 2000
+        assert payload["scenarios"]["end_to_end"]["metrics"]["qps"] == 100.0
+
+    def test_rejects_result_from_other_suite(self, tmp_path):
+        stray = BenchResult(
+            suite="engine", scenario="x", metrics={"qps": 1.0}
+        )
+        with pytest.raises(ValueError, match="does not belong"):
+            write_trajectory(
+                tmp_path,
+                "service",
+                [stray],
+                machine="m",
+                git_sha="s",
+                timestamp="t",
+                profile="quick",
+                seed=0,
+            )
+
+    def test_rejects_duplicate_scenario(self, tmp_path):
+        twice = [
+            BenchResult(suite="service", scenario="a", metrics={"qps": 1.0}),
+            BenchResult(suite="service", scenario="a", metrics={"qps": 2.0}),
+        ]
+        with pytest.raises(ValueError, match="duplicate"):
+            write_trajectory(
+                tmp_path,
+                "service",
+                twice,
+                machine="m",
+                git_sha="s",
+                timestamp="t",
+                profile="quick",
+                seed=0,
+            )
+
+    def test_rejects_empty_results(self, tmp_path):
+        with pytest.raises(ValueError, match="no results"):
+            write_trajectory(
+                tmp_path,
+                "service",
+                [],
+                machine="m",
+                git_sha="s",
+                timestamp="t",
+                profile="quick",
+                seed=0,
+            )
+
+
+class TestValidation:
+    def test_missing_key_rejected(self, tmp_path):
+        payload = load_trajectory(write_point(tmp_path))
+        del payload["git_sha"]
+        with pytest.raises(ValueError, match="git_sha"):
+            validate_trajectory(payload)
+
+    def test_wrong_schema_version_rejected(self, tmp_path):
+        payload = load_trajectory(write_point(tmp_path))
+        payload["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema_version"):
+            validate_trajectory(payload)
+
+    def test_non_finite_metric_rejected(self, tmp_path):
+        path = write_point(tmp_path)
+        payload = json.loads(path.read_text())
+        payload["scenarios"]["end_to_end"]["metrics"]["qps"] = "NaN"
+        with pytest.raises(ValueError):
+            validate_trajectory(payload)
+
+    def test_empty_scenarios_rejected(self, tmp_path):
+        payload = load_trajectory(write_point(tmp_path))
+        payload["scenarios"] = {}
+        with pytest.raises(ValueError, match="scenarios"):
+            validate_trajectory(payload)
+
+    def test_bool_seed_rejected(self, tmp_path):
+        payload = load_trajectory(write_point(tmp_path))
+        payload["seed"] = True
+        with pytest.raises(ValueError, match="seed"):
+            validate_trajectory(payload)
+
+
+class TestMetricDirection:
+    def test_latency_suffix_is_lower_better(self):
+        assert metric_direction("p99_ms") == "lower"
+        assert metric_direction("recovery_ms") == "lower"
+
+    def test_throughput_is_higher_better(self):
+        assert metric_direction("qps") == "higher"
+        assert metric_direction("hit_ratio") == "higher"
+
+    def test_counters_of_bad_events_are_lower_better(self):
+        assert metric_direction("failovers") == "lower"
+        assert metric_direction("misses") == "lower"
+
+
+class TestDiff:
+    def test_identical_points_no_regressions(self, tmp_path):
+        baseline = load_trajectory(write_point(tmp_path / "a"))
+        current = load_trajectory(write_point(tmp_path / "b"))
+        assert diff_trajectories(baseline, current) == []
+
+    def test_qps_drop_is_a_regression(self, tmp_path):
+        baseline = load_trajectory(write_point(tmp_path / "a", qps=100.0))
+        current = load_trajectory(write_point(tmp_path / "b", qps=50.0))
+        regressions = diff_trajectories(baseline, current, tolerance=0.25)
+        assert any(
+            r.metric == "qps" and r.direction == "higher"
+            for r in regressions
+        )
+
+    def test_latency_rise_is_a_regression(self, tmp_path):
+        baseline = load_trajectory(write_point(tmp_path / "a", p99=20.0))
+        current = load_trajectory(write_point(tmp_path / "b", p99=40.0))
+        regressions = diff_trajectories(baseline, current, tolerance=0.25)
+        assert any(
+            r.metric == "p99_ms" and r.direction == "lower"
+            for r in regressions
+        )
+
+    def test_qps_rise_is_not_a_regression(self, tmp_path):
+        baseline = load_trajectory(write_point(tmp_path / "a", qps=100.0))
+        current = load_trajectory(write_point(tmp_path / "b", qps=200.0))
+        assert diff_trajectories(baseline, current) == []
+
+    def test_within_tolerance_is_quiet(self, tmp_path):
+        baseline = load_trajectory(write_point(tmp_path / "a", qps=100.0))
+        current = load_trajectory(write_point(tmp_path / "b", qps=90.0))
+        assert diff_trajectories(baseline, current, tolerance=0.25) == []
+
+    def test_cross_suite_diff_rejected(self, tmp_path):
+        baseline = load_trajectory(write_point(tmp_path))
+        other = dict(baseline)
+        other["suite"] = "engine"
+        with pytest.raises(ValueError, match="different suites"):
+            diff_trajectories(baseline, other)
+
+    def test_describe_mentions_the_metric(self, tmp_path):
+        baseline = load_trajectory(write_point(tmp_path / "a", qps=100.0))
+        current = load_trajectory(write_point(tmp_path / "b", qps=50.0))
+        (regression,) = [
+            r
+            for r in diff_trajectories(baseline, current)
+            if r.metric == "qps"
+        ]
+        text = regression.describe()
+        assert "qps" in text
+        assert "end_to_end" in text

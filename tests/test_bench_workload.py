@@ -1,0 +1,242 @@
+"""The bench load generator: determinism, skew, mixes, both loop modes."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    OperationMix,
+    WorkloadSpec,
+    generate_operations,
+    nearest_rank_quantile,
+    run_closed_loop,
+    run_open_loop,
+    zipf_weights,
+)
+
+
+class RecordingTarget:
+    """A WorkloadTarget that records every call instead of searching."""
+
+    def __init__(self, fail_every: int = 0) -> None:
+        self.calls: list[tuple] = []
+        self.fail_every = fail_every
+
+    def search(self, query, epsilon):
+        self.calls.append(("search", float(epsilon)))
+        if self.fail_every and len(self.calls) % self.fail_every == 0:
+            raise RuntimeError("injected search failure")
+        return None
+
+    def insert(self, points, sequence_id=None):
+        self.calls.append(("insert", sequence_id))
+        return sequence_id
+
+    def append(self, sequence_id, points):
+        self.calls.append(("append", sequence_id))
+        return sequence_id
+
+
+def make_spec(operations=60, **overrides) -> WorkloadSpec:
+    defaults = dict(
+        operations=operations,
+        query_pool=8,
+        dimension=3,
+        mix=OperationMix(search=0.7, insert=0.2, append=0.1),
+        epsilons=(0.05, 0.15),
+    )
+    defaults.update(overrides)
+    return WorkloadSpec(**defaults)
+
+
+def make_queries(spec: WorkloadSpec):
+    rng = np.random.default_rng(0)
+    return [
+        rng.random((10, spec.dimension)) for _ in range(spec.query_pool)
+    ]
+
+
+class TestGenerateOperations:
+    def test_same_seed_identical_streams(self):
+        """The acceptance criterion: seeding is fully deterministic."""
+        spec = make_spec(operations=200)
+        ids = ("a", "b", "c")
+        first = generate_operations(spec, seed=77, existing_ids=ids)
+        second = generate_operations(spec, seed=77, existing_ids=ids)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        spec = make_spec(operations=200)
+        ids = ("a", "b")
+        first = generate_operations(spec, seed=1, existing_ids=ids)
+        second = generate_operations(spec, seed=2, existing_ids=ids)
+        assert first != second
+
+    def test_mix_proportions_roughly_honoured(self):
+        spec = make_spec(
+            operations=2000,
+            mix=OperationMix(search=0.5, insert=0.3, append=0.2),
+        )
+        operations = generate_operations(
+            spec, seed=5, existing_ids=("s0", "s1")
+        )
+        kinds = [operation.kind for operation in operations]
+        assert abs(kinds.count("search") / 2000 - 0.5) < 0.05
+        assert abs(kinds.count("insert") / 2000 - 0.3) < 0.05
+        assert abs(kinds.count("append") / 2000 - 0.2) < 0.05
+
+    def test_search_epsilons_round_robin(self):
+        spec = make_spec(
+            operations=40,
+            mix=OperationMix(search=1.0),
+            epsilons=(0.05, 0.10, 0.20),
+        )
+        operations = generate_operations(spec, seed=3)
+        seen = [operation.epsilon for operation in operations]
+        assert seen[:3] == [0.05, 0.10, 0.20]
+        assert seen[3:6] == [0.05, 0.10, 0.20]
+
+    def test_appends_require_existing_ids(self):
+        spec = make_spec(mix=OperationMix(search=0.5, append=0.5))
+        with pytest.raises(ValueError, match="existing_ids"):
+            generate_operations(spec, seed=1, existing_ids=())
+
+    def test_appends_target_only_existing_ids(self):
+        spec = make_spec(
+            operations=300, mix=OperationMix(search=0.2, append=0.8)
+        )
+        ids = ("x", "y", "z")
+        operations = generate_operations(spec, seed=9, existing_ids=ids)
+        targets = {
+            operation.sequence_id
+            for operation in operations
+            if operation.kind == "append"
+        }
+        assert targets  # the 0.8 weight produced appends
+        assert targets <= set(ids)
+
+    def test_zipf_skews_query_selection(self):
+        spec = make_spec(
+            operations=3000,
+            query_pool=16,
+            mix=OperationMix(search=1.0),
+            zipf_s=1.5,
+        )
+        operations = generate_operations(spec, seed=4)
+        counts = np.bincount(
+            [operation.query_index for operation in operations], minlength=16
+        )
+        # Rank 0 must dominate the tail under s=1.5 skew.
+        assert counts[0] > 3 * counts[8]
+
+
+class TestZipfWeights:
+    def test_normalised_and_decreasing(self):
+        weights = zipf_weights(10, 1.1)
+        assert weights.shape == (10,)
+        assert np.isclose(weights.sum(), 1.0)
+        assert np.all(np.diff(weights) < 0)
+
+    def test_s_zero_is_uniform(self):
+        weights = zipf_weights(4, 0.0)
+        assert np.allclose(weights, 0.25)
+
+    def test_rejects_empty_pool(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+
+
+class TestNearestRankQuantile:
+    def test_empty_is_zero(self):
+        assert nearest_rank_quantile([], 0.5) == 0.0
+
+    def test_single_value(self):
+        assert nearest_rank_quantile([7.0], 0.5) == 7.0
+        assert nearest_rank_quantile([7.0], 0.99) == 7.0
+
+    def test_matches_sorted_rank(self):
+        values = [5.0, 1.0, 3.0, 2.0, 4.0]
+        assert nearest_rank_quantile(values, 0.5) == 3.0
+        assert nearest_rank_quantile(values, 1.0) == 5.0
+
+
+class TestClosedLoop:
+    def test_executes_every_operation(self):
+        spec = make_spec(operations=50)
+        target = RecordingTarget()
+        operations = generate_operations(
+            spec, seed=11, existing_ids=("base-0",)
+        )
+        report = run_closed_loop(
+            target,
+            operations,
+            queries=make_queries(spec),
+            dimension=spec.dimension,
+            concurrency=4,
+            seed=11,
+        )
+        assert report.total == 50
+        assert report.completed == 50
+        assert report.errors == 0
+        assert len(target.calls) == 50
+        metrics = report.metrics()
+        assert metrics["qps"] > 0
+        assert metrics["error_ratio"] == 0.0
+        assert metrics["p50_ms"] <= metrics["p99_ms"]
+
+    def test_errors_counted_not_raised(self):
+        spec = make_spec(operations=30, mix=OperationMix(search=1.0))
+        target = RecordingTarget(fail_every=3)
+        operations = generate_operations(spec, seed=2)
+        # concurrency=1 keeps the fail-every-3rd pattern deterministic.
+        report = run_closed_loop(
+            target,
+            operations,
+            queries=make_queries(spec),
+            dimension=spec.dimension,
+            concurrency=1,
+            seed=2,
+        )
+        assert report.total == 30
+        assert report.errors == 10
+        assert report.completed == 20
+        assert report.metrics()["error_ratio"] == pytest.approx(1 / 3)
+
+
+class TestOpenLoop:
+    def test_executes_every_operation_at_rate(self):
+        spec = make_spec(operations=40, mix=OperationMix(search=1.0))
+        target = RecordingTarget()
+        operations = generate_operations(spec, seed=6)
+        report = run_open_loop(
+            target,
+            operations,
+            queries=make_queries(spec),
+            dimension=spec.dimension,
+            rate=2000.0,
+            workers=4,
+            seed=6,
+        )
+        assert report.total == 40
+        assert report.completed == 40
+        assert report.errors == 0
+        assert len(report.latencies_ms) == 40
+
+
+class TestSpecValidation:
+    def test_rejects_nonpositive_operations(self):
+        with pytest.raises(ValueError):
+            make_spec(operations=0)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            make_spec(epsilons=(-0.1,))
+        with pytest.raises(ValueError):
+            make_spec(epsilons=())
+
+    def test_rejects_all_zero_mix(self):
+        with pytest.raises(ValueError):
+            OperationMix(search=0.0, insert=0.0, append=0.0)
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError):
+            OperationMix(search=1.0, insert=-0.1)

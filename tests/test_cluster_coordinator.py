@@ -686,6 +686,39 @@ class TestHedging:
         assert policy.delay(window, rng) == 0.2  # quantile -> ceiling
 
 
+class TestStatsIdentity:
+    def test_stats_carry_version_uptime_and_snapshot(self):
+        from repro.util.version import REPRO_VERSION
+
+        corpus = make_corpus(8)
+        engines, _, coordinator = make_cluster(corpus, replication=2)
+        try:
+            stats = coordinator.stats()
+            assert stats["repro_version"] == REPRO_VERSION
+            assert stats["uptime_s"] >= 0.0
+            # No probe has run yet: versions default to zero.
+            assert stats["snapshot_version"] == 0
+            assert stats["snapshot_versions"] == [0, 0, 0]
+
+            points = np.random.default_rng(21).random((12, DIMENSION))
+            coordinator.insert(points, sequence_id="stats-probe-seq")
+            coordinator.probe()
+            stats = coordinator.stats()
+            # The write bumped at least the replicas holding the new
+            # sequence; the cluster-wide version is their maximum.
+            assert stats["snapshot_version"] >= 1
+            assert stats["snapshot_version"] == max(
+                stats["snapshot_versions"]
+            )
+            assert len(stats["snapshot_versions"]) == len(engines)
+            assert all(
+                block["probe"].get("status") == "ok"
+                for block in stats["backends"]
+            )
+        finally:
+            close_all(engines, coordinator)
+
+
 class TestConfiguration:
     def test_rejects_empty_backends_and_bad_quorum(self):
         corpus = make_corpus(4)

@@ -365,6 +365,15 @@ class TestStatsAndTracing:
         assert stats["workers"] == 2
         assert stats["sequences"] == 11
 
+    def test_stats_identity_fields(self, rng):
+        from repro.util.version import REPRO_VERSION
+
+        with QueryEngine(build_database(rng), workers=1) as engine:
+            stats = engine.stats()
+        assert stats["repro_version"] == REPRO_VERSION
+        assert stats["uptime_s"] >= 0.0
+        assert isinstance(stats["snapshot_version"], int)
+
     def test_trace_records(self, rng, tmp_path):
         trace = tmp_path / "serve_trace.jsonl"
         with QueryEngine(

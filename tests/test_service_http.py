@@ -138,6 +138,8 @@ class TestRoutes:
             "cache",
             "queue_depth",
             "snapshot_version",
+            "uptime_s",
+            "repro_version",
         ):
             assert key in stats
 

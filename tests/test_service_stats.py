@@ -1,0 +1,140 @@
+"""Quantile math of the serving metrics block.
+
+The p50/p95/p99 numbers in ``/stats`` (and every ``BENCH_service.json``
+stamped from them) come from :class:`LatencyWindow`'s nearest-rank
+quantile over a ring buffer — these tests pin its behaviour at the
+edges (empty, capacity one, wrap-around) and cross-check it against the
+standard library on a seeded stream.
+"""
+
+import math
+import random
+import statistics
+
+import pytest
+
+from repro.service.stats import LatencyWindow, ServiceStats
+
+
+class TestLatencyWindowEdges:
+    def test_empty_window_quantiles_are_zero(self):
+        window = LatencyWindow(8)
+        assert len(window) == 0
+        assert window.quantile(0.5) == 0.0
+        assert window.quantile(0.99) == 0.0
+
+    def test_capacity_one_always_reports_latest(self):
+        window = LatencyWindow(1)
+        window.record(5.0)
+        assert window.quantile(0.5) == 5.0
+        window.record(9.0)  # overwrites the only slot
+        assert len(window) == 1
+        assert window.quantile(0.01) == 9.0
+        assert window.quantile(1.0) == 9.0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            LatencyWindow(0)
+
+    def test_quantile_bounds_enforced(self):
+        window = LatencyWindow(4)
+        with pytest.raises(ValueError):
+            window.quantile(-0.1)
+        with pytest.raises(ValueError):
+            window.quantile(1.1)
+
+    def test_wraparound_keeps_only_the_recent_window(self):
+        window = LatencyWindow(4)
+        for value in (100.0, 200.0, 300.0, 400.0):
+            window.record(value)
+        # Two more overwrite the two oldest: window is {300,400,1,2}.
+        window.record(1.0)
+        window.record(2.0)
+        assert len(window) == 4
+        assert window.quantile(1.0) == 400.0
+        assert window.quantile(0.25) == 1.0
+        # The overwritten 100/200 must be gone.
+        assert window.quantile(0.5) == 2.0
+
+    def test_full_wraparound_replaces_everything(self):
+        window = LatencyWindow(3)
+        for value in (7.0, 8.0, 9.0):
+            window.record(value)
+        for value in (1.0, 2.0, 3.0):
+            window.record(value)
+        assert window.quantile(1.0) == 3.0
+        assert window.quantile(0.01) == 1.0
+
+
+class TestLatencyWindowNonFinite:
+    @pytest.mark.parametrize(
+        "bad", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_non_finite_observations_rejected(self, bad):
+        window = LatencyWindow(4)
+        window.record(1.0)
+        with pytest.raises(ValueError, match="finite"):
+            window.record(bad)
+        # The rejection must not have consumed a slot.
+        assert len(window) == 1
+        assert window.quantile(0.99) == 1.0
+
+    def test_rejection_cannot_poison_quantiles(self):
+        window = LatencyWindow(8)
+        for value in (1.0, 2.0, 3.0):
+            window.record(value)
+        with pytest.raises(ValueError):
+            window.record(float("nan"))
+        assert math.isfinite(window.quantile(0.5))
+        assert window.quantile(0.5) == 2.0
+
+
+class TestQuantileCrossCheck:
+    def test_matches_statistics_quantiles_on_seeded_stream(self):
+        """Nearest-rank must agree with the stdlib's inclusive method at
+        the cut points it defines exactly (n divisible by the bucket
+        count, q on a bucket boundary)."""
+        rng = random.Random(20260808)
+        values = [rng.uniform(0.001, 2.0) for _ in range(1000)]
+        window = LatencyWindow(1000)
+        for value in values:
+            window.record(value)
+        cuts = statistics.quantiles(values, n=100, method="inclusive")
+        ordered = sorted(values)
+        for q in (0.50, 0.90, 0.95, 0.99):
+            nearest = window.quantile(q)
+            stdlib = cuts[round(q * 100) - 1]
+            # Nearest-rank picks an order statistic adjacent to the
+            # stdlib's interpolated cut; they can differ by at most one
+            # sample spacing at that rank.
+            rank = max(0, math.ceil(q * len(ordered)) - 1)
+            neighbourhood = ordered[max(0, rank - 1) : rank + 2]
+            assert nearest == ordered[rank]
+            assert min(neighbourhood) <= stdlib <= max(neighbourhood) or (
+                abs(stdlib - nearest) <= 1e-9
+            )
+
+    def test_quantiles_are_monotone_in_q(self):
+        rng = random.Random(7)
+        window = LatencyWindow(256)
+        for _ in range(256):
+            window.record(rng.expovariate(10.0))
+        quantiles = [window.quantile(q / 100) for q in range(1, 101)]
+        assert quantiles == sorted(quantiles)
+
+
+class TestServiceStatsQuantiles:
+    def test_snapshot_reports_window_quantiles_in_ms(self):
+        stats = ServiceStats(latency_window=64)
+        for i in range(1, 101):  # seconds: 0.001 .. 0.1, window keeps 64
+            stats.record_completed("search", i / 1000.0)
+        block = stats.snapshot()["latency_ms"]
+        assert block["window"] == 64
+        # Window holds 37..100 ms; nearest-rank p50 is the 32nd of 64.
+        assert block["p50"] == pytest.approx(68.0)
+        assert block["p99"] == pytest.approx(100.0)
+
+    def test_non_finite_latency_rejected_by_stats(self):
+        stats = ServiceStats()
+        with pytest.raises(ValueError, match="finite"):
+            stats.record_completed("search", float("nan"))

@@ -4,7 +4,12 @@ import json
 
 import pytest
 
-from repro.analysis.tracing import TracingSearch, read_trace
+from repro.analysis.tracing import (
+    SERVICE_TRACE_FIELDS,
+    TRACE_FIELDS,
+    TracingSearch,
+    read_trace,
+)
 from repro.core.database import SequenceDatabase
 from repro.core.search import SimilaritySearch
 
@@ -79,3 +84,40 @@ class TestTracingSearch:
         traced = TracingSearch(engine)
         traced.search(rng.random((7, 2)), 0.25)
         json.dumps(traced.records)  # must not raise
+
+
+class TestTraceSchema:
+    """The library and the serving layer share one trace schema.
+
+    ``TRACE_FIELDS`` is the contract: ``search_record`` writes exactly
+    those keys, and the engine's per-request records are exactly
+    ``SERVICE_TRACE_FIELDS`` (the same keys plus the serving context).
+    A drift on either side fails here, not in someone's trace-analysis
+    notebook.
+    """
+
+    def test_search_record_keys_are_exactly_trace_fields(self, engine, rng):
+        traced = TracingSearch(engine)
+        traced.search(rng.random((9, 2)), 0.2)
+        assert tuple(traced.records[0].keys()) == TRACE_FIELDS
+
+    def test_service_fields_extend_trace_fields(self):
+        assert SERVICE_TRACE_FIELDS[: len(TRACE_FIELDS)] == TRACE_FIELDS
+        assert set(SERVICE_TRACE_FIELDS) - set(TRACE_FIELDS) == {
+            "op",
+            "cache",
+            "snapshot_version",
+        }
+
+    def test_engine_trace_records_match_service_schema(self, rng, tmp_path):
+        from repro.service import QueryEngine
+
+        db = SequenceDatabase(dimension=2)
+        for i in range(4):
+            db.add(rng.random((20, 2)), sequence_id=i)
+        trace_path = tmp_path / "engine.jsonl"
+        with QueryEngine(db, workers=1, trace_path=trace_path) as service:
+            service.search(rng.random((8, 2)), 0.2)
+        records = read_trace(trace_path)
+        assert records, "engine wrote no trace records"
+        assert set(records[0].keys()) == set(SERVICE_TRACE_FIELDS)

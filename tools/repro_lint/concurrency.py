@@ -40,8 +40,10 @@ __all__ = [
     "THREAD_SAFE_WAIVER",
 ]
 
-# Layers whose library modules carry the concurrency obligations.
-_CONCURRENT_LAYERS = frozenset({"service", "cluster"})
+# Layers whose library modules carry the concurrency obligations.  The
+# bench layer qualifies because its load generator runs worker threads
+# against shared cursors.
+_CONCURRENT_LAYERS = frozenset({"service", "cluster", "bench"})
 
 # The declared intra-module lock acquisition order: while holding a lock,
 # a thread may only take locks that appear *later* in its module's tuple.

@@ -51,6 +51,23 @@ LAYER_ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
     # Cluster coordination sits above serving: it composes whole
     # QueryEngine stacks behind a router and must never be imported back.
     "cluster": frozenset({"cluster", "service", "analysis", "core", "util"}),
+    # The benchmark subsystem measures everything below it (it drives
+    # engines and clusters, generates corpora, reads traces) and nothing
+    # may depend on it: a production layer importing its own benchmark
+    # harness would be a cycle by construction.
+    "bench": frozenset(
+        {
+            "bench",
+            "cluster",
+            "service",
+            "analysis",
+            "datagen",
+            "baselines",
+            "index",
+            "core",
+            "util",
+        }
+    ),
 }
 
 # The util.validation helpers REP106 accepts as argument validation.
