@@ -56,6 +56,7 @@ class BenchProfile:
     cluster_backends: int
     cluster_replication: int
     cluster_queries: int
+    catchup_records: int = 200
 
     def __post_init__(self) -> None:
         check_positive("corpus_sequences", self.corpus_sequences)
@@ -67,6 +68,7 @@ class BenchProfile:
         check_positive("cluster_backends", self.cluster_backends)
         check_positive("cluster_replication", self.cluster_replication)
         check_positive("cluster_queries", self.cluster_queries)
+        check_positive("catchup_records", self.catchup_records)
         if self.cluster_replication > self.cluster_backends:
             raise ValueError(
                 "cluster_replication cannot exceed cluster_backends"
@@ -89,6 +91,7 @@ class BenchProfile:
             cluster_backends=3,
             cluster_replication=2,
             cluster_queries=12,
+            catchup_records=200,
         )
 
     @classmethod
@@ -108,6 +111,7 @@ class BenchProfile:
             cluster_backends=4,
             cluster_replication=2,
             cluster_queries=48,
+            catchup_records=5000,
         )
 
 

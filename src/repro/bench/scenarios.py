@@ -1,7 +1,7 @@
 """The canonical benchmark scenarios.
 
 Importing this module populates the registry in
-:mod:`repro.bench.registry`.  Five scenarios cover the stack bottom-up,
+:mod:`repro.bench.registry`.  Six scenarios cover the stack bottom-up,
 one per architectural capability the ROADMAP's perf items will move:
 
 ========  ==================  ========================================
@@ -12,6 +12,8 @@ service   end_to_end          QueryEngine under a mixed closed loop
 service   cache_hit_ratio     ε-aware cache hits under Zipf-skewed reads
 service   wal_recovery        cold-start replay time of a dirty WAL
 cluster   scatter_gather      fan-out latency, healthy and one-dead
+cluster   replica_catchup     log-shipping catch-up time for a cold
+                              follower behind by a full leader WAL
 ========  ==================  ========================================
 
 Every scenario is a pure function of ``(profile, seed)``: corpora,
@@ -24,6 +26,7 @@ from __future__ import annotations
 
 import tempfile
 import time
+from pathlib import Path
 
 import numpy as np
 import numpy.typing as npt
@@ -45,6 +48,7 @@ from repro.core.sequence import MultidimensionalSequence
 from repro.datagen.queries import generate_queries
 from repro.datagen.video import generate_video_corpus
 from repro.service.engine import QueryEngine
+from repro.service.follower import WalFollower
 from repro.service.wal import DurabilityConfig
 from repro.util.faults import FaultRule, fault_plan
 
@@ -335,5 +339,79 @@ def _cluster_scatter_gather(profile: BenchProfile, seed: int) -> BenchResult:
             "replication": profile.cluster_replication,
             "queries_per_sweep": profile.cluster_queries,
             "killed_backend": 0,
+        },
+    )
+
+
+@register_scenario(
+    "cluster",
+    "replica_catchup",
+    "log-shipping catch-up seconds for a fresh follower behind a full WAL",
+)
+def _cluster_replica_catchup(profile: BenchProfile, seed: int) -> BenchResult:
+    rng = np.random.default_rng(seed)
+    batch_limit = 512
+    with tempfile.TemporaryDirectory(prefix="repro-bench-ship-") as root:
+        base = Path(root)
+        leader_config = DurabilityConfig(
+            base / "leader", fsync=False, checkpoint_on_close=False
+        )
+        replica_config = DurabilityConfig(
+            base / "replica", fsync=False, checkpoint_on_close=False
+        )
+        with QueryEngine(
+            SequenceDatabase(dimension=_DIMENSION),
+            workers=1,
+            durability=leader_config,
+        ) as leader:
+            # Build the backlog first: every record below is already in the
+            # leader's WAL before the follower takes its first poll, so the
+            # timing isolates pure catch-up (tail + CRC + replay), not
+            # leader ingest.
+            for index in range(profile.catchup_records):
+                leader.insert(
+                    rng.random((8, _DIMENSION)),
+                    sequence_id=f"ship-{index}",
+                )
+            with QueryEngine(
+                SequenceDatabase(dimension=_DIMENSION),
+                workers=1,
+                durability=replica_config,
+            ) as replica:
+                follower = WalFollower(
+                    replica,
+                    leader,
+                    cursor_path=base / "cursor.json",
+                    batch_limit=batch_limit,
+                )
+                started = time.perf_counter()
+                while True:
+                    summary = follower.poll()
+                    if summary["lag"] == 0:
+                        break
+                catchup_s = time.perf_counter() - started
+                status = follower.status()
+                if len(replica.sequence_ids()) != len(leader.sequence_ids()):
+                    raise RuntimeError(
+                        "replica_catchup follower did not reach leader "
+                        f"parity: {len(replica.sequence_ids())} of "
+                        f"{len(leader.sequence_ids())} sequences"
+                    )
+    return BenchResult(
+        suite="cluster",
+        scenario="replica_catchup",
+        metrics={
+            "catchup_s": catchup_s,
+            "records_per_s": (
+                profile.catchup_records / catchup_s if catchup_s > 0 else 0.0
+            ),
+            "applied_records": float(status["applied_records"]),
+            "batches": float(status["batches"]),
+        },
+        meta={
+            "records": profile.catchup_records,
+            "batch_limit": batch_limit,
+            "resyncs": status["resyncs"],
+            "fsync": False,
         },
     )

@@ -128,6 +128,7 @@ DEFAULT_SLO_RULES: tuple[SloRule, ...] = (
     SloRule("service", "wal_recovery", "recovery_ms", ceiling=60_000.0),
     SloRule("cluster", "scatter_gather", "complete_ratio", floor=1.0),
     SloRule("cluster", "scatter_gather", "killed_p95_ms", ceiling=30_000.0),
+    SloRule("cluster", "replica_catchup", "catchup_s", ceiling=120.0),
 )
 
 

@@ -139,6 +139,22 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--verbose", action="store_true", help="log each HTTP request"
     )
+    serve.add_argument(
+        "--follow",
+        default=None,
+        metavar="URL",
+        help=(
+            "run as a read-only follower of this leader: tail its WAL over "
+            "/wal/tail and reject direct writes (requires --data-dir for "
+            "the durable cursor)"
+        ),
+    )
+    serve.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.2,
+        help="seconds between WAL tail polls in follower mode",
+    )
 
     cluster = commands.add_parser(
         "cluster-serve",
@@ -225,6 +241,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cluster.add_argument(
         "--verbose", action="store_true", help="log each HTTP request"
+    )
+    cluster.add_argument(
+        "--journal-dir",
+        default=None,
+        help=(
+            "directory for the durable repair journal; queued read-repair "
+            "ops survive a coordinator restart"
+        ),
+    )
+    cluster.add_argument(
+        "--max-repair-ops",
+        type=int,
+        default=10_000,
+        help=(
+            "per-backend repair queue bound; overflow forces a full "
+            "snapshot resync of the lagging backend"
+        ),
+    )
+    cluster.add_argument(
+        "--follower",
+        action="append",
+        dest="follower_specs",
+        default=None,
+        metavar="URL=LEADER",
+        help=(
+            "a follower replica as URL=LEADER_INDEX (attached mode); "
+            "repeatable — followers serve bounded-staleness reads for "
+            "their leader's shards"
+        ),
+    )
+    cluster.add_argument(
+        "--max-lag-records",
+        type=int,
+        default=None,
+        help=(
+            "staleness bound for follower reads (records behind the "
+            "leader); unset keeps followers probe-only"
+        ),
     )
 
     route = commands.add_parser(
@@ -418,9 +472,22 @@ def _command_serve(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.core.database import SequenceDatabase
-    from repro.service import DurabilityConfig, QueryEngine
+    from repro.service import (
+        DurabilityConfig,
+        QueryEngine,
+        ServiceClient,
+        WalFollower,
+    )
     from repro.service.http import serve as bind_server
     from repro.service.http import shutdown_gracefully
+
+    if args.follow is not None and args.data_dir is None:
+        print(
+            "repro serve: --follow requires --data-dir (the follower's "
+            "durable cursor and WAL live there)",
+            file=sys.stderr,
+        )
+        return 2
 
     durability = None
     if args.data_dir is not None:
@@ -430,16 +497,34 @@ def _command_serve(args: argparse.Namespace) -> int:
             checkpoint_every=args.checkpoint_every,
         )
 
+    leader = None
+    if args.follow is not None:
+        leader = ServiceClient(args.follow, timeout=30.0)
+
     database = None
     if args.corpus is not None:
         database = SequenceDatabase.load(args.corpus)
     elif durability is None or not durability.snapshot_path.exists():
-        print(
-            "repro serve: --corpus is required unless --data-dir holds a "
-            "previous snapshot",
-            file=sys.stderr,
-        )
-        return 2
+        if leader is not None:
+            # A fresh follower bootstraps an empty corpus in the leader's
+            # dimension; the tail loop (or a snapshot resync) fills it.
+            try:
+                dimension = int(leader.healthz()["dimension"])
+            except Exception as error:  # noqa: BLE001 - operator-facing
+                print(
+                    f"repro serve: cannot reach leader {args.follow}: "
+                    f"{error}",
+                    file=sys.stderr,
+                )
+                return 2
+            database = SequenceDatabase(dimension)
+        else:
+            print(
+                "repro serve: --corpus is required unless --data-dir holds "
+                "a previous snapshot",
+                file=sys.stderr,
+            )
+            return 2
 
     engine = QueryEngine(
         database,
@@ -451,15 +536,28 @@ def _command_serve(args: argparse.Namespace) -> int:
         durability=durability,
         degrade_after=args.degrade_after,
     )
+    follower = None
+    if leader is not None:
+        follower = WalFollower(
+            engine,
+            leader,
+            cursor_path=Path(args.data_dir) / "follower_cursor.json",
+            leader_url=args.follow,
+        )
     server = bind_server(
-        engine, host=args.host, port=args.port, verbose=args.verbose
+        engine,
+        host=args.host,
+        port=args.port,
+        verbose=args.verbose,
+        follower=follower,
     )
     host, port = server.server_address[:2]
     durable = " durable" if durability is not None else ""
+    role = f" following {args.follow}" if follower is not None else ""
     print(
         f"repro serve: {len(engine)} sequences "
         f"({engine.stats()['segments']} MBRs) on http://{host}:{port} "
-        f"with {args.workers} workers{durable}",
+        f"with {args.workers} workers{durable}{role}",
         flush=True,
     )
 
@@ -477,9 +575,22 @@ def _command_serve(args: argparse.Namespace) -> int:
         target=server.serve_forever, name="repro-serve-accept", daemon=True
     )
     accept_loop.start()
+    tail_loop = None
+    if follower is not None:
+        tail_loop = threading.Thread(
+            target=follower.run,
+            args=(stop,),
+            kwargs={"interval": args.poll_interval},
+            name="repro-serve-follower",
+            daemon=True,
+        )
+        tail_loop.start()
     try:
         stop.wait()
     finally:
+        stop.set()
+        if tail_loop is not None:
+            tail_loop.join(timeout=max(5.0, 2 * args.poll_interval))
         # Stop accepting, let in-flight requests finish (bounded), then
         # close the engine (checkpointing if durable) and release the port.
         drained = shutdown_gracefully(
@@ -563,6 +674,23 @@ def _command_cluster_serve(args: argparse.Namespace) -> int:
             "in-process backend(s)"
         )
 
+    followers: list[tuple[Backend, int]] = []
+    for spec in args.follower_specs or []:
+        url, separator, leader_token = spec.rpartition("=")
+        if not separator or not url or not leader_token.isdigit():
+            print(
+                f"repro cluster-serve: bad --follower {spec!r} "
+                "(expected URL=LEADER_INDEX)",
+                file=sys.stderr,
+            )
+            return 2
+        followers.append(
+            (
+                ServiceClient(url, timeout=args.backend_timeout),
+                int(leader_token),
+            )
+        )
+
     hedge = (
         None
         if args.no_hedge
@@ -575,6 +703,10 @@ def _command_cluster_serve(args: argparse.Namespace) -> int:
         hedge=hedge,
         write_quorum=args.write_quorum,
         probe_interval=args.probe_interval,
+        journal_dir=args.journal_dir,
+        max_repair_ops=args.max_repair_ops,
+        followers=followers or None,
+        max_lag_records=args.max_lag_records,
     )
     coordinator.seed_order(seed_ids)
     server = serve_cluster(
@@ -679,18 +811,28 @@ def _command_wal_inspect(args: argparse.Namespace) -> int:
         f"(insert {ops['insert']}, append {ops['append']}, "
         f"remove {ops['remove']})"
     )
+    print(
+        f"  seqs: horizon {inspection.horizon}, last_seq "
+        f"{inspection.last_seq} (shippable range "
+        f"({inspection.horizon}, {inspection.last_seq}])"
+    )
     if args.records:
         for entry in inspection.entries:
-            if entry.record is None:
-                continue
             record = entry.record
+            if record is None:
+                if entry.checkpoint_seq is not None:
+                    print(
+                        f"  @{entry.offset:<8} crc=ok checkpoint "
+                        f"seq={entry.checkpoint_seq}"
+                    )
+                continue
             extent = (
                 "" if record.points is None else f" points={len(record.points)}"
             )
             length = "" if record.length is None else f" length={record.length}"
             print(
                 f"  @{entry.offset:<8} crc=ok {record.op:<6} "
-                f"id={record.sequence_id!r}{extent}{length}"
+                f"seq={record.seq} id={record.sequence_id!r}{extent}{length}"
             )
     if inspection.torn:
         tail = inspection.entries[-1] if inspection.entries else None

@@ -21,7 +21,13 @@ union corpus:
   requests after a latency quantile, quorum writes with read-repair, and
   *typed* partial-result degradation: a whole shard going dark turns
   ``search`` results into ``complete=False`` + the missing shard list,
-  never an untyped error, while ``knn`` fails closed by default.
+  never an untyped error, while ``knn`` fails closed by default.  WAL
+  log-shipping followers can be registered for bounded-staleness reads
+  (``max_lag_records``).
+* :mod:`repro.cluster.repair` — the bounded, optionally crash-durable
+  read-repair journal: missed writes are journaled per backend and
+  replayed on recovery; queue overflow forces a full snapshot resync
+  from a healthy peer instead of an unbounded replay.
 * :mod:`repro.cluster.backends` — the transport-agnostic backend surface:
   :class:`~repro.service.client.ServiceClient` for real clusters,
   :class:`LocalBackend` (JSON-round-tripped in-process engines) for
@@ -57,6 +63,11 @@ from repro.cluster.coordinator import (
 from repro.cluster.health import BackendHealth, HealthTracker
 from repro.cluster.http import ClusterServer, serve_cluster
 from repro.cluster.merge import merge_knn, merge_search_payloads
+from repro.cluster.repair import (
+    DEFAULT_MAX_REPAIR_OPS,
+    RepairEntry,
+    RepairJournal,
+)
 from repro.cluster.router import Placement, ShardRouter, canonical_id, shard_of
 
 __all__ = [
@@ -66,10 +77,13 @@ __all__ = [
     "ClusterKnnResult",
     "ClusterSearchResult",
     "ClusterServer",
+    "DEFAULT_MAX_REPAIR_OPS",
     "HealthTracker",
     "HedgePolicy",
     "LocalBackend",
     "Placement",
+    "RepairEntry",
+    "RepairJournal",
     "ShardRouter",
     "canonical_id",
     "merge_knn",

@@ -26,6 +26,8 @@ from repro.util.validation import check_threshold
 if TYPE_CHECKING:
     import numpy.typing as npt
 
+    from repro.service.follower import WalFollower
+
 __all__ = ["Backend", "LocalBackend"]
 
 
@@ -92,13 +94,25 @@ class LocalBackend:
     one, and parity tests exercise the same code paths either way.
     """
 
-    def __init__(self, engine: QueryEngine, *, name: str = "local") -> None:
+    def __init__(
+        self,
+        engine: QueryEngine,
+        *,
+        name: str = "local",
+        follower: "WalFollower | None" = None,
+    ) -> None:
         self.engine = engine
         self.name = name
+        #: When this backend is a WAL-shipping replica, its follower loop
+        #: — surfaced as the ``replication`` block of ``healthz()`` so a
+        #: coordinator can gate bounded-staleness reads on its lag.
+        self.follower = follower
 
     def healthz(self) -> dict:
         """Liveness probe: same payload as the HTTP ``/healthz`` route."""
-        return dict(_round_trip(healthz_payload(self.engine)))
+        return dict(
+            _round_trip(healthz_payload(self.engine, follower=self.follower))
+        )
 
     def stats(self) -> dict:
         """The engine's metrics block (JSON round-tripped)."""
@@ -170,6 +184,51 @@ class LocalBackend:
             _round_trip(
                 {
                     "sequence_id": sequence_id,
+                    "sequences": len(self.engine),
+                    "snapshot_version": self.engine.snapshot_version,
+                }
+            )
+        )
+
+    # -- replication surface (mirrors ServiceClient's) -----------------
+    def wal_tail(
+        self,
+        after_seq: int,
+        *,
+        snapshot_version: int | None = None,
+        limit: int = 512,
+    ) -> dict:
+        """Tail the engine's WAL, shaped like ``ServiceClient.wal_tail``."""
+        return dict(
+            _round_trip(
+                self.engine.wal_tail(
+                    after_seq, snapshot_version=snapshot_version, limit=limit
+                )
+            )
+        )
+
+    def export_sequences(
+        self,
+        sequence_ids: list[object] | None = None,
+        *,
+        include_points: bool = True,
+    ) -> dict:
+        """Full-corpus export for snapshot resync (transport-shaped)."""
+        return dict(
+            _round_trip(
+                self.engine.export_sequences(
+                    sequence_ids, include_points=include_points
+                )
+            )
+        )
+
+    def restore(self, sequences: list[dict]) -> dict:
+        """Replace the engine's corpus with an exported one."""
+        restored = self.engine.restore(sequences)
+        return dict(
+            _round_trip(
+                {
+                    "restored": restored,
                     "sequences": len(self.engine),
                     "snapshot_version": self.engine.snapshot_version,
                 }

@@ -25,13 +25,25 @@ the paper's operations cluster-wide:
   result instead.
 * **Writes** (``insert`` / ``append`` / ``remove``) go to all replicas of
   the owning shard with best-effort quorum (majority acks); replicas that
-  miss a write are queued for **read-repair** and caught up as soon as a
-  probe or a successful request sees them healthy again.
+  miss a write are queued in the **repair journal**
+  (:mod:`repro.cluster.repair`) and caught up as soon as a probe or a
+  successful request sees them healthy again.  With ``journal_dir`` set
+  the journal is crash-durable: queued repair state survives a
+  coordinator kill -9.  Queues are bounded (``max_repair_ops``); at
+  overflow the backend is flagged for a full **snapshot resync** from a
+  healthy peer replica instead of replaying an unbounded tail.
+* **Bounded-staleness reads**: WAL-shipping followers
+  (:class:`~repro.service.follower.WalFollower` replicas registered via
+  ``followers=[(backend, leader_index), ...]``) serve as extra read
+  capacity for their leader's shards — but only while their last probed
+  replication lag is within ``max_lag_records``, so a stale follower can
+  never silently answer a read that demands fresher data.
 
 Health is tracked per backend (:mod:`repro.cluster.health`) from request
 outcomes and explicit :meth:`ClusterCoordinator.probe` sweeps of
 ``/healthz`` — which also surface each backend's durability lag
-(``wal_records`` since its last checkpoint).
+(``wal_records`` since its last checkpoint) and, for followers, the
+replication lag that gates their read eligibility.
 """
 
 from __future__ import annotations
@@ -40,6 +52,7 @@ import time
 import uuid
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable
 
 import numpy as np
@@ -47,11 +60,16 @@ import numpy as np
 from repro.cluster.backends import Backend
 from repro.cluster.health import HealthTracker
 from repro.cluster.merge import MergedSearch, merge_knn, merge_search_payloads
+from repro.cluster.repair import (
+    DEFAULT_MAX_REPAIR_OPS,
+    RepairJournal,
+)
 from repro.cluster.router import ShardRouter, canonical_id
 from repro.service.client import TRANSPORT_ERRORS
 from repro.service.errors import (
     CircuitOpen,
     EngineClosed,
+    RepairOverflow,
     ServiceError,
     ShardUnavailable,
     WriteQuorumFailed,
@@ -168,15 +186,6 @@ class ClusterKnnResult:
     missing_shards: tuple[int, ...] = ()
 
 
-@dataclass
-class _RepairOp:
-    """One write a replica missed, queued for replay when it recovers."""
-
-    op: str
-    sequence_id: object
-    points: list | None = None
-
-
 class ClusterCoordinator:
     """Scatter-gather serving over sharded, replicated backends.
 
@@ -202,6 +211,22 @@ class ClusterCoordinator:
     probe_interval:
         Seconds between automatic recovery probes of a down backend
         (also the default for an injected ``health`` tracker).
+    journal_dir:
+        Directory for the durable repair journal; ``None`` (the default)
+        keeps repair queues in memory, as before.
+    max_repair_ops:
+        Per-backend repair queue bound; overflow drops the queue and
+        flags the backend for a full snapshot resync.
+    followers:
+        ``(backend, leader_index)`` pairs: WAL-shipping follower replicas
+        of ``backends[leader_index]``.  Followers take no writes and own
+        no shards; they are extra read capacity for their leader's
+        shards, gated by ``max_lag_records``.
+    max_lag_records:
+        Staleness bound for follower reads: a follower is read-eligible
+        only while its last probed replication lag is at most this many
+        records.  ``None`` (the default) keeps followers probe-only —
+        tracked but never routed to.
     """
 
     def __init__(
@@ -214,22 +239,45 @@ class ClusterCoordinator:
         hedge: HedgePolicy | None = HedgePolicy(),
         write_quorum: int | None = None,
         probe_interval: float = 5.0,
+        journal_dir: str | Path | None = None,
+        max_repair_ops: int = DEFAULT_MAX_REPAIR_OPS,
+        followers: list[tuple[Backend, int]] | None = None,
+        max_lag_records: int | None = None,
     ) -> None:
         if not backends:
             raise ValueError("a cluster needs at least one backend")
         self.backends = list(backends)
+        self.followers = list(followers or [])
+        for position, (_, leader_index) in enumerate(self.followers):
+            if not 0 <= leader_index < len(self.backends):
+                raise ValueError(
+                    f"follower {position} names leader {leader_index}, "
+                    f"backends are [0, {len(self.backends)})"
+                )
+        if max_lag_records is not None and max_lag_records < 0:
+            raise ValueError(
+                f"max_lag_records must be >= 0 or None, got {max_lag_records}"
+            )
+        self.max_lag_records = max_lag_records
+        # The node space routed by health / _call_backend: writable shard
+        # backends first, then read-only followers.
+        self._nodes: list[Backend] = [
+            *self.backends,
+            *(backend for backend, _ in self.followers),
+        ]
         self.router = ShardRouter(
             num_backends=len(self.backends),
             num_shards=num_shards,
             replication=replication,
         )
         self.health = health or HealthTracker(
-            len(self.backends), probe_interval=probe_interval
+            len(self._nodes), probe_interval=probe_interval
         )
-        if self.health.num_backends != len(self.backends):
+        if self.health.num_backends != len(self._nodes):
             raise ValueError(
                 f"health tracker covers {self.health.num_backends} backends, "
-                f"cluster has {len(self.backends)}"
+                f"cluster has {len(self._nodes)} "
+                "(shard backends plus followers)"
             )
         self.hedge = hedge
         if write_quorum is None:
@@ -251,7 +299,7 @@ class ClusterCoordinator:
             thread_name_prefix="repro-cluster-scatter",
         )
         self._backend_pool = ThreadPoolExecutor(
-            max_workers=max(4, 2 * len(self.backends)),
+            max_workers=max(4, 2 * len(self._nodes)),
             thread_name_prefix="repro-cluster-io",
         )
         self._order: dict[str, int] = {}
@@ -261,10 +309,14 @@ class ClusterCoordinator:
         # coordinator over the same backends, nor with user ids.
         self._auto_token = uuid.uuid4().hex[:8]
         self._auto_id = 0
-        self._repairs: dict[int, list[_RepairOp]] = {
-            index: [] for index in range(len(self.backends))
-        }
-        self._repair_lock = TracedLock("coordinator.repairs")
+        self.journal = RepairJournal(
+            len(self.backends), directory=journal_dir, max_ops=max_repair_ops
+        )
+        #: Last probed replication lag per follower *node* index; a
+        #: follower missing here has never probed healthy and is
+        #: read-ineligible regardless of ``max_lag_records``.
+        self._follower_lag: dict[int, int] = {}
+        self._lag_lock = TracedLock("coordinator.lag")
         # One drain may run per backend at a time: probe() drains
         # synchronously while _call_backend submits drains to the pool
         # on down -> up transitions, and a concurrent double-replay
@@ -286,6 +338,9 @@ class ClusterCoordinator:
             "repairs_queued": 0,
             "repairs_replayed": 0,
             "repairs_dropped": 0,
+            "repairs_overflowed": 0,
+            "resyncs": 0,
+            "follower_reads": 0,
             "divergent_writes": 0,
             "quorum_failures": 0,
             "probes": 0,
@@ -303,6 +358,7 @@ class ClusterCoordinator:
         self._closed = True  # thread-safe: monotonic latch, races are benign
         self._scatter_pool.shutdown(wait=False)
         self._backend_pool.shutdown(wait=False)
+        self.journal.close()
 
     def __enter__(self) -> "ClusterCoordinator":
         return self
@@ -531,9 +587,7 @@ class ClusterCoordinator:
             # idempotent, so a repair that turns out unnecessary is
             # absorbed).
             for backend_index in (*skipped, *missed):
-                self._queue_repair(
-                    backend_index, _RepairOp(op, sequence_id, points)
-                )
+                self._queue_repair(backend_index, op, sequence_id, points)
             raise caller_error
         if rejected:
             # At least one replica acked, so the request was
@@ -544,9 +598,7 @@ class ClusterCoordinator:
             # quorum already applied.
             self._count("divergent_writes", len(rejected))
         for backend_index in (*skipped, *missed, *rejected):
-            self._queue_repair(
-                backend_index, _RepairOp(op, sequence_id, points)
-            )
+            self._queue_repair(backend_index, op, sequence_id, points)
         if acks < self.write_quorum:
             self._count("quorum_failures")
             raise WriteQuorumFailed(
@@ -562,19 +614,29 @@ class ClusterCoordinator:
     # ------------------------------------------------------------------
     # Read-repair
     # ------------------------------------------------------------------
-    def _queue_repair(self, backend_index: int, op: _RepairOp) -> None:
-        with self._repair_lock:
-            self._repairs[backend_index].append(op)
-        self._count("repairs_queued")
+    def _queue_repair(
+        self,
+        backend_index: int,
+        op: str,
+        sequence_id: object,
+        points: list | None = None,
+    ) -> None:
+        try:
+            queued = self.journal.queue(
+                backend_index, op, sequence_id, points=points
+            )
+        except RepairOverflow:
+            # The journal dropped the queue and flagged the backend for a
+            # snapshot resync; the write itself already reached its
+            # quorum, so overflow is counted, not raised to the caller.
+            self._count("repairs_overflowed")
+            return
+        if queued:
+            self._count("repairs_queued")
 
     def repair_pending(self) -> dict[int, int]:
         """Queued repair ops per backend (non-empty queues only)."""
-        with self._repair_lock:
-            return {
-                index: len(queue)
-                for index, queue in self._repairs.items()
-                if queue
-            }
+        return self.journal.pending()
 
     def _drain_repairs(self, backend_index: int) -> int:
         """Replay a recovered backend's missed writes, in order.
@@ -596,26 +658,33 @@ class ClusterCoordinator:
     def _drain_repairs_locked(self, backend_index: int) -> int:
         backend = self.backends[backend_index]
         replayed = 0
+        if self.journal.needs_resync(backend_index):
+            # Tail-repair overflowed: only a full snapshot copy from a
+            # healthy peer can converge this backend.  Until one
+            # succeeds the flag stays set and the next probe retries.
+            if not self._resync_backend(backend_index):
+                return replayed
         while True:
-            with self._repair_lock:
-                if not self._repairs[backend_index]:
-                    return replayed
-                op = self._repairs[backend_index][0]
+            entry = self.journal.peek(backend_index)
+            if entry is None:
+                return replayed
             dropped = False
             try:
                 inject("cluster.read-repair")
-                if op.op == "insert":
+                if entry.op == "insert":
                     try:
-                        backend.insert(op.points, sequence_id=op.sequence_id)
+                        backend.insert(
+                            entry.points, sequence_id=entry.sequence_id
+                        )
                     except KeyError:
                         pass  # already present: the write did land
-                elif op.op == "remove":
+                elif entry.op == "remove":
                     try:
-                        backend.remove(op.sequence_id)
+                        backend.remove(entry.sequence_id)
                     except KeyError:
                         pass  # already absent
                 else:
-                    backend.append(op.sequence_id, op.points)
+                    backend.append(entry.sequence_id, entry.points)
             except _FAILOVER_ERRORS:
                 # Still unhealthy: keep the queue, try again next probe.
                 self.health.record_failure(backend_index)
@@ -626,25 +695,85 @@ class ClusterCoordinator:
                 # retry can fix it, so dead-letter the op rather than
                 # wedging the queue — and the probe thread — forever.
                 dropped = True
-            with self._repair_lock:
-                queue = self._repairs[backend_index]
-                if queue and queue[0] is op:
-                    queue.pop(0)
+            self.journal.ack(backend_index, entry)
             if dropped:
                 self._count("repairs_dropped")
             else:
                 replayed += 1
                 self._count("repairs_replayed")
 
-    def probe(self) -> dict[int, bool]:
-        """Probe every backend's ``/healthz``; drain repairs on recovery.
+    def _resync_backend(self, backend_index: int) -> bool:
+        """Rebuild an overflowed backend from healthy peer exports.
 
-        Returns ``backend index -> probe succeeded``.  Run this on a
-        timer in a long-lived deployment (``repro cluster-serve`` does)
-        or explicitly in tests.
+        Every shard the backend hosts needs one healthy peer replica
+        exposing ``export_sequences``; the target must expose
+        ``restore``.  The donated exports are filtered to the sequences
+        this backend should hold (placement is a pure function of the
+        id) and restored in one shot.  Returns ``False`` — leaving the
+        resync flag set for the next probe — when any donor or the
+        restore is unavailable; with ``replication=1`` a shard has no
+        peer and the flag can only clear once an operator reloads the
+        corpus.
+        """
+        target = self.backends[backend_index]
+        restore = getattr(target, "restore", None)
+        if restore is None:
+            return False
+        donors: dict[int, int] = {}
+        for shard in range(self.router.num_shards):
+            replicas = self.router.replicas_of(shard)
+            if backend_index not in replicas:
+                continue
+            donor = next(
+                (
+                    index
+                    for index in replicas
+                    if index != backend_index
+                    and self.health.usable(index)
+                    and getattr(
+                        self.backends[index], "export_sequences", None
+                    )
+                    is not None
+                ),
+                None,
+            )
+            if donor is None:
+                return False
+            donors[shard] = donor
+        sequences: dict[str, dict] = {}
+        for donor in sorted(set(donors.values())):
+            exporter = getattr(self.backends[donor], "export_sequences", None)
+            if exporter is None:
+                return False
+            try:
+                export = exporter()
+            except _FAILOVER_ERRORS:
+                self.health.record_failure(donor)
+                return False
+            for entry in export["sequences"]:
+                placement = self.router.placement(entry["id"])
+                if donors.get(placement.shard) == donor:
+                    sequences[canonical_id(entry["id"])] = entry
+        try:
+            restore(list(sequences.values()))
+        except _FAILOVER_ERRORS:
+            self.health.record_failure(backend_index)
+            return False
+        self.journal.mark_resynced(backend_index)
+        self._count("resyncs")
+        return True
+
+    def probe(self) -> dict[int, bool]:
+        """Probe every node's ``/healthz``; drain repairs on recovery.
+
+        Returns ``node index -> probe succeeded`` (shard backends first,
+        then followers).  A follower probe also refreshes the replication
+        lag that gates its read eligibility.  Run this on a timer in a
+        long-lived deployment (``repro cluster-serve`` does) or
+        explicitly in tests.
         """
         outcomes: dict[int, bool] = {}
-        for index, backend in enumerate(self.backends):
+        for index, backend in enumerate(self._nodes):
             self._count("probes")
             inject("cluster.health.probe")
             inject(f"cluster.backend.{index}.probe")
@@ -653,18 +782,42 @@ class ClusterCoordinator:
             except (*_FAILOVER_ERRORS, KeyError, TypeError, ValueError):
                 self.health.record_probe(index, None)
                 outcomes[index] = False
+                if index >= len(self.backends):
+                    with self._lag_lock:
+                        self._follower_lag.pop(index, None)
             else:
                 self.health.record_probe(index, info)
                 outcomes[index] = True
+                if index >= len(self.backends):
+                    self._note_follower_lag(index, info)
         # Catch up every reachable backend with missed writes — covering
-        # both fresh down -> up recoveries and queues left behind by an
-        # earlier replay that failed halfway.
+        # fresh down -> up recoveries, queues left behind by an earlier
+        # replay that failed halfway, and pending snapshot resyncs.
         self.health.take_recovered()
         pending = self.repair_pending()
-        for index, reachable in outcomes.items():
-            if reachable and pending.get(index):
+        resync = set(self.journal.resync_pending())
+        for index in range(len(self.backends)):
+            if outcomes.get(index) and (pending.get(index) or index in resync):
                 self._drain_repairs(index)
         return outcomes
+
+    def _note_follower_lag(self, node_index: int, info: dict) -> None:
+        """Record a follower's probed replication lag (or forget it)."""
+        replication = info.get("replication")
+        lag = (
+            replication.get("lag")
+            if isinstance(replication, dict)
+            else None
+        )
+        with self._lag_lock:
+            if (
+                isinstance(lag, int)
+                and not isinstance(lag, bool)
+                and lag >= 0
+            ):
+                self._follower_lag[node_index] = lag
+            else:
+                self._follower_lag.pop(node_index, None)
 
     # ------------------------------------------------------------------
     # Scatter plumbing
@@ -704,6 +857,10 @@ class ClusterCoordinator:
             for index in replicas
             if self.health.usable(index) or self.health.probe_due(index)
         ]
+        # Fresh-enough followers of this shard's replicas ride at the end
+        # of the order: extra failover / hedge capacity, never preferred
+        # over a writable replica.
+        attempt_order.extend(self._follower_candidates(replicas))
         if not attempt_order:
             raise ShardUnavailable(
                 f"shard {shard}: no usable replica among {list(replicas)}",
@@ -756,6 +913,8 @@ class ClusterCoordinator:
                 else:
                     if hedged and index != attempt_order[0]:
                         self._count("hedge_wins")
+                    if index >= len(self.backends):
+                        self._count("follower_reads")
                     # Stragglers finish in the background; their health
                     # outcomes are recorded inside _call_backend.
                     return payload
@@ -764,6 +923,30 @@ class ClusterCoordinator:
             f"({ {i: type(e).__name__ for i, e in errors.items()} })",
             missing_shards=[shard],
         )
+
+    def _follower_candidates(self, replicas: tuple[int, ...]) -> list[int]:
+        """Follower node indices read-eligible for a shard's replicas.
+
+        A follower qualifies when its leader hosts the shard, its last
+        probe answered with a replication lag within ``max_lag_records``,
+        and its health state allows routing.  With ``max_lag_records``
+        unset no follower ever qualifies.
+        """
+        if self.max_lag_records is None or not self.followers:
+            return []
+        with self._lag_lock:
+            lags = dict(self._follower_lag)
+        candidates: list[int] = []
+        for position, (_, leader_index) in enumerate(self.followers):
+            node_index = len(self.backends) + position
+            if leader_index not in replicas:
+                continue
+            lag = lags.get(node_index)
+            if lag is None or lag > self.max_lag_records:
+                continue
+            if self.health.usable(node_index):
+                candidates.append(node_index)
+        return candidates
 
     def _hedge_delay(self) -> float:
         if self.hedge is None:
@@ -782,7 +965,7 @@ class ClusterCoordinator:
         inject(f"cluster.backend.{backend_index}.request")
         started = time.monotonic()
         try:
-            payload = call(self.backends[backend_index])
+            payload = call(self._nodes[backend_index])
         except _HEALTH_FAILURES:
             self._count("backend_failures")
             self.health.record_failure(backend_index)
@@ -797,9 +980,13 @@ class ClusterCoordinator:
             raise
         with self._latency_lock:
             self._latency.record(time.monotonic() - started)
-        if self.health.record_success(backend_index):
+        if (
+            self.health.record_success(backend_index)
+            and backend_index < len(self.backends)
+        ):
             # A regular request just proved a down backend recovered:
             # catch its replicas up without blocking this request.
+            # (Followers take no writes, so they have nothing to drain.)
             self.health.take_recovered()
             self._backend_pool.submit(self._drain_repairs, backend_index)
         return payload
@@ -824,7 +1011,13 @@ class ClusterCoordinator:
 
     def healthz(self) -> dict:
         """Cluster liveness: ok / degraded (a backend down) / partial."""
-        down = self.health.down_backends()
+        all_down = self.health.down_backends()
+        down = [index for index in all_down if index < len(self.backends)]
+        followers_down = [
+            index - len(self.backends)
+            for index in all_down
+            if index >= len(self.backends)
+        ]
         unavailable = self.unavailable_shards()
         if unavailable:
             status = "partial"
@@ -837,8 +1030,11 @@ class ClusterCoordinator:
             "degraded": bool(down),
             "backends": len(self.backends),
             "backends_down": down,
+            "followers": len(self.followers),
+            "followers_down": followers_down,
             "unavailable_shards": unavailable,
             "repair_pending": sum(self.repair_pending().values()),
+            "resync_pending": self.journal.resync_pending(),
             **self.router.describe(),
         }
 
@@ -853,18 +1049,33 @@ class ClusterCoordinator:
         # Per-backend snapshot versions, as last probed; the cluster-wide
         # "snapshot_version" is the newest of them, so benchmark runs can
         # stamp results against the serving state they actually hit.
+        # Followers are reported in their own block — their versions
+        # trail the leaders' by construction and would skew the max.
         versions = [
             int(block["probe"].get("snapshot_version", 0) or 0)
-            for block in health
+            for block in health[: len(self.backends)]
+        ]
+        with self._lag_lock:
+            lags = dict(self._follower_lag)
+        follower_blocks = [
+            {
+                "leader": leader_index,
+                "lag": lags.get(len(self.backends) + position),
+                **health[len(self.backends) + position],
+            }
+            for position, (_, leader_index) in enumerate(self.followers)
         ]
         return {
             **counters,
             "router": self.router.describe(),
             "write_quorum": self.write_quorum,
+            "max_lag_records": self.max_lag_records,
             "backend_latency_p50_s": p50,
             "backend_latency_p95_s": p95,
             "repair_pending": self.repair_pending(),
-            "backends": health,
+            "repair_journal": self.journal.describe(),
+            "backends": health[: len(self.backends)],
+            "followers": follower_blocks,
             "uptime_s": time.time() - self._started_at,
             "repro_version": REPRO_VERSION,
             "snapshot_version": max(versions, default=0),

@@ -179,6 +179,7 @@ class HealthTracker:
                     "snapshot_version",
                     "wal_records",
                     "last_checkpoint_version",
+                    "replication",
                 )
                 if key in info
             }

@@ -24,6 +24,11 @@ subsystem:
   :class:`CircuitBreaker`.
 * :mod:`repro.service.errors` — typed serving failures (:class:`Overloaded`,
   :class:`DeadlineExceeded`, :class:`EngineClosed`, :class:`CircuitOpen`).
+* :mod:`repro.service.follower` — WAL log-shipping replication: a
+  :class:`WalFollower` tails a leader's ``/wal/tail``, verifies CRCs,
+  replays idempotently and persists its applied cursor durably, so a
+  killed replica resumes from where it stopped (or snapshot-resyncs when
+  its cursor fell behind the leader's WAL horizon).
 * :mod:`repro.service.faults` — deterministic fault injection at named
   sites (``REPRO_FAULTS`` / :func:`fault_plan`), so chaos tests can prove
   the recovery invariants instead of asserting them.
@@ -49,12 +54,17 @@ from repro.service.errors import (
     CircuitOpen,
     DeadlineExceeded,
     EngineClosed,
+    FollowerReadOnly,
     Overloaded,
+    RepairOverflow,
+    ReplicaDiverged,
     ServiceError,
     ShardUnavailable,
+    SnapshotRequired,
     WriteQuorumFailed,
 )
 from repro.service.faults import FaultRule, fault_plan
+from repro.service.follower import ReplicationLeader, WalFollower
 from repro.service.http import ServiceServer, serve, shutdown_gracefully
 from repro.service.stats import LatencyWindow, ServiceStats
 from repro.service.wal import (
@@ -63,6 +73,8 @@ from repro.service.wal import (
     WalInspection,
     WalRecord,
     WriteAheadLog,
+    decode_frames,
+    encode_frames,
     inspect_wal,
     replay_into,
 )
@@ -76,9 +88,13 @@ __all__ = [
     "EngineClosed",
     "EpsilonCache",
     "FaultRule",
+    "FollowerReadOnly",
     "LatencyWindow",
     "Overloaded",
     "QueryEngine",
+    "RepairOverflow",
+    "ReplicaDiverged",
+    "ReplicationLeader",
     "RetryPolicy",
     "ServiceClient",
     "ServiceError",
@@ -86,11 +102,15 @@ __all__ = [
     "ServiceServer",
     "ServiceStats",
     "ShardUnavailable",
+    "SnapshotRequired",
     "WalEntryInfo",
+    "WalFollower",
     "WalInspection",
     "WalRecord",
     "WriteQuorumFailed",
     "WriteAheadLog",
+    "decode_frames",
+    "encode_frames",
     "fault_plan",
     "inspect_wal",
     "query_fingerprint",

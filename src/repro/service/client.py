@@ -45,9 +45,13 @@ from repro.service.errors import (
     CircuitOpen,
     DeadlineExceeded,
     EngineClosed,
+    FollowerReadOnly,
     Overloaded,
+    RepairOverflow,
+    ReplicaDiverged,
     ServiceError,
     ShardUnavailable,
+    SnapshotRequired,
     WriteQuorumFailed,
 )
 from repro.util.rng import ensure_rng
@@ -148,10 +152,34 @@ def _raise_typed(status: int, detail: dict) -> None:
                 acks=int(detail.get("acks", 0)),
                 required=int(detail.get("required", 0)),
             )
+        if kind == "RepairOverflow":
+            raise RepairOverflow(
+                message,
+                backend=int(detail.get("backend", -1)),
+                pending=int(detail.get("pending", 0)),
+                capacity=int(detail.get("capacity", 0)),
+            )
         raise EngineClosed(message)
+    if status == 410:
+        raise SnapshotRequired(
+            message,
+            horizon=int(detail.get("horizon", 0)),
+            after_seq=int(detail.get("after_seq", 0)),
+        )
+    if status == 403:
+        raise FollowerReadOnly(message, leader=detail.get("leader"))
     if status == 400:
         raise ValueError(message)
     if status in (404, 409):
+        # A 409 is either a duplicate-id insert (KeyError, mirroring the
+        # embedded engine) or a replication handshake mismatch — the
+        # payload type disambiguates.
+        if status == 409 and detail.get("type") == "ReplicaDiverged":
+            raise ReplicaDiverged(
+                message,
+                leader_seq=int(detail.get("leader_seq", 0)),
+                follower_seq=int(detail.get("follower_seq", 0)),
+            )
         raise KeyError(message)
     raise ServiceError(f"HTTP {status}: {message}")
 
@@ -458,6 +486,70 @@ class ServiceClient:
         """Remove a sequence from subsequent snapshots (never retried)."""
         reply = self._request("POST", "/remove", {"sequence_id": sequence_id})
         return dict(reply)
+
+    # ------------------------------------------------------------------
+    # Replication (the follower's view of a leader)
+    # ------------------------------------------------------------------
+    def wal_tail(
+        self,
+        after_seq: int,
+        *,
+        snapshot_version: int | None = None,
+        limit: int = 512,
+    ) -> dict:
+        """Tail the server's WAL after ``after_seq`` (``POST /wal/tail``).
+
+        The handshake and batch shape mirror
+        :meth:`~repro.service.engine.QueryEngine.wal_tail`; typed
+        rejections come back as :class:`ReplicaDiverged` (409) and
+        :class:`SnapshotRequired` (410).  Idempotent: tailing reads the
+        log without moving any server-side cursor, so retrying a dropped
+        response re-ships the same records.
+        """
+        body: dict[str, Any] = {"after_seq": after_seq, "limit": limit}
+        if snapshot_version is not None:
+            body["snapshot_version"] = snapshot_version
+        reply = self._request("POST", "/wal/tail", body, idempotent=True)
+        return dict(reply)
+
+    def export_sequences(
+        self,
+        sequence_ids: list[object] | None = None,
+        *,
+        include_points: bool = True,
+    ) -> dict:
+        """The server's full corpus export (``GET /sequences``), for resync.
+
+        The HTTP endpoint always ships the complete corpus with points;
+        the ``sequence_ids``/``include_points`` parameters exist to match
+        the :class:`~repro.service.follower.ReplicationLeader` protocol
+        and are applied client-side.
+        """
+        reply = dict(self._request("GET", "/sequences", idempotent=True))
+        sequences = list(reply.get("sequences", []))
+        if sequence_ids is not None:
+            wanted = set(sequence_ids)
+            sequences = [
+                entry for entry in sequences if entry.get("id") in wanted
+            ]
+        if not include_points:
+            sequences = [
+                {key: value for key, value in entry.items() if key != "points"}
+                for entry in sequences
+            ]
+        reply["sequences"] = sequences
+        return reply
+
+    def restore(self, sequences: list[dict]) -> dict:
+        """Replace the server's corpus with an export (``POST /restore``).
+
+        The snapshot-resync write path: ``sequences`` is the
+        ``"sequences"`` list of an :meth:`export_sequences` reply.  Not
+        idempotent in the retry sense (each call republishes a snapshot
+        version), so it is never auto-retried; a follower-mode server
+        rejects it with :class:`FollowerReadOnly` like any other write.
+        """
+        return dict(self._request("POST", "/restore", {"sequences": sequences}))
 
     # ------------------------------------------------------------------
     # Resilience metrics

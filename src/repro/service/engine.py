@@ -60,6 +60,7 @@ contract.
 
 from __future__ import annotations
 
+import base64
 import json
 import threading
 import time
@@ -76,13 +77,20 @@ from repro.core.search import SearchResult, SearchStats, SimilaritySearch
 from repro.core.sequence import MultidimensionalSequence
 from repro.core.solution_interval import IntervalSet
 from repro.service.cache import CacheEntry, EpsilonCache, query_fingerprint
-from repro.service.errors import DeadlineExceeded, EngineClosed, Overloaded
+from repro.service.errors import (
+    DeadlineExceeded,
+    EngineClosed,
+    Overloaded,
+    ReplicaDiverged,
+    SnapshotRequired,
+)
 from repro.service.faults import inject
 from repro.service.stats import ServiceStats
 from repro.service.wal import (
     DurabilityConfig,
     WalRecord,
     WriteAheadLog,
+    encode_frames,
     replay_into,
 )
 from repro.util.freeze import verify_frozen
@@ -260,9 +268,15 @@ class QueryEngine:
     ) -> tuple[SequenceDatabase, int]:
         """Reload the last checkpoint, replay the WAL, open it for writes.
 
-        The recovered snapshot version equals the number of WAL records
-        replayed, so two recoveries from the same directory publish the
-        same version — replay is deterministic and idempotent.
+        The recovered snapshot version equals the WAL's last stamped seq
+        (which checkpoint markers preserve across truncation), so two
+        recoveries from the same directory publish the same version —
+        replay is deterministic and idempotent — and, because every
+        acknowledged write appends exactly one record, a durable engine
+        keeps ``snapshot_version == wal.last_seq`` across its lifetime.
+        Log-shipping leans on that invariant: the ``snapshot_version`` a
+        leader reports with an exported snapshot doubles as the WAL
+        cursor a freshly-resynced follower should tail from.
         """
         directory = Path(config.directory)
         directory.mkdir(parents=True, exist_ok=True)
@@ -278,7 +292,7 @@ class QueryEngine:
         records = wal.recovered_records
         replay_into(database, records)
         self._wal = wal  # thread-safe: runs inside __init__, pre-publication
-        return database, len(records)
+        return database, wal.last_seq
 
     @staticmethod
     def _materialise(database: SequenceDatabase) -> None:
@@ -387,6 +401,16 @@ class QueryEngine:
     def wal_records(self) -> int:
         """Records in the WAL since the last checkpoint (0 if not durable)."""
         return 0 if self._wal is None else len(self._wal)
+
+    @property
+    def wal_last_seq(self) -> int:
+        """The WAL's last stamped record seq (0 if not durable)."""
+        return 0 if self._wal is None else self._wal.last_seq
+
+    @property
+    def wal_horizon(self) -> int:
+        """Oldest-shippable boundary of the WAL (0 if not durable)."""
+        return 0 if self._wal is None else self._wal.horizon()
 
     @property
     def checkpoints(self) -> int:
@@ -562,6 +586,232 @@ class QueryEngine:
         return written_id
 
     # ------------------------------------------------------------------
+    # Replication (log shipping)
+    # ------------------------------------------------------------------
+    def wal_tail(
+        self,
+        after_seq: int,
+        *,
+        snapshot_version: int | None = None,
+        limit: int = 512,
+    ) -> dict:
+        """Ship the WAL records after ``after_seq`` as CRC-framed batches.
+
+        This is the leader side of log-shipping replication (the
+        ``/wal/tail`` endpoint).  The call first runs the handshake: the
+        follower presents its applied cursor (``after_seq``) and,
+        optionally, the leader ``snapshot_version`` it last synced
+        against.  A cursor ahead of this log's ``last_seq`` — or a
+        presented version newer than the leader's own — is *divergence*
+        (the follower holds history this leader never wrote) and raises
+        :class:`ReplicaDiverged`; a cursor behind :meth:`WriteAheadLog.
+        horizon` means the tail was checkpointed away and raises
+        :class:`SnapshotRequired` (resync via :meth:`export_sequences`).
+
+        Otherwise returns a JSON-ready dict: ``frames`` (base64 of the
+        :func:`~repro.service.wal.encode_frames` batch), ``count``,
+        ``batch_last_seq`` (the cursor after applying this batch),
+        ``last_seq``/``horizon`` (the leader log's live range) and
+        ``snapshot_version``.  The read itself is lock-free, so shipping
+        never blocks the leader's writer.
+        """
+        if self._wal is None:
+            raise RuntimeError("engine has no durability configured")
+        if after_seq < 0:
+            raise ValueError(f"after_seq must be >= 0, got {after_seq}")
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        inject("wal.ship.handshake")
+        leader_seq = self._wal.last_seq
+        leader_version = self.snapshot_version
+        if after_seq > leader_seq:
+            raise ReplicaDiverged(
+                f"follower cursor {after_seq} is ahead of the leader's "
+                f"last seq {leader_seq} — histories have diverged",
+                leader_seq=leader_seq,
+                follower_seq=after_seq,
+            )
+        if snapshot_version is not None and snapshot_version > leader_version:
+            raise ReplicaDiverged(
+                f"follower synced against snapshot version "
+                f"{snapshot_version} but the leader is at "
+                f"{leader_version} — histories have diverged",
+                leader_seq=leader_version,
+                follower_seq=snapshot_version,
+            )
+        horizon = self._wal.horizon()
+        if after_seq < horizon:
+            raise SnapshotRequired(
+                f"records after seq {after_seq} were checkpointed away "
+                f"(horizon is {horizon}); a snapshot resync is required",
+                horizon=horizon,
+                after_seq=after_seq,
+            )
+        inject("wal.ship.batch")
+        records = self._wal.read_from(after_seq, limit=limit)
+        frames = encode_frames(records)
+        batch_last_seq = records[-1].seq if records else after_seq
+        return {
+            "frames": base64.b64encode(frames).decode("ascii"),
+            "count": len(records),
+            "batch_last_seq": batch_last_seq,
+            "last_seq": leader_seq,
+            "horizon": horizon,
+            "snapshot_version": leader_version,
+        }
+
+    def apply_records(self, records: list[WalRecord]) -> int:
+        """Apply a shipped batch of WAL records; returns the applied count.
+
+        The follower side of log shipping: replays ``records`` through
+        the same idempotent :func:`~repro.service.wal.replay_into` that
+        crash recovery uses (so a duplicate batch delivery — e.g. after a
+        crash between applying and persisting the cursor — converges
+        instead of double-applying), appends every delivered record to
+        this engine's own WAL when durable (*before* the acknowledging
+        snapshot publishes, the same barrier as a direct write — each
+        record is re-stamped into this log's seq space), and publishes
+        one new snapshot whose version advances by the batch size.  The
+        ε-cache is cleared rather than patched: a batch may touch many
+        ids, and version-pinned lookups make stale entries unreachable
+        anyway.
+        """
+        if self._closed:
+            raise EngineClosed("engine is closed")
+        if not records:
+            return 0
+        self._stats.record_request("apply")
+        started = time.monotonic()
+        with self._write_lock:
+            snapshot = self._snapshot
+            clone = snapshot.database.clone()
+            try:
+                applied = replay_into(clone, records)
+                self._materialise(clone)
+                if self._wal is not None:
+                    for record in records:
+                        self._wal.append(record)
+                        self._stats.record_wal_append()
+            except Exception:
+                self._stats.record_failure("apply")
+                raise
+            new_version = snapshot.version + len(records)
+            if self._cache is not None:
+                self._cache.clear()
+            self._snapshot = verify_frozen(
+                _Snapshot(clone, SimilaritySearch(clone), new_version),
+                role="engine.snapshot",
+                site="QueryEngine.apply_records",
+            )
+            self._stats.record_snapshot_published()
+            if (
+                self._wal is not None
+                and self.durability is not None
+                and self.durability.checkpoint_every > 0
+                and len(self._wal) >= self.durability.checkpoint_every
+            ):
+                self._checkpoint_locked()
+        self._stats.record_completed("apply", time.monotonic() - started)
+        return applied
+
+    def export_sequences(
+        self,
+        sequence_ids: list[object] | None = None,
+        *,
+        include_points: bool = True,
+    ) -> dict:
+        """A JSON-ready dump of stored sequences, for snapshot resync.
+
+        Reads one snapshot reference, so the export is internally
+        consistent and never blocks writers.  Returns
+        ``{"snapshot_version", "dimension", "sequences": [...]}`` where
+        each sequence carries ``id``, ``length`` and (with
+        ``include_points``) its raw point rows.  On a durable leader the
+        returned ``snapshot_version`` equals the WAL seq covering this
+        state, so a follower that restores the export can resume tailing
+        from exactly that cursor.  ``include_points=False`` gives a cheap
+        manifest for diffing.  Ids must be JSON-safe (str/int).
+        """
+        snapshot = self._snapshot
+        wanted = None if sequence_ids is None else set(sequence_ids)
+        sequences: list[dict] = []
+        for sid in snapshot.database.ids():
+            if wanted is not None and sid not in wanted:
+                continue
+            if not isinstance(sid, (str, int)) or isinstance(sid, bool):
+                raise TypeError(
+                    "only str/int sequence ids can be exported, got "
+                    f"{type(sid).__name__}"
+                )
+            sequence = snapshot.database.sequence(sid)
+            entry: dict[str, Any]
+            if include_points:
+                entry = {
+                    "id": sid,
+                    "length": len(sequence),
+                    "points": sequence.points.tolist(),
+                }
+            else:
+                entry = {"id": sid, "length": len(sequence)}
+            sequences.append(entry)
+        return {
+            "snapshot_version": snapshot.version,
+            "dimension": snapshot.database.dimension,
+            "sequences": sequences,
+        }
+
+    def restore(self, sequences: list[dict]) -> int:
+        """Replace the whole corpus with an exported snapshot (resync).
+
+        The follower side of a full snapshot resync, taken when tailing
+        cannot catch up (cursor behind the leader's horizon, or
+        divergence).  Builds a fresh database from ``sequences`` (each
+        ``{"id", "points"}`` as produced by :meth:`export_sequences`),
+        and on a durable engine persists it as a checkpoint *before*
+        publication — the old WAL is reset (its seq counter survives via
+        the checkpoint marker), so a crash right after the resync
+        recovers the restored state, never a hybrid.  Returns the number
+        of sequences restored.
+        """
+        if self._closed:
+            raise EngineClosed("engine is closed")
+        with self._write_lock:
+            snapshot = self._snapshot
+            old = snapshot.database
+            database = SequenceDatabase(
+                dimension=old.dimension,
+                cost_constant=old.cost_constant,
+                max_points=old.max_points,
+                index_kind=old.index_kind,
+                max_entries=old.max_entries,
+            )
+            for entry in sequences:
+                points = entry.get("points")
+                if points is None:
+                    raise ValueError(
+                        f"cannot restore {entry.get('id')!r}: the export "
+                        "carries no points (was it taken with "
+                        "include_points=False?)"
+                    )
+                database.add(points, sequence_id=entry["id"])
+            self._materialise(database)
+            new_version = snapshot.version + 1
+            if self._wal is not None and self.durability is not None:
+                database.save(self.durability.snapshot_path)
+                self._wal.reset()
+                self._checkpoints += 1
+                self._last_checkpoint_version = new_version
+            if self._cache is not None:
+                self._cache.clear()
+            self._snapshot = verify_frozen(
+                _Snapshot(database, SimilaritySearch(database), new_version),
+                role="engine.snapshot",
+                site="QueryEngine.restore",
+            )
+            self._stats.record_snapshot_published()
+        return len(sequences)
+
+    # ------------------------------------------------------------------
     # Stats
     # ------------------------------------------------------------------
     def stats(self) -> dict:
@@ -589,6 +839,8 @@ class QueryEngine:
                 "durability": {
                     "enabled": self.durable,
                     "wal_records": self.wal_records,
+                    "wal_last_seq": self.wal_last_seq,
+                    "wal_horizon": self.wal_horizon,
                     "checkpoints": self._checkpoints,
                     "last_checkpoint_version": self._last_checkpoint_version,
                 },

@@ -26,6 +26,14 @@ site                        where it fires
                             ``/healthz``
 ``cluster.read-repair``     before each queued write is replayed onto a
                             recovered replica
+``wal.ship.handshake``      on the leader, before a ``/wal/tail``
+                            handshake is validated (divergence /
+                            horizon checks)
+``wal.ship.batch``          handshake accepted, before the shipped
+                            batch is read and framed — the
+                            mid-replication kill-point
+``follower.apply``          on the follower, batch decoded and CRC-
+                            verified, before it is applied locally
 ==========================  ============================================
 
 The coordinator additionally fires *per-backend* dynamic sites —
@@ -76,4 +84,7 @@ FAULT_SITES: tuple[str, ...] = (
     "cluster.backend.request",
     "cluster.health.probe",
     "cluster.read-repair",
+    "wal.ship.handshake",
+    "wal.ship.batch",
+    "follower.apply",
 )

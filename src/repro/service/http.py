@@ -10,21 +10,41 @@ route       method  body / response
 ==========  ======  ====================================================
 /healthz    GET     liveness: ``{"status": "ok", ...}`` plus durability
                     lag (``wal_records``, ``last_checkpoint_version``)
+                    and, in follower mode, a ``replication`` block with
+                    the applied cursor and lag
 /stats      GET     the engine's :meth:`QueryEngine.stats` block
+/sequences  GET     full corpus export for snapshot resync
+                    (:meth:`QueryEngine.export_sequences`)
 /search     POST    ``{"points", "epsilon", "find_intervals"?, "timeout"?}``
 /knn        POST    ``{"points", "k", "timeout"?}``
 /insert     POST    ``{"points", "sequence_id"?}``
 /append     POST    ``{"sequence_id", "points"}``
 /remove     POST    ``{"sequence_id"}``
+/restore    POST    ``{"sequences": [export entries]}`` — replace the
+                    corpus with an exported one (cluster resync)
+/wal/tail   POST    ``{"after_seq", "snapshot_version"?, "limit"?}`` —
+                    the log-shipping handshake plus a CRC-framed batch
+                    (:meth:`QueryEngine.wal_tail`)
 ==========  ======  ====================================================
 
 Typed serving errors map onto status codes — :class:`Overloaded` → 429
 (with a ``Retry-After`` header derived from queue depth), :class:`
 DeadlineExceeded` → 408, :class:`EngineClosed` / :class:`ShardUnavailable`
-/ :class:`WriteQuorumFailed` → 503, bad input → 400, duplicate insert id
-→ 409, unknown id → 404 — and every error body is ``{"error": {"type",
-"message", ...}}`` so clients can rebuild the typed exception
-(:mod:`repro.service.client` does exactly that).
+/ :class:`WriteQuorumFailed` / :class:`RepairOverflow` → 503,
+:class:`ReplicaDiverged` → 409, :class:`SnapshotRequired` → 410 (the WAL
+tail is *gone*, not merely busy), :class:`FollowerReadOnly` → 403, bad
+input → 400, duplicate insert id → 409, unknown id → 404 — and every
+error body is ``{"error": {"type", "message", ...}}`` so clients can
+rebuild the typed exception (:mod:`repro.service.client` does exactly
+that).
+
+A server given a :class:`~repro.service.follower.WalFollower` runs in
+**follower mode**: ``/insert``/``/append``/``/remove`` are rejected with
+:class:`FollowerReadOnly` (state advances only through log shipping —
+a direct write would fork the follower's history from its leader's WAL)
+while every read route keeps serving, and ``/healthz`` gains the
+follower's replication status so the cluster layer can route
+bounded-staleness reads by lag.
 
 The handler/server split is reusable: :class:`JsonRequestHandler` carries
 the JSON plumbing (body parsing, typed error mapping, drain-aware
@@ -50,7 +70,7 @@ import json
 import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Callable, cast
+from typing import TYPE_CHECKING, Any, Callable, cast
 
 import numpy as np
 
@@ -58,14 +78,21 @@ from repro.service.engine import QueryEngine, ServiceResponse
 from repro.service.errors import (
     DeadlineExceeded,
     EngineClosed,
+    FollowerReadOnly,
     Overloaded,
+    RepairOverflow,
+    ReplicaDiverged,
     ServiceError,
     ShardUnavailable,
+    SnapshotRequired,
     WriteQuorumFailed,
 )
 from repro.service.faults import inject
 from repro.util.sync import TracedLock
 from repro.util.validation import check_threshold
+
+if TYPE_CHECKING:
+    from repro.service.follower import WalFollower
 
 __all__ = [
     "DrainingHTTPServer",
@@ -104,6 +131,18 @@ def error_payload(error: Exception) -> dict:
         detail["shard"] = error.shard
         detail["acks"] = error.acks
         detail["required"] = error.required
+    if isinstance(error, ReplicaDiverged):
+        detail["leader_seq"] = error.leader_seq
+        detail["follower_seq"] = error.follower_seq
+    if isinstance(error, SnapshotRequired):
+        detail["horizon"] = error.horizon
+        detail["after_seq"] = error.after_seq
+    if isinstance(error, RepairOverflow):
+        detail["backend"] = error.backend
+        detail["pending"] = error.pending
+        detail["capacity"] = error.capacity
+    if isinstance(error, FollowerReadOnly) and error.leader is not None:
+        detail["leader"] = error.leader
     return {"error": detail}
 
 
@@ -122,8 +161,19 @@ def error_status(error: Exception, op: str) -> int:
         return 429
     if isinstance(error, DeadlineExceeded):
         return 408
-    if isinstance(error, (EngineClosed, ShardUnavailable, WriteQuorumFailed)):
+    if isinstance(
+        error,
+        (EngineClosed, ShardUnavailable, WriteQuorumFailed, RepairOverflow),
+    ):
         return 503
+    if isinstance(error, ReplicaDiverged):
+        return 409
+    if isinstance(error, SnapshotRequired):
+        # 410 Gone: the requested WAL tail was checkpointed away and will
+        # never come back — retrying the same cursor is pointless.
+        return 410
+    if isinstance(error, FollowerReadOnly):
+        return 403
     if isinstance(error, ServiceError):
         return 500
     if isinstance(error, KeyError):
@@ -155,13 +205,17 @@ def _intervals_payload(result_intervals: dict) -> dict[str, list]:
     }
 
 
-def healthz_payload(engine: QueryEngine) -> dict:
+def healthz_payload(
+    engine: QueryEngine, follower: "WalFollower | None" = None
+) -> dict:
     """The ``/healthz`` body: liveness plus durability lag.
 
     ``wal_records`` is the number of acknowledged writes not yet folded
     into a checkpoint — the durability lag an operator (or the cluster
     health tracker) watches; ``last_checkpoint_version`` /
-    ``checkpoints`` date the most recent checkpoint.
+    ``checkpoints`` date the most recent checkpoint.  A follower-mode
+    server adds a ``replication`` block (:meth:`WalFollower.status`) so
+    the cluster layer can route bounded-staleness reads by ``lag``.
     """
     if engine.closed:
         status = "closed"
@@ -169,7 +223,7 @@ def healthz_payload(engine: QueryEngine) -> dict:
         status = "degraded"
     else:
         status = "ok"
-    return {
+    payload = {
         "status": status,
         "degraded": engine.degraded,
         "sequences": len(engine),
@@ -181,6 +235,9 @@ def healthz_payload(engine: QueryEngine) -> dict:
         "checkpoints": engine.checkpoints,
         "last_checkpoint_version": engine.last_checkpoint_version,
     }
+    if follower is not None:
+        payload["replication"] = follower.status()
+    return payload
 
 
 def search_payload(
@@ -325,13 +382,19 @@ class JsonRequestHandler(BaseHTTPRequestHandler):
 class ServiceHandler(JsonRequestHandler):
     """Dispatches the engine route table against ``self.server.engine``."""
 
-    get_routes = {"/healthz": "_healthz", "/stats": "_stats"}
+    get_routes = {
+        "/healthz": "_healthz",
+        "/stats": "_stats",
+        "/sequences": "_export",
+    }
     post_routes = {
         "/search": "_search",
         "/knn": "_knn",
         "/insert": "_insert",
         "/append": "_append",
         "/remove": "_remove",
+        "/restore": "_restore",
+        "/wal/tail": "_wal_tail",
     }
 
     @property
@@ -339,11 +402,26 @@ class ServiceHandler(JsonRequestHandler):
         """The engine owned by the enclosing :class:`ServiceServer`."""
         return cast("ServiceServer", self.server).engine
 
+    @property
+    def follower(self) -> "WalFollower | None":
+        """The follower attachment, when serving in follower mode."""
+        return cast("ServiceServer", self.server).follower
+
+    def _check_writable(self, op: str) -> None:
+        follower = self.follower
+        if follower is not None:
+            status = follower.status()
+            raise FollowerReadOnly(
+                f"{op} rejected: this server is a follower (state advances "
+                "only through log shipping; write to the leader instead)",
+                leader=status.get("leader"),
+            )
+
     # ------------------------------------------------------------------
     # Route bodies
     # ------------------------------------------------------------------
     def _healthz(self, body: dict) -> dict:
-        return healthz_payload(self.engine)
+        return healthz_payload(self.engine, self.follower)
 
     def _stats(self, body: dict) -> dict:
         return self.engine.stats()
@@ -369,7 +447,21 @@ class ServiceHandler(JsonRequestHandler):
         )
         return knn_payload(neighbors)
 
+    def _export(self, body: dict) -> dict:
+        return self.engine.export_sequences()
+
+    def _wal_tail(self, body: dict) -> dict:
+        after_seq = int(required_field(body, "after_seq"))
+        version = body.get("snapshot_version")
+        limit = int(body.get("limit", 512))
+        return self.engine.wal_tail(
+            after_seq,
+            snapshot_version=None if version is None else int(version),
+            limit=limit,
+        )
+
     def _insert(self, body: dict) -> dict:
+        self._check_writable("insert")
         sequence_id = self.engine.insert(
             read_points(body), sequence_id=body.get("sequence_id")
         )
@@ -380,6 +472,7 @@ class ServiceHandler(JsonRequestHandler):
         }
 
     def _append(self, body: dict) -> dict:
+        self._check_writable("append")
         sequence_id = required_field(body, "sequence_id")
         self.engine.append(sequence_id, read_points(body))
         return {
@@ -389,10 +482,23 @@ class ServiceHandler(JsonRequestHandler):
         }
 
     def _remove(self, body: dict) -> dict:
+        self._check_writable("remove")
         sequence_id = required_field(body, "sequence_id")
         self.engine.remove(sequence_id)
         return {
             "sequence_id": sequence_id,
+            "sequences": len(self.engine),
+            "snapshot_version": self.engine.snapshot_version,
+        }
+
+    def _restore(self, body: dict) -> dict:
+        self._check_writable("restore")
+        sequences = required_field(body, "sequences")
+        if not isinstance(sequences, list):
+            raise ValueError("sequences must be a list of export entries")
+        restored = self.engine.restore(sequences)
+        return {
+            "restored": restored,
             "sequences": len(self.engine),
             "snapshot_version": self.engine.snapshot_version,
         }
@@ -486,9 +592,14 @@ class ServiceServer(DrainingHTTPServer):
         engine: QueryEngine,
         *,
         verbose: bool = False,
+        follower: "WalFollower | None" = None,
     ) -> None:
         super().__init__(address, ServiceHandler, verbose=verbose)
         self.engine = engine
+        #: When set, the server runs in follower mode: direct writes are
+        #: rejected (``FollowerReadOnly``) and ``/healthz`` reports the
+        #: follower's replication cursor and lag.
+        self.follower = follower
 
 
 def serve(
@@ -497,6 +608,7 @@ def serve(
     host: str = "127.0.0.1",
     port: int = 0,
     verbose: bool = False,
+    follower: "WalFollower | None" = None,
 ) -> ServiceServer:
     """Bind a :class:`ServiceServer` (``port=0`` picks a free port).
 
@@ -505,7 +617,9 @@ def serve(
     ``server_close()`` yourself, or use the ``repro serve`` CLI which
     wires signal handling around exactly this function.
     """
-    return ServiceServer((host, port), engine, verbose=verbose)
+    return ServiceServer(
+        (host, port), engine, verbose=verbose, follower=follower
+    )
 
 
 def shutdown_gracefully(

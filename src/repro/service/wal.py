@@ -15,7 +15,31 @@ can always reconstruct the acknowledged state.
 record is ``<u32 length><u32 crc32(payload)><payload>`` (little-endian),
 the payload being one UTF-8 JSON object::
 
-    {"op": "insert"|"append"|"remove", "id": [type, repr], "points": ...}
+    {"op": "insert"|"append"|"remove", "id": [type, repr],
+     "points": ..., "seq": N}
+
+**Sequence numbers.**  Every appended record is stamped with a monotonic
+``seq`` (1-based, per log file).  Seqs survive checkpoint truncation: a
+:meth:`WriteAheadLog.reset` leaves behind one *checkpoint marker* frame
+(``{"op": "checkpoint", "seq": N}``) recording the last stamped seq, so
+the next open resumes the counter instead of restarting at 1.  The marker
+is bookkeeping, not a mutation: it never appears in
+:attr:`~WriteAheadLog.recovered_records`, never counts toward
+``len(log)`` and is never replayed.  The greatest seq truncated away is
+the log's :meth:`~WriteAheadLog.horizon` — the oldest *shippable* record
+has ``seq == horizon + 1``, and a replica whose applied cursor is below
+the horizon can no longer catch up by tailing (it needs a snapshot
+resync).  Logs written before seqs existed load fine: their records are
+assigned positional seqs ``1..n`` with horizon 0.
+
+**Log shipping.**  :meth:`WriteAheadLog.read_from` re-reads the file and
+returns the records after a given seq — lock-free, like
+:func:`inspect_wal`, so a follower tailing a live leader never blocks its
+writer; a half-written concurrent append shows up as a torn tail and
+simply ends the batch early.  :func:`encode_frames` /
+:func:`decode_frames` re-use the on-disk CRC framing as the wire format
+for shipped batches, so a follower verifies every shipped record with the
+same checksum that protects it on disk.
 
 **Torn tails.**  A crash mid-append leaves a short or corrupt final
 record.  On open, the log is scanned record by record; the first length
@@ -40,7 +64,8 @@ import json
 import os
 import struct
 import zlib
-from dataclasses import dataclass
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
@@ -56,6 +81,8 @@ __all__ = [
     "WalInspection",
     "WalRecord",
     "WriteAheadLog",
+    "decode_frames",
+    "encode_frames",
     "inspect_wal",
     "replay_into",
 ]
@@ -66,6 +93,9 @@ _MAGIC = b"REPROWAL1\n"
 #: Per-record header: little-endian payload length then CRC32.
 _HEADER = struct.Struct("<II")
 
+#: The ``op`` of a checkpoint marker frame (bookkeeping, never replayed).
+_CHECKPOINT_OP = "checkpoint"
+
 
 @dataclass(frozen=True)
 class WalRecord:
@@ -73,13 +103,20 @@ class WalRecord:
 
     ``points`` is a nested list (JSON-ready) for ``insert``/``append`` and
     ``None`` for ``remove``; ``length`` is the post-append point count used
-    to make ``append`` replay idempotent.
+    to make ``append`` replay idempotent.  ``seq`` is the log-assigned
+    monotonic sequence number (``None`` until :meth:`WriteAheadLog.append`
+    stamps it — each log stamps its own seq space, so records shipped from
+    another log are re-stamped locally).  ``replica`` optionally tags the
+    record with a backend index (the cluster repair journal uses it to
+    address one queued op to one replica); :func:`replay_into` ignores it.
     """
 
     op: str
     sequence_id: object
     points: list[Any] | None = None
     length: int | None = None
+    seq: int | None = None
+    replica: int | None = None
 
     def __post_init__(self) -> None:
         if self.op not in ("insert", "append", "remove"):
@@ -93,6 +130,22 @@ class WalRecord:
                 "only str/int sequence ids can be logged durably, got "
                 f"{type(self.sequence_id).__name__}"
             )
+        if self.seq is not None and (
+            not isinstance(self.seq, int)
+            or isinstance(self.seq, bool)
+            or self.seq < 1
+        ):
+            raise ValueError(
+                f"seq must be a positive int or None, got {self.seq!r}"
+            )
+        if self.replica is not None and (
+            not isinstance(self.replica, int)
+            or isinstance(self.replica, bool)
+            or self.replica < 0
+        ):
+            raise ValueError(
+                f"replica must be an int >= 0 or None, got {self.replica!r}"
+            )
 
     def to_payload(self) -> bytes:
         """Serialise to the on-disk JSON payload."""
@@ -104,6 +157,10 @@ class WalRecord:
             body["points"] = self.points
         if self.length is not None:
             body["length"] = self.length
+        if self.seq is not None:
+            body["seq"] = self.seq
+        if self.replica is not None:
+            body["replica"] = self.replica
         return json.dumps(body, separators=(",", ":")).encode("utf-8")
 
     @classmethod
@@ -117,6 +174,8 @@ class WalRecord:
             sequence_id=sequence_id,
             points=body.get("points"),
             length=body.get("length"),
+            seq=body.get("seq"),
+            replica=body.get("replica"),
         )
 
 
@@ -163,20 +222,58 @@ class DurabilityConfig:
         return Path(self.directory) / "wal.log"
 
 
+def _walk_frames(data: bytes, offset: int) -> Iterator[tuple[int, bytes, int]]:
+    """Yield ``(offset, payload, end)`` per intact frame; stop at a tear.
+
+    Stops silently at the first frame whose header overruns the data or
+    whose CRC mismatches — the caller decides whether a tear is a
+    recoverable boundary (scan, tail read) or an error (shipped batch).
+    """
+    size = len(data)
+    while offset + _HEADER.size <= size:
+        length, crc = _HEADER.unpack_from(data, offset)
+        start = offset + _HEADER.size
+        end = start + length
+        if end > size:
+            return
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            return
+        yield offset, payload, end
+        offset = end
+
+
+def _marker_seq(payload: bytes) -> int | None:
+    """The seq carried by a checkpoint marker payload, else ``None``."""
+    try:
+        body = json.loads(payload)
+    except ValueError:
+        return None
+    if not isinstance(body, dict) or body.get("op") != _CHECKPOINT_OP:
+        return None
+    seq = body.get("seq")
+    if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+        raise ValueError(f"checkpoint marker carries a bad seq: {seq!r}")
+    return seq
+
+
 class WriteAheadLog:
     """An append-only, CRC-verified record log with torn-tail recovery.
 
     Opening scans the whole file: valid records are exposed as
-    :attr:`recovered_records`, and a torn or corrupt tail is truncated at
-    the last valid record boundary.  Appends go through one file handle
-    kept at end-of-file; each is flushed and (by default) fsynced before
-    :meth:`append` returns.
+    :attr:`recovered_records` (seq-stamped), a torn or corrupt tail is
+    truncated at the last valid record boundary, and the seq counter
+    resumes from the greatest seq seen (checkpoint markers included).
+    Appends go through one file handle kept at end-of-file; each is
+    flushed and (by default) fsynced before :meth:`append` returns.
     """
 
     def __init__(self, path: str | Path, *, fsync: bool = True) -> None:
         self.path = Path(path)
         self.fsync = fsync
-        self._recovered, valid_end, existing = self._scan()
+        scanned = self._scan()
+        self._recovered, valid_end, existing = scanned[:3]
+        self._horizon, self._last_seq = scanned[3:]
         mode = "r+b" if existing else "w+b"
         self._handle = open(self.path, mode)  # noqa: SIM115 (long-lived)
         if not existing:
@@ -202,32 +299,41 @@ class WriteAheadLog:
     # ------------------------------------------------------------------
     # Recovery scan
     # ------------------------------------------------------------------
-    def _scan(self) -> tuple[list[WalRecord], int, bool]:
-        """Read all valid records; returns (records, valid_end, existed)."""
+    def _scan(self) -> tuple[list[WalRecord], int, bool, int, int]:
+        """Read all valid records.
+
+        Returns ``(records, valid_end, existed, horizon, last_seq)``.
+        Checkpoint markers advance ``horizon``/``last_seq`` without
+        producing records; legacy records without a stored seq are
+        assigned positional seqs.
+        """
         if not self.path.exists() or self.path.stat().st_size == 0:
-            return [], len(_MAGIC), False
+            return [], len(_MAGIC), False, 0, 0
         data = self.path.read_bytes()
         if data[: len(_MAGIC)] != _MAGIC:
             raise ValueError(
                 f"{self.path} is not a repro WAL (bad magic header)"
             )
         records: list[WalRecord] = []
+        horizon = 0
+        last_seq = 0
         offset = len(_MAGIC)
-        while offset + _HEADER.size <= len(data):
-            length, crc = _HEADER.unpack_from(data, offset)
-            start = offset + _HEADER.size
-            end = start + length
-            if end > len(data):
-                break  # torn tail: length overruns the file
-            payload = data[start:end]
-            if zlib.crc32(payload) != crc:
-                break  # corrupt record: stop at the last valid boundary
+        for _, payload, end in _walk_frames(data, offset):
             try:
-                records.append(WalRecord.from_payload(payload))
+                marker = _marker_seq(payload)
+                if marker is not None:
+                    horizon = marker
+                    last_seq = max(last_seq, marker)
+                else:
+                    record = WalRecord.from_payload(payload)
+                    if record.seq is None:
+                        record = replace(record, seq=last_seq + 1)
+                    records.append(record)
+                    last_seq = max(last_seq, record.seq or 0)
             except (ValueError, KeyError, TypeError):
                 break  # undecodable payload that happened to pass CRC
             offset = end
-        return records, offset, True
+        return records, offset, True, horizon, last_seq
 
     # ------------------------------------------------------------------
     # Appending
@@ -235,14 +341,18 @@ class WriteAheadLog:
     def append(self, record: WalRecord) -> int:
         """Write, flush and fsync one record; returns the record count.
 
-        On any failure the file is truncated back to its pre-record
-        length, so a failed append never leaves a torn record for the
-        next append to bury mid-file.
+        The record is stamped with the log's next seq (any seq it already
+        carries — e.g. one assigned by a leader's log and shipped here —
+        is replaced: seq spaces are per-log).  On any failure the file is
+        truncated back to its pre-record length, so a failed append never
+        leaves a torn record for the next append to bury mid-file, and
+        the seq counter is not advanced.
         """
-        payload = record.to_payload()
         with self._lock:
             if self._closed:
                 raise RuntimeError("write-ahead log is closed")
+            next_seq = self._last_seq + 1
+            payload = replace(record, seq=next_seq).to_payload()
             start = self._handle.tell()
             try:
                 inject("wal.append")
@@ -260,12 +370,74 @@ class WriteAheadLog:
                     pass
                 raise
             self._records += 1
+            self._last_seq = next_seq
             return self._records
 
     def _sync(self) -> None:
         inject("wal.fsync")
         if self.fsync:
             os.fsync(self._handle.fileno())
+
+    # ------------------------------------------------------------------
+    # Tail reads (log shipping)
+    # ------------------------------------------------------------------
+    @property
+    def last_seq(self) -> int:
+        """The seq of the most recently stamped record (0 when none ever)."""
+        with self._lock:
+            return self._last_seq
+
+    def horizon(self) -> int:
+        """The greatest seq truncated away by a checkpoint (0 if none).
+
+        Records with ``seq > horizon()`` are still on disk and shippable;
+        a follower whose applied cursor is below the horizon cannot catch
+        up by tailing and needs a snapshot resync.
+        """
+        with self._lock:
+            return self._horizon
+
+    def read_from(
+        self, after_seq: int, *, limit: int | None = None
+    ) -> list[WalRecord]:
+        """The records with ``seq > after_seq``, in log order.
+
+        Lock-free like :func:`inspect_wal`: the file is re-read in one
+        ``read_bytes`` call and walked frame by frame, so tailing a live
+        log never blocks (or deadlocks with) its writer.  A torn tail —
+        including the half-written frame of a concurrent append — ends
+        the batch cleanly at the last valid boundary; the missing record
+        is simply picked up by the next call.  Checkpoint markers are
+        skipped.  ``limit`` caps the batch size.
+        """
+        if after_seq < 0:
+            raise ValueError(f"after_seq must be >= 0, got {after_seq}")
+        if limit is not None and limit < 1:
+            raise ValueError(f"limit must be >= 1 or None, got {limit}")
+        data = self.path.read_bytes()
+        if data[: len(_MAGIC)] != _MAGIC:
+            raise ValueError(
+                f"{self.path} is not a repro WAL (bad magic header)"
+            )
+        batch: list[WalRecord] = []
+        last_seq = 0
+        for _, payload, _ in _walk_frames(data, len(_MAGIC)):
+            try:
+                marker = _marker_seq(payload)
+                if marker is not None:
+                    last_seq = max(last_seq, marker)
+                    continue
+                record = WalRecord.from_payload(payload)
+            except (ValueError, KeyError, TypeError):
+                break
+            if record.seq is None:
+                record = replace(record, seq=last_seq + 1)
+            last_seq = max(last_seq, record.seq or 0)
+            if (record.seq or 0) > after_seq:
+                batch.append(record)
+                if limit is not None and len(batch) >= limit:
+                    break
+        return batch
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -286,16 +458,32 @@ class WriteAheadLog:
         return self._closed
 
     def reset(self) -> None:
-        """Truncate to an empty log (after a successful checkpoint)."""
+        """Truncate to an empty log (after a successful checkpoint).
+
+        Leaves a checkpoint marker recording the last stamped seq, so the
+        counter — and the :meth:`horizon` — survive a restart: every seq
+        up to and including ``last_seq`` is now only reachable through
+        the checkpoint snapshot, never by tailing this log.
+        """
         with self._lock:
             if self._closed:
                 raise RuntimeError("write-ahead log is closed")
             self._handle.seek(len(_MAGIC))
             self._handle.truncate(len(_MAGIC))
+            if self._last_seq > 0:
+                payload = json.dumps(
+                    {"op": _CHECKPOINT_OP, "seq": self._last_seq},
+                    separators=(",", ":"),
+                ).encode("utf-8")
+                self._handle.write(
+                    _HEADER.pack(len(payload), zlib.crc32(payload))
+                )
+                self._handle.write(payload)
             self._handle.flush()
             self._sync()
             self._records = 0
             self._recovered = []
+            self._horizon = self._last_seq
 
     def close(self) -> None:
         """Close the underlying file handle."""
@@ -305,13 +493,81 @@ class WriteAheadLog:
                 self._handle.close()
 
 
+# ----------------------------------------------------------------------
+# Shipped-batch framing (the wire format of /wal/tail)
+# ----------------------------------------------------------------------
+def encode_frames(records: Iterable[WalRecord]) -> bytes:
+    """Frame seq-stamped records for shipping (same framing as on disk).
+
+    Each record becomes ``<u32 length><u32 crc32(payload)><payload>``, so
+    a follower verifies shipped bytes with the same CRC that protects the
+    leader's log.  Records must carry their seq — a batch without seqs
+    cannot advance a follower's cursor.
+    """
+    parts: list[bytes] = []
+    for record in records:
+        if record.seq is None:
+            raise ValueError(
+                f"cannot ship a record without a seq: {record.op} of "
+                f"{record.sequence_id!r}"
+            )
+        payload = record.to_payload()
+        parts.append(_HEADER.pack(len(payload), zlib.crc32(payload)))
+        parts.append(payload)
+    return b"".join(parts)
+
+
+def decode_frames(data: bytes) -> list[WalRecord]:
+    """Decode a shipped batch, verifying every frame's CRC.
+
+    Strict where the recovery scan is lenient: a shipped batch was framed
+    in full by the leader, so *any* tear, CRC mismatch, undecodable
+    payload or missing seq is corruption in transit and raises
+    :class:`ValueError` — the follower drops the batch and re-tails
+    instead of applying a damaged prefix.
+    """
+    records: list[WalRecord] = []
+    offset = 0
+    size = len(data)
+    while offset < size:
+        if offset + _HEADER.size > size:
+            raise ValueError(
+                f"torn batch: {size - offset} trailing byte(s), frame "
+                f"header needs {_HEADER.size}"
+            )
+        length, crc = _HEADER.unpack_from(data, offset)
+        start = offset + _HEADER.size
+        end = start + length
+        if end > size:
+            raise ValueError(
+                f"torn batch: framed length {length} overruns the batch "
+                f"by {end - size} byte(s)"
+            )
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            raise ValueError("corrupt batch: frame CRC mismatch")
+        try:
+            record = WalRecord.from_payload(payload)
+        except (KeyError, TypeError, ValueError) as error:
+            raise ValueError(
+                f"undecodable shipped record: {error}"
+            ) from error
+        if record.seq is None:
+            raise ValueError("shipped record carries no seq")
+        records.append(record)
+        offset = end
+    return records
+
+
 @dataclass(frozen=True)
 class WalEntryInfo:
     """One record slot found by :func:`inspect_wal`.
 
     ``record`` is the decoded mutation when the slot is intact; a torn or
     corrupt slot has ``record=None`` and ``error`` naming what is wrong
-    (length overrun, CRC mismatch, undecodable payload).
+    (length overrun, CRC mismatch, undecodable payload).  A checkpoint
+    marker slot has ``record=None`` and ``checkpoint_seq`` set to the seq
+    the marker preserves across the truncation.
     """
 
     offset: int
@@ -319,6 +575,7 @@ class WalEntryInfo:
     crc_ok: bool
     record: WalRecord | None = None
     error: str | None = None
+    checkpoint_seq: int | None = None
 
 
 @dataclass(frozen=True)
@@ -328,7 +585,10 @@ class WalInspection:
     Unlike opening a :class:`WriteAheadLog`, inspection never truncates:
     it reports exactly what is on disk — every valid record, plus the
     torn or corrupt tail entry if one exists — so an operator can look at
-    a crashed node's log before recovery rewrites it.
+    a crashed node's log before recovery rewrites it.  ``horizon`` and
+    ``last_seq`` bound the file's shippable seq range: a follower whose
+    cursor is outside ``[horizon, last_seq]`` cannot catch up from this
+    log.
     """
 
     path: Path
@@ -336,6 +596,8 @@ class WalInspection:
     magic_ok: bool
     valid_bytes: int
     entries: tuple[WalEntryInfo, ...] = ()
+    horizon: int = 0
+    last_seq: int = 0
 
     @property
     def torn(self) -> bool:
@@ -359,10 +621,13 @@ def inspect_wal(path: str | Path) -> WalInspection:
     """Scan a WAL file without opening (or repairing) it.
 
     Walks the record framing byte-for-byte: each entry reports its
-    offset, framed length, CRC verdict and decoded record; the first
-    invalid entry (overrunning length, CRC mismatch, undecodable JSON)
-    is included with its ``error`` and ends the scan — exactly the
-    boundary :class:`WriteAheadLog` would truncate to on open.
+    offset, framed length, CRC verdict and decoded record (seq-stamped,
+    positionally for legacy records); the first invalid entry (overrunning
+    length, CRC mismatch, undecodable JSON) is included with its
+    ``error`` and ends the scan — exactly the boundary
+    :class:`WriteAheadLog` would truncate to on open.  Checkpoint markers
+    appear as entries with ``checkpoint_seq`` set and feed the reported
+    ``[horizon, last_seq]`` seq range.
 
     Strictly read-only: the file is read in one ``read_bytes`` call, no
     lock is taken and no byte is written — a torn tail is *reported*,
@@ -379,6 +644,8 @@ def inspect_wal(path: str | Path) -> WalInspection:
             path=wal_path, size=size, magic_ok=False, valid_bytes=0
         )
     entries: list[WalEntryInfo] = []
+    horizon = 0
+    last_seq = 0
     offset = len(_MAGIC)
     valid_end = offset
     while offset < size:
@@ -424,7 +691,10 @@ def inspect_wal(path: str | Path) -> WalInspection:
             )
             break
         try:
-            record = WalRecord.from_payload(payload)
+            marker = _marker_seq(payload)
+            record = (
+                None if marker is not None else WalRecord.from_payload(payload)
+            )
         except (ValueError, KeyError, TypeError) as error:
             entries.append(
                 WalEntryInfo(
@@ -435,11 +705,26 @@ def inspect_wal(path: str | Path) -> WalInspection:
                 )
             )
             break
-        entries.append(
-            WalEntryInfo(
-                offset=offset, length=length, crc_ok=True, record=record
+        if marker is not None:
+            horizon = marker
+            last_seq = max(last_seq, marker)
+            entries.append(
+                WalEntryInfo(
+                    offset=offset,
+                    length=length,
+                    crc_ok=True,
+                    checkpoint_seq=marker,
+                )
             )
-        )
+        elif record is not None:
+            if record.seq is None:
+                record = replace(record, seq=last_seq + 1)
+            last_seq = max(last_seq, record.seq or 0)
+            entries.append(
+                WalEntryInfo(
+                    offset=offset, length=length, crc_ok=True, record=record
+                )
+            )
         offset = end
         valid_end = end
     return WalInspection(
@@ -448,6 +733,8 @@ def inspect_wal(path: str | Path) -> WalInspection:
         magic_ok=True,
         valid_bytes=valid_end,
         entries=tuple(entries),
+        horizon=horizon,
+        last_seq=last_seq,
     )
 
 
@@ -459,7 +746,9 @@ def replay_into(database: "SequenceDatabase", records: list[WalRecord]) -> int:
     has at least the recorded point count — are skipped, so replaying a
     log over a snapshot that contains any prefix of it converges to the
     same state (the invariant a crash between checkpoint save and WAL
-    reset relies on).
+    reset relies on).  The same skip rules make duplicate *shipped*
+    batches harmless: a follower that re-applies records below its cursor
+    converges instead of double-applying.
     """
     applied = 0
     for record in records:

@@ -61,7 +61,7 @@ MODULE_LOCK_ORDER: dict[str, tuple[str, ...]] = {
         "_order_lock",
         "_latency_lock",
         "_rng_lock",
-        "_repair_lock",
+        "_lag_lock",
         "_counters_lock",
     ),
 }
