@@ -57,6 +57,24 @@ class BenchProfile:
     cluster_replication: int
     cluster_queries: int
     catchup_records: int = 200
+    #: Operations offered during the overload_goodput open-loop phase.
+    overload_operations: int = 320
+    #: Closed-loop operations used to measure healthy-load capacity.
+    overload_calibration_ops: int = 80
+    #: End-to-end deadline each overload search carries, seconds.
+    overload_deadline_s: float = 0.75
+    #: AIMD queue-wait target handed to the engine, seconds.
+    overload_queue_target_s: float = 0.1
+    #: Injected per-request service time (``engine.worker`` sleep) —
+    #: pins capacity at ``engine_workers / overload_service_s`` so the
+    #: 2x offered rate is a real overload regardless of host speed.
+    overload_service_s: float = 0.02
+    #: Queue slots for the overload engine (smaller than the serving
+    #: default so the run reaches admission pressure quickly).
+    overload_queue_cap: int = 16
+    #: Open-loop client threads (must outnumber what the offered rate
+    #: needs, or generator lag would masquerade as server latency).
+    overload_clients: int = 48
 
     def __post_init__(self) -> None:
         check_positive("corpus_sequences", self.corpus_sequences)
@@ -69,6 +87,17 @@ class BenchProfile:
         check_positive("cluster_replication", self.cluster_replication)
         check_positive("cluster_queries", self.cluster_queries)
         check_positive("catchup_records", self.catchup_records)
+        check_positive("overload_operations", self.overload_operations)
+        check_positive(
+            "overload_calibration_ops", self.overload_calibration_ops
+        )
+        check_positive("overload_deadline_s", self.overload_deadline_s)
+        check_positive(
+            "overload_queue_target_s", self.overload_queue_target_s
+        )
+        check_positive("overload_service_s", self.overload_service_s)
+        check_positive("overload_queue_cap", self.overload_queue_cap)
+        check_positive("overload_clients", self.overload_clients)
         if self.cluster_replication > self.cluster_backends:
             raise ValueError(
                 "cluster_replication cannot exceed cluster_backends"
@@ -92,6 +121,9 @@ class BenchProfile:
             cluster_replication=2,
             cluster_queries=12,
             catchup_records=200,
+            overload_operations=320,
+            overload_calibration_ops=80,
+            overload_clients=48,
         )
 
     @classmethod
@@ -112,6 +144,9 @@ class BenchProfile:
             cluster_replication=2,
             cluster_queries=48,
             catchup_records=5000,
+            overload_operations=1200,
+            overload_calibration_ops=200,
+            overload_clients=96,
         )
 
 

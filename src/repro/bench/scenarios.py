@@ -1,7 +1,7 @@
 """The canonical benchmark scenarios.
 
 Importing this module populates the registry in
-:mod:`repro.bench.registry`.  Six scenarios cover the stack bottom-up,
+:mod:`repro.bench.registry`.  Seven scenarios cover the stack bottom-up,
 one per architectural capability the ROADMAP's perf items will move:
 
 ========  ==================  ========================================
@@ -11,6 +11,8 @@ engine    single_query        raw three-phase search latency/QPS
 service   end_to_end          QueryEngine under a mixed closed loop
 service   cache_hit_ratio     ε-aware cache hits under Zipf-skewed reads
 service   wal_recovery        cold-start replay time of a dirty WAL
+service   overload_goodput    goodput, shed rate, and wasted work under
+                              an open-loop ~2x-capacity read storm
 cluster   scatter_gather      fan-out latency, healthy and one-dead
 cluster   replica_catchup     log-shipping catch-up time for a cold
                               follower behind by a full leader WAL
@@ -39,6 +41,7 @@ from repro.bench.workload import (
     generate_operations,
     nearest_rank_quantile,
     run_closed_loop,
+    run_open_loop,
 )
 from repro.cluster.backends import LocalBackend
 from repro.cluster.coordinator import ClusterCoordinator
@@ -51,6 +54,7 @@ from repro.service.engine import QueryEngine
 from repro.service.follower import WalFollower
 from repro.service.wal import DurabilityConfig
 from repro.util.faults import FaultRule, fault_plan
+from repro.util.validation import check_threshold
 
 __all__: list[str] = []
 
@@ -265,6 +269,128 @@ def _service_wal_recovery(profile: BenchProfile, seed: int) -> BenchResult:
             "recovered_sequences": float(recovered_sequences),
         },
         meta={"inserts": profile.wal_inserts, "fsync": False},
+    )
+
+
+class _DeadlineTarget:
+    """A ``WorkloadTarget`` stamping every search with one deadline.
+
+    The workload drivers' ``search(query, epsilon)`` protocol has no
+    timeout parameter; this adapter is where the overload scenario's
+    per-request budget enters the engine.
+    """
+
+    def __init__(self, engine: QueryEngine, timeout: float) -> None:
+        self._engine = engine
+        self._timeout = timeout
+
+    def search(self, query: object, epsilon: float) -> object:
+        epsilon = check_threshold(epsilon)
+        return self._engine.search(
+            query, epsilon, find_intervals=False, timeout=self._timeout
+        )
+
+    def insert(self, points: object, sequence_id: object = None) -> object:
+        return self._engine.insert(points, sequence_id=sequence_id)
+
+    def append(self, sequence_id: object, points: object) -> object:
+        return self._engine.append(sequence_id, points)
+
+
+@register_scenario(
+    "service",
+    "overload_goodput",
+    "goodput, shed rate, and wasted work under ~2x open-loop overload",
+)
+def _service_overload_goodput(profile: BenchProfile, seed: int) -> BenchResult:
+    corpus = _build_corpus(profile, seed)
+    queries = _build_queries(corpus, profile, seed)
+    spec = WorkloadSpec(
+        operations=profile.overload_operations,
+        query_pool=len(queries),
+        dimension=_DIMENSION,
+        mix=OperationMix(search=1.0),
+        epsilons=profile.epsilons,
+    )
+    operations = generate_operations(spec, seed=seed + 2)
+    calibration = operations[: profile.overload_calibration_ops]
+    # Pin per-request service time with a sleep fault so capacity is
+    # engine_workers / overload_service_s on any host — "2x capacity"
+    # stays a real overload whether CI is fast or slow.
+    slow_worker = FaultRule(
+        "engine.worker",
+        action="sleep",
+        seconds=profile.overload_service_s,
+        times=None,
+    )
+    with QueryEngine(
+        _build_database(corpus),
+        workers=profile.engine_workers,
+        queue_cap=profile.overload_queue_cap,
+        queue_target_s=profile.overload_queue_target_s,
+    ) as engine:
+        target = _DeadlineTarget(engine, profile.overload_deadline_s)
+        with fault_plan(slow_worker):
+            # Healthy-load capacity: a closed loop at exactly the worker
+            # count — saturated but never queued, the goodput baseline.
+            healthy = run_closed_loop(
+                target,
+                calibration,
+                queries=queries,
+                dimension=_DIMENSION,
+                concurrency=profile.engine_workers,
+                seed=seed + 3,
+            )
+            healthy_qps = healthy.metrics()["qps"]
+            offered_rate = 2.0 * healthy_qps
+            report = run_open_loop(
+                target,
+                operations,
+                queries=queries,
+                dimension=_DIMENSION,
+                rate=offered_rate,
+                workers=profile.overload_clients,
+                seed=seed + 4,
+            )
+        stats = engine.stats()
+    admission = stats["admission"]
+    deadline_ms = profile.overload_deadline_s * 1000.0
+    # Goodput counts only completions whose latency from *intended
+    # arrival* beat the deadline: an answer the caller already gave up
+    # on is work, not goodput.
+    good = sum(1 for lat in report.latencies_ms if lat <= deadline_ms)
+    goodput_qps = good / report.elapsed_s if report.elapsed_s > 0 else 0.0
+    completed = int(stats["completed"])
+    wasted = int(stats["wasted_work"])
+    return BenchResult(
+        suite="service",
+        scenario="overload_goodput",
+        metrics={
+            "healthy_qps": healthy_qps,
+            "offered_rate": offered_rate,
+            "goodput_qps": goodput_qps,
+            "goodput_ratio": (
+                goodput_qps / healthy_qps if healthy_qps > 0 else 0.0
+            ),
+            "shed_ratio": report.errors / report.total if report.total else 0.0,
+            "wasted_work_ratio": wasted / completed if completed else 0.0,
+            "queue_wait_p95_ms": float(admission["queue_wait_ms"]["p95"]),
+            "admission_limit": float(admission["limit"]),
+            "p95_ms": nearest_rank_quantile(report.latencies_ms, 0.95),
+        },
+        meta={
+            "operations": report.total,
+            "completed_in_deadline": good,
+            "deadline_s": profile.overload_deadline_s,
+            "queue_target_s": profile.overload_queue_target_s,
+            "service_s": profile.overload_service_s,
+            "queue_cap": profile.overload_queue_cap,
+            "clients": profile.overload_clients,
+            "rejected_overload": stats["rejected_overload"],
+            "deadline_exceeded": stats["deadline_exceeded"],
+            "cancelled": stats["cancelled"],
+            "shed_by_priority": dict(admission["shed_by_priority"]),
+        },
     )
 
 

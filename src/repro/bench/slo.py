@@ -126,6 +126,18 @@ DEFAULT_SLO_RULES: tuple[SloRule, ...] = (
     SloRule("service", "end_to_end", "error_ratio", ceiling=0.0),
     SloRule("service", "cache_hit_ratio", "hit_ratio", floor=0.2),
     SloRule("service", "wal_recovery", "recovery_ms", ceiling=60_000.0),
+    # Overload acceptance: under ~2x offered load the engine must keep
+    # serving at least 70% of its healthy-load QPS as within-deadline
+    # completions, burn under 5% of completions on answers nobody waits
+    # for, and hold p95 queue wait near the configured AIMD target
+    # (0.1s in both profiles; the ceiling leaves transient headroom).
+    SloRule("service", "overload_goodput", "goodput_ratio", floor=0.7),
+    SloRule(
+        "service", "overload_goodput", "wasted_work_ratio", ceiling=0.05
+    ),
+    SloRule(
+        "service", "overload_goodput", "queue_wait_p95_ms", ceiling=150.0
+    ),
     SloRule("cluster", "scatter_gather", "complete_ratio", floor=1.0),
     SloRule("cluster", "scatter_gather", "killed_p95_ms", ceiling=30_000.0),
     SloRule("cluster", "replica_catchup", "catchup_s", ceiling=120.0),

@@ -85,6 +85,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="requests allowed to queue beyond the running ones",
     )
     serve.add_argument(
+        "--queue-target",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "queue-wait target for adaptive (AIMD) admission: the limit "
+            "shrinks when dequeued requests waited longer than this and "
+            "grows back while waits hold under it (default: static cap)"
+        ),
+    )
+    serve.add_argument(
         "--cache-size",
         type=int,
         default=128,
@@ -278,6 +289,16 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "staleness bound for follower reads (records behind the "
             "leader); unset keeps followers probe-only"
+        ),
+    )
+    cluster.add_argument(
+        "--budget-floor",
+        type=float,
+        default=0.005,
+        metavar="SECONDS",
+        help=(
+            "dispatch floor: a failover/hedge sub-call is never sent when "
+            "the request's remaining budget is below this"
         ),
     )
 
@@ -530,6 +551,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         database,
         workers=args.workers,
         queue_cap=args.queue_cap,
+        queue_target_s=args.queue_target,
         cache_size=args.cache_size,
         default_timeout=args.timeout,
         trace_path=args.trace,
@@ -707,6 +729,7 @@ def _command_cluster_serve(args: argparse.Namespace) -> int:
         max_repair_ops=args.max_repair_ops,
         followers=followers or None,
         max_lag_records=args.max_lag_records,
+        min_subcall_budget=args.budget_floor,
     )
     coordinator.seed_order(seed_ids)
     server = serve_cluster(

@@ -14,7 +14,17 @@ the paper's operations cluster-wide:
   seams.
 * **Hedging** cuts tail latency: when a shard's first attempt exceeds the
   recent latency quantile (:class:`HedgePolicy`), a second replica is
-  asked concurrently and the first answer wins.
+  asked concurrently and the first answer wins.  Losing hedges and
+  stragglers are cancelled where possible (queued sub-calls are dropped;
+  running ones at least stop being waited on).
+* **Request budgets**: a read's ``timeout`` is a whole-request budget
+  (:class:`~repro.util.budget.Deadline`), not a per-hop constant.  Every
+  sub-call is dispatched with the budget *remaining at dispatch time* —
+  failover attempts and hedges inherit what their predecessors left, the
+  hedge delay itself is capped by the remaining budget, and a sub-call
+  is never dispatched at all once the budget falls below
+  ``min_subcall_budget`` (it could only return after the caller stopped
+  caring).
 * **Partial-result degradation** is typed, not exceptional: when *every*
   replica of a shard is unavailable, ``search`` returns
   ``complete=False`` plus the missing shard list — sound answers, no
@@ -68,6 +78,7 @@ from repro.cluster.router import ShardRouter, canonical_id
 from repro.service.client import TRANSPORT_ERRORS
 from repro.service.errors import (
     CircuitOpen,
+    DeadlineExceeded,
     EngineClosed,
     RepairOverflow,
     ServiceError,
@@ -76,6 +87,7 @@ from repro.service.errors import (
 )
 from repro.service.faults import inject
 from repro.service.stats import LatencyWindow
+from repro.util.budget import Deadline
 from repro.util.faults import FaultInjected
 from repro.util.rng import ensure_rng
 from repro.util.sync import TracedLock
@@ -143,13 +155,24 @@ class HedgePolicy:
             )
 
     def delay(
-        self, window: LatencyWindow, rng: np.random.Generator
+        self,
+        window: LatencyWindow,
+        rng: np.random.Generator,
+        *,
+        remaining: float | None = None,
     ) -> float:
-        """The seconds to wait before hedging one shard's request."""
+        """The seconds to wait before hedging one shard's request.
+
+        ``remaining`` is the request's remaining budget: the delay is
+        clamped so a hedge can never be scheduled to fire after the
+        budget is already spent (it would hedge into the void).
+        """
         base = window.quantile(self.quantile) if len(window) else 0.0
         base = min(self.max_delay, max(self.min_delay, base))
         if self.jitter > 0.0:
             base += float(rng.uniform(0.0, self.jitter * base))
+        if remaining is not None:
+            base = min(base, max(0.0, remaining))
         return base
 
 
@@ -227,6 +250,10 @@ class ClusterCoordinator:
         only while its last probed replication lag is at most this many
         records.  ``None`` (the default) keeps followers probe-only —
         tracked but never routed to.
+    min_subcall_budget:
+        Dispatch floor (seconds): a failover or hedge sub-call whose
+        remaining request budget is below this is never sent — its
+        answer could only arrive after the caller's deadline.
     """
 
     def __init__(
@@ -243,6 +270,7 @@ class ClusterCoordinator:
         max_repair_ops: int = DEFAULT_MAX_REPAIR_OPS,
         followers: list[tuple[Backend, int]] | None = None,
         max_lag_records: int | None = None,
+        min_subcall_budget: float = 0.005,
     ) -> None:
         if not backends:
             raise ValueError("a cluster needs at least one backend")
@@ -259,6 +287,11 @@ class ClusterCoordinator:
                 f"max_lag_records must be >= 0 or None, got {max_lag_records}"
             )
         self.max_lag_records = max_lag_records
+        if min_subcall_budget < 0:
+            raise ValueError(
+                f"min_subcall_budget must be >= 0, got {min_subcall_budget}"
+            )
+        self.min_subcall_budget = min_subcall_budget
         # The node space routed by health / _call_backend: writable shard
         # backends first, then read-only followers.
         self._nodes: list[Backend] = [
@@ -344,6 +377,8 @@ class ClusterCoordinator:
             "divergent_writes": 0,
             "quorum_failures": 0,
             "probes": 0,
+            "stragglers_cancelled": 0,
+            "budget_floor_skips": 0,
         }
         self._started_at = time.time()
         self._closed = False
@@ -397,17 +432,23 @@ class ClusterCoordinator:
         timeout: float | None = None,
         fail_closed: bool = False,
     ) -> ClusterSearchResult:
-        """Cluster-wide range search with typed partial degradation."""
+        """Cluster-wide range search with typed partial degradation.
+
+        ``timeout`` is the *whole-request* budget: every shard sub-call
+        (first attempt, failover, hedge) is dispatched with whatever of
+        it remains at that moment.
+        """
         epsilon = check_threshold(epsilon)
         query = np.asarray(points, dtype=np.float64)
         payloads, missing = self._scatter_read(
             "search",
-            lambda backend: backend.search(
+            lambda backend, budget: backend.search(
                 query,
                 epsilon,
                 find_intervals=find_intervals,
-                timeout=timeout,
+                timeout=budget,
             ),
+            Deadline.after(timeout),
         )
         if missing and fail_closed:
             raise ShardUnavailable(
@@ -471,7 +512,8 @@ class ClusterCoordinator:
         query = np.asarray(points, dtype=np.float64)
         payloads, missing = self._scatter_read(
             "knn",
-            lambda backend: backend.knn(query, k, timeout=timeout),
+            lambda backend, budget: backend.knn(query, k, timeout=budget),
+            Deadline.after(timeout),
         )
         if missing and fail_closed:
             raise ShardUnavailable(
@@ -513,7 +555,9 @@ class ClusterCoordinator:
         self._replicated_write(
             "insert",
             sequence_id,
-            lambda backend: backend.insert(listed, sequence_id=sequence_id),
+            lambda backend, _budget: backend.insert(
+                listed, sequence_id=sequence_id
+            ),
             points=listed,
         )
         return sequence_id
@@ -524,7 +568,7 @@ class ClusterCoordinator:
         self._replicated_write(
             "append",
             sequence_id,
-            lambda backend: backend.append(sequence_id, listed),
+            lambda backend, _budget: backend.append(sequence_id, listed),
             points=listed,
         )
         return sequence_id
@@ -534,7 +578,7 @@ class ClusterCoordinator:
         self._replicated_write(
             "remove",
             sequence_id,
-            lambda backend: backend.remove(sequence_id),
+            lambda backend, _budget: backend.remove(sequence_id),
         )
         return sequence_id
 
@@ -542,7 +586,7 @@ class ClusterCoordinator:
         self,
         op: str,
         sequence_id: object,
-        call: Callable[[Backend], Any],
+        call: Callable[[Backend, float | None], Any],
         *,
         points: list | None = None,
     ) -> None:
@@ -823,13 +867,18 @@ class ClusterCoordinator:
     # Scatter plumbing
     # ------------------------------------------------------------------
     def _scatter_read(
-        self, op: str, call: Callable[[Backend], Any]
+        self,
+        op: str,
+        call: Callable[[Backend, float | None], Any],
+        deadline: Deadline,
     ) -> tuple[dict[int, Any], list[int]]:
         """Fan ``call`` out to one replica per shard; gather or degrade."""
         self._count("requests")
         shards = range(self.router.num_shards)
         futures = {
-            self._scatter_pool.submit(self._gather_shard, shard, call): shard
+            self._scatter_pool.submit(
+                self._gather_shard, shard, call, deadline
+            ): shard
             for shard in shards
         }
         payloads: dict[int, Any] = {}
@@ -848,9 +897,19 @@ class ClusterCoordinator:
         return payloads, sorted(missing)
 
     def _gather_shard(
-        self, shard: int, call: Callable[[Backend], Any]
+        self,
+        shard: int,
+        call: Callable[[Backend, float | None], Any],
+        deadline: Deadline,
     ) -> Any:
-        """One shard's result from its healthiest replica, with hedging."""
+        """One shard's result from its healthiest replica, with hedging.
+
+        Every attempt (first, failover, hedge) is dispatched with the
+        request budget remaining at that moment; once the budget falls
+        below ``min_subcall_budget`` no further attempt is sent.  When a
+        winner returns, the losing attempts are cancelled: queued
+        sub-calls never run, and running ones stop being waited on.
+        """
         replicas = self.router.replicas_of(shard)
         attempt_order = [
             index
@@ -868,17 +927,32 @@ class ClusterCoordinator:
             )
         pending: dict[Future, int] = {}
         launched = 0
+        budget_exhausted = False
 
         def launch_next() -> bool:
-            nonlocal launched
+            nonlocal launched, budget_exhausted
             if launched >= len(attempt_order):
+                return False
+            remaining = deadline.remaining()
+            if remaining is not None and remaining < self.min_subcall_budget:
+                # The dispatch floor: a sub-call with this little budget
+                # could only answer after the caller's deadline.
+                budget_exhausted = True
+                self._count("budget_floor_skips")
                 return False
             index = attempt_order[launched]
             launched += 1
             pending[
-                self._backend_pool.submit(self._call_backend, index, call)
+                self._backend_pool.submit(
+                    self._call_backend, index, call, deadline
+                )
             ] = index
             return True
+
+        def cancel_losers() -> None:
+            for future in pending:
+                if future.cancel():
+                    self._count("stragglers_cancelled")
 
         launch_next()
         hedged = False
@@ -890,7 +964,7 @@ class ClusterCoordinator:
                 and not hedged
                 and launched < len(attempt_order)
             )
-            hedge_timeout = self._hedge_delay() if may_hedge else None
+            hedge_timeout = self._hedge_delay(deadline) if may_hedge else None
             done, _ = wait(
                 pending, timeout=hedge_timeout, return_when=FIRST_COMPLETED
             )
@@ -915,9 +989,19 @@ class ClusterCoordinator:
                         self._count("hedge_wins")
                     if index >= len(self.backends):
                         self._count("follower_reads")
-                    # Stragglers finish in the background; their health
-                    # outcomes are recorded inside _call_backend.
+                    # Cancel the losing attempts: queued ones never run;
+                    # already-running stragglers finish in the background
+                    # (their health outcomes are recorded inside
+                    # _call_backend) but nothing waits for them.
+                    cancel_losers()
                     return payload
+        if budget_exhausted:
+            raise DeadlineExceeded(
+                f"shard {shard}: remaining budget fell below the "
+                f"{self.min_subcall_budget}s dispatch floor after "
+                f"{launched} attempt(s)",
+                timeout=float(self.min_subcall_budget),
+            )
         raise ShardUnavailable(
             f"shard {shard}: every replica failed "
             f"({ {i: type(e).__name__ for i, e in errors.items()} })",
@@ -948,24 +1032,44 @@ class ClusterCoordinator:
                 candidates.append(node_index)
         return candidates
 
-    def _hedge_delay(self) -> float:
+    def _hedge_delay(self, deadline: Deadline | None = None) -> float:
         if self.hedge is None:
             return 0.0
+        remaining = None if deadline is None else deadline.remaining()
         with self._latency_lock:
             window = self._latency
             with self._rng_lock:
-                return self.hedge.delay(window, self._hedge_rng)
+                return self.hedge.delay(
+                    window, self._hedge_rng, remaining=remaining
+                )
 
     def _call_backend(
-        self, backend_index: int, call: Callable[[Backend], Any]
+        self,
+        backend_index: int,
+        call: Callable[[Backend, float | None], Any],
+        deadline: Deadline | None = None,
     ) -> Any:
-        """One backend attempt: fault sites, latency, health accounting."""
+        """One backend attempt: fault sites, latency, health accounting.
+
+        The sub-call's budget is whatever the request deadline has left
+        *after* the fault sites run — a fault-injected stall
+        (``cluster.backend.slow``) debits the budget exactly like real
+        network or queue time would.
+        """
         self._count("backend_calls")
         inject("cluster.backend.request")
+        inject("cluster.backend.slow")
         inject(f"cluster.backend.{backend_index}.request")
+        budget = None if deadline is None else deadline.remaining()
+        if budget is not None and budget <= 0.0:
+            raise DeadlineExceeded(
+                f"backend {backend_index}: request budget spent before "
+                "dispatch",
+                timeout=0.0,
+            )
         started = time.monotonic()
         try:
-            payload = call(self._nodes[backend_index])
+            payload = call(self._nodes[backend_index], budget)
         except _HEALTH_FAILURES:
             self._count("backend_failures")
             self.health.record_failure(backend_index)

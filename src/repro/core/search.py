@@ -40,6 +40,7 @@ from repro.core.distance import (
 from repro.core.partitioning import PartitionedSequence, partition_sequence
 from repro.core.sequence import MultidimensionalSequence
 from repro.core.solution_interval import IntervalSet
+from repro.util.budget import checkpoint
 from repro.util.validation import check_threshold
 
 if TYPE_CHECKING:
@@ -294,6 +295,7 @@ class SimilaritySearch:
         accesses_before = index.stats.node_accesses
         candidate_ids: set[object] = set()
         for segment in query_partition:
+            checkpoint("search.phase2")
             for entry in index.search_within(segment.mbr, epsilon):
                 candidate_ids.add(entry.payload.sequence_id)
         stats.node_accesses = index.stats.node_accesses - accesses_before
@@ -306,6 +308,7 @@ class SimilaritySearch:
         answers: list[object] = []
         intervals: dict[object, IntervalSet] = {}
         for sequence_id in candidates:
+            checkpoint("search.phase3")
             partition = self.database.partition(sequence_id)
             matched, interval = self._examine_candidate(
                 query_partition,
@@ -434,6 +437,7 @@ class SimilaritySearch:
         matched = False
         spans: list[tuple[int, int]] = []
         for query_segment in query_partition:
+            checkpoint("search.phase3.candidate")
             row = partition.mbr_distance_row(query_segment.mbr)
             stats.dmbr_rows += 1
             if float(row.min()) > epsilon:
@@ -474,6 +478,7 @@ class SimilaritySearch:
         matched = False
         spans: list[tuple[int, int]] = []
         for data_segment in partition:
+            checkpoint("search.phase3.long-query")
             row = query_partition.mbr_distance_row(data_segment.mbr)
             stats.dmbr_rows += 1
             if float(row.min()) > epsilon:
@@ -529,6 +534,7 @@ class SimilaritySearch:
 
         bounds: list[tuple[float, object]] = []
         for sequence_id, partition in self.database.partitions():
+            checkpoint("knn.bounds")
             lower = min(
                 float(partition.mbr_distance_row(segment.mbr).min())
                 for segment in query_partition
@@ -538,6 +544,7 @@ class SimilaritySearch:
 
         exact: list[tuple[float, object]] = []
         for lower, sequence_id in bounds:
+            checkpoint("knn.refine")
             if len(exact) >= k and lower > exact[k - 1][0]:
                 break
             distance = sequence_distance(

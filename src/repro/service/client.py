@@ -5,7 +5,16 @@ and rebuilds the typed serving errors from the server's error payloads,
 so ``except Overloaded`` works the same whether the engine is embedded or
 behind HTTP.  stdlib-only, like the server.
 
-Two optional resilience layers wrap the transport:
+A ``search``/``knn`` call given a ``timeout`` treats it as an
+**end-to-end budget**: the client stamps a :class:`~repro.util.budget.
+Deadline` when the request starts, and every hop debits it — the socket
+timeout is clamped to the remaining budget, each (re)send rewrites the
+body ``timeout`` to what is left and mirrors it in an ``X-Repro-Budget``
+header, and retry backoff sleeps spend from the same budget.  A request
+whose budget runs out between attempts raises :class:`DeadlineExceeded`
+locally rather than dispatching work no caller will wait for.
+
+Three optional resilience layers wrap the transport:
 
 * a :class:`RetryPolicy` — exponential backoff with *full jitter*
   (AWS-style: each delay is uniform in ``[0, cap]``, decorrelating
@@ -24,8 +33,15 @@ Two optional resilience layers wrap the transport:
   closing the circuit and re-opening it.  Any HTTP response — even an
   error status — proves the server reachable and counts as breaker
   success.
+* a :class:`RetryBudget` — a token bucket capping the retry *rate*
+  across all of a client's requests.  Each request deposits a fraction
+  of a token, each retry spends a whole one, so sustained retrying
+  cannot amplify offered load by more than ``fill_per_request`` (~10%
+  by default) no matter what ``max_attempts`` allows; when the bucket
+  runs dry the client raises the typed
+  :class:`RetryBudgetExhausted` instead of piling on.
 
-Both layers surface counters through :meth:`ServiceClient.transport_stats`.
+All layers surface counters through :meth:`ServiceClient.transport_stats`.
 """
 
 from __future__ import annotations
@@ -49,11 +65,13 @@ from repro.service.errors import (
     Overloaded,
     RepairOverflow,
     ReplicaDiverged,
+    RetryBudgetExhausted,
     ServiceError,
     ShardUnavailable,
     SnapshotRequired,
     WriteQuorumFailed,
 )
+from repro.util.budget import Deadline
 from repro.util.rng import ensure_rng
 from repro.util.sync import TracedLock
 from repro.util.validation import check_threshold
@@ -71,6 +89,7 @@ __all__ = [
     "TRANSPORT_ERRORS",
     "CircuitBreaker",
     "EngineStatsPayload",
+    "RetryBudget",
     "RetryPolicy",
     "ServiceClient",
 ]
@@ -92,6 +111,9 @@ class EngineStatsPayload(TypedDict, total=False):
     failures: dict[str, int]
     rejected_overload: int
     deadline_exceeded: int
+    wasted_work: int
+    cancelled: int
+    admission: dict[str, Any]
     latency_ms: dict[str, float]
     cache: dict[str, Any]
     cache_lru: dict[str, Any]
@@ -122,6 +144,13 @@ TRANSPORT_ERRORS = (
 )
 _TRANSPORT_ERRORS = TRANSPORT_ERRORS
 
+#: Slack added to the budget when clamping the *socket* timeout: when a
+#: request's budget expires server-side, the server's typed 504 response
+#: needs a network round trip to arrive — without slack the socket gives
+#: up at the same instant and a clean ``DeadlineExceeded`` degrades into
+#: a raw ``TimeoutError``.
+_BUDGET_SOCKET_SLACK = 0.25
+
 
 def _raise_typed(status: int, detail: dict) -> None:
     """Rebuild the server-side exception from an error payload."""
@@ -134,7 +163,10 @@ def _raise_typed(status: int, detail: dict) -> None:
             capacity=int(detail.get("capacity", 0)),
             retry_after=None if retry_after is None else float(retry_after),
         )
-    if status == 408:
+    if status in (504, 408):
+        # 504 is the current mapping for DeadlineExceeded; 408 is what
+        # servers one release back sent — keep parsing it until every
+        # server in a mixed-version fleet has rolled forward.
         raise DeadlineExceeded(message, timeout=float(detail.get("timeout", 0.0)))
     if status == 503:
         kind = detail.get("type")
@@ -352,6 +384,77 @@ class CircuitBreaker:
             }
 
 
+class RetryBudget:
+    """A token bucket bounding the retry rate across all requests.
+
+    Thread-safe.  The bucket starts full (short failure bursts may still
+    retry freely); each request deposits ``fill_per_request`` tokens
+    (saturating at ``capacity``) and each retry withdraws one, so under
+    sustained failure the retry rate converges to ``fill_per_request``
+    retries per request — bounded amplification, instead of every client
+    multiplying its traffic by ``max_attempts`` at the worst moment.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum tokens (also the initial fill): the burst of retries the
+        client may issue back-to-back.
+    fill_per_request:
+        Tokens deposited per request — the steady-state retry fraction.
+    """
+
+    def __init__(
+        self, *, capacity: float = 10.0, fill_per_request: float = 0.1
+    ) -> None:
+        if capacity < 1.0:
+            raise ValueError(
+                f"capacity must be >= 1 (one whole retry), got {capacity}"
+            )
+        if fill_per_request < 0:
+            raise ValueError(
+                f"fill_per_request must be >= 0, got {fill_per_request}"
+            )
+        self.capacity = float(capacity)
+        self.fill_per_request = float(fill_per_request)
+        self._lock = TracedLock("client.retry_budget")
+        self._tokens = float(capacity)
+        self._spent = 0
+        self._denied = 0
+
+    @property
+    def tokens(self) -> float:
+        """Tokens currently in the bucket."""
+        with self._lock:
+            return self._tokens
+
+    def deposit(self) -> None:
+        """Credit one request's worth of retry allowance."""
+        with self._lock:
+            self._tokens = min(
+                self.capacity, self._tokens + self.fill_per_request
+            )
+
+    def try_spend(self) -> bool:
+        """Withdraw one retry token; ``False`` when the bucket is dry."""
+        with self._lock:
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                self._spent += 1
+                return True
+            self._denied += 1
+            return False
+
+    def stats(self) -> dict:
+        """Tokens, capacity, and spend/deny counts."""
+        with self._lock:
+            return {
+                "tokens": self._tokens,
+                "capacity": self.capacity,
+                "spent": self._spent,
+                "denied": self._denied,
+            }
+
+
 class ServiceClient:
     """Talks JSON to a running ``repro serve`` endpoint.
 
@@ -368,6 +471,11 @@ class ServiceClient:
     breaker:
         Optional :class:`CircuitBreaker` shared by all this client's
         requests; ``None`` disables circuit breaking.
+    retry_budget:
+        Optional :class:`RetryBudget` token bucket; ``None`` (default)
+        leaves the retry rate bounded only by ``retry.max_attempts``.
+        Share one bucket between clients to bound a whole process's
+        retry amplification.
     rng:
         Jitter RNG override — anything :func:`repro.util.rng.ensure_rng`
         accepts (an int seed, a ``numpy.random.Generator``, ``None``).
@@ -382,6 +490,7 @@ class ServiceClient:
         timeout: float = 30.0,
         retry: RetryPolicy | None = None,
         breaker: CircuitBreaker | None = None,
+        retry_budget: RetryBudget | None = None,
         rng: int | np.random.Generator | None = None,
     ) -> None:
         if timeout <= 0:
@@ -390,6 +499,7 @@ class ServiceClient:
         self.timeout = timeout
         self.retry = retry
         self.breaker = breaker
+        self.retry_budget = retry_budget
         if rng is None and retry is not None:
             rng = retry.seed
         self._rng = ensure_rng(rng)
@@ -402,6 +512,8 @@ class ServiceClient:
             "transport_errors": 0,
             "overloaded": 0,
             "circuit_open_rejections": 0,
+            "retry_budget_exhausted": 0,
+            "deadline_exhausted": 0,
             "retry_wait_s": 0.0,
         }
 
@@ -560,6 +672,8 @@ class ServiceClient:
             block: dict[str, Any] = dict(self._counters)
         if self.breaker is not None:
             block["circuit"] = self.breaker.stats()
+        if self.retry_budget is not None:
+            block["retry_budget"] = self.retry_budget.stats()
         return block
 
     def _count(self, key: str, amount: float = 1) -> None:
@@ -586,6 +700,13 @@ class ServiceClient:
         idempotent: bool = False,
     ) -> Any:
         self._count("requests")
+        if self.retry_budget is not None:
+            self.retry_budget.deposit()
+        budget = None if body is None else body.get("timeout")
+        # One deadline for the whole call: every attempt and every
+        # backoff sleep debits it, so retries shrink the budget the
+        # server sees instead of granting each attempt a fresh one.
+        deadline = Deadline.after(None if budget is None else float(budget))
         attempts = (
             self.retry.max_attempts
             if (self.retry is not None and idempotent)
@@ -594,6 +715,19 @@ class ServiceClient:
         last_error: Exception | None = None
         for attempt in range(attempts):
             if attempt:
+                if (
+                    self.retry_budget is not None
+                    and not self.retry_budget.try_spend()
+                ):
+                    self._count("retry_budget_exhausted")
+                    budget_stats = self.retry_budget.stats()
+                    raise RetryBudgetExhausted(
+                        f"retry budget exhausted before retry {attempt} of "
+                        f"{method} {path} ({budget_stats['tokens']:.2f} of "
+                        f"{budget_stats['capacity']:.0f} tokens left)",
+                        tokens=budget_stats["tokens"],
+                        capacity=budget_stats["capacity"],
+                    ) from last_error
                 self._count("retries")
                 retry_after = getattr(last_error, "retry_after", None)
                 wait = self.retry.delay(  # type: ignore[union-attr]
@@ -601,10 +735,21 @@ class ServiceClient:
                     self._rng,
                     retry_after=retry_after,
                 )
+                remaining = deadline.remaining()
+                if remaining is not None:
+                    wait = min(wait, max(0.0, remaining))
                 self._count("retry_wait_s", wait)
                 self._sleep(wait)
+            remaining = deadline.remaining()
+            if remaining is not None and remaining <= 0.0:
+                self._count("deadline_exhausted")
+                raise DeadlineExceeded(
+                    f"{method} {path}: request budget spent after "
+                    f"{attempt} attempt(s); not dispatching another",
+                    timeout=float(budget),
+                ) from last_error
             try:
-                return self._request_once(method, path, body)
+                return self._request_once(method, path, body, deadline)
             except Overloaded as error:
                 self._count("overloaded")
                 last_error = error
@@ -621,7 +766,11 @@ class ServiceClient:
         )
 
     def _request_once(
-        self, method: str, path: str, body: dict | None
+        self,
+        method: str,
+        path: str,
+        body: dict | None,
+        deadline: Deadline | None = None,
     ) -> Any:
         if self.breaker is not None:
             try:
@@ -630,15 +779,29 @@ class ServiceClient:
                 self._count("circuit_open_rejections")
                 raise
         self._count("attempts")
+        headers = {"Content-Type": "application/json"}
+        socket_timeout = self.timeout
+        remaining = None if deadline is None else deadline.remaining()
+        if remaining is not None:
+            # This attempt gets what is left of the end-to-end budget:
+            # rewrite the body timeout (the server's serving deadline),
+            # mirror it in the budget header, and never let the socket
+            # outlive the budget.
+            remaining = max(remaining, 1e-3)
+            body = {**(body or {}), "timeout": remaining}
+            headers["X-Repro-Budget"] = f"{remaining:.6f}"
+            socket_timeout = min(
+                socket_timeout, remaining + _BUDGET_SOCKET_SLACK
+            )
         data = None if body is None else json.dumps(body).encode("utf-8")
         request = urllib.request.Request(
             self.base_url + path,
             data=data,
             method=method,
-            headers={"Content-Type": "application/json"},
+            headers=headers,
         )
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+            with urllib.request.urlopen(request, timeout=socket_timeout) as reply:
                 payload = json.loads(reply.read())
         except urllib.error.HTTPError as error:
             # An HTTP error status is still a response: the server is

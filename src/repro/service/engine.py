@@ -15,14 +15,19 @@ search finishes on the snapshot it started with (readers-never-block-
 writers, writers-never-tear-readers).
 
 **Admission control and deadlines.**  Requests execute on a bounded worker
-pool.  At most ``workers + queue_cap`` requests may be admitted at once;
-beyond that the engine fast-fails with :class:`~repro.service.errors.
-Overloaded` instead of building an unbounded backlog.  Each request may
-carry a deadline; one that expires while queued is never executed, and one
-that expires mid-execution returns :class:`~repro.service.errors.
-DeadlineExceeded` to the caller (the worker finishes and its result is
-discarded — cooperative cancellation, the admission slot is held until
-then).
+pool behind an :class:`~repro.service.admission.AdaptiveLimiter`: the
+admission limit floats between ``workers`` and ``workers + queue_cap``,
+shrinking (AIMD) when observed queue wait exceeds ``queue_target_s`` and
+growing back while it holds, with priority headroom so writes and
+repair/replication traffic shed before reads do.  An arrival beyond the
+current limit fast-fails with :class:`~repro.service.errors.Overloaded`
+instead of building an unbounded backlog.  Each request carries a
+:class:`~repro.util.budget.Deadline`; one that expires while queued is
+never executed, and one that expires mid-execution is stopped at the next
+cooperative cancellation checkpoint inside the Phase 2/3 loops (counted
+as ``cancelled``; a request that completes after its deadline anyway is
+counted as ``wasted_work``) and returns :class:`~repro.service.errors.
+DeadlineExceeded` to the caller.
 
 **ε-aware caching.**  Completed range searches populate an LRU keyed by
 query fingerprint (:mod:`repro.service.cache`).  A request at threshold ε
@@ -62,7 +67,6 @@ from __future__ import annotations
 
 import base64
 import json
-import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -76,6 +80,7 @@ from repro.core.database import SequenceDatabase
 from repro.core.search import SearchResult, SearchStats, SimilaritySearch
 from repro.core.sequence import MultidimensionalSequence
 from repro.core.solution_interval import IntervalSet
+from repro.service.admission import AdaptiveLimiter
 from repro.service.cache import CacheEntry, EpsilonCache, query_fingerprint
 from repro.service.errors import (
     DeadlineExceeded,
@@ -92,6 +97,12 @@ from repro.service.wal import (
     WriteAheadLog,
     encode_frames,
     replay_into,
+)
+from repro.util.budget import (
+    Deadline,
+    OperationCancelled,
+    checkpoint,
+    deadline_scope,
 )
 from repro.util.freeze import verify_frozen
 from repro.util.sync import TracedLock
@@ -146,9 +157,17 @@ class QueryEngine:
     workers:
         Worker-thread count executing requests.
     queue_cap:
-        Requests allowed to wait beyond the running ones; an arrival that
-        finds ``workers + queue_cap`` requests admitted is rejected with
-        :class:`Overloaded`.
+        Requests allowed to wait beyond the running ones; ``workers +
+        queue_cap`` is the admission limiter's ceiling, and an arrival
+        that finds the current limit's worth of requests admitted is
+        rejected with :class:`Overloaded`.
+    queue_target_s:
+        Queue-wait target (seconds) for the adaptive admission limit:
+        when a dequeued request waited longer than this, the limit
+        shrinks multiplicatively toward ``workers``; while waits hold
+        under it, the limit grows additively back toward the ceiling.
+        ``None`` (default) pins the limit at the ceiling — the legacy
+        static-cap behaviour.
     cache_size:
         ε-aware result-cache capacity (entries); ``0`` disables caching.
     default_timeout:
@@ -193,6 +212,7 @@ class QueryEngine:
         *,
         workers: int = 4,
         queue_cap: int = 64,
+        queue_target_s: float | None = None,
         cache_size: int = 128,
         default_timeout: float | None = None,
         trace_path: str | Path | None = None,
@@ -245,9 +265,11 @@ class QueryEngine:
         )
         self._write_lock = TracedLock("engine.write")
         self._capacity = workers + queue_cap
-        self._admission = threading.Semaphore(self._capacity)
-        self._pending = 0
-        self._pending_lock = TracedLock("engine.pending")
+        self._admission = AdaptiveLimiter(
+            min_limit=workers,
+            max_limit=self._capacity,
+            target_queue_wait=queue_target_s,
+        )
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-serve"
         )
@@ -383,8 +405,12 @@ class QueryEngine:
     @property
     def queue_depth(self) -> int:
         """Requests currently admitted (queued plus running)."""
-        with self._pending_lock:
-            return self._pending
+        return self._admission.inflight
+
+    @property
+    def admission_limit(self) -> int:
+        """The adaptive admission limit currently in force."""
+        return self._admission.effective_limit()
 
     @property
     def degraded(self) -> bool:
@@ -546,6 +572,12 @@ class QueryEngine:
         if self._degrade_after is not None and self.degraded:
             self._stats.record_shed(op)
             raise self._overloaded_error(op, shed=True)
+        # Priority-aware shedding: writes yield admission headroom to
+        # reads before the engine is anywhere near its hard limit.
+        if not self._admission.permits("write"):
+            self._stats.record_shed(op)
+            self._note_overload()
+            raise self._overloaded_error(op, priority="write")
         self._stats.record_request(op)
         started = time.monotonic()
         with self._write_lock:
@@ -621,6 +653,11 @@ class QueryEngine:
             raise ValueError(f"after_seq must be >= 0, got {after_seq}")
         if limit < 1:
             raise ValueError(f"limit must be >= 1, got {limit}")
+        # Replication traffic sheds first under read pressure: shipping
+        # can always resume from the same cursor once the queue drains.
+        if not self._admission.permits("repair"):
+            self._stats.record_shed("wal_tail")
+            raise self._overloaded_error("wal_tail", priority="repair")
         inject("wal.ship.handshake")
         leader_seq = self._wal.last_seq
         leader_version = self.snapshot_version
@@ -680,6 +717,9 @@ class QueryEngine:
             raise EngineClosed("engine is closed")
         if not records:
             return 0
+        if not self._admission.permits("repair"):
+            self._stats.record_shed("apply")
+            raise self._overloaded_error("apply", priority="repair")
         self._stats.record_request("apply")
         started = time.monotonic()
         with self._write_lock:
@@ -823,6 +863,7 @@ class QueryEngine:
                 "queue_depth": self.queue_depth,
                 "workers": self.workers,
                 "queue_cap": self.queue_cap,
+                "admission": self._admission.snapshot(),
                 "snapshot_version": snapshot.version,
                 "sequences": len(snapshot.database),
                 "segments": snapshot.database.segment_count,
@@ -860,31 +901,38 @@ class QueryEngine:
             timeout = self.default_timeout
         if timeout is not None and timeout <= 0:
             raise ValueError(f"timeout must be positive, got {timeout}")
-        deadline = None if timeout is None else time.monotonic() + timeout
-        if not self._admission.acquire(blocking=False):
+        # The budget starts ticking before admission: a fault-injected
+        # admission stall (or a real one) debits the caller's deadline
+        # exactly like queue wait does.
+        deadline = Deadline.after(timeout)
+        inject("engine.admission.delay")
+        depth_before = self._admission.acquire("read")
+        if depth_before is None:
             self._stats.record_overloaded()
             self._note_overload()
             raise self._overloaded_error(op)
-        with self._pending_lock:
-            depth_before = self._pending
-            self._pending += 1
         self._note_admitted(depth_before)
         self._stats.record_request(op)
+        admitted_at = time.monotonic()
         try:
-            future = self._pool.submit(self._run, op, fn, deadline, timeout)
-        except RuntimeError as error:  # pool already shut down
-            self._release_slot()
-            raise EngineClosed("engine is closed") from error
-        future.add_done_callback(lambda _: self._release_slot())
-        try:
-            remaining = (
-                None
-                if deadline is None
-                else max(0.0, deadline - time.monotonic())
+            future = self._pool.submit(
+                self._run, op, fn, deadline, timeout, admitted_at
             )
+        except RuntimeError as error:  # pool already shut down
+            self._admission.release()
+            raise EngineClosed("engine is closed") from error
+        future.add_done_callback(lambda _: self._admission.release())
+        try:
+            remaining = deadline.remaining()
+            if remaining is not None:
+                remaining = max(0.0, remaining)
             return future.result(timeout=remaining)
         except FutureTimeoutError:
+            # Not started: drop it from the queue.  Started: flip the
+            # cancel latch so the next checkpoint inside the scan stops
+            # the worker instead of letting it complete into the void.
             future.cancel()
+            deadline.cancel()
             self._stats.record_deadline_exceeded()
             raise DeadlineExceeded(
                 f"{op} did not finish within its {timeout}s deadline",
@@ -894,30 +942,35 @@ class QueryEngine:
             self._stats.record_deadline_exceeded()
             raise
 
-    def _release_slot(self) -> None:
-        with self._pending_lock:
-            self._pending -= 1
-        self._admission.release()
-
     # ------------------------------------------------------------------
     # Overload accounting and graceful degradation
     # ------------------------------------------------------------------
-    def _overloaded_error(self, op: str, *, shed: bool = False) -> Overloaded:
+    def _overloaded_error(
+        self, op: str, *, shed: bool = False, priority: str | None = None
+    ) -> Overloaded:
         depth = self.queue_depth
+        limit = self._admission.effective_limit()
         if shed:
             message = (
                 f"{op} shed: engine degraded after sustained overload "
                 f"(writes resume when the queue drains)"
             )
+        elif priority is not None:
+            message = (
+                f"{op} shed: {priority}-priority traffic yields its "
+                f"admission headroom under load ({depth} of limit "
+                f"{limit} admitted)"
+            )
         else:
             message = (
-                f"{op} rejected: {self._capacity} requests already admitted "
-                f"({self.workers} workers + {self.queue_cap} queue slots)"
+                f"{op} rejected: admission limit {limit} reached "
+                f"(ceiling {self.workers} workers + {self.queue_cap} "
+                f"queue slots)"
             )
         return Overloaded(
             message,
             queue_depth=depth,
-            capacity=self._capacity,
+            capacity=limit,
             retry_after=self._retry_after_hint(depth),
         )
 
@@ -951,11 +1004,15 @@ class QueryEngine:
         self,
         op: str,
         fn: Callable[[], _T],
-        deadline: float | None,
+        deadline: Deadline,
         timeout: float | None,
+        admitted_at: float,
     ) -> _T:
-        if deadline is not None and time.monotonic() >= deadline:
-            # Expired while queued: never start the work.
+        # The wait between admission and this dequeue is the signal the
+        # adaptive limit regulates.
+        self._admission.observe(time.monotonic() - admitted_at)
+        if deadline.done():
+            # Expired (or abandoned) while queued: never start the work.
             raise DeadlineExceeded(
                 f"{op} spent its whole {timeout}s deadline queued",
                 timeout=float(timeout if timeout is not None else 0.0),
@@ -963,12 +1020,25 @@ class QueryEngine:
         started = time.monotonic()
         try:
             inject("engine.worker")
-            result = fn()
+            with deadline_scope(deadline):
+                result = fn()
+        except OperationCancelled as error:
+            # A checkpoint inside the Phase 2/3 loops stopped the scan:
+            # budget spent mid-flight, but no CPU burned into the void.
+            self._stats.record_cancelled()
+            raise DeadlineExceeded(
+                f"{op} stopped at a cancellation checkpoint ({error})",
+                timeout=float(timeout if timeout is not None else 0.0),
+            ) from error
         except DeadlineExceeded:
             raise
         except Exception:
             self._stats.record_failure(op)
             raise
+        if deadline.done():
+            # Completed anyway — the caller already gave up.  Work that
+            # lands here is exactly what more checkpoints would save.
+            self._stats.record_wasted_work()
         self._stats.record_completed(op, time.monotonic() - started)
         return result
 
@@ -1116,6 +1186,7 @@ class QueryEngine:
         answers: list[object] = []
         intervals: dict[object, IntervalSet] = {}
         for sid in snapshot.database.ids():
+            checkpoint("engine.refine")
             if sid not in entry.candidates:
                 continue
             if not search.candidate_within(

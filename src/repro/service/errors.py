@@ -3,12 +3,15 @@
 Admission control and deadlines need errors a caller (or the HTTP layer)
 can dispatch on without string matching: an overloaded engine fast-fails
 with :class:`Overloaded` (HTTP 429, carrying a ``retry_after`` hint), an
-expired request raises :class:`DeadlineExceeded` (HTTP 408), operations
-against a closed engine raise :class:`EngineClosed` (HTTP 503), and a
-client whose circuit breaker is open fast-fails locally with
-:class:`CircuitOpen` — no bytes hit the wire.  All inherit
-:class:`ServiceError`, so ``except ServiceError`` catches exactly the
-serving-layer failure modes and nothing from the search itself.
+expired request raises :class:`DeadlineExceeded` (HTTP 504; clients also
+parse the legacy 408 for one release), operations against a closed
+engine raise :class:`EngineClosed` (HTTP 503), and a client whose
+circuit breaker is open fast-fails locally with :class:`CircuitOpen` —
+no bytes hit the wire.  A client whose retry token bucket ran dry raises
+:class:`RetryBudgetExhausted` instead of amplifying load with another
+attempt.  All inherit :class:`ServiceError`, so ``except ServiceError``
+catches exactly the serving-layer failure modes and nothing from the
+search itself.
 
 Replication adds its own failure vocabulary: a follower whose history no
 longer matches its leader raises :class:`ReplicaDiverged` (HTTP 409), one
@@ -31,6 +34,7 @@ __all__ = [
     "Overloaded",
     "RepairOverflow",
     "ReplicaDiverged",
+    "RetryBudgetExhausted",
     "ServiceError",
     "ShardUnavailable",
     "SnapshotRequired",
@@ -208,6 +212,26 @@ class FollowerReadOnly(ServiceError):
         super().__init__(message)
         #: The leader URL this follower tails, when known.
         self.leader = leader
+
+
+class RetryBudgetExhausted(ServiceError):
+    """The client's retry token bucket is empty; the retry was not sent.
+
+    Retries amplify traffic exactly when the server can least afford it —
+    a fleet of clients each multiplying its load by ``max_attempts`` is
+    what turns a brownout into an outage.  The token bucket bounds that
+    amplification; when it runs dry the failed attempt that would have
+    been retried is chained as ``__cause__`` instead of replayed.
+    """
+
+    def __init__(
+        self, message: str, *, tokens: float, capacity: float
+    ) -> None:
+        super().__init__(message)
+        #: Tokens left in the bucket (below 1.0 whenever this is raised).
+        self.tokens = tokens
+        #: The bucket's maximum token count.
+        self.capacity = capacity
 
 
 class CircuitOpen(ServiceError):

@@ -16,12 +16,21 @@ site                        where it fires
                             the mid-checkpoint kill-point
 ``database.save.replace``   snapshot temp file written, before the
                             atomic ``os.replace`` into place
+``engine.admission.delay``  in ``_execute``, after the request's
+                            deadline is stamped but before admission —
+                            a sleep here simulates queue stall and
+                            debits the request's budget
 ``engine.worker``           on the worker thread, before the request
                             body runs (slow / failed execution)
 ``http.response``           before an HTTP response is written
                             (dropped-response injection)
 ``cluster.backend.request``  before the coordinator calls any backend
                             (backend-down / slow-shard injection)
+``cluster.backend.slow``    same dispatch point, fired after
+                            ``cluster.backend.request`` — a sleep here
+                            stalls the sub-call *before* its budget is
+                            computed, so the stall debits the
+                            coordinator's remaining deadline
 ``cluster.health.probe``    before the coordinator probes a backend's
                             ``/healthz``
 ``cluster.read-repair``     before each queued write is replayed onto a
@@ -79,9 +88,11 @@ FAULT_SITES: tuple[str, ...] = (
     "checkpoint.before-save",
     "checkpoint.before-reset",
     "database.save.replace",
+    "engine.admission.delay",
     "engine.worker",
     "http.response",
     "cluster.backend.request",
+    "cluster.backend.slow",
     "cluster.health.probe",
     "cluster.read-repair",
     "wal.ship.handshake",

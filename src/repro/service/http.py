@@ -17,6 +17,9 @@ route       method  body / response
                     (:meth:`QueryEngine.export_sequences`)
 /search     POST    ``{"points", "epsilon", "find_intervals"?, "timeout"?}``
 /knn        POST    ``{"points", "k", "timeout"?}``
+                    (both honour an ``X-Repro-Budget`` header: the
+                    effective serving deadline is the *smaller* of body
+                    timeout and header budget)
 /insert     POST    ``{"points", "sequence_id"?}``
 /append     POST    ``{"sequence_id", "points"}``
 /remove     POST    ``{"sequence_id"}``
@@ -29,7 +32,10 @@ route       method  body / response
 
 Typed serving errors map onto status codes — :class:`Overloaded` → 429
 (with a ``Retry-After`` header derived from queue depth), :class:`
-DeadlineExceeded` → 408, :class:`EngineClosed` / :class:`ShardUnavailable`
+DeadlineExceeded` → 504 (the *server* ran out of the request's budget —
+Gateway Timeout — not 408, which blames the client for sending slowly;
+clients keep parsing the legacy 408 for one release), :class:`EngineClosed`
+/ :class:`ShardUnavailable`
 / :class:`WriteQuorumFailed` / :class:`RepairOverflow` → 503,
 :class:`ReplicaDiverged` → 409, :class:`SnapshotRequired` → 410 (the WAL
 tail is *gone*, not merely busy), :class:`FollowerReadOnly` → 403, bad
@@ -105,6 +111,7 @@ __all__ = [
     "healthz_payload",
     "knn_payload",
     "read_points",
+    "request_budget",
     "required_field",
     "search_payload",
     "serve",
@@ -160,7 +167,9 @@ def error_status(error: Exception, op: str) -> int:
     if isinstance(error, Overloaded):
         return 429
     if isinstance(error, DeadlineExceeded):
-        return 408
+        # 504 Gateway Timeout: the server spent the request's budget.
+        # (Previous releases sent 408; the client parses both.)
+        return 504
     if isinstance(
         error,
         (EngineClosed, ShardUnavailable, WriteQuorumFailed, RepairOverflow),
@@ -195,6 +204,25 @@ def required_field(body: dict, name: str) -> Any:
 def read_points(body: dict) -> np.ndarray:
     """The request's point array as float64."""
     return np.asarray(required_field(body, "points"), dtype=np.float64)
+
+
+def request_budget(headers: Any, body: dict | None) -> float | None:
+    """The effective serving deadline of one read request, in seconds.
+
+    The smaller of the body ``timeout`` and the ``X-Repro-Budget``
+    header (whichever are present; ``None`` when neither is).  The
+    header is what a budget-aware client re-stamps on every attempt, so
+    when both disagree the header is the *fresher* number — but taking
+    the min keeps the server honest against either field lying large.
+    """
+    candidates = []
+    timeout = None if body is None else body.get("timeout")
+    if timeout is not None:
+        candidates.append(float(timeout))
+    header = headers.get("X-Repro-Budget")
+    if header is not None:
+        candidates.append(float(header))
+    return min(candidates) if candidates else None
 
 
 def _intervals_payload(result_intervals: dict) -> dict[str, list]:
@@ -429,21 +457,19 @@ class ServiceHandler(JsonRequestHandler):
     def _search(self, body: dict) -> dict:
         epsilon = check_threshold(float(required_field(body, "epsilon")))
         find_intervals = bool(body.get("find_intervals", True))
-        timeout = body.get("timeout")
         response = self.engine.search_detailed(
             read_points(body),
             epsilon,
             find_intervals=find_intervals,
-            timeout=None if timeout is None else float(timeout),
+            timeout=request_budget(self.headers, body),
         )
         return search_payload(response, find_intervals=find_intervals)
 
     def _knn(self, body: dict) -> dict:
-        timeout = body.get("timeout")
         neighbors = self.engine.knn(
             read_points(body),
             int(required_field(body, "k")),
-            timeout=None if timeout is None else float(timeout),
+            timeout=request_budget(self.headers, body),
         )
         return knn_payload(neighbors)
 

@@ -86,6 +86,8 @@ class ServiceStats:
         self._degraded_entered = 0
         self._degraded_exited = 0
         self._wal_appends = 0
+        self._wasted_work = 0
+        self._cancelled = 0
 
     # ------------------------------------------------------------------
     # Recording (called by the engine)
@@ -115,6 +117,21 @@ class ServiceStats:
         """Count one request whose deadline expired."""
         with self._lock:
             self._deadline_exceeded += 1
+
+    def record_wasted_work(self) -> None:
+        """Count one request that *completed* after its deadline anyway.
+
+        Every unit here is CPU the engine burned producing an answer no
+        caller was still waiting for — the quantity cooperative
+        cancellation checkpoints exist to drive toward zero.
+        """
+        with self._lock:
+            self._wasted_work += 1
+
+    def record_cancelled(self) -> None:
+        """Count one request stopped mid-scan by a cancellation checkpoint."""
+        with self._lock:
+            self._cancelled += 1
 
     def record_cache(self, outcome: str) -> None:
         """Count one cache outcome: hit / refine / miss / off."""
@@ -169,6 +186,8 @@ class ServiceStats:
                 "failures": dict(self._failures),
                 "rejected_overload": self._rejected_overload,
                 "deadline_exceeded": self._deadline_exceeded,
+                "wasted_work": self._wasted_work,
+                "cancelled": self._cancelled,
                 "latency_ms": {
                     "p50": self._latency.quantile(0.50) * 1e3,
                     "p95": self._latency.quantile(0.95) * 1e3,

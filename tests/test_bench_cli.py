@@ -52,6 +52,7 @@ class TestBenchCommand:
             "end_to_end",
             "cache_hit_ratio",
             "wal_recovery",
+            "overload_goodput",
         }
 
     def test_suite_filter_writes_only_that_suite(self, tmp_path):

@@ -685,6 +685,23 @@ class TestHedging:
             window.record(5.0)
         assert policy.delay(window, rng) == 0.2  # quantile -> ceiling
 
+    def test_hedge_delay_clamped_by_remaining_budget(self):
+        """Regression: a hedge must never be scheduled to fire after the
+        request budget is spent — the delay is capped by ``remaining``."""
+        from repro.service.stats import LatencyWindow
+        from repro.util.rng import ensure_rng
+
+        policy = HedgePolicy(min_delay=0.05, max_delay=0.2)
+        window = LatencyWindow(16)
+        rng = ensure_rng(3)
+        assert policy.delay(window, rng, remaining=0.02) == 0.02
+        assert policy.delay(window, rng, remaining=0.0) == 0.0
+        # A negative remaining (budget already spent) floors at zero
+        # rather than scheduling a hedge in the past.
+        assert policy.delay(window, rng, remaining=-1.0) == 0.0
+        # No budget constraint: the usual bounds apply untouched.
+        assert policy.delay(window, rng, remaining=None) == 0.05
+
 
 class TestStatsIdentity:
     def test_stats_carry_version_uptime_and_snapshot(self):

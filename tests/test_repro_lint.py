@@ -598,16 +598,16 @@ def test_rep201_flags_inverted_declared_order(tmp_path):
         class Engine:
             def __init__(self) -> None:
                 self._write_lock = TracedLock("engine.write")
-                self._pending_lock = TracedLock("engine.pending")
+                self._trace_lock = TracedLock("engine.trace")
 
             def bad(self) -> None:
-                with self._pending_lock:
+                with self._trace_lock:
                     with self._write_lock:
                         pass
 
             def good(self) -> None:
                 with self._write_lock:
-                    with self._pending_lock:
+                    with self._trace_lock:
                         pass
         ''',
     )

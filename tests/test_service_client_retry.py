@@ -121,7 +121,7 @@ class TestRetryLoop:
         """Replace the transport with a scripted outcome sequence."""
         calls = []
 
-        def fake_request_once(method, path, body):
+        def fake_request_once(method, path, body, deadline=None):
             calls.append((method, path))
             outcome = outcomes[min(len(calls), len(outcomes)) - 1]
             if isinstance(outcome, Exception):

@@ -199,7 +199,7 @@ class TestErrorMapping:
             server.server_close()
             engine.close()
 
-    def test_deadline_is_408_and_typed(self, rng):
+    def test_deadline_is_504_and_typed(self, rng):
         engine = QueryEngine(build_database(rng, count=3), workers=1)
         inner = engine._do_search
         engine._do_search = lambda *args: (time.sleep(0.4), inner(*args))[1]
@@ -207,7 +207,9 @@ class TestErrorMapping:
         try:
             with pytest.raises(DeadlineExceeded) as caught:
                 client.search(rng.random((8, 2)), 0.5, timeout=0.05)
-            assert caught.value.timeout == pytest.approx(0.05)
+            # The server sees the *remaining* budget, not the original
+            # 0.05 — the client debits its own overhead before sending.
+            assert 0.0 < caught.value.timeout <= 0.05
         finally:
             server.shutdown()
             server.server_close()

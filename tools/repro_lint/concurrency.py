@@ -53,7 +53,6 @@ _CONCURRENT_LAYERS = frozenset({"service", "cluster", "bench"})
 MODULE_LOCK_ORDER: dict[str, tuple[str, ...]] = {
     "repro.service.engine": (
         "_write_lock",
-        "_pending_lock",
         "_trace_lock",
         "_health_lock",
     ),
