@@ -1,0 +1,101 @@
+"""errtrace overhead: the disabled fast path versus a bare loop.
+
+Every instrumented catch-site — the bench workers, the follower tail,
+the HTTP boundary, the engine's cancellation translation — now calls
+one of the :mod:`repro.util.errtrace` primitives (see
+``docs/errors.md``); the deal is the same as for the lock and freeze
+sanitizers — *zero behavioural change and negligible cost when
+``REPRO_ERROR_CHECKS`` is unset*.  This benchmark keeps that honest
+with three measurements of the hottest primitive:
+
+* a bare pass loop — the floor,
+* ``record_swallowed`` with checks disabled — the production
+  configuration,
+* ``record_swallowed`` inside :func:`checking_errors` — the counter
+  update under the state lock.
+
+The disabled path is one function call and one module-flag read, the
+same shape as ``verify_frozen``'s disabled check; the budget below is
+the same ~200 ns/op order.  Catch-sites only fire on *failed*
+operations, so even the checks-on cost is paid per error, never per
+request.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import publish
+from repro.util.errtrace import (
+    checking_errors,
+    record_swallowed,
+    reset_error_state,
+)
+
+OPS = 50_000
+
+# The disabled catch-site record may cost this much per call over a
+# bare loop iteration before we call the claim broken: the same budget
+# as the disabled verify_frozen boundary check (~2x a disabled
+# TracedLock acquire).
+MAX_DISABLED_OVERHEAD_S = 4e-7
+
+
+def _spin_floor(ops: int) -> float:
+    started = time.perf_counter()
+    for _ in range(ops):
+        pass
+    return time.perf_counter() - started
+
+
+def _spin_record(error: Exception, ops: int) -> float:
+    started = time.perf_counter()
+    for _ in range(ops):
+        record_swallowed(
+            error, role="bench", site="bench_errtrace_overhead"
+        )
+    return time.perf_counter() - started
+
+
+def test_errtrace_overhead(benchmark) -> None:
+    error = ValueError("bench probe")
+    reset_error_state()
+
+    # Warm both paths (bytecode caches, allocator) before timing.
+    _spin_floor(1000)
+    _spin_record(error, 1000)
+
+    floor_seconds = min(_spin_floor(OPS) for _ in range(3))
+    disabled_seconds = min(_spin_record(error, OPS) for _ in range(3))
+    with checking_errors():
+        # The counter update takes the state lock; keep the round short.
+        enabled_ops = OPS // 10
+        enabled_seconds = min(
+            _spin_record(error, enabled_ops) for _ in range(3)
+        )
+    reset_error_state()
+
+    benchmark.pedantic(_spin_record, rounds=1, iterations=1, args=(error, OPS))
+
+    per_op_floor = floor_seconds / OPS
+    per_op_disabled = disabled_seconds / OPS
+    per_op_enabled = enabled_seconds / enabled_ops
+    overhead = per_op_disabled - per_op_floor
+
+    assert overhead < MAX_DISABLED_OVERHEAD_S, (
+        f"disabled record_swallowed costs {overhead * 1e9:.0f} ns/op over "
+        f"a bare loop (budget {MAX_DISABLED_OVERHEAD_S * 1e9:.0f} ns)"
+    )
+
+    lines = [
+        f"{OPS} record_swallowed calls, best of 3",
+        f"bare loop iteration          : {per_op_floor * 1e9:8.1f} ns/op",
+        f"record_swallowed (checks off): {per_op_disabled * 1e9:8.1f} ns/op"
+        f"  (+{overhead * 1e9:.1f} ns/op)",
+        f"record_swallowed (checks on) : {per_op_enabled * 1e9:8.1f} ns/op",
+        "the disabled path is one module-flag read per *failed* op, so",
+        "the production cost is within noise; the checks-on counter",
+        "update is paid only under REPRO_ERROR_CHECKS=1 (CI's",
+        "error-gate job).",
+    ]
+    publish("errtrace_overhead", "\n".join(lines))

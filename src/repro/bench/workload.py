@@ -39,7 +39,11 @@ from typing import Protocol
 import numpy as np
 import numpy.typing as npt
 
-from repro.util.faults import fault_plan, parse_fault_spec
+from repro.service.client import TRANSPORT_ERRORS
+from repro.service.errors import ServiceError
+from repro.util.budget import OperationCancelled
+from repro.util.errtrace import record_swallowed
+from repro.util.faults import FaultInjected, fault_plan, parse_fault_spec
 from repro.util.rng import SeedLike, ensure_rng, spawn_rngs
 from repro.util.sync import TracedLock
 from repro.util.validation import (
@@ -323,14 +327,30 @@ class _Cursor:
             return index
 
 
+#: Per-operation failures a load run *measures* rather than aborts on:
+#: the typed service taxonomy (including budget exhaustion), injected
+#: chaos, transport drops against a remote target, and the engine's own
+#: rejection of bad keys/payloads.  Anything outside this tuple is a
+#: harness or library bug and must surface, not skew the error rate.
+_EXPECTED_ERRORS = (
+    FaultInjected,
+    OperationCancelled,
+    ServiceError,
+    KeyError,
+    ValueError,
+    *TRANSPORT_ERRORS,
+)
+
+
 class _Tally:
     """One worker thread's private latency/error record (unshared)."""
 
-    __slots__ = ("latencies_ms", "errors")
+    __slots__ = ("latencies_ms", "errors", "failure")
 
     def __init__(self) -> None:
         self.latencies_ms: list[float] = []
         self.errors = 0
+        self.failure: BaseException | None = None
 
 
 def _build_payloads(
@@ -390,6 +410,9 @@ def _spawn_and_join(
         thread.start()
     for thread in threads:
         thread.join()
+    for tally in tallies:
+        if tally.failure is not None:
+            raise tally.failure
     return tallies
 
 
@@ -443,8 +466,20 @@ def run_closed_loop(
             started = time.perf_counter()
             try:
                 _execute(target, op, queries, payloads)
-            except Exception:
+            except _EXPECTED_ERRORS as error:
                 tally.errors += 1
+                # A budget-exhausted op is a *measured* outcome here, not
+                # a lost cancellation — the per-op deadline belongs to the
+                # request, and the worker's job is to count its fate.
+                record_swallowed(
+                    error,
+                    role="bench.worker",
+                    site="run_closed_loop",
+                    cancellation_ok=True,
+                )
+            except BaseException as error:  # error-ok: harness bug — captured and re-raised after join
+                tally.failure = error
+                return
             else:
                 tally.latencies_ms.append(
                     (time.perf_counter() - started) * 1000.0
@@ -496,8 +531,19 @@ def run_open_loop(
                 time.sleep(delay)
             try:
                 _execute(target, op, queries, payloads)
-            except Exception:
+            except _EXPECTED_ERRORS as error:
                 tally.errors += 1
+                # Same contract as the closed-loop worker: a timed-out op
+                # is a counted outcome, not a swallowed cancellation.
+                record_swallowed(
+                    error,
+                    role="bench.worker",
+                    site="run_open_loop",
+                    cancellation_ok=True,
+                )
+            except BaseException as error:  # error-ok: harness bug — captured and re-raised after join
+                tally.failure = error
+                return
             else:
                 tally.latencies_ms.append(
                     (time.perf_counter() - arrival) * 1000.0

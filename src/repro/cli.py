@@ -531,7 +531,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             # dimension; the tail loop (or a snapshot resync) fills it.
             try:
                 dimension = int(leader.healthz()["dimension"])
-            except Exception as error:  # noqa: BLE001 - operator-facing
+            except Exception as error:  # error-ok: operator-facing bootstrap — reported on stderr, exits 2
                 print(
                     f"repro serve: cannot reach leader {args.follow}: "
                     f"{error}",
@@ -645,6 +645,7 @@ def _command_cluster_serve(args: argparse.Namespace) -> int:
     )
     from repro.cluster.backends import Backend
     from repro.service import QueryEngine, ServiceClient
+    from repro.util.errtrace import record_swallowed
 
     if bool(args.backends) == bool(args.corpus):
         print(
@@ -755,7 +756,13 @@ def _command_cluster_serve(args: argparse.Namespace) -> int:
         while not stop.wait(args.probe_interval):
             try:
                 coordinator.probe()
-            except Exception as error:
+            except Exception as error:  # error-ok: probe thread must outlive any single bad sweep
+                record_swallowed(
+                    error,
+                    role="operator.probe",
+                    site="cluster_serve._probe_loop",
+                    cancellation_ok=True,
+                )
                 print(
                     f"repro cluster-serve: probe sweep failed: {error!r}",
                     file=sys.stderr,

@@ -717,18 +717,18 @@ class ClusterCoordinator:
                 inject("cluster.read-repair")
                 if entry.op == "insert":
                     try:
-                        backend.insert(
+                        backend.insert(  # error-ok: replay is idempotent — duplicate-id KeyError proves the write landed
                             entry.points, sequence_id=entry.sequence_id
                         )
                     except KeyError:
                         pass  # already present: the write did land
                 elif entry.op == "remove":
                     try:
-                        backend.remove(entry.sequence_id)
+                        backend.remove(entry.sequence_id)  # error-ok: replay is idempotent — missing-id KeyError proves the remove landed
                     except KeyError:
                         pass  # already absent
                 else:
-                    backend.append(entry.sequence_id, entry.points)
+                    backend.append(entry.sequence_id, entry.points)  # error-ok: at-least-once replay by design; a torn append trips needs_resync and full snapshot copy
             except _FAILOVER_ERRORS:
                 # Still unhealthy: keep the queue, try again next probe.
                 self.health.record_failure(backend_index)

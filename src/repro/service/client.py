@@ -72,6 +72,7 @@ from repro.service.errors import (
     WriteQuorumFailed,
 )
 from repro.util.budget import Deadline
+from repro.util.errtrace import translated
 from repro.util.rng import ensure_rng
 from repro.util.sync import TracedLock
 from repro.util.validation import check_threshold
@@ -152,12 +153,12 @@ _TRANSPORT_ERRORS = TRANSPORT_ERRORS
 _BUDGET_SOCKET_SLACK = 0.25
 
 
-def _raise_typed(status: int, detail: dict) -> None:
+def _typed_error(status: int, detail: dict) -> Exception:
     """Rebuild the server-side exception from an error payload."""
     message = str(detail.get("message", f"HTTP {status}"))
     if status == 429:
         retry_after = detail.get("retry_after")
-        raise Overloaded(
+        return Overloaded(
             message,
             queue_depth=int(detail.get("queue_depth", 0)),
             capacity=int(detail.get("capacity", 0)),
@@ -167,53 +168,74 @@ def _raise_typed(status: int, detail: dict) -> None:
         # 504 is the current mapping for DeadlineExceeded; 408 is what
         # servers one release back sent — keep parsing it until every
         # server in a mixed-version fleet has rolled forward.
-        raise DeadlineExceeded(message, timeout=float(detail.get("timeout", 0.0)))
+        return DeadlineExceeded(message, timeout=float(detail.get("timeout", 0.0)))
     if status == 503:
         kind = detail.get("type")
         if kind == "ShardUnavailable":
-            raise ShardUnavailable(
+            return ShardUnavailable(
                 message,
                 missing_shards=[
                     int(shard) for shard in detail.get("missing_shards", ())
                 ],
             )
         if kind == "WriteQuorumFailed":
-            raise WriteQuorumFailed(
+            return WriteQuorumFailed(
                 message,
                 shard=int(detail.get("shard", -1)),
                 acks=int(detail.get("acks", 0)),
                 required=int(detail.get("required", 0)),
             )
         if kind == "RepairOverflow":
-            raise RepairOverflow(
+            return RepairOverflow(
                 message,
                 backend=int(detail.get("backend", -1)),
                 pending=int(detail.get("pending", 0)),
                 capacity=int(detail.get("capacity", 0)),
             )
-        raise EngineClosed(message)
+        return EngineClosed(message)
     if status == 410:
-        raise SnapshotRequired(
+        return SnapshotRequired(
             message,
             horizon=int(detail.get("horizon", 0)),
             after_seq=int(detail.get("after_seq", 0)),
         )
     if status == 403:
-        raise FollowerReadOnly(message, leader=detail.get("leader"))
+        return FollowerReadOnly(message, leader=detail.get("leader"))
     if status == 400:
-        raise ValueError(message)
+        return ValueError(message)
     if status in (404, 409):
         # A 409 is either a duplicate-id insert (KeyError, mirroring the
         # embedded engine) or a replication handshake mismatch — the
         # payload type disambiguates.
         if status == 409 and detail.get("type") == "ReplicaDiverged":
-            raise ReplicaDiverged(
+            return ReplicaDiverged(
                 message,
                 leader_seq=int(detail.get("leader_seq", 0)),
                 follower_seq=int(detail.get("follower_seq", 0)),
             )
-        raise KeyError(message)
-    raise ServiceError(f"HTTP {status}: {message}")
+        return KeyError(message)
+    return ServiceError(f"HTTP {status}: {message}")
+
+
+def _raise_typed(
+    status: int, detail: dict, cause: BaseException | None = None
+) -> None:
+    """Raise the typed rebuild of an error payload, chaining ``cause``.
+
+    ``cause`` is the transport-layer original (the ``HTTPError`` the
+    payload rode in on); chaining it keeps the real fault visible under
+    the typed costume (the REP402 invariant, enforced at runtime by
+    :func:`repro.util.errtrace.translated`).
+    """
+    error = _typed_error(status, detail)
+    if cause is not None:
+        raise translated(
+            cause,
+            error,
+            role="client.translate",
+            site="ServiceClient._raise_typed",
+        ) from cause
+    raise error
 
 
 @dataclass(frozen=True)
@@ -817,7 +839,7 @@ class ServiceClient:
                 header = error.headers.get("Retry-After")
                 if header is not None:
                     detail["retry_after"] = header
-            _raise_typed(error.code, detail)
+            _raise_typed(error.code, detail, cause=error)
             raise  # unreachable: _raise_typed always raises
         except _TRANSPORT_ERRORS:
             self._count("transport_errors")

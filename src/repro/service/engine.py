@@ -104,6 +104,7 @@ from repro.util.budget import (
     checkpoint,
     deadline_scope,
 )
+from repro.util.errtrace import error_stats, translated
 from repro.util.freeze import verify_frozen
 from repro.util.sync import TracedLock
 from repro.util.validation import check_threshold
@@ -877,6 +878,10 @@ class QueryEngine:
                 "uptime_s": time.time() - self._started_at,
                 "repro_version": REPRO_VERSION,
                 "degraded": self.degraded,
+                # Per-site swallow/translate/propagate counters from the
+                # errtrace sanitizer; empty unless REPRO_ERROR_CHECKS=1
+                # (or checking_errors()) is active somewhere in-process.
+                "errors": error_stats(),
                 "durability": {
                     "enabled": self.durable,
                     "wal_records": self.wal_records,
@@ -1026,9 +1031,14 @@ class QueryEngine:
             # A checkpoint inside the Phase 2/3 loops stopped the scan:
             # budget spent mid-flight, but no CPU burned into the void.
             self._stats.record_cancelled()
-            raise DeadlineExceeded(
-                f"{op} stopped at a cancellation checkpoint ({error})",
-                timeout=float(timeout if timeout is not None else 0.0),
+            raise translated(
+                error,
+                DeadlineExceeded(
+                    f"{op} stopped at a cancellation checkpoint ({error})",
+                    timeout=float(timeout if timeout is not None else 0.0),
+                ),
+                role="engine.worker",
+                site="QueryEngine._run",
             ) from error
         except DeadlineExceeded:
             raise

@@ -48,6 +48,7 @@ from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
 
 from repro.service.errors import ReplicaDiverged, SnapshotRequired
 from repro.service.wal import decode_frames
+from repro.util.errtrace import record_swallowed
 from repro.util.faults import inject
 from repro.util.sync import TracedLock
 
@@ -284,12 +285,24 @@ class WalFollower:
             except ReplicaDiverged:
                 try:
                     self.resync()
-                except Exception as error:  # noqa: BLE001 - keep tailing
+                except Exception as error:  # error-ok: tail loop outlives leader restarts; recorded in status()
+                    record_swallowed(
+                        error,
+                        role="follower.tail",
+                        site="WalFollower.run.resync",
+                        cancellation_ok=True,
+                    )
                     with self._lock:
                         self._last_error = str(error)
                 stop.wait(interval)
                 continue
-            except Exception as error:  # noqa: BLE001 - keep tailing
+            except Exception as error:  # error-ok: tail loop outlives leader restarts; recorded in status()
+                record_swallowed(
+                    error,
+                    role="follower.tail",
+                    site="WalFollower.run.poll",
+                    cancellation_ok=True,
+                )
                 with self._lock:
                     self._last_error = str(error)
                 stop.wait(interval)

@@ -94,6 +94,7 @@ from repro.service.errors import (
     WriteQuorumFailed,
 )
 from repro.service.faults import inject
+from repro.util.errtrace import record_propagated
 from repro.util.sync import TracedLock
 from repro.util.validation import check_threshold
 
@@ -374,7 +375,10 @@ class JsonRequestHandler(BaseHTTPRequestHandler):
             try:
                 body = self._read_body()
                 payload = route(body)
-            except Exception as error:  # noqa: BLE001 — boundary: map to status
+            except Exception as error:  # error-ok: reporting boundary — every error maps to a typed status payload
+                record_propagated(
+                    error, role="http.boundary", site=f"http.{op}"
+                )
                 self._send_json(
                     error_status(error, op),
                     error_payload(error),

@@ -12,6 +12,7 @@ from repro.bench import (
     run_open_loop,
     zipf_weights,
 )
+from repro.service.errors import ServiceError
 
 
 class RecordingTarget:
@@ -24,7 +25,8 @@ class RecordingTarget:
     def search(self, query, epsilon):
         self.calls.append(("search", float(epsilon)))
         if self.fail_every and len(self.calls) % self.fail_every == 0:
-            raise RuntimeError("injected search failure")
+            # A typed serving failure: the drivers *measure* these.
+            raise ServiceError("injected search failure")
         return None
 
     def insert(self, points, sequence_id=None):
@@ -200,6 +202,32 @@ class TestClosedLoop:
         assert report.errors == 10
         assert report.completed == 20
         assert report.metrics()["error_ratio"] == pytest.approx(1 / 3)
+
+    def test_harness_bug_propagates_not_counted(self):
+        """Regression: only *typed* failures are measured as errors.
+
+        The workers used to count every exception into ``errors`` —
+        a genuine TypeError from a harness bug (wrong payload shape,
+        broken target adapter) silently skewed the error rate instead
+        of failing the run.  Unexpected errors must now surface after
+        the workers join.
+        """
+
+        class BuggyTarget(RecordingTarget):
+            def search(self, query, epsilon):
+                raise TypeError("harness bug: bad payload shape")
+
+        spec = make_spec(operations=10, mix=OperationMix(search=1.0))
+        operations = generate_operations(spec, seed=3)
+        with pytest.raises(TypeError, match="harness bug"):
+            run_closed_loop(
+                BuggyTarget(),
+                operations,
+                queries=make_queries(spec),
+                dimension=spec.dimension,
+                concurrency=2,
+                seed=3,
+            )
 
 
 class TestOpenLoop:

@@ -1201,6 +1201,589 @@ def test_rep3xx_does_not_apply_to_test_code(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# REP400 — broad excepts re-raise or carry a reasoned waiver
+# ----------------------------------------------------------------------
+def test_rep400_flags_silent_broad_except(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/service/swallow.py",
+        '''
+        """Doc."""
+        __all__ = []
+
+
+        def f() -> int:
+            try:
+                return 1
+            except Exception:
+                return 0
+        ''',
+    )
+    assert "REP400" in codes_in(path)
+
+
+def test_rep400_bare_except_flagged_reraise_and_waiver_clean(tmp_path):
+    bare = write_module(
+        tmp_path,
+        "src/repro/service/bare.py",
+        '''
+        """Doc."""
+        __all__ = []
+
+
+        def f() -> int:
+            try:
+                return 1
+            except:
+                return 0
+        ''',
+    )
+    assert "REP400" in codes_in(bare)
+
+    clean = write_module(
+        tmp_path,
+        "src/repro/service/cleanup.py",
+        '''
+        """Doc."""
+        __all__ = []
+
+
+        def f(resource: object) -> int:
+            try:
+                return 1
+            except Exception:
+                del resource
+                raise
+        ''',
+    )
+    assert "REP400" not in codes_in(clean)
+
+    waived = write_module(
+        tmp_path,
+        "src/repro/service/waived.py",
+        '''
+        """Doc."""
+        __all__ = []
+
+
+        def f() -> int:
+            try:
+                return 1
+            except Exception:  # error-ok: probe loop outlives bad sweeps
+                return 0
+        ''',
+    )
+    assert "REP400" not in codes_in(waived)
+
+
+def test_rep400_exempt_outside_library(tmp_path):
+    path = write_module(
+        tmp_path,
+        "tests/test_x.py",
+        "def f():\n    try:\n        return 1\n    except Exception:\n"
+        "        return 0\n",
+    )
+    assert "REP400" not in codes_in(path)
+
+
+# ----------------------------------------------------------------------
+# REP401 — cancellation/budget errors always propagate
+# ----------------------------------------------------------------------
+def test_rep401_flags_absorbed_cancellation(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/service/eat.py",
+        '''
+        """Doc."""
+        __all__ = []
+
+
+        def f() -> int:
+            try:
+                return 1
+            except DeadlineExceeded:
+                return 0
+        ''',
+    )
+    assert "REP401" in codes_in(path)
+
+
+def test_rep401_translation_with_raise_is_clean(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/service/translate.py",
+        '''
+        """Doc."""
+        __all__ = []
+
+
+        def f() -> int:
+            try:
+                return 1
+            except OperationCancelled as error:
+                raise DeadlineExceeded("budget spent") from error
+        ''',
+    )
+    assert "REP401" not in codes_in(path)
+
+
+def test_rep401_catches_tuple_spelling(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/service/tupled.py",
+        '''
+        """Doc."""
+        __all__ = []
+
+
+        def f() -> int:
+            try:
+                return 1
+            except (ValueError, OperationCancelled):
+                return 0
+        ''',
+    )
+    assert "REP401" in codes_in(path)
+
+
+# ----------------------------------------------------------------------
+# REP402 — typed translations chain provenance with 'from'
+# ----------------------------------------------------------------------
+def test_rep402_flags_unchained_taxonomy_raise(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/service/unchained.py",
+        '''
+        """Doc."""
+        __all__ = []
+
+
+        def f() -> int:
+            try:
+                return 1
+            except ValueError:
+                raise ServiceError("rebuilt without provenance")
+        ''',
+    )
+    assert "REP402" in codes_in(path)
+
+
+def test_rep402_from_clause_is_clean(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/service/chained.py",
+        '''
+        """Doc."""
+        __all__ = []
+
+
+        def f() -> int:
+            try:
+                return 1
+            except ValueError as error:
+                raise ServiceError("rebuilt") from error
+        ''',
+    )
+    assert "REP402" not in codes_in(path)
+
+
+def test_rep402_ignores_non_taxonomy_raises(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/service/plain.py",
+        '''
+        """Doc."""
+        __all__ = []
+
+
+        def f() -> int:
+            try:
+                return 1
+            except ValueError:
+                raise ValueError("re-validated, not a translation")
+        ''',
+    )
+    assert "REP402" not in codes_in(path)
+
+
+# ----------------------------------------------------------------------
+# REP403 — public request-layer APIs raise only taxonomy errors
+# ----------------------------------------------------------------------
+def test_rep403_flags_untyped_public_raise(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/service/custom.py",
+        '''
+        """Doc."""
+        __all__ = []
+
+
+        def lookup(key: str) -> int:
+            raise CustomSearchError(f"no {key}")
+        ''',
+    )
+    assert "REP403" in codes_in(path)
+
+
+def test_rep403_taxonomy_private_and_core_exempt(tmp_path):
+    typed = write_module(
+        tmp_path,
+        "src/repro/service/typed.py",
+        '''
+        """Doc."""
+        __all__ = []
+
+
+        def lookup(key: str) -> int:
+            raise ServiceError(f"no {key}")
+        ''',
+    )
+    assert "REP403" not in codes_in(typed)
+
+    private = write_module(
+        tmp_path,
+        "src/repro/service/private.py",
+        '''
+        """Doc."""
+        __all__ = []
+
+
+        def _helper(key: str) -> int:
+            raise CustomSearchError(f"no {key}")
+        ''',
+    )
+    assert "REP403" not in codes_in(private)
+
+    core = write_module(
+        tmp_path,
+        "src/repro/core/free.py",
+        '''
+        """Doc."""
+        __all__ = []
+
+
+        def lookup(key: str) -> int:
+            raise CustomSearchError(f"no {key}")
+        ''',
+    )
+    assert "REP403" not in codes_in(core)
+
+
+# ----------------------------------------------------------------------
+# REP404 — no retry loops around non-idempotent writes
+# ----------------------------------------------------------------------
+def test_rep404_flags_retried_insert(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/cluster/retry.py",
+        '''
+        """Doc."""
+        __all__ = []
+
+
+        def drain(backend: object, entries: list) -> None:
+            for entry in entries:
+                try:
+                    backend.insert(entry)
+                except ValueError:
+                    continue
+        ''',
+    )
+    assert "REP404" in codes_in(path)
+
+
+def test_rep404_bookkeeping_and_reraising_loops_clean(tmp_path):
+    bookkeeping = write_module(
+        tmp_path,
+        "src/repro/cluster/lists.py",
+        '''
+        """Doc."""
+        __all__ = []
+
+
+        def gather(entries: list) -> list:
+            pending: list = []
+            for entry in entries:
+                try:
+                    pending.append(entry)
+                except ValueError:
+                    continue
+            return pending
+        ''',
+    )
+    assert "REP404" not in codes_in(bookkeeping)
+
+    reraising = write_module(
+        tmp_path,
+        "src/repro/cluster/strict.py",
+        '''
+        """Doc."""
+        __all__ = []
+
+
+        def drain(backend: object, entries: list) -> None:
+            for entry in entries:
+                try:
+                    backend.insert(entry)
+                except ValueError as error:
+                    raise ServiceError("replay failed") from error
+        ''',
+    )
+    assert "REP404" not in codes_in(reraising)
+
+
+def test_rep404_waivable_on_the_call_line(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/cluster/idempotent.py",
+        '''
+        """Doc."""
+        __all__ = []
+
+
+        def drain(backend: object, entries: list) -> None:
+            for entry in entries:
+                try:
+                    backend.insert(entry)  # error-ok: duplicate KeyError proves the write landed
+                except ValueError:
+                    continue
+        ''',
+    )
+    assert "REP404" not in codes_in(path)
+
+
+# ----------------------------------------------------------------------
+# REP405 — finally/__exit__ control flow that masks exceptions
+# ----------------------------------------------------------------------
+def test_rep405_flags_return_in_finally(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/service/mask.py",
+        '''
+        """Doc."""
+        __all__ = []
+
+
+        def f() -> int:
+            try:
+                return 1
+            finally:
+                return 0
+        ''',
+    )
+    assert "REP405" in codes_in(path)
+
+
+def test_rep405_flags_exit_returning_true(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/service/ctx.py",
+        '''
+        """Doc."""
+        __all__ = []
+
+
+        class Scope:
+            """Doc."""
+
+            def __exit__(self, exc_type, exc, tb) -> bool:
+                return True
+        ''',
+    )
+    assert "REP405" in codes_in(path)
+
+
+def test_rep405_plain_cleanup_finally_clean(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/service/tidy.py",
+        '''
+        """Doc."""
+        __all__ = []
+
+
+        def f(lock: object) -> int:
+            try:
+                return 1
+            finally:
+                release(lock)
+        ''',
+    )
+    assert "REP405" not in codes_in(path)
+
+
+# ----------------------------------------------------------------------
+# REP406 — inject sites and FAULT_SITES stay in lockstep
+# ----------------------------------------------------------------------
+FAULTS_FIXTURE = '''
+"""Doc."""
+__all__ = ["FAULT_SITES"]
+
+FAULT_SITES = (
+    "engine.worker",
+    "wal.fsync",
+)
+'''
+
+
+def test_rep406_flags_unregistered_inject_literal(tmp_path):
+    write_module(tmp_path, "src/repro/service/faults.py", FAULTS_FIXTURE)
+    path = write_module(
+        tmp_path,
+        "src/repro/service/hot.py",
+        '''
+        """Doc."""
+        __all__ = []
+
+
+        def f() -> None:
+            inject("engine.worker")
+            inject("never.registered")
+        ''',
+    )
+    assert "REP406" in codes_in(path)
+
+
+def test_rep406_flags_dead_registry_entry(tmp_path):
+    write_module(
+        tmp_path,
+        "src/repro/service/hot.py",
+        '''
+        """Doc."""
+        __all__ = []
+
+
+        def f() -> None:
+            inject("engine.worker")
+        ''',
+    )
+    faults = write_module(
+        tmp_path, "src/repro/service/faults.py", FAULTS_FIXTURE
+    )
+    violations = [v for v in lint_file(faults) if v.rule == "REP406"]
+    assert len(violations) == 1
+    assert "wal.fsync" in violations[0].message
+
+
+def test_rep406_dynamic_sites_exempt(tmp_path):
+    write_module(tmp_path, "src/repro/service/faults.py", FAULTS_FIXTURE)
+    path = write_module(
+        tmp_path,
+        "src/repro/cluster/dynamic.py",
+        '''
+        """Doc."""
+        __all__ = []
+
+
+        def f(index: int) -> None:
+            inject(f"cluster.backend.{index}.request")
+        ''',
+    )
+    assert "REP406" not in codes_in(path)
+
+
+# ----------------------------------------------------------------------
+# REP407 — every # error-ok waiver carries a reason
+# ----------------------------------------------------------------------
+def test_rep407_flags_bare_error_ok(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/service/barewaiver.py",
+        '''
+        """Doc."""
+        __all__ = []
+
+
+        def f() -> int:
+            try:
+                return 1
+            except Exception:  # error-ok
+                return 0
+        ''',
+    )
+    codes = codes_in(path)
+    # A bare waiver both fails REP407 and waives nothing (REP400 stays).
+    assert "REP407" in codes
+    assert "REP400" in codes
+
+
+def test_rep407_reasoned_waiver_clean(tmp_path):
+    path = write_module(
+        tmp_path,
+        "src/repro/service/reasoned.py",
+        '''
+        """Doc."""
+        __all__ = []
+
+
+        def f() -> int:
+            try:
+                return 1
+            except Exception:  # error-ok: tail loop must survive restarts
+                return 0
+        ''',
+    )
+    assert "REP407" not in codes_in(path)
+
+
+# ----------------------------------------------------------------------
+# The --fault-coverage audit mode
+# ----------------------------------------------------------------------
+def test_fault_coverage_fails_on_unexercised_site(tmp_path, capsys):
+    write_module(tmp_path, "src/repro/service/faults.py", FAULTS_FIXTURE)
+    write_module(
+        tmp_path,
+        "tests/test_chaos.py",
+        "def test_worker_fault():\n"
+        "    arm('engine.worker')\n",
+    )
+    code = main(
+        ["--fault-coverage", str(tmp_path / "src"), str(tmp_path / "tests")]
+    )
+    assert code == 1
+    captured = capsys.readouterr()
+    assert "wal.fsync" in captured.out
+    assert "unexercised" in captured.err
+
+
+def test_fault_coverage_passes_when_every_site_exercised(tmp_path):
+    write_module(tmp_path, "src/repro/service/faults.py", FAULTS_FIXTURE)
+    write_module(
+        tmp_path,
+        "tests/test_chaos.py",
+        "def test_faults():\n"
+        "    arm('engine.worker')\n"
+        "    arm('wal.fsync')\n",
+    )
+    code = main(
+        ["--fault-coverage", str(tmp_path / "src"), str(tmp_path / "tests")]
+    )
+    assert code == 0
+
+
+def test_fault_coverage_errors_without_a_registry(tmp_path, capsys):
+    write_module(
+        tmp_path, "tests/test_chaos.py", "def test_x():\n    pass\n"
+    )
+    code = main(["--fault-coverage", str(tmp_path / "tests")])
+    assert code == 2
+    assert "no FAULT_SITES registry" in capsys.readouterr().err
+
+
+def test_fault_coverage_clean_on_the_real_repo():
+    """The acceptance criterion: every registered site has a chaos test."""
+    code = main(
+        [
+            "--fault-coverage",
+            str(REPO_ROOT / "src"),
+            str(REPO_ROOT / "tests"),
+            str(REPO_ROOT / "tools"),
+        ]
+    )
+    assert code == 0
+
+
+# ----------------------------------------------------------------------
 # The rule table carries waiver syntax and matches the documentation
 # ----------------------------------------------------------------------
 def test_list_rules_shows_waiver_column(capsys):
@@ -1208,6 +1791,7 @@ def test_list_rules_shows_waiver_column(capsys):
     out = capsys.readouterr().out
     assert "# alias-ok: <reason>" in out
     assert "# thread-safe: <reason>" in out
+    assert "# error-ok: <reason>" in out
     assert "# repro-lint: disable=REP101" in out
 
 
@@ -1225,6 +1809,8 @@ def test_rule_codes_are_unique_and_sorted_by_family():
     assert len(codes) == len(set(codes))
     aliasing = [c for c in codes if c.startswith("REP3")]
     assert aliasing == [f"REP30{i}" for i in range(8)]
+    errorpaths = [c for c in codes if c.startswith("REP4")]
+    assert errorpaths == [f"REP40{i}" for i in range(8)]
 
 
 # ----------------------------------------------------------------------

@@ -320,3 +320,69 @@ class TestBreakerIntegration:
             client.healthz()
         # A CircuitOpen rejection never consumed a transport attempt.
         assert client.transport_stats()["attempts"] == before
+
+
+class TestTypedErrorProvenance:
+    """Every typed rebuild of a server payload chains its transport cause."""
+
+    @pytest.mark.parametrize(
+        "status,detail",
+        [
+            (429, {"message": "busy", "queue_depth": 3, "capacity": 4}),
+            (504, {"message": "late", "timeout": 0.25}),
+            (503, {"message": "gone", "type": "ShardUnavailable"}),
+            (500, {"message": "boom"}),
+            (400, {"message": "bad epsilon"}),
+        ],
+    )
+    def test_raise_typed_chains_the_transport_cause(self, status, detail):
+        from repro.service.client import _raise_typed
+
+        cause = OSError("connection reset under the payload")
+        with pytest.raises(Exception) as info:  # noqa: B017 - type varies by status
+            _raise_typed(status, detail, cause=cause)
+        assert info.value.__cause__ is cause
+
+    def test_raise_typed_without_cause_stays_unchained(self):
+        from repro.service.client import _raise_typed
+
+        with pytest.raises(Overloaded) as info:
+            _raise_typed(429, {"message": "busy"})
+        assert info.value.__cause__ is None
+
+    def test_http_error_rebuild_chains_end_to_end(self):
+        """A served error status arrives typed with the HTTPError chained."""
+        import json
+        import threading
+        from http.server import BaseHTTPRequestHandler, HTTPServer
+        from urllib.error import HTTPError
+
+        class AlwaysBusy(BaseHTTPRequestHandler):
+            def do_GET(self):  # noqa: N802 - http.server API
+                payload = json.dumps(
+                    {"error": {"message": "busy", "queue_depth": 9}}
+                ).encode()
+                self.send_response(429)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+            def log_message(self, *args):
+                pass
+
+        server = HTTPServer(("127.0.0.1", 0), AlwaysBusy)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(
+                f"http://127.0.0.1:{server.server_port}", timeout=2.0
+            )
+            with pytest.raises(Overloaded) as info:
+                client.healthz()
+            assert isinstance(info.value.__cause__, HTTPError)
+            assert info.value.__cause__.code == 429
+        finally:
+            server.shutdown()
+            thread.join()
+            server.server_close()

@@ -321,6 +321,44 @@ print("UNREACHABLE", flush=True)
                 assert len(recovered) == 5
 
 
+class TestAdmissionFaults:
+    def test_admission_delay_debits_the_deadline(self, rng):
+        """A stalled admission path spends the caller's budget, not extra."""
+        with QueryEngine(build_database(rng, count=3), workers=1) as engine:
+            with fault_plan(
+                FaultRule("engine.admission.delay", "sleep", seconds=0.4)
+            ) as plan:
+                with pytest.raises(DeadlineExceeded):
+                    engine.search(rng.random((8, 2)), 0.5, timeout=0.05)
+                assert plan.fired("engine.admission.delay") == 1
+            # The stall consumed no permanent capacity.
+            result = engine.search(rng.random((8, 2)), 0.5)
+            assert isinstance(result.answers, list)
+
+
+class TestShipHandshakeFaults:
+    def test_handshake_fault_fails_the_tail_not_the_leader(self, rng, tmp_path):
+        """A broken handshake rejects one wal_tail; serving continues."""
+        config = DurabilityConfig(
+            tmp_path / "data", checkpoint_on_close=False
+        )
+        with QueryEngine(
+            build_database(rng), workers=1, durability=config
+        ) as engine:
+            engine.insert(rng.random((10, 2)), sequence_id="shipped")
+            with fault_plan(
+                FaultRule("wal.ship.handshake", "raise")
+            ) as plan:
+                with pytest.raises(FaultInjected):
+                    engine.wal_tail(0)
+                assert plan.fired("wal.ship.handshake") == 1
+            # The failed handshake left the leader fully serviceable.
+            batch = engine.wal_tail(0)
+            assert batch["count"] >= 1
+            result = engine.search(rng.random((8, 2)), 0.5)
+            assert isinstance(result.answers, list)
+
+
 class TestWorkerFaults:
     def test_slow_worker_trips_the_deadline(self, rng):
         with QueryEngine(build_database(rng, count=3), workers=1) as engine:

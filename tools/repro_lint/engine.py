@@ -9,12 +9,14 @@ import sys
 from collections.abc import Iterable, Iterator, Sequence
 from pathlib import Path
 
+from tools.repro_lint.errorpaths import parse_fault_registry
 from tools.repro_lint.model import ModuleContext, Violation
 from tools.repro_lint.rules import ALL_RULES, Rule
 
 __all__ = [
     "ModuleContext",
     "Violation",
+    "fault_coverage",
     "lint_file",
     "lint_paths",
     "main",
@@ -93,18 +95,95 @@ def lint_paths(
     return violations
 
 
+def _find_fault_registry(
+    paths: Sequence[Path],
+) -> tuple[Path, dict[str, int]] | None:
+    """Locate the first ``FAULT_SITES`` registry under the given paths."""
+    for path in _iter_python_files(paths):
+        if path.name != "faults.py":
+            continue
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+        except SyntaxError:
+            continue
+        registry = parse_fault_registry(tree)
+        if registry:
+            return path, registry
+    return None
+
+
+def _is_evidence_file(path: Path) -> bool:
+    """Tests and CI smoke drivers: where a fault site must be exercised."""
+    if any(part in ("tests", "tools") for part in path.parts):
+        return True
+    return path.name.startswith("test_")
+
+
+def fault_coverage(paths: Sequence[Path]) -> list[Violation]:
+    """The fault-site coverage audit behind ``--fault-coverage``.
+
+    Every entry of the ``FAULT_SITES`` registry found under ``paths``
+    must appear in at least one test or smoke-tool file — an
+    uninjectable chaos site is instrumentation that no longer proves
+    anything.  Returns one REP406 violation (anchored at the registry
+    entry's line) per unexercised site; raises :class:`FileNotFoundError`
+    when no registry exists under the given paths.
+    """
+    found = _find_fault_registry(paths)
+    if found is None:
+        raise FileNotFoundError(
+            "no FAULT_SITES registry (faults.py) found under: "
+            + ", ".join(str(p) for p in paths)
+        )
+    registry_path, registry = found
+    evidence = [
+        path
+        for path in _iter_python_files(paths)
+        if path != registry_path and _is_evidence_file(path)
+    ]
+    corpus = "\n".join(
+        path.read_text(encoding="utf-8") for path in evidence
+    )
+    violations = [
+        Violation(
+            rule="REP406",
+            message=(
+                f"FAULT_SITES entry '{site}' is not exercised by any "
+                "test or smoke tool under the audited paths; add a chaos "
+                "test that arms it or retire the site"
+            ),
+            path=registry_path,
+            line=line,
+            col=0,
+        )
+        for site, line in sorted(registry.items())
+        if site not in corpus
+    ]
+    violations.sort(key=lambda v: (str(v.path), v.line, v.col, v.rule))
+    return violations
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m tools.repro_lint",
         description="repository-specific lint rules for the repro library",
     )
     parser.add_argument(
-        "paths", nargs="*", default=["src", "tests"], help="files or directories"
+        "paths", nargs="*", default=[], help="files or directories"
     )
     parser.add_argument(
         "--select",
         default=None,
         help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--fault-coverage",
+        action="store_true",
+        help=(
+            "audit mode: check every FAULT_SITES entry is exercised by a "
+            "test or smoke tool (default paths: src tests tools) instead "
+            "of linting"
+        ),
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule table and exit"
@@ -149,12 +228,31 @@ def main(argv: Sequence[str] | None = None) -> int:
                 f"waiver: {rule.waiver_syntax}"
             )
         return 0
-    missing = [p for p in args.paths if not Path(p).exists()]
+    defaults = ["src", "tests", "tools"] if args.fault_coverage else ["src", "tests"]
+    paths = args.paths or defaults
+    missing = [p for p in paths if not Path(p).exists()]
     if missing:
         print(
             f"no such file or directory: {', '.join(missing)}", file=sys.stderr
         )
         return 2
+    if args.fault_coverage:
+        try:
+            uncovered = fault_coverage([Path(p) for p in paths])
+        except FileNotFoundError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        for violation in uncovered:
+            if args.format == "json":
+                print(render_json(violation))
+            else:
+                print(violation.render())
+        if uncovered:
+            print(
+                f"{len(uncovered)} unexercised fault site(s)", file=sys.stderr
+            )
+            return 1
+        return 0
     rules: tuple[Rule, ...] = ALL_RULES
     if args.select:
         wanted = {code.strip().upper() for code in args.select.split(",")}
@@ -163,7 +261,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"unknown rule codes: {', '.join(sorted(unknown))}", file=sys.stderr)
             return 2
         rules = tuple(rule for rule in ALL_RULES if rule.code in wanted)
-    violations = lint_paths([Path(p) for p in args.paths], rules)
+    violations = lint_paths([Path(p) for p in paths], rules)
     for violation in violations:
         if args.format == "json":
             print(render_json(violation))

@@ -14,6 +14,7 @@ from collections.abc import Iterator
 
 from tools.repro_lint.aliasing import ALIASING_RULE_SPECS
 from tools.repro_lint.concurrency import CONCURRENCY_RULE_SPECS
+from tools.repro_lint.errorpaths import ERRORPATH_RULE_SPECS
 from tools.repro_lint.model import (
     DISTANCE_LEXICON,
     ModuleContext,
@@ -26,6 +27,7 @@ __all__ = [
     "ALL_RULES",
     "CONCURRENCY_RULES",
     "DISTANCE_LEXICON",
+    "ERRORPATH_RULES",
     "LAYER_ALLOWED_IMPORTS",
     "Rule",
     "VALIDATION_HELPERS",
@@ -391,10 +393,10 @@ ALL_RULES: tuple[Rule, ...] = (
     ),
 )
 
-# The concurrency-discipline (REP200–REP206) and snapshot-immutability
-# (REP300–REP307) families live in their own modules; each exports plain
-# (code, summary, checker) triples and is wrapped here with its family's
-# waiver syntax.
+# The concurrency-discipline (REP200–REP206), snapshot-immutability
+# (REP300–REP307) and error-path (REP400–REP407) families live in their
+# own modules; each exports plain (code, summary, checker) triples and
+# is wrapped here with its family's waiver syntax.
 CONCURRENCY_RULES: tuple[Rule, ...] = tuple(
     Rule(code, summary, checker, waiver="# thread-safe: <reason>")
     for code, summary, checker in CONCURRENCY_RULE_SPECS
@@ -405,4 +407,9 @@ ALIASING_RULES: tuple[Rule, ...] = tuple(
     for code, summary, checker in ALIASING_RULE_SPECS
 )
 
-ALL_RULES = ALL_RULES + CONCURRENCY_RULES + ALIASING_RULES
+ERRORPATH_RULES: tuple[Rule, ...] = tuple(
+    Rule(code, summary, checker, waiver="# error-ok: <reason>")
+    for code, summary, checker in ERRORPATH_RULE_SPECS
+)
+
+ALL_RULES = ALL_RULES + CONCURRENCY_RULES + ALIASING_RULES + ERRORPATH_RULES
